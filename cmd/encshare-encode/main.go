@@ -1,0 +1,95 @@
+// Command encshare-encode is the MySQLEncode equivalent (§5.1): it reads
+// the client's seed and map files plus a plaintext XML document, encodes
+// the document into secret-shared polynomial rows, and writes the
+// resulting server database to a file that encshare-server can load.
+// Only server shares end up in the output; the seed never leaves the
+// client.
+//
+// Usage:
+//
+//	encshare-encode -seed seed.key -map tags.map -xml auction.xml -out auction.db
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"encshare"
+	"encshare/internal/minisql"
+)
+
+func main() {
+	var (
+		p        = flag.Uint("p", 83, "field characteristic (prime)")
+		e        = flag.Uint("e", 1, "field extension degree")
+		seedPath = flag.String("seed", "seed.key", "seed file")
+		mapPath  = flag.String("map", "tags.map", "map file")
+		xmlPath  = flag.String("xml", "", "plaintext XML document (required)")
+		outPath  = flag.String("out", "encrypted.db", "encrypted database file to write")
+		trieMode = flag.String("trie", "off", "text indexing: off, compressed, uncompressed")
+	)
+	flag.Parse()
+	if *xmlPath == "" {
+		fatal(fmt.Errorf("-xml is required"))
+	}
+
+	params := encshare.Params{P: uint32(*p), E: uint32(*e)}
+	switch *trieMode {
+	case "off":
+	case "compressed":
+		params.TrieMode = encshare.TrieCompressed
+	case "uncompressed":
+		params.TrieMode = encshare.TrieUncompressed
+	default:
+		fatal(fmt.Errorf("unknown -trie mode %q", *trieMode))
+	}
+
+	seed, err := os.ReadFile(*seedPath)
+	if err != nil {
+		fatal(err)
+	}
+	mf, err := os.Open(*mapPath)
+	if err != nil {
+		fatal(err)
+	}
+	keys, err := encshare.LoadKeys(params, seed, mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	db, err := encshare.CreateDatabase(minisql.FreshDSN())
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	xf, err := os.Open(*xmlPath)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := db.EncodeXML(keys, xf)
+	xf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	out, err := os.Create(*outPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.DumpTo(out); err != nil {
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("encoded %d nodes in %s: %d polynomial bytes + %d meta bytes -> %s\n",
+		stats.Nodes, stats.Elapsed.Round(1e6), stats.PolyBytes, stats.MetaBytes, *outPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "encshare-encode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,111 @@
+// Command encshare-keygen generates the client's secret key material: a
+// seed file (the encryption key, §5.1) and a map file assigning tag names
+// to F_q^* values. The name universe comes from a DTD (default: the
+// paper's XMark auction DTD), an XML instance, or both; with -trie the
+// lowercase alphabet, digits and the ⊥ terminator are added so text
+// content can be indexed (§4).
+//
+// Usage:
+//
+//	encshare-keygen -p 83 -seed-out seed.key -map-out tags.map
+//	encshare-keygen -p 251 -trie -xml doc.xml -seed-out s -map-out m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"encshare"
+	"encshare/internal/dtd"
+	"encshare/internal/trie"
+	"encshare/internal/xmldoc"
+)
+
+func main() {
+	var (
+		p       = flag.Uint("p", 83, "field characteristic (prime)")
+		e       = flag.Uint("e", 1, "field extension degree")
+		dtdPath = flag.String("dtd", "", "DTD file to take tag names from (default: embedded XMark auction DTD)")
+		xmlPath = flag.String("xml", "", "XML instance to take tag names (and, with -trie, the alphabet) from")
+		useTrie = flag.Bool("trie", false, "include text alphabet for content search")
+		seedOut = flag.String("seed-out", "seed.key", "seed file to write (keep secret)")
+		mapOut  = flag.String("map-out", "tags.map", "map file to write (keep secret)")
+	)
+	flag.Parse()
+
+	var names []string
+	var corpus string
+	switch {
+	case *xmlPath != "":
+		f, err := os.Open(*xmlPath)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err := xmldoc.Parse(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		names = doc.Names()
+		doc.Walk(func(n *xmldoc.Node) bool {
+			corpus += n.Text + " "
+			return true
+		})
+	case *dtdPath != "":
+		src, err := os.ReadFile(*dtdPath)
+		if err != nil {
+			fatal(err)
+		}
+		d, err := dtd.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		names = d.Names()
+	default:
+		names = dtd.MustXMark().Names()
+	}
+
+	params := encshare.Params{P: uint32(*p), E: uint32(*e)}
+	if *useTrie {
+		params.TrieMode = encshare.TrieCompressed
+		if corpus != "" {
+			names = encshare.ContentNames(names, corpus)
+		} else {
+			// No instance given: cover a generic alphabet.
+			var alpha []string
+			for c := 'a'; c <= 'z'; c++ {
+				alpha = append(alpha, string(c))
+			}
+			for c := '0'; c <= '9'; c++ {
+				alpha = append(alpha, string(c))
+			}
+			names = append(names, append(alpha, trie.Terminator)...)
+		}
+	}
+
+	keys, err := encshare.GenerateKeys(params, names)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*seedOut, keys.Seed(), 0o600); err != nil {
+		fatal(err)
+	}
+	mf, err := os.OpenFile(*mapOut, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o600)
+	if err != nil {
+		fatal(err)
+	}
+	if err := keys.SaveMap(mf); err != nil {
+		fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s and %s (%d names, F_%d^%d, %d bytes/polynomial)\n",
+		*seedOut, *mapOut, len(names), *p, *e, keys.PolyBytes())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "encshare-keygen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command encshare-query runs XPath-subset queries against an
+// encshare-server, acting as the paper's client (§5.2–5.3): it holds the
+// seed and map files, regenerates client polynomial shares locally, and
+// combines them with server evaluations.
+//
+// Usage:
+//
+//	encshare-query -seed seed.key -map tags.map -addr 127.0.0.1:7083 '/site//europe/item'
+//	encshare-query -engine simple -test containment ... '//bidder/date'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"encshare"
+)
+
+func main() {
+	var (
+		p        = flag.Uint("p", 83, "field characteristic (prime)")
+		e        = flag.Uint("e", 1, "field extension degree")
+		seedPath = flag.String("seed", "seed.key", "seed file")
+		mapPath  = flag.String("map", "tags.map", "map file")
+		addr     = flag.String("addr", "127.0.0.1:7083", "server address")
+		engName  = flag.String("engine", "advanced", "engine: simple or advanced")
+		testName = flag.String("test", "exact", "test: exact (strict) or containment (non-strict)")
+		verbose  = flag.Bool("v", false, "print work statistics")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("exactly one query argument expected"))
+	}
+
+	var opts encshare.QueryOptions
+	switch *engName {
+	case "advanced":
+		opts.Engine = encshare.Advanced
+	case "simple":
+		opts.Engine = encshare.Simple
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engName))
+	}
+	switch *testName {
+	case "exact", "strict":
+		opts.Test = encshare.TestExact
+	case "containment", "non-strict":
+		opts.Test = encshare.TestContainment
+	default:
+		fatal(fmt.Errorf("unknown test %q", *testName))
+	}
+
+	seed, err := os.ReadFile(*seedPath)
+	if err != nil {
+		fatal(err)
+	}
+	mf, err := os.Open(*mapPath)
+	if err != nil {
+		fatal(err)
+	}
+	keys, err := encshare.LoadKeys(encshare.Params{P: uint32(*p), E: uint32(*e)}, seed, mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+
+	session, err := encshare.Dial(keys, *addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Close()
+
+	res, err := session.QueryWith(flag.Arg(0), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d matching nodes (pre positions): %v\n", len(res.Pres), res.Pres)
+	if *verbose {
+		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d visited=%d elapsed=%s\n",
+			res.Stats.Evaluations, res.Stats.Reconstructions,
+			res.Stats.NodesFetched, res.Stats.NodesVisited, res.Stats.Elapsed)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "encshare-query:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command encshare-server loads an encrypted database file produced by
+// encshare-encode and serves the ServerFilter API over TCP (the paper's
+// server side, §5.2). The server holds only polynomial shares — it can
+// evaluate them at points the client sends, but the results are
+// meaningless without the client's seed.
+//
+// Usage:
+//
+//	encshare-server -db auction.db -listen :7083
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+
+	"encshare"
+	"encshare/internal/minisql"
+)
+
+func main() {
+	var (
+		p      = flag.Uint("p", 83, "field characteristic (prime)")
+		e      = flag.Uint("e", 1, "field extension degree")
+		dbPath = flag.String("db", "encrypted.db", "database file from encshare-encode")
+		listen = flag.String("listen", "127.0.0.1:7083", "listen address")
+	)
+	flag.Parse()
+
+	db, err := encshare.CreateDatabase(minisql.FreshDSN())
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+	f, err := os.Open(*dbPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.LoadFrom(f); err != nil {
+		fatal(err)
+	}
+	f.Close()
+	n, err := db.NodeCount()
+	if err != nil {
+		fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving %d encrypted nodes on %s (F_%d^%d)\n", n, l.Addr(), *p, *e)
+	if err := db.Serve(l, encshare.Params{P: uint32(*p), E: uint32(*e)}); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "encshare-server:", err)
+	os.Exit(1)
+}

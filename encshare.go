@@ -1,0 +1,351 @@
+// Package encshare is a from-scratch implementation of the encrypted XML
+// database of Brinkman, Schoenmakers, Doumen and Jonker, "Experiments
+// with Queries over Encrypted Data Using Secret Sharing" (SDM 2005).
+//
+// An XML document is encoded as a tree of polynomials over
+// F_q[x]/(x^(q−1) − 1): every node's polynomial is (x − map(node)) times
+// the product of its children's polynomials, where map is a secret
+// injective assignment of tag names (and, with the trie enhancement,
+// text characters) to F_q^*. Each polynomial is additively secret-shared;
+// the server stores only its share in an indexed (pre, post, parent,
+// poly) table, and the client keeps a PRG seed from which its share of
+// any node can be regenerated. Queries run interactively: the server
+// evaluates its share at the secret point, the client adds its own
+// evaluation, and a zero sum reveals subtree containment — without the
+// server ever learning tags, structure names, or query targets.
+//
+// # Quick start
+//
+//	keys, _ := encshare.GenerateKeys(encshare.Params{P: 83}, names)
+//	db, _ := encshare.CreateDatabase("mydb")
+//	db.EncodeXML(keys, xmlReader)
+//	session := encshare.OpenLocal(keys, db)
+//	res, _ := session.Query("/site//europe/item")
+//
+// See the examples directory for complete programs, DESIGN.md for the
+// architecture, and EXPERIMENTS.md for the reproduction of the paper's
+// evaluation.
+package encshare
+
+import (
+	"fmt"
+	"io"
+	"net"
+
+	"encshare/internal/encoder"
+	"encshare/internal/engine"
+	"encshare/internal/filter"
+	"encshare/internal/gf"
+	"encshare/internal/mapping"
+	"encshare/internal/minisql"
+	"encshare/internal/prg"
+	"encshare/internal/ring"
+	"encshare/internal/rmi"
+	"encshare/internal/secshare"
+	"encshare/internal/store"
+	"encshare/internal/trie"
+	"encshare/internal/xpath"
+)
+
+// TrieMode re-exports the §4 text representation choice.
+type TrieMode = trie.Mode
+
+// Trie modes: TrieOff leaves text unsearchable (§3 tag-only scheme);
+// TrieCompressed and TrieUncompressed enable content search (§4).
+const (
+	TrieOff          = trie.Off
+	TrieCompressed   = trie.Compressed
+	TrieUncompressed = trie.Uncompressed
+)
+
+// Params selects the algebraic setting. The paper's experiments use
+// P=83, E=1 (77 XMark tag names fit in F_83^*).
+type Params struct {
+	// P is the field characteristic (prime). Required.
+	P uint32
+	// E is the extension degree; 0 or 1 means the prime field.
+	E uint32
+	// TrieMode controls §4 text indexing at encode time.
+	TrieMode TrieMode
+}
+
+func (p Params) normalized() Params {
+	if p.E == 0 {
+		p.E = 1
+	}
+	return p
+}
+
+// Keys is the client's secret material: the PRG seed and the tag map.
+// Whoever holds Keys can decrypt; the server never sees them.
+type Keys struct {
+	params Params
+	seed   []byte
+	m      *mapping.Map
+	field  *gf.Field
+	ring   *ring.Ring
+}
+
+// GenerateKeys creates fresh key material: a random seed plus a map
+// covering the given name universe (tag names, and the text alphabet plus
+// trie.Terminator when trie mode is on).
+func GenerateKeys(params Params, names []string) (*Keys, error) {
+	params = params.normalized()
+	f, err := gf.New(params.P, params.E)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ring.New(f)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapping.Generate(f, names)
+	if err != nil {
+		return nil, err
+	}
+	_, seed, err := prg.NewRandom()
+	if err != nil {
+		return nil, err
+	}
+	return &Keys{params: params, seed: seed, m: m, field: f, ring: r}, nil
+}
+
+// LoadKeys reconstructs key material from a saved seed and map file.
+func LoadKeys(params Params, seed []byte, mapFile io.Reader) (*Keys, error) {
+	params = params.normalized()
+	if len(seed) == 0 {
+		return nil, fmt.Errorf("encshare: empty seed")
+	}
+	f, err := gf.New(params.P, params.E)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ring.New(f)
+	if err != nil {
+		return nil, err
+	}
+	m, err := mapping.Load(f, mapFile)
+	if err != nil {
+		return nil, err
+	}
+	return &Keys{params: params, seed: append([]byte(nil), seed...), m: m, field: f, ring: r}, nil
+}
+
+// Seed returns the secret seed (for persisting to a seed file).
+func (k *Keys) Seed() []byte { return append([]byte(nil), k.seed...) }
+
+// SaveMap writes the map file ("name = value" lines).
+func (k *Keys) SaveMap(w io.Writer) error { return k.m.Save(w) }
+
+// Params returns the algebraic parameters the keys were generated for.
+func (k *Keys) Params() Params { return k.params }
+
+// PolyBytes returns the per-node storage cost in bytes.
+func (k *Keys) PolyBytes() int { return k.ring.PolyBytes() }
+
+func (k *Keys) scheme() *secshare.Scheme {
+	return secshare.New(k.ring, prg.New(k.seed))
+}
+
+// Database is the server-side handle: the indexed share table.
+type Database struct {
+	st  *store.Store
+	dsn string
+}
+
+// CreateDatabase creates a fresh named database with the nodes schema.
+func CreateDatabase(name string) (*Database, error) {
+	st, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Init(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Database{st: st, dsn: name}, nil
+}
+
+// OpenDatabase attaches to an existing named database (e.g. one
+// populated by LoadFrom).
+func OpenDatabase(name string) (*Database, error) {
+	st, err := store.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Attach(); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return &Database{st: st, dsn: name}, nil
+}
+
+// EncodeStats re-exports the encoder's output metrics.
+type EncodeStats = encoder.Stats
+
+// EncodeXML encodes a plaintext XML document into the database using the
+// given keys — the MySQLEncode step. Requires keys whose map covers every
+// tag (and character, in trie mode) in the document.
+func (db *Database) EncodeXML(keys *Keys, src io.Reader) (EncodeStats, error) {
+	return encoder.EncodeStream(src, encoder.Options{
+		Map:      keys.m,
+		Scheme:   keys.scheme(),
+		TrieMode: keys.params.TrieMode,
+	}, db.st)
+}
+
+// NodeCount returns the number of stored (encrypted) nodes.
+func (db *Database) NodeCount() (int64, error) { return db.st.Count() }
+
+// DumpTo persists the database to a writer (see cmd/encshare-encode).
+func (db *Database) DumpTo(w io.Writer) error { return db.st.Dump(w) }
+
+// LoadFrom restores a database previously written by DumpTo.
+func (db *Database) LoadFrom(r io.Reader) error { return db.st.Load(r) }
+
+// Close releases the handle and drops the in-memory data.
+func (db *Database) Close() error {
+	err := db.st.Close()
+	minisql.Drop(db.dsn)
+	return err
+}
+
+// Serve exposes the database's ServerFilter over the RMI protocol until
+// the listener closes. The params must match the keys used at encode
+// time (the server needs the ring dimensions, not the secrets).
+func (db *Database) Serve(l net.Listener, params Params) error {
+	params = params.normalized()
+	f, err := gf.New(params.P, params.E)
+	if err != nil {
+		return err
+	}
+	r, err := ring.New(f)
+	if err != nil {
+		return err
+	}
+	srv := rmi.NewServer()
+	filter.RegisterServer(srv, filter.NewServerFilter(db.st, r, 4096))
+	return srv.Serve(l)
+}
+
+// EngineKind selects the query strategy of §5.3.
+type EngineKind int
+
+const (
+	// Advanced is the look-ahead engine (the paper's overall winner).
+	Advanced EngineKind = iota
+	// Simple is the stepwise engine.
+	Simple
+)
+
+// TestKind selects the matching rule of §6.3.
+type TestKind int
+
+const (
+	// TestExact uses the equality test: results are exactly the XPath
+	// answer (the paper's "strict checking", its overall recommendation).
+	TestExact TestKind = iota
+	// TestContainment uses the cheap containment test: one evaluation per
+	// check, but results may include ancestors of true matches (§6.3's
+	// accuracy trade-off, Fig. 7).
+	TestContainment
+)
+
+// QueryOptions tune one query execution. The zero value — advanced
+// engine, exact results — is the recommended configuration.
+type QueryOptions struct {
+	// Engine selects the strategy (default Advanced).
+	Engine EngineKind
+	// Test selects the matching rule (default TestExact).
+	Test TestKind
+}
+
+// Stats re-exports per-query work metrics.
+type Stats = engine.Stats
+
+// Result is a query answer: pre positions of matching nodes in document
+// order, plus the work performed.
+type Result struct {
+	Pres  []int64
+	Stats Stats
+}
+
+// Session is the client side: key material bound to a server connection
+// (local or remote).
+type Session struct {
+	keys     *Keys
+	cli      *filter.Client
+	simple   *engine.Simple
+	advanced *engine.Advanced
+	closer   io.Closer
+}
+
+// OpenLocal starts a session against an in-process database (client and
+// server roles in one process; the trust split is still enforced by the
+// ServerAPI boundary).
+func OpenLocal(keys *Keys, db *Database) *Session {
+	api := filter.NewServerFilter(db.st, keys.ring, 4096)
+	return newSession(keys, api, nil)
+}
+
+// Dial starts a session against a remote encshare server.
+func Dial(keys *Keys, addr string) (*Session, error) {
+	cli, err := rmi.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newSession(keys, filter.NewRemote(cli), cli), nil
+}
+
+func newSession(keys *Keys, api filter.ServerAPI, closer io.Closer) *Session {
+	cli := filter.NewClient(api, keys.scheme())
+	return &Session{
+		keys:     keys,
+		cli:      cli,
+		simple:   engine.NewSimple(cli, keys.m),
+		advanced: engine.NewAdvanced(cli, keys.m),
+		closer:   closer,
+	}
+}
+
+// Query parses and runs an XPath-subset query with default options.
+func (s *Session) Query(q string) (Result, error) {
+	return s.QueryWith(q, QueryOptions{})
+}
+
+// QueryWith parses and runs a query with explicit options.
+func (s *Session) QueryWith(q string, opts QueryOptions) (Result, error) {
+	parsed, err := xpath.Parse(q)
+	if err != nil {
+		return Result{}, err
+	}
+	var eng engine.Engine = s.advanced
+	if opts.Engine == Simple {
+		eng = s.simple
+	}
+	test := engine.Equality
+	if opts.Test == TestContainment {
+		test = engine.Containment
+	}
+	res, err := eng.Run(parsed, test)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Pres: res.Pres, Stats: res.Stats}, nil
+}
+
+// Close closes the underlying connection for remote sessions (no-op for
+// local ones).
+func (s *Session) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// ContentNames builds the name universe for trie-enabled keys from tag
+// names plus the alphabet of a text corpus (§4): call it with everything
+// the documents may contain.
+func ContentNames(tagNames []string, corpus string) []string {
+	return append(append([]string{}, tagNames...), trie.Alphabet(trie.Words(corpus))...)
+}

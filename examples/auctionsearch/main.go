@@ -1,0 +1,88 @@
+// Auctionsearch: the paper's headline scenario. An XMark auction site is
+// encrypted and queried with the Table 2 queries, comparing the simple
+// and advanced engines and the strict/non-strict tests — a miniature of
+// the §6.2–6.3 experiments.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"encshare"
+	"encshare/internal/xmark"
+	"encshare/internal/xmldoc"
+)
+
+func main() {
+	// Generate a deterministic auction document (~100 KB).
+	var xml bytes.Buffer
+	if _, err := xmark.WriteXML(&xml, xmark.Config{Scale: 0.1, Seed: 7}); err != nil {
+		log.Fatal(err)
+	}
+	parsed, err := xmldoc.Parse(bytes.NewReader(xml.Bytes()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("auction site: %d bytes of XML, %d element nodes\n", xml.Len(), parsed.Count)
+
+	keys, err := encshare.GenerateKeys(encshare.Params{P: 83}, parsed.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := encshare.CreateDatabase("auctionsearch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.EncodeXML(keys, bytes.NewReader(xml.Bytes())); err != nil {
+		log.Fatal(err)
+	}
+	session := encshare.OpenLocal(keys, db)
+	defer session.Close()
+
+	queries := []string{
+		"/site//europe/item",
+		"/site//europe//item",
+		"/site/*/person//city",
+		"/*/*/open_auction/bidder/date",
+		"//bidder/date",
+	}
+	fmt.Printf("\n%-34s %8s %10s %10s %10s\n", "query (exact results)", "matches",
+		"simple", "advanced", "speedup")
+	for _, q := range queries {
+		s, err := session.QueryWith(q, encshare.QueryOptions{Engine: encshare.Simple})
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := session.QueryWith(q, encshare.QueryOptions{Engine: encshare.Advanced})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(s.Pres) != len(a.Pres) {
+			log.Fatalf("engines disagree on %s", q)
+		}
+		fmt.Printf("%-34s %8d %10s %10s %9.1fx\n",
+			q, len(a.Pres),
+			s.Stats.Elapsed.Round(1000), a.Stats.Elapsed.Round(1000),
+			float64(s.Stats.Elapsed)/float64(a.Stats.Elapsed))
+	}
+
+	// Strictness: exact results cost reconstructions; containment costs
+	// accuracy.
+	fmt.Printf("\nstrictness on /site/*/person//city:\n")
+	exact, err := session.QueryWith("/site/*/person//city", encshare.QueryOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loose, err := session.QueryWith("/site/*/person//city",
+		encshare.QueryOptions{Test: encshare.TestContainment})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  exact:       %4d matches, %5d evals, %5d reconstructions\n",
+		len(exact.Pres), exact.Stats.Evaluations, exact.Stats.Reconstructions)
+	fmt.Printf("  containment: %4d matches, %5d evals (accuracy %.0f%%)\n",
+		len(loose.Pres), loose.Stats.Evaluations,
+		100*float64(len(exact.Pres))/float64(len(loose.Pres)))
+}

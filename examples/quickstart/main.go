@@ -1,0 +1,76 @@
+// Quickstart: encrypt a small XML document and query it, all in one
+// process. Demonstrates the minimal key → encode → query flow and that
+// the server-side table alone reveals nothing useful.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"encshare"
+	"encshare/internal/xmldoc"
+)
+
+const doc = `<library>
+  <shelf>
+    <book><title/><author/></book>
+    <book><title/></book>
+  </shelf>
+  <shelf>
+    <book><author/></book>
+  </shelf>
+</library>`
+
+func main() {
+	// 1. The key material: a random seed plus a secret tag map. The name
+	//    universe here is just the document's tags.
+	parsed, err := xmldoc.ParseString(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	keys, err := encshare.GenerateKeys(encshare.Params{P: 83}, parsed.Names())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated keys over F_83: %d bytes per node polynomial\n", keys.PolyBytes())
+
+	// 2. Encode: the database receives only secret shares.
+	db, err := encshare.CreateDatabase("quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	stats, err := db.EncodeXML(keys, strings.NewReader(doc))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("encoded %d nodes (%d B payload) in %s\n",
+		stats.Nodes, stats.OutputBytes(), stats.Elapsed.Round(1000))
+
+	// 3. Query. Default options: advanced engine, exact (strict) test.
+	session := encshare.OpenLocal(keys, db)
+	defer session.Close()
+	for _, q := range []string{
+		"/library",
+		"//book",
+		"//book/author",
+		"/library/*/book",
+		"//magazine", // not in the document
+	} {
+		res, err := session.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s -> %d nodes %v  (%d evals, %d reconstructions)\n",
+			q, len(res.Pres), res.Pres, res.Stats.Evaluations, res.Stats.Reconstructions)
+	}
+
+	// 4. The cheap containment test trades accuracy for speed: //author
+	//    now also reports every ancestor of an author.
+	res, err := session.QueryWith("//author", encshare.QueryOptions{Test: encshare.TestContainment})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("containment //author -> %d nodes (ancestors included): %v\n", len(res.Pres), res.Pres)
+}

@@ -1,0 +1,301 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	var tr Tree
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has nonzero Len")
+	}
+	if tr.Contains(1, 1) {
+		t.Fatal("empty tree Contains")
+	}
+	if tr.Delete(1, 1) {
+		t.Fatal("empty tree Delete returned true")
+	}
+	if _, ok := tr.Min(); ok {
+		t.Fatal("empty tree has Min")
+	}
+	if _, ok := tr.Max(); ok {
+		t.Fatal("empty tree has Max")
+	}
+	n := 0
+	tr.Ascend(func(Entry) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("empty tree Ascend visited entries")
+	}
+}
+
+func TestInsertContains(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 1000; i++ {
+		tr.Insert(i*3, i)
+	}
+	if tr.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tr.Len())
+	}
+	for i := int64(0); i < 1000; i++ {
+		if !tr.Contains(i*3, i) {
+			t.Fatalf("missing key %d", i*3)
+		}
+		if tr.Contains(i*3+1, i) {
+			t.Fatalf("phantom key %d", i*3+1)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicatePairIsNoop(t *testing.T) {
+	var tr Tree
+	tr.Insert(5, 10)
+	tr.Insert(5, 10)
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", tr.Len())
+	}
+	// Same key, different row: both kept.
+	tr.Insert(5, 11)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+}
+
+func TestAscendRangeOrdering(t *testing.T) {
+	var tr Tree
+	perm := rand.New(rand.NewSource(42)).Perm(2000)
+	for _, v := range perm {
+		tr.Insert(int64(v%97), int64(v)) // many duplicate keys
+	}
+	var got []Entry
+	tr.AscendRange(10, 50, func(e Entry) bool {
+		got = append(got, e)
+		return true
+	})
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].less(got[j]) }) {
+		t.Fatal("AscendRange out of order")
+	}
+	for _, e := range got {
+		if e.Key < 10 || e.Key > 50 {
+			t.Fatalf("entry %v outside range", e)
+		}
+	}
+	// Count must match a full scan filter.
+	want := 0
+	tr.Ascend(func(e Entry) bool {
+		if e.Key >= 10 && e.Key <= 50 {
+			want++
+		}
+		return true
+	})
+	if len(got) != want {
+		t.Fatalf("range returned %d entries, want %d", len(got), want)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i, 0)
+	}
+	n := 0
+	tr.Ascend(func(Entry) bool { n++; return n < 7 })
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDeleteRandomized(t *testing.T) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(7))
+	ref := map[Entry]bool{}
+	for i := 0; i < 5000; i++ {
+		e := Entry{int64(rng.Intn(300)), int64(rng.Intn(50))}
+		if rng.Intn(2) == 0 {
+			tr.Insert(e.Key, e.Row)
+			ref[e] = true
+		} else {
+			got := tr.Delete(e.Key, e.Row)
+			want := ref[e]
+			if got != want {
+				t.Fatalf("step %d: Delete(%v) = %v, want %v", i, e, got, want)
+			}
+			delete(ref, e)
+		}
+		if i%500 == 0 {
+			if err := tr.checkInvariants(); err != nil {
+				t.Fatalf("step %d: %v", i, err)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("step %d: Len %d != ref %d", i, tr.Len(), len(ref))
+			}
+		}
+	}
+	// Final full comparison.
+	if tr.Len() != len(ref) {
+		t.Fatalf("final Len %d != ref %d", tr.Len(), len(ref))
+	}
+	tr.Ascend(func(e Entry) bool {
+		if !ref[e] {
+			t.Fatalf("tree contains %v not in ref", e)
+		}
+		return true
+	})
+	for e := range ref {
+		if !tr.Contains(e.Key, e.Row) {
+			t.Fatalf("ref contains %v not in tree", e)
+		}
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	var tr Tree
+	const n = 3000
+	for i := int64(0); i < n; i++ {
+		tr.Insert(i%111, i)
+	}
+	for i := int64(0); i < n; i++ {
+		if !tr.Delete(i%111, i) {
+			t.Fatalf("Delete(%d,%d) = false", i%111, i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.root != nil {
+		t.Fatal("root not nil after deleting all")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	var tr Tree
+	for _, k := range []int64{5, 3, 9, 1, 7} {
+		tr.Insert(k, k*10)
+	}
+	if mn, _ := tr.Min(); mn.Key != 1 {
+		t.Errorf("Min = %v", mn)
+	}
+	if mx, _ := tr.Max(); mx.Key != 9 {
+		t.Errorf("Max = %v", mx)
+	}
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, 0)
+	}
+	if d := tr.depth(); d > 5 {
+		t.Fatalf("depth %d too large for 100k sequential inserts (degree %d)", d, degree)
+	}
+	if err := tr.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAgainstModel drives the tree against a map model with random
+// operation sequences.
+func TestQuickAgainstModel(t *testing.T) {
+	err := quick.Check(func(ops []struct {
+		Key, Row int8 // small domains force collisions
+		Del      bool
+	}) bool {
+		var tr Tree
+		ref := map[Entry]bool{}
+		for _, op := range ops {
+			e := Entry{int64(op.Key), int64(op.Row)}
+			if op.Del {
+				if tr.Delete(e.Key, e.Row) != ref[e] {
+					return false
+				}
+				delete(ref, e)
+			} else {
+				tr.Insert(e.Key, e.Row)
+				ref[e] = true
+			}
+		}
+		if tr.Len() != len(ref) {
+			return false
+		}
+		ok := true
+		tr.Ascend(func(e Entry) bool {
+			if !ref[e] {
+				ok = false
+			}
+			return ok
+		})
+		return ok && tr.checkInvariants() == nil
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendGE(t *testing.T) {
+	var tr Tree
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(i, 0)
+	}
+	var got []int64
+	tr.AscendGE(90, func(e Entry) bool { got = append(got, e.Key); return true })
+	if len(got) != 10 || got[0] != 90 || got[9] != 99 {
+		t.Fatalf("AscendGE(90) = %v", got)
+	}
+}
+
+func TestInvertedRangeEmpty(t *testing.T) {
+	var tr Tree
+	tr.Insert(1, 1)
+	n := 0
+	tr.AscendRange(10, 5, func(Entry) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("inverted range visited entries")
+	}
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	var tr Tree
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i), int64(i))
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	var tr Tree
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		tr.Insert(rng.Int63n(1<<30), int64(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	var tr Tree
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Contains(int64(i%100000), int64(i%100000))
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	var tr Tree
+	for i := int64(0); i < 100000; i++ {
+		tr.Insert(i, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i % 90000)
+		n := 0
+		tr.AscendRange(lo, lo+99, func(Entry) bool { n++; return true })
+	}
+}

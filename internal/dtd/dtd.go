@@ -1,0 +1,197 @@
+// Package dtd parses the <!ELEMENT ...> declarations of a Document Type
+// Definition. The scheme's map function is defined over "tag names chosen
+// from a fixed sized set (described in a DTD)" (paper §4); this package
+// extracts that set (and the content models, used by tests and by the
+// XMark generator to stay faithful to Appendix A).
+package dtd
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Element is one parsed <!ELEMENT name model> declaration.
+type Element struct {
+	Name  string
+	Model string // raw content model text, e.g. "(name, description)" or "EMPTY"
+}
+
+// Children returns the element names referenced by the content model,
+// in order of first appearance (ignores #PCDATA, cardinality markers and
+// grouping).
+func (e Element) Children() []string {
+	seen := map[string]bool{}
+	var out []string
+	model := strings.ReplaceAll(e.Model, "#PCDATA", "")
+	for _, tok := range nameRE.FindAllString(model, -1) {
+		if tok == "EMPTY" || tok == "ANY" {
+			continue
+		}
+		if !seen[tok] {
+			seen[tok] = true
+			out = append(out, tok)
+		}
+	}
+	return out
+}
+
+var (
+	elementRE = regexp.MustCompile(`<!ELEMENT\s+([A-Za-z_][\w.-]*)\s+([^>]*)>`)
+	nameRE    = regexp.MustCompile(`[A-Za-z_][\w.-]*`)
+)
+
+// DTD is a parsed set of element declarations.
+type DTD struct {
+	Elements []Element
+	byName   map[string]*Element
+}
+
+// Parse extracts all element declarations from DTD source text. It is
+// deliberately permissive: attributes, entities and comments are ignored.
+func Parse(src string) (*DTD, error) {
+	matches := elementRE.FindAllStringSubmatch(src, -1)
+	if len(matches) == 0 {
+		return nil, fmt.Errorf("dtd: no <!ELEMENT> declarations found")
+	}
+	d := &DTD{byName: map[string]*Element{}}
+	for _, m := range matches {
+		name, model := m[1], strings.TrimSpace(m[2])
+		if _, dup := d.byName[name]; dup {
+			return nil, fmt.Errorf("dtd: duplicate declaration of element %q", name)
+		}
+		d.Elements = append(d.Elements, Element{Name: name, Model: model})
+		d.byName[name] = &d.Elements[len(d.Elements)-1]
+	}
+	return d, nil
+}
+
+// Names returns all declared element names in declaration order.
+func (d *DTD) Names() []string {
+	out := make([]string, len(d.Elements))
+	for i, e := range d.Elements {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Lookup returns the declaration for name.
+func (d *DTD) Lookup(name string) (Element, bool) {
+	e, ok := d.byName[name]
+	if !ok {
+		return Element{}, false
+	}
+	return *e, true
+}
+
+// Undeclared returns content-model references to elements that have no
+// declaration of their own — useful as a lint for generator fidelity.
+func (d *DTD) Undeclared() []string {
+	missing := map[string]bool{}
+	for _, e := range d.Elements {
+		for _, c := range e.Children() {
+			if _, ok := d.byName[c]; !ok {
+				missing[c] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(missing))
+	for n := range missing {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// XMarkAuction is the complete auction-site DTD from the paper's
+// Appendix A (the XMark benchmark DTD), verbatim.
+const XMarkAuction = `
+<!ELEMENT site (regions, categories, catgraph, people, open_auctions, closed_auctions)>
+<!ELEMENT categories (category+)>
+<!ELEMENT category (name, description)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT description (text | parlist)>
+<!ELEMENT text (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT bold (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT keyword (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT emph (#PCDATA | bold | keyword | emph)*>
+<!ELEMENT parlist (listitem)*>
+<!ELEMENT listitem (text | parlist)*>
+<!ELEMENT catgraph (edge*)>
+<!ELEMENT edge EMPTY>
+<!ELEMENT regions (africa, asia, australia, europe, namerica, samerica)>
+<!ELEMENT africa (item*)>
+<!ELEMENT asia (item*)>
+<!ELEMENT australia (item*)>
+<!ELEMENT namerica (item*)>
+<!ELEMENT samerica (item*)>
+<!ELEMENT europe (item*)>
+<!ELEMENT item (location, quantity, name, payment, description, shipping, incategory+, mailbox)>
+<!ELEMENT location (#PCDATA)>
+<!ELEMENT quantity (#PCDATA)>
+<!ELEMENT payment (#PCDATA)>
+<!ELEMENT shipping (#PCDATA)>
+<!ELEMENT reserve (#PCDATA)>
+<!ELEMENT incategory EMPTY>
+<!ELEMENT mailbox (mail*)>
+<!ELEMENT mail (from, to, date, text)>
+<!ELEMENT from (#PCDATA)>
+<!ELEMENT to (#PCDATA)>
+<!ELEMENT date (#PCDATA)>
+<!ELEMENT itemref EMPTY>
+<!ELEMENT personref EMPTY>
+<!ELEMENT people (person*)>
+<!ELEMENT person (name, emailaddress, phone?, address?, homepage?, creditcard?, profile?, watches?)>
+<!ELEMENT emailaddress (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT address (street, city, country, province?, zipcode)>
+<!ELEMENT street (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT province (#PCDATA)>
+<!ELEMENT zipcode (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT homepage (#PCDATA)>
+<!ELEMENT creditcard (#PCDATA)>
+<!ELEMENT profile (interest*, education?, gender?, business, age?)>
+<!ELEMENT interest EMPTY>
+<!ELEMENT education (#PCDATA)>
+<!ELEMENT income (#PCDATA)>
+<!ELEMENT gender (#PCDATA)>
+<!ELEMENT business (#PCDATA)>
+<!ELEMENT age (#PCDATA)>
+<!ELEMENT watches (watch*)>
+<!ELEMENT watch EMPTY>
+<!ELEMENT open_auctions (open_auction*)>
+<!ELEMENT open_auction (initial, reserve?, bidder*, current, privacy?, itemref, seller, annotation, quantity, type, interval)>
+<!ELEMENT privacy (#PCDATA)>
+<!ELEMENT initial (#PCDATA)>
+<!ELEMENT bidder (date, time, personref, increase)>
+<!ELEMENT seller EMPTY>
+<!ELEMENT current (#PCDATA)>
+<!ELEMENT increase (#PCDATA)>
+<!ELEMENT type (#PCDATA)>
+<!ELEMENT interval (start, end)>
+<!ELEMENT start (#PCDATA)>
+<!ELEMENT end (#PCDATA)>
+<!ELEMENT time (#PCDATA)>
+<!ELEMENT status (#PCDATA)>
+<!ELEMENT amount (#PCDATA)>
+<!ELEMENT closed_auctions (closed_auction*)>
+<!ELEMENT closed_auction (seller, buyer, itemref, price, date, quantity, type, annotation?)>
+<!ELEMENT buyer EMPTY>
+<!ELEMENT price (#PCDATA)>
+<!ELEMENT annotation (author, description?, happiness)>
+<!ELEMENT author EMPTY>
+<!ELEMENT happiness (#PCDATA)>
+`
+
+// MustXMark returns the parsed Appendix A DTD; it panics only if the
+// embedded constant is corrupted (covered by tests).
+func MustXMark() *DTD {
+	d, err := Parse(XMarkAuction)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

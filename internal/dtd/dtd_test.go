@@ -1,0 +1,120 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestXMarkElementCount(t *testing.T) {
+	d := MustXMark()
+	// The paper (§6): "The DTD ... contains 77 elements."
+	if got := len(d.Elements); got != 77 {
+		t.Fatalf("XMark DTD has %d elements, paper says 77", got)
+	}
+}
+
+func TestXMarkFitsF83(t *testing.T) {
+	if got := len(MustXMark().Elements); got > 82 {
+		t.Fatalf("%d elements do not fit in F_83^*", got)
+	}
+}
+
+func TestLookupAndModel(t *testing.T) {
+	d := MustXMark()
+	site, ok := d.Lookup("site")
+	if !ok {
+		t.Fatal("site not declared")
+	}
+	kids := site.Children()
+	want := []string{"regions", "categories", "catgraph", "people", "open_auctions", "closed_auctions"}
+	if strings.Join(kids, ",") != strings.Join(want, ",") {
+		t.Fatalf("site children = %v", kids)
+	}
+	edge, ok := d.Lookup("edge")
+	if !ok || edge.Model != "EMPTY" {
+		t.Fatalf("edge = %+v", edge)
+	}
+	if len(edge.Children()) != 0 {
+		t.Fatalf("EMPTY model has children %v", edge.Children())
+	}
+	name, _ := d.Lookup("name")
+	if len(name.Children()) != 0 {
+		t.Fatalf("#PCDATA model has children %v", name.Children())
+	}
+	if _, ok := d.Lookup("nonexistent"); ok {
+		t.Fatal("Lookup found undeclared element")
+	}
+}
+
+func TestMixedContentChildren(t *testing.T) {
+	d := MustXMark()
+	text, _ := d.Lookup("text")
+	got := strings.Join(text.Children(), ",")
+	if got != "bold,keyword,emph" {
+		t.Fatalf("text children = %s", got)
+	}
+}
+
+func TestXMarkClosedUnderReference(t *testing.T) {
+	// Every element referenced in a content model is declared: required
+	// for the generator to be able to emit any referenced child.
+	if missing := MustXMark().Undeclared(); len(missing) != 0 {
+		t.Fatalf("undeclared elements referenced: %v", missing)
+	}
+}
+
+func TestNamesOrder(t *testing.T) {
+	d := MustXMark()
+	names := d.Names()
+	if names[0] != "site" {
+		t.Fatalf("first element = %s", names[0])
+	}
+	if len(names) != 77 {
+		t.Fatalf("Names() returned %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse("no declarations here"); err == nil {
+		t.Fatal("empty DTD accepted")
+	}
+	if _, err := Parse("<!ELEMENT a (b)>\n<!ELEMENT a (c)>"); err == nil {
+		t.Fatal("duplicate declaration accepted")
+	}
+}
+
+func TestParseTolerant(t *testing.T) {
+	src := `<!-- comment -->
+<!ELEMENT root (child*)>
+<!ATTLIST root id CDATA #REQUIRED>
+<!ELEMENT child (#PCDATA)>`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Elements) != 2 {
+		t.Fatalf("parsed %d elements", len(d.Elements))
+	}
+}
+
+func TestOptionalAndStarMarkersIgnored(t *testing.T) {
+	d, err := Parse(`<!ELEMENT person (name, phone?, watches*)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT phone (#PCDATA)>
+<!ELEMENT watches EMPTY>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := d.Lookup("person")
+	got := strings.Join(p.Children(), ",")
+	if got != "name,phone,watches" {
+		t.Fatalf("children = %s", got)
+	}
+}

@@ -1,0 +1,358 @@
+package encoder
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"encshare/internal/gf"
+	"encshare/internal/mapping"
+	"encshare/internal/prg"
+	"encshare/internal/ring"
+	"encshare/internal/secshare"
+	"encshare/internal/store"
+	"encshare/internal/trie"
+	"encshare/internal/xmark"
+	"encshare/internal/xmldoc"
+)
+
+// sliceSink collects rows in memory.
+type sliceSink struct {
+	rows []store.NodeRow
+}
+
+func (s *sliceSink) InsertNode(r store.NodeRow) error {
+	s.rows = append(s.rows, r)
+	return nil
+}
+
+func testSetup(t testing.TB, p uint32, names []string, seed string) (Options, *ring.Ring) {
+	t.Helper()
+	f := gf.MustNew(p, 1)
+	m, err := mapping.Generate(f, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ring.MustNew(f)
+	return Options{
+		Map:    m,
+		Scheme: secshare.New(r, prg.New([]byte(seed))),
+	}, r
+}
+
+const paperXML = `<a><b><c/></b><c><a/><b/></c></a>`
+
+func TestEncodePaperExample(t *testing.T) {
+	// Fig. 1 with its exact map: a=2, b=1, c=3 over F_5.
+	f := gf.MustNew(5, 1)
+	m, err := mapping.Load(f, strings.NewReader("a = 2\nb = 1\nc = 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := ring.MustNew(f)
+	scheme := secshare.New(r, prg.New([]byte("fig1")))
+	sink := &sliceSink{}
+	stats, err := EncodeStream(strings.NewReader(paperXML), Options{Map: m, Scheme: scheme}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 6 {
+		t.Fatalf("encoded %d nodes, want 6", stats.Nodes)
+	}
+	// Reconstruct each node polynomial and compare against Fig. 1(d)
+	// (with the root erratum corrected; see ring tests).
+	want := map[int64]string{
+		1: "x^3 + 4x^2 + x + 4", // root a (reduces same as node c)
+		2: "x^2 + x + 3",        // b
+		3: "x + 2",              // leaf c
+		4: "x^3 + 4x^2 + x + 4", // c
+		5: "x + 3",              // leaf a
+		6: "x + 4",              // leaf b
+	}
+	for _, row := range sink.rows {
+		server, err := r.FromBytes(row.Poly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := scheme.Reconstruct(server, uint64(row.Pre))
+		if got := r.String(full); got != want[row.Pre] {
+			t.Errorf("pre %d: poly = %s, want %s", row.Pre, got, want[row.Pre])
+		}
+	}
+}
+
+func TestNumberingMatchesXmldoc(t *testing.T) {
+	opts, _ := testSetup(t, 83, []string{"a", "b", "c"}, "num")
+	sink := &sliceSink{}
+	if _, err := EncodeStream(strings.NewReader(paperXML), opts, sink); err != nil {
+		t.Fatal(err)
+	}
+	d, err := xmldoc.ParseString(paperXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPre := map[int64]store.NodeRow{}
+	for _, r := range sink.rows {
+		byPre[r.Pre] = r
+	}
+	d.Walk(func(n *xmldoc.Node) bool {
+		row, ok := byPre[n.Pre]
+		if !ok {
+			t.Fatalf("no row for pre %d", n.Pre)
+		}
+		if row.Post != n.Post {
+			t.Errorf("pre %d: post %d, want %d", n.Pre, row.Post, n.Post)
+		}
+		wantParent := int64(0)
+		if n.Parent != nil {
+			wantParent = n.Parent.Pre
+		}
+		if row.Parent != wantParent {
+			t.Errorf("pre %d: parent %d, want %d", n.Pre, row.Parent, wantParent)
+		}
+		return true
+	})
+}
+
+// TestEncodeDocEqualsEncodeStream: both paths must produce identical rows.
+func TestEncodeDocEqualsEncodeStream(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.02, Seed: 5})
+	var xml bytes.Buffer
+	if err := doc.WriteXML(&xml); err != nil {
+		t.Fatal(err)
+	}
+	names := append(doc.Names(), trie.Alphabet(trie.Words(allText(doc)))...)
+	opts, _ := testSetup(t, 251, names, "both")
+	opts.TrieMode = trie.Compressed
+
+	streamSink := &sliceSink{}
+	if _, err := EncodeStream(bytes.NewReader(xml.Bytes()), opts, streamSink); err != nil {
+		t.Fatal(err)
+	}
+	docSink := &sliceSink{}
+	doc2, err := xmldoc.Parse(bytes.NewReader(xml.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EncodeDoc(doc2, opts, docSink); err != nil {
+		t.Fatal(err)
+	}
+	if len(streamSink.rows) != len(docSink.rows) {
+		t.Fatalf("stream %d rows vs doc %d rows", len(streamSink.rows), len(docSink.rows))
+	}
+	for i := range streamSink.rows {
+		a, b := streamSink.rows[i], docSink.rows[i]
+		if a.Pre != b.Pre || a.Post != b.Post || a.Parent != b.Parent || !bytes.Equal(a.Poly, b.Poly) {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+// TestPolynomialSemantics verifies the fundamental invariant on a real
+// XMark fragment: the reconstructed polynomial of every node vanishes at
+// map(N) exactly when N occurs in its subtree.
+func TestPolynomialSemantics(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.01, Seed: 2})
+	opts, r := testSetup(t, 83, doc.Names(), "sem")
+	sink := &sliceSink{}
+	if _, err := EncodeDoc(doc, opts, sink); err != nil {
+		t.Fatal(err)
+	}
+	byPre := map[int64]store.NodeRow{}
+	for _, row := range sink.rows {
+		byPre[row.Pre] = row
+	}
+	// Collect subtree tag sets from the plaintext tree.
+	var subtreeTags func(n *xmldoc.Node, acc map[string]bool)
+	subtreeTags = func(n *xmldoc.Node, acc map[string]bool) {
+		acc[n.Name] = true
+		for _, c := range n.Children {
+			subtreeTags(c, acc)
+		}
+	}
+	checked := 0
+	doc.Walk(func(n *xmldoc.Node) bool {
+		if checked > 200 { // keep runtime bounded
+			return false
+		}
+		checked++
+		tags := map[string]bool{}
+		subtreeTags(n, tags)
+		row := byPre[n.Pre]
+		server, err := r.FromBytes(row.Poly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := opts.Scheme.Reconstruct(server, uint64(n.Pre))
+		for _, name := range opts.Map.Names() {
+			v, _ := opts.Map.Value(name)
+			zero := r.Eval(full, v) == 0
+			if zero != tags[name] {
+				t.Fatalf("node %s (pre %d): eval at map(%s) zero=%v, contained=%v",
+					n.Path(), n.Pre, name, zero, tags[name])
+			}
+		}
+		return true
+	})
+}
+
+// TestSharesNotPlaintext: the server share alone must not vanish at the
+// contained tags (i.e. the server cannot run the containment test by
+// itself).
+func TestServerShareAloneUseless(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.01, Seed: 3})
+	opts, r := testSetup(t, 83, doc.Names(), "hide")
+	sink := &sliceSink{}
+	if _, err := EncodeDoc(doc, opts, sink); err != nil {
+		t.Fatal(err)
+	}
+	// Root contains "site" for sure. Count how many of the first rows'
+	// server shares vanish at map(site): should be ~N/83, not ~N.
+	v, _ := opts.Map.Value("site")
+	zeros := 0
+	for _, row := range sink.rows {
+		server, err := r.FromBytes(row.Poly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Eval(server, v) == 0 {
+			zeros++
+		}
+	}
+	if zeros*4 > len(sink.rows) { // generous: expect ~1.2%, fail above 25%
+		t.Fatalf("server shares vanish at map(site) for %d/%d rows — shares leak structure",
+			zeros, len(sink.rows))
+	}
+}
+
+func TestTrieModeNeedsAlphabetInMap(t *testing.T) {
+	opts, _ := testSetup(t, 83, []string{"name"}, "noalpha")
+	opts.TrieMode = trie.Uncompressed
+	sink := &sliceSink{}
+	_, err := EncodeStream(strings.NewReader("<name>Joan</name>"), opts, sink)
+	if err == nil {
+		t.Fatal("encoding text without alphabet mapping succeeded")
+	}
+}
+
+func TestTrieModeCounts(t *testing.T) {
+	names := append([]string{"name"}, trie.Alphabet(trie.Words("Joan Johnson"))...)
+	opts, _ := testSetup(t, 83, names, "trie")
+	opts.TrieMode = trie.Compressed
+	sink := &sliceSink{}
+	stats, err := EncodeStream(strings.NewReader("<name>Joan Johnson</name>"), opts, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// name + 11 compressed trie nodes (see trie tests).
+	if stats.Nodes != 12 {
+		t.Fatalf("encoded %d nodes, want 12", stats.Nodes)
+	}
+	// Containment must now see character paths: root polynomial vanishes
+	// at map(j), map(o), ..., map(⊥).
+	r := opts.Scheme.Ring()
+	root := sink.rows[len(sink.rows)-1] // root emitted last (post-order)
+	if root.Pre != 1 {
+		t.Fatalf("last row is pre %d, want root", root.Pre)
+	}
+	server, err := r.FromBytes(root.Poly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := opts.Scheme.Reconstruct(server, 1)
+	for _, c := range []string{"j", "o", "a", "n", "h", "s", trie.Terminator} {
+		v, err := opts.Map.Value(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Eval(full, v) != 0 {
+			t.Errorf("root poly does not vanish at map(%q)", c)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	opts, r := testSetup(t, 83, []string{"a", "b", "c"}, "stats")
+	sink := &sliceSink{}
+	stats, err := EncodeStream(strings.NewReader(paperXML), opts, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PolyBytes != int64(6*r.PolyBytes()) {
+		t.Errorf("PolyBytes = %d, want %d", stats.PolyBytes, 6*r.PolyBytes())
+	}
+	if stats.MetaBytes != 6*24 {
+		t.Errorf("MetaBytes = %d", stats.MetaBytes)
+	}
+	if stats.OutputBytes() != stats.PolyBytes+stats.MetaBytes {
+		t.Error("OutputBytes inconsistent")
+	}
+	if stats.Elapsed <= 0 {
+		t.Error("Elapsed not measured")
+	}
+}
+
+func TestMissingOptions(t *testing.T) {
+	if _, err := EncodeStream(strings.NewReader(paperXML), Options{}, &sliceSink{}); err == nil {
+		t.Fatal("nil options accepted")
+	}
+}
+
+func TestUnknownTagFails(t *testing.T) {
+	opts, _ := testSetup(t, 83, []string{"a"}, "unk")
+	_, err := EncodeStream(strings.NewReader("<a><zzz/></a>"), opts, &sliceSink{})
+	if err == nil {
+		t.Fatal("unknown tag accepted")
+	}
+	var unknown *mapping.UnknownNameError
+	if !asUnknown(err, &unknown) {
+		t.Fatalf("error %v does not wrap UnknownNameError", err)
+	}
+}
+
+func asUnknown(err error, target **mapping.UnknownNameError) bool {
+	for err != nil {
+		if u, ok := err.(*mapping.UnknownNameError); ok {
+			*target = u
+			return true
+		}
+		type unwrapper interface{ Unwrap() error }
+		u, ok := err.(unwrapper)
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+func allText(d *xmldoc.Doc) string {
+	var sb strings.Builder
+	d.Walk(func(n *xmldoc.Node) bool {
+		if n.Text != "" {
+			sb.WriteString(n.Text)
+			sb.WriteByte(' ')
+		}
+		return true
+	})
+	return sb.String()
+}
+
+func BenchmarkEncodeXMarkScale01(b *testing.B) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.1, Seed: 1})
+	f := gf.MustNew(83, 1)
+	m, err := mapping.Generate(f, doc.Names())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Map: m, Scheme: secshare.New(ring.MustNew(f), prg.New([]byte("bench")))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink := &sliceSink{}
+		stats, err := EncodeDoc(doc, opts, sink)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(stats.OutputBytes())
+	}
+}

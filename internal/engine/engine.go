@@ -1,0 +1,174 @@
+// Package engine implements the paper's two query engines (§5.3):
+//
+//   - SimpleQuery parses the query left to right, carrying a frontier of
+//     candidate nodes and performing a single test per candidate per step.
+//   - AdvancedQuery walks the tree root-to-leaf, and at every visited node
+//     containment-checks ALL remaining query names against the node's
+//     polynomial (which "has knowledge of all descendants"), pruning dead
+//     branches early at the cost of more evaluations per node.
+//
+// Both engines run with either test (§6.3): non-strict (containment:
+// cheap, may over-approximate) or strict (equality: exact, costs
+// O(#children) reconstructions per accepted candidate). For a fixed test
+// the two engines return identical result sets; they differ only in the
+// work spent (the subject of Figs. 5 and 6).
+package engine
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"encshare/internal/filter"
+	"encshare/internal/gf"
+	"encshare/internal/mapping"
+	"encshare/internal/xpath"
+)
+
+// Test selects the per-step matching rule.
+type Test int
+
+const (
+	// Containment is the non-strict test: one evaluation pair per check.
+	Containment Test = iota
+	// Equality is the strict test: first-factor reconstruction.
+	Equality
+)
+
+func (t Test) String() string {
+	if t == Equality {
+		return "strict"
+	}
+	return "non-strict"
+}
+
+// Stats describes the work one query run performed.
+type Stats struct {
+	// Evaluations is the number of containment point-tests (client+server
+	// evaluation pairs) — the y-axis of Fig. 5.
+	Evaluations int64
+	// Reconstructions is the number of polynomial reconstructions done by
+	// equality tests.
+	Reconstructions int64
+	// NodesFetched counts node metadata records pulled from the server.
+	NodesFetched int64
+	// NodesVisited counts candidate nodes the engine examined.
+	NodesVisited int64
+	// Elapsed is the wall-clock execution time — the y-axis of Fig. 6.
+	Elapsed time.Duration
+}
+
+// Result is a query answer: the pre positions of matched nodes, in
+// document order.
+type Result struct {
+	Pres  []int64
+	Stats Stats
+}
+
+// Engine is the common interface of the two strategies.
+type Engine interface {
+	// Run executes a parsed query under the given test.
+	Run(q *xpath.Query, test Test) (Result, error)
+	// Name identifies the strategy ("simple" or "advanced").
+	Name() string
+}
+
+// base holds what both engines need: the client filter (seed side) and
+// the secret map to translate names to evaluation points.
+type base struct {
+	cli *filter.Client
+	m   *mapping.Map
+}
+
+// val resolves a query name to its evaluation point. A name absent from
+// the map cannot occur in the encoded document (the map covers the whole
+// tag/alphabet universe), so it is reported as unmappable rather than as
+// an error — the XPath semantics of querying a nonexistent tag is an
+// empty result, and a content search for a character outside the corpus
+// alphabet must simply not match.
+func (b *base) val(name string) (v gf.Elem, ok bool) {
+	v, err := b.m.Value(name)
+	if err != nil {
+		var unknown *mapping.UnknownNameError
+		if errors.As(err, &unknown) {
+			return 0, false
+		}
+	}
+	return v, true
+}
+
+// accept applies the selected test to one candidate.
+func (b *base) accept(pre int64, name string, test Test) (bool, error) {
+	v, ok := b.val(name)
+	if !ok {
+		return false, nil
+	}
+	if test == Equality {
+		return b.cli.Equals(pre, v)
+	}
+	return b.cli.Contains(pre, v)
+}
+
+// run wraps an engine body with counter snapshots and timing.
+func (b *base) run(body func() ([]int64, int64, error)) (Result, error) {
+	before := b.cli.Counters.Snapshot()
+	start := time.Now()
+	pres, visited, err := body()
+	elapsed := time.Since(start)
+	if err != nil {
+		return Result{}, err
+	}
+	d := b.cli.Counters.Snapshot().Sub(before)
+	sort.Slice(pres, func(i, j int) bool { return pres[i] < pres[j] })
+	return Result{
+		Pres: pres,
+		Stats: Stats{
+			Evaluations:     d.Evaluations,
+			Reconstructions: d.Reconstructions,
+			NodesFetched:    d.NodesFetched,
+			NodesVisited:    visited,
+			Elapsed:         elapsed,
+		},
+	}, nil
+}
+
+// checkPred reports whether any node satisfies the relative query qq from
+// context node ctx — used for predicate filtering by both engines (the
+// nested run reuses the engine's own step machinery).
+type predEvaluator interface {
+	evalRelative(ctx filter.NodeMeta, q *xpath.Query, test Test) (bool, error)
+}
+
+func applyPreds(b predEvaluator, q *xpath.Query, test Test, frontier []filter.NodeMeta) ([]int64, error) {
+	var out []int64
+	for _, n := range frontier {
+		keep := true
+		for _, p := range q.Preds {
+			ok, err := b.evalRelative(n, p, test)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, n.Pre)
+		}
+	}
+	return out, nil
+}
+
+func dedupMetas(ms []filter.NodeMeta) []filter.NodeMeta {
+	seen := make(map[int64]bool, len(ms))
+	out := ms[:0]
+	for _, m := range ms {
+		if !seen[m.Pre] {
+			seen[m.Pre] = true
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pre < out[j].Pre })
+	return out
+}

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"encshare/internal/filter"
+	"encshare/internal/mapping"
+	"encshare/internal/xpath"
+)
+
+// Simple is the SimpleQuery engine of §5.3: it processes the query one
+// step at a time, expanding the frontier along the step's axis and
+// filtering every candidate with a single test against the step's name.
+// The preliminary result set lives server-side in the paper (a Queue);
+// here it is the frontier slice, with the same cardinalities.
+type Simple struct {
+	base
+}
+
+// NewSimple builds a simple engine over a client filter and the secret
+// map.
+func NewSimple(cli *filter.Client, m *mapping.Map) *Simple {
+	return &Simple{base{cli: cli, m: m}}
+}
+
+// Name implements Engine.
+func (e *Simple) Name() string { return "simple" }
+
+// Run implements Engine.
+func (e *Simple) Run(q *xpath.Query, test Test) (Result, error) {
+	return e.run(func() ([]int64, int64, error) {
+		var visited int64
+		frontier, err := e.steps(nil, q.Steps, test, true, &visited)
+		if err != nil {
+			return nil, 0, err
+		}
+		pres, err := applyPreds(e, q, test, frontier)
+		return pres, visited, err
+	})
+}
+
+// evalRelative implements predEvaluator: true iff the relative query has
+// at least one match below ctx.
+func (e *Simple) evalRelative(ctx filter.NodeMeta, q *xpath.Query, test Test) (bool, error) {
+	var visited int64
+	frontier, err := e.steps([]filter.NodeMeta{ctx}, q.Steps, test, false, &visited)
+	if err != nil {
+		return false, err
+	}
+	return len(frontier) > 0, nil
+}
+
+// steps applies the step list to a frontier. fromRoot selects the virtual
+// document root as initial context.
+func (e *Simple) steps(frontier []filter.NodeMeta, steps []xpath.Step, test Test, fromRoot bool, visited *int64) ([]filter.NodeMeta, error) {
+	for i, s := range steps {
+		// Parent step: navigate up, no test.
+		if s.Name == xpath.ParentStep {
+			var parents []filter.NodeMeta
+			for _, n := range frontier {
+				if n.Parent == 0 {
+					continue // root has no parent
+				}
+				p, err := e.cli.Node(n.Parent)
+				if err != nil {
+					return nil, err
+				}
+				parents = append(parents, p)
+			}
+			frontier = dedupMetas(parents)
+			continue
+		}
+
+		// Expand candidates along the axis.
+		var cands []filter.NodeMeta
+		switch {
+		case s.Axis == xpath.Child && i == 0 && fromRoot:
+			// "The first slash instructs the search engine to locate the
+			// root node ... done in constant time" (indexed parent = 0).
+			root, err := e.cli.Root()
+			if err != nil {
+				return nil, err
+			}
+			cands = []filter.NodeMeta{root}
+		case s.Axis == xpath.Child:
+			for _, n := range frontier {
+				kids, err := e.cli.Children(n.Pre)
+				if err != nil {
+					return nil, err
+				}
+				cands = append(cands, kids...)
+			}
+		case s.Axis == xpath.Descendant && i == 0 && fromRoot:
+			root, err := e.cli.Root()
+			if err != nil {
+				return nil, err
+			}
+			desc, err := e.cli.Descendants(root.Pre, root.Post)
+			if err != nil {
+				return nil, err
+			}
+			cands = append([]filter.NodeMeta{root}, desc...)
+		case s.Axis == xpath.Descendant:
+			for _, n := range frontier {
+				desc, err := e.cli.Descendants(n.Pre, n.Post)
+				if err != nil {
+					return nil, err
+				}
+				cands = append(cands, desc...)
+			}
+			cands = dedupMetas(cands)
+		}
+
+		// Filter by the step's test.
+		if s.Name == xpath.Wildcard {
+			// "The * reduces the workload because no additional filtering
+			// is needed."
+			frontier = cands
+			continue
+		}
+		var kept []filter.NodeMeta
+		for _, c := range cands {
+			*visited++
+			ok, err := e.accept(c.Pre, s.Name, test)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, c)
+			}
+		}
+		frontier = kept
+	}
+	return frontier, nil
+}

@@ -1,0 +1,56 @@
+package filter
+
+import (
+	"sync"
+
+	"encshare/internal/ring"
+)
+
+// polyCache is a bounded map from pre values to decoded server-share
+// polynomials with cheap random-ish eviction (clock-free: evict an
+// arbitrary entry via map iteration order). Decoding a radix-q blob costs
+// dozens of big.Int divisions, so even a small cache pays off for the
+// repeated evaluations the engines issue against the same hot nodes.
+type polyCache struct {
+	mu   sync.Mutex
+	max  int
+	data map[int64]ring.Poly
+}
+
+func newPolyCache(max int) *polyCache {
+	if max < 0 {
+		max = 0
+	}
+	return &polyCache{max: max, data: make(map[int64]ring.Poly, max)}
+}
+
+func (c *polyCache) get(pre int64) (ring.Poly, bool) {
+	if c.max == 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.data[pre]
+	return p, ok
+}
+
+func (c *polyCache) put(pre int64, p ring.Poly) {
+	if c.max == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.data) >= c.max {
+		for k := range c.data {
+			delete(c.data, k)
+			break
+		}
+	}
+	c.data[pre] = p
+}
+
+func (c *polyCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.data)
+}

@@ -1,0 +1,323 @@
+// Package filter implements the paper's distributed filter architecture
+// (§5.2): a ServerFilter that operates on the stored server shares, a
+// ClientFilter that regenerates client shares from the seed and combines
+// evaluations, and the two tests the query engines build on:
+//
+//   - the containment test ("does tag N occur anywhere in this node's
+//     subtree?"): one server evaluation + one client evaluation, sum == 0;
+//   - the equality test ("is this node itself tag N?"): reconstruct the
+//     node polynomial and all children polynomials and check the first
+//     factor f(node) == (x − t)·Π f(child) — exact, but costs O(#children)
+//     reconstructions.
+//
+// The ClientFilter works against any ServerAPI: the in-process
+// ServerFilter or an rmi proxy, which is how the prototype splits work
+// over the network.
+package filter
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"encshare/internal/gf"
+	"encshare/internal/ring"
+	"encshare/internal/secshare"
+	"encshare/internal/store"
+)
+
+// NodeMeta is the structural information the client sees per node. The
+// polynomial share stays on the server unless an equality test demands it.
+type NodeMeta struct {
+	Pre    int64
+	Post   int64
+	Parent int64
+}
+
+// PolyRow couples a node position with its server share blob (for
+// equality-test reconstruction).
+type PolyRow struct {
+	Pre  int64
+	Poly []byte
+}
+
+// ServerAPI is the operation set the server exposes — the paper's Filter
+// interface as seen from the client.
+type ServerAPI interface {
+	// Root returns the document root (parent = 0).
+	Root() (NodeMeta, error)
+	// Node returns the metadata of the node at pre (for parent steps).
+	Node(pre int64) (NodeMeta, error)
+	// Children returns the children of the node at pre, in document order.
+	Children(pre int64) ([]NodeMeta, error)
+	// Descendants returns all proper descendants of (pre, post).
+	Descendants(pre, post int64) ([]NodeMeta, error)
+	// EvalAt evaluates the *server share* of the node at pre at the point,
+	// returning a field element.
+	EvalAt(pre int64, point gf.Elem) (gf.Elem, error)
+	// Poly returns the server share blob of the node at pre.
+	Poly(pre int64) (PolyRow, error)
+	// ChildrenPolys returns the share blobs of all children of pre.
+	ChildrenPolys(pre int64) ([]PolyRow, error)
+	// Count returns the number of stored nodes.
+	Count() (int64, error)
+}
+
+// ServerFilter implements ServerAPI directly against a store. It holds a
+// bounded cache of decoded polynomials (decoding a radix-q blob costs more
+// than an evaluation).
+type ServerFilter struct {
+	st    *store.Store
+	r     *ring.Ring
+	evals atomic.Int64
+
+	cache *polyCache
+}
+
+// NewServerFilter creates a server filter over st, with polynomials
+// decoded in ring r. cacheSize bounds the decoded-polynomial cache
+// (0 disables caching).
+func NewServerFilter(st *store.Store, r *ring.Ring, cacheSize int) *ServerFilter {
+	return &ServerFilter{st: st, r: r, cache: newPolyCache(cacheSize)}
+}
+
+// Evals returns the number of polynomial evaluations performed server-side.
+func (s *ServerFilter) Evals() int64 { return s.evals.Load() }
+
+func toMeta(rows []store.NodeRow) []NodeMeta {
+	out := make([]NodeMeta, len(rows))
+	for i, r := range rows {
+		out[i] = NodeMeta{Pre: r.Pre, Post: r.Post, Parent: r.Parent}
+	}
+	return out
+}
+
+// Root implements ServerAPI.
+func (s *ServerFilter) Root() (NodeMeta, error) {
+	row, err := s.st.Root()
+	if err != nil {
+		return NodeMeta{}, err
+	}
+	return NodeMeta{Pre: row.Pre, Post: row.Post, Parent: row.Parent}, nil
+}
+
+// Node implements ServerAPI.
+func (s *ServerFilter) Node(pre int64) (NodeMeta, error) {
+	row, err := s.st.Node(pre)
+	if err != nil {
+		return NodeMeta{}, err
+	}
+	return NodeMeta{Pre: row.Pre, Post: row.Post, Parent: row.Parent}, nil
+}
+
+// Children implements ServerAPI.
+func (s *ServerFilter) Children(pre int64) ([]NodeMeta, error) {
+	rows, err := s.st.Children(pre)
+	if err != nil {
+		return nil, err
+	}
+	return toMeta(rows), nil
+}
+
+// Descendants implements ServerAPI.
+func (s *ServerFilter) Descendants(pre, post int64) ([]NodeMeta, error) {
+	rows, err := s.st.Descendants(pre, post)
+	if err != nil {
+		return nil, err
+	}
+	return toMeta(rows), nil
+}
+
+func (s *ServerFilter) serverPoly(pre int64) (ring.Poly, error) {
+	if p, ok := s.cache.get(pre); ok {
+		return p, nil
+	}
+	row, err := s.st.Node(pre)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.r.FromBytes(row.Poly)
+	if err != nil {
+		return nil, fmt.Errorf("filter: decoding poly of %d: %w", pre, err)
+	}
+	s.cache.put(pre, p)
+	return p, nil
+}
+
+// EvalAt implements ServerAPI.
+func (s *ServerFilter) EvalAt(pre int64, point gf.Elem) (gf.Elem, error) {
+	p, err := s.serverPoly(pre)
+	if err != nil {
+		return 0, err
+	}
+	s.evals.Add(1)
+	return s.r.Eval(p, point), nil
+}
+
+// Poly implements ServerAPI.
+func (s *ServerFilter) Poly(pre int64) (PolyRow, error) {
+	row, err := s.st.Node(pre)
+	if err != nil {
+		return PolyRow{}, err
+	}
+	return PolyRow{Pre: row.Pre, Poly: row.Poly}, nil
+}
+
+// ChildrenPolys implements ServerAPI.
+func (s *ServerFilter) ChildrenPolys(pre int64) ([]PolyRow, error) {
+	rows, err := s.st.Children(pre)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]PolyRow, len(rows))
+	for i, r := range rows {
+		out[i] = PolyRow{Pre: r.Pre, Poly: r.Poly}
+	}
+	return out, nil
+}
+
+// Count implements ServerAPI.
+func (s *ServerFilter) Count() (int64, error) { return s.st.Count() }
+
+// Counters aggregates the client-side work metrics the experiments plot.
+type Counters struct {
+	// Evaluations counts containment point-tests: each is one server-share
+	// evaluation plus one client-share evaluation (the paper's
+	// "evaluations" in Fig. 5).
+	Evaluations atomic.Int64
+	// Reconstructions counts full polynomial reconstructions (client share
+	// + server share), the cost unit of the equality test.
+	Reconstructions atomic.Int64
+	// NodesFetched counts node metadata records retrieved from the server.
+	NodesFetched atomic.Int64
+}
+
+// Snapshot is a point-in-time copy of the counters.
+type Snapshot struct {
+	Evaluations     int64
+	Reconstructions int64
+	NodesFetched    int64
+}
+
+// Snapshot returns the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Evaluations:     c.Evaluations.Load(),
+		Reconstructions: c.Reconstructions.Load(),
+		NodesFetched:    c.NodesFetched.Load(),
+	}
+}
+
+// Sub returns s - o, the work done between two snapshots.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	return Snapshot{
+		Evaluations:     s.Evaluations - o.Evaluations,
+		Reconstructions: s.Reconstructions - o.Reconstructions,
+		NodesFetched:    s.NodesFetched - o.NodesFetched,
+	}
+}
+
+// Client is the paper's ClientFilter: it holds the secret (seed-derived
+// scheme plus tag map values) and drives a ServerAPI.
+type Client struct {
+	api    ServerAPI
+	scheme *secshare.Scheme
+	r      *ring.Ring
+
+	Counters Counters
+}
+
+// NewClient builds a client filter over any ServerAPI.
+func NewClient(api ServerAPI, scheme *secshare.Scheme) *Client {
+	return &Client{api: api, scheme: scheme, r: scheme.Ring()}
+}
+
+// Ring exposes the polynomial ring (for engines needing dimensions).
+func (c *Client) Ring() *ring.Ring { return c.r }
+
+// Root fetches the root node.
+func (c *Client) Root() (NodeMeta, error) {
+	m, err := c.api.Root()
+	if err == nil {
+		c.Counters.NodesFetched.Add(1)
+	}
+	return m, err
+}
+
+// Node fetches metadata of a single node by pre.
+func (c *Client) Node(pre int64) (NodeMeta, error) {
+	m, err := c.api.Node(pre)
+	if err == nil {
+		c.Counters.NodesFetched.Add(1)
+	}
+	return m, err
+}
+
+// Children fetches child metadata.
+func (c *Client) Children(pre int64) ([]NodeMeta, error) {
+	ms, err := c.api.Children(pre)
+	c.Counters.NodesFetched.Add(int64(len(ms)))
+	return ms, err
+}
+
+// Descendants fetches descendant metadata.
+func (c *Client) Descendants(pre, post int64) ([]NodeMeta, error) {
+	ms, err := c.api.Descendants(pre, post)
+	c.Counters.NodesFetched.Add(int64(len(ms)))
+	return ms, err
+}
+
+// Count returns the number of stored nodes.
+func (c *Client) Count() (int64, error) { return c.api.Count() }
+
+// Contains runs the containment test: true iff the subtree of the node at
+// pre contains a node mapped to val. Exactly one evaluation pair.
+func (c *Client) Contains(pre int64, val gf.Elem) (bool, error) {
+	sv, err := c.api.EvalAt(pre, val)
+	if err != nil {
+		return false, err
+	}
+	cv := c.scheme.EvalClientAt(uint64(pre), val)
+	c.Counters.Evaluations.Add(1)
+	return c.r.Field().Add(sv, cv) == 0, nil
+}
+
+// Reconstruct fetches the server share of pre and adds the regenerated
+// client share, yielding the true node polynomial.
+func (c *Client) Reconstruct(pre int64) (ring.Poly, error) {
+	row, err := c.api.Poly(pre)
+	if err != nil {
+		return nil, err
+	}
+	server, err := c.r.FromBytes(row.Poly)
+	if err != nil {
+		return nil, fmt.Errorf("filter: decoding poly of %d: %w", pre, err)
+	}
+	c.Counters.Reconstructions.Add(1)
+	return c.scheme.Reconstruct(server, uint64(pre)), nil
+}
+
+// Equals runs the strict equality test: true iff the node at pre is
+// itself mapped to val. Cost: 1 + #children reconstructions (paper §5.2:
+// "all the child nodes should be retrieved from the server and added to
+// the pseudorandomly generated client polynomials").
+func (c *Client) Equals(pre int64, val gf.Elem) (bool, error) {
+	full, err := c.Reconstruct(pre)
+	if err != nil {
+		return false, err
+	}
+	children, err := c.api.ChildrenPolys(pre)
+	if err != nil {
+		return false, err
+	}
+	prod := c.r.One()
+	for _, ch := range children {
+		server, err := c.r.FromBytes(ch.Poly)
+		if err != nil {
+			return false, fmt.Errorf("filter: decoding poly of %d: %w", ch.Pre, err)
+		}
+		c.Counters.Reconstructions.Add(1)
+		childFull := c.scheme.Reconstruct(server, uint64(ch.Pre))
+		prod = c.r.Mul(prod, childFull)
+	}
+	return c.r.Equal(full, c.r.MulLinear(prod, val)), nil
+}

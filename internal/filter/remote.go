@@ -1,0 +1,121 @@
+package filter
+
+import (
+	"encshare/internal/gf"
+	"encshare/internal/rmi"
+)
+
+// RMI method names of the filter service. Client proxy and server binding
+// must agree; they are part of the wire protocol.
+const (
+	methodRoot          = "filter.Root"
+	methodNode          = "filter.Node"
+	methodChildren      = "filter.Children"
+	methodDescendants   = "filter.Descendants"
+	methodEvalAt        = "filter.EvalAt"
+	methodPoly          = "filter.Poly"
+	methodChildrenPolys = "filter.ChildrenPolys"
+	methodCount         = "filter.Count"
+)
+
+type descArgs struct{ Pre, Post int64 }
+
+type evalArgs struct {
+	Pre   int64
+	Point gf.Elem
+}
+
+// RegisterServer exposes a ServerAPI (normally a *ServerFilter) on an rmi
+// server — the paper's server-side RMI endpoint.
+func RegisterServer(srv *rmi.Server, api ServerAPI) {
+	rmi.HandleFunc(srv, methodRoot, func(struct{}) (NodeMeta, error) {
+		return api.Root()
+	})
+	rmi.HandleFunc(srv, methodNode, func(pre int64) (NodeMeta, error) {
+		return api.Node(pre)
+	})
+	rmi.HandleFunc(srv, methodChildren, func(pre int64) ([]NodeMeta, error) {
+		return api.Children(pre)
+	})
+	rmi.HandleFunc(srv, methodDescendants, func(a descArgs) ([]NodeMeta, error) {
+		return api.Descendants(a.Pre, a.Post)
+	})
+	rmi.HandleFunc(srv, methodEvalAt, func(a evalArgs) (gf.Elem, error) {
+		return api.EvalAt(a.Pre, a.Point)
+	})
+	rmi.HandleFunc(srv, methodPoly, func(pre int64) (PolyRow, error) {
+		return api.Poly(pre)
+	})
+	rmi.HandleFunc(srv, methodChildrenPolys, func(pre int64) ([]PolyRow, error) {
+		return api.ChildrenPolys(pre)
+	})
+	rmi.HandleFunc(srv, methodCount, func(struct{}) (int64, error) {
+		return api.Count()
+	})
+}
+
+// Remote is a ServerAPI proxy over an rmi client connection.
+type Remote struct {
+	c *rmi.Client
+}
+
+var _ ServerAPI = (*Remote)(nil)
+
+// NewRemote wraps an rmi client as a ServerAPI.
+func NewRemote(c *rmi.Client) *Remote { return &Remote{c: c} }
+
+// Root implements ServerAPI.
+func (r *Remote) Root() (NodeMeta, error) {
+	var out NodeMeta
+	err := r.c.Call(methodRoot, struct{}{}, &out)
+	return out, err
+}
+
+// Node implements ServerAPI.
+func (r *Remote) Node(pre int64) (NodeMeta, error) {
+	var out NodeMeta
+	err := r.c.Call(methodNode, pre, &out)
+	return out, err
+}
+
+// Children implements ServerAPI.
+func (r *Remote) Children(pre int64) ([]NodeMeta, error) {
+	var out []NodeMeta
+	err := r.c.Call(methodChildren, pre, &out)
+	return out, err
+}
+
+// Descendants implements ServerAPI.
+func (r *Remote) Descendants(pre, post int64) ([]NodeMeta, error) {
+	var out []NodeMeta
+	err := r.c.Call(methodDescendants, descArgs{pre, post}, &out)
+	return out, err
+}
+
+// EvalAt implements ServerAPI.
+func (r *Remote) EvalAt(pre int64, point gf.Elem) (gf.Elem, error) {
+	var out gf.Elem
+	err := r.c.Call(methodEvalAt, evalArgs{pre, point}, &out)
+	return out, err
+}
+
+// Poly implements ServerAPI.
+func (r *Remote) Poly(pre int64) (PolyRow, error) {
+	var out PolyRow
+	err := r.c.Call(methodPoly, pre, &out)
+	return out, err
+}
+
+// ChildrenPolys implements ServerAPI.
+func (r *Remote) ChildrenPolys(pre int64) ([]PolyRow, error) {
+	var out []PolyRow
+	err := r.c.Call(methodChildrenPolys, pre, &out)
+	return out, err
+}
+
+// Count implements ServerAPI.
+func (r *Remote) Count() (int64, error) {
+	var out int64
+	err := r.c.Call(methodCount, struct{}{}, &out)
+	return out, err
+}

@@ -1,0 +1,338 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// testFields covers the paper's parameters (F_83, F_5 from the worked
+// example, F_29 from the trie sizing example) plus small extension fields.
+func testFields(t *testing.T) []*Field {
+	t.Helper()
+	params := []struct{ p, e uint32 }{
+		{2, 1}, {3, 1}, {5, 1}, {29, 1}, {83, 1}, {101, 1},
+		{2, 4}, {3, 2}, {3, 4}, {5, 3}, {7, 2},
+	}
+	out := make([]*Field, 0, len(params))
+	for _, pr := range params {
+		f, err := New(pr.p, pr.e)
+		if err != nil {
+			t.Fatalf("New(%d,%d): %v", pr.p, pr.e, err)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		p, e uint32
+	}{
+		{0, 1}, {1, 1}, {4, 1}, {6, 2}, {91, 1}, // non-prime p
+		{5, 0},       // zero degree
+		{2, 21},      // 2^21 > MaxQ
+		{1048583, 1}, // prime above MaxQ
+	}
+	for _, c := range cases {
+		if _, err := New(c.p, c.e); err == nil {
+			t.Errorf("New(%d,%d) unexpectedly succeeded", c.p, c.e)
+		}
+	}
+}
+
+func TestFieldOrder(t *testing.T) {
+	f := MustNew(3, 4)
+	if f.Q() != 81 {
+		t.Fatalf("Q = %d, want 81", f.Q())
+	}
+	if f.P() != 3 || f.E() != 4 {
+		t.Fatalf("P,E = %d,%d want 3,4", f.P(), f.E())
+	}
+	if got := MustNew(83, 1).Q(); got != 83 {
+		t.Fatalf("Q = %d, want 83", got)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := MustNew(83, 1).String(); s != "GF(83)" {
+		t.Errorf("String() = %q", s)
+	}
+	if s := MustNew(3, 2).String(); s != "GF(3^2)" {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestExhaustiveAxiomsSmall verifies the full field axioms exhaustively on
+// small fields where the triple loop is affordable.
+func TestExhaustiveAxiomsSmall(t *testing.T) {
+	for _, f := range []*Field{MustNew(5, 1), MustNew(2, 3), MustNew(3, 2), MustNew(7, 1)} {
+		q := f.Q()
+		for a := Elem(0); a < q; a++ {
+			for b := Elem(0); b < q; b++ {
+				if f.Add(a, b) != f.Add(b, a) {
+					t.Fatalf("%v: add not commutative at %d,%d", f, a, b)
+				}
+				if f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("%v: mul not commutative at %d,%d", f, a, b)
+				}
+				for c := Elem(0); c < q; c++ {
+					if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+						t.Fatalf("%v: add not associative", f)
+					}
+					if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+						t.Fatalf("%v: mul not associative", f)
+					}
+					if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+						t.Fatalf("%v: not distributive", f)
+					}
+				}
+			}
+			if f.Add(a, 0) != a || f.Mul(a, 1) != a {
+				t.Fatalf("%v: identity failure at %d", f, a)
+			}
+			if f.Add(a, f.Neg(a)) != 0 {
+				t.Fatalf("%v: additive inverse failure at %d", f, a)
+			}
+			if a != 0 {
+				if f.Mul(a, f.Inv(a)) != 1 {
+					t.Fatalf("%v: multiplicative inverse failure at %d", f, a)
+				}
+			}
+		}
+	}
+}
+
+// TestQuickFieldAxioms property-tests the axioms on the larger fields used
+// by the paper's experiments.
+func TestQuickFieldAxioms(t *testing.T) {
+	for _, f := range testFields(t) {
+		f := f
+		mod := func(x uint32) Elem { return x % f.Q() }
+		if err := quick.Check(func(x, y, z uint32) bool {
+			a, b, c := mod(x), mod(y), mod(z)
+			if f.Add(a, b) != f.Add(b, a) || f.Mul(a, b) != f.Mul(b, a) {
+				return false
+			}
+			if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+				return false
+			}
+			if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+				return false
+			}
+			if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+				return false
+			}
+			if f.Sub(a, b) != f.Add(a, f.Neg(b)) {
+				return false
+			}
+			if b != 0 && f.Mul(f.Div(a, b), b) != a {
+				return false
+			}
+			return true
+		}, nil); err != nil {
+			t.Errorf("%v: %v", f, err)
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	for _, f := range testFields(t) {
+		// Lagrange: a^q == a for all a; a^(q-1) == 1 for a != 0.
+		q := uint64(f.Q())
+		for _, a := range []Elem{0, 1, 2 % f.Q(), f.Q() - 1, f.Generator()} {
+			if got := f.Pow(a, q); got != a {
+				t.Errorf("%v: %d^q = %d, want %d", f, a, got, a)
+			}
+			if a != 0 {
+				if got := f.Pow(a, q-1); got != 1 {
+					t.Errorf("%v: %d^(q-1) = %d, want 1", f, a, got)
+				}
+			}
+		}
+		if f.Pow(0, 0) != 1 {
+			t.Errorf("%v: 0^0 != 1", f)
+		}
+	}
+}
+
+func TestGeneratorOrder(t *testing.T) {
+	for _, f := range testFields(t) {
+		g := f.Generator()
+		seen := make(map[Elem]bool)
+		x := Elem(1)
+		for i := uint32(0); i < f.Q()-1; i++ {
+			if seen[x] {
+				t.Fatalf("%v: generator %d has order < q-1", f, g)
+			}
+			seen[x] = true
+			x = f.Mul(x, g)
+		}
+		if x != 1 {
+			t.Fatalf("%v: g^(q-1) = %d != 1", f, x)
+		}
+	}
+}
+
+func TestElemsEnumeratesAll(t *testing.T) {
+	for _, f := range testFields(t) {
+		if f.Q() > 1<<12 {
+			continue
+		}
+		seen := make(map[Elem]bool)
+		f.Elems(func(a Elem) bool {
+			if seen[a] {
+				t.Fatalf("%v: duplicate element %d", f, a)
+			}
+			seen[a] = true
+			return true
+		})
+		if len(seen) != int(f.Q()) {
+			t.Fatalf("%v: enumerated %d elements, want %d", f, len(seen), f.Q())
+		}
+		// Early stop must be honored.
+		stopAt := min(3, int(f.Q()))
+		n := 0
+		f.Elems(func(Elem) bool { n++; return n < stopAt })
+		if n != stopAt {
+			t.Fatalf("%v: early stop visited %d, want %d", f, n, stopAt)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) did not panic")
+		}
+	}()
+	MustNew(5, 1).Inv(0)
+}
+
+func TestBitsPerElem(t *testing.T) {
+	if got := MustNew(83, 1).BitsPerElem(); got != 7 {
+		t.Errorf("BitsPerElem(83) = %d, want 7", got)
+	}
+	if got := MustNew(2, 4).BitsPerElem(); got != 4 {
+		t.Errorf("BitsPerElem(16) = %d, want 4", got)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := []uint32{2, 3, 5, 7, 11, 13, 29, 83, 101, 65537}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Errorf("isPrime(%d) = false", p)
+		}
+	}
+	composites := []uint32{0, 1, 4, 6, 9, 15, 21, 25, 49, 91, 65536}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Errorf("isPrime(%d) = true", c)
+		}
+	}
+}
+
+func TestPrimeFactors(t *testing.T) {
+	cases := []struct {
+		n    uint32
+		want []uint32
+	}{
+		{12, []uint32{2, 3}},
+		{82, []uint32{2, 41}}, // q-1 for F_83
+		{28, []uint32{2, 7}},  // q-1 for F_29
+		{7, []uint32{7}},
+		{1, nil},
+	}
+	for _, c := range cases {
+		got := primeFactors(c.n)
+		if len(got) != len(c.want) {
+			t.Errorf("primeFactors(%d) = %v, want %v", c.n, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("primeFactors(%d) = %v, want %v", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+// TestIrreducibleIsIrreducible validates the found modulus by brute force:
+// no polynomial of degree 1..e/2 divides it (checked via all products for
+// tiny fields, via root-freeness for degree-2/3 extensions).
+func TestIrreducibleBruteForce(t *testing.T) {
+	cases := []struct{ p, e uint32 }{{2, 2}, {2, 3}, {2, 4}, {3, 2}, {3, 3}, {5, 2}, {7, 2}}
+	for _, c := range cases {
+		m, err := findIrreducible(c.p, c.e)
+		if err != nil {
+			t.Fatalf("findIrreducible(%d,%d): %v", c.p, c.e, err)
+		}
+		if len(m) != int(c.e)+1 || m[c.e] != 1 {
+			t.Fatalf("findIrreducible(%d,%d) = %v: not monic degree e", c.p, c.e, m)
+		}
+		// For degree 2 and 3, irreducible <=> no roots in F_p.
+		if c.e <= 3 {
+			for r := uint32(0); r < c.p; r++ {
+				// evaluate m at r
+				v := uint64(0)
+				for i := len(m) - 1; i >= 0; i-- {
+					v = (v*uint64(r) + uint64(m[i])) % uint64(c.p)
+				}
+				if v == 0 {
+					t.Fatalf("findIrreducible(%d,%d) = %v has root %d", c.p, c.e, m, r)
+				}
+			}
+		}
+	}
+}
+
+func TestExtensionFieldFrobenius(t *testing.T) {
+	// In F_{p^e}, the Frobenius map a -> a^p is a field automorphism and
+	// fixes exactly the prime subfield.
+	f := MustNew(3, 3)
+	fixed := 0
+	f.Elems(func(a Elem) bool {
+		ap := f.Pow(a, uint64(f.P()))
+		b := f.Generator() // arbitrary second element
+		// additivity of Frobenius
+		if f.Pow(f.Add(a, b), uint64(f.P())) != f.Add(ap, f.Pow(b, uint64(f.P()))) {
+			t.Fatalf("Frobenius not additive at %d", a)
+		}
+		if ap == a {
+			fixed++
+		}
+		return true
+	})
+	if fixed != int(f.P()) {
+		t.Fatalf("Frobenius fixes %d elements, want %d", fixed, f.P())
+	}
+}
+
+func BenchmarkMulPrimeField(b *testing.B) {
+	f := MustNew(83, 1)
+	x, y := Elem(45), Elem(77)
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y) + 1%f.Q()
+		x %= f.Q()
+	}
+	_ = x
+}
+
+func BenchmarkMulExtensionField(b *testing.B) {
+	f := MustNew(3, 4)
+	x, y := Elem(45), Elem(77)
+	for i := 0; i < b.N; i++ {
+		x = f.Mul(x, y)
+		if x == 0 {
+			x = 1
+		}
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	f := MustNew(83, 1)
+	for i := 0; i < b.N; i++ {
+		_ = f.Inv(Elem(i%82) + 1)
+	}
+}

@@ -1,0 +1,196 @@
+package gf
+
+import "fmt"
+
+// This file finds monic irreducible polynomials over F_p to define the
+// extension field F_{p^e}. Polynomials here are coefficient slices over
+// F_p (c[0] + c[1] x + ...), independent of the packed Elem encoding.
+
+// findIrreducible returns a monic irreducible polynomial of degree e over
+// F_p as a coefficient slice of length e+1 (leading coefficient 1). The
+// search is deterministic (lexicographic over the non-leading
+// coefficients) so the same (p, e) always defines the same field.
+func findIrreducible(p, e uint32) ([]uint32, error) {
+	m := make([]uint32, e+1)
+	m[e] = 1
+	// Enumerate the p^e candidate lower-coefficient vectors in
+	// lexicographic order. Density of irreducibles is ~1/e so the search
+	// terminates quickly; q = p^e is bounded by MaxQ.
+	for {
+		if m[0] != 0 && isIrreducible(m, p) { // constant term 0 => divisible by x
+			return append([]uint32(nil), m...), nil
+		}
+		// Increment the vector m[0..e-1] as a base-p counter.
+		i := uint32(0)
+		for ; i < e; i++ {
+			m[i]++
+			if m[i] < p {
+				break
+			}
+			m[i] = 0
+		}
+		if i == e {
+			return nil, fmt.Errorf("gf: no irreducible polynomial of degree %d over F_%d (impossible)", e, p)
+		}
+	}
+}
+
+// isIrreducible applies Rabin's irreducibility test to the monic
+// polynomial m over F_p: m of degree e is irreducible iff
+// x^(p^e) == x (mod m) and gcd(x^(p^(e/r)) - x, m) == 1 for every prime
+// r dividing e.
+func isIrreducible(m []uint32, p uint32) bool {
+	e := uint32(len(m) - 1)
+	// x^(p^e) mod m must equal x.
+	xq := polyPowXP(m, p, e)
+	if !polyEqualX(xq, p) {
+		return false
+	}
+	for _, r := range primeFactors(e) {
+		h := polyPowXP(m, p, e/r) // x^(p^(e/r)) mod m
+		// g = h - x
+		g := append([]uint32(nil), h...)
+		for len(g) < 2 {
+			g = append(g, 0)
+		}
+		g[1] = submod(g[1], 1, p)
+		g = polyTrim(g)
+		if len(polyGCD(g, m, p)) != 1 { // gcd not a nonzero constant
+			return false
+		}
+	}
+	return true
+}
+
+// polyPowXP computes x^(p^k) mod m by repeated p-th powering.
+func polyPowXP(m []uint32, p, k uint32) []uint32 {
+	// start with x
+	cur := []uint32{0, 1}
+	for i := uint32(0); i < k; i++ {
+		cur = polyPowMod(cur, uint64(p), m, p)
+	}
+	return cur
+}
+
+// polyPowMod computes a^k mod m over F_p.
+func polyPowMod(a []uint32, k uint64, m []uint32, p uint32) []uint32 {
+	result := []uint32{1}
+	base := polyMod(a, m, p)
+	for k > 0 {
+		if k&1 == 1 {
+			result = polyMod(polyMul(result, base, p), m, p)
+		}
+		base = polyMod(polyMul(base, base, p), m, p)
+		k >>= 1
+	}
+	return result
+}
+
+func polyMul(a, b []uint32, p uint32) []uint32 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := make([]uint32, len(a)+len(b)-1)
+	p64 := uint64(p)
+	for i, ai := range a {
+		if ai == 0 {
+			continue
+		}
+		for j, bj := range b {
+			out[i+j] = uint32((uint64(out[i+j]) + uint64(ai)*uint64(bj)) % p64)
+		}
+	}
+	return polyTrim(out)
+}
+
+// polyMod reduces a modulo the monic polynomial m over F_p.
+func polyMod(a, m []uint32, p uint32) []uint32 {
+	r := append([]uint32(nil), a...)
+	dm := len(m) - 1
+	for len(r)-1 >= dm && len(r) > 0 {
+		d := len(r) - 1
+		c := r[d]
+		if c != 0 {
+			shift := d - dm
+			for i := 0; i <= dm; i++ {
+				// r[shift+i] -= c * m[i]
+				t := uint64(c) * uint64(m[i]) % uint64(p)
+				r[shift+i] = uint32((uint64(r[shift+i]) + uint64(p) - t) % uint64(p))
+			}
+		}
+		r = polyTrim(r[:d])
+	}
+	return polyTrim(r)
+}
+
+// polyGCD returns the monic gcd of a and b over F_p.
+func polyGCD(a, b []uint32, p uint32) []uint32 {
+	a = polyTrim(append([]uint32(nil), a...))
+	b = polyTrim(append([]uint32(nil), b...))
+	for len(b) > 0 {
+		a, b = b, polyModGeneric(a, b, p)
+	}
+	// normalize to monic
+	if len(a) > 0 && a[len(a)-1] != 1 {
+		inv := invmod(a[len(a)-1], p)
+		for i := range a {
+			a[i] = uint32(uint64(a[i]) * uint64(inv) % uint64(p))
+		}
+	}
+	return a
+}
+
+// polyModGeneric reduces a mod b where b need not be monic.
+func polyModGeneric(a, b []uint32, p uint32) []uint32 {
+	r := append([]uint32(nil), a...)
+	db := len(b) - 1
+	lcInv := invmod(b[db], p)
+	for len(r)-1 >= db && len(r) > 0 {
+		d := len(r) - 1
+		c := uint32(uint64(r[d]) * uint64(lcInv) % uint64(p))
+		if c != 0 {
+			shift := d - db
+			for i := 0; i <= db; i++ {
+				t := uint64(c) * uint64(b[i]) % uint64(p)
+				r[shift+i] = uint32((uint64(r[shift+i]) + uint64(p) - t) % uint64(p))
+			}
+		}
+		r = polyTrim(r[:d])
+	}
+	return polyTrim(r)
+}
+
+func polyTrim(a []uint32) []uint32 {
+	for len(a) > 0 && a[len(a)-1] == 0 {
+		a = a[:len(a)-1]
+	}
+	return a
+}
+
+// polyEqualX reports whether a (trimmed) equals the polynomial x.
+func polyEqualX(a []uint32, p uint32) bool {
+	a = polyTrim(a)
+	return len(a) == 2 && a[0] == 0 && a[1] == 1
+}
+
+func submod(a, b, p uint32) uint32 {
+	if a >= b {
+		return a - b
+	}
+	return a + p - b
+}
+
+// invmod inverts a nonzero residue mod prime p via Fermat.
+func invmod(a, p uint32) uint32 {
+	result := uint64(1)
+	base := uint64(a % p)
+	k := p - 2
+	for k > 0 {
+		if k&1 == 1 {
+			result = result * base % uint64(p)
+		}
+		base = base * base % uint64(p)
+		k >>= 1
+	}
+	return uint32(result)
+}

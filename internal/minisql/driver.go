@@ -1,0 +1,155 @@
+package minisql
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// DriverName is the name this package registers with database/sql.
+const DriverName = "minisql"
+
+func init() {
+	sql.Register(DriverName, &Driver{})
+}
+
+// Driver implements database/sql/driver.Driver. The DSN is a database
+// name in the process-global registry: connections with equal DSNs share
+// one database, like connections to the same MySQL schema.
+type Driver struct{}
+
+// Open returns a connection to the database named by the DSN.
+func (Driver) Open(dsn string) (driver.Conn, error) {
+	if dsn == "" {
+		return nil, errors.New("minisql: empty DSN; use a database name (see FreshDSN)")
+	}
+	return &conn{db: Get(dsn)}, nil
+}
+
+type conn struct {
+	db *DB
+}
+
+var (
+	_ driver.Conn           = (*conn)(nil)
+	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+)
+
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	// Validate eagerly so Prepare reports syntax errors like a real DB.
+	_, nparams, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmtHandle{db: c.db, query: query, nparams: nparams}, nil
+}
+
+func (c *conn) Close() error { return nil }
+
+// Begin returns a pass-through transaction: minisql applies each statement
+// atomically under the database lock but has no rollback journal, which is
+// all the paper's single-writer encoder needs.
+func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+
+type noopTx struct{}
+
+func (noopTx) Commit() error   { return nil }
+func (noopTx) Rollback() error { return errors.New("minisql: rollback not supported") }
+
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cols, rows, err := c.db.Query(query, namedToValues(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return &resultRows{cols: cols, rows: rows}, nil
+}
+
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n, err := c.db.Exec(query, namedToValues(args)...)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{affected: n}, nil
+}
+
+func namedToValues(args []driver.NamedValue) []Value {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		out[i] = Value(a.Value)
+	}
+	return out
+}
+
+type stmtHandle struct {
+	db      *DB
+	query   string
+	nparams int
+}
+
+func (s *stmtHandle) Close() error  { return nil }
+func (s *stmtHandle) NumInput() int { return s.nparams }
+
+func (s *stmtHandle) Exec(args []driver.Value) (driver.Result, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = Value(a)
+	}
+	n, err := s.db.Exec(s.query, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return execResult{affected: n}, nil
+}
+
+func (s *stmtHandle) Query(args []driver.Value) (driver.Rows, error) {
+	vals := make([]Value, len(args))
+	for i, a := range args {
+		vals[i] = Value(a)
+	}
+	cols, rows, err := s.db.Query(s.query, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &resultRows{cols: cols, rows: rows}, nil
+}
+
+type execResult struct{ affected int64 }
+
+func (r execResult) LastInsertId() (int64, error) {
+	return 0, errors.New("minisql: LastInsertId not supported")
+}
+func (r execResult) RowsAffected() (int64, error) { return r.affected, nil }
+
+type resultRows struct {
+	cols []string
+	rows [][]Value
+	pos  int
+}
+
+func (r *resultRows) Columns() []string { return r.cols }
+func (r *resultRows) Close() error      { return nil }
+
+func (r *resultRows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.rows) {
+		return io.EOF
+	}
+	row := r.rows[r.pos]
+	r.pos++
+	if len(dest) != len(row) {
+		return fmt.Errorf("minisql: destination has %d slots for %d columns", len(dest), len(row))
+	}
+	for i, v := range row {
+		dest[i] = driver.Value(v)
+	}
+	return nil
+}

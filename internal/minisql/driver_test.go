@@ -1,0 +1,256 @@
+package minisql
+
+import (
+	"bytes"
+	"context"
+	"database/sql"
+	"sync"
+	"testing"
+)
+
+func openSQL(t *testing.T) *sql.DB {
+	t.Helper()
+	dsn := FreshDSN()
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		db.Close()
+		Drop(dsn)
+	})
+	return db
+}
+
+func TestDriverEndToEnd(t *testing.T) {
+	db := openSQL(t)
+	if _, err := db.Exec(`CREATE TABLE nodes (
+		pre BIGINT PRIMARY KEY, post BIGINT NOT NULL,
+		parent BIGINT NOT NULL, poly BLOB)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX idx_parent ON nodes (parent)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO nodes VALUES (?, ?, ?, ?)", int64(1), int64(3), int64(0), []byte{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("RowsAffected = %d", n)
+	}
+	if _, err := db.Exec("INSERT INTO nodes VALUES (2, 1, 1, ?), (3, 2, 1, ?)", []byte{1}, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+
+	rows, err := db.Query("SELECT pre, poly FROM nodes WHERE parent = ? ORDER BY pre", int64(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var got []int64
+	for rows.Next() {
+		var pre int64
+		var poly []byte
+		if err := rows.Scan(&pre, &poly); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, pre)
+		if len(poly) != 1 {
+			t.Fatalf("poly = %v", poly)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("children = %v", got)
+	}
+
+	var count int64
+	if err := db.QueryRow("SELECT COUNT(*) FROM nodes").Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestDriverPreparedStatements(t *testing.T) {
+	db := openSQL(t)
+	if _, err := db.Exec("CREATE TABLE t (a BIGINT PRIMARY KEY, b BLOB)"); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO t VALUES (?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	for i := int64(0); i < 100; i++ {
+		if _, err := ins.Exec(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	get, err := db.Prepare("SELECT b FROM t WHERE a = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Close()
+	for i := int64(0); i < 100; i += 7 {
+		var b []byte
+		if err := get.QueryRow(i).Scan(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b, []byte{byte(i)}) {
+			t.Fatalf("row %d: b = %v", i, b)
+		}
+	}
+}
+
+func TestDriverPrepareSyntaxError(t *testing.T) {
+	db := openSQL(t)
+	if _, err := db.Prepare("SELEKT 1"); err == nil {
+		t.Fatal("Prepare accepted bad SQL")
+	}
+}
+
+func TestDriverSharedDSN(t *testing.T) {
+	dsn := FreshDSN()
+	defer Drop(dsn)
+	a, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := a.Exec("CREATE TABLE shared (x BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Exec("INSERT INTO shared VALUES (42)"); err != nil {
+		t.Fatal(err)
+	}
+	var x int64
+	if err := b.QueryRow("SELECT x FROM shared").Scan(&x); err != nil {
+		t.Fatal(err)
+	}
+	if x != 42 {
+		t.Fatalf("x = %d", x)
+	}
+}
+
+func TestDriverEmptyDSNRejected(t *testing.T) {
+	db, err := sql.Open(DriverName, "")
+	if err != nil {
+		t.Fatal(err) // sql.Open defers connection establishment
+	}
+	defer db.Close()
+	if err := db.Ping(); err == nil {
+		t.Fatal("empty DSN accepted")
+	}
+}
+
+func TestDriverConcurrentReaders(t *testing.T) {
+	db := openSQL(t)
+	if _, err := db.Exec("CREATE TABLE t (a BIGINT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1000; i++ {
+		if _, err := db.Exec("INSERT INTO t VALUES (?)", i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				var n int64
+				err := db.QueryRow("SELECT COUNT(*) FROM t WHERE a >= ?", int64(g*10)).Scan(&n)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != int64(1000-g*10) {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestDriverContextCancelled(t *testing.T) {
+	db := openSQL(t)
+	if _, err := db.Exec("CREATE TABLE t (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.QueryContext(ctx, "SELECT a FROM t"); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+func BenchmarkDriverInsert(b *testing.B) {
+	dsn := FreshDSN()
+	defer Drop(dsn)
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (a BIGINT PRIMARY KEY, b BLOB)"); err != nil {
+		b.Fatal(err)
+	}
+	ins, err := db.Prepare("INSERT INTO t VALUES (?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	blob := make([]byte, 66) // one F_83 polynomial
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ins.Exec(int64(i), blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDriverPointQuery(b *testing.B) {
+	dsn := FreshDSN()
+	defer Drop(dsn)
+	db, err := sql.Open(DriverName, dsn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec("CREATE TABLE t (a BIGINT PRIMARY KEY, b BLOB)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := db.Exec("INSERT INTO t VALUES (?, ?)", int64(i), []byte{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	get, err := db.Prepare("SELECT b FROM t WHERE a = ?")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var blob []byte
+		if err := get.QueryRow(int64(i % 10000)).Scan(&blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

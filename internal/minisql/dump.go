@@ -1,0 +1,146 @@
+package minisql
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Persistence: Dump serializes a whole database (schema + rows) with gob;
+// Load restores it, rebuilding all indexes. This is how the CLI tools
+// hand an encoded database from encshare-encode to encshare-server, the
+// way the paper's MySQLEncode fills a MySQL instance the server later
+// queries.
+
+type dumpFile struct {
+	Magic   string
+	Version int
+	Tables  []dumpTable
+}
+
+type dumpTable struct {
+	Name    string
+	Cols    []Column
+	Rows    [][]Value
+	Indexes []dumpIndex
+}
+
+type dumpIndex struct {
+	Name   string
+	Col    string
+	Unique bool
+}
+
+const (
+	dumpMagic   = "minisql-dump"
+	dumpVersion = 1
+)
+
+func init() {
+	// Concrete types that may appear inside the Value interface.
+	gob.Register(int64(0))
+	gob.Register(float64(0))
+	gob.Register("")
+	gob.Register([]byte(nil))
+}
+
+// Dump writes the database content to w.
+func (db *DB) Dump(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	df := dumpFile{Magic: dumpMagic, Version: dumpVersion}
+	for _, name := range db.tableNamesLocked() {
+		t := db.tables[name]
+		dt := dumpTable{Name: t.name, Cols: t.cols}
+		for _, row := range t.rows {
+			if row != nil {
+				dt.Rows = append(dt.Rows, row)
+			}
+		}
+		for _, ix := range t.indexes {
+			if strings.HasPrefix(ix.name, "pk_") {
+				continue // recreated from the PRIMARY KEY column flag
+			}
+			dt.Indexes = append(dt.Indexes, dumpIndex{
+				Name: ix.name, Col: t.cols[ix.col].Name, Unique: ix.unique,
+			})
+		}
+		df.Tables = append(df.Tables, dt)
+	}
+	if err := gob.NewEncoder(w).Encode(df); err != nil {
+		return fmt.Errorf("minisql: dump: %w", err)
+	}
+	return nil
+}
+
+func (db *DB) tableNamesLocked() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	// Deterministic dump order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Load replaces the database content with the dump read from r.
+func (db *DB) Load(r io.Reader) error {
+	var df dumpFile
+	if err := gob.NewDecoder(r).Decode(&df); err != nil {
+		return fmt.Errorf("minisql: load: %w", err)
+	}
+	if df.Magic != dumpMagic {
+		return fmt.Errorf("minisql: load: not a minisql dump")
+	}
+	if df.Version != dumpVersion {
+		return fmt.Errorf("minisql: load: unsupported dump version %d", df.Version)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables = map[string]*Table{}
+	for _, dt := range df.Tables {
+		t := &Table{name: dt.Name, cols: dt.Cols, colIdx: map[string]int{}}
+		for i, c := range t.cols {
+			t.colIdx[strings.ToLower(c.Name)] = i
+		}
+		for i, c := range t.cols {
+			if c.PrimaryKey {
+				t.indexes = append(t.indexes, &index{name: "pk_" + t.name, col: i, unique: true})
+			}
+		}
+		for _, di := range dt.Indexes {
+			ci, ok := t.colIdx[strings.ToLower(di.Col)]
+			if !ok {
+				return fmt.Errorf("minisql: load: index %q references unknown column %q", di.Name, di.Col)
+			}
+			t.indexes = append(t.indexes, &index{name: di.Name, col: ci, unique: di.Unique})
+		}
+		t.rows = dt.Rows
+		t.live = len(dt.Rows)
+		for rowid, row := range t.rows {
+			if len(row) != len(t.cols) {
+				return fmt.Errorf("minisql: load: table %q row %d has %d cells for %d columns", t.name, rowid, len(row), len(t.cols))
+			}
+			for _, ix := range t.indexes {
+				if row[ix.col] == nil {
+					continue
+				}
+				key, ok := row[ix.col].(int64)
+				if !ok {
+					return fmt.Errorf("minisql: load: non-integer value in indexed column %q", t.cols[ix.col].Name)
+				}
+				if ix.unique && anyWithKey(&ix.tree, key) {
+					return fmt.Errorf("minisql: load: duplicate key %d in unique index %q", key, ix.name)
+				}
+				ix.tree.Insert(key, int64(rowid))
+			}
+		}
+		db.tables[t.name] = t
+	}
+	return nil
+}

@@ -1,0 +1,773 @@
+package minisql
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"encshare/internal/btree"
+)
+
+// Exec parses and executes a non-SELECT statement, returning the number of
+// affected rows.
+func (db *DB) Exec(query string, args ...Value) (int64, error) {
+	s, nparams, err := parse(query)
+	if err != nil {
+		return 0, err
+	}
+	if nparams != len(args) {
+		return 0, fmt.Errorf("minisql: statement has %d parameters, got %d args", nparams, len(args))
+	}
+	switch st := s.(type) {
+	case *createTableStmt:
+		return 0, db.execCreateTable(st)
+	case *createIndexStmt:
+		return 0, db.execCreateIndex(st)
+	case *dropTableStmt:
+		return 0, db.execDropTable(st)
+	case *insertStmt:
+		return db.execInsert(st, args)
+	case *updateStmt:
+		return db.execUpdate(st, args)
+	case *deleteStmt:
+		return db.execDelete(st, args)
+	case *selectStmt:
+		return 0, fmt.Errorf("minisql: use Query for SELECT")
+	}
+	return 0, fmt.Errorf("minisql: unsupported statement %T", s)
+}
+
+// Query parses and executes a SELECT, returning column names and all
+// result rows (materialized).
+func (db *DB) Query(query string, args ...Value) ([]string, [][]Value, error) {
+	s, nparams, err := parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := s.(*selectStmt)
+	if !ok {
+		return nil, nil, fmt.Errorf("minisql: Query requires SELECT")
+	}
+	if nparams != len(args) {
+		return nil, nil, fmt.Errorf("minisql: statement has %d parameters, got %d args", nparams, len(args))
+	}
+	return db.execSelect(sel, args)
+}
+
+func (e expr) resolve(args []Value) Value {
+	if e.isParam {
+		return args[e.ordinal]
+	}
+	return e.val
+}
+
+// ---- DDL ----
+
+func (db *DB) execCreateTable(st *createTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToLower(st.table)
+	if _, exists := db.tables[name]; exists {
+		return fmt.Errorf("minisql: table %q already exists", st.table)
+	}
+	t := &Table{name: name, cols: st.cols, colIdx: map[string]int{}}
+	for i, c := range st.cols {
+		lc := strings.ToLower(c.Name)
+		if _, dup := t.colIdx[lc]; dup {
+			return fmt.Errorf("minisql: duplicate column %q", c.Name)
+		}
+		t.colIdx[lc] = i
+		t.cols[i].Name = lc
+	}
+	for i, c := range t.cols {
+		if c.PrimaryKey {
+			if c.Type != TInt {
+				return fmt.Errorf("minisql: PRIMARY KEY column %q must be an integer type", c.Name)
+			}
+			t.indexes = append(t.indexes, &index{name: "pk_" + name, col: i, unique: true})
+		}
+	}
+	db.tables[name] = t
+	return nil
+}
+
+func (db *DB) execCreateIndex(st *createIndexStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(st.table)
+	if err != nil {
+		return err
+	}
+	ci, err := t.column(st.col)
+	if err != nil {
+		return err
+	}
+	if t.cols[ci].Type != TInt {
+		return fmt.Errorf("minisql: index %q: only integer columns can be indexed", st.name)
+	}
+	for _, ix := range t.indexes {
+		if ix.name == strings.ToLower(st.name) {
+			return fmt.Errorf("minisql: index %q already exists", st.name)
+		}
+	}
+	ix := &index{name: strings.ToLower(st.name), col: ci, unique: st.unique}
+	for rowid, row := range t.rows {
+		if row == nil || row[ci] == nil {
+			continue
+		}
+		key := row[ci].(int64)
+		if st.unique && anyWithKey(&ix.tree, key) {
+			return fmt.Errorf("minisql: cannot create unique index %q: duplicate value %d", st.name, key)
+		}
+		ix.tree.Insert(key, int64(rowid))
+	}
+	t.indexes = append(t.indexes, ix)
+	return nil
+}
+
+func anyWithKey(tr *btreeTree, key int64) bool {
+	found := false
+	tr.AscendRange(key, key, func(btreeEntry) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+func (db *DB) execDropTable(st *dropTableStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	name := strings.ToLower(st.table)
+	if _, ok := db.tables[name]; !ok {
+		return fmt.Errorf("minisql: no such table %q", st.table)
+	}
+	delete(db.tables, name)
+	return nil
+}
+
+// ---- DML ----
+
+func (db *DB) execInsert(st *insertStmt, args []Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(st.table)
+	if err != nil {
+		return 0, err
+	}
+	// Column ordinal list for the VALUES tuples.
+	ordinals := make([]int, 0, len(t.cols))
+	if len(st.cols) == 0 {
+		for i := range t.cols {
+			ordinals = append(ordinals, i)
+		}
+	} else {
+		for _, c := range st.cols {
+			ci, err := t.column(c)
+			if err != nil {
+				return 0, err
+			}
+			ordinals = append(ordinals, ci)
+		}
+	}
+	var inserted int64
+	for _, tuple := range st.rows {
+		if len(tuple) != len(ordinals) {
+			return inserted, fmt.Errorf("minisql: INSERT has %d values for %d columns", len(tuple), len(ordinals))
+		}
+		row := make([]Value, len(t.cols))
+		for k, e := range tuple {
+			ci := ordinals[k]
+			v, err := coerce(e.resolve(args), t.cols[ci].Type)
+			if err != nil {
+				return inserted, fmt.Errorf("minisql: column %q: %w", t.cols[ci].Name, err)
+			}
+			row[ci] = v
+		}
+		for ci, c := range t.cols {
+			if c.NotNull && row[ci] == nil {
+				return inserted, fmt.Errorf("minisql: column %q is NOT NULL", c.Name)
+			}
+		}
+		// Unique checks before any mutation.
+		for _, ix := range t.indexes {
+			if ix.unique && row[ix.col] != nil && anyWithKey(&ix.tree, row[ix.col].(int64)) {
+				return inserted, fmt.Errorf("minisql: duplicate key %d for unique index %q", row[ix.col], ix.name)
+			}
+		}
+		rowid := int64(len(t.rows))
+		t.rows = append(t.rows, row)
+		t.live++
+		for _, ix := range t.indexes {
+			if row[ix.col] != nil {
+				ix.tree.Insert(row[ix.col].(int64), rowid)
+			}
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+func (db *DB) execUpdate(st *updateStmt, args []Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(st.table)
+	if err != nil {
+		return 0, err
+	}
+	sets := make([]struct {
+		col int
+		val Value
+	}, len(st.sets))
+	for i, s := range st.sets {
+		ci, err := t.column(s.col)
+		if err != nil {
+			return 0, err
+		}
+		v, err := coerce(s.val.resolve(args), t.cols[ci].Type)
+		if err != nil {
+			return 0, fmt.Errorf("minisql: column %q: %w", s.col, err)
+		}
+		if t.cols[ci].NotNull && v == nil {
+			return 0, fmt.Errorf("minisql: column %q is NOT NULL", s.col)
+		}
+		sets[i].col, sets[i].val = ci, v
+	}
+	plan, err := t.plan(st.where, args)
+	if err != nil {
+		return 0, err
+	}
+	var targets []int64
+	plan.scan(t, func(rowid int64, _ []Value) bool {
+		targets = append(targets, rowid)
+		return true
+	})
+	for _, rowid := range targets {
+		row := t.rows[rowid]
+		for _, s := range sets {
+			// Unique check against other rows.
+			for _, ix := range t.indexes {
+				if ix.unique && ix.col == s.col && s.val != nil {
+					dup := false
+					ix.tree.AscendRange(s.val.(int64), s.val.(int64), func(e btreeEntry) bool {
+						if e.Row != rowid {
+							dup = true
+						}
+						return !dup
+					})
+					if dup {
+						return 0, fmt.Errorf("minisql: duplicate key %d for unique index %q", s.val, ix.name)
+					}
+				}
+			}
+			old := row[s.col]
+			if old == nil && s.val == nil {
+				continue
+			}
+			for _, ix := range t.indexes {
+				if ix.col != s.col {
+					continue
+				}
+				if old != nil {
+					ix.tree.Delete(old.(int64), rowid)
+				}
+				if s.val != nil {
+					ix.tree.Insert(s.val.(int64), rowid)
+				}
+			}
+			row[s.col] = s.val
+		}
+	}
+	return int64(len(targets)), nil
+}
+
+func (db *DB) execDelete(st *deleteStmt, args []Value) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.table(st.table)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := t.plan(st.where, args)
+	if err != nil {
+		return 0, err
+	}
+	var targets []int64
+	plan.scan(t, func(rowid int64, _ []Value) bool {
+		targets = append(targets, rowid)
+		return true
+	})
+	for _, rowid := range targets {
+		row := t.rows[rowid]
+		for _, ix := range t.indexes {
+			if row[ix.col] != nil {
+				ix.tree.Delete(row[ix.col].(int64), rowid)
+			}
+		}
+		t.rows[rowid] = nil
+		t.live--
+	}
+	return int64(len(targets)), nil
+}
+
+// ---- SELECT ----
+
+func (db *DB) execSelect(st *selectStmt, args []Value) ([]string, [][]Value, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(st.table)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := t.plan(st.where, args)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Aggregate query? (no mixing of aggregates and plain columns)
+	nAgg := 0
+	for _, it := range st.items {
+		if it.agg != "" {
+			nAgg++
+		}
+	}
+	if nAgg > 0 {
+		if nAgg != len(st.items) {
+			return nil, nil, fmt.Errorf("minisql: cannot mix aggregates and columns")
+		}
+		return t.execAggregates(st, plan)
+	}
+
+	// Projection ordinals and column names.
+	var ordinals []int
+	var names []string
+	for _, it := range st.items {
+		if it.star {
+			for i, c := range t.cols {
+				ordinals = append(ordinals, i)
+				names = append(names, c.Name)
+			}
+			continue
+		}
+		ci, err := t.column(it.col)
+		if err != nil {
+			return nil, nil, err
+		}
+		ordinals = append(ordinals, ci)
+		names = append(names, t.cols[ci].Name)
+	}
+
+	var orderCol = -1
+	if st.orderBy != "" {
+		if orderCol, err = t.column(st.orderBy); err != nil {
+			return nil, nil, err
+		}
+	}
+	// The index scan already yields ascending order on the index column.
+	sorted := orderCol == -1 ||
+		(plan.idx != nil && plan.idx.col == orderCol && !st.desc)
+
+	// Fast path: already sorted (or no ordering), apply OFFSET/LIMIT while
+	// streaming.
+	var out [][]Value
+	if sorted {
+		skip := st.offset
+		plan.scan(t, func(_ int64, row []Value) bool {
+			if skip > 0 {
+				skip--
+				return true
+			}
+			out = append(out, project(row, ordinals))
+			return st.limit < 0 || int64(len(out)) < st.limit
+		})
+		return names, out, nil
+	}
+
+	// General path: materialize matches, sort, then slice.
+	type keyed struct {
+		key Value
+		row []Value
+	}
+	var all []keyed
+	plan.scan(t, func(_ int64, row []Value) bool {
+		all = append(all, keyed{row[orderCol], project(row, ordinals)})
+		return true
+	})
+	sort.SliceStable(all, func(i, j int) bool {
+		c := compareValues(all[i].key, all[j].key)
+		if st.desc {
+			return c > 0
+		}
+		return c < 0
+	})
+	lo := st.offset
+	if lo > int64(len(all)) {
+		lo = int64(len(all))
+	}
+	hi := int64(len(all))
+	if st.limit >= 0 && lo+st.limit < hi {
+		hi = lo + st.limit
+	}
+	for _, k := range all[lo:hi] {
+		out = append(out, k.row)
+	}
+	return names, out, nil
+}
+
+func project(row []Value, ordinals []int) []Value {
+	out := make([]Value, len(ordinals))
+	for i, ci := range ordinals {
+		out[i] = row[ci]
+	}
+	return out
+}
+
+func (t *Table) execAggregates(st *selectStmt, plan *scanPlan) ([]string, [][]Value, error) {
+	type accum struct {
+		agg   string
+		col   int // -1 for COUNT(*)
+		count int64
+		sumI  int64
+		sumF  float64
+		isF   bool
+		min   Value
+		max   Value
+	}
+	accums := make([]accum, len(st.items))
+	names := make([]string, len(st.items))
+	for i, it := range st.items {
+		accums[i].agg = it.agg
+		accums[i].col = -1
+		if it.col != "" {
+			ci, err := t.column(it.col)
+			if err != nil {
+				return nil, nil, err
+			}
+			accums[i].col = ci
+			names[i] = fmt.Sprintf("%s(%s)", it.agg, t.cols[ci].Name)
+		} else {
+			names[i] = "count(*)"
+		}
+	}
+
+	// Loose-index-scan optimization: a lone MIN(c) where the plan scans
+	// the index on c ascending can stop at the first row passing the
+	// residual predicates. This is what makes the store's descendant
+	// boundary query O(subtree) instead of O(table).
+	minEarlyStop := len(accums) == 1 && accums[0].agg == "min" &&
+		plan.idx != nil && plan.idx.col == accums[0].col
+
+	plan.scan(t, func(_ int64, row []Value) bool {
+		for i := range accums {
+			a := &accums[i]
+			var v Value
+			if a.col >= 0 {
+				v = row[a.col]
+				if v == nil {
+					continue // SQL aggregates skip NULLs
+				}
+			}
+			switch a.agg {
+			case "count":
+				a.count++
+			case "sum":
+				a.count++
+				switch x := v.(type) {
+				case int64:
+					a.sumI += x
+				case float64:
+					a.isF = true
+					a.sumF += x
+				default:
+					a.isF = true
+					a.sumF = math.NaN()
+				}
+			case "min":
+				if a.min == nil || compareValues(v, a.min) < 0 {
+					a.min = v
+				}
+				a.count++
+			case "max":
+				if a.max == nil || compareValues(v, a.max) > 0 {
+					a.max = v
+				}
+				a.count++
+			}
+		}
+		if minEarlyStop {
+			return false
+		}
+		return true
+	})
+
+	row := make([]Value, len(accums))
+	for i := range accums {
+		a := &accums[i]
+		switch a.agg {
+		case "count":
+			row[i] = a.count
+		case "sum":
+			if a.count == 0 {
+				row[i] = nil
+			} else if a.isF {
+				row[i] = a.sumF + float64(a.sumI)
+			} else {
+				row[i] = a.sumI
+			}
+		case "min":
+			row[i] = a.min
+		case "max":
+			row[i] = a.max
+		}
+	}
+	return names, [][]Value{row}, nil
+}
+
+// ---- planner ----
+
+// scanPlan describes how to enumerate candidate rows: over an index key
+// range, or a full table scan; residual predicates filter either way.
+type scanPlan struct {
+	idx      *index
+	lo, hi   int64 // inclusive key bounds when idx != nil
+	residual []resolvedPred
+	empty    bool // provably empty (contradictory bounds)
+}
+
+type resolvedPred struct {
+	col  int
+	op   predOp
+	a, b Value
+}
+
+// Aliases keep the btree package out of most signatures here.
+type (
+	btreeEntry = btree.Entry
+	btreeTree  = btree.Tree
+)
+
+// plan resolves predicate parameters and chooses an index.
+func (t *Table) plan(where []pred, args []Value) (*scanPlan, error) {
+	resolved := make([]resolvedPred, 0, len(where))
+	for _, pr := range where {
+		ci, err := t.column(pr.col)
+		if err != nil {
+			return nil, err
+		}
+		rp := resolvedPred{col: ci, op: pr.op}
+		switch pr.op {
+		case opIsNull, opIsNotNull:
+		case opBetween:
+			if rp.a, err = coerce(pr.a.resolve(args), t.cols[ci].Type); err != nil {
+				return nil, err
+			}
+			if rp.b, err = coerce(pr.b.resolve(args), t.cols[ci].Type); err != nil {
+				return nil, err
+			}
+		default:
+			if rp.a, err = coerce(pr.a.resolve(args), t.cols[ci].Type); err != nil {
+				return nil, err
+			}
+		}
+		resolved = append(resolved, rp)
+	}
+
+	best := &scanPlan{residual: resolved}
+	// Try each index: accumulate bounds from predicates on its column.
+	type bounds struct {
+		lo, hi   int64
+		absorbed []int // indices into resolved
+		hasEq    bool
+		hasAny   bool
+	}
+	var bestBounds *bounds
+	var bestIdx *index
+	for _, ix := range t.indexes {
+		b := bounds{lo: math.MinInt64, hi: math.MaxInt64}
+		for i, rp := range resolved {
+			if rp.col != ix.col {
+				continue
+			}
+			iv, ok := rp.a.(int64)
+			switch rp.op {
+			case opEq:
+				if !ok {
+					continue
+				}
+				if iv > b.lo {
+					b.lo = iv
+				}
+				if iv < b.hi {
+					b.hi = iv
+				}
+				b.hasEq, b.hasAny = true, true
+				b.absorbed = append(b.absorbed, i)
+			case opGt:
+				if !ok {
+					continue
+				}
+				if iv+1 > b.lo {
+					b.lo = iv + 1
+				}
+				b.hasAny = true
+				b.absorbed = append(b.absorbed, i)
+			case opGe:
+				if !ok {
+					continue
+				}
+				if iv > b.lo {
+					b.lo = iv
+				}
+				b.hasAny = true
+				b.absorbed = append(b.absorbed, i)
+			case opLt:
+				if !ok {
+					continue
+				}
+				if iv-1 < b.hi {
+					b.hi = iv - 1
+				}
+				b.hasAny = true
+				b.absorbed = append(b.absorbed, i)
+			case opLe:
+				if !ok {
+					continue
+				}
+				if iv < b.hi {
+					b.hi = iv
+				}
+				b.hasAny = true
+				b.absorbed = append(b.absorbed, i)
+			case opBetween:
+				av, aok := rp.a.(int64)
+				bv, bok := rp.b.(int64)
+				if !aok || !bok {
+					continue
+				}
+				if av > b.lo {
+					b.lo = av
+				}
+				if bv < b.hi {
+					b.hi = bv
+				}
+				b.hasAny = true
+				b.absorbed = append(b.absorbed, i)
+			}
+		}
+		if !b.hasAny {
+			continue
+		}
+		// Prefer equality bounds, then any bounded index.
+		if bestBounds == nil || (b.hasEq && !bestBounds.hasEq) {
+			bb := b
+			bestBounds = &bb
+			bestIdx = ix
+		}
+	}
+	if bestIdx != nil {
+		best.idx = bestIdx
+		best.lo, best.hi = bestBounds.lo, bestBounds.hi
+		if best.lo > best.hi {
+			best.empty = true
+		}
+		absorbed := map[int]bool{}
+		for _, i := range bestBounds.absorbed {
+			absorbed[i] = true
+		}
+		var rest []resolvedPred
+		for i, rp := range resolved {
+			if !absorbed[i] {
+				rest = append(rest, rp)
+			}
+		}
+		best.residual = rest
+	}
+	return best, nil
+}
+
+// scan enumerates matching rows in plan order (index key order for index
+// scans; rowid order for full scans), invoking fn until it returns false.
+func (p *scanPlan) scan(t *Table, fn func(rowid int64, row []Value) bool) {
+	if p.empty {
+		return
+	}
+	match := func(row []Value) bool {
+		for _, rp := range p.residual {
+			if !rp.eval(row) {
+				return false
+			}
+		}
+		return true
+	}
+	if p.idx != nil {
+		p.idx.tree.AscendRange(p.lo, p.hi, func(e btreeEntry) bool {
+			row := t.rows[e.Row]
+			if row == nil {
+				return true
+			}
+			if !match(row) {
+				return true
+			}
+			return fn(e.Row, row)
+		})
+		return
+	}
+	for rowid, row := range t.rows {
+		if row == nil || !match(row) {
+			continue
+		}
+		if !fn(int64(rowid), row) {
+			return
+		}
+	}
+}
+
+func (rp resolvedPred) eval(row []Value) bool {
+	v := row[rp.col]
+	switch rp.op {
+	case opIsNull:
+		return v == nil
+	case opIsNotNull:
+		return v != nil
+	}
+	if v == nil || rp.a == nil {
+		return false // SQL three-valued logic: NULL comparisons are not true
+	}
+	switch rp.op {
+	case opEq:
+		return compareValues(v, rp.a) == 0
+	case opNe:
+		return compareValues(v, rp.a) != 0
+	case opLt:
+		return compareValues(v, rp.a) < 0
+	case opLe:
+		return compareValues(v, rp.a) <= 0
+	case opGt:
+		return compareValues(v, rp.a) > 0
+	case opGe:
+		return compareValues(v, rp.a) >= 0
+	case opBetween:
+		if rp.b == nil {
+			return false
+		}
+		return compareValues(v, rp.a) >= 0 && compareValues(v, rp.b) <= 0
+	}
+	return false
+}
+
+// Stats reports simple table statistics (used by tools and tests).
+type Stats struct {
+	Rows    int
+	Indexes int
+}
+
+// TableStats returns statistics for the named table.
+func (db *DB) TableStats(name string) (Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.table(name)
+	if err != nil {
+		return Stats{}, err
+	}
+	return Stats{Rows: t.live, Indexes: len(t.indexes)}, nil
+}

@@ -1,0 +1,195 @@
+package minisql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds produced by the lexer.
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString // single-quoted literal, unescaped
+	tkParam  // ?
+	tkPunct  // ( ) , * = < > <= >= != <>
+)
+
+type token struct {
+	kind  tokKind
+	text  string // identifier/punct text (identifiers lowercased), or literal
+	num   float64
+	isInt bool
+	ival  int64
+	pos   int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the statement; SQL keywords are returned as tkIdent and
+// matched case-insensitively by the parser.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.toks = append(l.toks, token{kind: tkParam, pos: l.pos})
+			l.pos++
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			if err := l.lexNumber(); err != nil {
+				return nil, err
+			}
+		case strings.ContainsRune("(),*=;", rune(c)):
+			l.toks = append(l.toks, token{kind: tkPunct, text: string(c), pos: l.pos})
+			l.pos++
+		case c == '<':
+			if l.peekAt(1) == '=' {
+				l.emitPunct("<=", 2)
+			} else if l.peekAt(1) == '>' {
+				l.emitPunct("!=", 2)
+			} else {
+				l.emitPunct("<", 1)
+			}
+		case c == '>':
+			if l.peekAt(1) == '=' {
+				l.emitPunct(">=", 2)
+			} else {
+				l.emitPunct(">", 1)
+			}
+		case c == '!':
+			if l.peekAt(1) == '=' {
+				l.emitPunct("!=", 2)
+			} else {
+				return nil, fmt.Errorf("minisql: unexpected '!' at %d", l.pos)
+			}
+		default:
+			return nil, fmt.Errorf("minisql: unexpected character %q at %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) emitPunct(text string, width int) {
+	l.toks = append(l.toks, token{kind: tkPunct, text: text, pos: l.pos})
+	l.pos += width
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.peekAt(1) == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentCont(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{
+		kind: tkIdent,
+		text: strings.ToLower(l.src[start:l.pos]),
+		pos:  start,
+	})
+}
+
+func (l *lexer) lexNumber() error {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	sawDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+		} else if c == '.' && !sawDot {
+			sawDot = true
+			l.pos++
+		} else {
+			break
+		}
+	}
+	text := l.src[start:l.pos]
+	if sawDot {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return fmt.Errorf("minisql: bad number %q at %d", text, start)
+		}
+		l.toks = append(l.toks, token{kind: tkNumber, num: f, pos: start})
+	} else {
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("minisql: bad integer %q at %d", text, start)
+		}
+		l.toks = append(l.toks, token{kind: tkNumber, isInt: true, ival: i, num: float64(i), pos: start})
+	}
+	return nil
+}
+
+func (l *lexer) lexString() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peekAt(1) == '\'' { // escaped quote
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("minisql: unterminated string starting at %d", start)
+}

@@ -1,0 +1,424 @@
+package minisql
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func mustExec(t *testing.T, db *DB, q string, args ...Value) int64 {
+	t.Helper()
+	n, err := db.Exec(q, args...)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return n
+}
+
+func mustQuery(t *testing.T, db *DB, q string, args ...Value) [][]Value {
+	t.Helper()
+	_, rows, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	return rows
+}
+
+func nodesDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, `CREATE TABLE nodes (
+		pre BIGINT PRIMARY KEY,
+		post BIGINT NOT NULL,
+		parent BIGINT NOT NULL,
+		poly BLOB
+	)`)
+	mustExec(t, db, "CREATE INDEX idx_post ON nodes (post) USING BTREE")
+	mustExec(t, db, "CREATE INDEX idx_parent ON nodes (parent) USING BTREE")
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1, 6, 0, ?)", []byte{0xAA})
+	mustExec(t, db, "INSERT INTO nodes (pre, post, parent, poly) VALUES (2, 2, 1, ?), (3, 5, 1, ?)",
+		[]byte{0xBB}, []byte{0xCC})
+
+	rows := mustQuery(t, db, "SELECT pre, post, parent FROM nodes WHERE parent = ?", int64(1))
+	if len(rows) != 2 {
+		t.Fatalf("children query returned %d rows, want 2", len(rows))
+	}
+	if rows[0][0].(int64) != 2 || rows[1][0].(int64) != 3 {
+		t.Fatalf("children rows = %v", rows)
+	}
+
+	rows = mustQuery(t, db, "SELECT poly FROM nodes WHERE pre = 1")
+	if len(rows) != 1 || !bytes.Equal(rows[0][0].([]byte), []byte{0xAA}) {
+		t.Fatalf("poly lookup = %v", rows)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1, 1, 0, ?)", []byte{1})
+	cols, rows, err := db.Query("SELECT * FROM nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"pre", "post", "parent", "poly"}
+	if strings.Join(cols, ",") != strings.Join(want, ",") {
+		t.Fatalf("columns = %v", cols)
+	}
+	if len(rows) != 1 || len(rows[0]) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestPrimaryKeyUnique(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1, 1, 0, NULL)")
+	if _, err := db.Exec("INSERT INTO nodes VALUES (1, 2, 0, NULL)"); err == nil {
+		t.Fatal("duplicate primary key accepted")
+	}
+}
+
+func TestNotNull(t *testing.T) {
+	db := nodesDB(t)
+	if _, err := db.Exec("INSERT INTO nodes VALUES (1, NULL, 0, NULL)"); err == nil {
+		t.Fatal("NULL in NOT NULL column accepted")
+	}
+}
+
+func TestRangeQueries(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 100; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, ?, NULL)", i, 200-i, i/2)
+	}
+	rows := mustQuery(t, db, "SELECT pre FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre", int64(10), int64(20))
+	if len(rows) != 9 {
+		t.Fatalf("range returned %d rows, want 9", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].(int64) != int64(11+i) {
+			t.Fatalf("row %d = %v, want %d", i, r[0], 11+i)
+		}
+	}
+	rows = mustQuery(t, db, "SELECT pre FROM nodes WHERE pre BETWEEN 95 AND 200")
+	if len(rows) != 6 {
+		t.Fatalf("BETWEEN returned %d rows, want 6", len(rows))
+	}
+}
+
+func TestOrderByDescLimitOffset(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, 0, NULL)", i, 11-i)
+	}
+	rows := mustQuery(t, db, "SELECT pre FROM nodes ORDER BY post DESC LIMIT 3 OFFSET 2")
+	// post values are 10..1 for pre 1..10; DESC by post = pre ascending.
+	want := []int64{3, 4, 5}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r[0].(int64) != want[i] {
+			t.Fatalf("rows = %v, want pre %v", rows, want)
+		}
+	}
+}
+
+func TestLimitWithoutOrder(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, 0, NULL)", i, i)
+	}
+	rows := mustQuery(t, db, "SELECT pre FROM nodes LIMIT 4")
+	if len(rows) != 4 {
+		t.Fatalf("LIMIT returned %d rows", len(rows))
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, 0, NULL)", i, i*10)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*), MIN(pre), MAX(post), SUM(pre) FROM nodes")
+	r := rows[0]
+	if r[0].(int64) != 10 || r[1].(int64) != 1 || r[2].(int64) != 100 || r[3].(int64) != 55 {
+		t.Fatalf("aggregates = %v", r)
+	}
+	// Aggregate with WHERE.
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM nodes WHERE pre > 7")
+	if rows[0][0].(int64) != 3 {
+		t.Fatalf("COUNT(*) with WHERE = %v", rows[0][0])
+	}
+	// MIN on indexed column with residual predicate: the boundary query.
+	rows = mustQuery(t, db, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?", int64(2), int64(55))
+	if rows[0][0].(int64) != 6 {
+		t.Fatalf("boundary MIN = %v, want 6", rows[0][0])
+	}
+	// Aggregates over empty set.
+	rows = mustQuery(t, db, "SELECT COUNT(*), MIN(pre), SUM(pre) FROM nodes WHERE pre > 1000")
+	if rows[0][0].(int64) != 0 || rows[0][1] != nil || rows[0][2] != nil {
+		t.Fatalf("empty aggregates = %v", rows[0])
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 5; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, 0, NULL)", i, i)
+	}
+	n := mustExec(t, db, "UPDATE nodes SET parent = ? WHERE pre >= 3", int64(99))
+	if n != 3 {
+		t.Fatalf("UPDATE affected %d rows, want 3", n)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM nodes WHERE parent = 99")
+	if rows[0][0].(int64) != 3 {
+		t.Fatalf("parent index not updated: %v", rows[0][0])
+	}
+	// Index on old value must no longer match.
+	rows = mustQuery(t, db, "SELECT COUNT(*) FROM nodes WHERE parent = 0")
+	if rows[0][0].(int64) != 2 {
+		t.Fatalf("old parent count = %v", rows[0][0])
+	}
+}
+
+func TestUpdateUniqueViolation(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1, 1, 0, NULL), (2, 2, 0, NULL)")
+	if _, err := db.Exec("UPDATE nodes SET pre = 1 WHERE pre = 2"); err == nil {
+		t.Fatal("unique violation in UPDATE accepted")
+	}
+	// Self-assignment is fine.
+	mustExec(t, db, "UPDATE nodes SET pre = 2 WHERE pre = 2")
+}
+
+func TestDelete(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 10; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, ?, NULL)", i, i, i%3)
+	}
+	n := mustExec(t, db, "DELETE FROM nodes WHERE parent = 1")
+	if n != 4 { // pre 1,4,7,10
+		t.Fatalf("DELETE affected %d, want 4", n)
+	}
+	rows := mustQuery(t, db, "SELECT COUNT(*) FROM nodes")
+	if rows[0][0].(int64) != 6 {
+		t.Fatalf("COUNT after delete = %v", rows[0][0])
+	}
+	// Deleted keys must be reusable (index entries gone).
+	mustExec(t, db, "INSERT INTO nodes VALUES (1, 1, 5, NULL)")
+}
+
+func TestDropTable(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "DROP TABLE nodes")
+	if _, err := db.Exec("INSERT INTO nodes VALUES (1,1,0,NULL)"); err == nil {
+		t.Fatal("insert into dropped table succeeded")
+	}
+	if _, err := db.Exec("DROP TABLE nodes"); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1, 1, 0, NULL), (2, 2, 0, ?)", []byte{1})
+	rows := mustQuery(t, db, "SELECT pre FROM nodes WHERE poly IS NULL")
+	if len(rows) != 1 || rows[0][0].(int64) != 1 {
+		t.Fatalf("IS NULL = %v", rows)
+	}
+	rows = mustQuery(t, db, "SELECT pre FROM nodes WHERE poly IS NOT NULL")
+	if len(rows) != 1 || rows[0][0].(int64) != 2 {
+		t.Fatalf("IS NOT NULL = %v", rows)
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE kv (k TEXT, v TEXT)")
+	mustExec(t, db, "INSERT INTO kv VALUES ('it''s', 'fine')")
+	rows := mustQuery(t, db, "SELECT v FROM kv WHERE k = 'it''s'")
+	if len(rows) != 1 || rows[0][0].(string) != "fine" {
+		t.Fatalf("string round-trip = %v", rows)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	db := NewDB()
+	bad := []string{
+		"",
+		"SELEC pre FROM nodes",
+		"SELECT FROM nodes",
+		"CREATE TABLE t (x FANCYTYPE)",
+		"INSERT INTO t VALUES",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE x ~ 3",
+		"SELECT * FROM t LIMIT x",
+		"SELECT * FROM t; SELECT * FROM t",
+		"SELECT MAX(*) FROM t",
+		"CREATE TABLE t (x INT) garbage",
+	}
+	for _, q := range bad {
+		if _, _, err := db.Query(q); err == nil {
+			if _, err2 := db.Exec(q); err2 == nil {
+				t.Errorf("statement %q accepted", q)
+			}
+		}
+	}
+}
+
+func TestSemanticErrors(t *testing.T) {
+	db := nodesDB(t)
+	cases := []string{
+		"SELECT nope FROM nodes",
+		"SELECT pre FROM missing",
+		"SELECT pre FROM nodes WHERE ghost = 1",
+		"SELECT pre FROM nodes ORDER BY ghost",
+		"SELECT pre, COUNT(*) FROM nodes",
+		"CREATE INDEX idx_poly ON nodes (poly)", // non-integer column
+		"CREATE INDEX idx_post ON nodes (post)", // duplicate index name
+		"CREATE TABLE nodes (pre INT)",          // duplicate table
+	}
+	for _, q := range cases {
+		_, _, qerr := db.Query(q)
+		_, xerr := db.Exec(q)
+		if qerr == nil && xerr == nil {
+			t.Errorf("statement %q accepted", q)
+		}
+	}
+	if _, err := db.Exec("INSERT INTO nodes VALUES (1,2)"); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := db.Exec("INSERT INTO nodes VALUES (?,?,?,?)"); err == nil {
+		t.Error("missing args accepted")
+	}
+}
+
+func TestCreateTableRejectsTextPrimaryKey(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec("CREATE TABLE t (k TEXT PRIMARY KEY)"); err == nil {
+		t.Fatal("TEXT primary key accepted")
+	}
+}
+
+func TestDumpLoadRoundTrip(t *testing.T) {
+	db := nodesDB(t)
+	for i := int64(1); i <= 50; i++ {
+		mustExec(t, db, "INSERT INTO nodes VALUES (?, ?, ?, ?)", i, 100-i, i/2, []byte{byte(i)})
+	}
+	mustExec(t, db, "DELETE FROM nodes WHERE pre = 25") // tombstone must not dump
+	var buf bytes.Buffer
+	if err := db.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewDB()
+	if err := db2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"SELECT COUNT(*) FROM nodes",
+		"SELECT COUNT(*) FROM nodes WHERE parent = 10",
+		"SELECT MIN(pre) FROM nodes WHERE pre > 30",
+	} {
+		a := mustQuery(t, db, q)
+		b := mustQuery(t, db2, q)
+		if a[0][0] != b[0][0] {
+			t.Errorf("%s: %v != %v after round-trip", q, a[0][0], b[0][0])
+		}
+	}
+	// Indexes must work for point lookups after load.
+	rows := mustQuery(t, db2, "SELECT poly FROM nodes WHERE pre = 7")
+	if len(rows) != 1 || !bytes.Equal(rows[0][0].([]byte), []byte{7}) {
+		t.Fatalf("poly after load = %v", rows)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := NewDB()
+	if err := db.Load(strings.NewReader("not a dump")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	name := FreshDSN()
+	a, b := Get(name), Get(name)
+	if a != b {
+		t.Fatal("registry returned different DBs for same name")
+	}
+	Drop(name)
+	c := Get(name)
+	if c == a {
+		t.Fatal("Drop did not clear registry entry")
+	}
+	if FreshDSN() == FreshDSN() {
+		t.Fatal("FreshDSN repeated")
+	}
+}
+
+// TestPlannerUsesIndex verifies index selection indirectly: a point query
+// on a huge table must not take O(n) comparisons. We time-box by checking
+// plan structure instead.
+func TestPlannerChoosesIndex(t *testing.T) {
+	db := nodesDB(t)
+	tbl, err := db.table("nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := parse("SELECT pre FROM nodes WHERE parent = ? AND post > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tbl.plan(s.(*selectStmt).where, []Value{int64(5), int64(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.idx == nil {
+		t.Fatal("planner chose full scan despite indexed equality")
+	}
+	if got := tbl.cols[plan.idx.col].Name; got != "parent" {
+		t.Fatalf("planner chose index on %q, want parent (equality beats range)", got)
+	}
+	if plan.lo != 5 || plan.hi != 5 {
+		t.Fatalf("plan bounds = [%d,%d]", plan.lo, plan.hi)
+	}
+	if len(plan.residual) != 1 {
+		t.Fatalf("residual = %v", plan.residual)
+	}
+}
+
+func TestPlannerContradictoryBounds(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1,1,0,NULL)")
+	rows := mustQuery(t, db, "SELECT pre FROM nodes WHERE pre > 5 AND pre < 3")
+	if len(rows) != 0 {
+		t.Fatalf("contradictory range returned %v", rows)
+	}
+}
+
+func TestNeverMatchingNullComparison(t *testing.T) {
+	db := nodesDB(t)
+	mustExec(t, db, "INSERT INTO nodes VALUES (1,1,0,NULL)")
+	// poly = NULL never matches (SQL three-valued logic); use IS NULL.
+	rows := mustQuery(t, db, "SELECT pre FROM nodes WHERE poly = ?", nil)
+	if len(rows) != 0 {
+		t.Fatalf("NULL equality matched %v", rows)
+	}
+}
+
+func TestFloatColumn(t *testing.T) {
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE m (id INT, v DOUBLE)")
+	mustExec(t, db, "INSERT INTO m VALUES (1, 1.5), (2, -2.25), (3, 7)")
+	rows := mustQuery(t, db, "SELECT SUM(v) FROM m")
+	if got := rows[0][0].(float64); got != 6.25 {
+		t.Fatalf("SUM(v) = %v", got)
+	}
+	rows = mustQuery(t, db, "SELECT id FROM m WHERE v < 0")
+	if len(rows) != 1 || rows[0][0].(int64) != 2 {
+		t.Fatalf("float filter = %v", rows)
+	}
+}

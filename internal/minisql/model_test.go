@@ -1,0 +1,161 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// model_test drives the SQL engine against a naive in-memory reference:
+// random inserts/updates/deletes interleaved with randomized SELECTs whose
+// results are recomputed by brute force. This is the model check promised
+// in DESIGN.md §5.
+
+type modelRow struct {
+	a, b, c int64
+	deleted bool
+}
+
+func TestModelRandomizedWorkload(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runModel(t, seed, 1500)
+		})
+	}
+}
+
+func runModel(t *testing.T, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE m (a BIGINT PRIMARY KEY, b BIGINT NOT NULL, c BIGINT NOT NULL)")
+	mustExec(t, db, "CREATE INDEX m_b ON m (b)")
+
+	model := map[int64]*modelRow{} // keyed by a (primary key)
+	nextA := int64(0)
+
+	liveMatching := func(pred func(*modelRow) bool) []*modelRow {
+		var out []*modelRow
+		for _, r := range model {
+			if !r.deleted && pred(r) {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			a := nextA
+			nextA++
+			b, c := rng.Int63n(50), rng.Int63n(50)
+			mustExec(t, db, "INSERT INTO m VALUES (?, ?, ?)", a, b, c)
+			model[a] = &modelRow{a: a, b: b, c: c}
+		case op < 5 && len(model) > 0: // duplicate-key insert must fail
+			var any int64
+			for k, r := range model {
+				if !r.deleted {
+					any = k
+					break
+				}
+			}
+			if _, err := db.Exec("INSERT INTO m VALUES (?, 0, 0)", any); err == nil {
+				if r := model[any]; r != nil && !r.deleted {
+					t.Fatalf("step %d: duplicate key %d accepted", step, any)
+				}
+			}
+		case op < 6: // update by b range
+			lo := rng.Int63n(50)
+			v := rng.Int63n(50)
+			n := mustExec(t, db, "UPDATE m SET c = ? WHERE b >= ?", v, lo)
+			want := liveMatching(func(r *modelRow) bool { return r.b >= lo })
+			if n != int64(len(want)) {
+				t.Fatalf("step %d: UPDATE affected %d, model %d", step, n, len(want))
+			}
+			for _, r := range want {
+				r.c = v
+			}
+		case op < 7: // delete by b equality
+			b := rng.Int63n(50)
+			n := mustExec(t, db, "DELETE FROM m WHERE b = ?", b)
+			want := liveMatching(func(r *modelRow) bool { return r.b == b })
+			if n != int64(len(want)) {
+				t.Fatalf("step %d: DELETE affected %d, model %d", step, n, len(want))
+			}
+			for _, r := range want {
+				r.deleted = true
+			}
+		default: // select with random predicate shape
+			var (
+				query string
+				args  []Value
+				pred  func(*modelRow) bool
+			)
+			switch rng.Intn(4) {
+			case 0:
+				b := rng.Int63n(50)
+				query, args = "SELECT a FROM m WHERE b = ? ORDER BY a", []Value{b}
+				pred = func(r *modelRow) bool { return r.b == b }
+			case 1:
+				lo, hi := rng.Int63n(50), rng.Int63n(60)
+				query, args = "SELECT a FROM m WHERE a BETWEEN ? AND ? ORDER BY a", []Value{lo, hi}
+				pred = func(r *modelRow) bool { return r.a >= lo && r.a <= hi }
+			case 2:
+				b, c := rng.Int63n(50), rng.Int63n(50)
+				query, args = "SELECT a FROM m WHERE b >= ? AND c < ? ORDER BY a", []Value{b, c}
+				pred = func(r *modelRow) bool { return r.b >= b && r.c < c }
+			default:
+				b := rng.Int63n(50)
+				query, args = "SELECT a FROM m WHERE b != ? ORDER BY a", []Value{b}
+				pred = func(r *modelRow) bool { return r.b != b }
+			}
+			rows := mustQuery(t, db, query, args...)
+			got := make([]int64, 0, len(rows))
+			for _, r := range rows {
+				got = append(got, r[0].(int64))
+			}
+			wantRows := liveMatching(pred)
+			want := make([]int64, 0, len(wantRows))
+			for _, r := range wantRows {
+				want = append(want, r.a)
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+			if len(got) != len(want) {
+				t.Fatalf("step %d: %s %v: got %d rows, want %d", step, query, args, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: %s %v: row %d = %d, want %d", step, query, args, i, got[i], want[i])
+				}
+			}
+		}
+
+		// Periodically cross-check aggregates.
+		if step%100 == 0 {
+			rows := mustQuery(t, db, "SELECT COUNT(*), SUM(c), MIN(a), MAX(b) FROM m")
+			live := liveMatching(func(*modelRow) bool { return true })
+			if rows[0][0].(int64) != int64(len(live)) {
+				t.Fatalf("step %d: COUNT %v, model %d", step, rows[0][0], len(live))
+			}
+			if len(live) > 0 {
+				var sumC, minA, maxB int64
+				minA = 1 << 62
+				for _, r := range live {
+					sumC += r.c
+					if r.a < minA {
+						minA = r.a
+					}
+					if r.b > maxB {
+						maxB = r.b
+					}
+				}
+				if rows[0][1].(int64) != sumC || rows[0][2].(int64) != minA || rows[0][3].(int64) != maxB {
+					t.Fatalf("step %d: aggregates %v, model sum=%d min=%d max=%d",
+						step, rows[0], sumC, minA, maxB)
+				}
+			}
+		}
+	}
+}

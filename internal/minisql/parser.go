@@ -1,0 +1,614 @@
+package minisql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ---- AST ----
+
+type stmt interface{ stmtNode() }
+
+type createTableStmt struct {
+	table string
+	cols  []Column
+}
+
+type createIndexStmt struct {
+	name   string
+	table  string
+	col    string
+	unique bool
+}
+
+type dropTableStmt struct{ table string }
+
+type insertStmt struct {
+	table string
+	cols  []string // empty = all columns in order
+	rows  [][]expr
+}
+
+type selectStmt struct {
+	table   string
+	items   []selectItem
+	where   []pred
+	orderBy string // column name, empty if none
+	desc    bool
+	limit   int64 // -1 if absent
+	offset  int64
+}
+
+type selectItem struct {
+	star bool   // SELECT *
+	agg  string // "", "count", "min", "max", "sum"; count with col=="" is COUNT(*)
+	col  string
+}
+
+type updateStmt struct {
+	table string
+	sets  []struct {
+		col string
+		val expr
+	}
+	where []pred
+}
+
+type deleteStmt struct {
+	table string
+	where []pred
+}
+
+func (*createTableStmt) stmtNode() {}
+func (*createIndexStmt) stmtNode() {}
+func (*dropTableStmt) stmtNode()   {}
+func (*insertStmt) stmtNode()      {}
+func (*selectStmt) stmtNode()      {}
+func (*updateStmt) stmtNode()      {}
+func (*deleteStmt) stmtNode()      {}
+
+// expr is a literal value or a ? placeholder (ordinal assigned in lexical
+// order across the whole statement).
+type expr struct {
+	isParam bool
+	ordinal int
+	val     Value
+}
+
+// pred is one conjunct of a WHERE clause.
+type predOp int
+
+const (
+	opEq predOp = iota
+	opNe
+	opLt
+	opLe
+	opGt
+	opGe
+	opBetween
+	opIsNull
+	opIsNotNull
+)
+
+type pred struct {
+	col  string
+	op   predOp
+	a, b expr // b only for BETWEEN
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks   []token
+	pos    int
+	params int
+}
+
+func parse(src string) (stmt, int, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, 0, err
+	}
+	p := &parser{toks: toks}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, 0, err
+	}
+	// allow one optional trailing semicolon
+	p.acceptPunct(";")
+	if !p.atEOF() {
+		return nil, 0, fmt.Errorf("minisql: trailing input at %d", p.cur().pos)
+	}
+	return s, p.params, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if p.cur().kind == tkIdent && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("minisql: expected %s at %d", strings.ToUpper(kw), p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if p.cur().kind == tkPunct && p.cur().text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return fmt.Errorf("minisql: expected %q at %d", s, p.cur().pos)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.cur().kind != tkIdent {
+		return "", fmt.Errorf("minisql: expected identifier at %d", p.cur().pos)
+	}
+	s := p.cur().text
+	p.pos++
+	return s, nil
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true, "order": true,
+	"by": true, "limit": true, "offset": true, "insert": true, "into": true,
+	"values": true, "update": true, "set": true, "delete": true,
+	"create": true, "table": true, "index": true, "unique": true, "on": true,
+	"drop": true, "between": true, "is": true, "not": true, "null": true,
+	"asc": true, "desc": true, "primary": true, "key": true, "count": true,
+	"min": true, "max": true, "sum": true,
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	switch {
+	case p.acceptKeyword("create"):
+		if p.acceptKeyword("table") {
+			return p.parseCreateTable()
+		}
+		unique := p.acceptKeyword("unique")
+		if p.acceptKeyword("index") {
+			return p.parseCreateIndex(unique)
+		}
+		return nil, fmt.Errorf("minisql: expected TABLE or INDEX after CREATE")
+	case p.acceptKeyword("drop"):
+		if err := p.expectKeyword("table"); err != nil {
+			return nil, err
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &dropTableStmt{table: name}, nil
+	case p.acceptKeyword("insert"):
+		return p.parseInsert()
+	case p.acceptKeyword("select"):
+		return p.parseSelect()
+	case p.acceptKeyword("update"):
+		return p.parseUpdate()
+	case p.acceptKeyword("delete"):
+		return p.parseDelete()
+	}
+	return nil, fmt.Errorf("minisql: unrecognized statement at %d", p.cur().pos)
+}
+
+func parseColType(name string) (ColType, bool) {
+	switch name {
+	case "int", "integer", "bigint", "smallint", "tinyint":
+		return TInt, true
+	case "double", "float", "real":
+		return TFloat, true
+	case "text", "varchar", "char":
+		return TText, true
+	case "blob", "binary", "varbinary", "longblob", "mediumblob":
+		return TBlob, true
+	}
+	return 0, false
+}
+
+func (p *parser) parseCreateTable() (stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var cols []Column
+	for {
+		colName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		typeName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ct, ok := parseColType(typeName)
+		if !ok {
+			return nil, fmt.Errorf("minisql: unknown column type %q", typeName)
+		}
+		// optional (n) length suffix, ignored
+		if p.acceptPunct("(") {
+			if p.cur().kind != tkNumber {
+				return nil, fmt.Errorf("minisql: expected length at %d", p.cur().pos)
+			}
+			p.pos++
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+		}
+		col := Column{Name: colName, Type: ct}
+		for {
+			if p.acceptKeyword("primary") {
+				if err := p.expectKeyword("key"); err != nil {
+					return nil, err
+				}
+				col.PrimaryKey = true
+				col.NotNull = true
+				continue
+			}
+			if p.acceptKeyword("not") {
+				if err := p.expectKeyword("null"); err != nil {
+					return nil, err
+				}
+				col.NotNull = true
+				continue
+			}
+			break
+		}
+		cols = append(cols, col)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return &createTableStmt{table: name, cols: cols}, nil
+}
+
+func (p *parser) parseCreateIndex(unique bool) (stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	// optional "USING BTREE" (the only kind we have)
+	if p.acceptKeyword("using") {
+		if _, err := p.expectIdent(); err != nil {
+			return nil, err
+		}
+	}
+	return &createIndexStmt{name: name, table: table, col: col, unique: unique}, nil
+}
+
+func (p *parser) parseExpr() (expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkParam:
+		p.pos++
+		e := expr{isParam: true, ordinal: p.params}
+		p.params++
+		return e, nil
+	case tkNumber:
+		p.pos++
+		if t.isInt {
+			return expr{val: t.ival}, nil
+		}
+		return expr{val: t.num}, nil
+	case tkString:
+		p.pos++
+		return expr{val: t.text}, nil
+	case tkIdent:
+		if t.text == "null" {
+			p.pos++
+			return expr{val: nil}, nil
+		}
+	}
+	return expr{}, fmt.Errorf("minisql: expected value at %d", t.pos)
+}
+
+func (p *parser) parseInsert() (stmt, error) {
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &insertStmt{table: table}
+	if p.acceptPunct("(") {
+		for {
+			c, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			s.cols = append(s.cols, c)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptPunct(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		s.rows = append(s.rows, row)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if p.acceptPunct("*") {
+		return selectItem{star: true}, nil
+	}
+	t := p.cur()
+	if t.kind != tkIdent {
+		return selectItem{}, fmt.Errorf("minisql: expected column at %d", t.pos)
+	}
+	switch t.text {
+	case "count", "min", "max", "sum":
+		agg := t.text
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return selectItem{}, err
+		}
+		if p.acceptPunct("*") {
+			if agg != "count" {
+				return selectItem{}, fmt.Errorf("minisql: %s(*) not supported", strings.ToUpper(agg))
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return selectItem{}, err
+			}
+			return selectItem{agg: "count"}, nil
+		}
+		col, err := p.expectIdent()
+		if err != nil {
+			return selectItem{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return selectItem{}, err
+		}
+		return selectItem{agg: agg, col: col}, nil
+	}
+	col, _ := p.expectIdent()
+	return selectItem{col: col}, nil
+}
+
+func (p *parser) parseWhere() ([]pred, error) {
+	if !p.acceptKeyword("where") {
+		return nil, nil
+	}
+	var preds []pred
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		var pr pred
+		pr.col = col
+		t := p.cur()
+		switch {
+		case t.kind == tkPunct:
+			switch t.text {
+			case "=":
+				pr.op = opEq
+			case "!=":
+				pr.op = opNe
+			case "<":
+				pr.op = opLt
+			case "<=":
+				pr.op = opLe
+			case ">":
+				pr.op = opGt
+			case ">=":
+				pr.op = opGe
+			default:
+				return nil, fmt.Errorf("minisql: bad operator %q at %d", t.text, t.pos)
+			}
+			p.pos++
+			pr.a, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		case t.kind == tkIdent && t.text == "between":
+			p.pos++
+			pr.op = opBetween
+			pr.a, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("and"); err != nil {
+				return nil, err
+			}
+			pr.b, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		case t.kind == tkIdent && t.text == "is":
+			p.pos++
+			if p.acceptKeyword("not") {
+				pr.op = opIsNotNull
+			} else {
+				pr.op = opIsNull
+			}
+			if err := p.expectKeyword("null"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("minisql: expected operator at %d", t.pos)
+		}
+		preds = append(preds, pr)
+		if p.acceptKeyword("and") {
+			continue
+		}
+		break
+	}
+	return preds, nil
+}
+
+func (p *parser) parseSelect() (stmt, error) {
+	s := &selectStmt{limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.items = append(s.items, item)
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s.table = table
+	if s.where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("order") {
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		if s.orderBy, err = p.expectIdent(); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("desc") {
+			s.desc = true
+		} else {
+			p.acceptKeyword("asc")
+		}
+	}
+	if p.acceptKeyword("limit") {
+		t := p.cur()
+		if t.kind != tkNumber || !t.isInt {
+			return nil, fmt.Errorf("minisql: LIMIT needs integer at %d", t.pos)
+		}
+		s.limit = t.ival
+		p.pos++
+		if p.acceptKeyword("offset") {
+			t := p.cur()
+			if t.kind != tkNumber || !t.isInt {
+				return nil, fmt.Errorf("minisql: OFFSET needs integer at %d", t.pos)
+			}
+			s.offset = t.ival
+			p.pos++
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseUpdate() (stmt, error) {
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	s := &updateStmt{table: table}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.sets = append(s.sets, struct {
+			col string
+			val expr
+		}{col, val})
+		if p.acceptPunct(",") {
+			continue
+		}
+		break
+	}
+	if s.where, err = p.parseWhere(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseDelete() (stmt, error) {
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	s := &deleteStmt{table: table}
+	var err2 error
+	if s.where, err2 = p.parseWhere(); err2 != nil {
+		return nil, err2
+	}
+	return s, nil
+}

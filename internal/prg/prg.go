@@ -1,0 +1,139 @@
+// Package prg implements the deterministic pseudorandom generator that
+// stands in for the paper's seeded client-side generator.
+//
+// The prototype in the paper regenerates the client share of a node's
+// polynomial from a secret seed and the node's pre value. We realize this
+// with a SHA-256 counter-mode stream keyed by the seed and domain-separated
+// by an arbitrary label plus a 64-bit index, so that:
+//
+//   - the same (seed, domain, index) always yields the same stream, which
+//     is what lets the client discard its share tree and keep only the
+//     seed (paper §3 step 4);
+//   - streams for different nodes are computationally independent.
+//
+// The seed file is the encryption key of the whole scheme: without it the
+// server's shares are uniformly random noise.
+package prg
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// SeedSize is the size of a generator seed in bytes.
+const SeedSize = 32
+
+// Generator derives deterministic pseudorandom streams from a fixed seed.
+// It is immutable and safe for concurrent use; each Stream is not.
+type Generator struct {
+	seed [SeedSize]byte
+}
+
+// New creates a Generator from seed. The seed may be any length; it is
+// hashed into the internal fixed-size key so that related seeds do not
+// produce related streams.
+func New(seed []byte) *Generator {
+	g := &Generator{}
+	g.seed = sha256.Sum256(seed)
+	return g
+}
+
+// NewRandom creates a Generator with a fresh random seed and returns the
+// seed so the caller can persist it (the "seed file").
+func NewRandom() (*Generator, []byte, error) {
+	seed := make([]byte, SeedSize)
+	if _, err := io.ReadFull(rand.Reader, seed); err != nil {
+		return nil, nil, fmt.Errorf("prg: generating seed: %w", err)
+	}
+	return New(seed), seed, nil
+}
+
+// Stream returns the deterministic stream for (domain, index). In the
+// encoder and client filter, domain identifies the purpose ("poly") and
+// index is the node's pre value.
+func (g *Generator) Stream(domain string, index uint64) *Stream {
+	s := &Stream{}
+	h := sha256.New()
+	h.Write(g.seed[:])
+	var lenbuf [8]byte
+	binary.BigEndian.PutUint64(lenbuf[:], uint64(len(domain)))
+	h.Write(lenbuf[:])
+	h.Write([]byte(domain))
+	binary.BigEndian.PutUint64(lenbuf[:], index)
+	h.Write(lenbuf[:])
+	h.Sum(s.key[:0])
+	return s
+}
+
+// Stream is a deterministic pseudorandom byte/integer stream. Not safe for
+// concurrent use.
+type Stream struct {
+	key  [32]byte
+	ctr  uint64
+	buf  [32]byte
+	off  int // bytes of buf consumed; initially len(buf) to force refill
+	init bool
+}
+
+func (s *Stream) refill() {
+	h := sha256.New()
+	h.Write(s.key[:])
+	var ctrbuf [8]byte
+	binary.BigEndian.PutUint64(ctrbuf[:], s.ctr)
+	s.ctr++
+	h.Write(ctrbuf[:])
+	h.Sum(s.buf[:0])
+	s.off = 0
+	s.init = true
+}
+
+// Read fills p with pseudorandom bytes. It never fails.
+func (s *Stream) Read(p []byte) (int, error) {
+	n := len(p)
+	for len(p) > 0 {
+		if !s.init || s.off == len(s.buf) {
+			s.refill()
+		}
+		c := copy(p, s.buf[s.off:])
+		s.off += c
+		p = p[c:]
+	}
+	return n, nil
+}
+
+// Uint32 returns the next pseudorandom 32-bit value.
+func (s *Stream) Uint32() uint32 {
+	var b [4]byte
+	s.Read(b[:])
+	return binary.BigEndian.Uint32(b[:])
+}
+
+// Uint64 returns the next pseudorandom 64-bit value.
+func (s *Stream) Uint64() uint64 {
+	var b [8]byte
+	s.Read(b[:])
+	return binary.BigEndian.Uint64(b[:])
+}
+
+// Uniform returns a uniformly distributed value in [0, m) using rejection
+// sampling, so polynomial coefficients drawn from it are unbiased in F_q.
+// It panics if m == 0.
+func (s *Stream) Uniform(m uint32) uint32 {
+	if m == 0 {
+		panic("prg: Uniform(0)")
+	}
+	if m&(m-1) == 0 { // power of two: mask, no bias
+		return s.Uint32() & (m - 1)
+	}
+	// Reject values in the final partial block of the uint32 range.
+	limit := uint32(1<<32 - (uint64(1<<32) % uint64(m)))
+	for {
+		v := s.Uint32()
+		if v < limit {
+			return v % m
+		}
+	}
+}

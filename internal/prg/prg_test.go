@@ -1,0 +1,165 @@
+package prg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	g1 := New([]byte("seed"))
+	g2 := New([]byte("seed"))
+	s1, s2 := g1.Stream("poly", 42), g2.Stream("poly", 42)
+	b1, b2 := make([]byte, 1024), make([]byte, 1024)
+	s1.Read(b1)
+	s2.Read(b2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("same (seed, domain, index) produced different streams")
+	}
+}
+
+func TestSeedSeparation(t *testing.T) {
+	a := New([]byte("seed-a")).Stream("poly", 1)
+	b := New([]byte("seed-b")).Stream("poly", 1)
+	ba, bb := make([]byte, 64), make([]byte, 64)
+	a.Read(ba)
+	b.Read(bb)
+	if bytes.Equal(ba, bb) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestDomainAndIndexSeparation(t *testing.T) {
+	g := New([]byte("seed"))
+	streams := []*Stream{
+		g.Stream("poly", 1),
+		g.Stream("poly", 2),
+		g.Stream("other", 1),
+		g.Stream("pol", 1), // prefix of "poly": length framing must separate
+		g.Stream("", 1),
+	}
+	outs := make([][]byte, len(streams))
+	for i, s := range streams {
+		outs[i] = make([]byte, 64)
+		s.Read(outs[i])
+	}
+	for i := range outs {
+		for j := i + 1; j < len(outs); j++ {
+			if bytes.Equal(outs[i], outs[j]) {
+				t.Errorf("streams %d and %d are identical", i, j)
+			}
+		}
+	}
+}
+
+func TestReadChunkingInvariance(t *testing.T) {
+	// Reading 100 bytes at once must equal reading them in odd-sized chunks.
+	one := make([]byte, 100)
+	New([]byte("x")).Stream("d", 7).Read(one)
+	s := New([]byte("x")).Stream("d", 7)
+	var parts []byte
+	for _, n := range []int{1, 3, 32, 31, 33} {
+		p := make([]byte, n)
+		s.Read(p)
+		parts = append(parts, p...)
+	}
+	if !bytes.Equal(one, parts) {
+		t.Fatal("chunked reads diverge from bulk read")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	s := New([]byte("u")).Stream("d", 0)
+	for _, m := range []uint32{1, 2, 3, 5, 83, 1 << 16, math.MaxUint32} {
+		for i := 0; i < 200; i++ {
+			if v := s.Uniform(m); v >= m {
+				t.Fatalf("Uniform(%d) = %d out of range", m, v)
+			}
+		}
+	}
+}
+
+func TestUniformZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(0) did not panic")
+		}
+	}()
+	New(nil).Stream("d", 0).Uniform(0)
+}
+
+// TestUniformDistribution sanity-checks flatness with a chi-squared-ish
+// tolerance: all buckets of Uniform(83) within 3x the expected sqrt band.
+func TestUniformDistribution(t *testing.T) {
+	const m, n = 83, 83 * 600
+	s := New([]byte("dist")).Stream("d", 9)
+	counts := make([]int, m)
+	for i := 0; i < n; i++ {
+		counts[s.Uniform(m)]++
+	}
+	expected := float64(n) / m
+	band := 5 * math.Sqrt(expected)
+	for v, c := range counts {
+		if math.Abs(float64(c)-expected) > band {
+			t.Errorf("bucket %d: count %d, expected %.1f +/- %.1f", v, c, expected, band)
+		}
+	}
+}
+
+func TestNewRandomDistinct(t *testing.T) {
+	g1, seed1, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, seed2, err := NewRandom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(seed1, seed2) {
+		t.Fatal("two random seeds are equal")
+	}
+	if len(seed1) != SeedSize {
+		t.Fatalf("seed size %d, want %d", len(seed1), SeedSize)
+	}
+	// Regenerating from the returned seed reproduces the stream.
+	b1, b2 := make([]byte, 64), make([]byte, 64)
+	g1.Stream("poly", 3).Read(b1)
+	New(seed1).Stream("poly", 3).Read(b2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("seed round-trip failed")
+	}
+	_ = g2
+}
+
+func TestQuickIndexSeparation(t *testing.T) {
+	g := New([]byte("q"))
+	err := quick.Check(func(i, j uint64) bool {
+		if i == j {
+			return true
+		}
+		a, b := make([]byte, 32), make([]byte, 32)
+		g.Stream("poly", i).Read(a)
+		g.Stream("poly", j).Read(b)
+		return !bytes.Equal(a, b)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkStreamRead(b *testing.B) {
+	s := New([]byte("bench")).Stream("poly", 1)
+	buf := make([]byte, 82) // one F_83 polynomial's worth of coefficients
+	b.SetBytes(int64(len(buf)))
+	for i := 0; i < b.N; i++ {
+		s.Read(buf)
+	}
+}
+
+func BenchmarkUniform83(b *testing.B) {
+	s := New([]byte("bench")).Stream("poly", 1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uniform(83)
+	}
+}

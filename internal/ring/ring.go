@@ -1,0 +1,309 @@
+// Package ring implements the quotient ring F_q[x]/(x^(q-1) − 1) in which
+// the paper encodes XML trees (§3, step 2).
+//
+// Every polynomial is kept in reduced form as exactly n = q−1 coefficients
+// c[0..n−1] (c[i] is the coefficient of x^i). Reduction modulo x^(q−1) − 1
+// identifies x^(q−1) with 1, i.e. multiplication is cyclic convolution of
+// the coefficient vectors.
+//
+// The crucial soundness property (tested in this package) is that for any
+// nonzero point t ∈ F_q^*, t^(q−1) = 1, so reduction preserves evaluation
+// at every nonzero point. Since the secret tag map only uses nonzero
+// values, "f(map(N)) == 0" holds in the reduced ring exactly when the
+// unreduced product Π(x − t_i) has map(N) among its roots — i.e. exactly
+// when tag N occurs in the subtree. Containment matching has no false
+// positives or negatives at the ring level.
+package ring
+
+import (
+	"fmt"
+	"math/big"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+)
+
+// Ring is the polynomial ring F_q[x]/(x^(q-1) − 1). Immutable and safe for
+// concurrent use.
+type Ring struct {
+	f *gf.Field
+	n int // q - 1, number of coefficients in reduced form
+
+	// serialization support: polynomials are packed as a base-q integer
+	// occupying polyBytes bytes, the paper's (q−1)·log2(q) bits (§4).
+	polyBytes int
+	qBig      *big.Int
+}
+
+// New constructs the ring over the given field. Fields of order q < 3 are
+// rejected: the scheme needs at least one nonzero map value and a degree
+// >= 1 reduced representation to hold (x − t).
+func New(f *gf.Field) (*Ring, error) {
+	if f.Q() < 3 {
+		return nil, fmt.Errorf("ring: field order %d too small (need q >= 3)", f.Q())
+	}
+	n := int(f.Q() - 1)
+	r := &Ring{f: f, n: n, qBig: big.NewInt(int64(f.Q()))}
+	// polyBytes = bytes needed for the largest packed value q^n - 1.
+	max := new(big.Int).Exp(r.qBig, big.NewInt(int64(n)), nil)
+	max.Sub(max, big.NewInt(1))
+	r.polyBytes = (max.BitLen() + 7) / 8
+	return r, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(f *gf.Field) *Ring {
+	r, err := New(f)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Field returns the coefficient field.
+func (r *Ring) Field() *gf.Field { return r.f }
+
+// N returns the number of coefficients of a reduced polynomial (q − 1).
+func (r *Ring) N() int { return r.n }
+
+// PolyBytes returns the serialized size of one polynomial in bytes — the
+// paper's per-node storage cost.
+func (r *Ring) PolyBytes() int { return r.polyBytes }
+
+// Poly is a reduced polynomial: a coefficient vector of length Ring.N().
+// Polys from different rings must not be mixed; all Poly-taking methods on
+// Ring assume the argument belongs to it.
+type Poly []gf.Elem
+
+// NewPoly returns the zero polynomial.
+func (r *Ring) NewPoly() Poly { return make(Poly, r.n) }
+
+// One returns the constant polynomial 1.
+func (r *Ring) One() Poly {
+	p := r.NewPoly()
+	p[0] = 1
+	return p
+}
+
+// Constant returns the constant polynomial c.
+func (r *Ring) Constant(c gf.Elem) Poly {
+	p := r.NewPoly()
+	p[0] = c
+	return p
+}
+
+// Linear returns the monic linear polynomial x − t, the leaf encoding of a
+// node mapped to t (§3, step 2).
+func (r *Ring) Linear(t gf.Elem) Poly {
+	p := r.NewPoly()
+	p[0] = r.f.Neg(t)
+	p[1] = 1
+	return p
+}
+
+// Clone returns an independent copy of p.
+func (r *Ring) Clone(p Poly) Poly {
+	q := make(Poly, r.n)
+	copy(q, p)
+	return q
+}
+
+// Add returns a + b.
+func (r *Ring) Add(a, b Poly) Poly {
+	out := make(Poly, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.f.Add(a[i], b[i])
+	}
+	return out
+}
+
+// AddInPlace sets a += b and returns a.
+func (r *Ring) AddInPlace(a, b Poly) Poly {
+	for i := 0; i < r.n; i++ {
+		a[i] = r.f.Add(a[i], b[i])
+	}
+	return a
+}
+
+// Sub returns a − b.
+func (r *Ring) Sub(a, b Poly) Poly {
+	out := make(Poly, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.f.Sub(a[i], b[i])
+	}
+	return out
+}
+
+// Neg returns −a.
+func (r *Ring) Neg(a Poly) Poly {
+	out := make(Poly, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.f.Neg(a[i])
+	}
+	return out
+}
+
+// Mul returns a·b, reduced: cyclic convolution of the coefficient vectors.
+func (r *Ring) Mul(a, b Poly) Poly {
+	out := make(Poly, r.n)
+	for i := 0; i < r.n; i++ {
+		ai := a[i]
+		if ai == 0 {
+			continue
+		}
+		for j := 0; j < r.n; j++ {
+			bj := b[j]
+			if bj == 0 {
+				continue
+			}
+			k := i + j
+			if k >= r.n {
+				k -= r.n
+			}
+			out[k] = r.f.Add(out[k], r.f.Mul(ai, bj))
+		}
+	}
+	return out
+}
+
+// MulLinear returns a·(x − t) without forming the dense factor — the inner
+// loop of the encoder, where every node contributes one linear factor.
+func (r *Ring) MulLinear(a Poly, t gf.Elem) Poly {
+	out := make(Poly, r.n)
+	negT := r.f.Neg(t)
+	for i := 0; i < r.n; i++ {
+		ai := a[i]
+		if ai == 0 {
+			continue
+		}
+		// a_i x^i (x − t) = a_i x^(i+1) − t a_i x^i
+		k := i + 1
+		if k == r.n {
+			k = 0
+		}
+		out[k] = r.f.Add(out[k], ai)
+		out[i] = r.f.Add(out[i], r.f.Mul(negT, ai))
+	}
+	return out
+}
+
+// FromRoots returns Π (x − t) over the given roots — the unshared encoding
+// of a subtree whose nodes map to ts.
+func (r *Ring) FromRoots(ts []gf.Elem) Poly {
+	p := r.One()
+	for _, t := range ts {
+		p = r.MulLinear(p, t)
+	}
+	return p
+}
+
+// Eval evaluates p at point v by Horner's rule. For v ∈ F_q^* this equals
+// the evaluation of any unreduced preimage of p.
+func (r *Ring) Eval(p Poly, v gf.Elem) gf.Elem {
+	acc := gf.Elem(0)
+	for i := r.n - 1; i >= 0; i-- {
+		acc = r.f.Add(r.f.Mul(acc, v), p[i])
+	}
+	return acc
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (r *Ring) IsZero(p Poly) bool {
+	for _, c := range p {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether a and b are identical polynomials.
+func (r *Ring) Equal(a, b Poly) bool {
+	for i := 0; i < r.n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rand returns a polynomial with coefficients drawn uniformly from the
+// given stream — the client share generator (§3, step 3).
+func (r *Ring) Rand(s *prg.Stream) Poly {
+	p := make(Poly, r.n)
+	q := r.f.Q()
+	for i := range p {
+		p[i] = s.Uniform(q)
+	}
+	return p
+}
+
+// Bytes serializes p into exactly PolyBytes() bytes by radix-q packing
+// (big-endian): the storage format matching the paper's
+// (q−1)·log2(q)-bit cost accounting. Fixed width keeps rows uniform.
+func (r *Ring) Bytes(p Poly) []byte {
+	acc := new(big.Int)
+	tmp := new(big.Int)
+	for i := r.n - 1; i >= 0; i-- {
+		acc.Mul(acc, r.qBig)
+		tmp.SetUint64(uint64(p[i]))
+		acc.Add(acc, tmp)
+	}
+	out := make([]byte, r.polyBytes)
+	acc.FillBytes(out)
+	return out
+}
+
+// FromBytes deserializes a polynomial previously produced by Bytes.
+func (r *Ring) FromBytes(b []byte) (Poly, error) {
+	if len(b) != r.polyBytes {
+		return nil, fmt.Errorf("ring: polynomial blob is %d bytes, want %d", len(b), r.polyBytes)
+	}
+	acc := new(big.Int).SetBytes(b)
+	mod := new(big.Int)
+	p := make(Poly, r.n)
+	for i := 0; i < r.n; i++ {
+		acc.DivMod(acc, r.qBig, mod)
+		v := mod.Uint64()
+		p[i] = gf.Elem(v)
+	}
+	if acc.Sign() != 0 {
+		return nil, fmt.Errorf("ring: polynomial blob out of range")
+	}
+	return p, nil
+}
+
+// String renders p in conventional descending-degree notation, e.g.
+// "2x^3 + 3x^2 + 2x + 3" (cf. the paper's Fig. 1).
+func (r *Ring) String(p Poly) string {
+	s := ""
+	for i := r.n - 1; i >= 0; i-- {
+		c := p[i]
+		if c == 0 {
+			continue
+		}
+		if s != "" {
+			s += " + "
+		}
+		switch {
+		case i == 0:
+			s += fmt.Sprintf("%d", c)
+		case i == 1:
+			if c == 1 {
+				s += "x"
+			} else {
+				s += fmt.Sprintf("%dx", c)
+			}
+		default:
+			if c == 1 {
+				s += fmt.Sprintf("x^%d", i)
+			} else {
+				s += fmt.Sprintf("%dx^%d", c, i)
+			}
+		}
+	}
+	if s == "" {
+		return "0"
+	}
+	return s
+}

@@ -1,0 +1,390 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+)
+
+func f83(t testing.TB) *Ring  { return MustNew(gf.MustNew(83, 1)) }
+func f5(t testing.TB) *Ring   { return MustNew(gf.MustNew(5, 1)) }
+func f3_2(t testing.TB) *Ring { return MustNew(gf.MustNew(3, 2)) }
+
+func testRings(t *testing.T) []*Ring {
+	return []*Ring{f5(t), f83(t), f3_2(t), MustNew(gf.MustNew(29, 1))}
+}
+
+func TestNewRejectsTinyFields(t *testing.T) {
+	if _, err := New(gf.MustNew(2, 1)); err == nil {
+		t.Fatal("ring over GF(2) should be rejected")
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	r := f83(t)
+	if r.N() != 82 {
+		t.Fatalf("N = %d, want 82", r.N())
+	}
+	// (q-1)*log2(q) bits = 82 * 6.375.. ~= 523 bits ~= 66 bytes.
+	if r.PolyBytes() != 66 {
+		t.Fatalf("PolyBytes = %d, want 66", r.PolyBytes())
+	}
+	// Paper §4 says "in case p = 29 a polynomial costs 17 bytes": that is
+	// (q-1)*log2(q) = 28*4.857 = 136.02 bits rounded *down*. Exact packing
+	// needs ceil(136.02/8) = 18 bytes; we assert the exact figure and
+	// record the paper's rounding as an erratum in EXPERIMENTS.md.
+	r29 := MustNew(gf.MustNew(29, 1))
+	if r29.PolyBytes() != 18 {
+		t.Fatalf("PolyBytes(F_29) = %d, want 18 (paper §4 says ~17)", r29.PolyBytes())
+	}
+}
+
+// TestPaperFigure1 reproduces the paper's worked example: the tree of
+// Fig. 1(a) with map a=2, b=1, c=3 over F_5, checking the reduced
+// encodings of Fig. 1(d) coefficient-for-coefficient.
+//
+// The tree (recovered from the factorizations in Fig. 1(c)):
+//
+//	    a(2)
+//	   /    \
+//	b(1)    c(3)
+//	 |      /  \
+//	c(3)  a(2) b(1)
+func TestPaperFigure1(t *testing.T) {
+	r := f5(t)
+	const a, b, c = 2, 1, 3
+
+	leafC := r.Linear(c)                         // x - 3 = x + 2
+	leafA := r.Linear(a)                         // x - 2 = x + 3
+	leafB := r.Linear(b)                         // x - 1 = x + 4
+	nodeB := r.MulLinear(leafC, b)               // (x-1)(x-3) = x^2 + x + 3
+	nodeC := r.MulLinear(r.Mul(leafA, leafB), c) // (x-3)(x-2)(x-1) = x^3 + 4x^2 + x + 4
+	root := r.MulLinear(r.Mul(nodeB, nodeC), a)  // (x-1)^2 (x-2)^2 (x-3)^2 reduced
+
+	cases := []struct {
+		name string
+		got  Poly
+		want string
+	}{
+		{"leaf c", leafC, "x + 2"},
+		{"leaf a", leafA, "x + 3"},
+		{"leaf b", leafB, "x + 4"},
+		{"node b", nodeB, "x^2 + x + 3"},
+		{"node c", nodeC, "x^3 + 4x^2 + x + 4"},
+		// PAPER ERRATUM: Fig. 1(d) prints the root as 2x^3+3x^2+2x+3, but
+		// the true reduction of (x-1)^2(x-2)^2(x-3)^2 mod (x^4 - 1) is
+		// x^3+4x^2+x+4 — the same reduced polynomial as node c, since both
+		// vanish on {1,2,3} and take value 1 at 4, and reduced polynomials
+		// are determined by their values on F_5^*. The paper's printed
+		// value equals x * (children product), i.e. a root factor (x - 0)
+		// instead of (x - map(a)) = (x - 2). See EXPERIMENTS.md.
+		{"root a", root, "x^3 + 4x^2 + x + 4"},
+	}
+	for _, tc := range cases {
+		if got := r.String(tc.got); got != tc.want {
+			t.Errorf("%s: got %s, want %s (paper Fig. 1(d))", tc.name, got, tc.want)
+		}
+	}
+
+	// Containment semantics on the root: every tag value 1,2,3 occurs in
+	// the tree, so the root polynomial vanishes at all of them; it must
+	// not vanish at the unused value 4.
+	for _, v := range []gf.Elem{1, 2, 3} {
+		if r.Eval(root, v) != 0 {
+			t.Errorf("root poly does not vanish at %d", v)
+		}
+	}
+	if r.Eval(root, 4) == 0 {
+		t.Error("root poly vanishes at 4, which is not in the tree")
+	}
+	// nodeB's subtree is {b, c}: vanishes at 1 and 3 only.
+	if r.Eval(nodeB, 1) != 0 || r.Eval(nodeB, 3) != 0 {
+		t.Error("node b poly must vanish at map(b) and map(c)")
+	}
+	if r.Eval(nodeB, 2) == 0 {
+		t.Error("node b poly must not vanish at map(a)")
+	}
+
+	// Equality-test identity: root == (x - map(root)) * prod(children).
+	prod := r.Mul(nodeB, nodeC)
+	if !r.Equal(root, r.MulLinear(prod, a)) {
+		t.Error("first-factor identity violated at root")
+	}
+	// ... and fails for a wrong candidate tag.
+	if r.Equal(root, r.MulLinear(prod, b)) {
+		t.Error("first-factor identity matched a wrong tag")
+	}
+}
+
+// TestEvalMatchesUnreducedProduct is the soundness property from DESIGN.md:
+// for nonzero v, Eval(FromRoots(ts), v) == prod (v - t).
+func TestEvalMatchesUnreducedProduct(t *testing.T) {
+	for _, r := range testRings(t) {
+		f := r.Field()
+		gen := prg.New([]byte("eval")).Stream("roots", uint64(f.Q()))
+		for trial := 0; trial < 50; trial++ {
+			k := int(gen.Uniform(200)) // degree can far exceed q-1: reduction must wrap
+			ts := make([]gf.Elem, k)
+			for i := range ts {
+				ts[i] = gen.Uniform(f.Q()-1) + 1 // nonzero roots
+			}
+			p := r.FromRoots(ts)
+			v := gen.Uniform(f.Q()-1) + 1 // nonzero point
+			want := gf.Elem(1)
+			for _, root := range ts {
+				want = f.Mul(want, f.Sub(v, root))
+			}
+			if got := r.Eval(p, v); got != want {
+				t.Fatalf("%v: Eval(FromRoots(%d roots), %d) = %d, want %d", f, k, v, got, want)
+			}
+		}
+	}
+}
+
+// TestContainmentExact: the reduced polynomial vanishes at nonzero v
+// exactly when v is among the roots.
+func TestContainmentExact(t *testing.T) {
+	for _, r := range testRings(t) {
+		f := r.Field()
+		gen := prg.New([]byte("contain")).Stream("roots", uint64(f.Q()))
+		for trial := 0; trial < 30; trial++ {
+			k := int(gen.Uniform(40)) + 1
+			ts := make([]gf.Elem, k)
+			present := map[gf.Elem]bool{}
+			for i := range ts {
+				ts[i] = gen.Uniform(f.Q()-1) + 1
+				present[ts[i]] = true
+			}
+			p := r.FromRoots(ts)
+			for v := gf.Elem(1); v < f.Q(); v++ {
+				zero := r.Eval(p, v) == 0
+				if zero != present[v] {
+					t.Fatalf("%v: containment mismatch at v=%d: eval-zero=%v present=%v", f, v, zero, present[v])
+				}
+			}
+		}
+	}
+}
+
+func TestMulLinearAgreesWithMul(t *testing.T) {
+	for _, r := range testRings(t) {
+		gen := prg.New([]byte("mlin")).Stream("x", uint64(r.N()))
+		for trial := 0; trial < 20; trial++ {
+			p := r.Rand(gen)
+			tv := gen.Uniform(r.Field().Q())
+			if !r.Equal(r.MulLinear(p, tv), r.Mul(p, r.Linear(tv))) {
+				t.Fatalf("%v: MulLinear != Mul by linear factor", r.Field())
+			}
+		}
+	}
+}
+
+func TestRingAxiomsQuick(t *testing.T) {
+	r := f83(t)
+	gen := prg.New([]byte("axioms")).Stream("x", 0)
+	randPoly := func() Poly { return r.Rand(gen) }
+	for trial := 0; trial < 40; trial++ {
+		a, b, c := randPoly(), randPoly(), randPoly()
+		if !r.Equal(r.Add(a, b), r.Add(b, a)) {
+			t.Fatal("add not commutative")
+		}
+		if !r.Equal(r.Mul(a, b), r.Mul(b, a)) {
+			t.Fatal("mul not commutative")
+		}
+		if !r.Equal(r.Mul(r.Mul(a, b), c), r.Mul(a, r.Mul(b, c))) {
+			t.Fatal("mul not associative")
+		}
+		if !r.Equal(r.Mul(a, r.Add(b, c)), r.Add(r.Mul(a, b), r.Mul(a, c))) {
+			t.Fatal("not distributive")
+		}
+		if !r.Equal(r.Mul(a, r.One()), a) {
+			t.Fatal("one not identity")
+		}
+		if !r.IsZero(r.Sub(a, a)) {
+			t.Fatal("a - a != 0")
+		}
+		if !r.Equal(r.Add(a, r.Neg(a)), r.NewPoly()) {
+			t.Fatal("a + (-a) != 0")
+		}
+	}
+}
+
+// TestXPowNWrapsToOne: x^(q-1) must reduce to 1 — the defining relation.
+func TestXPowNWrapsToOne(t *testing.T) {
+	for _, r := range testRings(t) {
+		x := r.Linear(0) // the polynomial x
+		p := r.One()
+		for i := 0; i < r.N(); i++ {
+			p = r.Mul(p, x)
+		}
+		if !r.Equal(p, r.One()) {
+			t.Fatalf("%v: x^(q-1) != 1 in the ring", r.Field())
+		}
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	for _, r := range testRings(t) {
+		gen := prg.New([]byte("ser")).Stream("x", 1)
+		for trial := 0; trial < 25; trial++ {
+			p := r.Rand(gen)
+			b := r.Bytes(p)
+			if len(b) != r.PolyBytes() {
+				t.Fatalf("Bytes length %d, want %d", len(b), r.PolyBytes())
+			}
+			q, err := r.FromBytes(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Equal(p, q) {
+				t.Fatalf("%v: serialization round-trip failed", r.Field())
+			}
+		}
+		// Edge polynomials.
+		for _, p := range []Poly{r.NewPoly(), r.One(), maxPoly(r)} {
+			q, err := r.FromBytes(r.Bytes(p))
+			if err != nil || !r.Equal(p, q) {
+				t.Fatalf("%v: round-trip failed on edge poly (%v)", r.Field(), err)
+			}
+		}
+	}
+}
+
+func maxPoly(r *Ring) Poly {
+	p := r.NewPoly()
+	for i := range p {
+		p[i] = r.Field().Q() - 1
+	}
+	return p
+}
+
+func TestFromBytesRejectsBadInput(t *testing.T) {
+	r := f5(t)
+	if _, err := r.FromBytes(make([]byte, r.PolyBytes()+1)); err == nil {
+		t.Error("oversized blob accepted")
+	}
+	if _, err := r.FromBytes(make([]byte, r.PolyBytes()-1)); err == nil {
+		t.Error("undersized blob accepted")
+	}
+	// All-0xFF exceeds q^n - 1 for F_5 (n=4: q^n = 625 <= 2^10, blob is 2 bytes,
+	// max value 624 < 65535).
+	bad := make([]byte, r.PolyBytes())
+	for i := range bad {
+		bad[i] = 0xFF
+	}
+	if _, err := r.FromBytes(bad); err == nil {
+		t.Error("out-of-range blob accepted")
+	}
+}
+
+func TestQuickSerialization(t *testing.T) {
+	r := f83(t)
+	q := r.Field().Q()
+	err := quick.Check(func(seed uint64) bool {
+		gen := prg.New([]byte("qs")).Stream("x", seed)
+		p := make(Poly, r.N())
+		for i := range p {
+			p[i] = gen.Uniform(q)
+		}
+		back, err := r.FromBytes(r.Bytes(p))
+		return err == nil && r.Equal(p, back)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringZero(t *testing.T) {
+	r := f5(t)
+	if s := r.String(r.NewPoly()); s != "0" {
+		t.Errorf("String(0) = %q", s)
+	}
+	if s := r.String(r.One()); s != "1" {
+		t.Errorf("String(1) = %q", s)
+	}
+	if s := r.String(r.Linear(0)); s != "x" {
+		t.Errorf("String(x) = %q", s)
+	}
+}
+
+func TestRandIsUniformish(t *testing.T) {
+	// All coefficients in range, and not all identical across draws.
+	r := f83(t)
+	gen := prg.New([]byte("rand")).Stream("x", 0)
+	p1, p2 := r.Rand(gen), r.Rand(gen)
+	for _, p := range []Poly{p1, p2} {
+		for _, c := range p {
+			if c >= r.Field().Q() {
+				t.Fatalf("coefficient %d out of range", c)
+			}
+		}
+	}
+	if r.Equal(p1, p2) {
+		t.Fatal("two successive random polynomials identical")
+	}
+}
+
+func TestAddInPlace(t *testing.T) {
+	r := f83(t)
+	gen := prg.New([]byte("aip")).Stream("x", 0)
+	a, b := r.Rand(gen), r.Rand(gen)
+	want := r.Add(a, b)
+	got := r.AddInPlace(r.Clone(a), b)
+	if !r.Equal(want, got) {
+		t.Fatal("AddInPlace disagrees with Add")
+	}
+}
+
+func BenchmarkMulF83(b *testing.B) {
+	r := MustNew(gf.MustNew(83, 1))
+	gen := prg.New([]byte("bench")).Stream("x", 0)
+	p, q := r.Rand(gen), r.Rand(gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Mul(p, q)
+	}
+}
+
+func BenchmarkMulLinearF83(b *testing.B) {
+	r := MustNew(gf.MustNew(83, 1))
+	gen := prg.New([]byte("bench")).Stream("x", 0)
+	p := r.Rand(gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.MulLinear(p, 17)
+	}
+}
+
+func BenchmarkEvalF83(b *testing.B) {
+	r := MustNew(gf.MustNew(83, 1))
+	gen := prg.New([]byte("bench")).Stream("x", 0)
+	p := r.Rand(gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Eval(p, 29)
+	}
+}
+
+func BenchmarkSerializeF83(b *testing.B) {
+	r := MustNew(gf.MustNew(83, 1))
+	gen := prg.New([]byte("bench")).Stream("x", 0)
+	p := r.Rand(gen)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Bytes(p)
+	}
+}
+
+func BenchmarkDeserializeF83(b *testing.B) {
+	r := MustNew(gf.MustNew(83, 1))
+	gen := prg.New([]byte("bench")).Stream("x", 0)
+	blob := r.Bytes(r.Rand(gen))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.FromBytes(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

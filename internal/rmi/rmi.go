@@ -1,0 +1,296 @@
+// Package rmi is the repo's stand-in for Java RMI (paper §5.2): a small
+// synchronous RPC layer with gob-encoded, length-prefixed frames over any
+// net.Conn. The ClientFilter and ServerFilter of the paper communicate
+// exclusively through this interface, so evaluation and message counts in
+// the experiments include exactly the round-trips the prototype made.
+//
+// The protocol is strictly request/response. Clients serialize concurrent
+// calls; servers handle each connection in its own goroutine.
+package rmi
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// maxFrame bounds a single message; a frame larger than this indicates
+// corruption or protocol mismatch.
+const maxFrame = 64 << 20
+
+// RemoteError is an error returned by the remote handler (as opposed to a
+// transport failure).
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rmi: remote: " + e.Msg }
+
+type request struct {
+	Seq    uint64
+	Method string
+	Body   []byte
+}
+
+type response struct {
+	Seq  uint64
+	Err  string
+	Body []byte
+}
+
+// HandlerFunc processes one call: gob-encoded args in, gob-encoded reply
+// out.
+type HandlerFunc func(body []byte) ([]byte, error)
+
+// Server dispatches incoming calls to registered handlers. Safe for
+// concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]HandlerFunc
+
+	// Stats
+	calls     atomic.Int64
+	bytesIn   atomic.Int64
+	bytesOut  atomic.Int64
+	listeners sync.WaitGroup
+}
+
+// NewServer returns an empty server.
+func NewServer() *Server {
+	return &Server{handlers: map[string]HandlerFunc{}}
+}
+
+// Handle registers fn under the method name. Registering a duplicate name
+// panics (a programming error).
+func (s *Server) Handle(method string, fn HandlerFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic("rmi: duplicate handler for " + method)
+	}
+	s.handlers[method] = fn
+}
+
+// HandleFunc registers a typed handler: decode Args, call, encode Reply.
+func HandleFunc[Args any, Reply any](s *Server, method string, fn func(Args) (Reply, error)) {
+	s.Handle(method, func(body []byte) ([]byte, error) {
+		var args Args
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&args); err != nil {
+			return nil, fmt.Errorf("decoding args: %w", err)
+		}
+		reply, err := fn(args)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&reply); err != nil {
+			return nil, fmt.Errorf("encoding reply: %w", err)
+		}
+		return buf.Bytes(), nil
+	})
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				s.listeners.Wait()
+				return nil
+			}
+			return fmt.Errorf("rmi: accept: %w", err)
+		}
+		s.listeners.Add(1)
+		go func() {
+			defer s.listeners.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn serves a single connection until EOF or error.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		var req request
+		n, err := readFrame(conn, &req)
+		if err != nil {
+			return // EOF or broken peer: nothing to report to
+		}
+		s.bytesIn.Add(int64(n))
+		s.calls.Add(1)
+		s.mu.RLock()
+		fn, ok := s.handlers[req.Method]
+		s.mu.RUnlock()
+		var resp response
+		resp.Seq = req.Seq
+		if !ok {
+			resp.Err = "unknown method " + req.Method
+		} else {
+			body, err := fn(req.Body)
+			if err != nil {
+				resp.Err = err.Error()
+			} else {
+				resp.Body = body
+			}
+		}
+		n, err = writeFrame(conn, &resp)
+		if err != nil {
+			return
+		}
+		s.bytesOut.Add(int64(n))
+	}
+}
+
+// ServerStats is a snapshot of server-side traffic counters.
+type ServerStats struct {
+	Calls    int64
+	BytesIn  int64
+	BytesOut int64
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Calls:    s.calls.Load(),
+		BytesIn:  s.bytesIn.Load(),
+		BytesOut: s.bytesOut.Load(),
+	}
+}
+
+// Client issues calls over one connection. Safe for concurrent use; calls
+// are serialized.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64
+
+	calls    atomic.Int64
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
+}
+
+// Dial connects to a server at addr (TCP).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rmi: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Call invokes method with gob-encoded args, decoding the reply into
+// reply (a pointer), and returns a *RemoteError if the handler failed.
+func (c *Client) Call(method string, args any, reply any) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(args); err != nil {
+		return fmt.Errorf("rmi: encoding args for %s: %w", method, err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	req := request{Seq: c.seq, Method: method, Body: body.Bytes()}
+	n, err := writeFrame(c.conn, &req)
+	if err != nil {
+		return fmt.Errorf("rmi: sending %s: %w", method, err)
+	}
+	c.bytesOut.Add(int64(n))
+	var resp response
+	n, err = readFrame(c.conn, &resp)
+	if err != nil {
+		return fmt.Errorf("rmi: receiving reply for %s: %w", method, err)
+	}
+	c.bytesIn.Add(int64(n))
+	c.calls.Add(1)
+	if resp.Seq != req.Seq {
+		return fmt.Errorf("rmi: reply sequence %d for request %d", resp.Seq, req.Seq)
+	}
+	if resp.Err != "" {
+		return &RemoteError{Msg: resp.Err}
+	}
+	if reply != nil {
+		if err := gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply); err != nil {
+			return fmt.Errorf("rmi: decoding reply for %s: %w", method, err)
+		}
+	}
+	return nil
+}
+
+// ClientStats is a snapshot of client-side traffic counters.
+type ClientStats struct {
+	Calls    int64
+	BytesOut int64
+	BytesIn  int64
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:    c.calls.Load(),
+		BytesOut: c.bytesOut.Load(),
+		BytesIn:  c.bytesIn.Load(),
+	}
+}
+
+// Pipe returns a connected in-process client/server pair: the returned
+// client talks to srv over a net.Pipe, with the server goroutine running
+// until the client closes. Used by tests and by single-process setups
+// that still want the exact remote code path.
+func Pipe(srv *Server) *Client {
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	return NewClient(cConn)
+}
+
+// writeFrame writes a 4-byte big-endian length followed by the gob
+// encoding of v, returning total bytes written.
+func writeFrame(w io.Writer, v any) (int, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return 0, err
+	}
+	b := buf.Bytes()
+	payload := len(b) - 4
+	if payload > maxFrame {
+		return 0, fmt.Errorf("frame of %d bytes exceeds limit", payload)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(payload))
+	n, err := w.Write(b)
+	return n, err
+}
+
+// readFrame reads one length-prefixed gob frame into v, returning total
+// bytes read.
+func readFrame(r io.Reader, v any) (int, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		return 0, err
+	}
+	size := binary.BigEndian.Uint32(lenbuf[:])
+	if size > maxFrame {
+		return 0, fmt.Errorf("frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(v); err != nil {
+		return 0, err
+	}
+	return 4 + int(size), nil
+}

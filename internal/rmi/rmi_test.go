@@ -1,0 +1,213 @@
+package rmi
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoArgs struct {
+	S string
+	N int64
+}
+
+func newEchoServer() *Server {
+	srv := NewServer()
+	HandleFunc(srv, "echo", func(a echoArgs) (echoArgs, error) {
+		return a, nil
+	})
+	HandleFunc(srv, "fail", func(a echoArgs) (echoArgs, error) {
+		return echoArgs{}, errors.New("boom: " + a.S)
+	})
+	HandleFunc(srv, "add", func(a [2]int64) (int64, error) {
+		return a[0] + a[1], nil
+	})
+	return srv
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	cli := Pipe(newEchoServer())
+	defer cli.Close()
+	var out echoArgs
+	if err := cli.Call("echo", echoArgs{S: "hi", N: 42}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != "hi" || out.N != 42 {
+		t.Fatalf("echo = %+v", out)
+	}
+	var sum int64
+	if err := cli.Call("add", [2]int64{20, 22}, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42 {
+		t.Fatalf("add = %d", sum)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	cli := Pipe(newEchoServer())
+	defer cli.Close()
+	var out echoArgs
+	err := cli.Call("fail", echoArgs{S: "reason"}, &out)
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v is not RemoteError", err)
+	}
+	if !strings.Contains(re.Msg, "reason") {
+		t.Fatalf("remote error lost message: %q", re.Msg)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	cli := Pipe(newEchoServer())
+	defer cli.Close()
+	err := cli.Call("nope", echoArgs{}, nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "unknown method") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPServe(t *testing.T) {
+	srv := newEchoServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	cli, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out echoArgs
+	if err := cli.Call("echo", echoArgs{S: "tcp"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.S != "tcp" {
+		t.Fatalf("echo over TCP = %+v", out)
+	}
+	cli.Close()
+	l.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+func TestConcurrentCallsSerialized(t *testing.T) {
+	cli := Pipe(newEchoServer())
+	defer cli.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			for i := int64(0); i < 20; i++ {
+				var sum int64
+				if err := cli.Call("add", [2]int64{g, i}, &sum); err != nil {
+					errs <- err
+					return
+				}
+				if sum != g+i {
+					errs <- errors.New("wrong sum")
+					return
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounted(t *testing.T) {
+	srv := newEchoServer()
+	cli := Pipe(srv)
+	defer cli.Close()
+	for i := 0; i < 5; i++ {
+		var out echoArgs
+		if err := cli.Call("echo", echoArgs{S: "x"}, &out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := cli.Stats()
+	// The server bumps its counters just after its write unblocks, so give
+	// its goroutine a moment to finish accounting for the last reply.
+	var ss ServerStats
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		ss = srv.Stats()
+		if ss.BytesOut == cs.BytesIn || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if cs.Calls != 5 || ss.Calls != 5 {
+		t.Fatalf("calls: client %d server %d", cs.Calls, ss.Calls)
+	}
+	if cs.BytesOut == 0 || cs.BytesIn == 0 || ss.BytesIn == 0 || ss.BytesOut == 0 {
+		t.Fatalf("byte counters zero: %+v %+v", cs, ss)
+	}
+	if cs.BytesOut != ss.BytesIn || cs.BytesIn != ss.BytesOut {
+		t.Fatalf("byte counters disagree: %+v vs %+v", cs, ss)
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	srv := NewServer()
+	srv.Handle("m", func(b []byte) ([]byte, error) { return nil, nil })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Handle did not panic")
+		}
+	}()
+	srv.Handle("m", func(b []byte) ([]byte, error) { return nil, nil })
+}
+
+func TestNilReplyDiscardsBody(t *testing.T) {
+	cli := Pipe(newEchoServer())
+	defer cli.Close()
+	if err := cli.Call("echo", echoArgs{S: "discard"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPipeCall(b *testing.B) {
+	cli := Pipe(newEchoServer())
+	defer cli.Close()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		if err := cli.Call("add", [2]int64{1, 2}, &sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTCPCall(b *testing.B) {
+	srv := newEchoServer()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+	cli, err := Dial(l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		if err := cli.Call("add", [2]int64{1, 2}, &sum); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

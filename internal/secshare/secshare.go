@@ -1,0 +1,70 @@
+// Package secshare implements the additive secret sharing of node
+// polynomials between client and server (paper §3, steps 3–4).
+//
+// Every node polynomial f is split into two shares with f = client +
+// server. The client share is produced by the seeded PRG keyed on the
+// node's pre value, so the entire client tree can be discarded and
+// regenerated on demand from the seed file; the server share is what gets
+// stored in the (public, untrusted) database. Each share on its own is a
+// uniformly random polynomial, so the server learns nothing about f.
+package secshare
+
+import (
+	"encshare/internal/prg"
+	"encshare/internal/ring"
+)
+
+// Domain is the PRG domain-separation label for client share streams. The
+// encoder and the client filter must agree on it; it is part of the wire
+// format between "encrypt time" and "query time".
+const Domain = "encshare/client-poly/v1"
+
+// Scheme ties a ring and a PRG together and produces/regenerates shares.
+// Immutable and safe for concurrent use.
+type Scheme struct {
+	r *ring.Ring
+	g *prg.Generator
+}
+
+// New creates a sharing scheme over ring r with client shares drawn from g.
+func New(r *ring.Ring, g *prg.Generator) *Scheme {
+	return &Scheme{r: r, g: g}
+}
+
+// Ring returns the underlying polynomial ring.
+func (s *Scheme) Ring() *ring.Ring { return s.r }
+
+// ClientShare regenerates the client share for the node stored at the
+// given pre position. This is deterministic: it is how the client
+// "remembers" its half of every polynomial while storing only the seed.
+func (s *Scheme) ClientShare(pre uint64) ring.Poly {
+	return s.r.Rand(s.g.Stream(Domain, pre))
+}
+
+// Split computes the server share for node polynomial f at position pre:
+// server = f − client. The pair (ClientShare(pre), server) sums to f.
+func (s *Scheme) Split(f ring.Poly, pre uint64) (server ring.Poly) {
+	return s.r.Sub(f, s.ClientShare(pre))
+}
+
+// Reconstruct recombines a server share with the regenerated client share:
+// f = client + server.
+func (s *Scheme) Reconstruct(server ring.Poly, pre uint64) ring.Poly {
+	return s.r.Add(s.ClientShare(pre), server)
+}
+
+// EvalShared evaluates the *unshared* polynomial at point v given only the
+// server share: client(v) + server(v) = f(v). This is the core of the
+// containment test — the server evaluates its share, the client evaluates
+// its regenerated share, and only the sum is meaningful.
+func (s *Scheme) EvalShared(server ring.Poly, pre uint64, v uint32) uint32 {
+	cv := s.r.Eval(s.ClientShare(pre), v)
+	sv := s.r.Eval(server, v)
+	return s.r.Field().Add(cv, sv)
+}
+
+// EvalClientAt evaluates just the client share at v; used when the server
+// evaluation happens remotely and only the two field values meet.
+func (s *Scheme) EvalClientAt(pre uint64, v uint32) uint32 {
+	return s.r.Eval(s.ClientShare(pre), v)
+}

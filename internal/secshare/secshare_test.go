@@ -1,0 +1,146 @@
+package secshare
+
+import (
+	"testing"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+	"encshare/internal/ring"
+)
+
+func newScheme(t testing.TB, seed string) *Scheme {
+	t.Helper()
+	r := ring.MustNew(gf.MustNew(83, 1))
+	return New(r, prg.New([]byte(seed)))
+}
+
+func TestSplitReconstructRoundTrip(t *testing.T) {
+	s := newScheme(t, "seed")
+	gen := prg.New([]byte("data")).Stream("f", 0)
+	for pre := uint64(1); pre <= 50; pre++ {
+		f := s.Ring().Rand(gen)
+		server := s.Split(f, pre)
+		got := s.Reconstruct(server, pre)
+		if !s.Ring().Equal(f, got) {
+			t.Fatalf("pre=%d: reconstruct(split(f)) != f", pre)
+		}
+	}
+}
+
+func TestSharesSumToPoly(t *testing.T) {
+	s := newScheme(t, "seed")
+	f := s.Ring().Linear(17)
+	server := s.Split(f, 7)
+	client := s.ClientShare(7)
+	if !s.Ring().Equal(s.Ring().Add(client, server), f) {
+		t.Fatal("client + server != f")
+	}
+}
+
+func TestClientShareDeterministic(t *testing.T) {
+	s1 := newScheme(t, "same-seed")
+	s2 := newScheme(t, "same-seed")
+	if !s1.Ring().Equal(s1.ClientShare(123), s2.ClientShare(123)) {
+		t.Fatal("client shares for the same (seed, pre) differ")
+	}
+	if s1.Ring().Equal(s1.ClientShare(123), s1.ClientShare(124)) {
+		t.Fatal("client shares for different pre values coincide")
+	}
+}
+
+func TestDifferentSeedsDifferentShares(t *testing.T) {
+	a := newScheme(t, "seed-a")
+	b := newScheme(t, "seed-b")
+	if a.Ring().Equal(a.ClientShare(1), b.ClientShare(1)) {
+		t.Fatal("different seeds produced the same client share")
+	}
+}
+
+// TestServerShareLooksRandom: the server share of a *fixed* polynomial
+// under fresh positions should hit many distinct coefficient values — a
+// smoke test for the hiding property (each share is uniform).
+func TestServerShareCoverage(t *testing.T) {
+	s := newScheme(t, "hide")
+	f := s.Ring().Linear(5) // low-entropy secret
+	seen := map[uint32]bool{}
+	for pre := uint64(0); pre < 30; pre++ {
+		server := s.Split(f, pre)
+		for _, c := range server {
+			seen[c] = true
+		}
+	}
+	if len(seen) < 70 { // 83 possible values; ~all should appear in 2460 draws
+		t.Fatalf("server share coefficients cover only %d/83 values", len(seen))
+	}
+}
+
+func TestEvalShared(t *testing.T) {
+	s := newScheme(t, "eval")
+	r := s.Ring()
+	f := r.FromRoots([]gf.Elem{3, 9, 27}) // subtree containing tags 3, 9, 27
+	const pre = 11
+	server := s.Split(f, pre)
+	for v := gf.Elem(1); v < r.Field().Q(); v++ {
+		want := r.Eval(f, v)
+		if got := s.EvalShared(server, pre, v); got != want {
+			t.Fatalf("EvalShared at %d = %d, want %d", v, got, want)
+		}
+		// Split evaluation path (remote scenario): client(v) + server(v).
+		cv := s.EvalClientAt(pre, v)
+		sv := r.Eval(server, v)
+		if got := r.Field().Add(cv, sv); got != want {
+			t.Fatalf("split eval at %d = %d, want %d", v, got, want)
+		}
+	}
+	// Containment: zero exactly at the roots.
+	for _, v := range []gf.Elem{3, 9, 27} {
+		if s.EvalShared(server, pre, v) != 0 {
+			t.Errorf("shared eval at contained tag %d != 0", v)
+		}
+	}
+	if s.EvalShared(server, pre, 5) == 0 {
+		t.Error("shared eval at absent tag 5 == 0")
+	}
+}
+
+// TestWrongSeedGarbles: reconstructing with the wrong seed must not give
+// back f (this is what makes the seed the key).
+func TestWrongSeedGarbles(t *testing.T) {
+	enc := newScheme(t, "right-seed")
+	dec := newScheme(t, "wrong-seed")
+	f := enc.Ring().Linear(42)
+	server := enc.Split(f, 5)
+	if dec.Ring().Equal(dec.Reconstruct(server, 5), f) {
+		t.Fatal("wrong seed still reconstructed f")
+	}
+}
+
+func TestExtensionFieldScheme(t *testing.T) {
+	r := ring.MustNew(gf.MustNew(3, 2)) // F_9, n = 8
+	s := New(r, prg.New([]byte("ext")))
+	gen := prg.New([]byte("extdata")).Stream("f", 0)
+	f := r.Rand(gen)
+	server := s.Split(f, 2)
+	if !r.Equal(s.Reconstruct(server, 2), f) {
+		t.Fatal("extension-field round-trip failed")
+	}
+}
+
+func BenchmarkClientShare(b *testing.B) {
+	r := ring.MustNew(gf.MustNew(83, 1))
+	s := New(r, prg.New([]byte("bench")))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.ClientShare(uint64(i))
+	}
+}
+
+func BenchmarkSplit(b *testing.B) {
+	r := ring.MustNew(gf.MustNew(83, 1))
+	s := New(r, prg.New([]byte("bench")))
+	f := r.Linear(11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Split(f, uint64(i))
+	}
+}

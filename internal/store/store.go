@@ -1,0 +1,254 @@
+// Package store implements the server-side node table of the scheme: one
+// row (pre, post, parent, poly) per XML node, where poly is the server's
+// share of the node polynomial (paper §5.1). It talks to the embedded SQL
+// engine through database/sql exactly as the paper's prototype talks to
+// MySQL, with B-tree indexes on pre (primary key), post and parent.
+//
+// The descendant query exploits the contiguity of descendants in pre
+// order: it first locates the subtree boundary — the smallest pre greater
+// than pre(n) whose post exceeds post(n), i.e. the first non-descendant —
+// with a loose index scan, then range-scans (pre(n), boundary). Cost is
+// O(log N + |subtree|) instead of the naive O(N) post-filter (kept as
+// DescendantsNaive for the ablation benchmark).
+package store
+
+import (
+	"database/sql"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"encshare/internal/minisql"
+)
+
+// NodeRow is one stored node: the Grust numbering plus the server share of
+// the node polynomial.
+type NodeRow struct {
+	Pre    int64
+	Post   int64
+	Parent int64
+	Poly   []byte
+}
+
+// ErrNotFound is returned when a requested node does not exist.
+var ErrNotFound = errors.New("store: node not found")
+
+// Store is a handle on one node table.
+type Store struct {
+	db  *sql.DB
+	dsn string
+
+	insert      *sql.Stmt
+	byPre       *sql.Stmt
+	children    *sql.Stmt
+	boundary    *sql.Stmt
+	rangeScan   *sql.Stmt
+	rootQuery   *sql.Stmt
+	countQuery  *sql.Stmt
+	naiveDesc   *sql.Stmt
+	childrenCnt *sql.Stmt
+}
+
+// Open connects to (creating if necessary) the minisql database named by
+// dsn. Call Init before first use of a fresh database.
+func Open(dsn string) (*Store, error) {
+	db, err := sql.Open(minisql.DriverName, dsn)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	return &Store{db: db, dsn: dsn}, nil
+}
+
+// DSN returns the database name this store is attached to.
+func (s *Store) DSN() string { return s.dsn }
+
+// Init creates the nodes table and its indexes (the schema of §5.1),
+// failing if it already exists.
+func (s *Store) Init() error {
+	stmts := []string{
+		`CREATE TABLE nodes (
+			pre BIGINT PRIMARY KEY,
+			post BIGINT NOT NULL,
+			parent BIGINT NOT NULL,
+			poly BLOB NOT NULL
+		)`,
+		"CREATE INDEX idx_nodes_post ON nodes (post) USING BTREE",
+		"CREATE INDEX idx_nodes_parent ON nodes (parent) USING BTREE",
+	}
+	for _, q := range stmts {
+		if _, err := s.db.Exec(q); err != nil {
+			return fmt.Errorf("store: init: %w", err)
+		}
+	}
+	return s.prepare()
+}
+
+// Attach prepares statements against an existing nodes table (e.g. after
+// minisql.Load restored a dump).
+func (s *Store) Attach() error { return s.prepare() }
+
+func (s *Store) prepare() error {
+	prep := func(dst **sql.Stmt, q string) error {
+		st, err := s.db.Prepare(q)
+		if err != nil {
+			return fmt.Errorf("store: prepare %q: %w", q, err)
+		}
+		*dst = st
+		return nil
+	}
+	for _, p := range []struct {
+		dst **sql.Stmt
+		q   string
+	}{
+		{&s.insert, "INSERT INTO nodes (pre, post, parent, poly) VALUES (?, ?, ?, ?)"},
+		{&s.byPre, "SELECT pre, post, parent, poly FROM nodes WHERE pre = ?"},
+		{&s.children, "SELECT pre, post, parent, poly FROM nodes WHERE parent = ? ORDER BY pre"},
+		{&s.boundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
+		{&s.rangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+		{&s.rootQuery, "SELECT pre, post, parent, poly FROM nodes WHERE parent = 0"},
+		{&s.countQuery, "SELECT COUNT(*) FROM nodes"},
+		{&s.naiveDesc, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND post < ? ORDER BY pre"},
+		{&s.childrenCnt, "SELECT COUNT(*) FROM nodes WHERE parent = ?"},
+	} {
+		if err := prep(p.dst, p.q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// InsertNode stores one row. It satisfies the encoder's RowSink.
+func (s *Store) InsertNode(row NodeRow) error {
+	if _, err := s.insert.Exec(row.Pre, row.Post, row.Parent, row.Poly); err != nil {
+		return fmt.Errorf("store: insert pre=%d: %w", row.Pre, err)
+	}
+	return nil
+}
+
+func scanRows(rows *sql.Rows) ([]NodeRow, error) {
+	defer rows.Close()
+	var out []NodeRow
+	for rows.Next() {
+		var r NodeRow
+		if err := rows.Scan(&r.Pre, &r.Post, &r.Parent, &r.Poly); err != nil {
+			return nil, fmt.Errorf("store: scan: %w", err)
+		}
+		out = append(out, r)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("store: rows: %w", err)
+	}
+	return out, nil
+}
+
+// Root returns the unique node with parent = 0.
+func (s *Store) Root() (NodeRow, error) {
+	rows, err := s.rootQuery.Query()
+	if err != nil {
+		return NodeRow{}, fmt.Errorf("store: root: %w", err)
+	}
+	all, err := scanRows(rows)
+	if err != nil {
+		return NodeRow{}, err
+	}
+	switch len(all) {
+	case 0:
+		return NodeRow{}, fmt.Errorf("store: root: %w", ErrNotFound)
+	case 1:
+		return all[0], nil
+	}
+	return NodeRow{}, fmt.Errorf("store: %d root nodes", len(all))
+}
+
+// Node returns the node at pre.
+func (s *Store) Node(pre int64) (NodeRow, error) {
+	rows, err := s.byPre.Query(pre)
+	if err != nil {
+		return NodeRow{}, fmt.Errorf("store: node %d: %w", pre, err)
+	}
+	all, err := scanRows(rows)
+	if err != nil {
+		return NodeRow{}, err
+	}
+	if len(all) == 0 {
+		return NodeRow{}, fmt.Errorf("store: node %d: %w", pre, ErrNotFound)
+	}
+	return all[0], nil
+}
+
+// Children returns the child rows of the node at pre, in document order.
+func (s *Store) Children(pre int64) ([]NodeRow, error) {
+	rows, err := s.children.Query(pre)
+	if err != nil {
+		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
+	}
+	return scanRows(rows)
+}
+
+// Descendants returns all proper descendants of the node (pre, post), in
+// document order, using the boundary optimization.
+func (s *Store) Descendants(pre, post int64) ([]NodeRow, error) {
+	var bound sql.NullInt64
+	if err := s.boundary.QueryRow(pre, post).Scan(&bound); err != nil {
+		return nil, fmt.Errorf("store: boundary of %d: %w", pre, err)
+	}
+	hi := int64(math.MaxInt64)
+	if bound.Valid {
+		hi = bound.Int64
+	}
+	rows, err := s.rangeScan.Query(pre, hi)
+	if err != nil {
+		return nil, fmt.Errorf("store: descendants of %d: %w", pre, err)
+	}
+	return scanRows(rows)
+}
+
+// DescendantsNaive is the unoptimized variant (full pre-range scan with a
+// post filter); kept for the ablation benchmark.
+func (s *Store) DescendantsNaive(pre, post int64) ([]NodeRow, error) {
+	rows, err := s.naiveDesc.Query(pre, post)
+	if err != nil {
+		return nil, fmt.Errorf("store: naive descendants of %d: %w", pre, err)
+	}
+	return scanRows(rows)
+}
+
+// Count returns the number of stored nodes.
+func (s *Store) Count() (int64, error) {
+	var n int64
+	if err := s.countQuery.QueryRow().Scan(&n); err != nil {
+		return 0, fmt.Errorf("store: count: %w", err)
+	}
+	return n, nil
+}
+
+// ChildCount returns the number of children of the node at pre without
+// fetching the rows (used by the equality-test cost accounting).
+func (s *Store) ChildCount(pre int64) (int64, error) {
+	var n int64
+	if err := s.childrenCnt.QueryRow(pre).Scan(&n); err != nil {
+		return 0, fmt.Errorf("store: child count of %d: %w", pre, err)
+	}
+	return n, nil
+}
+
+// Dump serializes the underlying database (see minisql.Dump).
+func (s *Store) Dump(w io.Writer) error {
+	return minisql.Get(s.dsn).Dump(w)
+}
+
+// Load restores the underlying database from a dump and re-prepares
+// statements.
+func (s *Store) Load(r io.Reader) error {
+	if err := minisql.Get(s.dsn).Load(r); err != nil {
+		return err
+	}
+	return s.prepare()
+}
+
+// Close releases the database handle (the data stays registered under the
+// DSN until minisql.Drop).
+func (s *Store) Close() error {
+	return s.db.Close()
+}

@@ -1,0 +1,228 @@
+// Package trie implements the paper's §4 enhancement: representing the
+// textual data of an XML document as a trie of single-character nodes so
+// that content (not just tag names) becomes searchable under the
+// polynomial encoding.
+//
+// A data string is split into words; each word becomes a path of
+// character nodes terminated by the sentinel character ⊥ (Terminator), cf.
+// Fig. 2. Two representations exist:
+//
+//   - Compressed: words are inserted into a shared trie, so common
+//     prefixes are stored once and duplicate words collapse entirely.
+//     Order and cardinality of words are lost (the paper suggests adding
+//     an encryption of the full string if that matters).
+//   - Uncompressed: every word occurrence becomes its own chain, keeping
+//     exactly the information of the original string.
+//
+// Queries like /name[contains(text(),"Joan")] become the path query
+// /name[//j/o/a/n] after the same normalization (paper §4).
+package trie
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"encshare/internal/xmldoc"
+)
+
+// Terminator is the ⊥ end-of-word marker node name (paper Fig. 2).
+const Terminator = "⊥"
+
+// Mode selects the text representation.
+type Mode int
+
+const (
+	// Off leaves text nodes unindexed (the §3 tag-only scheme).
+	Off Mode = iota
+	// Compressed merges words into a shared prefix trie (Fig. 2(b)).
+	Compressed
+	// Uncompressed keeps one chain per word occurrence (Fig. 2(c)).
+	Uncompressed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Off:
+		return "off"
+	case Compressed:
+		return "compressed"
+	case Uncompressed:
+		return "uncompressed"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Words splits a data string into normalized words: runs of letters or
+// digits, lowercased. This is the "split a string into words" step of §4;
+// the same normalization must be applied to query strings.
+func Words(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// PathSteps returns the per-character node names of a single normalized
+// word, e.g. "joan" -> [j o a n]. Multi-byte runes are single nodes.
+func PathSteps(word string) []string {
+	steps := make([]string, 0, len(word))
+	for _, r := range word {
+		steps = append(steps, string(r))
+	}
+	return steps
+}
+
+// Alphabet returns the distinct character node names needed to encode the
+// given corpus of words, plus the Terminator — the name universe the map
+// function must cover (it determines the minimal field size for content
+// search).
+func Alphabet(words []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, w := range words {
+		for _, c := range PathSteps(w) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	out = append(out, Terminator)
+	return out
+}
+
+// BuildSubtree builds the trie representation of a data string as a list
+// of sibling subtrees to be attached under the element that contained the
+// text.
+func BuildSubtree(text string, mode Mode) []*xmldoc.Node {
+	words := Words(text)
+	if len(words) == 0 || mode == Off {
+		return nil
+	}
+	switch mode {
+	case Uncompressed:
+		var out []*xmldoc.Node
+		for _, w := range words {
+			out = append(out, chain(w))
+		}
+		return out
+	case Compressed:
+		// Insert words into a shared trie. Roots are first characters.
+		rootIdx := map[string]*xmldoc.Node{}
+		var roots []*xmldoc.Node
+		for _, w := range words {
+			steps := append(PathSteps(w), Terminator)
+			first := steps[0]
+			cur, ok := rootIdx[first]
+			if !ok {
+				cur = &xmldoc.Node{Name: first}
+				rootIdx[first] = cur
+				roots = append(roots, cur)
+			}
+			for _, step := range steps[1:] {
+				var next *xmldoc.Node
+				for _, c := range cur.Children {
+					if c.Name == step {
+						next = c
+						break
+					}
+				}
+				if next == nil {
+					next = &xmldoc.Node{Name: step}
+					cur.Children = append(cur.Children, next)
+				}
+				cur = next
+			}
+		}
+		return roots
+	}
+	return nil
+}
+
+// chain builds the single-word path j -> o -> a -> n -> ⊥.
+func chain(word string) *xmldoc.Node {
+	steps := append(PathSteps(word), Terminator)
+	root := &xmldoc.Node{Name: steps[0]}
+	cur := root
+	for _, s := range steps[1:] {
+		next := &xmldoc.Node{Name: s}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	return root
+}
+
+// TransformDoc rewrites a parsed document in place: the Text of every
+// element is expanded into trie subtrees appended after the element's
+// children, then the numbering is rebuilt. With mode Off the document is
+// unchanged. Returns the number of synthetic nodes added.
+func TransformDoc(d *xmldoc.Doc, mode Mode) int64 {
+	if mode == Off || d.Root == nil {
+		return 0
+	}
+	before := d.Count
+	var rec func(n *xmldoc.Node)
+	rec = func(n *xmldoc.Node) {
+		// Expand children first: synthetic nodes have no text.
+		for _, c := range n.Children {
+			rec(c)
+		}
+		if n.Text != "" {
+			n.Children = append(n.Children, BuildSubtree(n.Text, mode)...)
+		}
+	}
+	rec(d.Root)
+	d.Rebuild()
+	return d.Count - before
+}
+
+// Stats quantifies the §4 storage claims for a corpus of text.
+type Stats struct {
+	Chars            int // total characters in normalized words (with repeats)
+	UncompressedNode int // nodes in the uncompressed representation (incl. terminators)
+	CompressedNodes  int // nodes in the compressed trie (incl. terminators)
+	DistinctWords    int
+	TotalWords       int
+}
+
+// Measure computes representation sizes for a text corpus.
+func Measure(text string) Stats {
+	words := Words(text)
+	var st Stats
+	st.TotalWords = len(words)
+	distinct := map[string]bool{}
+	for _, w := range words {
+		st.Chars += len(PathSteps(w))
+		distinct[w] = true
+	}
+	st.DistinctWords = len(distinct)
+	st.UncompressedNode = st.Chars + st.TotalWords // + one terminator per word
+	// Count compressed trie nodes by building it.
+	roots := BuildSubtree(text, Compressed)
+	var count func(n *xmldoc.Node) int
+	count = func(n *xmldoc.Node) int {
+		total := 1
+		for _, c := range n.Children {
+			total += count(c)
+		}
+		return total
+	}
+	for _, r := range roots {
+		st.CompressedNodes += count(r)
+	}
+	return st
+}

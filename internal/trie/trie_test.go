@@ -1,0 +1,248 @@
+package trie
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"encshare/internal/xmldoc"
+)
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"Joan Johnson", "joan johnson"},
+		{"  spaced   out  ", "spaced out"},
+		{"comma,separated;words", "comma separated words"},
+		{"MiXeD CaSe", "mixed case"},
+		{"", ""},
+		{"42 items", "42 items"},
+		{"don't", "don t"},
+	}
+	for _, c := range cases {
+		got := strings.Join(Words(c.in), " ")
+		if got != c.want {
+			t.Errorf("Words(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPathSteps(t *testing.T) {
+	steps := PathSteps("joan")
+	if strings.Join(steps, "/") != "j/o/a/n" {
+		t.Fatalf("PathSteps = %v", steps)
+	}
+	// Multi-byte runes are single steps.
+	if got := PathSteps("héllo"); len(got) != 5 || got[1] != "é" {
+		t.Fatalf("PathSteps(héllo) = %v", got)
+	}
+}
+
+// TestFigure2 reproduces the paper's Fig. 2: "Joan Johnson" as compressed
+// and uncompressed tries.
+func TestFigure2(t *testing.T) {
+	// Uncompressed: two chains j-o-a-n-⊥ and j-o-h-n-s-o-n-⊥.
+	un := BuildSubtree("Joan Johnson", Uncompressed)
+	if len(un) != 2 {
+		t.Fatalf("uncompressed roots = %d, want 2", len(un))
+	}
+	if got := chainString(un[0]); got != "j/o/a/n/"+Terminator {
+		t.Fatalf("first chain = %s", got)
+	}
+	if got := chainString(un[1]); got != "j/o/h/n/s/o/n/"+Terminator {
+		t.Fatalf("second chain = %s", got)
+	}
+
+	// Compressed: shared j-o prefix, branching to a-n-⊥ and h-n-s-o-n-⊥.
+	co := BuildSubtree("Joan Johnson", Compressed)
+	if len(co) != 1 {
+		t.Fatalf("compressed roots = %d, want 1", len(co))
+	}
+	j := co[0]
+	if j.Name != "j" || len(j.Children) != 1 || j.Children[0].Name != "o" {
+		t.Fatalf("compressed root structure wrong")
+	}
+	o := j.Children[0]
+	if len(o.Children) != 2 {
+		t.Fatalf("o has %d children, want 2 (a and h)", len(o.Children))
+	}
+	if o.Children[0].Name != "a" || o.Children[1].Name != "h" {
+		t.Fatalf("o children = %s,%s", o.Children[0].Name, o.Children[1].Name)
+	}
+	// Compressed node count: j,o shared, then a,n,⊥ and h,n,s,o,n,⊥ = 11.
+	if n := countNodes(co); n != 11 {
+		t.Fatalf("compressed node count = %d, want 11", n)
+	}
+	// Uncompressed: (4+1) + (7+1) = 13.
+	if n := countNodes(un); n != 13 {
+		t.Fatalf("uncompressed node count = %d, want 13", n)
+	}
+}
+
+func TestCompressedDeduplicates(t *testing.T) {
+	// Duplicate words must collapse entirely in compressed mode.
+	co := BuildSubtree("apple apple apple", Compressed)
+	if n := countNodes(co); n != 6 { // a,p,p,l,e,⊥
+		t.Fatalf("compressed 3x apple = %d nodes, want 6", n)
+	}
+	un := BuildSubtree("apple apple apple", Uncompressed)
+	if n := countNodes(un); n != 18 {
+		t.Fatalf("uncompressed 3x apple = %d nodes, want 18", n)
+	}
+}
+
+func TestModeOff(t *testing.T) {
+	if got := BuildSubtree("something", Off); got != nil {
+		t.Fatal("Off mode produced nodes")
+	}
+}
+
+func TestAlphabet(t *testing.T) {
+	a := Alphabet([]string{"ab", "ba", "cc"})
+	want := []string{"a", "b", "c", Terminator}
+	if strings.Join(a, ",") != strings.Join(want, ",") {
+		t.Fatalf("Alphabet = %v", a)
+	}
+}
+
+func TestTransformDoc(t *testing.T) {
+	d, err := xmldoc.ParseString(`<person><name>Joan Johnson</name><age>42</age></person>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added := TransformDoc(d, Compressed)
+	// name gains 11 nodes (shared j-o prefix), age gains 3 (4,2,⊥).
+	if added != 14 {
+		t.Fatalf("added = %d, want 14", added)
+	}
+	if d.Count != 3+14 {
+		t.Fatalf("Count = %d", d.Count)
+	}
+	// Numbering must be rebuilt consistently.
+	seen := map[int64]bool{}
+	d.Walk(func(n *xmldoc.Node) bool {
+		if seen[n.Pre] {
+			t.Fatalf("duplicate pre %d", n.Pre)
+		}
+		seen[n.Pre] = true
+		return true
+	})
+	// The trie path must hang under name: name/j/o/a/n and name/j/o/h/...
+	name := d.Root.Children[0]
+	if name.Name != "name" || len(name.Children) != 1 || name.Children[0].Name != "j" {
+		t.Fatalf("trie not attached under name")
+	}
+}
+
+func TestTransformDocOffIsNoop(t *testing.T) {
+	d, _ := xmldoc.ParseString(`<a>text here</a>`)
+	if added := TransformDoc(d, Off); added != 0 || d.Count != 1 {
+		t.Fatalf("Off transform changed the document")
+	}
+}
+
+func TestMeasureClaims(t *testing.T) {
+	// Build a repetitive corpus like running text: compression must remove
+	// a large fraction of nodes (paper: dedup ~50%, trie 75-80% on real
+	// text; we assert directional claims on synthetic repetitive text).
+	corpus := strings.Repeat("the quick brown fox jumps over the lazy dog the fox ", 40)
+	st := Measure(corpus)
+	if st.TotalWords <= st.DistinctWords {
+		t.Fatalf("corpus not repetitive: %d total vs %d distinct", st.TotalWords, st.DistinctWords)
+	}
+	if st.CompressedNodes >= st.UncompressedNode/4 {
+		t.Fatalf("compression too weak: %d compressed vs %d uncompressed",
+			st.CompressedNodes, st.UncompressedNode)
+	}
+}
+
+// TestCompressedSubsetProperty: every word inserted must be findable as a
+// root-to-terminator path in the compressed trie.
+func TestCompressedContainsAllWords(t *testing.T) {
+	err := quick.Check(func(raw []string) bool {
+		text := strings.Join(raw, " ")
+		words := Words(text)
+		roots := BuildSubtree(text, Compressed)
+		for _, w := range words {
+			if !hasPath(roots, append(PathSteps(w), Terminator)) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoSpuriousWholeWords: a word is represented iff its full path ends
+// with a terminator; prefixes of inserted words must NOT appear as words.
+func TestNoSpuriousWholeWords(t *testing.T) {
+	roots := BuildSubtree("joan", Compressed)
+	if hasPath(roots, append(PathSteps("joa"), Terminator)) {
+		t.Fatal("prefix joa appears as a complete word")
+	}
+	if !hasPath(roots, PathSteps("joa")) {
+		t.Fatal("prefix path joa missing (substring search relies on it)")
+	}
+}
+
+func chainString(n *xmldoc.Node) string {
+	var parts []string
+	for n != nil {
+		parts = append(parts, n.Name)
+		if len(n.Children) == 0 {
+			break
+		}
+		if len(n.Children) != 1 {
+			return "BRANCHED"
+		}
+		n = n.Children[0]
+	}
+	return strings.Join(parts, "/")
+}
+
+func countNodes(roots []*xmldoc.Node) int {
+	total := 0
+	var rec func(n *xmldoc.Node)
+	rec = func(n *xmldoc.Node) {
+		total++
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	for _, r := range roots {
+		rec(r)
+	}
+	return total
+}
+
+func hasPath(roots []*xmldoc.Node, steps []string) bool {
+	if len(steps) == 0 {
+		return true
+	}
+	for _, r := range roots {
+		if r.Name == steps[0] {
+			if len(steps) == 1 {
+				return true
+			}
+			if hasPath(r.Children, steps[1:]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func BenchmarkTransformCompressed(b *testing.B) {
+	src := `<doc><t>` + strings.Repeat("lorem ipsum dolor sit amet consectetur ", 20) + `</t></doc>`
+	for i := 0; i < b.N; i++ {
+		d, err := xmldoc.ParseString(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		TransformDoc(d, Compressed)
+	}
+}

@@ -1,0 +1,448 @@
+// Package xmark generates deterministic auction-site documents following
+// the XMark benchmark DTD reproduced in the paper's Appendix A. The
+// paper's experiments (§6) all run against XMark data; the original xmlgen
+// tool is not redistributable, so this generator synthesizes documents
+// with the same element structure, with sizes scaling linearly in a scale
+// factor (Scale 1.0 ≈ 1 MB of serialized XML).
+//
+// Generation is fully deterministic in (Scale, Seed): the same
+// configuration always produces the same document, which keeps the
+// experiment harness reproducible.
+package xmark
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"encshare/internal/prg"
+	"encshare/internal/xmldoc"
+)
+
+// Config controls document generation.
+type Config struct {
+	// Scale stretches all entity counts linearly; 1.0 is roughly 1 MB of
+	// XML text. Must be > 0.
+	Scale float64
+	// Seed selects the pseudorandom stream; equal seeds give equal
+	// documents.
+	Seed int64
+}
+
+// gen wraps the PRG stream with convenience draws.
+type gen struct {
+	s *prg.Stream
+}
+
+func (g *gen) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.s.Uniform(uint32(n)))
+}
+
+func (g *gen) pick(words []string) string { return words[g.intn(len(words))] }
+
+// chance returns true with probability pct/100.
+func (g *gen) chance(pct int) bool { return g.intn(100) < pct }
+
+func (g *gen) words(n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		w := g.pick(corpus)
+		// Inflect a quarter of the words so the vocabulary approaches the
+		// diversity of natural text (matters for the §4 trie statistics).
+		if g.chance(25) {
+			w += g.pick(suffixes)
+		}
+		parts[i] = w
+	}
+	return strings.Join(parts, " ")
+}
+
+// sentence sizes approximate real XMark text density (~55 bytes of XML
+// per element node), which Fig. 4's output/input ratio depends on.
+func (g *gen) sentence() string { return g.words(12 + g.intn(14)) }
+
+func (g *gen) digits(n int) string {
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.WriteByte(byte('0' + g.intn(10)))
+	}
+	return sb.String()
+}
+
+func (g *gen) date() string {
+	return fmt.Sprintf("%02d/%02d/%d", 1+g.intn(12), 1+g.intn(28), 1998+g.intn(4))
+}
+
+func (g *gen) money() string {
+	return fmt.Sprintf("%d.%02d", 1+g.intn(500), g.intn(100))
+}
+
+// Generate builds the document tree. Counts scale linearly with
+// cfg.Scale; a zero/negative scale is clamped to the smallest document
+// that still contains every entity kind (so all of the paper's queries
+// have non-empty targets).
+func Generate(cfg Config) *xmldoc.Doc {
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 0.01
+	}
+	g := &gen{s: prg.New([]byte(fmt.Sprintf("xmark-%d", cfg.Seed))).Stream("gen", 0)}
+
+	count := func(base float64) int {
+		n := int(base*scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	nPersons := count(460)
+	nItemsPerRegion := count(115)
+	nOpen := count(210)
+	nClosed := count(130)
+	nCategories := count(85)
+
+	root := el("site")
+	root.Children = append(root.Children,
+		g.regions(nItemsPerRegion),
+		g.categories(nCategories),
+		g.catgraph(nCategories),
+		g.people(nPersons),
+		g.openAuctions(nOpen, nPersons, nItemsPerRegion*6),
+		g.closedAuctions(nClosed, nPersons, nItemsPerRegion*6),
+	)
+	d := &xmldoc.Doc{Root: root}
+	d.Rebuild()
+	return d
+}
+
+// WriteXML generates and serializes a document, returning the byte size.
+func WriteXML(w io.Writer, cfg Config) (int64, error) {
+	d := Generate(cfg)
+	cw := &countingWriter{w: w}
+	if err := d.WriteXML(cw); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+func el(name string, children ...*xmldoc.Node) *xmldoc.Node {
+	return &xmldoc.Node{Name: name, Children: children}
+}
+
+func txt(name, text string) *xmldoc.Node {
+	return &xmldoc.Node{Name: name, Text: text}
+}
+
+var regionNames = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+func (g *gen) regions(itemsPerRegion int) *xmldoc.Node {
+	regions := el("regions")
+	for _, rn := range regionNames {
+		region := el(rn)
+		for i := 0; i < itemsPerRegion; i++ {
+			region.Children = append(region.Children, g.item())
+		}
+		regions.Children = append(regions.Children, region)
+	}
+	return regions
+}
+
+// item (location, quantity, name, payment, description, shipping, incategory+, mailbox)
+func (g *gen) item() *xmldoc.Node {
+	item := el("item",
+		txt("location", g.pick(countries)),
+		txt("quantity", g.digits(1)),
+		txt("name", g.words(2)),
+		txt("payment", g.pick(payments)),
+		g.itemDescription(),
+		txt("shipping", g.pick(shippings)),
+	)
+	for i := 0; i <= g.intn(2); i++ {
+		item.Children = append(item.Children, el("incategory"))
+	}
+	mailbox := el("mailbox")
+	for i := 0; i < g.intn(3); i++ {
+		mailbox.Children = append(mailbox.Children, el("mail",
+			txt("from", g.personName()),
+			txt("to", g.personName()),
+			txt("date", g.date()),
+			g.text(),
+		))
+	}
+	item.Children = append(item.Children, mailbox)
+	return item
+}
+
+// description (text | parlist); depth limits parlist recursion.
+func (g *gen) description(depth int) *xmldoc.Node {
+	if depth > 0 && g.chance(30) {
+		return el("description", g.parlist(depth-1))
+	}
+	return el("description", g.text())
+}
+
+// itemDescription always carries the full parlist/listitem/text/keyword
+// chain. The paper's Table 1 relies on every region item containing it
+// ("it is a waste of effort to check whether a europe node contains an
+// item, description, parlist, listitem, text and keyword node, because
+// the DTD dictates it to be always the case", §6.2), which makes those
+// chain queries the advanced engine's worst case.
+func (g *gen) itemDescription() *xmldoc.Node {
+	text := txt("text", g.sentence())
+	text.Children = append(text.Children, txt("keyword", g.words(1)))
+	for i := 0; i < g.intn(2); i++ {
+		inner := g.pick([]string{"bold", "emph"})
+		text.Children = append(text.Children, txt(inner, g.words(1)))
+	}
+	pl := el("parlist")
+	pl.Children = append(pl.Children, el("listitem", text))
+	for i := 0; i < g.intn(2); i++ {
+		pl.Children = append(pl.Children, el("listitem", g.text()))
+	}
+	return el("description", pl)
+}
+
+// text (#PCDATA | bold | keyword | emph)*
+func (g *gen) text() *xmldoc.Node {
+	t := txt("text", g.sentence())
+	for i := 0; i < g.intn(3); i++ {
+		inner := g.pick([]string{"bold", "keyword", "emph"})
+		t.Children = append(t.Children, txt(inner, g.words(1+g.intn(2))))
+	}
+	return t
+}
+
+// parlist (listitem)*; listitem (text | parlist)*
+func (g *gen) parlist(depth int) *xmldoc.Node {
+	pl := el("parlist")
+	for i := 0; i < 1+g.intn(3); i++ {
+		li := el("listitem")
+		if depth > 0 && g.chance(25) {
+			li.Children = append(li.Children, g.parlist(depth-1))
+		} else {
+			li.Children = append(li.Children, g.text())
+		}
+		pl.Children = append(pl.Children, li)
+	}
+	return pl
+}
+
+// categories (category+); category (name, description)
+func (g *gen) categories(n int) *xmldoc.Node {
+	cats := el("categories")
+	for i := 0; i < n; i++ {
+		cats.Children = append(cats.Children, el("category",
+			txt("name", g.words(1)),
+			g.description(1),
+		))
+	}
+	return cats
+}
+
+func (g *gen) catgraph(nCategories int) *xmldoc.Node {
+	cg := el("catgraph")
+	for i := 0; i < nCategories/2+1; i++ {
+		cg.Children = append(cg.Children, el("edge"))
+	}
+	return cg
+}
+
+// people (person*); person (name, emailaddress, phone?, address?,
+// homepage?, creditcard?, profile?, watches?)
+func (g *gen) people(n int) *xmldoc.Node {
+	people := el("people")
+	for i := 0; i < n; i++ {
+		name := g.personName()
+		p := el("person",
+			txt("name", name),
+			txt("emailaddress", "mailto:"+strings.ReplaceAll(strings.ToLower(name), " ", ".")+"@example.com"),
+		)
+		if g.chance(50) {
+			p.Children = append(p.Children, txt("phone", "+"+g.digits(10)))
+		}
+		if g.chance(70) {
+			addr := el("address",
+				txt("street", g.digits(2)+" "+g.pick(corpus)+" St"),
+				txt("city", g.pick(cities)),
+				txt("country", g.pick(countries)),
+			)
+			if g.chance(40) {
+				addr.Children = append(addr.Children, txt("province", g.pick(cities)))
+			}
+			addr.Children = append(addr.Children, txt("zipcode", g.digits(5)))
+			p.Children = append(p.Children, addr)
+		}
+		if g.chance(40) {
+			p.Children = append(p.Children, txt("homepage", "http://example.com/~"+strings.ToLower(strings.Fields(name)[0])))
+		}
+		if g.chance(50) {
+			p.Children = append(p.Children, txt("creditcard", g.digits(4)+" "+g.digits(4)+" "+g.digits(4)+" "+g.digits(4)))
+		}
+		if g.chance(60) {
+			prof := el("profile")
+			for k := 0; k < g.intn(3); k++ {
+				prof.Children = append(prof.Children, el("interest"))
+			}
+			if g.chance(50) {
+				prof.Children = append(prof.Children, txt("education", g.pick(educations)))
+			}
+			if g.chance(50) {
+				prof.Children = append(prof.Children, txt("gender", g.pick([]string{"male", "female"})))
+			}
+			prof.Children = append(prof.Children, txt("business", g.pick([]string{"Yes", "No"})))
+			if g.chance(60) {
+				prof.Children = append(prof.Children, txt("age", fmt.Sprintf("%d", 18+g.intn(60))))
+			}
+			p.Children = append(p.Children, prof)
+		}
+		if g.chance(50) {
+			w := el("watches")
+			for k := 0; k < g.intn(4); k++ {
+				w.Children = append(w.Children, el("watch"))
+			}
+			p.Children = append(p.Children, w)
+		}
+		people.Children = append(people.Children, p)
+	}
+	return people
+}
+
+// open_auctions (open_auction*); open_auction (initial, reserve?, bidder*,
+// current, privacy?, itemref, seller, annotation, quantity, type, interval)
+func (g *gen) openAuctions(n, nPersons, nItems int) *xmldoc.Node {
+	oas := el("open_auctions")
+	for i := 0; i < n; i++ {
+		oa := el("open_auction", txt("initial", g.money()))
+		if g.chance(40) {
+			oa.Children = append(oa.Children, txt("reserve", g.money()))
+		}
+		for b := 0; b < g.intn(5); b++ {
+			oa.Children = append(oa.Children, el("bidder",
+				txt("date", g.date()),
+				txt("time", fmt.Sprintf("%02d:%02d:%02d", g.intn(24), g.intn(60), g.intn(60))),
+				el("personref"),
+				txt("increase", g.money()),
+			))
+		}
+		oa.Children = append(oa.Children,
+			txt("current", g.money()),
+		)
+		if g.chance(30) {
+			oa.Children = append(oa.Children, txt("privacy", "Yes"))
+		}
+		oa.Children = append(oa.Children,
+			el("itemref"),
+			el("seller"),
+			g.annotation(),
+			txt("quantity", g.digits(1)),
+			txt("type", g.pick([]string{"Regular", "Featured", "Dutch"})),
+			el("interval", txt("start", g.date()), txt("end", g.date())),
+		)
+		oas.Children = append(oas.Children, oa)
+	}
+	return oas
+}
+
+// annotation (author, description?, happiness)
+func (g *gen) annotation() *xmldoc.Node {
+	a := el("annotation", el("author"))
+	if g.chance(60) {
+		a.Children = append(a.Children, g.description(1))
+	}
+	a.Children = append(a.Children, txt("happiness", fmt.Sprintf("%d", 1+g.intn(10))))
+	return a
+}
+
+// closed_auctions (closed_auction*); closed_auction (seller, buyer,
+// itemref, price, date, quantity, type, annotation?)
+func (g *gen) closedAuctions(n, nPersons, nItems int) *xmldoc.Node {
+	cas := el("closed_auctions")
+	for i := 0; i < n; i++ {
+		ca := el("closed_auction",
+			el("seller"),
+			el("buyer"),
+			el("itemref"),
+			txt("price", g.money()),
+			txt("date", g.date()),
+			txt("quantity", g.digits(1)),
+			txt("type", g.pick([]string{"Regular", "Featured", "Dutch"})),
+		)
+		if g.chance(50) {
+			ca.Children = append(ca.Children, g.annotation())
+		}
+		cas.Children = append(cas.Children, ca)
+	}
+	return cas
+}
+
+func (g *gen) personName() string {
+	return g.pick(firstNames) + " " + g.pick(lastNames)
+}
+
+var corpus = strings.Fields(`
+the quick brown fox jumps over lazy dog pack my box with five dozen
+liquor jugs how vexingly daft zebras jump sphinx of black quartz judge
+my vow waltz bad nymph for jack quiz vex chums gold silver copper
+bronze market trade value price offer demand supply ledger account
+merchant harbor vessel cargo spice silk amber ivory linen wool barrel
+crate anchor voyage compass chart island coast river meadow forest
+mountain valley stone bridge tower gate castle village city road lamp
+candle scroll quill parchment letter seal courier message news rumor
+story song dance feast honey bread cheese apple grape olive wine salt
+pepper sugar tea coffee garden flower seed harvest plough field grain
+mill baker smith tailor weaver potter mason carpenter hunter fisher
+sailor soldier guard captain mayor council law court coin purse chest
+key lock door window roof wall floor cellar attic stair hall chamber
+`)
+
+var suffixes = []string{"s", "ing", "ed", "ly", "er", "est", "ion", "ness", "ful", "ish"}
+
+var firstNames = []string{
+	"Joan", "Richard", "Berry", "Jeroen", "Willem", "Alice", "Bob",
+	"Carol", "David", "Erik", "Fatima", "Georg", "Hanna", "Igor",
+	"Julia", "Kenji", "Laura", "Miguel", "Nadia", "Oskar", "Priya",
+}
+
+var lastNames = []string{
+	"Johnson", "Brinkman", "Schoenmakers", "Doumen", "Jonker", "Smith",
+	"Miller", "Garcia", "Chen", "Kumar", "Novak", "Berg", "Visser",
+	"Mori", "Silva", "Keller", "Olsen", "Popov", "Dubois", "Rossi",
+}
+
+var cities = []string{
+	"Enschede", "Eindhoven", "Amsterdam", "Toronto", "Madison", "Berlin",
+	"Lyon", "Porto", "Kyoto", "Oslo", "Prague", "Bergen", "Delft",
+}
+
+var countries = []string{
+	"Netherlands", "Germany", "Canada", "United States", "France",
+	"Portugal", "Japan", "Norway", "Czechia", "Belgium", "Italy",
+}
+
+var payments = []string{
+	"Cash", "Creditcard", "Money order", "Personal check",
+}
+
+var shippings = []string{
+	"Will ship internationally", "Will ship only within country",
+	"Buyer pays fixed shipping charges", "See description for charges",
+}
+
+var educations = []string{
+	"High School", "College", "Graduate School", "Other",
+}

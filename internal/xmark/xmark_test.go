@@ -1,0 +1,155 @@
+package xmark
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"encshare/internal/dtd"
+	"encshare/internal/xmldoc"
+)
+
+func TestDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := WriteXML(&a, Config{Scale: 0.05, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteXML(&b, Config{Scale: 0.05, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same (scale, seed) produced different documents")
+	}
+	var c bytes.Buffer
+	if _, err := WriteXML(&c, Config{Scale: 0.05, Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical documents")
+	}
+}
+
+func TestSizeScalesLinearly(t *testing.T) {
+	size := func(scale float64) int64 {
+		n, err := WriteXML(io.Discard, Config{Scale: scale, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	s1, s2, s4 := size(0.1), size(0.2), size(0.4)
+	if ratio := float64(s2) / float64(s1); ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("doubling scale changed size by %.2fx (s1=%d s2=%d)", ratio, s1, s2)
+	}
+	if ratio := float64(s4) / float64(s2); ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("doubling scale changed size by %.2fx (s2=%d s4=%d)", ratio, s2, s4)
+	}
+}
+
+func TestScaleOneAboutOneMB(t *testing.T) {
+	n, err := WriteXML(io.Discard, Config{Scale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 500_000 || n > 2_000_000 {
+		t.Fatalf("scale 1.0 produced %d bytes, want ~1 MB", n)
+	}
+}
+
+// TestConformsToDTD: every generated element and its children must be
+// permitted by the Appendix A DTD.
+func TestConformsToDTD(t *testing.T) {
+	d := Generate(Config{Scale: 0.2, Seed: 3})
+	dt := dtd.MustXMark()
+	if d.Root.Name != "site" {
+		t.Fatalf("root = %s", d.Root.Name)
+	}
+	d.Walk(func(n *xmldoc.Node) bool {
+		decl, ok := dt.Lookup(n.Name)
+		if !ok {
+			t.Fatalf("element %q not in DTD", n.Name)
+		}
+		allowed := map[string]bool{}
+		for _, c := range decl.Children() {
+			allowed[c] = true
+		}
+		for _, c := range n.Children {
+			if !allowed[c.Name] {
+				t.Fatalf("element %q has child %q not allowed by DTD model %q",
+					n.Name, c.Name, decl.Model)
+			}
+		}
+		return true
+	})
+}
+
+// TestQueryTargetsPresent: the paper's Table 1 and Table 2 queries must
+// have non-empty targets in any generated document.
+func TestQueryTargetsPresent(t *testing.T) {
+	d := Generate(Config{Scale: 0.1, Seed: 1})
+	counts := map[string]int{}
+	d.Walk(func(n *xmldoc.Node) bool {
+		counts[n.Name]++
+		return true
+	})
+	for _, name := range []string{
+		"site", "regions", "europe", "item", "description", "parlist",
+		"listitem", "text", "keyword", "person", "city", "open_auction",
+		"bidder", "date",
+	} {
+		if counts[name] == 0 {
+			t.Errorf("generated document has no %q elements", name)
+		}
+	}
+	// All six regions always present.
+	for _, r := range regionNames {
+		if counts[r] != 1 {
+			t.Errorf("region %s count = %d", r, counts[r])
+		}
+	}
+}
+
+func TestParsesBackCleanly(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteXML(&buf, Config{Scale: 0.05, Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := xmldoc.Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := Generate(Config{Scale: 0.05, Seed: 2})
+	if d.Count != d2.Count {
+		t.Fatalf("parsed count %d != generated count %d", d.Count, d2.Count)
+	}
+}
+
+func TestTinyScaleStillComplete(t *testing.T) {
+	d := Generate(Config{Scale: 0, Seed: 1}) // clamped, must not be empty
+	if d.Count < 50 {
+		t.Fatalf("tiny doc has only %d nodes", d.Count)
+	}
+}
+
+func TestDistinctTagUniverseFitsF83(t *testing.T) {
+	d := Generate(Config{Scale: 0.05, Seed: 9})
+	if n := len(d.Names()); n > 82 {
+		t.Fatalf("document uses %d distinct tags (> 82)", n)
+	}
+}
+
+func BenchmarkGenerateScale01(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(Config{Scale: 0.1, Seed: int64(i)})
+	}
+}
+
+func BenchmarkWriteXMLScale1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		n, err := WriteXML(io.Discard, Config{Scale: 1, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(n)
+	}
+}

@@ -1,0 +1,61 @@
+package xmldoc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse guards the XML front end: arbitrary bytes must never panic,
+// and accepted documents must have consistent Grust numbering and
+// serialize/re-parse stably.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"<a/>",
+		"<a><b>text</b><c/></a>",
+		"<a>&lt;escaped&gt;</a>",
+		"<a", "<a></b>", "<a/><b/>", "",
+		"<site><regions><europe><item/></europe></regions></site>",
+		"<x>\xff\xfe</x>",
+		strings.Repeat("<d>", 50) + strings.Repeat("</d>", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := ParseString(src)
+		if err != nil {
+			return
+		}
+		// Numbering invariants on every accepted document.
+		seenPre := map[int64]bool{}
+		seenPost := map[int64]bool{}
+		count := int64(0)
+		d.Walk(func(n *Node) bool {
+			count++
+			if seenPre[n.Pre] || seenPost[n.Post] {
+				t.Fatalf("duplicate numbering in %q", src)
+			}
+			seenPre[n.Pre], seenPost[n.Post] = true, true
+			if n.Parent != nil && !IsDescendant(n, n.Parent) {
+				t.Fatalf("child not a descendant of parent in %q", src)
+			}
+			return true
+		})
+		if count != d.Count {
+			t.Fatalf("Count %d != walked %d for %q", d.Count, count, src)
+		}
+		// Serialization round-trip preserves structure.
+		var buf bytes.Buffer
+		if err := d.WriteXML(&buf); err != nil {
+			t.Fatalf("WriteXML of accepted doc failed: %v", err)
+		}
+		d2, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of serialized doc failed: %v\n%s", err, buf.String())
+		}
+		if d2.Count != d.Count {
+			t.Fatalf("round-trip node count %d != %d for %q", d2.Count, d.Count, src)
+		}
+	})
+}

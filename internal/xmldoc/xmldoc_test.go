@@ -1,0 +1,303 @@
+package xmldoc
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+const paperExample = `<a><b><c/></b><c><a/><b/></c></a>`
+
+func TestParsePaperFigure1Tree(t *testing.T) {
+	d, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Count != 6 {
+		t.Fatalf("Count = %d, want 6", d.Count)
+	}
+	r := d.Root
+	if r.Name != "a" || r.Pre != 1 {
+		t.Fatalf("root = %s pre=%d", r.Name, r.Pre)
+	}
+	if len(r.Children) != 2 || r.Children[0].Name != "b" || r.Children[1].Name != "c" {
+		t.Fatalf("root children wrong: %v", r.Children)
+	}
+	// pre order: a=1 b=2 c=3 c=4 a=5 b=6
+	wantPre := map[string]int64{"a/b": 2, "a/b/c": 3, "a/c": 4, "a/c/a": 5, "a/c/b": 6}
+	d.Walk(func(n *Node) bool {
+		if n == r {
+			return true
+		}
+		p := strings.TrimPrefix(n.Path(), "/")
+		if want, ok := wantPre[p]; ok && n.Pre != want {
+			t.Errorf("pre(%s) = %d, want %d", p, n.Pre, want)
+		}
+		return true
+	})
+	// post order: leaf c=1, b=2, a(leaf)=3, b(leaf)=4, c=5, root=6
+	if r.Post != 6 {
+		t.Errorf("post(root) = %d, want 6", r.Post)
+	}
+	// parent field
+	if r.Children[0].Parent != r {
+		t.Error("parent pointer wrong")
+	}
+}
+
+func TestGrustDescendantProperty(t *testing.T) {
+	d, err := ParseString(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For every pair, IsDescendant must equal reachability.
+	var nodes []*Node
+	d.Walk(func(n *Node) bool { nodes = append(nodes, n); return true })
+	isAncestor := func(a, b *Node) bool { // a proper ancestor of b?
+		for p := b.Parent; p != nil; p = p.Parent {
+			if p == a {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range nodes {
+		for _, y := range nodes {
+			if got, want := IsDescendant(x, y), isAncestor(y, x); got != want {
+				t.Fatalf("IsDescendant(%s,%s) = %v, want %v", x.Path(), y.Path(), got, want)
+			}
+		}
+	}
+}
+
+// TestDescendantsContiguous checks the pre-interval property the store's
+// boundary scan relies on.
+func TestDescendantsContiguous(t *testing.T) {
+	d := randomDoc(t, 500, 99)
+	var nodes []*Node
+	d.Walk(func(n *Node) bool { nodes = append(nodes, n); return true })
+	for _, n := range nodes {
+		size := n.Size()
+		// All of (pre, pre+size] are descendants; pre+size+1 is not.
+		for i := int64(1); i <= size; i++ {
+			m, ok := d.NodeByPre(n.Pre + i)
+			if !ok || !IsDescendant(m, n) {
+				t.Fatalf("pre %d should be a descendant of %s", n.Pre+i, n.Path())
+			}
+		}
+		if m, ok := d.NodeByPre(n.Pre + size + 1); ok && IsDescendant(m, n) {
+			t.Fatalf("pre %d should not be a descendant of %s", n.Pre+size+1, n.Path())
+		}
+	}
+}
+
+func TestTextCollection(t *testing.T) {
+	d, err := ParseString(`<name>Joan <b>bold</b> Johnson</name>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Text != "Joan Johnson" {
+		t.Fatalf("Text = %q", d.Root.Text)
+	}
+	if d.Root.Children[0].Text != "bold" {
+		t.Fatalf("child Text = %q", d.Root.Children[0].Text)
+	}
+}
+
+func TestWhitespaceOnlyTextIgnored(t *testing.T) {
+	d, err := ParseString("<a>\n  <b/>\n</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Root.Text != "" {
+		t.Fatalf("Text = %q, want empty", d.Root.Text)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"<a>",            // unclosed
+		"<a></b>",        // mismatched
+		"<a/><b/>",       // two roots
+		"just text",      // no element
+		"<a></a></a>",    // extra close
+		"<a><b></a></b>", // interleaved
+	}
+	for _, src := range bad {
+		if _, err := ParseString(src); err == nil {
+			t.Errorf("ParseString(%q) succeeded", src)
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	d, _ := ParseString(paperExample)
+	var visited []string
+	d.Walk(func(n *Node) bool {
+		visited = append(visited, n.Name)
+		return n.Name != "b" // prune below any b
+	})
+	// a, b (pruned: no c under first b), c, a, b
+	want := "a,b,c,a,b"
+	if got := strings.Join(visited, ","); got != want {
+		t.Fatalf("visited %s, want %s", got, want)
+	}
+}
+
+func TestRebuildAfterMutation(t *testing.T) {
+	d, _ := ParseString(paperExample)
+	// Graft a new subtree under the root's first child.
+	extra := &Node{Name: "z", Children: []*Node{{Name: "y"}}}
+	first := d.Root.Children[0]
+	first.Children = append(first.Children, extra)
+	d.Rebuild()
+	if d.Count != 8 {
+		t.Fatalf("Count after rebuild = %d, want 8", d.Count)
+	}
+	// Check consistency of the numbering.
+	seenPre := map[int64]bool{}
+	seenPost := map[int64]bool{}
+	d.Walk(func(n *Node) bool {
+		seenPre[n.Pre] = true
+		seenPost[n.Post] = true
+		if n.Parent != nil && n.Parent.Pre >= n.Pre {
+			t.Errorf("pre(%s) <= pre(parent)", n.Path())
+		}
+		return true
+	})
+	for i := int64(1); i <= d.Count; i++ {
+		if !seenPre[i] || !seenPost[i] {
+			t.Fatalf("numbering has gaps at %d", i)
+		}
+	}
+	if z, ok := d.NodeByPre(extra.Pre); !ok || z != extra {
+		t.Fatal("byPre index stale after Rebuild")
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	d, err := ParseString(`<site><people><person><name>Joan</name></person></people><regions/></site>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, buf.String())
+	}
+	if d2.Count != d.Count {
+		t.Fatalf("round-trip count %d != %d", d2.Count, d.Count)
+	}
+	var a, b []string
+	d.Walk(func(n *Node) bool { a = append(a, n.Name); return true })
+	d2.Walk(func(n *Node) bool { b = append(b, n.Name); return true })
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("round-trip structure differs:\n%v\n%v", a, b)
+	}
+	// Text preserved.
+	if d2.byPre[3].Name != "person" {
+		t.Fatalf("unexpected shape: %v", b)
+	}
+}
+
+func TestWriteXMLEscapesText(t *testing.T) {
+	d := &Doc{Root: &Node{Name: "t", Text: `a<b>&"c`}}
+	d.Rebuild()
+	var buf bytes.Buffer
+	if err := d.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Root.Text != `a<b>&"c` {
+		t.Fatalf("escaped text round-trip = %q", d2.Root.Text)
+	}
+}
+
+func TestNames(t *testing.T) {
+	d, _ := ParseString(paperExample)
+	got := strings.Join(d.Names(), ",")
+	if got != "a,b,c" {
+		t.Fatalf("Names = %s", got)
+	}
+}
+
+// randomDoc builds a random tree via the public API, then serializes and
+// re-parses it so numbering comes from the parser itself.
+func randomDoc(t *testing.T, n int, seed int64) *Doc {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	names := []string{"a", "b", "c", "d", "e"}
+	root := &Node{Name: "root"}
+	nodes := []*Node{root}
+	for i := 0; i < n; i++ {
+		parent := nodes[rng.Intn(len(nodes))]
+		child := &Node{Name: names[rng.Intn(len(names))]}
+		parent.Children = append(parent.Children, child)
+		nodes = append(nodes, child)
+	}
+	d := &Doc{Root: root}
+	d.Rebuild()
+	var buf bytes.Buffer
+	if err := d.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d2
+}
+
+func TestStreamDepthEvents(t *testing.T) {
+	var events []string
+	h := &recordingHandler{events: &events}
+	err := Stream(strings.NewReader(`<a>hi<b>there</b></a>`), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "start:a,text:hi,start:b,text:there,end:b,end:a"
+	if got := strings.Join(events, ","); got != want {
+		t.Fatalf("events = %s, want %s", got, want)
+	}
+}
+
+type recordingHandler struct{ events *[]string }
+
+func (h *recordingHandler) StartElement(name string) error {
+	*h.events = append(*h.events, "start:"+name)
+	return nil
+}
+func (h *recordingHandler) Text(s string) error {
+	*h.events = append(*h.events, "text:"+s)
+	return nil
+}
+func (h *recordingHandler) EndElement(name string) error {
+	*h.events = append(*h.events, "end:"+name)
+	return nil
+}
+
+func BenchmarkParse(b *testing.B) {
+	// A moderately nested document.
+	var sb strings.Builder
+	sb.WriteString("<root>")
+	for i := 0; i < 1000; i++ {
+		sb.WriteString("<item><name>thing</name><value>42</value></item>")
+	}
+	sb.WriteString("</root>")
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package xpath
+
+import "testing"
+
+// FuzzParse guards the query parser against panics and checks that every
+// accepted query round-trips through String and re-parses to the same
+// form. Seeds cover every syntactic construct; run with
+// `go test -fuzz=FuzzParse ./internal/xpath` for deeper exploration.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"/site",
+		"//bidder/date",
+		"/site/*/person//city",
+		"/site/regions/../people",
+		`/name[contains(text(),"Joan")]`,
+		`/name[text()="joan"]`,
+		"/site//person[//j/o/a/n]",
+		"/a[/b][/c]",
+		"///",
+		"/[",
+		"/site[contains(text(),",
+		"/*",
+		"//..",
+		"/site]",
+		"/site/regions/europe/item/description/parlist/listitem/text/keyword",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		// Accepted queries must round-trip stably.
+		again, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("round-trip of %q -> %q failed: %v", src, q.String(), err)
+		}
+		if again.String() != q.String() {
+			t.Fatalf("unstable round-trip: %q -> %q -> %q", src, q.String(), again.String())
+		}
+	})
+}

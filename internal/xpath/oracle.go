@@ -1,0 +1,162 @@
+package xpath
+
+import (
+	"sort"
+
+	"encshare/internal/xmldoc"
+)
+
+// MatchMode selects how a name test accepts a node — mirroring the two
+// tests of the encrypted engines so the oracle can predict both.
+type MatchMode int
+
+const (
+	// MatchEqual accepts a node iff its own tag equals the name (the
+	// equality / "strict" test).
+	MatchEqual MatchMode = iota
+	// MatchContain accepts a node iff the name occurs anywhere in its
+	// subtree, including the node itself (the containment test).
+	MatchContain
+)
+
+// Oracle evaluates queries directly on a plaintext document — the ground
+// truth for engine tests and the E (equality) reference of the Fig. 7
+// accuracy metric.
+type Oracle struct {
+	doc *xmldoc.Doc
+	// subtreeTags[pre] is the set of tag names in the subtree of pre.
+	subtreeTags map[int64]map[string]bool
+}
+
+// NewOracle precomputes subtree tag sets for containment matching.
+func NewOracle(d *xmldoc.Doc) *Oracle {
+	o := &Oracle{doc: d, subtreeTags: make(map[int64]map[string]bool, d.Count)}
+	if d.Root != nil {
+		o.fill(d.Root)
+	}
+	return o
+}
+
+func (o *Oracle) fill(n *xmldoc.Node) map[string]bool {
+	tags := map[string]bool{n.Name: true}
+	for _, c := range n.Children {
+		for t := range o.fill(c) {
+			tags[t] = true
+		}
+	}
+	o.subtreeTags[n.Pre] = tags
+	return tags
+}
+
+func (o *Oracle) matches(n *xmldoc.Node, name string, mode MatchMode) bool {
+	if mode == MatchEqual {
+		return n.Name == name
+	}
+	return o.subtreeTags[n.Pre][name]
+}
+
+// Eval runs the query, returning matching nodes in document order
+// (deduplicated).
+func (o *Oracle) Eval(q *Query, mode MatchMode) []*xmldoc.Node {
+	if o.doc.Root == nil {
+		return nil
+	}
+	frontier := o.evalSteps([]*xmldoc.Node{}, q.Steps, mode, true)
+	// Apply predicates conjunctively.
+	var out []*xmldoc.Node
+	for _, n := range frontier {
+		ok := true
+		for _, p := range q.Preds {
+			if len(o.evalSteps([]*xmldoc.Node{n}, p.Steps, mode, false)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// evalSteps applies steps to a frontier. When fromRoot is true the
+// initial context is the virtual document root (whose only child is the
+// document root and whose descendants are all nodes).
+func (o *Oracle) evalSteps(frontier []*xmldoc.Node, steps []Step, mode MatchMode, fromRoot bool) []*xmldoc.Node {
+	for i, s := range steps {
+		var cands []*xmldoc.Node
+		switch {
+		case s.Name == ParentStep:
+			for _, n := range frontier {
+				if n.Parent != nil {
+					cands = append(cands, n.Parent)
+				}
+			}
+			frontier = dedup(cands)
+			continue
+		case s.Axis == Child:
+			if i == 0 && fromRoot {
+				cands = []*xmldoc.Node{o.doc.Root}
+			} else {
+				for _, n := range frontier {
+					cands = append(cands, n.Children...)
+				}
+			}
+		case s.Axis == Descendant:
+			if i == 0 && fromRoot {
+				o.doc.Walk(func(n *xmldoc.Node) bool {
+					cands = append(cands, n)
+					return true
+				})
+			} else {
+				for _, n := range frontier {
+					collectDescendants(n, &cands)
+				}
+			}
+		}
+		cands = dedup(cands)
+		if s.Name == Wildcard {
+			frontier = cands
+			continue
+		}
+		var kept []*xmldoc.Node
+		for _, c := range cands {
+			if o.matches(c, s.Name, mode) {
+				kept = append(kept, c)
+			}
+		}
+		frontier = kept
+	}
+	return frontier
+}
+
+func collectDescendants(n *xmldoc.Node, out *[]*xmldoc.Node) {
+	for _, c := range n.Children {
+		*out = append(*out, c)
+		collectDescendants(c, out)
+	}
+}
+
+func dedup(nodes []*xmldoc.Node) []*xmldoc.Node {
+	seen := map[int64]bool{}
+	var out []*xmldoc.Node
+	for _, n := range nodes {
+		if !seen[n.Pre] {
+			seen[n.Pre] = true
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pre < out[j].Pre })
+	return out
+}
+
+// Pres extracts sorted pre numbers from a node list (handy for comparing
+// against engine results).
+func Pres(nodes []*xmldoc.Node) []int64 {
+	out := make([]int64, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Pre
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

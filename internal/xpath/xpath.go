@@ -1,0 +1,288 @@
+// Package xpath parses the XPath subset of the paper's query engines
+// (§5.3): absolute paths of child (/) and descendant (//) steps over name
+// tests, the wildcard * and the parent step .., plus trailing path
+// predicates:
+//
+//	/site/*/person//city
+//	/site//europe/item
+//	/*/*/open_auction/bidder/date
+//	//bidder/date
+//	/name[contains(text(),"Joan")]     -- §4: becomes /name[//j/o/a/n]
+//	/name[text()="joan"]               -- exact word: adds the ⊥ terminator
+//	/site//person[//j/o/a/n]
+//
+// The package also contains a plaintext oracle evaluator used as ground
+// truth by tests and by the accuracy experiment (Fig. 7).
+package xpath
+
+import (
+	"fmt"
+	"strings"
+
+	"encshare/internal/trie"
+)
+
+// Axis is the navigation direction of one step.
+type Axis int
+
+const (
+	// Child is the / axis.
+	Child Axis = iota
+	// Descendant is the // axis.
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Step names with special meaning.
+const (
+	// Wildcard matches every node without an evaluation.
+	Wildcard = "*"
+	// ParentStep navigates to the parent (".." in the query).
+	ParentStep = ".."
+)
+
+// Step is one navigation step.
+type Step struct {
+	Axis Axis
+	Name string // a tag name, Wildcard, or ParentStep
+}
+
+// IsNameTest reports whether the step filters by an actual tag name
+// (i.e. requires polynomial evaluations).
+func (s Step) IsNameTest() bool {
+	return s.Name != Wildcard && s.Name != ParentStep
+}
+
+func (s Step) String() string { return s.Axis.String() + s.Name }
+
+// Query is a parsed query: a main path plus conjunctive relative
+// predicates applied to the nodes the path reaches.
+type Query struct {
+	Steps []Step
+	Preds []*Query // each evaluated relative to a result candidate
+	Raw   string
+}
+
+func (q *Query) String() string {
+	var sb strings.Builder
+	for _, s := range q.Steps {
+		sb.WriteString(s.String())
+	}
+	for _, p := range q.Preds {
+		sb.WriteString("[")
+		sb.WriteString(p.String())
+		sb.WriteString("]")
+	}
+	return sb.String()
+}
+
+// Names returns the distinct name tests of the query in order of first
+// appearance, including predicate names — the values the advanced
+// engine's look-ahead checks.
+func (q *Query) Names() []string {
+	seen := map[string]bool{}
+	var out []string
+	var rec func(*Query)
+	rec = func(qq *Query) {
+		for _, s := range qq.Steps {
+			if s.IsNameTest() && !seen[s.Name] {
+				seen[s.Name] = true
+				out = append(out, s.Name)
+			}
+		}
+		for _, p := range qq.Preds {
+			rec(p)
+		}
+	}
+	rec(q)
+	return out
+}
+
+// Length returns the number of steps in the main path (the x-axis of
+// Fig. 5).
+func (q *Query) Length() int { return len(q.Steps) }
+
+// Parse parses a query string.
+func Parse(src string) (*Query, error) {
+	p := &parser{src: src}
+	q, err := p.parseQuery(true)
+	if err != nil {
+		return nil, fmt.Errorf("xpath: parsing %q: %w", src, err)
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xpath: parsing %q: trailing input at %d", src, p.pos)
+	}
+	q.Raw = src
+	return q, nil
+}
+
+// MustParse is Parse for known-good constant queries.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+// parseQuery parses steps and, when top is true, trailing predicates.
+func (p *parser) parseQuery(top bool) (*Query, error) {
+	q := &Query{}
+	if p.peek() != '/' {
+		return nil, fmt.Errorf("query must start with / or // at %d", p.pos)
+	}
+	for p.pos < len(p.src) && p.peek() == '/' {
+		axis := Child
+		p.pos++
+		if p.peek() == '/' {
+			axis = Descendant
+			p.pos++
+		}
+		name, err := p.parseName()
+		if err != nil {
+			return nil, err
+		}
+		q.Steps = append(q.Steps, Step{Axis: axis, Name: name})
+	}
+	if !top {
+		return q, nil
+	}
+	for p.peek() == '[' {
+		pred, err := p.parsePredicate()
+		if err != nil {
+			return nil, err
+		}
+		q.Preds = append(q.Preds, pred...)
+	}
+	return q, nil
+}
+
+func (p *parser) parseName() (string, error) {
+	start := p.pos
+	if strings.HasPrefix(p.src[p.pos:], ParentStep) {
+		p.pos += 2
+		return ParentStep, nil
+	}
+	if p.peek() == '*' {
+		p.pos++
+		return Wildcard, nil
+	}
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '/' || c == '[' || c == ']' {
+			break
+		}
+		if c == '(' || c == ')' || c == '"' || c == '\'' || c == ',' || c == '=' {
+			return "", fmt.Errorf("unexpected %q in name at %d", c, p.pos)
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("empty step name at %d", start)
+	}
+	return p.src[start:p.pos], nil
+}
+
+// parsePredicate parses one [...] group, which may expand to several
+// conjunctive relative queries (multi-word contains()).
+func (p *parser) parsePredicate() ([]*Query, error) {
+	p.pos++ // consume '['
+	var preds []*Query
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "contains(text(),"):
+		p.pos += len("contains(text(),")
+		lit, err := p.parseStringLit()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek() != ')' {
+			return nil, fmt.Errorf("expected ) at %d", p.pos)
+		}
+		p.pos++
+		words := trie.Words(lit)
+		if len(words) == 0 {
+			return nil, fmt.Errorf("contains() needs at least one word")
+		}
+		for _, w := range words {
+			preds = append(preds, wordQuery(w, false))
+		}
+	case strings.HasPrefix(p.src[p.pos:], "text()="):
+		p.pos += len("text()=")
+		lit, err := p.parseStringLit()
+		if err != nil {
+			return nil, err
+		}
+		words := trie.Words(lit)
+		if len(words) == 0 {
+			return nil, fmt.Errorf("text()= needs at least one word")
+		}
+		for _, w := range words {
+			preds = append(preds, wordQuery(w, true))
+		}
+	default:
+		sub, err := p.parseQuery(false)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, sub)
+	}
+	if p.peek() != ']' {
+		return nil, fmt.Errorf("expected ] at %d", p.pos)
+	}
+	p.pos++
+	return preds, nil
+}
+
+func (p *parser) parseStringLit() (string, error) {
+	quote := p.peek()
+	if quote != '"' && quote != '\'' {
+		return "", fmt.Errorf("expected string literal at %d", p.pos)
+	}
+	p.pos++
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != quote {
+		p.pos++
+	}
+	if p.pos == len(p.src) {
+		return "", fmt.Errorf("unterminated string literal at %d", start)
+	}
+	lit := p.src[start:p.pos]
+	p.pos++
+	return lit, nil
+}
+
+// wordQuery builds the §4 translation of a normalized word: the relative
+// path //c1/c2/.../cn (plus the terminator for exact matches).
+func wordQuery(word string, exact bool) *Query {
+	steps := trie.PathSteps(word)
+	q := &Query{}
+	for i, c := range steps {
+		axis := Child
+		if i == 0 {
+			axis = Descendant
+		}
+		q.Steps = append(q.Steps, Step{Axis: axis, Name: c})
+	}
+	if exact {
+		q.Steps = append(q.Steps, Step{Axis: Child, Name: trie.Terminator})
+	}
+	return q
+}

@@ -1,0 +1,283 @@
+package xpath
+
+import (
+	"strings"
+	"testing"
+
+	"encshare/internal/trie"
+	"encshare/internal/xmldoc"
+)
+
+func TestParsePaperQueries(t *testing.T) {
+	// All queries from Tables 1 and 2 must parse and round-trip.
+	queries := []string{
+		"/site",
+		"/site/regions",
+		"/site/regions/europe",
+		"/site/regions/europe/item",
+		"/site/regions/europe/item/description",
+		"/site/regions/europe/item/description/parlist",
+		"/site/regions/europe/item/description/parlist/listitem",
+		"/site/regions/europe/item/description/parlist/listitem/text",
+		"/site/regions/europe/item/description/parlist/listitem/text/keyword",
+		"/site//europe/item",
+		"/site//europe//item",
+		"/site/*/person//city",
+		"/*/*/open_auction/bidder/date",
+		"//bidder/date",
+	}
+	for _, src := range queries {
+		q, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if q.String() != src {
+			t.Errorf("round-trip %q -> %q", src, q.String())
+		}
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	q := MustParse("/site/*/person//city")
+	if q.Length() != 4 {
+		t.Fatalf("Length = %d", q.Length())
+	}
+	want := []Step{
+		{Child, "site"}, {Child, "*"}, {Child, "person"}, {Descendant, "city"},
+	}
+	for i, s := range q.Steps {
+		if s != want[i] {
+			t.Fatalf("step %d = %v, want %v", i, s, want[i])
+		}
+	}
+	if !q.Steps[0].IsNameTest() || q.Steps[1].IsNameTest() {
+		t.Fatal("IsNameTest wrong")
+	}
+	names := q.Names()
+	if strings.Join(names, ",") != "site,person,city" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestParseParentStep(t *testing.T) {
+	q := MustParse("/site/regions/../people")
+	if q.Steps[2].Name != ParentStep {
+		t.Fatalf("steps = %v", q.Steps)
+	}
+}
+
+func TestParseContainsPredicate(t *testing.T) {
+	// The paper's §4 example: /name[contains(text(),"Joan")] becomes
+	// /name[//j/o/a/n].
+	q := MustParse(`/name[contains(text(),"Joan")]`)
+	if len(q.Preds) != 1 {
+		t.Fatalf("preds = %d", len(q.Preds))
+	}
+	if got := q.Preds[0].String(); got != "//j/o/a/n" {
+		t.Fatalf("pred = %s, want //j/o/a/n", got)
+	}
+	// Multi-word contains: one predicate per word.
+	q = MustParse(`/name[contains(text(),"Joan Johnson")]`)
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %d", len(q.Preds))
+	}
+	if q.Preds[1].String() != "//j/o/h/n/s/o/n" {
+		t.Fatalf("pred 2 = %s", q.Preds[1].String())
+	}
+}
+
+func TestParseExactTextPredicate(t *testing.T) {
+	q := MustParse(`/name[text()="joan"]`)
+	want := "//j/o/a/n/" + trie.Terminator
+	if got := q.Preds[0].String(); got != want {
+		t.Fatalf("pred = %s, want %s", got, want)
+	}
+}
+
+func TestParsePathPredicate(t *testing.T) {
+	q := MustParse(`/site//person[//j/o/a/n]`)
+	if len(q.Preds) != 1 || q.Preds[0].String() != "//j/o/a/n" {
+		t.Fatalf("preds = %v", q.Preds)
+	}
+	// Multiple predicates are conjunctive.
+	q = MustParse(`/site//person[/name][//city]`)
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %d", len(q.Preds))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"site",                       // missing leading slash
+		"/",                          // empty step
+		"/site/",                     // trailing empty step
+		"/site[",                     // unterminated predicate
+		"/site[/x",                   // unterminated predicate
+		`/site[contains(text(),"")]`, // no words
+		`/site[contains(text(),"x)]`, // unterminated literal
+		"/site]extra",                // trailing garbage
+		"/si(te",                     // bad character
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+const oracleXML = `<site>
+  <regions>
+    <europe><item><name/></item><item><name/></item></europe>
+    <asia><item><name/></item></asia>
+  </regions>
+  <people>
+    <person><name/><address><city/></address></person>
+    <person><name/></person>
+  </people>
+  <open_auctions>
+    <open_auction><bidder><date/></bidder><bidder><date/></bidder></open_auction>
+  </open_auctions>
+</site>`
+
+func oracleDoc(t *testing.T) (*xmldoc.Doc, *Oracle) {
+	t.Helper()
+	d, err := xmldoc.ParseString(oracleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, NewOracle(d)
+}
+
+func countByName(d *xmldoc.Doc, name string) int {
+	n := 0
+	d.Walk(func(m *xmldoc.Node) bool {
+		if m.Name == name {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+func TestOracleEqualBasics(t *testing.T) {
+	d, o := oracleDoc(t)
+	cases := []struct {
+		q    string
+		want int
+	}{
+		{"/site", 1},
+		{"/site/regions", 1},
+		{"/site/regions/europe/item", 2},
+		{"/site//item", 3},
+		{"//item", 3},
+		{"//item/name", 3},
+		{"/site/*/person", 2},
+		{"/site/*/person//city", 1},
+		{"//bidder/date", 2},
+		{"/*/*/open_auction/bidder/date", 2},
+		{"//city", countByName(d, "city")},
+		{"/nonexistent", 0},
+		{"/site/regions/../people/person", 2},
+	}
+	for _, c := range cases {
+		got := o.Eval(MustParse(c.q), MatchEqual)
+		if len(got) != c.want {
+			t.Errorf("oracle(%s) = %d nodes, want %d", c.q, len(got), c.want)
+		}
+	}
+}
+
+func TestOracleContainSuperset(t *testing.T) {
+	_, o := oracleDoc(t)
+	for _, q := range []string{
+		"/site//europe/item", "/site/*/person//city", "//bidder/date",
+		"/site/regions/europe/item",
+	} {
+		query := MustParse(q)
+		eq := Pres(o.Eval(query, MatchEqual))
+		co := Pres(o.Eval(query, MatchContain))
+		set := map[int64]bool{}
+		for _, p := range co {
+			set[p] = true
+		}
+		for _, p := range eq {
+			if !set[p] {
+				t.Errorf("%s: equality result %d missing from containment result", q, p)
+			}
+		}
+		if len(eq) > len(co) {
+			t.Errorf("%s: E=%d > C=%d", q, len(eq), len(co))
+		}
+	}
+}
+
+// TestOracleAccuracyAbsoluteQueries: absolute child-only queries have
+// E == C only in their final step... the paper's Fig. 7 shows 100%
+// accuracy for queries without //. Verify the containment result of a
+// child-only query over leaf targets equals the equality result.
+func TestOracleAbsoluteLeafQueryExact(t *testing.T) {
+	_, o := oracleDoc(t)
+	q := MustParse("/site/regions/europe/item/name")
+	eq := Pres(o.Eval(q, MatchEqual))
+	co := Pres(o.Eval(q, MatchContain))
+	if len(eq) != len(co) {
+		t.Fatalf("leaf-targeted absolute query: E=%d C=%d", len(eq), len(co))
+	}
+}
+
+func TestOracleDocOrderAndDedup(t *testing.T) {
+	_, o := oracleDoc(t)
+	nodes := o.Eval(MustParse("//item"), MatchEqual)
+	for i := 1; i < len(nodes); i++ {
+		if nodes[i-1].Pre >= nodes[i].Pre {
+			t.Fatal("oracle result not in document order / contains duplicates")
+		}
+	}
+}
+
+func TestOraclePredicates(t *testing.T) {
+	d, err := xmldoc.ParseString(`<people><person><name>x</name></person><person><age>4</age></person></people>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(d)
+	got := o.Eval(MustParse("/people/person[/name]"), MatchEqual)
+	if len(got) != 1 || got[0].Pre != 2 {
+		t.Fatalf("predicate filter = %v", Pres(got))
+	}
+	got = o.Eval(MustParse("/people/person[/name][/age]"), MatchEqual)
+	if len(got) != 0 {
+		t.Fatal("conjunctive predicates not both applied")
+	}
+}
+
+func TestOracleTriePredicate(t *testing.T) {
+	d, err := xmldoc.ParseString(`<people><person><name>Joan</name></person><person><name>Bob</name></person></people>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trie.TransformDoc(d, trie.Compressed)
+	o := NewOracle(d)
+	got := o.Eval(MustParse(`/people/person[contains(text(),"Joan")]`), MatchEqual)
+	if len(got) != 1 {
+		t.Fatalf("trie predicate matched %d persons, want 1", len(got))
+	}
+	if got[0].Children[0].Name != "name" {
+		t.Fatalf("matched wrong node")
+	}
+	// Prefix search: "jo" matches Joan only.
+	got = o.Eval(MustParse(`/people/person[contains(text(),"jo")]`), MatchEqual)
+	if len(got) != 1 {
+		t.Fatalf("prefix predicate matched %d, want 1", len(got))
+	}
+	// Exact word: "joa" must NOT match (no terminator after a).
+	got = o.Eval(MustParse(`/people/person[text()="joa"]`), MatchEqual)
+	if len(got) != 0 {
+		t.Fatalf("exact-word predicate matched prefix")
+	}
+	got = o.Eval(MustParse(`/people/person[text()="joan"]`), MatchEqual)
+	if len(got) != 1 {
+		t.Fatalf("exact-word predicate missed the word")
+	}
+}
