@@ -17,6 +17,8 @@ import (
 
 	"encshare/internal/engine"
 	"encshare/internal/experiment"
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
 	"encshare/internal/xpath"
 )
 
@@ -176,6 +178,43 @@ func BenchmarkAblationDescendants(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkRemoteRoundTrips compares the batched pipeline against the
+// paper's per-call protocol over the actual RMI transport: ns/op is the
+// query latency and the rtts/op metric is the number of server
+// exchanges — the quantity the batch pipeline collapses from
+// O(candidates) to O(steps).
+func BenchmarkRemoteRoundTrips(b *testing.B) {
+	env := getEnv(b, 0.1)
+	srv := rmi.NewServer()
+	filter.RegisterServer(srv, filter.NewServerFilter(env.Store, env.Ring, 4096))
+	cli := rmi.Pipe(srv)
+	defer cli.Close()
+	rem := filter.NewRemote(cli)
+	fcli := filter.NewClient(rem, env.Scheme)
+
+	combos := []struct {
+		name string
+		eng  engine.Engine
+	}{
+		{"batched/simple", engine.NewSimple(fcli, env.Map)},
+		{"percall/simple", engine.NewSimpleSequential(fcli, env.Map)},
+		{"batched/advanced", engine.NewAdvanced(fcli, env.Map)},
+		{"percall/advanced", engine.NewAdvancedSequential(fcli, env.Map)},
+	}
+	q := xpath.MustParse("/site//europe/item")
+	for _, c := range combos {
+		b.Run(c.name, func(b *testing.B) {
+			start := rem.RoundTrips()
+			for n := 0; n < b.N; n++ {
+				if _, err := c.eng.Run(q, engine.Containment); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(rem.RoundTrips()-start)/float64(b.N), "rtts/op")
+		})
+	}
 }
 
 // BenchmarkEndToEndQuery measures the public API round-trip (local

@@ -3,10 +3,15 @@
 // seed and map files, regenerates client polynomial shares locally, and
 // combines them with server evaluations.
 //
+// Queries default to the batched pipeline (one filter exchange per
+// engine step); -percall restores the paper's one-exchange-per-check
+// protocol for comparison.
+//
 // Usage:
 //
 //	encshare-query -seed seed.key -map tags.map -addr 127.0.0.1:7083 '/site//europe/item'
 //	encshare-query -engine simple -test containment ... '//bidder/date'
+//	encshare-query -percall -v ... '/site//europe/item'
 package main
 
 import (
@@ -26,6 +31,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:7083", "server address")
 		engName  = flag.String("engine", "advanced", "engine: simple or advanced")
 		testName = flag.String("test", "exact", "test: exact (strict) or containment (non-strict)")
+		percall  = flag.Bool("percall", false, "use the paper's one-exchange-per-check protocol instead of batching")
 		verbose  = flag.Bool("v", false, "print work statistics")
 	)
 	flag.Parse()
@@ -49,6 +55,9 @@ func main() {
 		opts.Test = encshare.TestContainment
 	default:
 		fatal(fmt.Errorf("unknown test %q", *testName))
+	}
+	if *percall {
+		opts.Batch = encshare.PerCall
 	}
 
 	seed, err := os.ReadFile(*seedPath)
@@ -77,9 +86,9 @@ func main() {
 	}
 	fmt.Printf("%d matching nodes (pre positions): %v\n", len(res.Pres), res.Pres)
 	if *verbose {
-		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d visited=%d elapsed=%s\n",
+		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d visited=%d round-trips=%d elapsed=%s\n",
 			res.Stats.Evaluations, res.Stats.Reconstructions,
-			res.Stats.NodesFetched, res.Stats.NodesVisited, res.Stats.Elapsed)
+			res.Stats.NodesFetched, res.Stats.NodesVisited, session.RoundTrips(), res.Stats.Elapsed)
 	}
 }
 

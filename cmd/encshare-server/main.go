@@ -4,9 +4,13 @@
 // evaluate them at points the client sends, but the results are
 // meaningless without the client's seed.
 //
+// The endpoint speaks both filter protocols: the original per-call
+// exchanges and the batched frames (one per engine step), with -workers
+// bounding the pool that evaluates batch members in parallel.
+//
 // Usage:
 //
-//	encshare-server -db auction.db -listen :7083
+//	encshare-server -db auction.db -listen :7083 -workers 8 -cache 4096
 package main
 
 import (
@@ -21,10 +25,12 @@ import (
 
 func main() {
 	var (
-		p      = flag.Uint("p", 83, "field characteristic (prime)")
-		e      = flag.Uint("e", 1, "field extension degree")
-		dbPath = flag.String("db", "encrypted.db", "database file from encshare-encode")
-		listen = flag.String("listen", "127.0.0.1:7083", "listen address")
+		p       = flag.Uint("p", 83, "field characteristic (prime)")
+		e       = flag.Uint("e", 1, "field extension degree")
+		dbPath  = flag.String("db", "encrypted.db", "database file from encshare-encode")
+		listen  = flag.String("listen", "127.0.0.1:7083", "listen address")
+		workers = flag.Int("workers", 0, "batch worker pool size (0 = number of CPUs)")
+		cache   = flag.Int("cache", 4096, "decoded-polynomial cache entries (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
 
@@ -51,7 +57,11 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("serving %d encrypted nodes on %s (F_%d^%d)\n", n, l.Addr(), *p, *e)
-	if err := db.Serve(l, encshare.Params{P: uint32(*p), E: uint32(*e)}); err != nil {
+	err = db.ServeWith(l, encshare.Params{P: uint32(*p), E: uint32(*e)}, encshare.ServeConfig{
+		CacheSize: *cache,
+		Workers:   *workers,
+	})
+	if err != nil {
 		fatal(err)
 	}
 }

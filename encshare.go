@@ -14,6 +14,13 @@
 // evaluation, and a zero sum reveals subtree containment — without the
 // server ever learning tags, structure names, or query targets.
 //
+// Beyond the paper's one-exchange-per-check protocol, the engines
+// default to a batched pipeline: every engine step's checks travel in a
+// single length-prefixed frame and are evaluated in parallel server-side,
+// so a predicate-free remote query costs O(steps) round-trips instead of
+// O(candidates); predicates are still evaluated per result candidate.
+// QueryOptions.Batch selects between the two modes.
+//
 // # Quick start
 //
 //	keys, _ := encshare.GenerateKeys(encshare.Params{P: 83}, names)
@@ -210,11 +217,40 @@ func (db *Database) Close() error {
 	return err
 }
 
+// ServeConfig tunes the server-side filter for Serve/ServeWith.
+type ServeConfig struct {
+	// CacheSize bounds the decoded-polynomial cache (default 4096 entries;
+	// negative disables caching).
+	CacheSize int
+	// Workers bounds the worker pool that evaluates batch members in
+	// parallel (default: number of CPUs).
+	Workers int
+}
+
+func (c ServeConfig) normalized() ServeConfig {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0
+	}
+	return c
+}
+
 // Serve exposes the database's ServerFilter over the RMI protocol until
-// the listener closes. The params must match the keys used at encode
-// time (the server needs the ring dimensions, not the secrets).
+// the listener closes, with default tuning. The params must match the
+// keys used at encode time (the server needs the ring dimensions, not
+// the secrets).
 func (db *Database) Serve(l net.Listener, params Params) error {
+	return db.ServeWith(l, params, ServeConfig{})
+}
+
+// ServeWith is Serve with explicit cache and worker-pool tuning. The
+// served endpoint speaks both the per-call filter protocol and the
+// batched protocol (one frame per engine step).
+func (db *Database) ServeWith(l net.Listener, params Params, cfg ServeConfig) error {
 	params = params.normalized()
+	cfg = cfg.normalized()
 	f, err := gf.New(params.P, params.E)
 	if err != nil {
 		return err
@@ -223,8 +259,12 @@ func (db *Database) Serve(l net.Listener, params Params) error {
 	if err != nil {
 		return err
 	}
+	sf := filter.NewServerFilter(db.st, r, cfg.CacheSize)
+	if cfg.Workers > 0 {
+		sf.SetWorkers(cfg.Workers)
+	}
 	srv := rmi.NewServer()
-	filter.RegisterServer(srv, filter.NewServerFilter(db.st, r, 4096))
+	filter.RegisterServer(srv, sf)
 	return srv.Serve(l)
 }
 
@@ -251,13 +291,30 @@ const (
 	TestContainment
 )
 
+// BatchMode selects how the engines talk to the server (§5.2 protocol
+// vs. the batched pipeline).
+type BatchMode int
+
+const (
+	// Batched aggregates every engine step's checks into one server
+	// exchange, evaluated in parallel server-side (the default). A remote
+	// query costs O(steps) round-trips instead of O(candidates).
+	Batched BatchMode = iota
+	// PerCall issues one server exchange per check, as the paper's
+	// prototype did. Kept for measurement and for old servers.
+	PerCall
+)
+
 // QueryOptions tune one query execution. The zero value — advanced
-// engine, exact results — is the recommended configuration.
+// engine, exact results, batched protocol — is the recommended
+// configuration.
 type QueryOptions struct {
 	// Engine selects the strategy (default Advanced).
 	Engine EngineKind
 	// Test selects the matching rule (default TestExact).
 	Test TestKind
+	// Batch selects the wire protocol (default Batched).
+	Batch BatchMode
 }
 
 // Stats re-exports per-query work metrics.
@@ -273,11 +330,14 @@ type Result struct {
 // Session is the client side: key material bound to a server connection
 // (local or remote).
 type Session struct {
-	keys     *Keys
-	cli      *filter.Client
-	simple   *engine.Simple
-	advanced *engine.Advanced
-	closer   io.Closer
+	keys        *Keys
+	cli         *filter.Client
+	simple      *engine.Simple
+	advanced    *engine.Advanced
+	simpleSeq   *engine.Simple
+	advancedSeq *engine.Advanced
+	rmiCli      *rmi.Client
+	closer      io.Closer
 }
 
 // OpenLocal starts a session against an in-process database (client and
@@ -288,24 +348,41 @@ func OpenLocal(keys *Keys, db *Database) *Session {
 	return newSession(keys, api, nil)
 }
 
-// Dial starts a session against a remote encshare server.
+// Dial starts a session against a remote encshare server. The session
+// speaks the batched protocol when the server supports it and falls back
+// to per-call exchanges otherwise.
 func Dial(keys *Keys, addr string) (*Session, error) {
 	cli, err := rmi.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
-	return newSession(keys, filter.NewRemote(cli), cli), nil
+	s := newSession(keys, filter.NewRemote(cli), cli)
+	s.rmiCli = cli
+	return s, nil
 }
 
 func newSession(keys *Keys, api filter.ServerAPI, closer io.Closer) *Session {
 	cli := filter.NewClient(api, keys.scheme())
 	return &Session{
-		keys:     keys,
-		cli:      cli,
-		simple:   engine.NewSimple(cli, keys.m),
-		advanced: engine.NewAdvanced(cli, keys.m),
-		closer:   closer,
+		keys:        keys,
+		cli:         cli,
+		simple:      engine.NewSimple(cli, keys.m),
+		advanced:    engine.NewAdvanced(cli, keys.m),
+		simpleSeq:   engine.NewSimpleSequential(cli, keys.m),
+		advancedSeq: engine.NewAdvancedSequential(cli, keys.m),
+		closer:      closer,
 	}
+}
+
+// RoundTrips returns the number of server exchanges this session has
+// issued (0 for local sessions, which do not cross a network boundary).
+// Comparing the delta across a query run under Batched vs PerCall shows
+// the round-trip reduction directly.
+func (s *Session) RoundTrips() int64 {
+	if s.rmiCli == nil {
+		return 0
+	}
+	return s.rmiCli.Stats().Calls
 }
 
 // Query parses and runs an XPath-subset query with default options.
@@ -320,8 +397,13 @@ func (s *Session) QueryWith(q string, opts QueryOptions) (Result, error) {
 		return Result{}, err
 	}
 	var eng engine.Engine = s.advanced
-	if opts.Engine == Simple {
+	switch {
+	case opts.Engine == Simple && opts.Batch == PerCall:
+		eng = s.simpleSeq
+	case opts.Engine == Simple:
 		eng = s.simple
+	case opts.Batch == PerCall:
+		eng = s.advancedSeq
 	}
 	test := engine.Equality
 	if opts.Test == TestContainment {

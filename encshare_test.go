@@ -120,6 +120,31 @@ func TestEndToEndRemote(t *testing.T) {
 	if len(res.Pres) != 1 {
 		t.Fatalf("remote //city = %v", res.Pres)
 	}
+
+	// The same query under both wire protocols: identical answers, and
+	// the batched default costs strictly fewer server exchanges.
+	for _, opt := range []QueryOptions{{Engine: Simple}, {Engine: Advanced}} {
+		batchedOpt, percallOpt := opt, opt
+		percallOpt.Batch = PerCall
+		before := session.RoundTrips()
+		br, err := session.QueryWith("/site//city", batchedOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched := session.RoundTrips() - before
+		before = session.RoundTrips()
+		pr, err := session.QueryWith("/site//city", percallOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		percall := session.RoundTrips() - before
+		if len(br.Pres) != 1 || len(pr.Pres) != 1 {
+			t.Fatalf("%+v: batched %v, per-call %v", opt, br.Pres, pr.Pres)
+		}
+		if batched >= percall {
+			t.Errorf("%+v: batched cost %d round-trips, per-call %d", opt, batched, percall)
+		}
+	}
 }
 
 func TestKeyRoundTrip(t *testing.T) {

@@ -1,0 +1,3 @@
+module encshare
+
+go 1.21

@@ -13,14 +13,25 @@ import (
 // evaluations per node. For Table 1's straight-line queries this is the
 // worst case (no branch to prune, extra evaluations); for Table 2's
 // queries with // and * it wins by skipping whole regions (§6.2–6.3).
+//
+// The default batched mode runs the same traversal level-synchronously
+// (see advanced_batch.go), aggregating every wave's checks into single
+// exchanges; sequential mode keeps the paper's depth-first recursion.
 type Advanced struct {
 	base
 }
 
 // NewAdvanced builds an advanced engine over a client filter and the
-// secret map.
+// secret map, using the batched wave traversal.
 func NewAdvanced(cli *filter.Client, m *mapping.Map) *Advanced {
 	return &Advanced{base{cli: cli, m: m}}
+}
+
+// NewAdvancedSequential builds an advanced engine that issues one server
+// exchange per check (the paper's depth-first protocol) — kept for
+// measurement and for servers that predate the batch protocol.
+func NewAdvancedSequential(cli *filter.Client, m *mapping.Map) *Advanced {
+	return &Advanced{base{cli: cli, m: m, seq: true}}
 }
 
 // Name implements Engine.
@@ -29,20 +40,39 @@ func (e *Advanced) Name() string { return "advanced" }
 // Run implements Engine.
 func (e *Advanced) Run(q *xpath.Query, test Test) (Result, error) {
 	return e.run(func() ([]int64, int64, error) {
-		r := &advRun{e: e, test: test, preds: q.Preds}
-		if err := r.start(q.Steps); err != nil {
-			return nil, 0, err
+		var out []filter.NodeMeta
+		var visited int64
+		if e.seq {
+			r := &advRun{e: e, test: test, preds: q.Preds}
+			if err := r.start(q.Steps); err != nil {
+				return nil, 0, err
+			}
+			out, visited = r.out, r.visited
+		} else {
+			r := &advBatch{e: e, test: test, preds: q.Preds}
+			if err := r.start(q.Steps); err != nil {
+				return nil, 0, err
+			}
+			out, visited = r.out, r.visited
 		}
-		frontier := dedupMetas(r.out)
+		frontier := dedupMetas(out)
 		pres, err := applyPreds(e, q, test, frontier)
-		return pres, r.visited, err
+		return pres, visited, err
 	})
 }
 
 // evalRelative implements predEvaluator with an existence short-circuit.
 func (e *Advanced) evalRelative(ctx filter.NodeMeta, q *xpath.Query, test Test) (bool, error) {
-	r := &advRun{e: e, test: test, existsOnly: true}
-	if err := r.fromContext(ctx, q.Steps); err != nil {
+	if e.seq {
+		r := &advRun{e: e, test: test, existsOnly: true}
+		if err := r.fromContext(ctx, q.Steps); err != nil {
+			return false, err
+		}
+		return r.found, nil
+	}
+	r := &advBatch{e: e, test: test, existsOnly: true}
+	r.push(ctx, q.Steps)
+	if err := r.drain(); err != nil {
 		return false, err
 	}
 	return r.found, nil
@@ -59,12 +89,19 @@ type advRun struct {
 	found      bool
 }
 
-// lookahead returns the distinct names the engine can safely require in
-// the current subtree: name tests up to the first parent step (a ".."
-// lets candidates escape the subtree), plus predicate names when the
-// remaining path has no parent steps (predicates apply below result
-// nodes, which are then inside the subtree).
+// lookahead returns the names the traversal can require in the current
+// subtree (see lookaheadNames).
 func (r *advRun) lookahead(steps []xpath.Step) []string {
+	return lookaheadNames(steps, r.preds)
+}
+
+// lookaheadNames returns the distinct names the engine can safely
+// require in the current subtree: name tests up to the first parent step
+// (a ".." lets candidates escape the subtree), plus predicate names when
+// the remaining path has no parent steps (predicates apply below result
+// nodes, which are then inside the subtree). Shared by the depth-first
+// and the wave-based traversals.
+func lookaheadNames(steps []xpath.Step, preds []*xpath.Query) []string {
 	seen := map[string]bool{}
 	var names []string
 	sawParent := false
@@ -79,7 +116,7 @@ func (r *advRun) lookahead(steps []xpath.Step) []string {
 		}
 	}
 	if !sawParent {
-		for _, p := range r.preds {
+		for _, p := range preds {
 			if predHasParentStep(p) {
 				continue
 			}

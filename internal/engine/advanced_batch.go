@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"encshare/internal/filter"
+	"encshare/internal/gf"
+	"encshare/internal/xpath"
+)
+
+// advBatch is the level-synchronous (wave-based) form of the advanced
+// traversal. It performs exactly the same checks as the depth-first
+// advRun — the same look-ahead short-circuit per node, the same
+// containment/equality tests per candidate — but reorders them into
+// waves so that all checks of a wave travel in one filter exchange:
+//
+//   - every pending node checks ONE look-ahead name per wave (preserving
+//     the sequential short-circuit: name i is only evaluated if names
+//     0..i-1 passed), all in a single ContainsBatch;
+//   - all child-axis expansions of a wave share one ChildrenBatch and one
+//     accept batch;
+//   - all descendant-walk levels of a wave share one ChildrenBatch, one
+//     ContainsBatch prune, and (strict mode) one EqualsBatch.
+//
+// For full queries the work counters (evaluations, reconstructions,
+// fetches, visits) are identical to the depth-first traversal; only the
+// number of round-trips changes, from O(checks) to O(depth × names).
+// In existence mode (predicate evaluation) the wave structure checks
+// the found flag between batches rather than between nodes, so it may
+// spend slightly different work than the sequential short-circuit —
+// the boolean answer is always the same.
+type advBatch struct {
+	e          *Advanced
+	test       Test
+	preds      []*xpath.Query // top-level predicates, folded into look-ahead
+	visited    int64
+	out        []filter.NodeMeta
+	existsOnly bool
+	found      bool
+
+	items []advItem // nodes clearing look-ahead, then consuming a step
+	scans []advScan // descendant walks, one level per wave
+}
+
+// advItem is one alive traversal branch: a node that must clear the
+// pending look-ahead names (one per wave) and then consume steps[0].
+type advItem struct {
+	node  filter.NodeMeta
+	steps []xpath.Step
+	la    []string
+}
+
+// advScan is one descendant walk position: the children of node are the
+// next level, scanned against step s, with rest to follow below matches.
+type advScan struct {
+	node filter.NodeMeta
+	s    xpath.Step
+	rest []xpath.Step
+}
+
+// push enqueues a node with the look-ahead of its remaining steps — the
+// wave analogue of calling advRun.rec.
+func (r *advBatch) push(node filter.NodeMeta, steps []xpath.Step) {
+	r.items = append(r.items, advItem{node: node, steps: steps, la: lookaheadNames(steps, r.preds)})
+}
+
+// start handles the virtual document root exactly as advRun.start, then
+// drains the wave queue.
+func (r *advBatch) start(steps []xpath.Step) error {
+	if len(steps) == 0 {
+		return nil
+	}
+	root, err := r.e.cli.Root()
+	if err != nil {
+		return err
+	}
+	s := steps[0]
+	if s.Name == xpath.ParentStep {
+		return nil // the virtual root has no parent: empty result
+	}
+	switch s.Axis {
+	case xpath.Child:
+		// "The AdvancedQuery engine always starts at the root node."
+		r.visited++
+		if s.IsNameTest() {
+			ok, err := r.e.accept(root.Pre, s.Name, r.test)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		r.push(root, steps[1:])
+	case xpath.Descendant:
+		// The root itself is a candidate, then walk downwards.
+		r.visited++
+		if s.IsNameTest() {
+			ok, err := r.e.accept(root.Pre, s.Name, r.test)
+			if err != nil {
+				return err
+			}
+			if ok {
+				r.push(root, steps[1:])
+			}
+		} else {
+			r.push(root, steps[1:])
+		}
+		r.scans = append(r.scans, advScan{node: root, s: s, rest: steps[1:]})
+	}
+	return r.drain()
+}
+
+// drain runs waves until no branch is alive (or an existence query found
+// its witness).
+func (r *advBatch) drain() error {
+	for len(r.items) > 0 || len(r.scans) > 0 {
+		if r.existsOnly && r.found {
+			return nil
+		}
+		if err := r.wave(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// wave advances every alive branch by one round: one look-ahead name per
+// pending node, then step consumption for cleared nodes, then one
+// descendant-walk level. In existence mode a found witness skips the
+// rest of the wave — no point spending exchanges once the answer is
+// known.
+func (r *advBatch) wave() error {
+	ready, err := r.lookaheadRound()
+	if err != nil {
+		return err
+	}
+	childParents, err := r.consume(ready)
+	if err != nil || (r.existsOnly && r.found) {
+		return err
+	}
+	if err := r.expandChildren(childParents); err != nil {
+		return err
+	}
+	return r.scanLevel()
+}
+
+// lookaheadRound checks one pending look-ahead name per item in a single
+// exchange and returns the items whose look-ahead is fully cleared.
+func (r *advBatch) lookaheadRound() ([]advItem, error) {
+	var ready, pending, checked []advItem
+	var checks []filter.Check
+	for _, it := range r.items {
+		if len(it.la) == 0 {
+			ready = append(ready, it)
+			continue
+		}
+		v, mapped := r.e.val(it.la[0])
+		if !mapped {
+			continue // name cannot occur anywhere: dead branch
+		}
+		checks = append(checks, filter.Check{Pre: it.node.Pre, Point: v})
+		checked = append(checked, it)
+	}
+	oks, err := r.e.cli.ContainsBatch(checks)
+	if err != nil {
+		return nil, err
+	}
+	for i, ok := range oks {
+		if !ok {
+			continue // dead branch
+		}
+		it := checked[i]
+		it.la = it.la[1:]
+		if len(it.la) == 0 {
+			ready = append(ready, it)
+		} else {
+			pending = append(pending, it)
+		}
+	}
+	r.items = pending
+	return ready, nil
+}
+
+// consume lets every cleared item take its next step: emit results,
+// climb parents (one shared exchange), queue descendant walks, and
+// collect child expansions for the shared batch.
+func (r *advBatch) consume(ready []advItem) ([]advItem, error) {
+	var childParents []advItem
+	var parentPres []int64
+	var parentRests [][]xpath.Step
+	for _, it := range ready {
+		if len(it.steps) == 0 {
+			if r.existsOnly {
+				r.found = true
+				return nil, nil // witness found: drop the rest of the wave
+			}
+			r.out = append(r.out, it.node)
+			continue
+		}
+		s := it.steps[0]
+		rest := it.steps[1:]
+		switch {
+		case s.Name == xpath.ParentStep:
+			if it.node.Parent == 0 {
+				continue
+			}
+			parentPres = append(parentPres, it.node.Parent)
+			parentRests = append(parentRests, rest)
+		case s.Axis == xpath.Child:
+			childParents = append(childParents, it)
+		case s.Axis == xpath.Descendant:
+			r.scans = append(r.scans, advScan{node: it.node, s: s, rest: rest})
+		}
+	}
+	parents, err := r.e.cli.NodeBatch(parentPres)
+	if err != nil {
+		return nil, err
+	}
+	for i, parent := range parents {
+		r.visited++
+		r.push(parent, parentRests[i])
+	}
+	return childParents, nil
+}
+
+// expandChildren expands all child-axis items of the wave with one
+// navigation exchange and filters every candidate with one accept batch.
+func (r *advBatch) expandChildren(parents []advItem) error {
+	if len(parents) == 0 {
+		return nil
+	}
+	pres := make([]int64, len(parents))
+	for i, it := range parents {
+		pres[i] = it.node.Pre
+	}
+	lists, err := r.e.cli.ChildrenBatch(pres)
+	if err != nil {
+		return err
+	}
+	var checks []filter.Check
+	var cands []advItem // candidate with steps = rest, parallel to checks
+	for i, it := range parents {
+		s := it.steps[0]
+		rest := it.steps[1:]
+		var v gf.Elem
+		mapped := false
+		if s.IsNameTest() {
+			v, mapped = r.e.val(s.Name)
+		}
+		for _, kid := range lists[i] {
+			r.visited++
+			if !s.IsNameTest() {
+				r.push(kid, rest)
+				continue
+			}
+			if !mapped {
+				continue
+			}
+			checks = append(checks, filter.Check{Pre: kid.Pre, Point: v})
+			cands = append(cands, advItem{node: kid, steps: rest})
+		}
+	}
+	oks, err := r.acceptChecks(checks)
+	if err != nil {
+		return err
+	}
+	for i, ok := range oks {
+		if ok {
+			r.push(cands[i].node, cands[i].steps)
+		}
+	}
+	return nil
+}
+
+// acceptChecks applies the engine's test to a check batch (Contains for
+// non-strict, Equals for strict) in one exchange.
+func (r *advBatch) acceptChecks(checks []filter.Check) ([]bool, error) {
+	if r.test == Equality {
+		return r.e.cli.EqualsBatch(checks)
+	}
+	return r.e.cli.ContainsBatch(checks)
+}
+
+// scanLevel advances every descendant walk by one tree level: fetch all
+// children in one exchange, prune subtrees that cannot contain the name
+// with one ContainsBatch, and (strict mode) accept matches with one
+// EqualsBatch. Children that pass the prune both continue the walk and
+// (if accepted) enter the remaining steps — exactly advRun.walkDescendant
+// with the per-child exchanges aggregated.
+func (r *advBatch) scanLevel() error {
+	scans := r.scans
+	r.scans = nil
+	if len(scans) == 0 {
+		return nil
+	}
+	pres := make([]int64, len(scans))
+	for i, sc := range scans {
+		pres[i] = sc.node.Pre
+	}
+	lists, err := r.e.cli.ChildrenBatch(pres)
+	if err != nil {
+		return err
+	}
+	var checks []filter.Check
+	var cands []advScan // the kid in .node, walk params in .s/.rest
+	for i, sc := range scans {
+		if sc.s.IsNameTest() {
+			v, mapped := r.e.val(sc.s.Name)
+			if !mapped {
+				continue // the name cannot occur: nothing to find below
+			}
+			for _, kid := range lists[i] {
+				r.visited++
+				checks = append(checks, filter.Check{Pre: kid.Pre, Point: v})
+				cands = append(cands, advScan{node: kid, s: sc.s, rest: sc.rest})
+			}
+		} else {
+			// //*: every descendant qualifies and the walk continues below.
+			for _, kid := range lists[i] {
+				r.visited++
+				r.push(kid, sc.rest)
+				r.scans = append(r.scans, advScan{node: kid, s: sc.s, rest: sc.rest})
+			}
+		}
+	}
+	oks, err := r.e.cli.ContainsBatch(checks)
+	if err != nil {
+		return err
+	}
+	if r.test == Equality {
+		var eqChecks []filter.Check
+		var eqCands []advScan
+		for i, ok := range oks {
+			if !ok {
+				continue // prune: nothing named s.Name anywhere below
+			}
+			kid := cands[i]
+			r.scans = append(r.scans, advScan{node: kid.node, s: kid.s, rest: kid.rest})
+			eqChecks = append(eqChecks, checks[i])
+			eqCands = append(eqCands, kid)
+		}
+		eqOks, err := r.e.cli.EqualsBatch(eqChecks)
+		if err != nil {
+			return err
+		}
+		for i, ok := range eqOks {
+			if ok {
+				r.push(eqCands[i].node, eqCands[i].rest)
+			}
+		}
+		return nil
+	}
+	for i, ok := range oks {
+		if !ok {
+			continue // prune: nothing named s.Name anywhere below
+		}
+		kid := cands[i]
+		r.push(kid.node, kid.rest)
+		r.scans = append(r.scans, advScan{node: kid.node, s: kid.s, rest: kid.rest})
+	}
+	return nil
+}

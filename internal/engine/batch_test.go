@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"testing"
+
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
+	"encshare/internal/xmark"
+	"encshare/internal/xpath"
+)
+
+// seqEngines returns sequential twins of the fixture's (batched) engines,
+// sharing the same client filter and counters.
+func seqEngines(fx *fixture) (*Simple, *Advanced) {
+	return NewSimpleSequential(fx.cli, fx.m), NewAdvancedSequential(fx.cli, fx.m)
+}
+
+// predQueries exercise the predicate machinery, whose existence
+// short-circuit legitimately reorders work between the two modes (result
+// sets must still agree; counters need not).
+var predQueries = []string{
+	"/site//person[//city]",
+	"/site/regions/*[//name]",
+	"/site//item[//keyword]",
+}
+
+// TestBatchedMatchesSequential is the batch pipeline's central
+// correctness test: for every query, engine, and test, the batched run
+// must return the same result set as the sequential run — and, for
+// queries without predicates, perform exactly the same work (same
+// evaluations, reconstructions, fetches, and visits; only the number of
+// round-trips differs).
+func TestBatchedMatchesSequential(t *testing.T) {
+	fx := buildXML(t, smallXML)
+	simpleSeq, advancedSeq := seqEngines(fx)
+	pairs := []struct {
+		name    string
+		batched Engine
+		seq     Engine
+	}{
+		{"simple", fx.simple, simpleSeq},
+		{"advanced", fx.advanced, advancedSeq},
+	}
+	for _, qs := range testQueries {
+		q := xpath.MustParse(qs)
+		for _, test := range []Test{Containment, Equality} {
+			for _, p := range pairs {
+				br, err := p.batched.Run(q, test)
+				if err != nil {
+					t.Fatalf("%s/%s batched %s: %v", p.name, test, qs, err)
+				}
+				sr, err := p.seq.Run(q, test)
+				if err != nil {
+					t.Fatalf("%s/%s sequential %s: %v", p.name, test, qs, err)
+				}
+				if !equalPres(br.Pres, sr.Pres) {
+					t.Errorf("%s/%s on %s: batched %v != sequential %v",
+						p.name, test, qs, br.Pres, sr.Pres)
+				}
+				if br.Stats.Evaluations != sr.Stats.Evaluations ||
+					br.Stats.Reconstructions != sr.Stats.Reconstructions ||
+					br.Stats.NodesFetched != sr.Stats.NodesFetched ||
+					br.Stats.NodesVisited != sr.Stats.NodesVisited {
+					t.Errorf("%s/%s on %s: batched work %+v != sequential %+v",
+						p.name, test, qs, br.Stats, sr.Stats)
+				}
+			}
+		}
+	}
+	for _, qs := range predQueries {
+		q := xpath.MustParse(qs)
+		for _, test := range []Test{Containment, Equality} {
+			for _, p := range pairs {
+				br, err := p.batched.Run(q, test)
+				if err != nil {
+					t.Fatalf("%s/%s batched %s: %v", p.name, test, qs, err)
+				}
+				sr, err := p.seq.Run(q, test)
+				if err != nil {
+					t.Fatalf("%s/%s sequential %s: %v", p.name, test, qs, err)
+				}
+				if !equalPres(br.Pres, sr.Pres) {
+					t.Errorf("%s/%s on %s: batched %v != sequential %v",
+						p.name, test, qs, br.Pres, sr.Pres)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedMatchesSequentialOnXMark repeats the parity check on a real
+// XMark document, where frontiers are wide enough for batches to matter.
+func TestBatchedMatchesSequentialOnXMark(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.02, Seed: 7})
+	fx := build(t, doc, nil)
+	simpleSeq, advancedSeq := seqEngines(fx)
+	queries := []string{
+		"/site//europe/item",
+		"/site/*/person//city",
+		"//bidder/date",
+		"/site/regions/europe/item/description",
+	}
+	for _, qs := range queries {
+		q := xpath.MustParse(qs)
+		for _, test := range []Test{Containment, Equality} {
+			for _, pair := range [][2]Engine{{fx.simple, simpleSeq}, {fx.advanced, advancedSeq}} {
+				br, err := pair[0].Run(q, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sr, err := pair[1].Run(q, test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !equalPres(br.Pres, sr.Pres) {
+					t.Errorf("%s/%s/%s: batched %d results, sequential %d",
+						pair[0].Name(), test, qs, len(br.Pres), len(sr.Pres))
+				}
+				if br.Stats.Evaluations != sr.Stats.Evaluations {
+					t.Errorf("%s/%s/%s: batched %d evaluations, sequential %d",
+						pair[0].Name(), test, qs, br.Stats.Evaluations, sr.Stats.Evaluations)
+				}
+			}
+		}
+	}
+}
+
+// remoteFixture runs the engines over the RMI transport with a counting
+// proxy, so tests can assert on actual round-trips.
+type remoteFixture struct {
+	*fixture
+	rem *filter.Remote
+}
+
+func buildRemote(t testing.TB, xml string) *remoteFixture {
+	t.Helper()
+	fx := buildXML(t, xml)
+	srv := rmi.NewServer()
+	filter.RegisterServer(srv, fx.server)
+	rmiCli := rmi.Pipe(srv)
+	t.Cleanup(func() { rmiCli.Close() })
+	rem := filter.NewRemote(rmiCli)
+	cli := filter.NewClient(rem, fx.scheme)
+	rfx := &remoteFixture{fixture: fx, rem: rem}
+	rfx.cli = cli
+	rfx.simple = NewSimple(cli, fx.m)
+	rfx.advanced = NewAdvanced(cli, fx.m)
+	return rfx
+}
+
+// nameSteps counts the steps of a query that trigger a filter test (name
+// tests: not wildcards, not parent steps).
+func nameSteps(q *xpath.Query) int64 {
+	var n int64
+	for _, s := range q.Steps {
+		if s.IsNameTest() {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRemoteRoundTripsPerStep verifies the acceptance property of the
+// batch pipeline: a remote simple-engine query issues AT MOST ONE filter
+// (evaluation) round-trip per engine step, and none through the per-call
+// method.
+func TestRemoteRoundTripsPerStep(t *testing.T) {
+	rfx := buildRemote(t, smallXML)
+	for _, qs := range []string{
+		"/site/regions/europe/item",
+		"/site//item",
+		"//bidder/date",
+		"/site/*/person",
+		"/site/regions/../people/person",
+	} {
+		q := xpath.MustParse(qs)
+		before := rfx.rem.EvalRoundTrips()
+		if _, err := rfx.simple.Run(q, Containment); err != nil {
+			t.Fatalf("%s: %v", qs, err)
+		}
+		rtts := rfx.rem.EvalRoundTrips() - before
+		if max := nameSteps(q); rtts > max {
+			t.Errorf("%s: %d evaluation round-trips for %d name steps", qs, rtts, max)
+		}
+	}
+	if n := rfx.rem.CallCounts()["filter.EvalAt"]; n != 0 {
+		t.Errorf("batched pipeline issued %d per-call evaluations", n)
+	}
+	// Parent steps ride the batched frame too, never per-call Node floods.
+	if n := rfx.rem.CallCounts()["filter.Node"]; n != 0 {
+		t.Errorf("batched pipeline issued %d per-call node fetches", n)
+	}
+}
+
+// TestBatchedReducesRoundTrips: on a document with non-trivial frontiers
+// the batched pipeline must cost strictly fewer server exchanges than
+// the per-call protocol, for both engines and both tests.
+func TestBatchedReducesRoundTrips(t *testing.T) {
+	doc := xmark.Generate(xmark.Config{Scale: 0.02, Seed: 7})
+	fx := build(t, doc, nil)
+	srv := rmi.NewServer()
+	filter.RegisterServer(srv, fx.server)
+	rmiCli := rmi.Pipe(srv)
+	t.Cleanup(func() { rmiCli.Close() })
+	rem := filter.NewRemote(rmiCli)
+	cli := filter.NewClient(rem, fx.scheme)
+
+	engines := []struct {
+		name    string
+		batched Engine
+		seq     Engine
+	}{
+		{"simple", NewSimple(cli, fx.m), NewSimpleSequential(cli, fx.m)},
+		{"advanced", NewAdvanced(cli, fx.m), NewAdvancedSequential(cli, fx.m)},
+	}
+	q := xpath.MustParse("/site//europe/item")
+	for _, e := range engines {
+		for _, test := range []Test{Containment, Equality} {
+			before := rem.RoundTrips()
+			if _, err := e.batched.Run(q, test); err != nil {
+				t.Fatal(err)
+			}
+			batched := rem.RoundTrips() - before
+			before = rem.RoundTrips()
+			if _, err := e.seq.Run(q, test); err != nil {
+				t.Fatal(err)
+			}
+			seq := rem.RoundTrips() - before
+			if batched >= seq {
+				t.Errorf("%s/%s: batched pipeline used %d round-trips, per-call %d",
+					e.name, test, batched, seq)
+			}
+			t.Logf("%s/%s: %d round-trips batched vs %d per-call", e.name, test, batched, seq)
+		}
+	}
+}

@@ -12,6 +12,21 @@
 // O(#children) reconstructions per accepted candidate). For a fixed test
 // the two engines return identical result sets; they differ only in the
 // work spent (the subject of Figs. 5 and 6).
+//
+// Both engines come in two execution modes. The default batched pipeline
+// collects every check of a frontier (simple) or traversal wave
+// (advanced) and issues it as a single filter exchange, so a
+// predicate-free remote query costs O(steps) round-trips instead of
+// O(candidates) — predicates still run one existence traversal per
+// result candidate (batched internally, but not across candidates); the
+// sequential mode (NewSimpleSequential / NewAdvancedSequential) keeps
+// the paper's one-exchange-per-check protocol for measurement and
+// compatibility. The two modes always return identical result sets; for
+// queries without predicates they also perform the same checks in the
+// same per-node order, so the work counters match exactly. Predicate
+// evaluation short-circuits on the first witness, and a wave may do a
+// little work past that point, so counters can legitimately differ
+// there.
 package engine
 
 import (
@@ -78,6 +93,7 @@ type Engine interface {
 type base struct {
 	cli *filter.Client
 	m   *mapping.Map
+	seq bool // sequential per-check protocol instead of the batched pipeline
 }
 
 // val resolves a query name to its evaluation point. A name absent from
@@ -107,6 +123,39 @@ func (b *base) accept(pre int64, name string, test Test) (bool, error) {
 		return b.cli.Equals(pre, v)
 	}
 	return b.cli.Contains(pre, v)
+}
+
+// acceptBatch applies the selected test to a whole candidate slice with
+// a single filter exchange, returning the accepted subset in order.
+func (b *base) acceptBatch(cands []filter.NodeMeta, name string, test Test) ([]filter.NodeMeta, error) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	v, ok := b.val(name)
+	if !ok {
+		return nil, nil
+	}
+	checks := make([]filter.Check, len(cands))
+	for i, c := range cands {
+		checks[i] = filter.Check{Pre: c.Pre, Point: v}
+	}
+	var oks []bool
+	var err error
+	if test == Equality {
+		oks, err = b.cli.EqualsBatch(checks)
+	} else {
+		oks, err = b.cli.ContainsBatch(checks)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var kept []filter.NodeMeta
+	for i, ok := range oks {
+		if ok {
+			kept = append(kept, cands[i])
+		}
+	}
+	return kept, nil
 }
 
 // run wraps an engine body with counter snapshots and timing.

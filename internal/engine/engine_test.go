@@ -26,6 +26,8 @@ type fixture struct {
 	simple   *Simple
 	advanced *Advanced
 	cli      *filter.Client
+	server   *filter.ServerFilter
+	scheme   *secshare.Scheme
 }
 
 // build encodes doc (already trie-transformed if desired) into a fresh
@@ -56,7 +58,8 @@ func build(t testing.TB, doc *xmldoc.Doc, extraNames []string) *fixture {
 	if _, err := encoder.EncodeDoc(doc, encoder.Options{Map: m, Scheme: scheme}, st); err != nil {
 		t.Fatal(err)
 	}
-	cli := filter.NewClient(filter.NewServerFilter(st, r, 1024), scheme)
+	server := filter.NewServerFilter(st, r, 1024)
+	cli := filter.NewClient(server, scheme)
 	return &fixture{
 		doc:      doc,
 		m:        m,
@@ -64,6 +67,8 @@ func build(t testing.TB, doc *xmldoc.Doc, extraNames []string) *fixture {
 		simple:   NewSimple(cli, m),
 		advanced: NewAdvanced(cli, m),
 		cli:      cli,
+		server:   server,
+		scheme:   scheme,
 	}
 }
 

@@ -11,14 +11,27 @@ import (
 // filtering every candidate with a single test against the step's name.
 // The preliminary result set lives server-side in the paper (a Queue);
 // here it is the frontier slice, with the same cardinalities.
+//
+// In the default batched mode each step costs a constant number of
+// server exchanges: one to expand the whole frontier along the axis and
+// one to test every candidate. Sequential mode issues the paper's
+// per-candidate exchanges instead.
 type Simple struct {
 	base
 }
 
 // NewSimple builds a simple engine over a client filter and the secret
-// map.
+// map, using the batched pipeline.
 func NewSimple(cli *filter.Client, m *mapping.Map) *Simple {
 	return &Simple{base{cli: cli, m: m}}
+}
+
+// NewSimpleSequential builds a simple engine that issues one server
+// exchange per check, as the paper's prototype did — kept for
+// measurement (batched-vs-unbatched comparisons) and for servers that
+// predate the batch protocol.
+func NewSimpleSequential(cli *filter.Client, m *mapping.Map) *Simple {
+	return &Simple{base{cli: cli, m: m, seq: true}}
 }
 
 // Name implements Engine.
@@ -55,58 +68,38 @@ func (e *Simple) steps(frontier []filter.NodeMeta, steps []xpath.Step, test Test
 		// Parent step: navigate up, no test.
 		if s.Name == xpath.ParentStep {
 			var parents []filter.NodeMeta
-			for _, n := range frontier {
-				if n.Parent == 0 {
-					continue // root has no parent
+			if e.seq {
+				for _, n := range frontier {
+					if n.Parent == 0 {
+						continue // root has no parent
+					}
+					p, err := e.cli.Node(n.Parent)
+					if err != nil {
+						return nil, err
+					}
+					parents = append(parents, p)
 				}
-				p, err := e.cli.Node(n.Parent)
+			} else {
+				var pres []int64
+				for _, n := range frontier {
+					if n.Parent != 0 { // root has no parent
+						pres = append(pres, n.Parent)
+					}
+				}
+				var err error
+				parents, err = e.cli.NodeBatch(pres)
 				if err != nil {
 					return nil, err
 				}
-				parents = append(parents, p)
 			}
 			frontier = dedupMetas(parents)
 			continue
 		}
 
 		// Expand candidates along the axis.
-		var cands []filter.NodeMeta
-		switch {
-		case s.Axis == xpath.Child && i == 0 && fromRoot:
-			// "The first slash instructs the search engine to locate the
-			// root node ... done in constant time" (indexed parent = 0).
-			root, err := e.cli.Root()
-			if err != nil {
-				return nil, err
-			}
-			cands = []filter.NodeMeta{root}
-		case s.Axis == xpath.Child:
-			for _, n := range frontier {
-				kids, err := e.cli.Children(n.Pre)
-				if err != nil {
-					return nil, err
-				}
-				cands = append(cands, kids...)
-			}
-		case s.Axis == xpath.Descendant && i == 0 && fromRoot:
-			root, err := e.cli.Root()
-			if err != nil {
-				return nil, err
-			}
-			desc, err := e.cli.Descendants(root.Pre, root.Post)
-			if err != nil {
-				return nil, err
-			}
-			cands = append([]filter.NodeMeta{root}, desc...)
-		case s.Axis == xpath.Descendant:
-			for _, n := range frontier {
-				desc, err := e.cli.Descendants(n.Pre, n.Post)
-				if err != nil {
-					return nil, err
-				}
-				cands = append(cands, desc...)
-			}
-			cands = dedupMetas(cands)
+		cands, err := e.expand(frontier, s, i == 0 && fromRoot)
+		if err != nil {
+			return nil, err
 		}
 
 		// Filter by the step's test.
@@ -116,18 +109,101 @@ func (e *Simple) steps(frontier []filter.NodeMeta, steps []xpath.Step, test Test
 			frontier = cands
 			continue
 		}
-		var kept []filter.NodeMeta
-		for _, c := range cands {
-			*visited++
-			ok, err := e.accept(c.Pre, s.Name, test)
+		if e.seq {
+			var kept []filter.NodeMeta
+			for _, c := range cands {
+				*visited++
+				ok, err := e.accept(c.Pre, s.Name, test)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					kept = append(kept, c)
+				}
+			}
+			frontier = kept
+			continue
+		}
+		*visited += int64(len(cands))
+		frontier, err = e.acceptBatch(cands, s.Name, test)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return frontier, nil
+}
+
+// expand collects the step's candidates: the whole frontier is expanded
+// along the axis in one server exchange in batched mode.
+func (e *Simple) expand(frontier []filter.NodeMeta, s xpath.Step, fromRoot bool) ([]filter.NodeMeta, error) {
+	switch {
+	case s.Axis == xpath.Child && fromRoot:
+		// "The first slash instructs the search engine to locate the
+		// root node ... done in constant time" (indexed parent = 0).
+		root, err := e.cli.Root()
+		if err != nil {
+			return nil, err
+		}
+		return []filter.NodeMeta{root}, nil
+	case s.Axis == xpath.Child:
+		if e.seq {
+			var cands []filter.NodeMeta
+			for _, n := range frontier {
+				kids, err := e.cli.Children(n.Pre)
+				if err != nil {
+					return nil, err
+				}
+				cands = append(cands, kids...)
+			}
+			return cands, nil
+		}
+		pres := make([]int64, len(frontier))
+		for i, n := range frontier {
+			pres[i] = n.Pre
+		}
+		lists, err := e.cli.ChildrenBatch(pres)
+		if err != nil {
+			return nil, err
+		}
+		var cands []filter.NodeMeta
+		for _, kids := range lists {
+			cands = append(cands, kids...)
+		}
+		return cands, nil
+	case s.Axis == xpath.Descendant && fromRoot:
+		root, err := e.cli.Root()
+		if err != nil {
+			return nil, err
+		}
+		desc, err := e.cli.Descendants(root.Pre, root.Post)
+		if err != nil {
+			return nil, err
+		}
+		return append([]filter.NodeMeta{root}, desc...), nil
+	case s.Axis == xpath.Descendant:
+		var cands []filter.NodeMeta
+		if e.seq {
+			for _, n := range frontier {
+				desc, err := e.cli.Descendants(n.Pre, n.Post)
+				if err != nil {
+					return nil, err
+				}
+				cands = append(cands, desc...)
+			}
+		} else {
+			spans := make([]filter.Span, len(frontier))
+			for i, n := range frontier {
+				spans[i] = filter.Span{Pre: n.Pre, Post: n.Post}
+			}
+			lists, err := e.cli.DescendantsBatch(spans)
 			if err != nil {
 				return nil, err
 			}
-			if ok {
-				kept = append(kept, c)
+			for _, desc := range lists {
+				cands = append(cands, desc...)
 			}
 		}
-		frontier = kept
+		return dedupMetas(cands), nil
 	}
-	return frontier, nil
+	return nil, nil
 }

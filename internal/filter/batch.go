@@ -1,0 +1,596 @@
+// Batched filter protocol: the round-trip aggregation layer.
+//
+// The paper's interactive protocol (§5.2) pays one client↔server exchange
+// per candidate-node check, which is exactly the cost Figs. 5–6 measure.
+// The batch API below collapses all checks of one engine step into a
+// single exchange: the client ships every (node, point) pair at once, the
+// server evaluates the batch members in parallel on a bounded worker
+// pool, and one reply frame carries all field values back. The same
+// aggregation is applied to navigation (children/descendant fetches) and
+// to the strict test's polynomial retrievals, so a whole frontier is
+// expanded and filtered in O(1) round-trips instead of O(candidates).
+//
+// Compatibility: BatchAPI is an optional extension of ServerAPI. The
+// Client feature-detects it and falls back to per-call loops against
+// servers that only speak the original protocol.
+package filter
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"encshare/internal/gf"
+	"encshare/internal/rmi"
+	"encshare/internal/store"
+)
+
+// EvalRequest is one member of a batched evaluation: evaluate the server
+// share of the node at Pre at Point.
+type EvalRequest struct {
+	Pre   int64
+	Point gf.Elem
+}
+
+// EvalResult is the per-member reply. Err is a string (not error) so the
+// batch stays gob-encodable and a failure pinpoints the member that
+// caused it. Error identity (errors.Is/As) is not preserved across a
+// batch — the wire format carries messages, exactly as per-call RMI
+// replies do. Current consumers abort a whole client call on the first
+// member error; the per-member granularity exists so partial-tolerance
+// consumers can be added without a protocol change.
+type EvalResult struct {
+	Val gf.Elem
+	Err string
+}
+
+// Span addresses a subtree by its (pre, post) interval, for batched
+// descendant fetches.
+type Span struct {
+	Pre  int64
+	Post int64
+}
+
+// NodePolys bundles everything the strict equality test needs for one
+// candidate: the node's own share row plus all child share rows.
+type NodePolys struct {
+	Node     PolyRow
+	Children []PolyRow
+	Err      string
+}
+
+// BatchAPI is the batched extension of ServerAPI: each method is one
+// round-trip carrying a whole engine step's worth of work.
+type BatchAPI interface {
+	// EvalBatch evaluates every (node, point) pair, in parallel server-side.
+	EvalBatch(reqs []EvalRequest) ([]EvalResult, error)
+	// NodeBatch returns the metadata of every listed node (parent steps).
+	NodeBatch(pres []int64) ([]NodeMeta, error)
+	// ChildrenBatch returns the children of every listed node, in order.
+	ChildrenBatch(pres []int64) ([][]NodeMeta, error)
+	// DescendantsBatch returns the proper descendants of every span.
+	DescendantsBatch(spans []Span) ([][]NodeMeta, error)
+	// NodePolysBatch returns the equality-test bundle of every listed node.
+	NodePolysBatch(pres []int64) ([]NodePolys, error)
+}
+
+// defaultWorkers is the bound of the batch worker pools.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parallelFor runs fn(0..n-1) on at most workers goroutines. With one
+// worker (or one item) it degenerates to a plain loop, so callers pay no
+// goroutine overhead for tiny batches.
+func parallelFor(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				fn(int(i))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// firstBatchErr converts the first per-member error of a batch into a Go
+// error (the batch transport itself succeeded).
+func firstBatchErr(errs []EvalResult) error {
+	for _, r := range errs {
+		if r.Err != "" {
+			return errors.New(r.Err)
+		}
+	}
+	return nil
+}
+
+// Batch frames must stay under the rmi frame limit (64 MiB), so client
+// batches are split into bounded chunks before they hit the wire. A
+// step still costs O(1) exchanges; the constant only grows for
+// frontiers of tens of thousands of members. Chunk sizes are matched to
+// the per-member reply weight: evaluations and node metadata are a few
+// bytes each, children lists carry one fanout's worth of metadata, and
+// descendant spans / poly bundles carry whole subtrees or share blobs,
+// so they get small chunks with a wide safety margin. The bound is on
+// member count, not bytes — a single pathological member (a subtree of
+// millions of nodes) can still exceed the frame limit, exactly as it
+// already could under the per-call protocol; byte-aware reply framing
+// is a ROADMAP item. Variables, not constants, so tests can shrink
+// them.
+var (
+	evalChunkSize     = 1 << 16 // one field element per member
+	metaChunkSize     = 1 << 14 // one NodeMeta per member
+	childrenChunkSize = 1 << 12 // one child list per member
+	descChunkSize     = 256     // one whole subtree per member
+	polyChunkSize     = 256     // node + all-children share blobs per member
+)
+
+// chunked calls fn on successive [lo, hi) windows of size at most chunk
+// over n items.
+func chunked(n, chunk int, fn func(lo, hi int) error) error {
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if err := fn(lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkReplyLen guards against a buggy or malicious server answering a
+// batch with the wrong member count — the server is untrusted in this
+// scheme, so a bad reply must become a protocol error, not an
+// out-of-range panic in the client.
+func checkReplyLen[T any](part []T, want int) error {
+	if len(part) != want {
+		return fmt.Errorf("filter: batch reply carried %d members for %d requests", len(part), want)
+	}
+	return nil
+}
+
+// batchOrFallback is the shared skeleton of every client batch method:
+// ship frame-bounded chunks through the BatchAPI when the server speaks
+// it (validating each reply's member count), or run the per-call
+// fallback otherwise.
+func batchOrFallback[Req, Resp any](c *Client, reqs []Req, chunk int,
+	batch func(BatchAPI, []Req) ([]Resp, error),
+	fallback func([]Req) ([]Resp, error)) ([]Resp, error) {
+	b, ok := c.api.(BatchAPI)
+	if !ok {
+		return fallback(reqs)
+	}
+	out := make([]Resp, 0, len(reqs))
+	err := chunked(len(reqs), chunk, func(lo, hi int) error {
+		part, err := batch(b, reqs[lo:hi])
+		if err != nil {
+			return err
+		}
+		if err := checkReplyLen(part, hi-lo); err != nil {
+			return err
+		}
+		out = append(out, part...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// clientMemberErr classifies a per-call fallback error: node-level
+// failures (missing rows, remote handler errors) become that member's
+// Err string; anything else — a transport failure — aborts the whole
+// batch rather than burn one doomed call per remaining member.
+func clientMemberErr(err error) (string, error) {
+	var re *rmi.RemoteError
+	if errors.Is(err, store.ErrNotFound) || errors.As(err, &re) {
+		return err.Error(), nil
+	}
+	return "", err
+}
+
+// perCallEvals runs one evaluation per call — the shared EvalBatch
+// fallback of Client (third-party non-batch APIs) and Remote (pre-batch
+// servers), classifying member errors with clientMemberErr.
+func perCallEvals(reqs []EvalRequest, evalAt func(int64, gf.Elem) (gf.Elem, error)) ([]EvalResult, error) {
+	out := make([]EvalResult, len(reqs))
+	for i, q := range reqs {
+		v, err := evalAt(q.Pre, q.Point)
+		if err != nil {
+			msg, terr := clientMemberErr(err)
+			if terr != nil {
+				return nil, terr
+			}
+			out[i].Err = msg
+			continue
+		}
+		out[i].Val = v
+	}
+	return out, nil
+}
+
+// perCallEach runs one request per call — the shared navigation fallback
+// of Client and Remote.
+func perCallEach[Req, Resp any](reqs []Req, get func(Req) (Resp, error)) ([]Resp, error) {
+	out := make([]Resp, len(reqs))
+	for i, q := range reqs {
+		resp, err := get(q)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
+// perCallNodePolys assembles equality bundles through per-call fetches —
+// the shared fallback of Client (third-party non-batch APIs) and Remote
+// (pre-batch servers).
+func perCallNodePolys(pres []int64, poly func(int64) (PolyRow, error), children func(int64) ([]PolyRow, error)) ([]NodePolys, error) {
+	out := make([]NodePolys, len(pres))
+	for i, pre := range pres {
+		row, err := poly(pre)
+		if err == nil {
+			var kids []PolyRow
+			kids, err = children(pre)
+			if err == nil {
+				out[i] = NodePolys{Node: row, Children: kids}
+				continue
+			}
+		}
+		msg, terr := clientMemberErr(err)
+		if terr != nil {
+			return nil, terr
+		}
+		out[i].Err = msg
+	}
+	return out, nil
+}
+
+var _ BatchAPI = (*ServerFilter)(nil)
+
+// SetWorkers bounds the server-side batch worker pool (default
+// GOMAXPROCS; n < 1 resets to the default).
+func (s *ServerFilter) SetWorkers(n int) {
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	s.workers = n
+}
+
+func (s *ServerFilter) poolSize() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return defaultWorkers()
+}
+
+// EvalBatch implements BatchAPI: all members are evaluated on the worker
+// pool against the shared decoded-polynomial cache. Members are grouped
+// by node first, so each distinct polynomial is fetched and decoded once
+// per batch however many points it is evaluated at (the advanced
+// engine's look-ahead asks several names of the same node).
+func (s *ServerFilter) EvalBatch(reqs []EvalRequest) ([]EvalResult, error) {
+	out := make([]EvalResult, len(reqs))
+	byPre := make(map[int64][]int, len(reqs))
+	pres := make([]int64, 0, len(reqs))
+	for i, q := range reqs {
+		if _, seen := byPre[q.Pre]; !seen {
+			pres = append(pres, q.Pre)
+		}
+		byPre[q.Pre] = append(byPre[q.Pre], i)
+	}
+	parallelFor(len(pres), s.poolSize(), func(pi int) {
+		pre := pres[pi]
+		p, err := s.serverPoly(pre)
+		if err != nil {
+			for _, i := range byPre[pre] {
+				out[i].Err = err.Error()
+			}
+			return
+		}
+		for _, i := range byPre[pre] {
+			s.evals.Add(1)
+			out[i].Val = s.r.Eval(p, reqs[i].Point)
+		}
+	})
+	return out, nil
+}
+
+// NodeBatch implements BatchAPI.
+func (s *ServerFilter) NodeBatch(pres []int64) ([]NodeMeta, error) {
+	out := make([]NodeMeta, len(pres))
+	errs := make([]error, len(pres))
+	parallelFor(len(pres), s.poolSize(), func(i int) {
+		row, err := s.st.Node(pres[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = NodeMeta{Pre: row.Pre, Post: row.Post, Parent: row.Parent}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ChildrenBatch implements BatchAPI.
+func (s *ServerFilter) ChildrenBatch(pres []int64) ([][]NodeMeta, error) {
+	out := make([][]NodeMeta, len(pres))
+	errs := make([]error, len(pres))
+	parallelFor(len(pres), s.poolSize(), func(i int) {
+		rows, err := s.st.Children(pres[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = toMeta(rows)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// DescendantsBatch implements BatchAPI.
+func (s *ServerFilter) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
+	out := make([][]NodeMeta, len(spans))
+	errs := make([]error, len(spans))
+	parallelFor(len(spans), s.poolSize(), func(i int) {
+		rows, err := s.st.Descendants(spans[i].Pre, spans[i].Post)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = toMeta(rows)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// NodePolysBatch implements BatchAPI.
+func (s *ServerFilter) NodePolysBatch(pres []int64) ([]NodePolys, error) {
+	out := make([]NodePolys, len(pres))
+	parallelFor(len(pres), s.poolSize(), func(i int) {
+		row, err := s.st.Node(pres[i])
+		if err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		out[i].Node = PolyRow{Pre: row.Pre, Poly: row.Poly}
+		kids, err := s.st.Children(pres[i])
+		if err != nil {
+			out[i].Err = err.Error()
+			return
+		}
+		out[i].Children = make([]PolyRow, len(kids))
+		for j, k := range kids {
+			out[i].Children[j] = PolyRow{Pre: k.Pre, Poly: k.Poly}
+		}
+	})
+	return out, nil
+}
+
+// Check is one client-level containment/equality check: node at Pre
+// against evaluation point Point.
+type Check struct {
+	Pre   int64
+	Point gf.Elem
+}
+
+// SetWorkers bounds the client-side worker pool used for share
+// regeneration and reconstruction (default GOMAXPROCS; n < 1 resets).
+func (c *Client) SetWorkers(n int) {
+	if n < 1 {
+		n = defaultWorkers()
+	}
+	c.workers = n
+}
+
+func (c *Client) poolSize() int {
+	if c.workers > 0 {
+		return c.workers
+	}
+	return defaultWorkers()
+}
+
+// evalBatch runs the server half of a check batch: one round-trip per
+// chunk on a BatchAPI, a per-call loop otherwise.
+func (c *Client) evalBatch(reqs []EvalRequest) ([]EvalResult, error) {
+	return batchOrFallback(c, reqs, evalChunkSize,
+		func(b BatchAPI, part []EvalRequest) ([]EvalResult, error) { return b.EvalBatch(part) },
+		func(reqs []EvalRequest) ([]EvalResult, error) { return perCallEvals(reqs, c.api.EvalAt) })
+}
+
+// ContainsBatch runs the containment test for every check with a single
+// server exchange: true at index i iff the subtree of checks[i].Pre
+// contains a node mapped to checks[i].Point. The client halves of the
+// evaluations run in parallel on the client worker pool.
+func (c *Client) ContainsBatch(checks []Check) ([]bool, error) {
+	if len(checks) == 0 {
+		return nil, nil
+	}
+	reqs := make([]EvalRequest, len(checks))
+	for i, ch := range checks {
+		reqs[i] = EvalRequest(ch)
+	}
+	results, err := c.evalBatch(reqs)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstBatchErr(results); err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(checks))
+	parallelFor(len(checks), c.poolSize(), func(i int) {
+		cv := c.scheme.EvalClientAt(uint64(checks[i].Pre), checks[i].Point)
+		out[i] = c.r.Field().Add(results[i].Val, cv) == 0
+	})
+	c.Counters.Evaluations.Add(int64(len(checks)))
+	return out, nil
+}
+
+// nodePolysBatch fetches equality bundles: one round-trip per chunk on
+// a BatchAPI, per-call loops otherwise.
+func (c *Client) nodePolysBatch(pres []int64) ([]NodePolys, error) {
+	return batchOrFallback(c, pres, polyChunkSize,
+		func(b BatchAPI, part []int64) ([]NodePolys, error) { return b.NodePolysBatch(part) },
+		func(pres []int64) ([]NodePolys, error) {
+			return perCallNodePolys(pres, c.api.Poly, c.api.ChildrenPolys)
+		})
+}
+
+// EqualsBatch runs the strict equality test for every check with a single
+// server exchange fetching all share rows; reconstructions run in
+// parallel on the client worker pool.
+func (c *Client) EqualsBatch(checks []Check) ([]bool, error) {
+	if len(checks) == 0 {
+		return nil, nil
+	}
+	pres := make([]int64, len(checks))
+	for i, ch := range checks {
+		pres[i] = ch.Pre
+	}
+	bundles, err := c.nodePolysBatch(pres)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(checks))
+	errs := make([]error, len(checks))
+	var recons atomic.Int64
+	parallelFor(len(checks), c.poolSize(), func(i int) {
+		b := bundles[i]
+		if b.Err != "" {
+			errs[i] = errors.New(b.Err)
+			return
+		}
+		ok, n, err := c.equalsFromBundle(checks[i].Pre, checks[i].Point, b)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		recons.Add(n)
+		out[i] = ok
+	})
+	c.Counters.Reconstructions.Add(recons.Load())
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// equalsFromBundle is the client half of one strict test, given the
+// fetched share rows; n reports the reconstructions performed.
+func (c *Client) equalsFromBundle(pre int64, val gf.Elem, b NodePolys) (ok bool, n int64, err error) {
+	server, err := c.r.FromBytes(b.Node.Poly)
+	if err != nil {
+		return false, 0, decodeErr(pre, err)
+	}
+	full := c.scheme.Reconstruct(server, uint64(pre))
+	n = 1
+	prod := c.r.One()
+	for _, ch := range b.Children {
+		sp, err := c.r.FromBytes(ch.Poly)
+		if err != nil {
+			return false, n, decodeErr(ch.Pre, err)
+		}
+		n++
+		prod = c.r.Mul(prod, c.scheme.Reconstruct(sp, uint64(ch.Pre)))
+	}
+	return c.r.Equal(full, c.r.MulLinear(prod, val)), n, nil
+}
+
+// NodeBatch fetches the metadata of every listed node in one exchange
+// (falling back to per-call fetches on a plain ServerAPI).
+func (c *Client) NodeBatch(pres []int64) ([]NodeMeta, error) {
+	if len(pres) == 0 {
+		return nil, nil
+	}
+	out, err := batchOrFallback(c, pres, metaChunkSize,
+		func(b BatchAPI, part []int64) ([]NodeMeta, error) { return b.NodeBatch(part) },
+		func(pres []int64) ([]NodeMeta, error) { return perCallEach(pres, c.api.Node) })
+	if err != nil {
+		return nil, err
+	}
+	c.Counters.NodesFetched.Add(int64(len(out)))
+	return out, nil
+}
+
+// ChildrenBatch fetches the children of every listed node in one
+// exchange (falling back to per-call fetches on a plain ServerAPI).
+func (c *Client) ChildrenBatch(pres []int64) ([][]NodeMeta, error) {
+	if len(pres) == 0 {
+		return nil, nil
+	}
+	out, err := batchOrFallback(c, pres, childrenChunkSize,
+		func(b BatchAPI, part []int64) ([][]NodeMeta, error) { return b.ChildrenBatch(part) },
+		func(pres []int64) ([][]NodeMeta, error) { return perCallEach(pres, c.api.Children) })
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, ms := range out {
+		total += int64(len(ms))
+	}
+	c.Counters.NodesFetched.Add(total)
+	return out, nil
+}
+
+// DescendantsBatch fetches the proper descendants of every span in one
+// exchange (falling back to per-call fetches on a plain ServerAPI).
+func (c *Client) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
+	if len(spans) == 0 {
+		return nil, nil
+	}
+	out, err := batchOrFallback(c, spans, descChunkSize,
+		func(b BatchAPI, part []Span) ([][]NodeMeta, error) { return b.DescendantsBatch(part) },
+		func(spans []Span) ([][]NodeMeta, error) {
+			return perCallEach(spans, func(sp Span) ([]NodeMeta, error) {
+				return c.api.Descendants(sp.Pre, sp.Post)
+			})
+		})
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, ms := range out {
+		total += int64(len(ms))
+	}
+	c.Counters.NodesFetched.Add(total)
+	return out, nil
+}
+
+func decodeErr(pre int64, err error) error {
+	return fmt.Errorf("filter: decoding poly of %d: %w", pre, err)
+}

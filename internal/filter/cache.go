@@ -11,6 +11,10 @@ import (
 // arbitrary entry via map iteration order). Decoding a radix-q blob costs
 // dozens of big.Int divisions, so even a small cache pays off for the
 // repeated evaluations the engines issue against the same hot nodes.
+// The single mutex also makes it the rendezvous point for the batch
+// worker pool: concurrent EvalBatch workers share decoded polynomials
+// through it, and within one batch requests are pre-grouped by node so
+// the pool never decodes the same blob twice for one exchange.
 type polyCache struct {
 	mu   sync.Mutex
 	max  int

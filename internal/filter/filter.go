@@ -12,11 +12,13 @@
 //
 // The ClientFilter works against any ServerAPI: the in-process
 // ServerFilter or an rmi proxy, which is how the prototype splits work
-// over the network.
+// over the network. Implementations that additionally provide BatchAPI
+// (see batch.go) let the client collapse a whole engine step's checks
+// into one round-trip; the client feature-detects batching and falls
+// back to the original per-call protocol otherwise.
 package filter
 
 import (
-	"fmt"
 	"sync/atomic"
 
 	"encshare/internal/gf"
@@ -66,9 +68,10 @@ type ServerAPI interface {
 // bounded cache of decoded polynomials (decoding a radix-q blob costs more
 // than an evaluation).
 type ServerFilter struct {
-	st    *store.Store
-	r     *ring.Ring
-	evals atomic.Int64
+	st      *store.Store
+	r       *ring.Ring
+	evals   atomic.Int64
+	workers int // batch pool bound; 0 means defaultWorkers()
 
 	cache *polyCache
 }
@@ -137,7 +140,7 @@ func (s *ServerFilter) serverPoly(pre int64) (ring.Poly, error) {
 	}
 	p, err := s.r.FromBytes(row.Poly)
 	if err != nil {
-		return nil, fmt.Errorf("filter: decoding poly of %d: %w", pre, err)
+		return nil, decodeErr(pre, err)
 	}
 	s.cache.put(pre, p)
 	return p, nil
@@ -219,9 +222,10 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 // Client is the paper's ClientFilter: it holds the secret (seed-derived
 // scheme plus tag map values) and drives a ServerAPI.
 type Client struct {
-	api    ServerAPI
-	scheme *secshare.Scheme
-	r      *ring.Ring
+	api     ServerAPI
+	scheme  *secshare.Scheme
+	r       *ring.Ring
+	workers int // batch pool bound; 0 means defaultWorkers()
 
 	Counters Counters
 }
@@ -290,7 +294,7 @@ func (c *Client) Reconstruct(pre int64) (ring.Poly, error) {
 	}
 	server, err := c.r.FromBytes(row.Poly)
 	if err != nil {
-		return nil, fmt.Errorf("filter: decoding poly of %d: %w", pre, err)
+		return nil, decodeErr(pre, err)
 	}
 	c.Counters.Reconstructions.Add(1)
 	return c.scheme.Reconstruct(server, uint64(pre)), nil
@@ -313,7 +317,7 @@ func (c *Client) Equals(pre int64, val gf.Elem) (bool, error) {
 	for _, ch := range children {
 		server, err := c.r.FromBytes(ch.Poly)
 		if err != nil {
-			return false, fmt.Errorf("filter: decoding poly of %d: %w", ch.Pre, err)
+			return false, decodeErr(ch.Pre, err)
 		}
 		c.Counters.Reconstructions.Add(1)
 		childFull := c.scheme.Reconstruct(server, uint64(ch.Pre))

@@ -1,12 +1,18 @@
 package filter
 
 import (
+	"sync"
+
 	"encshare/internal/gf"
 	"encshare/internal/rmi"
 )
 
 // RMI method names of the filter service. Client proxy and server binding
-// must agree; they are part of the wire protocol.
+// must agree; they are part of the wire protocol. The *Batch methods are
+// the v2 additions: each call carries a whole engine step's work in one
+// length-prefixed frame. The per-call methods remain registered so old
+// clients keep working against new servers, and new clients fall back
+// when a server predates the batch protocol.
 const (
 	methodRoot          = "filter.Root"
 	methodNode          = "filter.Node"
@@ -16,6 +22,12 @@ const (
 	methodPoly          = "filter.Poly"
 	methodChildrenPolys = "filter.ChildrenPolys"
 	methodCount         = "filter.Count"
+
+	methodEvalBatch        = "filter.EvalBatch"
+	methodNodeBatch        = "filter.NodeBatch"
+	methodChildrenBatch    = "filter.ChildrenBatch"
+	methodDescendantsBatch = "filter.DescendantsBatch"
+	methodNodePolysBatch   = "filter.NodePolysBatch"
 )
 
 type descArgs struct{ Pre, Post int64 }
@@ -26,7 +38,8 @@ type evalArgs struct {
 }
 
 // RegisterServer exposes a ServerAPI (normally a *ServerFilter) on an rmi
-// server — the paper's server-side RMI endpoint.
+// server — the paper's server-side RMI endpoint. When the API also
+// implements BatchAPI, the batch methods are registered as well.
 func RegisterServer(srv *rmi.Server, api ServerAPI) {
 	rmi.HandleFunc(srv, methodRoot, func(struct{}) (NodeMeta, error) {
 		return api.Root()
@@ -52,70 +65,214 @@ func RegisterServer(srv *rmi.Server, api ServerAPI) {
 	rmi.HandleFunc(srv, methodCount, func(struct{}) (int64, error) {
 		return api.Count()
 	})
+	if b, ok := api.(BatchAPI); ok {
+		rmi.HandleFunc(srv, methodEvalBatch, func(reqs []EvalRequest) ([]EvalResult, error) {
+			return b.EvalBatch(reqs)
+		})
+		rmi.HandleFunc(srv, methodNodeBatch, func(pres []int64) ([]NodeMeta, error) {
+			return b.NodeBatch(pres)
+		})
+		rmi.HandleFunc(srv, methodChildrenBatch, func(pres []int64) ([][]NodeMeta, error) {
+			return b.ChildrenBatch(pres)
+		})
+		rmi.HandleFunc(srv, methodDescendantsBatch, func(spans []Span) ([][]NodeMeta, error) {
+			return b.DescendantsBatch(spans)
+		})
+		rmi.HandleFunc(srv, methodNodePolysBatch, func(pres []int64) ([]NodePolys, error) {
+			return b.NodePolysBatch(pres)
+		})
+	}
 }
 
-// Remote is a ServerAPI proxy over an rmi client connection.
+// Remote is a ServerAPI + BatchAPI proxy over an rmi client connection.
+// It counts its round-trips per method (see CallCounts), which is how the
+// tests verify the one-round-trip-per-step property, and degrades to the
+// per-call protocol against servers that do not expose the batch methods.
 type Remote struct {
 	c *rmi.Client
+
+	mu     sync.Mutex
+	counts map[string]int64
+
+	noBatchMu sync.Mutex
+	noBatch   bool // server answered "unknown method" to a batch call
 }
 
-var _ ServerAPI = (*Remote)(nil)
+var (
+	_ ServerAPI = (*Remote)(nil)
+	_ BatchAPI  = (*Remote)(nil)
+)
 
-// NewRemote wraps an rmi client as a ServerAPI.
-func NewRemote(c *rmi.Client) *Remote { return &Remote{c: c} }
+// NewRemote wraps an rmi client as a ServerAPI with batch support.
+func NewRemote(c *rmi.Client) *Remote {
+	return &Remote{c: c, counts: map[string]int64{}}
+}
+
+// call issues one RMI round-trip and counts it against the method.
+func (r *Remote) call(method string, args, reply any) error {
+	r.mu.Lock()
+	r.counts[method]++
+	r.mu.Unlock()
+	return r.c.Call(method, args, reply)
+}
+
+// CallCounts returns a snapshot of round-trips issued, keyed by RMI
+// method name.
+func (r *Remote) CallCounts() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counts))
+	for k, v := range r.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// RoundTrips returns the total number of round-trips issued.
+func (r *Remote) RoundTrips() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total int64
+	for _, v := range r.counts {
+		total += v
+	}
+	return total
+}
+
+// EvalRoundTrips returns the round-trips spent on filter evaluations
+// (per-call EvalAt plus batched EvalBatch) — the quantity bounded by one
+// per engine step in the batched pipeline.
+func (r *Remote) EvalRoundTrips() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counts[methodEvalAt] + r.counts[methodEvalBatch]
+}
+
+// batchUnsupported reports whether the server rejected the batch
+// protocol; isUnknownMethod records that fact from an error.
+func (r *Remote) batchUnsupported() bool {
+	r.noBatchMu.Lock()
+	defer r.noBatchMu.Unlock()
+	return r.noBatch
+}
+
+func (r *Remote) isUnknownMethod(err error, method string) bool {
+	if !rmi.IsUnknownMethod(err, method) {
+		return false
+	}
+	r.noBatchMu.Lock()
+	r.noBatch = true
+	r.noBatchMu.Unlock()
+	return true
+}
 
 // Root implements ServerAPI.
 func (r *Remote) Root() (NodeMeta, error) {
 	var out NodeMeta
-	err := r.c.Call(methodRoot, struct{}{}, &out)
+	err := r.call(methodRoot, struct{}{}, &out)
 	return out, err
 }
 
 // Node implements ServerAPI.
 func (r *Remote) Node(pre int64) (NodeMeta, error) {
 	var out NodeMeta
-	err := r.c.Call(methodNode, pre, &out)
+	err := r.call(methodNode, pre, &out)
 	return out, err
 }
 
 // Children implements ServerAPI.
 func (r *Remote) Children(pre int64) ([]NodeMeta, error) {
 	var out []NodeMeta
-	err := r.c.Call(methodChildren, pre, &out)
+	err := r.call(methodChildren, pre, &out)
 	return out, err
 }
 
 // Descendants implements ServerAPI.
 func (r *Remote) Descendants(pre, post int64) ([]NodeMeta, error) {
 	var out []NodeMeta
-	err := r.c.Call(methodDescendants, descArgs{pre, post}, &out)
+	err := r.call(methodDescendants, descArgs{pre, post}, &out)
 	return out, err
 }
 
 // EvalAt implements ServerAPI.
 func (r *Remote) EvalAt(pre int64, point gf.Elem) (gf.Elem, error) {
 	var out gf.Elem
-	err := r.c.Call(methodEvalAt, evalArgs{pre, point}, &out)
+	err := r.call(methodEvalAt, evalArgs{pre, point}, &out)
 	return out, err
 }
 
 // Poly implements ServerAPI.
 func (r *Remote) Poly(pre int64) (PolyRow, error) {
 	var out PolyRow
-	err := r.c.Call(methodPoly, pre, &out)
+	err := r.call(methodPoly, pre, &out)
 	return out, err
 }
 
 // ChildrenPolys implements ServerAPI.
 func (r *Remote) ChildrenPolys(pre int64) ([]PolyRow, error) {
 	var out []PolyRow
-	err := r.c.Call(methodChildrenPolys, pre, &out)
+	err := r.call(methodChildrenPolys, pre, &out)
 	return out, err
 }
 
 // Count implements ServerAPI.
 func (r *Remote) Count() (int64, error) {
 	var out int64
-	err := r.c.Call(methodCount, struct{}{}, &out)
+	err := r.call(methodCount, struct{}{}, &out)
 	return out, err
+}
+
+// remoteBatch is the shared skeleton of every Remote batch method: try
+// the batch frame once, detect a pre-batch server by its "unknown
+// method" reply, and degrade to the per-call fallback.
+func remoteBatch[Req, Resp any](r *Remote, method string, reqs []Req, fallback func([]Req) ([]Resp, error)) ([]Resp, error) {
+	if !r.batchUnsupported() {
+		var out []Resp
+		err := r.call(method, reqs, &out)
+		if err == nil {
+			return out, nil
+		}
+		if !r.isUnknownMethod(err, method) {
+			return nil, err
+		}
+	}
+	return fallback(reqs)
+}
+
+// EvalBatch implements BatchAPI: one round-trip carrying every (node,
+// point) pair. Against a pre-batch server it degrades to per-call EvalAt.
+func (r *Remote) EvalBatch(reqs []EvalRequest) ([]EvalResult, error) {
+	return remoteBatch(r, methodEvalBatch, reqs, func(reqs []EvalRequest) ([]EvalResult, error) {
+		return perCallEvals(reqs, r.EvalAt)
+	})
+}
+
+// NodeBatch implements BatchAPI.
+func (r *Remote) NodeBatch(pres []int64) ([]NodeMeta, error) {
+	return remoteBatch(r, methodNodeBatch, pres, func(pres []int64) ([]NodeMeta, error) {
+		return perCallEach(pres, r.Node)
+	})
+}
+
+// ChildrenBatch implements BatchAPI.
+func (r *Remote) ChildrenBatch(pres []int64) ([][]NodeMeta, error) {
+	return remoteBatch(r, methodChildrenBatch, pres, func(pres []int64) ([][]NodeMeta, error) {
+		return perCallEach(pres, r.Children)
+	})
+}
+
+// DescendantsBatch implements BatchAPI.
+func (r *Remote) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
+	return remoteBatch(r, methodDescendantsBatch, spans, func(spans []Span) ([][]NodeMeta, error) {
+		return perCallEach(spans, func(sp Span) ([]NodeMeta, error) {
+			return r.Descendants(sp.Pre, sp.Post)
+		})
+	})
+}
+
+// NodePolysBatch implements BatchAPI.
+func (r *Remote) NodePolysBatch(pres []int64) ([]NodePolys, error) {
+	return remoteBatch(r, methodNodePolysBatch, pres, func(pres []int64) ([]NodePolys, error) {
+		return perCallNodePolys(pres, r.Poly, r.ChildrenPolys)
+	})
 }

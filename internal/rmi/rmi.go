@@ -30,6 +30,21 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rmi: remote: " + e.Msg }
 
+// unknownMethodPrefix starts the RemoteError message for a method the
+// server does not expose; IsUnknownMethod is the public contract, so the
+// wording can change without breaking callers.
+const unknownMethodPrefix = "unknown method "
+
+// IsUnknownMethod reports whether err says the server does not expose
+// the named method — how clients feature-detect protocol extensions.
+// The match is exact against the server's dispatch reply, so a handler
+// whose own error text merely resembles it cannot trigger a false
+// downgrade.
+func IsUnknownMethod(err error, method string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Msg == unknownMethodPrefix+method
+}
+
 type request struct {
 	Seq    uint64
 	Method string
@@ -130,7 +145,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 		var resp response
 		resp.Seq = req.Seq
 		if !ok {
-			resp.Err = "unknown method " + req.Method
+			resp.Err = unknownMethodPrefix + req.Method
 		} else {
 			body, err := fn(req.Body)
 			if err != nil {
