@@ -5,17 +5,29 @@
 // Only server shares end up in the output; the seed never leaves the
 // client.
 //
+// With -shards N the node table is cut into N contiguous pre-range
+// slices: one <out-base>.shard<i>.db file per shard plus a
+// <out-base>.manifest.json describing the partition, ready for one
+// encshare-server per shard and encshare-query -addr a,b,c. Sharding
+// leaks nothing new — every share row is independently uniformly
+// random, so a slice tells a shard server no more than the whole table
+// tells a single server.
+//
 // Usage:
 //
 //	encshare-encode -seed seed.key -map tags.map -xml auction.xml -out auction.db
+//	encshare-encode -shards 3 -seed seed.key -map tags.map -xml auction.xml -out auction.db
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"encshare"
+	"encshare/internal/cluster"
 	"encshare/internal/minisql"
 )
 
@@ -28,6 +40,7 @@ func main() {
 		xmlPath  = flag.String("xml", "", "plaintext XML document (required)")
 		outPath  = flag.String("out", "encrypted.db", "encrypted database file to write")
 		trieMode = flag.String("trie", "off", "text indexing: off, compressed, uncompressed")
+		shards   = flag.Int("shards", 1, "split the table into N pre-range shard files plus a manifest")
 	)
 	flag.Parse()
 	if *xmlPath == "" {
@@ -75,6 +88,12 @@ func main() {
 		fatal(err)
 	}
 
+	fmt.Printf("encoded %d nodes in %s: %d polynomial bytes + %d meta bytes\n",
+		stats.Nodes, stats.Elapsed.Round(1e6), stats.PolyBytes, stats.MetaBytes)
+	if *shards > 1 {
+		writeShards(db, *outPath, *shards)
+		return
+	}
 	out, err := os.Create(*outPath)
 	if err != nil {
 		fatal(err)
@@ -85,8 +104,42 @@ func main() {
 	if err := out.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("encoded %d nodes in %s: %d polynomial bytes + %d meta bytes -> %s\n",
-		stats.Nodes, stats.Elapsed.Round(1e6), stats.PolyBytes, stats.MetaBytes, *outPath)
+	fmt.Printf("-> %s\n", *outPath)
+}
+
+// writeShards cuts the encoded table into n contiguous slices, writing
+// one standalone shard database per range and a manifest describing the
+// partition.
+func writeShards(db *encshare.Database, outPath string, n int) {
+	base := strings.TrimSuffix(outPath, ".db")
+	plan, err := db.ShardPlan(n)
+	if err != nil {
+		fatal(err)
+	}
+	m := &cluster.Manifest{}
+	for i, r := range plan {
+		path := fmt.Sprintf("%s.shard%d.db", base, i)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.DumpShard(f, r); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		// Manifest entries are relative to the manifest's own directory
+		// (encshare-server resolves them against it), so the whole bundle
+		// can be moved or -out can point into a subdirectory.
+		m.Shards = append(m.Shards, cluster.ShardInfo{DB: filepath.Base(path), Lo: r.Lo, Hi: r.Hi})
+		fmt.Printf("shard %d: pre [%d, %d] -> %s\n", i, r.Lo, r.Hi, path)
+	}
+	manifestPath := base + ".manifest.json"
+	if err := m.WriteFile(manifestPath); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("manifest -> %s\n", manifestPath)
 }
 
 func fatal(err error) {

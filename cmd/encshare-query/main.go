@@ -5,11 +5,15 @@
 //
 // Queries default to the batched pipeline (one filter exchange per
 // engine step); -percall restores the paper's one-exchange-per-check
-// protocol for comparison.
+// protocol for comparison. -addr accepts a comma-separated list of
+// shard servers (from encshare-encode -shards): the client dials each
+// shard, learns its pre range, and scatters every batched step as at
+// most one concurrent frame per shard.
 //
 // Usage:
 //
 //	encshare-query -seed seed.key -map tags.map -addr 127.0.0.1:7083 '/site//europe/item'
+//	encshare-query -addr 127.0.0.1:7083,127.0.0.1:7084,127.0.0.1:7085 ... '/site//europe/item'
 //	encshare-query -engine simple -test containment ... '//bidder/date'
 //	encshare-query -percall -v ... '/site//europe/item'
 package main
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"encshare"
 )
@@ -28,7 +33,7 @@ func main() {
 		e        = flag.Uint("e", 1, "field extension degree")
 		seedPath = flag.String("seed", "seed.key", "seed file")
 		mapPath  = flag.String("map", "tags.map", "map file")
-		addr     = flag.String("addr", "127.0.0.1:7083", "server address")
+		addr     = flag.String("addr", "127.0.0.1:7083", "server address, or comma-separated shard addresses")
 		engName  = flag.String("engine", "advanced", "engine: simple or advanced")
 		testName = flag.String("test", "exact", "test: exact (strict) or containment (non-strict)")
 		percall  = flag.Bool("percall", false, "use the paper's one-exchange-per-check protocol instead of batching")
@@ -74,7 +79,11 @@ func main() {
 		fatal(err)
 	}
 
-	session, err := encshare.Dial(keys, *addr)
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	session, err := encshare.DialCluster(keys, addrs)
 	if err != nil {
 		fatal(err)
 	}
@@ -89,6 +98,9 @@ func main() {
 		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d visited=%d round-trips=%d elapsed=%s\n",
 			res.Stats.Evaluations, res.Stats.Reconstructions,
 			res.Stats.NodesFetched, res.Stats.NodesVisited, session.RoundTrips(), res.Stats.Elapsed)
+		if per := session.ShardRoundTrips(); per != nil {
+			fmt.Printf("per-shard round-trips: %v\n", per)
+		}
 	}
 }
 

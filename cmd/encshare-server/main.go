@@ -6,11 +6,16 @@
 //
 // The endpoint speaks both filter protocols: the original per-call
 // exchanges and the batched frames (one per engine step), with -workers
-// bounding the pool that evaluates batch members in parallel.
+// bounding the pool that evaluates batch members in parallel. A shard
+// file from encshare-encode -shards serves exactly like a full database
+// (the cluster protocol discovers its pre range at dial time);
+// -manifest/-shard resolve the shard's file (and listen address, when
+// recorded) from a cluster manifest instead of naming it with -db.
 //
 // Usage:
 //
 //	encshare-server -db auction.db -listen :7083 -workers 8 -cache 4096
+//	encshare-server -manifest auction.manifest.json -shard 1 -listen :7084
 package main
 
 import (
@@ -18,28 +23,60 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 
 	"encshare"
+	"encshare/internal/cluster"
 	"encshare/internal/minisql"
 )
 
 func main() {
 	var (
-		p       = flag.Uint("p", 83, "field characteristic (prime)")
-		e       = flag.Uint("e", 1, "field extension degree")
-		dbPath  = flag.String("db", "encrypted.db", "database file from encshare-encode")
-		listen  = flag.String("listen", "127.0.0.1:7083", "listen address")
-		workers = flag.Int("workers", 0, "batch worker pool size (0 = number of CPUs)")
-		cache   = flag.Int("cache", 4096, "decoded-polynomial cache entries (0 = default 4096, negative disables)")
+		p        = flag.Uint("p", 83, "field characteristic (prime)")
+		e        = flag.Uint("e", 1, "field extension degree")
+		dbPath   = flag.String("db", "encrypted.db", "database file from encshare-encode")
+		manifest = flag.String("manifest", "", "cluster manifest from encshare-encode -shards")
+		shard    = flag.Int("shard", -1, "shard index to serve from -manifest")
+		listen   = flag.String("listen", "", "listen address (default 127.0.0.1:7083, or the manifest's addr)")
+		workers  = flag.Int("workers", 0, "batch worker pool size (0 = number of CPUs)")
+		cache    = flag.Int("cache", 4096, "decoded-polynomial cache entries (0 = default 4096, negative disables)")
 	)
 	flag.Parse()
+
+	path := *dbPath
+	addr := *listen
+	if *manifest != "" {
+		m, err := cluster.LoadManifest(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		if *shard < 0 || *shard >= len(m.Shards) {
+			fatal(fmt.Errorf("-shard %d out of range: manifest %s has %d shards", *shard, *manifest, len(m.Shards)))
+		}
+		info := m.Shards[*shard]
+		if info.DB == "" {
+			fatal(fmt.Errorf("manifest shard %d has no db file", *shard))
+		}
+		path = info.DB
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(filepath.Dir(*manifest), path)
+		}
+		if addr == "" {
+			addr = info.Addr
+		}
+	} else if *shard >= 0 {
+		fatal(fmt.Errorf("-shard requires -manifest"))
+	}
+	if addr == "" {
+		addr = "127.0.0.1:7083"
+	}
 
 	db, err := encshare.CreateDatabase(minisql.FreshDSN())
 	if err != nil {
 		fatal(err)
 	}
 	defer db.Close()
-	f, err := os.Open(*dbPath)
+	f, err := os.Open(path)
 	if err != nil {
 		fatal(err)
 	}
@@ -52,7 +89,7 @@ func main() {
 		fatal(err)
 	}
 
-	l, err := net.Listen("tcp", *listen)
+	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}

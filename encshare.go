@@ -39,6 +39,7 @@ import (
 	"io"
 	"net"
 
+	"encshare/internal/cluster"
 	"encshare/internal/encoder"
 	"encshare/internal/engine"
 	"encshare/internal/filter"
@@ -207,6 +208,37 @@ func (db *Database) NodeCount() (int64, error) { return db.st.Count() }
 // DumpTo persists the database to a writer (see cmd/encshare-encode).
 func (db *Database) DumpTo(w io.Writer) error { return db.st.Dump(w) }
 
+// ShardRange is one shard's contiguous, inclusive pre interval.
+type ShardRange = cluster.Range
+
+// ShardPlan cuts the database into n contiguous pre ranges of
+// near-equal size — the partition DumpShard and a shard manifest are
+// built from. Safe because every share row is independently uniformly
+// random: a shard holding a slice learns nothing a whole-table server
+// would not (see DESIGN.md).
+func (db *Database) ShardPlan(n int) ([]ShardRange, error) {
+	lo, hi, err := db.st.MinMaxPre()
+	if err != nil {
+		return nil, err
+	}
+	return cluster.PartitionEven(lo, hi, n)
+}
+
+// DumpShard writes the rows with pre in r to w as a standalone database
+// file: encshare-server loads it exactly like a full DumpTo file and
+// serves it as one cluster shard.
+func (db *Database) DumpShard(w io.Writer, r ShardRange) error {
+	tmp, dsn, err := db.st.CopyRange(r.Lo, r.Hi)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		tmp.Close()
+		minisql.Drop(dsn)
+	}()
+	return tmp.Dump(w)
+}
+
 // LoadFrom restores a database previously written by DumpTo.
 func (db *Database) LoadFrom(r io.Reader) error { return db.st.Load(r) }
 
@@ -328,7 +360,7 @@ type Result struct {
 }
 
 // Session is the client side: key material bound to a server connection
-// (local or remote).
+// (local, remote, or a sharded cluster).
 type Session struct {
 	keys        *Keys
 	cli         *filter.Client
@@ -337,6 +369,7 @@ type Session struct {
 	simpleSeq   *engine.Simple
 	advancedSeq *engine.Advanced
 	rmiCli      *rmi.Client
+	shardF      *cluster.Filter // non-nil for cluster sessions
 	closer      io.Closer
 }
 
@@ -361,6 +394,27 @@ func Dial(keys *Keys, addr string) (*Session, error) {
 	return s, nil
 }
 
+// DialCluster starts a session against a sharded deployment: one
+// encshare-server per address, each holding a contiguous pre slice of
+// the encrypted node table (see Database.DumpShard). The shards are
+// asked for their ranges at dial time, so no manifest travels to the
+// query side. Engines and the batched pipeline run unchanged; every
+// batched engine step costs at most one exchange per shard, issued
+// concurrently. A shard that is unreachable or does not tile with the
+// others fails the dial with an error naming it.
+func DialCluster(keys *Keys, addrs []string) (*Session, error) {
+	if len(addrs) == 1 {
+		return Dial(keys, addrs[0])
+	}
+	f, err := cluster.Dial(addrs)
+	if err != nil {
+		return nil, err
+	}
+	s := newSession(keys, f, f)
+	s.shardF = f
+	return s, nil
+}
+
 func newSession(keys *Keys, api filter.ServerAPI, closer io.Closer) *Session {
 	cli := filter.NewClient(api, keys.scheme())
 	return &Session{
@@ -376,13 +430,35 @@ func newSession(keys *Keys, api filter.ServerAPI, closer io.Closer) *Session {
 
 // RoundTrips returns the number of server exchanges this session has
 // issued (0 for local sessions, which do not cross a network boundary).
-// Comparing the delta across a query run under Batched vs PerCall shows
-// the round-trip reduction directly.
+// For cluster sessions this aggregates the per-shard counters of every
+// shard connection. Comparing the delta across a query run under
+// Batched vs PerCall shows the round-trip reduction directly.
 func (s *Session) RoundTrips() int64 {
+	if s.shardF != nil {
+		return s.shardF.RoundTrips()
+	}
 	if s.rmiCli == nil {
 		return 0
 	}
 	return s.rmiCli.Stats().Calls
+}
+
+// ShardRoundTrips returns the per-shard exchange counters of a cluster
+// session, in shard (pre-range) order; nil for non-cluster sessions.
+func (s *Session) ShardRoundTrips() []int64 {
+	if s.shardF == nil {
+		return nil
+	}
+	return s.shardF.ShardRoundTrips()
+}
+
+// Shards returns the number of shard servers behind this session (0 for
+// local and single-server sessions).
+func (s *Session) Shards() int {
+	if s.shardF == nil {
+		return 0
+	}
+	return s.shardF.Shards()
 }
 
 // Query parses and runs an XPath-subset query with default options.

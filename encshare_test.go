@@ -2,6 +2,7 @@ package encshare
 
 import (
 	"bytes"
+	"math/rand"
 	"net"
 	"strings"
 	"testing"
@@ -144,6 +145,115 @@ func TestEndToEndRemote(t *testing.T) {
 		if batched >= percall {
 			t.Errorf("%+v: batched cost %d round-trips, per-call %d", opt, batched, percall)
 		}
+	}
+}
+
+// TestEndToEndCluster exercises the whole sharded deployment through
+// the public API: ShardPlan/DumpShard cut the table into three loadable
+// shard files, three servers serve them over TCP, and DialCluster runs
+// the same queries with identical results, counters, and per-shard
+// round-trip accounting.
+func TestEndToEndCluster(t *testing.T) {
+	xml := randomDocXML(rand.New(rand.NewSource(21)), 400)
+	doc, _ := xmldoc.ParseString(xml)
+	keys, err := GenerateKeys(Params{P: 83}, doc.Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := CreateDatabase(minisql.FreshDSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.EncodeXML(keys, strings.NewReader(xml)); err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := db.ShardPlan(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("ShardPlan(3) = %d ranges", len(plan))
+	}
+	var addrs []string
+	for _, r := range plan {
+		var dump bytes.Buffer
+		if err := db.DumpShard(&dump, r); err != nil {
+			t.Fatal(err)
+		}
+		shardDB, err := CreateDatabase(minisql.FreshDSN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer shardDB.Close()
+		if err := shardDB.LoadFrom(&dump); err != nil {
+			t.Fatal(err)
+		}
+		want := r.Hi - r.Lo + 1
+		if n, err := shardDB.NodeCount(); err != nil || n != want {
+			t.Fatalf("shard [%d, %d] holds %d nodes (%v), want %d", r.Lo, r.Hi, n, err, want)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go shardDB.Serve(l, keys.Params())
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	session, err := DialCluster(keys, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+	if session.Shards() != 3 {
+		t.Fatalf("Shards() = %d", session.Shards())
+	}
+	local := OpenLocal(keys, db)
+	for _, qs := range []string{"/site", "//item", "//person//city", "//bidder/date", "/site/*/person"} {
+		for _, opt := range []QueryOptions{
+			{}, {Engine: Simple}, {Test: TestContainment}, {Batch: PerCall},
+		} {
+			want, err := local.QueryWith(qs, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := session.QueryWith(qs, opt)
+			if err != nil {
+				t.Fatalf("%s %+v over cluster: %v", qs, opt, err)
+			}
+			if len(got.Pres) != len(want.Pres) {
+				t.Fatalf("%s %+v: cluster %v != local %v", qs, opt, got.Pres, want.Pres)
+			}
+			for i := range want.Pres {
+				if got.Pres[i] != want.Pres[i] {
+					t.Fatalf("%s %+v: cluster %v != local %v", qs, opt, got.Pres, want.Pres)
+				}
+			}
+			if got.Stats.Evaluations != want.Stats.Evaluations ||
+				got.Stats.Reconstructions != want.Stats.Reconstructions {
+				t.Fatalf("%s %+v: cluster work %+v != local %+v", qs, opt, got.Stats, want.Stats)
+			}
+		}
+	}
+	per := session.ShardRoundTrips()
+	if len(per) != 3 {
+		t.Fatalf("ShardRoundTrips = %v", per)
+	}
+	var sum int64
+	for _, n := range per {
+		sum += n
+	}
+	if sum == 0 || sum != session.RoundTrips() {
+		t.Fatalf("per-shard counters %v do not aggregate to %d", per, session.RoundTrips())
+	}
+
+	// A dead shard address fails the dial with an error naming it.
+	if _, err := DialCluster(keys, []string{addrs[0], "127.0.0.1:1"}); err == nil ||
+		!strings.Contains(err.Error(), "shard 1 (127.0.0.1:1)") {
+		t.Fatalf("dead shard dial gave %v, want a shard-identifying error", err)
 	}
 }
 

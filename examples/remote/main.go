@@ -3,6 +3,11 @@
 // the thin client holds the seed and map, dials over TCP, and runs
 // queries. Swap the goroutine for cmd/encshare-server to split across
 // machines.
+//
+// The second half shards the same table over three servers and queries
+// the cluster: identical answers, identical client-side work, one
+// concurrent exchange per shard per batched step — and no single server
+// ever holds (or learns) more than a slice of uniformly random shares.
 package main
 
 import (
@@ -59,11 +64,12 @@ func main() {
 	}
 	defer session.Close()
 
-	for _, q := range []string{
+	queries := []string{
 		"/site/people/person",
 		"/site//europe/item",
 		"//bidder/date",
-	} {
+	}
+	for _, q := range queries {
 		res, err := session.Query(q)
 		if err != nil {
 			log.Fatal(err)
@@ -72,4 +78,50 @@ func main() {
 			q, len(res.Pres), res.Stats.Evaluations, res.Stats.Elapsed.Round(1000))
 	}
 	fmt.Println("the server never saw a tag name, a map value, or the seed")
+
+	// --- cluster mode: the same table cut into three pre-range shards ---
+	plan, err := db.ShardPlan(3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var addrs []string
+	for i, r := range plan {
+		var dump bytes.Buffer
+		if err := db.DumpShard(&dump, r); err != nil {
+			log.Fatal(err)
+		}
+		shardDB, err := encshare.CreateDatabase(fmt.Sprintf("remote-demo-shard%d", i))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer shardDB.Close()
+		if err := shardDB.LoadFrom(&dump); err != nil {
+			log.Fatal(err)
+		}
+		sl, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		go func() {
+			if err := shardDB.Serve(sl, keys.Params()); err != nil {
+				log.Print(err)
+			}
+		}()
+		fmt.Printf("shard %d: pre [%d, %d] on %s\n", i, r.Lo, r.Hi, sl.Addr())
+		addrs = append(addrs, sl.Addr().String())
+	}
+	cs, err := encshare.DialCluster(keys, addrs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cs.Close()
+	for _, q := range queries {
+		res, err := cs.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s -> %3d nodes over %d shards (per-shard exchanges so far: %v)\n",
+			q, len(res.Pres), cs.Shards(), cs.ShardRoundTrips())
+	}
+	fmt.Println("each shard saw only its slice of uniformly random shares")
 }

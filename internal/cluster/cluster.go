@@ -1,0 +1,528 @@
+// Package cluster shards the encrypted node table over N servers and
+// presents them to the engines as one filter.ServerAPI + filter.BatchAPI.
+//
+// The paper's protocol assumes a single untrusted server holding the
+// whole (pre, post, parent, poly) share table. Because every share row
+// is independently uniformly random, the table can be cut along the pre
+// axis into contiguous slices and each slice handed to a different
+// server without changing what any one server learns: a shard sees a
+// strict subset of the rows, point queries, and batch frames the single
+// server would have seen, and the secrets (seed, tag map) still never
+// leave the client. See DESIGN.md for the full trust argument.
+//
+// Routing exploits the Grust numbering the store already relies on:
+//
+//   - point operations (Node, EvalAt, Poly) go to the one shard whose
+//     range contains the pre;
+//   - descendants of (pre, post) occupy the contiguous pre interval
+//     (pre, pre+size], so the span scatters to every shard whose range
+//     ends past pre, each shard range-scans its slice independently, and
+//     concatenating replies in shard order is already document order;
+//   - children of pre live inside that same interval, so child fetches
+//     broadcast the same way; and the strict equality test's
+//     node+children bundles use filter.PartialAPI, where every relevant
+//     shard returns the fragment it stores and the client merges.
+//
+// Every batch frame of one engine step is scattered as at most ONE
+// concurrent rmi frame per shard, gathered, and re-ordered to preserve
+// batch member order — so the whole batched pipeline of PR 1 runs
+// unchanged against a cluster, and a step costs at most one exchange
+// per shard instead of one exchange total.
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"encshare/internal/filter"
+	"encshare/internal/gf"
+	"encshare/internal/store"
+)
+
+// Range is a contiguous, inclusive pre interval owned by one shard.
+type Range struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+func (r Range) contains(pre int64) bool { return pre >= r.Lo && pre <= r.Hi }
+
+// Conn is what the cluster needs from each shard: the base and batched
+// filter protocols plus the shard-partial equality bundles. Both
+// *filter.Remote (TCP shards) and *filter.ServerFilter (in-process
+// shards) satisfy it.
+type Conn interface {
+	filter.ServerAPI
+	filter.BatchAPI
+	filter.PartialAPI
+}
+
+// Shard couples a connection with the pre range it owns.
+type Shard struct {
+	Addr  string // diagnostic label (host:port, or a name for local shards)
+	Range Range
+	Conn  Conn
+}
+
+// Filter is the client-side sharded backend: a filter.ServerAPI +
+// filter.BatchAPI that scatters work over shards and gathers replies in
+// request order. A filter.Client (and therefore every engine) runs
+// against it unchanged.
+type Filter struct {
+	shards  []Shard // sorted by Range.Lo; ranges tile [lo, hi] with no gaps
+	closers []io.Closer
+}
+
+var (
+	_ filter.ServerAPI = (*Filter)(nil)
+	_ filter.BatchAPI  = (*Filter)(nil)
+)
+
+// New assembles a cluster filter from shards. The shard ranges must tile
+// a contiguous pre interval: sorted copies may arrive in any order, but
+// after sorting there must be no gap and no overlap.
+func New(shards []Shard) (*Filter, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	s := append([]Shard(nil), shards...)
+	sort.Slice(s, func(i, j int) bool { return s[i].Range.Lo < s[j].Range.Lo })
+	for i, sh := range s {
+		if sh.Conn == nil {
+			return nil, fmt.Errorf("cluster: shard %d (%s) has no connection", i, sh.Addr)
+		}
+		if sh.Range.Lo > sh.Range.Hi {
+			return nil, fmt.Errorf("cluster: shard %d (%s) has empty range [%d, %d]", i, sh.Addr, sh.Range.Lo, sh.Range.Hi)
+		}
+		if i > 0 && sh.Range.Lo != s[i-1].Range.Hi+1 {
+			return nil, fmt.Errorf("cluster: shard ranges do not tile: [..., %d] then [%d, ...]",
+				s[i-1].Range.Hi, sh.Range.Lo)
+		}
+	}
+	return &Filter{shards: s}, nil
+}
+
+// Shards returns the shard count.
+func (f *Filter) Shards() int { return len(f.shards) }
+
+// Close closes whatever closers the filter owns (the rmi connections of
+// a dialed cluster; none for in-process shards).
+func (f *Filter) Close() error {
+	var first error
+	for _, c := range f.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// roundTripper is implemented by *filter.Remote; in-process shard conns
+// report zero.
+type roundTripper interface {
+	RoundTrips() int64
+	EvalRoundTrips() int64
+}
+
+// RoundTrips returns the total rmi exchanges issued across all shards.
+func (f *Filter) RoundTrips() int64 {
+	var total int64
+	for _, n := range f.ShardRoundTrips() {
+		total += n
+	}
+	return total
+}
+
+// ShardRoundTrips returns per-shard exchange counts, in shard order —
+// how the tests enforce "at most one exchange per shard per step".
+func (f *Filter) ShardRoundTrips() []int64 {
+	out := make([]int64, len(f.shards))
+	for i, sh := range f.shards {
+		if rt, ok := sh.Conn.(roundTripper); ok {
+			out[i] = rt.RoundTrips()
+		}
+	}
+	return out
+}
+
+// ShardEvalRoundTrips returns per-shard evaluation exchange counts.
+func (f *Filter) ShardEvalRoundTrips() []int64 {
+	out := make([]int64, len(f.shards))
+	for i, sh := range f.shards {
+		if rt, ok := sh.Conn.(roundTripper); ok {
+			out[i] = rt.EvalRoundTrips()
+		}
+	}
+	return out
+}
+
+// owner returns the index of the shard owning pre.
+func (f *Filter) owner(pre int64) (int, error) {
+	i := sort.Search(len(f.shards), func(i int) bool { return f.shards[i].Range.Hi >= pre })
+	if i == len(f.shards) || !f.shards[i].Range.contains(pre) {
+		return 0, &RangeError{Pre: pre, Lo: f.shards[0].Range.Lo, Hi: f.shards[len(f.shards)-1].Range.Hi}
+	}
+	return i, nil
+}
+
+// scatter runs fn for every shard with a non-nil work item, one
+// goroutine per shard, and returns the first failure wrapped as a
+// ShardError naming the shard.
+func (f *Filter) scatter(active []bool, fn func(si int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.shards))
+	for si := range f.shards {
+		if !active[si] {
+			continue
+		}
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			errs[si] = fn(si)
+		}(si)
+	}
+	wg.Wait()
+	for si, err := range errs {
+		if err != nil {
+			return &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+		}
+	}
+	return nil
+}
+
+// group splits request indices by owning shard, preserving request order
+// within each group.
+func (f *Filter) group(n int, preAt func(int) int64) (groups [][]int, active []bool, err error) {
+	groups = make([][]int, len(f.shards))
+	active = make([]bool, len(f.shards))
+	for i := 0; i < n; i++ {
+		si, err := f.owner(preAt(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		groups[si] = append(groups[si], i)
+		active[si] = true
+	}
+	return groups, active, nil
+}
+
+// spread lists, per shard, the request indices the shard may hold rows
+// for: everything whose subtree interval reaches into the shard's range
+// (rows of interest have pre > req pre, so shards ending at or before it
+// hold none).
+func (f *Filter) spread(n int, preAt func(int) int64) (groups [][]int, active []bool) {
+	groups = make([][]int, len(f.shards))
+	active = make([]bool, len(f.shards))
+	for si, sh := range f.shards {
+		for i := 0; i < n; i++ {
+			if sh.Range.Hi > preAt(i) {
+				groups[si] = append(groups[si], i)
+				active[si] = true
+			}
+		}
+	}
+	return groups, active
+}
+
+// --- point operations: route to the owning shard -----------------------
+
+// Root implements filter.ServerAPI: the document root is the smallest
+// pre, owned by the first shard.
+func (f *Filter) Root() (filter.NodeMeta, error) {
+	m, err := f.shards[0].Conn.Root()
+	if err != nil {
+		return filter.NodeMeta{}, &ShardError{Shard: 0, Addr: f.shards[0].Addr, Err: err}
+	}
+	return m, nil
+}
+
+// Node implements filter.ServerAPI.
+func (f *Filter) Node(pre int64) (filter.NodeMeta, error) {
+	si, err := f.owner(pre)
+	if err != nil {
+		return filter.NodeMeta{}, err
+	}
+	m, err := f.shards[si].Conn.Node(pre)
+	if err != nil {
+		return filter.NodeMeta{}, &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+	}
+	return m, nil
+}
+
+// EvalAt implements filter.ServerAPI.
+func (f *Filter) EvalAt(pre int64, point gf.Elem) (gf.Elem, error) {
+	si, err := f.owner(pre)
+	if err != nil {
+		return 0, err
+	}
+	v, err := f.shards[si].Conn.EvalAt(pre, point)
+	if err != nil {
+		return 0, &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+	}
+	return v, nil
+}
+
+// Poly implements filter.ServerAPI.
+func (f *Filter) Poly(pre int64) (filter.PolyRow, error) {
+	si, err := f.owner(pre)
+	if err != nil {
+		return filter.PolyRow{}, err
+	}
+	row, err := f.shards[si].Conn.Poly(pre)
+	if err != nil {
+		return filter.PolyRow{}, &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+	}
+	return row, nil
+}
+
+// Count implements filter.ServerAPI: the sum over shards.
+func (f *Filter) Count() (int64, error) {
+	counts := make([]int64, len(f.shards))
+	all := make([]bool, len(f.shards))
+	for i := range all {
+		all[i] = true
+	}
+	err := f.scatter(all, func(si int) error {
+		n, err := f.shards[si].Conn.Count()
+		counts[si] = n
+		return err
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
+	return total, nil
+}
+
+// --- interval operations: broadcast and merge in shard order -----------
+
+// mergeLists concatenates each member's per-shard reply lists in shard
+// order. Shards tile the pre axis in ascending order and every shard
+// returns its rows sorted by pre, so the concatenation is document
+// order — identical to the single-server reply.
+func mergeLists[T any](nShards, nReqs int, groups [][]int, parts [][][]T) [][]T {
+	out := make([][]T, nReqs)
+	for si := 0; si < nShards; si++ {
+		for j, i := range groups[si] {
+			if len(parts[si][j]) > 0 {
+				out[i] = append(out[i], parts[si][j]...)
+			}
+		}
+	}
+	return out
+}
+
+// broadcastLists is the shared scatter/gather of Children- and
+// Descendants-shaped calls: ship each shard its relevant members in one
+// call, validate reply lengths, merge in shard order.
+func broadcastLists[Req, T any](f *Filter, reqs []Req, preOf func(Req) int64,
+	call func(Conn, []Req) ([][]T, error)) ([][]T, error) {
+	groups, active := f.spread(len(reqs), func(i int) int64 { return preOf(reqs[i]) })
+	parts := make([][][]T, len(f.shards))
+	err := f.scatter(active, func(si int) error {
+		sub := make([]Req, len(groups[si]))
+		for j, i := range groups[si] {
+			sub[j] = reqs[i]
+		}
+		part, err := call(f.shards[si].Conn, sub)
+		if err != nil {
+			return err
+		}
+		if len(part) != len(sub) {
+			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
+		}
+		parts[si] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeLists(len(f.shards), len(reqs), groups, parts), nil
+}
+
+// Children implements filter.ServerAPI: children can spill past the
+// owner's boundary, so the fetch broadcasts to every shard past pre.
+func (f *Filter) Children(pre int64) ([]filter.NodeMeta, error) {
+	lists, err := broadcastLists(f, []int64{pre}, func(p int64) int64 { return p },
+		func(c Conn, sub []int64) ([][]filter.NodeMeta, error) {
+			kids, err := c.Children(sub[0])
+			return [][]filter.NodeMeta{kids}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return lists[0], nil
+}
+
+// Descendants implements filter.ServerAPI. Each shard resolves the span
+// against its own slice (the store's boundary scan is correct on a
+// slice: any local row between pre and the first local following node
+// is a descendant), and shard-order concatenation restores document
+// order.
+func (f *Filter) Descendants(pre, post int64) ([]filter.NodeMeta, error) {
+	lists, err := broadcastLists(f, []filter.Span{{Pre: pre, Post: post}},
+		func(sp filter.Span) int64 { return sp.Pre },
+		func(c Conn, sub []filter.Span) ([][]filter.NodeMeta, error) {
+			ms, err := c.Descendants(sub[0].Pre, sub[0].Post)
+			return [][]filter.NodeMeta{ms}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return lists[0], nil
+}
+
+// ChildrenPolys implements filter.ServerAPI.
+func (f *Filter) ChildrenPolys(pre int64) ([]filter.PolyRow, error) {
+	lists, err := broadcastLists(f, []int64{pre}, func(p int64) int64 { return p },
+		func(c Conn, sub []int64) ([][]filter.PolyRow, error) {
+			rows, err := c.ChildrenPolys(sub[0])
+			return [][]filter.PolyRow{rows}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return lists[0], nil
+}
+
+// --- batched operations: one frame per shard per batch -----------------
+
+// EvalBatch implements filter.BatchAPI: members are grouped by owning
+// shard, one concurrent frame per shard, and replies land back at their
+// request indices.
+func (f *Filter) EvalBatch(reqs []filter.EvalRequest) ([]filter.EvalResult, error) {
+	groups, active, err := f.group(len(reqs), func(i int) int64 { return reqs[i].Pre })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]filter.EvalResult, len(reqs))
+	err = f.scatter(active, func(si int) error {
+		sub := make([]filter.EvalRequest, len(groups[si]))
+		for j, i := range groups[si] {
+			sub[j] = reqs[i]
+		}
+		part, err := f.shards[si].Conn.EvalBatch(sub)
+		if err != nil {
+			return err
+		}
+		if len(part) != len(sub) {
+			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
+		}
+		for j, i := range groups[si] {
+			out[i] = part[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// NodeBatch implements filter.BatchAPI.
+func (f *Filter) NodeBatch(pres []int64) ([]filter.NodeMeta, error) {
+	groups, active, err := f.group(len(pres), func(i int) int64 { return pres[i] })
+	if err != nil {
+		return nil, err
+	}
+	out := make([]filter.NodeMeta, len(pres))
+	err = f.scatter(active, func(si int) error {
+		sub := make([]int64, len(groups[si]))
+		for j, i := range groups[si] {
+			sub[j] = pres[i]
+		}
+		part, err := f.shards[si].Conn.NodeBatch(sub)
+		if err != nil {
+			return err
+		}
+		if len(part) != len(sub) {
+			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
+		}
+		for j, i := range groups[si] {
+			out[i] = part[j]
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ChildrenBatch implements filter.BatchAPI.
+func (f *Filter) ChildrenBatch(pres []int64) ([][]filter.NodeMeta, error) {
+	return broadcastLists(f, pres, func(p int64) int64 { return p },
+		func(c Conn, sub []int64) ([][]filter.NodeMeta, error) { return c.ChildrenBatch(sub) })
+}
+
+// DescendantsBatch implements filter.BatchAPI.
+func (f *Filter) DescendantsBatch(spans []filter.Span) ([][]filter.NodeMeta, error) {
+	return broadcastLists(f, spans, func(sp filter.Span) int64 { return sp.Pre },
+		func(c Conn, sub []filter.Span) ([][]filter.NodeMeta, error) { return c.DescendantsBatch(sub) })
+}
+
+// NodePolysBatch implements filter.BatchAPI: every shard whose range
+// reaches the node or could hold its children answers with the fragment
+// it stores (filter.PartialAPI); fragments merge into the single-server
+// bundle — node row from the owner, children concatenated in shard
+// order.
+func (f *Filter) NodePolysBatch(pres []int64) ([]filter.NodePolys, error) {
+	groups := make([][]int, len(f.shards))
+	active := make([]bool, len(f.shards))
+	for si, sh := range f.shards {
+		for i, pre := range pres {
+			if sh.Range.Hi >= pre { // owner (Hi >= pre) or potential child holder (Hi > pre)
+				groups[si] = append(groups[si], i)
+				active[si] = true
+			}
+		}
+	}
+	parts := make([][]filter.PartialNodePolys, len(f.shards))
+	err := f.scatter(active, func(si int) error {
+		sub := make([]int64, len(groups[si]))
+		for j, i := range groups[si] {
+			sub[j] = pres[i]
+		}
+		part, err := f.shards[si].Conn.NodePolysPartial(sub)
+		if err != nil {
+			return err
+		}
+		if len(part) != len(sub) {
+			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
+		}
+		parts[si] = part
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]filter.NodePolys, len(pres))
+	found := make([]bool, len(pres))
+	for si := 0; si < len(f.shards); si++ {
+		for j, i := range groups[si] {
+			frag := parts[si][j]
+			if frag.Err != "" && out[i].Err == "" {
+				out[i].Err = frag.Err
+				continue
+			}
+			if frag.Has {
+				out[i].Node = frag.Node
+				found[i] = true
+			}
+			out[i].Children = append(out[i].Children, frag.Children...)
+		}
+	}
+	for i, ok := range found {
+		if !ok && out[i].Err == "" {
+			// Mirror the single-server behavior for a nonexistent node: a
+			// member error, not a call failure.
+			out[i].Err = store.NotFoundError(pres[i]).Error()
+		}
+	}
+	return out, nil
+}

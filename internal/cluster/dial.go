@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"io"
+
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
+)
+
+// Dial connects to every shard server, asks each for the pre range it
+// holds (filter.RangeAPI — no manifest file needed on the query side),
+// and assembles the cluster filter. A shard that cannot be reached, does
+// not speak the cluster protocol, or reports a range that does not tile
+// with the others fails the dial with a ShardError naming it.
+func Dial(addrs []string) (*Filter, error) {
+	var closers []io.Closer
+	closeAll := func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}
+	shards := make([]Shard, 0, len(addrs))
+	for i, addr := range addrs {
+		cli, err := rmi.Dial(addr)
+		if err != nil {
+			closeAll()
+			return nil, &ShardError{Shard: i, Addr: addr, Err: err}
+		}
+		closers = append(closers, cli)
+		rem := filter.NewRemote(cli)
+		pr, err := rem.PreRange()
+		if err != nil {
+			closeAll()
+			return nil, &ShardError{Shard: i, Addr: addr, Err: err}
+		}
+		shards = append(shards, Shard{Addr: addr, Range: Range{Lo: pr.Lo, Hi: pr.Hi}, Conn: rem})
+	}
+	f, err := New(shards)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	f.closers = closers
+	return f, nil
+}

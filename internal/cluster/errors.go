@@ -1,0 +1,29 @@
+package cluster
+
+import "fmt"
+
+// ShardError wraps a failure of one shard with its identity, so an
+// unreachable or misbehaving member of the cluster is named instead of
+// surfacing as a raw transport or gob error.
+type ShardError struct {
+	Shard int    // index in manifest order
+	Addr  string // dial address or local label
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("cluster: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// RangeError reports a pre that no shard's manifest range covers — a
+// stale manifest or a query against the wrong cluster.
+type RangeError struct {
+	Pre    int64
+	Lo, Hi int64 // the interval the manifest does cover
+}
+
+func (e *RangeError) Error() string {
+	return fmt.Sprintf("cluster: no shard covers pre %d (manifest covers [%d, %d])", e.Pre, e.Lo, e.Hi)
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ShardInfo is one manifest entry: the pre range a shard owns plus where
+// its data lives (DB file, written by the encoder) and where it serves
+// (Addr, filled in at deploy time).
+type ShardInfo struct {
+	Addr string `json:"addr,omitempty"`
+	DB   string `json:"db,omitempty"`
+	Lo   int64  `json:"lo"`
+	Hi   int64  `json:"hi"`
+}
+
+// Manifest describes a sharded deployment: which contiguous pre slice of
+// the encrypted node table each server holds. It carries no secrets —
+// pre ranges are structural metadata the servers see anyway.
+type Manifest struct {
+	Shards []ShardInfo `json:"shards"`
+}
+
+// Ranges returns the manifest's shard ranges in order.
+func (m *Manifest) Ranges() []Range {
+	out := make([]Range, len(m.Shards))
+	for i, s := range m.Shards {
+		out[i] = Range{Lo: s.Lo, Hi: s.Hi}
+	}
+	return out
+}
+
+// Validate checks that the manifest's ranges are in order and tile a
+// contiguous pre interval.
+func (m *Manifest) Validate() error {
+	if len(m.Shards) == 0 {
+		return fmt.Errorf("cluster: manifest has no shards")
+	}
+	for i, s := range m.Shards {
+		if s.Lo > s.Hi {
+			return fmt.Errorf("cluster: manifest shard %d has empty range [%d, %d]", i, s.Lo, s.Hi)
+		}
+		if i > 0 && s.Lo != m.Shards[i-1].Hi+1 {
+			return fmt.Errorf("cluster: manifest shard %d starts at %d, want %d (contiguous ranges)",
+				i, s.Lo, m.Shards[i-1].Hi+1)
+		}
+	}
+	return nil
+}
+
+// Write serializes the manifest as indented JSON.
+func (m *Manifest) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadManifest reads and validates a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("cluster: parsing manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (in %s)", err, path)
+	}
+	return &m, nil
+}
+
+// PartitionEven splits the inclusive pre interval [lo, hi] into n
+// contiguous ranges whose sizes differ by at most one — the default
+// partitioner. Pre numbers are dense (the encoder assigns 1..count), so
+// even pre slices are even row slices.
+func PartitionEven(lo, hi int64, n int) ([]Range, error) {
+	if lo > hi {
+		return nil, fmt.Errorf("cluster: empty pre interval [%d, %d]", lo, hi)
+	}
+	total := hi - lo + 1
+	if n < 1 || int64(n) > total {
+		return nil, fmt.Errorf("cluster: cannot cut %d nodes into %d shards", total, n)
+	}
+	out := make([]Range, n)
+	base, rem := total/int64(n), total%int64(n)
+	next := lo
+	for i := 0; i < n; i++ {
+		size := base
+		if int64(i) < rem {
+			size++
+		}
+		out[i] = Range{Lo: next, Hi: next + size - 1}
+		next += size
+	}
+	return out, nil
+}

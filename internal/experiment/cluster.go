@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"encshare/internal/cluster"
+	"encshare/internal/engine"
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
+	"encshare/internal/xpath"
+)
+
+// clusterEnv serves the env's table as an n-shard cluster over
+// in-process rmi pipes, with counting Remote proxies per shard.
+type clusterEnv struct {
+	filter  *cluster.Filter
+	cleanup func()
+}
+
+func newClusterEnv(env *Env, n int) (*clusterEnv, error) {
+	lo, hi, err := env.Store.MinMaxPre()
+	if err != nil {
+		return nil, err
+	}
+	ranges, err := cluster.PartitionEven(lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	stores, dropStores, err := cluster.SplitStore(env.Store, ranges)
+	if err != nil {
+		dropStores()
+		return nil, err
+	}
+	var closers []func()
+	shards := make([]cluster.Shard, n)
+	for i, st := range stores {
+		srv := rmi.NewServer()
+		filter.RegisterServer(srv, filter.NewServerFilter(st, env.Ring, 4096))
+		cli := rmi.Pipe(srv)
+		closers = append(closers, func() { cli.Close() })
+		shards[i] = cluster.Shard{
+			Addr:  fmt.Sprintf("shard%d", i),
+			Range: ranges[i],
+			Conn:  filter.NewRemote(cli),
+		}
+	}
+	cf, err := cluster.New(shards)
+	if err != nil {
+		for _, c := range closers {
+			c()
+		}
+		dropStores()
+		return nil, err
+	}
+	return &clusterEnv{
+		filter: cf,
+		cleanup: func() {
+			for _, c := range closers {
+				c()
+			}
+			dropStores()
+		},
+	}, nil
+}
+
+// ClusterScaling measures the batched pipeline against clusters of
+// increasing width: for each shard count, both engines run the Table 2
+// queries over real rmi frames (in-process pipes), reporting server
+// exchanges, evaluations, and wall time per query. The exchange column
+// is the scaling story: a batched step costs at most one exchange per
+// shard, so exchanges grow at worst linearly in the shard count while
+// per-shard work shrinks.
+func ClusterScaling(env *Env, shardCounts []int) (*Table, error) {
+	t := &Table{
+		Title:  "Cluster: exchanges and latency vs shard count (batched pipeline, XMark)",
+		Header: []string{"query", "engine", "shards", "exchanges", "evals", "time (ms)"},
+		Notes: []string{
+			"per-shard frames are issued concurrently; exchanges sum over shards",
+			"1 shard = the single-server batched pipeline",
+		},
+	}
+	for _, qs := range Table2Queries {
+		q := xpath.MustParse(qs)
+		for _, engName := range []string{"simple", "advanced"} {
+			for _, n := range shardCounts {
+				ce, err := newClusterEnv(env, n)
+				if err != nil {
+					return nil, err
+				}
+				cli := filter.NewClient(ce.filter, env.Scheme)
+				var eng engine.Engine
+				if engName == "simple" {
+					eng = engine.NewSimple(cli, env.Map)
+				} else {
+					eng = engine.NewAdvanced(cli, env.Map)
+				}
+				before := ce.filter.RoundTrips()
+				start := time.Now()
+				res, err := eng.Run(q, engine.Containment)
+				elapsed := time.Since(start)
+				if err != nil {
+					ce.cleanup()
+					return nil, fmt.Errorf("%s on %d shards: %w", qs, n, err)
+				}
+				exchanges := ce.filter.RoundTrips() - before
+				t.Rows = append(t.Rows, []string{
+					qs, engName, fmt.Sprintf("%d", n),
+					fmt.Sprintf("%d", exchanges),
+					fmt.Sprintf("%d", res.Stats.Evaluations),
+					fmt.Sprintf("%.2f", float64(elapsed.Microseconds())/1000),
+				})
+				ce.cleanup()
+			}
+		}
+	}
+	return t, nil
+}

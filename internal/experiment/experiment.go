@@ -26,12 +26,13 @@ import (
 	"encshare/internal/xpath"
 )
 
-// Table is a printable experiment result.
+// Table is a printable experiment result; it also serializes directly
+// into encshare-bench's -json report.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Fprint renders the table with aligned columns.

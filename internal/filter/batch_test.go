@@ -316,8 +316,8 @@ func TestRemoteBatchRoundTrips(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := rem.CallCounts()
-	if counts[methodNodePolysBatch] != 1 {
-		t.Fatalf("EqualsBatch cost %d poly round-trips, want 1", counts[methodNodePolysBatch])
+	if n := counts[methodNodePolysPage] + counts[methodNodePolysBatch]; n != 1 {
+		t.Fatalf("EqualsBatch cost %d poly round-trips, want 1", n)
 	}
 	if counts[methodPoly] != 0 || counts[methodChildrenPolys] != 0 {
 		t.Fatalf("batched equals fell back to per-call fetches: %v", counts)
@@ -358,7 +358,8 @@ func TestBatchChunking(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := rem.CallCounts()[methodNodePolysBatch]; n != 4 { // ceil(10/3)
+	counts := rem.CallCounts()
+	if n := counts[methodNodePolysPage] + counts[methodNodePolysBatch]; n != 4 { // ceil(10/3)
 		t.Fatalf("10 equals over chunk size 3 cost %d poly round-trips, want 4", n)
 	}
 	for i, c := range checks[:10] {

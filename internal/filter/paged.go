@@ -1,0 +1,269 @@
+// Byte-aware batch reply framing. The client-side chunking in batch.go
+// bounds batch *member counts*, but a single pathological member — a
+// giant subtree in DescendantsBatch, a node with thousands of children in
+// NodePolysBatch — could still blow the 64 MiB rmi frame, because member
+// count says nothing about reply bytes. The paged protocol bounds the
+// reply itself: the server fills one page up to a byte budget (estimated
+// from the encoded size of each row) and returns a resume cursor; the
+// client loops until Done. A normal batch fits in one page, so the
+// exchange counts the tests pin are unchanged; only a pathological reply
+// costs extra round-trips — instead of a hard frame error.
+//
+// Descendant pages split *inside* a member (row granularity), so even one
+// multi-million-node subtree streams out in bounded frames. Equality
+// bundles page at bundle granularity (a bundle is one node plus its
+// children's share rows, bounded by fanout × poly size), with at least
+// one bundle per page so progress is guaranteed.
+//
+// Compatibility follows the batch.go pattern: new servers register the
+// paged methods alongside the originals; Remote probes the paged method
+// once and falls back to the unpaged batch (then to per-call) against
+// older servers.
+package filter
+
+import (
+	"fmt"
+)
+
+// replyByteBudget bounds the estimated payload of one paged reply frame,
+// with a wide margin under the 64 MiB rmi frame limit for gob overhead.
+// A variable so tests can shrink it to force multi-page replies.
+var replyByteBudget = 48 << 20
+
+// pageFetchChunk is how many members the server fetches at a time while
+// filling a page — keeps the worker pool busy without fetching far past
+// the byte budget (over-fetched members are re-fetched on the next page).
+var pageFetchChunk = 128
+
+// metaWireBytes is a conservative estimate of one gob-encoded NodeMeta.
+const metaWireBytes = 32
+
+// polyRowWireBytes estimates one encoded PolyRow.
+func polyRowWireBytes(r PolyRow) int { return len(r.Poly) + 24 }
+
+func nodePolysWire(b NodePolys) int {
+	n := polyRowWireBytes(b.Node) + len(b.Err) + 16
+	for _, c := range b.Children {
+		n += polyRowWireBytes(c)
+	}
+	return n
+}
+
+func partialNodePolysWire(b PartialNodePolys) int {
+	n := polyRowWireBytes(b.Node) + len(b.Err) + 16
+	for _, c := range b.Children {
+		n += polyRowWireBytes(c)
+	}
+	return n
+}
+
+// descPageArgs resumes a paged DescendantsBatch at Member; Resume is 0
+// or the last pre already delivered for that member — a descendant
+// interval is defined by (pre, post), so restarting the span at the
+// last delivered pre makes the server scan only the remaining rows
+// (the pathological giant member streams in O(total) work, not
+// O(pages × total)).
+type descPageArgs struct {
+	Spans  []Span
+	Member int
+	Resume int64
+}
+
+// descPagePart is one member's (possibly partial) row run within a page.
+type descPagePart struct {
+	Member int
+	Metas  []NodeMeta
+}
+
+type descPageReply struct {
+	Parts      []descPagePart
+	NextMember int
+	NextResume int64
+	Done       bool
+}
+
+// pageDescendants serves one page of a DescendantsBatch reply over any
+// BatchAPI, splitting inside wide members at row granularity.
+func pageDescendants(b BatchAPI, a descPageArgs) (descPageReply, error) {
+	n := len(a.Spans)
+	if a.Member < 0 || a.Member > n {
+		return descPageReply{}, fmt.Errorf("filter: bad descendants page cursor %d", a.Member)
+	}
+	var rep descPageReply
+	budget := replyByteBudget
+	emitted := 0
+	m, resume := a.Member, a.Resume
+	for m < n {
+		end := m + pageFetchChunk
+		if end > n {
+			end = n
+		}
+		window := make([]Span, end-m)
+		copy(window, a.Spans[m:end])
+		if resume > 0 {
+			window[0] = Span{Pre: resume, Post: window[0].Post}
+		}
+		lists, err := b.DescendantsBatch(window)
+		if err != nil {
+			return descPageReply{}, err
+		}
+		if err := checkReplyLen(lists, end-m); err != nil {
+			return descPageReply{}, err
+		}
+		for _, metas := range lists {
+			take := len(metas)
+			if max := budget / metaWireBytes; take > max {
+				take = max
+			}
+			if take == 0 && emitted == 0 && len(metas) > 0 {
+				take = 1 // guarantee progress even past the budget
+			}
+			if take > 0 {
+				rep.Parts = append(rep.Parts, descPagePart{Member: m, Metas: metas[:take]})
+				budget -= take * metaWireBytes
+				emitted += take
+			}
+			if take < len(metas) {
+				next := resume
+				if take > 0 {
+					next = metas[take-1].Pre
+				}
+				rep.NextMember, rep.NextResume = m, next
+				return rep, nil
+			}
+			m, resume = m+1, 0
+			if budget <= 0 && m < n {
+				rep.NextMember, rep.NextResume = m, 0
+				return rep, nil
+			}
+		}
+	}
+	rep.Done = true
+	return rep, nil
+}
+
+// bundlePageArgs resumes a paged bundle batch (NodePolysBatch or
+// NodePolysPartial) at member index Member.
+type bundlePageArgs struct {
+	Pres   []int64
+	Member int
+}
+
+// bundlePage is one page of bundles: members [args.Member,
+// args.Member+len(Bundles)) of the request, in order.
+type bundlePage[T any] struct {
+	Bundles []T
+	Done    bool
+}
+
+// pageBundles serves one page of a bundle batch, splitting between
+// bundles by estimated encoded size with at least one bundle per page.
+func pageBundles[T any](a bundlePageArgs, fetch func([]int64) ([]T, error), size func(T) int) (bundlePage[T], error) {
+	n := len(a.Pres)
+	if a.Member < 0 || a.Member > n {
+		return bundlePage[T]{}, fmt.Errorf("filter: bad bundle page cursor %d", a.Member)
+	}
+	var rep bundlePage[T]
+	budget := replyByteBudget
+	m := a.Member
+	for m < n && budget > 0 {
+		end := m + pageFetchChunk
+		if end > n {
+			end = n
+		}
+		part, err := fetch(a.Pres[m:end])
+		if err != nil {
+			return bundlePage[T]{}, err
+		}
+		if err := checkReplyLen(part, end-m); err != nil {
+			return bundlePage[T]{}, err
+		}
+		for _, bdl := range part {
+			c := size(bdl)
+			if c > budget && len(rep.Bundles) > 0 {
+				return rep, nil // next page re-fetches from here
+			}
+			rep.Bundles = append(rep.Bundles, bdl)
+			budget -= c
+			m++
+			if budget <= 0 {
+				break
+			}
+		}
+	}
+	rep.Done = m == n
+	return rep, nil
+}
+
+// remotePagedBundles drives a paged bundle method from the client side:
+// loop pages until Done, validating that the (untrusted) server makes
+// progress and answers exactly the requested members. handled=false
+// means the server does not speak the paged protocol.
+func remotePagedBundles[T any](r *Remote, method string, pres []int64) (out []T, handled bool, err error) {
+	if r.pagedOff(method) {
+		return nil, false, nil
+	}
+	if len(pres) == 0 {
+		return nil, true, nil
+	}
+	out = make([]T, 0, len(pres))
+	for {
+		var rep bundlePage[T]
+		if err := r.call(method, bundlePageArgs{Pres: pres, Member: len(out)}, &rep); err != nil {
+			if r.notePagedUnknown(err, method) {
+				return nil, false, nil
+			}
+			return nil, true, err
+		}
+		if len(rep.Bundles) == 0 && !rep.Done {
+			return nil, true, fmt.Errorf("filter: paged %s reply made no progress at member %d", method, len(out))
+		}
+		out = append(out, rep.Bundles...)
+		if len(out) > len(pres) {
+			return nil, true, fmt.Errorf("filter: paged %s reply carried %d members for %d requests", method, len(out), len(pres))
+		}
+		if rep.Done {
+			if err := checkReplyLen(out, len(pres)); err != nil {
+				return nil, true, err
+			}
+			return out, true, nil
+		}
+	}
+}
+
+// descendantsPaged drives the paged descendants method; handled=false
+// means the server does not speak it.
+func (r *Remote) descendantsPaged(spans []Span) (out [][]NodeMeta, handled bool, err error) {
+	if r.pagedOff(methodDescendantsPage) {
+		return nil, false, nil
+	}
+	if len(spans) == 0 {
+		return nil, true, nil
+	}
+	out = make([][]NodeMeta, len(spans))
+	m, resume := 0, int64(0)
+	for {
+		var rep descPageReply
+		if err := r.call(methodDescendantsPage, descPageArgs{Spans: spans, Member: m, Resume: resume}, &rep); err != nil {
+			if r.notePagedUnknown(err, methodDescendantsPage) {
+				return nil, false, nil
+			}
+			return nil, true, err
+		}
+		for _, p := range rep.Parts {
+			if p.Member < m || p.Member >= len(spans) {
+				return nil, true, fmt.Errorf("filter: paged descendants reply addressed member %d outside [%d, %d)", p.Member, m, len(spans))
+			}
+			out[p.Member] = append(out[p.Member], p.Metas...)
+		}
+		if rep.Done {
+			return out, true, nil
+		}
+		if rep.NextMember < m || rep.NextMember >= len(spans) ||
+			(rep.NextMember == m && rep.NextResume <= resume) {
+			return nil, true, fmt.Errorf("filter: paged descendants reply made no progress (cursor %d/%d -> %d/%d)",
+				m, resume, rep.NextMember, rep.NextResume)
+		}
+		m, resume = rep.NextMember, rep.NextResume
+	}
+}

@@ -28,6 +28,13 @@ const (
 	methodChildrenBatch    = "filter.ChildrenBatch"
 	methodDescendantsBatch = "filter.DescendantsBatch"
 	methodNodePolysBatch   = "filter.NodePolysBatch"
+
+	// v3 additions: byte-aware paged replies (see paged.go) and the
+	// cluster seams (see shard.go).
+	methodDescendantsPage      = "filter.DescendantsBatchPage"
+	methodNodePolysPage        = "filter.NodePolysBatchPage"
+	methodNodePolysPartialPage = "filter.NodePolysPartialPage"
+	methodPreRange             = "filter.PreRange"
 )
 
 type descArgs struct{ Pre, Post int64 }
@@ -81,6 +88,22 @@ func RegisterServer(srv *rmi.Server, api ServerAPI) {
 		rmi.HandleFunc(srv, methodNodePolysBatch, func(pres []int64) ([]NodePolys, error) {
 			return b.NodePolysBatch(pres)
 		})
+		rmi.HandleFunc(srv, methodDescendantsPage, func(a descPageArgs) (descPageReply, error) {
+			return pageDescendants(b, a)
+		})
+		rmi.HandleFunc(srv, methodNodePolysPage, func(a bundlePageArgs) (bundlePage[NodePolys], error) {
+			return pageBundles(a, b.NodePolysBatch, nodePolysWire)
+		})
+	}
+	if p, ok := api.(PartialAPI); ok {
+		rmi.HandleFunc(srv, methodNodePolysPartialPage, func(a bundlePageArgs) (bundlePage[PartialNodePolys], error) {
+			return pageBundles(a, p.NodePolysPartial, partialNodePolysWire)
+		})
+	}
+	if ra, ok := api.(RangeAPI); ok {
+		rmi.HandleFunc(srv, methodPreRange, func(struct{}) (PreRange, error) {
+			return ra.PreRange()
+		})
 	}
 }
 
@@ -94,13 +117,16 @@ type Remote struct {
 	mu     sync.Mutex
 	counts map[string]int64
 
-	noBatchMu sync.Mutex
-	noBatch   bool // server answered "unknown method" to a batch call
+	flagMu  sync.Mutex
+	noBatch bool            // server answered "unknown method" to a batch call
+	noPaged map[string]bool // paged methods the server rejected, individually
 }
 
 var (
-	_ ServerAPI = (*Remote)(nil)
-	_ BatchAPI  = (*Remote)(nil)
+	_ ServerAPI  = (*Remote)(nil)
+	_ BatchAPI   = (*Remote)(nil)
+	_ PartialAPI = (*Remote)(nil)
+	_ RangeAPI   = (*Remote)(nil)
 )
 
 // NewRemote wraps an rmi client as a ServerAPI with batch support.
@@ -148,21 +174,43 @@ func (r *Remote) EvalRoundTrips() int64 {
 	return r.counts[methodEvalAt] + r.counts[methodEvalBatch]
 }
 
-// batchUnsupported reports whether the server rejected the batch
-// protocol; isUnknownMethod records that fact from an error.
-func (r *Remote) batchUnsupported() bool {
-	r.noBatchMu.Lock()
-	defer r.noBatchMu.Unlock()
-	return r.noBatch
+// flagged reports a protocol-downgrade flag; noteUnknown records one
+// from an "unknown method" reply.
+func (r *Remote) flagged(flag *bool) bool {
+	r.flagMu.Lock()
+	defer r.flagMu.Unlock()
+	return *flag
 }
 
-func (r *Remote) isUnknownMethod(err error, method string) bool {
+func (r *Remote) noteUnknown(err error, method string, flag *bool) bool {
 	if !rmi.IsUnknownMethod(err, method) {
 		return false
 	}
-	r.noBatchMu.Lock()
-	r.noBatch = true
-	r.noBatchMu.Unlock()
+	r.flagMu.Lock()
+	*flag = true
+	r.flagMu.Unlock()
+	return true
+}
+
+// Paged methods downgrade individually: a server may register some of
+// them (they hang off different optional interfaces), so rejecting one
+// must not disable the others.
+func (r *Remote) pagedOff(method string) bool {
+	r.flagMu.Lock()
+	defer r.flagMu.Unlock()
+	return r.noPaged[method]
+}
+
+func (r *Remote) notePagedUnknown(err error, method string) bool {
+	if !rmi.IsUnknownMethod(err, method) {
+		return false
+	}
+	r.flagMu.Lock()
+	if r.noPaged == nil {
+		r.noPaged = map[string]bool{}
+	}
+	r.noPaged[method] = true
+	r.flagMu.Unlock()
 	return true
 }
 
@@ -226,13 +274,13 @@ func (r *Remote) Count() (int64, error) {
 // the batch frame once, detect a pre-batch server by its "unknown
 // method" reply, and degrade to the per-call fallback.
 func remoteBatch[Req, Resp any](r *Remote, method string, reqs []Req, fallback func([]Req) ([]Resp, error)) ([]Resp, error) {
-	if !r.batchUnsupported() {
+	if !r.flagged(&r.noBatch) {
 		var out []Resp
 		err := r.call(method, reqs, &out)
 		if err == nil {
 			return out, nil
 		}
-		if !r.isUnknownMethod(err, method) {
+		if !r.noteUnknown(err, method, &r.noBatch) {
 			return nil, err
 		}
 	}
@@ -261,8 +309,13 @@ func (r *Remote) ChildrenBatch(pres []int64) ([][]NodeMeta, error) {
 	})
 }
 
-// DescendantsBatch implements BatchAPI.
+// DescendantsBatch implements BatchAPI. The paged protocol is preferred
+// (byte-bounded reply frames, splitting inside wide subtrees); servers
+// without it get the unpaged batch, then per-call exchanges.
 func (r *Remote) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
+	if out, handled, err := r.descendantsPaged(spans); handled {
+		return out, err
+	}
 	return remoteBatch(r, methodDescendantsBatch, spans, func(spans []Span) ([][]NodeMeta, error) {
 		return perCallEach(spans, func(sp Span) ([]NodeMeta, error) {
 			return r.Descendants(sp.Pre, sp.Post)
@@ -270,9 +323,50 @@ func (r *Remote) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
 	})
 }
 
-// NodePolysBatch implements BatchAPI.
+// NodePolysBatch implements BatchAPI, preferring the paged protocol.
 func (r *Remote) NodePolysBatch(pres []int64) ([]NodePolys, error) {
+	if out, handled, err := remotePagedBundles[NodePolys](r, methodNodePolysPage, pres); handled {
+		return out, err
+	}
 	return remoteBatch(r, methodNodePolysBatch, pres, func(pres []int64) ([]NodePolys, error) {
 		return perCallNodePolys(pres, r.Poly, r.ChildrenPolys)
 	})
+}
+
+// NodePolysPartial implements PartialAPI: the cluster client's
+// equality-bundle fragments, paged. Against a server that predates the
+// paged protocol it degrades to per-call fetches, where a remote
+// handler error on the node row means the row is not stored here.
+func (r *Remote) NodePolysPartial(pres []int64) ([]PartialNodePolys, error) {
+	if out, handled, err := remotePagedBundles[PartialNodePolys](r, methodNodePolysPartialPage, pres); handled {
+		return out, err
+	}
+	out := make([]PartialNodePolys, len(pres))
+	for i, pre := range pres {
+		row, err := r.Poly(pre)
+		if err == nil {
+			out[i].Has, out[i].Node = true, row
+		} else if _, terr := clientMemberErr(err); terr != nil {
+			return nil, terr
+		}
+		kids, err := r.ChildrenPolys(pre)
+		if err != nil {
+			msg, terr := clientMemberErr(err)
+			if terr != nil {
+				return nil, terr
+			}
+			out[i].Err = msg
+			continue
+		}
+		out[i].Children = kids
+	}
+	return out, nil
+}
+
+// PreRange implements RangeAPI over the wire (no fallback: a server too
+// old to answer cannot join a cluster, and the error says so).
+func (r *Remote) PreRange() (PreRange, error) {
+	var out PreRange
+	err := r.call(methodPreRange, struct{}{}, &out)
+	return out, err
 }

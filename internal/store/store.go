@@ -34,6 +34,13 @@ type NodeRow struct {
 // ErrNotFound is returned when a requested node does not exist.
 var ErrNotFound = errors.New("store: node not found")
 
+// NotFoundError is the error Node(pre) returns for a missing row —
+// exported so layers that synthesize per-member errors (the cluster
+// merge) produce the exact message a single server would.
+func NotFoundError(pre int64) error {
+	return fmt.Errorf("store: node %d: %w", pre, ErrNotFound)
+}
+
 // Store is a handle on one node table.
 type Store struct {
 	db  *sql.DB
@@ -44,8 +51,10 @@ type Store struct {
 	children    *sql.Stmt
 	boundary    *sql.Stmt
 	rangeScan   *sql.Stmt
+	rangeIncl   *sql.Stmt
 	rootQuery   *sql.Stmt
 	countQuery  *sql.Stmt
+	minMaxQuery *sql.Stmt
 	naiveDesc   *sql.Stmt
 	childrenCnt *sql.Stmt
 }
@@ -106,8 +115,10 @@ func (s *Store) prepare() error {
 		{&s.children, "SELECT pre, post, parent, poly FROM nodes WHERE parent = ? ORDER BY pre"},
 		{&s.boundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
 		{&s.rangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+		{&s.rangeIncl, "SELECT pre, post, parent, poly FROM nodes WHERE pre >= ? AND pre <= ? ORDER BY pre"},
 		{&s.rootQuery, "SELECT pre, post, parent, poly FROM nodes WHERE parent = 0"},
 		{&s.countQuery, "SELECT COUNT(*) FROM nodes"},
+		{&s.minMaxQuery, "SELECT MIN(pre), MAX(pre) FROM nodes"},
 		{&s.naiveDesc, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND post < ? ORDER BY pre"},
 		{&s.childrenCnt, "SELECT COUNT(*) FROM nodes WHERE parent = ?"},
 	} {
@@ -172,7 +183,7 @@ func (s *Store) Node(pre int64) (NodeRow, error) {
 		return NodeRow{}, err
 	}
 	if len(all) == 0 {
-		return NodeRow{}, fmt.Errorf("store: node %d: %w", pre, ErrNotFound)
+		return NodeRow{}, NotFoundError(pre)
 	}
 	return all[0], nil
 }
@@ -212,6 +223,63 @@ func (s *Store) DescendantsNaive(pre, post int64) ([]NodeRow, error) {
 		return nil, fmt.Errorf("store: naive descendants of %d: %w", pre, err)
 	}
 	return scanRows(rows)
+}
+
+// Range returns the rows with pre in [lo, hi], in document order — the
+// slice of the node table one cluster shard holds.
+func (s *Store) Range(lo, hi int64) ([]NodeRow, error) {
+	rows, err := s.rangeIncl.Query(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("store: range [%d, %d]: %w", lo, hi, err)
+	}
+	return scanRows(rows)
+}
+
+// CopyRange copies the rows with pre in [lo, hi] into a fresh store
+// under a new DSN — the shared shard builder behind Database.DumpShard
+// (shard files) and cluster.SplitStore (in-process shards). The caller
+// owns the result: Close it and minisql.Drop the DSN when done.
+func (s *Store) CopyRange(lo, hi int64) (*Store, string, error) {
+	rows, err := s.Range(lo, hi)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(rows) == 0 {
+		return nil, "", fmt.Errorf("store: range [%d, %d] holds no rows", lo, hi)
+	}
+	dsn := minisql.FreshDSN()
+	dst, err := Open(dsn)
+	if err != nil {
+		return nil, "", err
+	}
+	fail := func(err error) (*Store, string, error) {
+		dst.Close()
+		minisql.Drop(dsn)
+		return nil, "", err
+	}
+	if err := dst.Init(); err != nil {
+		return fail(err)
+	}
+	for _, row := range rows {
+		if err := dst.InsertNode(row); err != nil {
+			return fail(err)
+		}
+	}
+	return dst, dsn, nil
+}
+
+// MinMaxPre returns the smallest and largest stored pre — the contiguous
+// interval this table covers (shards report it to cluster clients at
+// dial time). An empty table is ErrNotFound.
+func (s *Store) MinMaxPre() (lo, hi int64, err error) {
+	var nlo, nhi sql.NullInt64
+	if err := s.minMaxQuery.QueryRow().Scan(&nlo, &nhi); err != nil {
+		return 0, 0, fmt.Errorf("store: min/max pre: %w", err)
+	}
+	if !nlo.Valid || !nhi.Valid {
+		return 0, 0, fmt.Errorf("store: min/max pre of empty table: %w", ErrNotFound)
+	}
+	return nlo.Int64, nhi.Int64, nil
 }
 
 // Count returns the number of stored nodes.
