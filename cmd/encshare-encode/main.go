@@ -13,15 +13,25 @@
 // random, so a slice tells a shard server no more than the whole table
 // tells a single server.
 //
+// With -replicas M each shard is emitted M times
+// (<out-base>.shard<i>.r<j>.db) and the manifest lists the copies per
+// shard. Replicas are byte-identical — shares are immutable and
+// read-only, so a replica needs no consistency protocol, only a copy of
+// the file — and give the cluster failover: encshare-server serves any
+// copy, and the query side retries a dead replica's frames on its
+// siblings.
+//
 // Usage:
 //
 //	encshare-encode -seed seed.key -map tags.map -xml auction.xml -out auction.db
 //	encshare-encode -shards 3 -seed seed.key -map tags.map -xml auction.xml -out auction.db
+//	encshare-encode -shards 3 -replicas 2 -seed seed.key -map tags.map -xml auction.xml -out auction.db
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -41,10 +51,17 @@ func main() {
 		outPath  = flag.String("out", "encrypted.db", "encrypted database file to write")
 		trieMode = flag.String("trie", "off", "text indexing: off, compressed, uncompressed")
 		shards   = flag.Int("shards", 1, "split the table into N pre-range shard files plus a manifest")
+		replicas = flag.Int("replicas", 1, "with -shards: emit M byte-identical copies of every shard file")
 	)
 	flag.Parse()
 	if *xmlPath == "" {
 		fatal(fmt.Errorf("-xml is required"))
+	}
+	if *replicas < 1 {
+		fatal(fmt.Errorf("-replicas must be at least 1"))
+	}
+	if *replicas > 1 && *shards <= 1 {
+		fatal(fmt.Errorf("-replicas requires -shards"))
 	}
 
 	params := encshare.Params{P: uint32(*p), E: uint32(*e)}
@@ -91,7 +108,7 @@ func main() {
 	fmt.Printf("encoded %d nodes in %s: %d polynomial bytes + %d meta bytes\n",
 		stats.Nodes, stats.Elapsed.Round(1e6), stats.PolyBytes, stats.MetaBytes)
 	if *shards > 1 {
-		writeShards(db, *outPath, *shards)
+		writeShards(db, *outPath, *shards, *replicas)
 		return
 	}
 	out, err := os.Create(*outPath)
@@ -108,9 +125,9 @@ func main() {
 }
 
 // writeShards cuts the encoded table into n contiguous slices, writing
-// one standalone shard database per range and a manifest describing the
-// partition.
-func writeShards(db *encshare.Database, outPath string, n int) {
+// one standalone shard database per range (replicated reps times) and a
+// manifest describing the partition.
+func writeShards(db *encshare.Database, outPath string, n, reps int) {
 	base := strings.TrimSuffix(outPath, ".db")
 	plan, err := db.ShardPlan(n)
 	if err != nil {
@@ -118,28 +135,65 @@ func writeShards(db *encshare.Database, outPath string, n int) {
 	}
 	m := &cluster.Manifest{}
 	for i, r := range plan {
-		path := fmt.Sprintf("%s.shard%d.db", base, i)
-		f, err := os.Create(path)
-		if err != nil {
-			fatal(err)
-		}
-		if err := db.DumpShard(f, r); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
 		// Manifest entries are relative to the manifest's own directory
 		// (encshare-server resolves them against it), so the whole bundle
 		// can be moved or -out can point into a subdirectory.
-		m.Shards = append(m.Shards, cluster.ShardInfo{DB: filepath.Base(path), Lo: r.Lo, Hi: r.Hi})
-		fmt.Printf("shard %d: pre [%d, %d] -> %s\n", i, r.Lo, r.Hi, path)
+		info := cluster.ShardInfo{Lo: r.Lo, Hi: r.Hi}
+		if reps == 1 {
+			path := fmt.Sprintf("%s.shard%d.db", base, i)
+			writeShardFile(db, r, path)
+			info.DB = filepath.Base(path)
+			fmt.Printf("shard %d: pre [%d, %d] -> %s\n", i, r.Lo, r.Hi, path)
+		} else {
+			first := fmt.Sprintf("%s.shard%d.r0.db", base, i)
+			writeShardFile(db, r, first)
+			info.DBs = append(info.DBs, filepath.Base(first))
+			for j := 1; j < reps; j++ {
+				path := fmt.Sprintf("%s.shard%d.r%d.db", base, i, j)
+				copyFile(first, path)
+				info.DBs = append(info.DBs, filepath.Base(path))
+			}
+			fmt.Printf("shard %d: pre [%d, %d] -> %d replicas of %s\n", i, r.Lo, r.Hi, reps, first)
+		}
+		m.Shards = append(m.Shards, info)
 	}
 	manifestPath := base + ".manifest.json"
 	if err := m.WriteFile(manifestPath); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("manifest -> %s\n", manifestPath)
+}
+
+func writeShardFile(db *encshare.Database, r encshare.ShardRange, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := db.DumpShard(f, r); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+func copyFile(src, dst string) {
+	in, err := os.Open(src)
+	if err != nil {
+		fatal(err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		fatal(err)
+	}
+	if err := out.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -7,13 +7,17 @@
 // engine step); -percall restores the paper's one-exchange-per-check
 // protocol for comparison. -addr accepts a comma-separated list of
 // shard servers (from encshare-encode -shards): the client dials each
-// shard, learns its pre range, and scatters every batched step as at
-// most one concurrent frame per shard.
+// server, learns its pre range, and scatters every batched step as at
+// most one concurrent frame per shard. Servers holding the same range
+// (encshare-encode -replicas) are grouped automatically into replica
+// failover sets — list them flat, in any order; -hedge additionally
+// fires straggling frames at a second replica.
 //
 // Usage:
 //
 //	encshare-query -seed seed.key -map tags.map -addr 127.0.0.1:7083 '/site//europe/item'
 //	encshare-query -addr 127.0.0.1:7083,127.0.0.1:7084,127.0.0.1:7085 ... '/site//europe/item'
+//	encshare-query -addr 127.0.0.1:7083,127.0.0.1:7183,127.0.0.1:7084,127.0.0.1:7184 -hedge ... '//item'
 //	encshare-query -engine simple -test containment ... '//bidder/date'
 //	encshare-query -percall -v ... '/site//europe/item'
 package main
@@ -37,6 +41,8 @@ func main() {
 		engName  = flag.String("engine", "advanced", "engine: simple or advanced")
 		testName = flag.String("test", "exact", "test: exact (strict) or containment (non-strict)")
 		percall  = flag.Bool("percall", false, "use the paper's one-exchange-per-check protocol instead of batching")
+		hedge    = flag.Bool("hedge", false, "hedge straggling per-shard frames on a second replica")
+		tolerate = flag.Bool("tolerate-down", false, "skip unreachable servers at dial time (replicas must still cover the table)")
 		verbose  = flag.Bool("v", false, "print work statistics")
 	)
 	flag.Parse()
@@ -83,7 +89,10 @@ func main() {
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
 	}
-	session, err := encshare.DialCluster(keys, addrs)
+	session, err := encshare.DialClusterWith(keys, addrs, encshare.ClusterOptions{
+		Hedge:               *hedge,
+		TolerateUnreachable: *tolerate,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -99,7 +108,10 @@ func main() {
 			res.Stats.Evaluations, res.Stats.Reconstructions,
 			res.Stats.NodesFetched, res.Stats.NodesVisited, session.RoundTrips(), res.Stats.Elapsed)
 		if per := session.ShardRoundTrips(); per != nil {
-			fmt.Printf("per-shard round-trips: %v\n", per)
+			fmt.Printf("per-shard round-trips: %v (replicas per shard: %v)\n", per, session.Replicas())
+			if fo, h := session.Failovers(), session.Hedges(); fo > 0 || h > 0 {
+				fmt.Printf("failovers=%d hedged-frames=%d\n", fo, h)
+			}
 		}
 	}
 }

@@ -10,12 +10,16 @@
 // file from encshare-encode -shards serves exactly like a full database
 // (the cluster protocol discovers its pre range at dial time);
 // -manifest/-shard resolve the shard's file (and listen address, when
-// recorded) from a cluster manifest instead of naming it with -db.
+// recorded) from a cluster manifest instead of naming it with -db, and
+// -replica picks which copy of a replicated shard (encshare-encode
+// -replicas) this process serves — every replica is byte-identical, so
+// any copy answers any read.
 //
 // Usage:
 //
 //	encshare-server -db auction.db -listen :7083 -workers 8 -cache 4096
 //	encshare-server -manifest auction.manifest.json -shard 1 -listen :7084
+//	encshare-server -manifest auction.manifest.json -shard 1 -replica 1 -listen :7184
 package main
 
 import (
@@ -37,6 +41,7 @@ func main() {
 		dbPath   = flag.String("db", "encrypted.db", "database file from encshare-encode")
 		manifest = flag.String("manifest", "", "cluster manifest from encshare-encode -shards")
 		shard    = flag.Int("shard", -1, "shard index to serve from -manifest")
+		replica  = flag.Int("replica", 0, "replica index of the shard to serve (with -manifest)")
 		listen   = flag.String("listen", "", "listen address (default 127.0.0.1:7083, or the manifest's addr)")
 		workers  = flag.Int("workers", 0, "batch worker pool size (0 = number of CPUs)")
 		cache    = flag.Int("cache", 4096, "decoded-polynomial cache entries (0 = default 4096, negative disables)")
@@ -54,18 +59,28 @@ func main() {
 			fatal(fmt.Errorf("-shard %d out of range: manifest %s has %d shards", *shard, *manifest, len(m.Shards)))
 		}
 		info := m.Shards[*shard]
-		if info.DB == "" {
+		dbs := info.ReplicaDBs()
+		if len(dbs) == 0 {
 			fatal(fmt.Errorf("manifest shard %d has no db file", *shard))
 		}
-		path = info.DB
+		if *replica < 0 || *replica >= info.Replicas() {
+			fatal(fmt.Errorf("-replica %d out of range: manifest shard %d has %d replicas", *replica, *shard, info.Replicas()))
+		}
+		// Replica files are byte-identical; if the manifest lists fewer
+		// files than addresses, any copy serves any replica slot.
+		path = dbs[min(*replica, len(dbs)-1)]
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(filepath.Dir(*manifest), path)
 		}
 		if addr == "" {
-			addr = info.Addr
+			if addrs := info.ReplicaAddrs(); *replica < len(addrs) {
+				addr = addrs[*replica]
+			}
 		}
 	} else if *shard >= 0 {
 		fatal(fmt.Errorf("-shard requires -manifest"))
+	} else if *replica != 0 {
+		fatal(fmt.Errorf("-replica requires -manifest and -shard"))
 	}
 	if addr == "" {
 		addr = "127.0.0.1:7083"

@@ -17,9 +17,10 @@
 // Beyond the paper's one-exchange-per-check protocol, the engines
 // default to a batched pipeline: every engine step's checks travel in a
 // single length-prefixed frame and are evaluated in parallel server-side,
-// so a predicate-free remote query costs O(steps) round-trips instead of
-// O(candidates); predicates are still evaluated per result candidate.
-// QueryOptions.Batch selects between the two modes.
+// so a remote query costs O(steps) round-trips instead of O(candidates) —
+// predicates included, whose existence checks for the whole result
+// frontier ride one shared traversal. QueryOptions.Batch selects between
+// the two modes.
 //
 // # Quick start
 //
@@ -38,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"time"
 
 	"encshare/internal/cluster"
 	"encshare/internal/encoder"
@@ -394,19 +396,49 @@ func Dial(keys *Keys, addr string) (*Session, error) {
 	return s, nil
 }
 
+// ClusterOptions tunes how a cluster session routes frames over shard
+// replicas.
+type ClusterOptions struct {
+	// Hedge enables hedged reads: a per-shard frame still unanswered
+	// after the hedge delay is duplicated on a second replica of that
+	// shard, first reply wins. Shares are immutable, so duplicated reads
+	// are always consistent.
+	Hedge bool
+	// HedgeAfter fixes the hedge trigger delay; zero means adaptive (the
+	// 90th percentile of the shard's recent call latencies).
+	HedgeAfter time.Duration
+	// TolerateUnreachable lets the dial succeed while some listed
+	// servers are down, as long as the reachable ones still cover the
+	// whole table — so sessions can start during a replica outage.
+	TolerateUnreachable bool
+}
+
 // DialCluster starts a session against a sharded deployment: one
 // encshare-server per address, each holding a contiguous pre slice of
-// the encrypted node table (see Database.DumpShard). The shards are
+// the encrypted node table (see Database.DumpShard). The servers are
 // asked for their ranges at dial time, so no manifest travels to the
-// query side. Engines and the batched pipeline run unchanged; every
-// batched engine step costs at most one exchange per shard, issued
-// concurrently. A shard that is unreachable or does not tile with the
-// others fails the dial with an error naming it.
+// query side; servers reporting the same range are replicas of one
+// shard and form a failover group (the address list is flat — shards
+// and replicas in any order). Engines and the batched pipeline run
+// unchanged; every batched engine step costs at most one exchange per
+// shard, issued concurrently, and a replica that dies mid-query is
+// retried transparently on its siblings (see Session.Failovers). A
+// server that is unreachable or reports a range that does not tile with
+// the others fails the dial with an error naming it.
 func DialCluster(keys *Keys, addrs []string) (*Session, error) {
+	return DialClusterWith(keys, addrs, ClusterOptions{})
+}
+
+// DialClusterWith is DialCluster with explicit replica-routing options.
+func DialClusterWith(keys *Keys, addrs []string, opts ClusterOptions) (*Session, error) {
 	if len(addrs) == 1 {
 		return Dial(keys, addrs[0])
 	}
-	f, err := cluster.Dial(addrs)
+	f, err := cluster.DialWith(addrs, cluster.Options{
+		Hedge:               opts.Hedge,
+		HedgeAfter:          opts.HedgeAfter,
+		TolerateUnreachable: opts.TolerateUnreachable,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -452,13 +484,42 @@ func (s *Session) ShardRoundTrips() []int64 {
 	return s.shardF.ShardRoundTrips()
 }
 
-// Shards returns the number of shard servers behind this session (0 for
-// local and single-server sessions).
+// Shards returns the number of shards behind this session (0 for local
+// and single-server sessions).
 func (s *Session) Shards() int {
 	if s.shardF == nil {
 		return 0
 	}
 	return s.shardF.Shards()
+}
+
+// Replicas returns the per-shard replica counts of a cluster session,
+// in shard order; nil for non-cluster sessions.
+func (s *Session) Replicas() []int {
+	if s.shardF == nil {
+		return nil
+	}
+	return s.shardF.Replicas()
+}
+
+// Failovers returns how many per-shard frames this cluster session
+// retried on another replica after a transport failure — zero during
+// healthy operation, and still zero client-visible errors when a
+// replica dies mid-query.
+func (s *Session) Failovers() int64 {
+	if s.shardF == nil {
+		return 0
+	}
+	return s.shardF.Failovers()
+}
+
+// Hedges returns how many hedged duplicate frames this cluster session
+// fired (see ClusterOptions.Hedge).
+func (s *Session) Hedges() int64 {
+	if s.shardF == nil {
+		return 0
+	}
+	return s.shardF.Hedges()
 }
 
 // Query parses and runs an XPath-subset query with default options.

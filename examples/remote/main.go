@@ -4,10 +4,15 @@
 // queries. Swap the goroutine for cmd/encshare-server to split across
 // machines.
 //
-// The second half shards the same table over three servers and queries
-// the cluster: identical answers, identical client-side work, one
-// concurrent exchange per shard per batched step — and no single server
-// ever holds (or learns) more than a slice of uniformly random shares.
+// The second half shards the same table over three shards × two
+// replicas and queries the cluster: identical answers, identical
+// client-side work, one concurrent exchange per shard per batched step —
+// and no single server ever holds (or learns) more than a slice of
+// uniformly random shares. Replicas are byte-identical copies (shares
+// are immutable, so there is nothing to keep consistent), which the
+// demo proves by killing one replica of every shard mid-session: the
+// queries keep answering identically, with Session.Failovers counting
+// the rerouted frames.
 package main
 
 import (
@@ -15,11 +20,40 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sync"
 
 	"encshare"
 	"encshare/internal/xmark"
 	"encshare/internal/xmldoc"
 )
+
+// killableListener wraps a listener so the demo can kill a replica the
+// way a crashed process would die: stop accepting AND sever every
+// established connection.
+type killableListener struct {
+	net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func (l *killableListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err == nil {
+		l.mu.Lock()
+		l.conns = append(l.conns, c)
+		l.mu.Unlock()
+	}
+	return c, err
+}
+
+func (l *killableListener) Kill() {
+	l.Listener.Close()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, c := range l.conns {
+		c.Close()
+	}
+}
 
 func main() {
 	// --- offline, at the data owner: generate keys and encode ---
@@ -79,42 +113,54 @@ func main() {
 	}
 	fmt.Println("the server never saw a tag name, a map value, or the seed")
 
-	// --- cluster mode: the same table cut into three pre-range shards ---
+	// --- cluster mode: three pre-range shards, two replicas each ---
 	plan, err := db.ShardPlan(3)
 	if err != nil {
 		log.Fatal(err)
 	}
 	var addrs []string
+	var primaries []*killableListener // replica 0 of each shard, killed below
 	for i, r := range plan {
 		var dump bytes.Buffer
 		if err := db.DumpShard(&dump, r); err != nil {
 			log.Fatal(err)
 		}
-		shardDB, err := encshare.CreateDatabase(fmt.Sprintf("remote-demo-shard%d", i))
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer shardDB.Close()
-		if err := shardDB.LoadFrom(&dump); err != nil {
-			log.Fatal(err)
-		}
-		sl, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			log.Fatal(err)
-		}
-		go func() {
-			if err := shardDB.Serve(sl, keys.Params()); err != nil {
-				log.Print(err)
+		// A replica is nothing but another server over a byte-identical
+		// copy of the shard file — no consistency protocol, no log.
+		for j := 0; j < 2; j++ {
+			shardDB, err := encshare.CreateDatabase(fmt.Sprintf("remote-demo-shard%d-r%d", i, j))
+			if err != nil {
+				log.Fatal(err)
 			}
-		}()
-		fmt.Printf("shard %d: pre [%d, %d] on %s\n", i, r.Lo, r.Hi, sl.Addr())
-		addrs = append(addrs, sl.Addr().String())
+			defer shardDB.Close()
+			if err := shardDB.LoadFrom(bytes.NewReader(dump.Bytes())); err != nil {
+				log.Fatal(err)
+			}
+			raw, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			sl := &killableListener{Listener: raw}
+			if j == 0 {
+				primaries = append(primaries, sl)
+			}
+			go func() {
+				if err := shardDB.Serve(sl, keys.Params()); err != nil {
+					log.Print(err)
+				}
+			}()
+			fmt.Printf("shard %d replica %d: pre [%d, %d] on %s\n", i, j, r.Lo, r.Hi, sl.Addr())
+			addrs = append(addrs, sl.Addr().String())
+		}
 	}
+	// The address list is flat: DialCluster groups servers reporting the
+	// same pre range into one replica failover set.
 	cs, err := encshare.DialCluster(keys, addrs)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer cs.Close()
+	fmt.Printf("cluster: %d shards, replicas per shard %v\n", cs.Shards(), cs.Replicas())
 	for _, q := range queries {
 		res, err := cs.Query(q)
 		if err != nil {
@@ -123,5 +169,20 @@ func main() {
 		fmt.Printf("%-24s -> %3d nodes over %d shards (per-shard exchanges so far: %v)\n",
 			q, len(res.Pres), cs.Shards(), cs.ShardRoundTrips())
 	}
+
+	// Kill replica 0 of every shard — connections severed, listeners
+	// gone — and run the same queries: the scatter layer reroutes every
+	// frame to the surviving replicas with zero client-visible errors.
+	for _, l := range primaries {
+		l.Kill()
+	}
+	for _, q := range queries {
+		res, err := cs.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s -> %3d nodes with one replica of each shard dead\n", q, len(res.Pres))
+	}
+	fmt.Printf("frames failed over: %d (queries kept their answers)\n", cs.Failovers())
 	fmt.Println("each shard saw only its slice of uniformly random shares")
 }

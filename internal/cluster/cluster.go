@@ -28,6 +28,20 @@
 // batch member order — so the whole batched pipeline of PR 1 runs
 // unchanged against a cluster, and a step costs at most one exchange
 // per shard instead of one exchange total.
+//
+// # Replicas and failover
+//
+// A shard may be served by several replicas. Replicas are byte-identical
+// copies of the same share slice (the rows are immutable once encoded,
+// so there is no consistency protocol — any replica answers any read
+// identically). Each per-shard frame is routed to one healthy replica,
+// chosen round-robin to spread load; a transport failure or a
+// protocol-violating reply (filter.Retryable) fails the frame over to
+// the next replica and trips the failed connection's circuit breaker,
+// so a dead replica is skipped until its cooldown expires. With
+// Options.Hedge, a frame that outlives the shard's recent latency
+// percentile is duplicated on a second replica and the first reply
+// wins — safe for the same immutability reason.
 package cluster
 
 import (
@@ -35,6 +49,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"encshare/internal/filter"
 	"encshare/internal/gf"
@@ -49,8 +65,8 @@ type Range struct {
 
 func (r Range) contains(pre int64) bool { return pre >= r.Lo && pre <= r.Hi }
 
-// Conn is what the cluster needs from each shard: the base and batched
-// filter protocols plus the shard-partial equality bundles. Both
+// Conn is what the cluster needs from each shard replica: the base and
+// batched filter protocols plus the shard-partial equality bundles. Both
 // *filter.Remote (TCP shards) and *filter.ServerFilter (in-process
 // shards) satisfy it.
 type Conn interface {
@@ -59,20 +75,115 @@ type Conn interface {
 	filter.PartialAPI
 }
 
-// Shard couples a connection with the pre range it owns.
+// Replica couples one replica connection with its address label.
+type Replica struct {
+	Addr string
+	Conn Conn
+}
+
+// Shard couples a replica set with the pre range it owns. The
+// single-replica shorthand (Addr + Conn, as PR 2 deployments built)
+// remains valid: when Replicas is empty, {Addr, Conn} is the one
+// replica.
 type Shard struct {
-	Addr  string // diagnostic label (host:port, or a name for local shards)
-	Range Range
-	Conn  Conn
+	Addr     string // diagnostic label (host:port, or a name for local shards)
+	Range    Range
+	Conn     Conn // single-replica shorthand; ignored when Replicas is set
+	Replicas []Replica
+}
+
+// replicas returns the shard's normalized replica list.
+func (s Shard) replicas() []Replica {
+	if len(s.Replicas) > 0 {
+		return s.Replicas
+	}
+	if s.Conn == nil {
+		return nil
+	}
+	return []Replica{{Addr: s.Addr, Conn: s.Conn}}
+}
+
+// Options tunes the replica routing of a cluster filter.
+type Options struct {
+	// Hedge enables hedged reads: a per-shard frame still unanswered
+	// after the hedge delay is duplicated on a second replica, first
+	// reply wins. Replicas hold identical immutable rows, so duplicated
+	// reads are always consistent.
+	Hedge bool
+	// HedgeAfter fixes the hedge trigger delay. Zero means adaptive: the
+	// 90th percentile of the shard's recent call latencies, once enough
+	// samples exist.
+	HedgeAfter time.Duration
+	// TolerateUnreachable lets DialWith succeed while some listed
+	// servers are down, as long as the reachable ones still tile the pre
+	// axis — so sessions can start during a replica outage. The default
+	// (strict) dial fails on the first unreachable address, which is the
+	// right behavior for catching typos.
+	TolerateUnreachable bool
+}
+
+// replica is the runtime state of one shard replica connection.
+type replica struct {
+	addr string
+	conn Conn
+	brk  breaker
+}
+
+// Op classes for latency sampling. Point lookups (a row fetch, one
+// evaluation) and batch frames (a whole engine step's work) live on
+// latency scales orders of magnitude apart; hedging batches against a
+// point-op percentile would duplicate every expensive frame, so each
+// class keeps its own window.
+const (
+	opPoint = iota
+	opBatch
+	opClasses
+)
+
+// shardState is the runtime state of one shard: its replica set plus the
+// round-robin cursor and per-op-class latency windows the router uses.
+type shardState struct {
+	label string // first replica's address, for error messages
+	rng   Range
+	reps  []*replica
+	rr    atomic.Uint32
+	lat   [opClasses]latWindow
+}
+
+// replicaOrder returns replica indices in dispatch-preference order:
+// round-robin rotated for load spread, connections with open circuit
+// breakers pushed last (still tried when every healthy replica fails —
+// a degraded replica beats no answer).
+func (sh *shardState) replicaOrder() []int {
+	n := len(sh.reps)
+	if n == 1 {
+		return []int{0}
+	}
+	start := int(sh.rr.Add(1)-1) % n
+	order := make([]int, 0, n)
+	var open []int
+	for i := 0; i < n; i++ {
+		ri := (start + i) % n
+		if sh.reps[ri].brk.allow() {
+			order = append(order, ri)
+		} else {
+			open = append(open, ri)
+		}
+	}
+	return append(order, open...)
 }
 
 // Filter is the client-side sharded backend: a filter.ServerAPI +
 // filter.BatchAPI that scatters work over shards and gathers replies in
-// request order. A filter.Client (and therefore every engine) runs
-// against it unchanged.
+// request order, failing over between replicas per shard. A
+// filter.Client (and therefore every engine) runs against it unchanged.
 type Filter struct {
-	shards  []Shard // sorted by Range.Lo; ranges tile [lo, hi] with no gaps
+	shards  []*shardState // sorted by rng.Lo; ranges tile [lo, hi] with no gaps
+	opts    Options
 	closers []io.Closer
+
+	failovers atomic.Int64
+	hedges    atomic.Int64
 }
 
 var (
@@ -80,17 +191,22 @@ var (
 	_ filter.BatchAPI  = (*Filter)(nil)
 )
 
-// New assembles a cluster filter from shards. The shard ranges must tile
-// a contiguous pre interval: sorted copies may arrive in any order, but
-// after sorting there must be no gap and no overlap.
-func New(shards []Shard) (*Filter, error) {
+// New assembles a cluster filter from shards with default options. The
+// shard ranges must tile a contiguous pre interval: copies may arrive in
+// any order, but after sorting there must be no gap and no overlap.
+func New(shards []Shard) (*Filter, error) { return NewWith(shards, Options{}) }
+
+// NewWith is New with explicit replica-routing options.
+func NewWith(shards []Shard, opts Options) (*Filter, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("cluster: no shards")
 	}
 	s := append([]Shard(nil), shards...)
 	sort.Slice(s, func(i, j int) bool { return s[i].Range.Lo < s[j].Range.Lo })
+	states := make([]*shardState, len(s))
 	for i, sh := range s {
-		if sh.Conn == nil {
+		reps := sh.replicas()
+		if len(reps) == 0 {
 			return nil, fmt.Errorf("cluster: shard %d (%s) has no connection", i, sh.Addr)
 		}
 		if sh.Range.Lo > sh.Range.Hi {
@@ -100,12 +216,37 @@ func New(shards []Shard) (*Filter, error) {
 			return nil, fmt.Errorf("cluster: shard ranges do not tile: [..., %d] then [%d, ...]",
 				s[i-1].Range.Hi, sh.Range.Lo)
 		}
+		st := &shardState{rng: sh.Range}
+		for ri, rep := range reps {
+			if rep.Conn == nil {
+				return nil, fmt.Errorf("cluster: shard %d replica %d (%s) has no connection", i, ri, rep.Addr)
+			}
+			st.reps = append(st.reps, &replica{addr: rep.Addr, conn: rep.Conn})
+		}
+		st.label = st.reps[0].addr
+		states[i] = st
 	}
-	return &Filter{shards: s}, nil
+	return &Filter{shards: states, opts: opts}, nil
 }
 
 // Shards returns the shard count.
 func (f *Filter) Shards() int { return len(f.shards) }
+
+// Replicas returns the per-shard replica counts, in shard order.
+func (f *Filter) Replicas() []int {
+	out := make([]int, len(f.shards))
+	for i, sh := range f.shards {
+		out[i] = len(sh.reps)
+	}
+	return out
+}
+
+// Failovers returns how many per-shard frames were retried on another
+// replica after a retryable failure.
+func (f *Filter) Failovers() int64 { return f.failovers.Load() }
+
+// Hedges returns how many hedge frames were fired at a second replica.
+func (f *Filter) Hedges() int64 { return f.hedges.Load() }
 
 // Close closes whatever closers the filter owns (the rmi connections of
 // a dialed cluster; none for in-process shards).
@@ -135,13 +276,16 @@ func (f *Filter) RoundTrips() int64 {
 	return total
 }
 
-// ShardRoundTrips returns per-shard exchange counts, in shard order —
-// how the tests enforce "at most one exchange per shard per step".
+// ShardRoundTrips returns per-shard exchange counts (summed over the
+// shard's replicas), in shard order — how the tests enforce "at most one
+// exchange per shard per step".
 func (f *Filter) ShardRoundTrips() []int64 {
 	out := make([]int64, len(f.shards))
 	for i, sh := range f.shards {
-		if rt, ok := sh.Conn.(roundTripper); ok {
-			out[i] = rt.RoundTrips()
+		for _, rep := range sh.reps {
+			if rt, ok := rep.conn.(roundTripper); ok {
+				out[i] += rt.RoundTrips()
+			}
 		}
 	}
 	return out
@@ -151,8 +295,10 @@ func (f *Filter) ShardRoundTrips() []int64 {
 func (f *Filter) ShardEvalRoundTrips() []int64 {
 	out := make([]int64, len(f.shards))
 	for i, sh := range f.shards {
-		if rt, ok := sh.Conn.(roundTripper); ok {
-			out[i] = rt.EvalRoundTrips()
+		for _, rep := range sh.reps {
+			if rt, ok := rep.conn.(roundTripper); ok {
+				out[i] += rt.EvalRoundTrips()
+			}
 		}
 	}
 	return out
@@ -160,11 +306,109 @@ func (f *Filter) ShardEvalRoundTrips() []int64 {
 
 // owner returns the index of the shard owning pre.
 func (f *Filter) owner(pre int64) (int, error) {
-	i := sort.Search(len(f.shards), func(i int) bool { return f.shards[i].Range.Hi >= pre })
-	if i == len(f.shards) || !f.shards[i].Range.contains(pre) {
-		return 0, &RangeError{Pre: pre, Lo: f.shards[0].Range.Lo, Hi: f.shards[len(f.shards)-1].Range.Hi}
+	i := sort.Search(len(f.shards), func(i int) bool { return f.shards[i].rng.Hi >= pre })
+	if i == len(f.shards) || !f.shards[i].rng.contains(pre) {
+		return 0, &RangeError{Pre: pre, Lo: f.shards[0].rng.Lo, Hi: f.shards[len(f.shards)-1].rng.Hi}
 	}
 	return i, nil
+}
+
+// onShard runs op against one replica of shard si: the round-robin
+// choice first, failing over through the remaining replicas on
+// retryable errors (filter.Retryable — transport failures and
+// protocol-violating replies), with an optional hedge duplicate once
+// the call outlives the shard's latency percentile for the op's class.
+// The first successful reply wins; a deterministic error aborts
+// immediately, as every byte-identical replica would repeat it.
+func onShard[T any](f *Filter, si, class int, op func(Conn) (T, error)) (T, error) {
+	sh := f.shards[si]
+	order := sh.replicaOrder()
+	type result struct {
+		v   T
+		err error
+	}
+	// Buffered to the replica count so abandoned calls (losing hedges,
+	// stragglers behind a non-retryable failure) never leak a goroutine.
+	ch := make(chan result, len(order))
+	next, inflight := 0, 0
+	launch := func() {
+		rep := sh.reps[order[next]]
+		next++
+		inflight++
+		go func() {
+			start := time.Now()
+			v, err := op(rep.conn)
+			switch {
+			case err == nil:
+				rep.brk.success()
+				sh.lat[class].add(time.Since(start))
+			case filter.Retryable(err):
+				rep.brk.failure()
+			default:
+				// A deterministic handler error still proves the
+				// connection round-trips: health-wise it is a success.
+				rep.brk.success()
+			}
+			ch <- result{v, err}
+		}()
+	}
+	launch()
+	var hedge <-chan time.Time
+	if f.opts.Hedge && next < len(order) {
+		if d, ok := f.hedgeDelay(sh, class); ok {
+			hedge = time.After(d)
+		}
+	}
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				return r.v, nil
+			}
+			if !filter.Retryable(r.err) {
+				var zero T
+				return zero, r.err
+			}
+			lastErr = r.err
+			// Fail over immediately even while a hedge duplicate is
+			// still in flight — otherwise the frame's latency would be
+			// gated on the very straggler the hedge was meant to beat.
+			if next < len(order) {
+				f.failovers.Add(1)
+				launch()
+			}
+		case <-hedge:
+			hedge = nil
+			if next < len(order) { // a failover may already hold the last replica
+				f.hedges.Add(1)
+				launch()
+			}
+		}
+	}
+	var zero T
+	if len(order) == 1 {
+		return zero, lastErr
+	}
+	return zero, fmt.Errorf("cluster: all %d replicas failed: %w", len(order), lastErr)
+}
+
+// hedgeDelay returns the delay after which a frame of the given class
+// on sh should be hedged, or ok=false when there is no basis to hedge
+// yet.
+func (f *Filter) hedgeDelay(sh *shardState, class int) (time.Duration, bool) {
+	if f.opts.HedgeAfter > 0 {
+		return f.opts.HedgeAfter, true
+	}
+	d, ok := sh.lat[class].quantile(hedgeQuantile)
+	if !ok {
+		return 0, false
+	}
+	if d < minHedgeDelay {
+		d = minHedgeDelay
+	}
+	return d, true
 }
 
 // scatter runs fn for every shard with a non-nil work item, one
@@ -186,7 +430,7 @@ func (f *Filter) scatter(active []bool, fn func(si int) error) error {
 	wg.Wait()
 	for si, err := range errs {
 		if err != nil {
-			return &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+			return &ShardError{Shard: si, Addr: f.shards[si].label, Err: err}
 		}
 	}
 	return nil
@@ -217,7 +461,7 @@ func (f *Filter) spread(n int, preAt func(int) int64) (groups [][]int, active []
 	active = make([]bool, len(f.shards))
 	for si, sh := range f.shards {
 		for i := 0; i < n; i++ {
-			if sh.Range.Hi > preAt(i) {
+			if sh.rng.Hi > preAt(i) {
 				groups[si] = append(groups[si], i)
 				active[si] = true
 			}
@@ -228,12 +472,20 @@ func (f *Filter) spread(n int, preAt func(int) int64) (groups [][]int, active []
 
 // --- point operations: route to the owning shard -----------------------
 
+// shardErr wraps a shard-level failure with the shard's identity.
+func (f *Filter) shardErr(si int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &ShardError{Shard: si, Addr: f.shards[si].label, Err: err}
+}
+
 // Root implements filter.ServerAPI: the document root is the smallest
 // pre, owned by the first shard.
 func (f *Filter) Root() (filter.NodeMeta, error) {
-	m, err := f.shards[0].Conn.Root()
+	m, err := onShard(f, 0, opPoint, func(c Conn) (filter.NodeMeta, error) { return c.Root() })
 	if err != nil {
-		return filter.NodeMeta{}, &ShardError{Shard: 0, Addr: f.shards[0].Addr, Err: err}
+		return filter.NodeMeta{}, f.shardErr(0, err)
 	}
 	return m, nil
 }
@@ -244,9 +496,9 @@ func (f *Filter) Node(pre int64) (filter.NodeMeta, error) {
 	if err != nil {
 		return filter.NodeMeta{}, err
 	}
-	m, err := f.shards[si].Conn.Node(pre)
+	m, err := onShard(f, si, opPoint, func(c Conn) (filter.NodeMeta, error) { return c.Node(pre) })
 	if err != nil {
-		return filter.NodeMeta{}, &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+		return filter.NodeMeta{}, f.shardErr(si, err)
 	}
 	return m, nil
 }
@@ -257,9 +509,9 @@ func (f *Filter) EvalAt(pre int64, point gf.Elem) (gf.Elem, error) {
 	if err != nil {
 		return 0, err
 	}
-	v, err := f.shards[si].Conn.EvalAt(pre, point)
+	v, err := onShard(f, si, opPoint, func(c Conn) (gf.Elem, error) { return c.EvalAt(pre, point) })
 	if err != nil {
-		return 0, &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+		return 0, f.shardErr(si, err)
 	}
 	return v, nil
 }
@@ -270,9 +522,9 @@ func (f *Filter) Poly(pre int64) (filter.PolyRow, error) {
 	if err != nil {
 		return filter.PolyRow{}, err
 	}
-	row, err := f.shards[si].Conn.Poly(pre)
+	row, err := onShard(f, si, opPoint, func(c Conn) (filter.PolyRow, error) { return c.Poly(pre) })
 	if err != nil {
-		return filter.PolyRow{}, &ShardError{Shard: si, Addr: f.shards[si].Addr, Err: err}
+		return filter.PolyRow{}, f.shardErr(si, err)
 	}
 	return row, nil
 }
@@ -285,7 +537,7 @@ func (f *Filter) Count() (int64, error) {
 		all[i] = true
 	}
 	err := f.scatter(all, func(si int) error {
-		n, err := f.shards[si].Conn.Count()
+		n, err := onShard(f, si, opPoint, func(c Conn) (int64, error) { return c.Count() })
 		counts[si] = n
 		return err
 	})
@@ -317,9 +569,17 @@ func mergeLists[T any](nShards, nReqs int, groups [][]int, parts [][][]T) [][]T 
 	return out
 }
 
+// badCount reports a shard reply carrying the wrong member count — a
+// retryable protocol violation (another replica may answer correctly).
+func badCount(got, want int) error {
+	return &filter.BadReplyError{Msg: fmt.Sprintf("shard reply carried %d members for %d requests", got, want)}
+}
+
 // broadcastLists is the shared scatter/gather of Children- and
 // Descendants-shaped calls: ship each shard its relevant members in one
-// call, validate reply lengths, merge in shard order.
+// call, validate reply lengths, merge in shard order. Validation runs
+// inside the per-replica op, so a malformed reply fails over like a
+// transport error.
 func broadcastLists[Req, T any](f *Filter, reqs []Req, preOf func(Req) int64,
 	call func(Conn, []Req) ([][]T, error)) ([][]T, error) {
 	groups, active := f.spread(len(reqs), func(i int) int64 { return preOf(reqs[i]) })
@@ -329,12 +589,18 @@ func broadcastLists[Req, T any](f *Filter, reqs []Req, preOf func(Req) int64,
 		for j, i := range groups[si] {
 			sub[j] = reqs[i]
 		}
-		part, err := call(f.shards[si].Conn, sub)
+		part, err := onShard(f, si, opBatch, func(c Conn) ([][]T, error) {
+			part, err := call(c, sub)
+			if err != nil {
+				return nil, err
+			}
+			if len(part) != len(sub) {
+				return nil, badCount(len(part), len(sub))
+			}
+			return part, nil
+		})
 		if err != nil {
 			return err
-		}
-		if len(part) != len(sub) {
-			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
 		}
 		parts[si] = part
 		return nil
@@ -392,26 +658,33 @@ func (f *Filter) ChildrenPolys(pre int64) ([]filter.PolyRow, error) {
 
 // --- batched operations: one frame per shard per batch -----------------
 
-// EvalBatch implements filter.BatchAPI: members are grouped by owning
-// shard, one concurrent frame per shard, and replies land back at their
-// request indices.
-func (f *Filter) EvalBatch(reqs []filter.EvalRequest) ([]filter.EvalResult, error) {
-	groups, active, err := f.group(len(reqs), func(i int) int64 { return reqs[i].Pre })
+// gatherIndexed is the shared scatter/gather of the index-addressed
+// batch methods (EvalBatch, NodeBatch): one frame per shard carrying the
+// shard's members, replies land back at their request indices.
+func gatherIndexed[Req, Resp any](f *Filter, reqs []Req, preOf func(Req) int64,
+	call func(Conn, []Req) ([]Resp, error)) ([]Resp, error) {
+	groups, active, err := f.group(len(reqs), func(i int) int64 { return preOf(reqs[i]) })
 	if err != nil {
 		return nil, err
 	}
-	out := make([]filter.EvalResult, len(reqs))
+	out := make([]Resp, len(reqs))
 	err = f.scatter(active, func(si int) error {
-		sub := make([]filter.EvalRequest, len(groups[si]))
+		sub := make([]Req, len(groups[si]))
 		for j, i := range groups[si] {
 			sub[j] = reqs[i]
 		}
-		part, err := f.shards[si].Conn.EvalBatch(sub)
+		part, err := onShard(f, si, opBatch, func(c Conn) ([]Resp, error) {
+			part, err := call(c, sub)
+			if err != nil {
+				return nil, err
+			}
+			if len(part) != len(sub) {
+				return nil, badCount(len(part), len(sub))
+			}
+			return part, nil
+		})
 		if err != nil {
 			return err
-		}
-		if len(part) != len(sub) {
-			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
 		}
 		for j, i := range groups[si] {
 			out[i] = part[j]
@@ -424,34 +697,18 @@ func (f *Filter) EvalBatch(reqs []filter.EvalRequest) ([]filter.EvalResult, erro
 	return out, nil
 }
 
+// EvalBatch implements filter.BatchAPI: members are grouped by owning
+// shard, one concurrent frame per shard, and replies land back at their
+// request indices.
+func (f *Filter) EvalBatch(reqs []filter.EvalRequest) ([]filter.EvalResult, error) {
+	return gatherIndexed(f, reqs, func(r filter.EvalRequest) int64 { return r.Pre },
+		func(c Conn, sub []filter.EvalRequest) ([]filter.EvalResult, error) { return c.EvalBatch(sub) })
+}
+
 // NodeBatch implements filter.BatchAPI.
 func (f *Filter) NodeBatch(pres []int64) ([]filter.NodeMeta, error) {
-	groups, active, err := f.group(len(pres), func(i int) int64 { return pres[i] })
-	if err != nil {
-		return nil, err
-	}
-	out := make([]filter.NodeMeta, len(pres))
-	err = f.scatter(active, func(si int) error {
-		sub := make([]int64, len(groups[si]))
-		for j, i := range groups[si] {
-			sub[j] = pres[i]
-		}
-		part, err := f.shards[si].Conn.NodeBatch(sub)
-		if err != nil {
-			return err
-		}
-		if len(part) != len(sub) {
-			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
-		}
-		for j, i := range groups[si] {
-			out[i] = part[j]
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
+	return gatherIndexed(f, pres, func(p int64) int64 { return p },
+		func(c Conn, sub []int64) ([]filter.NodeMeta, error) { return c.NodeBatch(sub) })
 }
 
 // ChildrenBatch implements filter.BatchAPI.
@@ -476,7 +733,7 @@ func (f *Filter) NodePolysBatch(pres []int64) ([]filter.NodePolys, error) {
 	active := make([]bool, len(f.shards))
 	for si, sh := range f.shards {
 		for i, pre := range pres {
-			if sh.Range.Hi >= pre { // owner (Hi >= pre) or potential child holder (Hi > pre)
+			if sh.rng.Hi >= pre { // owner (Hi >= pre) or potential child holder (Hi > pre)
 				groups[si] = append(groups[si], i)
 				active[si] = true
 			}
@@ -488,12 +745,18 @@ func (f *Filter) NodePolysBatch(pres []int64) ([]filter.NodePolys, error) {
 		for j, i := range groups[si] {
 			sub[j] = pres[i]
 		}
-		part, err := f.shards[si].Conn.NodePolysPartial(sub)
+		part, err := onShard(f, si, opBatch, func(c Conn) ([]filter.PartialNodePolys, error) {
+			part, err := c.NodePolysPartial(sub)
+			if err != nil {
+				return nil, err
+			}
+			if len(part) != len(sub) {
+				return nil, badCount(len(part), len(sub))
+			}
+			return part, nil
+		})
 		if err != nil {
 			return err
-		}
-		if len(part) != len(sub) {
-			return fmt.Errorf("cluster: shard reply carried %d members for %d requests", len(part), len(sub))
 		}
 		parts[si] = part
 		return nil

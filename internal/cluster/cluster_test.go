@@ -531,3 +531,46 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Fatal("gapped manifest accepted")
 	}
 }
+
+// TestManifestReplicas: replica lists round-trip, the legacy singular
+// fields still describe a one-replica shard, and mixed or mismatched
+// forms are rejected.
+func TestManifestReplicas(t *testing.T) {
+	m := &cluster.Manifest{Shards: []cluster.ShardInfo{
+		{DBs: []string{"a.shard0.r0.db", "a.shard0.r1.db"}, Addrs: []string{":7083", ":7183"}, Lo: 1, Hi: 100},
+		{DB: "a.shard1.db", Addr: ":7084", Lo: 101, Hi: 200},
+	}}
+	path := t.TempDir() + "/replicated.json"
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.LoadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards[0].Replicas() != 2 || got.Shards[1].Replicas() != 1 {
+		t.Fatalf("replica counts = %d/%d, want 2/1", got.Shards[0].Replicas(), got.Shards[1].Replicas())
+	}
+	if dbs := got.Shards[0].ReplicaDBs(); len(dbs) != 2 || dbs[1] != "a.shard0.r1.db" {
+		t.Fatalf("shard 0 replica dbs = %v", dbs)
+	}
+	if dbs := got.Shards[1].ReplicaDBs(); len(dbs) != 1 || dbs[0] != "a.shard1.db" {
+		t.Fatalf("legacy shard dbs = %v", dbs)
+	}
+	if addrs := got.Shards[1].ReplicaAddrs(); len(addrs) != 1 || addrs[0] != ":7084" {
+		t.Fatalf("legacy shard addrs = %v", addrs)
+	}
+
+	mixed := &cluster.Manifest{Shards: []cluster.ShardInfo{
+		{DB: "x.db", DBs: []string{"y.db"}, Lo: 1, Hi: 10},
+	}}
+	if err := mixed.Validate(); err == nil {
+		t.Fatal("manifest with both db and dbs accepted")
+	}
+	mismatched := &cluster.Manifest{Shards: []cluster.ShardInfo{
+		{DBs: []string{"a.db", "b.db"}, Addrs: []string{":1"}, Lo: 1, Hi: 10},
+	}}
+	if err := mismatched.Validate(); err == nil {
+		t.Fatal("manifest with 2 dbs but 1 addr accepted")
+	}
+}

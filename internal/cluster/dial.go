@@ -1,28 +1,49 @@
 package cluster
 
 import (
+	"fmt"
 	"io"
 
 	"encshare/internal/filter"
 	"encshare/internal/rmi"
 )
 
-// Dial connects to every shard server, asks each for the pre range it
-// holds (filter.RangeAPI — no manifest file needed on the query side),
-// and assembles the cluster filter. A shard that cannot be reached, does
-// not speak the cluster protocol, or reports a range that does not tile
-// with the others fails the dial with a ShardError naming it.
-func Dial(addrs []string) (*Filter, error) {
+// Dial connects to every listed server with default options — see
+// DialWith.
+func Dial(addrs []string) (*Filter, error) { return DialWith(addrs, Options{}) }
+
+// DialWith connects to every listed server, asks each for the pre range
+// it holds (filter.RangeAPI — no manifest file needed on the query
+// side), and assembles the cluster filter. Servers reporting the SAME
+// range are replicas of one shard (byte-identical copies of the same
+// slice) and become one replica group with failover between them; the
+// distinct ranges must tile a contiguous pre interval. The address list
+// can therefore be flat — shards and their replicas in any order. A
+// server that cannot be reached, does not speak the cluster protocol,
+// or reports a range that neither matches nor tiles with the others
+// fails the dial with a ShardError naming it; with
+// Options.TolerateUnreachable, unreachable servers are skipped instead
+// (an up-but-broken server still fails the dial), so sessions can start
+// while a replica is down.
+func DialWith(addrs []string, opts Options) (*Filter, error) {
 	var closers []io.Closer
 	closeAll := func() {
 		for _, c := range closers {
 			c.Close()
 		}
 	}
-	shards := make([]Shard, 0, len(addrs))
+	type group struct {
+		rng  Range
+		reps []Replica
+	}
+	var groups []*group
+	byRange := make(map[Range]*group)
 	for i, addr := range addrs {
 		cli, err := rmi.Dial(addr)
 		if err != nil {
+			if opts.TolerateUnreachable {
+				continue
+			}
 			closeAll()
 			return nil, &ShardError{Shard: i, Addr: addr, Err: err}
 		}
@@ -33,9 +54,24 @@ func Dial(addrs []string) (*Filter, error) {
 			closeAll()
 			return nil, &ShardError{Shard: i, Addr: addr, Err: err}
 		}
-		shards = append(shards, Shard{Addr: addr, Range: Range{Lo: pr.Lo, Hi: pr.Hi}, Conn: rem})
+		r := Range{Lo: pr.Lo, Hi: pr.Hi}
+		g := byRange[r]
+		if g == nil {
+			g = &group{rng: r}
+			byRange[r] = g
+			groups = append(groups, g)
+		}
+		g.reps = append(g.reps, Replica{Addr: addr, Conn: rem})
 	}
-	f, err := New(shards)
+	if len(groups) == 0 {
+		closeAll()
+		return nil, fmt.Errorf("cluster: no reachable servers among %d addresses", len(addrs))
+	}
+	shards := make([]Shard, len(groups))
+	for i, g := range groups {
+		shards[i] = Shard{Addr: g.reps[0].Addr, Range: g.rng, Replicas: g.reps}
+	}
+	f, err := NewWith(shards, opts)
 	if err != nil {
 		closeAll()
 		return nil, err

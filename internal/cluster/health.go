@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Circuit-breaker tuning. A replica connection is scored by its streak
+// of consecutive failures: once the streak reaches breakerThreshold the
+// circuit opens and the replica is deprioritized for a cooldown that
+// doubles with every further failure (capped), so a flapping replica is
+// probed ever more rarely while a recovered one is readmitted after a
+// single successful half-open call.
+const (
+	breakerThreshold   = 3
+	breakerCooldown    = 500 * time.Millisecond
+	breakerMaxCooldown = 30 * time.Second
+)
+
+// breaker is the per-replica-connection circuit breaker. The zero value
+// is a closed (healthy) breaker.
+type breaker struct {
+	mu        sync.Mutex
+	streak    int       // consecutive failures — the health score
+	openUntil time.Time // zero when the circuit is closed
+
+	now func() time.Time // injectable clock for tests; nil means time.Now
+}
+
+func (b *breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// allow reports whether the replica should be dispatched to in
+// preference order: true while the circuit is closed, and again once
+// the cooldown has expired (the half-open probe).
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !b.clock().Before(b.openUntil)
+}
+
+// success closes the circuit and resets the score.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak = 0
+	b.openUntil = time.Time{}
+}
+
+// failure bumps the score and opens (or re-opens, with exponential
+// backoff) the circuit once the streak reaches the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak++
+	if b.streak < breakerThreshold {
+		return
+	}
+	cool := breakerCooldown
+	for i := breakerThreshold; i < b.streak && cool < breakerMaxCooldown; i++ {
+		cool *= 2
+	}
+	if cool > breakerMaxCooldown {
+		cool = breakerMaxCooldown
+	}
+	b.openUntil = b.clock().Add(cool)
+}
+
+// score returns the current consecutive-failure count.
+func (b *breaker) score() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.streak
+}

@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBreakerOpensAndRecovers drives the circuit breaker with an
+// injected clock: closed through the first failures, open at the
+// threshold, exponentially longer cooldowns while failures continue,
+// half-open probe after the cooldown, and full reset on success.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &breaker{now: func() time.Time { return now }}
+
+	if !b.allow() {
+		t.Fatal("fresh breaker not allowed")
+	}
+	for i := 0; i < breakerThreshold-1; i++ {
+		b.failure()
+		if !b.allow() {
+			t.Fatalf("breaker opened after %d failures, threshold is %d", i+1, breakerThreshold)
+		}
+	}
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker still closed at the failure threshold")
+	}
+	if b.score() != breakerThreshold {
+		t.Fatalf("score = %d, want %d", b.score(), breakerThreshold)
+	}
+
+	// Cooldown elapses: half-open probe allowed again.
+	now = now.Add(breakerCooldown)
+	if !b.allow() {
+		t.Fatal("breaker not half-open after the cooldown")
+	}
+
+	// Another failure re-opens with a doubled cooldown.
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker closed right after a half-open failure")
+	}
+	now = now.Add(breakerCooldown)
+	if b.allow() {
+		t.Fatal("backoff did not grow: re-opened breaker admitted after the base cooldown")
+	}
+	now = now.Add(breakerCooldown)
+	if !b.allow() {
+		t.Fatal("breaker not half-open after the doubled cooldown")
+	}
+
+	b.success()
+	if !b.allow() || b.score() != 0 {
+		t.Fatalf("success did not reset the breaker (allow=%v score=%d)", b.allow(), b.score())
+	}
+}
+
+// TestBreakerBackoffCaps: the cooldown stops doubling at the cap even
+// for very long failure streaks.
+func TestBreakerBackoffCaps(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &breaker{now: func() time.Time { return now }}
+	for i := 0; i < 40; i++ {
+		b.failure()
+	}
+	if b.allow() {
+		t.Fatal("breaker closed after 40 failures")
+	}
+	now = now.Add(breakerMaxCooldown)
+	if !b.allow() {
+		t.Fatal("breaker not half-open after the maximum cooldown")
+	}
+}
+
+// TestLatWindowQuantile: no estimate until the sample minimum, then the
+// requested percentile of the recorded window.
+func TestLatWindowQuantile(t *testing.T) {
+	var w latWindow
+	if _, ok := w.quantile(0.9); ok {
+		t.Fatal("empty window produced a quantile")
+	}
+	for i := 1; i < minHedgeSamples; i++ {
+		w.add(time.Duration(i) * time.Millisecond)
+	}
+	if _, ok := w.quantile(0.9); ok {
+		t.Fatalf("window with %d samples produced a quantile (minimum is %d)", minHedgeSamples-1, minHedgeSamples)
+	}
+	w.add(time.Duration(minHedgeSamples) * time.Millisecond)
+	d, ok := w.quantile(0.9)
+	if !ok {
+		t.Fatal("full window produced no quantile")
+	}
+	// 16 samples of 1..16ms: p90 index = int(0.9*15) = 13 -> 14ms.
+	if d != 14*time.Millisecond {
+		t.Fatalf("p90 of 1..16ms = %v, want 14ms", d)
+	}
+
+	// The ring overwrites oldest entries: flood with a constant and the
+	// quantile must follow.
+	for i := 0; i < latWindowSize; i++ {
+		w.add(7 * time.Millisecond)
+	}
+	if d, _ := w.quantile(0.9); d != 7*time.Millisecond {
+		t.Fatalf("quantile after overwrite = %v, want 7ms", d)
+	}
+}
+
+// TestReplicaOrderPrefersClosedBreakers: open-circuit replicas sort
+// last but are never dropped entirely.
+func TestReplicaOrderPrefersClosedBreakers(t *testing.T) {
+	sh := &shardState{reps: []*replica{{addr: "a"}, {addr: "b"}, {addr: "c"}}}
+	for i := 0; i < breakerThreshold; i++ {
+		sh.reps[1].brk.failure()
+	}
+	for i := 0; i < 4; i++ {
+		order := sh.replicaOrder()
+		if len(order) != 3 {
+			t.Fatalf("order %v dropped replicas", order)
+		}
+		if order[len(order)-1] != 1 {
+			t.Fatalf("order %v does not push the open-circuit replica last", order)
+		}
+	}
+	// All circuits open: every replica must still be listed.
+	for _, r := range sh.reps {
+		for i := 0; i < breakerThreshold; i++ {
+			r.brk.failure()
+		}
+	}
+	if order := sh.replicaOrder(); len(order) != 3 {
+		t.Fatalf("all-open order %v dropped replicas", order)
+	}
+}

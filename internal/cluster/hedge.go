@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Hedged-read tuning: a frame is duplicated on a second replica once it
+// outlives the hedgeQuantile of the shard's recent successful call
+// latencies. The floor keeps in-process and same-host deployments (where
+// the whole distribution sits at microseconds) from hedging every call,
+// and the sample minimum keeps cold shards from hedging on noise.
+const (
+	hedgeQuantile   = 0.9
+	minHedgeDelay   = time.Millisecond
+	minHedgeSamples = 16
+	latWindowSize   = 64
+)
+
+// latWindow is a fixed-size ring of recent call latencies, from which
+// the adaptive hedge trigger reads its percentile.
+type latWindow struct {
+	mu  sync.Mutex
+	buf [latWindowSize]time.Duration
+	n   int // filled entries
+	idx int // next write position
+}
+
+func (w *latWindow) add(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.idx] = d
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+}
+
+// quantile returns the q-quantile of the recorded latencies, or ok=false
+// while fewer than minHedgeSamples calls have completed.
+func (w *latWindow) quantile(q float64) (time.Duration, bool) {
+	w.mu.Lock()
+	samples := make([]time.Duration, w.n)
+	copy(samples, w.buf[:w.n])
+	w.mu.Unlock()
+	if len(samples) < minHedgeSamples {
+		return 0, false
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	i := int(q * float64(len(samples)-1))
+	return samples[i], true
+}

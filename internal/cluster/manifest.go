@@ -8,13 +8,56 @@ import (
 )
 
 // ShardInfo is one manifest entry: the pre range a shard owns plus where
-// its data lives (DB file, written by the encoder) and where it serves
-// (Addr, filled in at deploy time).
+// its data lives (DB files, written by the encoder) and where it serves
+// (addresses, filled in at deploy time). A shard may have several
+// replicas — byte-identical copies of the same slice — listed in DBs and
+// Addrs; the singular Addr/DB fields are the pre-replication manifest
+// format and still describe a one-replica shard.
 type ShardInfo struct {
-	Addr string `json:"addr,omitempty"`
-	DB   string `json:"db,omitempty"`
-	Lo   int64  `json:"lo"`
-	Hi   int64  `json:"hi"`
+	Addr  string   `json:"addr,omitempty"`
+	Addrs []string `json:"addrs,omitempty"`
+	DB    string   `json:"db,omitempty"`
+	DBs   []string `json:"dbs,omitempty"`
+	Lo    int64    `json:"lo"`
+	Hi    int64    `json:"hi"`
+}
+
+// ReplicaDBs returns the shard's replica database files: DBs when set,
+// else the legacy singular DB (or nothing).
+func (s *ShardInfo) ReplicaDBs() []string {
+	if len(s.DBs) > 0 {
+		return s.DBs
+	}
+	if s.DB != "" {
+		return []string{s.DB}
+	}
+	return nil
+}
+
+// ReplicaAddrs returns the shard's replica serve addresses: Addrs when
+// set, else the legacy singular Addr (or nothing).
+func (s *ShardInfo) ReplicaAddrs() []string {
+	if len(s.Addrs) > 0 {
+		return s.Addrs
+	}
+	if s.Addr != "" {
+		return []string{s.Addr}
+	}
+	return nil
+}
+
+// Replicas returns the shard's replica count (at least 1: a manifest
+// entry with no files or addresses still describes one logical serving
+// slot).
+func (s *ShardInfo) Replicas() int {
+	n := len(s.ReplicaDBs())
+	if a := len(s.ReplicaAddrs()); a > n {
+		n = a
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Manifest describes a sharded deployment: which contiguous pre slice of
@@ -46,6 +89,15 @@ func (m *Manifest) Validate() error {
 		if i > 0 && s.Lo != m.Shards[i-1].Hi+1 {
 			return fmt.Errorf("cluster: manifest shard %d starts at %d, want %d (contiguous ranges)",
 				i, s.Lo, m.Shards[i-1].Hi+1)
+		}
+		if s.DB != "" && len(s.DBs) > 0 {
+			return fmt.Errorf("cluster: manifest shard %d sets both db and dbs", i)
+		}
+		if s.Addr != "" && len(s.Addrs) > 0 {
+			return fmt.Errorf("cluster: manifest shard %d sets both addr and addrs", i)
+		}
+		if d, a := len(s.ReplicaDBs()), len(s.ReplicaAddrs()); d > 0 && a > 0 && d != a {
+			return fmt.Errorf("cluster: manifest shard %d lists %d db files but %d addresses", i, d, a)
 		}
 	}
 	return nil

@@ -70,10 +70,24 @@ func (e *Advanced) evalRelative(ctx filter.NodeMeta, q *xpath.Query, test Test) 
 		}
 		return r.found, nil
 	}
-	r := &advBatch{e: e, test: test, existsOnly: true}
-	r.push(ctx, q.Steps)
-	if err := r.drain(); err != nil {
+	oks, err := e.evalRelativeBatch([]filter.NodeMeta{ctx}, q, test)
+	if err != nil {
 		return false, err
+	}
+	return oks[0], nil
+}
+
+// evalRelativeBatch implements batchPredEvaluator: one wave traversal
+// answers the existence question for every context at once — each
+// context's branches ride the same per-wave exchanges, and a witnessed
+// context stops spending work. See advBatch.
+func (e *Advanced) evalRelativeBatch(ctxs []filter.NodeMeta, q *xpath.Query, test Test) ([]bool, error) {
+	r := &advBatch{e: e, test: test, existsOnly: true, found: make([]bool, len(ctxs)), pending: len(ctxs)}
+	for i, ctx := range ctxs {
+		r.push(ctx, q.Steps, i)
+	}
+	if err := r.drain(); err != nil {
+		return nil, err
 	}
 	return r.found, nil
 }

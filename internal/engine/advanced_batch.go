@@ -23,10 +23,18 @@ import (
 // For full queries the work counters (evaluations, reconstructions,
 // fetches, visits) are identical to the depth-first traversal; only the
 // number of round-trips changes, from O(checks) to O(depth × names).
-// In existence mode (predicate evaluation) the wave structure checks
-// the found flag between batches rather than between nodes, so it may
-// spend slightly different work than the sequential short-circuit —
-// the boolean answer is always the same.
+//
+// In existence mode (predicate evaluation) the traversal runs many
+// predicate contexts at once: every alive branch carries the index of
+// the frontier candidate it serves, all contexts' branches share the
+// wave exchanges, and a context is satisfied the moment one of its
+// branches consumes every step. Satisfied contexts stop spending work
+// (their branches are dropped at each stage, the per-context analogue of
+// the sequential short-circuit), so a whole frontier's predicate check
+// costs O(depth × names) exchanges instead of O(frontier) traversals.
+// The wave structure checks witness flags between batches rather than
+// between nodes, so it may spend slightly different work than the
+// sequential short-circuit — the boolean answers are always the same.
 type advBatch struct {
 	e          *Advanced
 	test       Test
@@ -34,18 +42,21 @@ type advBatch struct {
 	visited    int64
 	out        []filter.NodeMeta
 	existsOnly bool
-	found      bool
+	found      []bool // per-context witness flags (existsOnly mode)
+	pending    int    // contexts still without a witness
 
 	items []advItem // nodes clearing look-ahead, then consuming a step
 	scans []advScan // descendant walks, one level per wave
 }
 
 // advItem is one alive traversal branch: a node that must clear the
-// pending look-ahead names (one per wave) and then consume steps[0].
+// pending look-ahead names (one per wave) and then consume steps[0], on
+// behalf of predicate context ctx (always 0 for full-result runs).
 type advItem struct {
 	node  filter.NodeMeta
 	steps []xpath.Step
 	la    []string
+	ctx   int
 }
 
 // advScan is one descendant walk position: the children of node are the
@@ -54,12 +65,27 @@ type advScan struct {
 	node filter.NodeMeta
 	s    xpath.Step
 	rest []xpath.Step
+	ctx  int
+}
+
+// done reports whether branch work for ctx is moot (its witness exists).
+func (r *advBatch) done(ctx int) bool { return r.existsOnly && r.found[ctx] }
+
+// allDone reports whether every context has its witness.
+func (r *advBatch) allDone() bool { return r.existsOnly && r.pending == 0 }
+
+// witness records ctx's witness.
+func (r *advBatch) witness(ctx int) {
+	if !r.found[ctx] {
+		r.found[ctx] = true
+		r.pending--
+	}
 }
 
 // push enqueues a node with the look-ahead of its remaining steps — the
 // wave analogue of calling advRun.rec.
-func (r *advBatch) push(node filter.NodeMeta, steps []xpath.Step) {
-	r.items = append(r.items, advItem{node: node, steps: steps, la: lookaheadNames(steps, r.preds)})
+func (r *advBatch) push(node filter.NodeMeta, steps []xpath.Step, ctx int) {
+	r.items = append(r.items, advItem{node: node, steps: steps, la: lookaheadNames(steps, r.preds), ctx: ctx})
 }
 
 // start handles the virtual document root exactly as advRun.start, then
@@ -89,7 +115,7 @@ func (r *advBatch) start(steps []xpath.Step) error {
 				return nil
 			}
 		}
-		r.push(root, steps[1:])
+		r.push(root, steps[1:], 0)
 	case xpath.Descendant:
 		// The root itself is a candidate, then walk downwards.
 		r.visited++
@@ -99,21 +125,21 @@ func (r *advBatch) start(steps []xpath.Step) error {
 				return err
 			}
 			if ok {
-				r.push(root, steps[1:])
+				r.push(root, steps[1:], 0)
 			}
 		} else {
-			r.push(root, steps[1:])
+			r.push(root, steps[1:], 0)
 		}
 		r.scans = append(r.scans, advScan{node: root, s: s, rest: steps[1:]})
 	}
 	return r.drain()
 }
 
-// drain runs waves until no branch is alive (or an existence query found
-// its witness).
+// drain runs waves until no branch is alive (or every existence context
+// found its witness).
 func (r *advBatch) drain() error {
 	for len(r.items) > 0 || len(r.scans) > 0 {
-		if r.existsOnly && r.found {
+		if r.allDone() {
 			return nil
 		}
 		if err := r.wave(); err != nil {
@@ -125,16 +151,15 @@ func (r *advBatch) drain() error {
 
 // wave advances every alive branch by one round: one look-ahead name per
 // pending node, then step consumption for cleared nodes, then one
-// descendant-walk level. In existence mode a found witness skips the
-// rest of the wave — no point spending exchanges once the answer is
-// known.
+// descendant-walk level. Branches of satisfied contexts are dropped at
+// every stage — no point spending exchanges once their answer is known.
 func (r *advBatch) wave() error {
 	ready, err := r.lookaheadRound()
 	if err != nil {
 		return err
 	}
 	childParents, err := r.consume(ready)
-	if err != nil || (r.existsOnly && r.found) {
+	if err != nil || r.allDone() {
 		return err
 	}
 	if err := r.expandChildren(childParents); err != nil {
@@ -149,6 +174,9 @@ func (r *advBatch) lookaheadRound() ([]advItem, error) {
 	var ready, pending, checked []advItem
 	var checks []filter.Check
 	for _, it := range r.items {
+		if r.done(it.ctx) {
+			continue // context already witnessed: dead branch
+		}
 		if len(it.la) == 0 {
 			ready = append(ready, it)
 			continue
@@ -180,18 +208,21 @@ func (r *advBatch) lookaheadRound() ([]advItem, error) {
 	return ready, nil
 }
 
-// consume lets every cleared item take its next step: emit results,
-// climb parents (one shared exchange), queue descendant walks, and
-// collect child expansions for the shared batch.
+// consume lets every cleared item take its next step: emit results (or
+// witnesses), climb parents (one shared exchange), queue descendant
+// walks, and collect child expansions for the shared batch.
 func (r *advBatch) consume(ready []advItem) ([]advItem, error) {
 	var childParents []advItem
 	var parentPres []int64
-	var parentRests [][]xpath.Step
+	var parentItems []advItem
 	for _, it := range ready {
+		if r.done(it.ctx) {
+			continue
+		}
 		if len(it.steps) == 0 {
 			if r.existsOnly {
-				r.found = true
-				return nil, nil // witness found: drop the rest of the wave
+				r.witness(it.ctx)
+				continue
 			}
 			r.out = append(r.out, it.node)
 			continue
@@ -204,11 +235,11 @@ func (r *advBatch) consume(ready []advItem) ([]advItem, error) {
 				continue
 			}
 			parentPres = append(parentPres, it.node.Parent)
-			parentRests = append(parentRests, rest)
+			parentItems = append(parentItems, advItem{steps: rest, ctx: it.ctx})
 		case s.Axis == xpath.Child:
 			childParents = append(childParents, it)
 		case s.Axis == xpath.Descendant:
-			r.scans = append(r.scans, advScan{node: it.node, s: s, rest: rest})
+			r.scans = append(r.scans, advScan{node: it.node, s: s, rest: rest, ctx: it.ctx})
 		}
 	}
 	parents, err := r.e.cli.NodeBatch(parentPres)
@@ -217,7 +248,7 @@ func (r *advBatch) consume(ready []advItem) ([]advItem, error) {
 	}
 	for i, parent := range parents {
 		r.visited++
-		r.push(parent, parentRests[i])
+		r.push(parent, parentItems[i].steps, parentItems[i].ctx)
 	}
 	return childParents, nil
 }
@@ -225,6 +256,13 @@ func (r *advBatch) consume(ready []advItem) ([]advItem, error) {
 // expandChildren expands all child-axis items of the wave with one
 // navigation exchange and filters every candidate with one accept batch.
 func (r *advBatch) expandChildren(parents []advItem) error {
+	live := parents[:0]
+	for _, it := range parents {
+		if !r.done(it.ctx) {
+			live = append(live, it)
+		}
+	}
+	parents = live
 	if len(parents) == 0 {
 		return nil
 	}
@@ -249,14 +287,14 @@ func (r *advBatch) expandChildren(parents []advItem) error {
 		for _, kid := range lists[i] {
 			r.visited++
 			if !s.IsNameTest() {
-				r.push(kid, rest)
+				r.push(kid, rest, it.ctx)
 				continue
 			}
 			if !mapped {
 				continue
 			}
 			checks = append(checks, filter.Check{Pre: kid.Pre, Point: v})
-			cands = append(cands, advItem{node: kid, steps: rest})
+			cands = append(cands, advItem{node: kid, steps: rest, ctx: it.ctx})
 		}
 	}
 	oks, err := r.acceptChecks(checks)
@@ -265,7 +303,7 @@ func (r *advBatch) expandChildren(parents []advItem) error {
 	}
 	for i, ok := range oks {
 		if ok {
-			r.push(cands[i].node, cands[i].steps)
+			r.push(cands[i].node, cands[i].steps, cands[i].ctx)
 		}
 	}
 	return nil
@@ -289,6 +327,13 @@ func (r *advBatch) acceptChecks(checks []filter.Check) ([]bool, error) {
 func (r *advBatch) scanLevel() error {
 	scans := r.scans
 	r.scans = nil
+	live := scans[:0]
+	for _, sc := range scans {
+		if !r.done(sc.ctx) {
+			live = append(live, sc)
+		}
+	}
+	scans = live
 	if len(scans) == 0 {
 		return nil
 	}
@@ -311,14 +356,14 @@ func (r *advBatch) scanLevel() error {
 			for _, kid := range lists[i] {
 				r.visited++
 				checks = append(checks, filter.Check{Pre: kid.Pre, Point: v})
-				cands = append(cands, advScan{node: kid, s: sc.s, rest: sc.rest})
+				cands = append(cands, advScan{node: kid, s: sc.s, rest: sc.rest, ctx: sc.ctx})
 			}
 		} else {
 			// //*: every descendant qualifies and the walk continues below.
 			for _, kid := range lists[i] {
 				r.visited++
-				r.push(kid, sc.rest)
-				r.scans = append(r.scans, advScan{node: kid, s: sc.s, rest: sc.rest})
+				r.push(kid, sc.rest, sc.ctx)
+				r.scans = append(r.scans, advScan{node: kid, s: sc.s, rest: sc.rest, ctx: sc.ctx})
 			}
 		}
 	}
@@ -334,7 +379,7 @@ func (r *advBatch) scanLevel() error {
 				continue // prune: nothing named s.Name anywhere below
 			}
 			kid := cands[i]
-			r.scans = append(r.scans, advScan{node: kid.node, s: kid.s, rest: kid.rest})
+			r.scans = append(r.scans, advScan{node: kid.node, s: kid.s, rest: kid.rest, ctx: kid.ctx})
 			eqChecks = append(eqChecks, checks[i])
 			eqCands = append(eqCands, kid)
 		}
@@ -344,7 +389,7 @@ func (r *advBatch) scanLevel() error {
 		}
 		for i, ok := range eqOks {
 			if ok {
-				r.push(eqCands[i].node, eqCands[i].rest)
+				r.push(eqCands[i].node, eqCands[i].rest, eqCands[i].ctx)
 			}
 		}
 		return nil
@@ -354,8 +399,8 @@ func (r *advBatch) scanLevel() error {
 			continue // prune: nothing named s.Name anywhere below
 		}
 		kid := cands[i]
-		r.push(kid.node, kid.rest)
-		r.scans = append(r.scans, advScan{node: kid.node, s: kid.s, rest: kid.rest})
+		r.push(kid.node, kid.rest, kid.ctx)
+		r.scans = append(r.scans, advScan{node: kid.node, s: kid.s, rest: kid.rest, ctx: kid.ctx})
 	}
 	return nil
 }

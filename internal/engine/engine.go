@@ -15,18 +15,18 @@
 //
 // Both engines come in two execution modes. The default batched pipeline
 // collects every check of a frontier (simple) or traversal wave
-// (advanced) and issues it as a single filter exchange, so a
-// predicate-free remote query costs O(steps) round-trips instead of
-// O(candidates) — predicates still run one existence traversal per
-// result candidate (batched internally, but not across candidates); the
-// sequential mode (NewSimpleSequential / NewAdvancedSequential) keeps
-// the paper's one-exchange-per-check protocol for measurement and
-// compatibility. The two modes always return identical result sets; for
-// queries without predicates they also perform the same checks in the
-// same per-node order, so the work counters match exactly. Predicate
-// evaluation short-circuits on the first witness, and a wave may do a
-// little work past that point, so counters can legitimately differ
-// there.
+// (advanced) and issues it as a single filter exchange, so a remote
+// query costs O(steps) round-trips instead of O(candidates) — including
+// predicates, whose existence checks run as ONE multi-context traversal
+// over the whole result frontier (evalRelativeBatch) instead of one
+// traversal per candidate; the sequential mode (NewSimpleSequential /
+// NewAdvancedSequential) keeps the paper's one-exchange-per-check
+// protocol for measurement and compatibility. The two modes always
+// return identical result sets; for queries without predicates they
+// also perform the same checks in the same per-node order, so the work
+// counters match exactly. Predicate evaluation short-circuits on the
+// first witness, and a shared wave may do a little work past that
+// point, so counters can legitimately differ there.
 package engine
 
 import (
@@ -181,14 +181,34 @@ func (b *base) run(body func() ([]int64, int64, error)) (Result, error) {
 	}, nil
 }
 
-// checkPred reports whether any node satisfies the relative query qq from
-// context node ctx — used for predicate filtering by both engines (the
-// nested run reuses the engine's own step machinery).
+// predEvaluator reports whether any node satisfies the relative query q
+// from context node ctx — used for predicate filtering by both engines
+// (the nested run reuses the engine's own step machinery).
 type predEvaluator interface {
 	evalRelative(ctx filter.NodeMeta, q *xpath.Query, test Test) (bool, error)
 }
 
+// batchPredEvaluator is the batched extension: one traversal answers the
+// existence question for a whole slice of context nodes at once, so a
+// predicate costs O(steps) filter exchanges instead of O(frontier)
+// separate traversals. Both engines implement it; batchedPreds gates it
+// off for the sequential twins (whose per-candidate cost is the point).
+type batchPredEvaluator interface {
+	predEvaluator
+	batchedPreds() bool
+	evalRelativeBatch(ctxs []filter.NodeMeta, q *xpath.Query, test Test) ([]bool, error)
+}
+
+// batchedPreds reports whether the engine runs predicates through the
+// multi-context batch path.
+func (b *base) batchedPreds() bool { return !b.seq }
+
 func applyPreds(b predEvaluator, q *xpath.Query, test Test, frontier []filter.NodeMeta) ([]int64, error) {
+	if len(q.Preds) > 0 && len(frontier) > 0 {
+		if mb, ok := b.(batchPredEvaluator); ok && mb.batchedPreds() {
+			return applyPredsBatch(mb, q, test, frontier)
+		}
+	}
 	var out []int64
 	for _, n := range frontier {
 		keep := true
@@ -207,6 +227,72 @@ func applyPreds(b predEvaluator, q *xpath.Query, test Test, frontier []filter.No
 		}
 	}
 	return out, nil
+}
+
+// applyPredsBatch filters the frontier through each predicate with one
+// multi-context traversal per predicate: all surviving candidates are
+// carried as contexts of the same wave, so every traversal level costs
+// a constant number of filter exchanges regardless of frontier width.
+// Predicates stay conjunctive and short-circuit like the per-candidate
+// loop: a candidate killed by predicate i is not carried into i+1.
+func applyPredsBatch(b batchPredEvaluator, q *xpath.Query, test Test, frontier []filter.NodeMeta) ([]int64, error) {
+	alive := frontier
+	for _, p := range q.Preds {
+		if len(alive) == 0 {
+			break
+		}
+		oks, err := b.evalRelativeBatch(alive, p, test)
+		if err != nil {
+			return nil, err
+		}
+		var kept []filter.NodeMeta
+		for i, ok := range oks {
+			if ok {
+				kept = append(kept, alive[i])
+			}
+		}
+		alive = kept
+	}
+	var out []int64
+	for _, n := range alive {
+		out = append(out, n.Pre)
+	}
+	return out, nil
+}
+
+// taggedMeta couples a candidate node with the index of the predicate
+// context it descends from, so one shared traversal can attribute its
+// survivors back to their contexts.
+type taggedMeta struct {
+	m   filter.NodeMeta
+	ctx int
+}
+
+// dedupTagged dedups by (context, pre) and restores per-context pre
+// order — the multi-context analogue of dedupMetas, keeping each
+// context's candidate set exactly what its solo traversal would carry.
+func dedupTagged(ms []taggedMeta) []taggedMeta {
+	seen := make(map[taggedKey]bool, len(ms))
+	out := ms[:0]
+	for _, tm := range ms {
+		k := taggedKey{tm.ctx, tm.m.Pre}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, tm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ctx != out[j].ctx {
+			return out[i].ctx < out[j].ctx
+		}
+		return out[i].m.Pre < out[j].m.Pre
+	})
+	return out
+}
+
+type taggedKey struct {
+	ctx int
+	pre int64
 }
 
 func dedupMetas(ms []filter.NodeMeta) []filter.NodeMeta {

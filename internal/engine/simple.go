@@ -61,6 +61,113 @@ func (e *Simple) evalRelative(ctx filter.NodeMeta, q *xpath.Query, test Test) (b
 	return len(frontier) > 0, nil
 }
 
+// evalRelativeBatch implements batchPredEvaluator: the stepwise
+// traversal over a frontier of (node, context) pairs. Each step expands
+// and tests the candidates of ALL contexts in the same shared exchanges,
+// so answering the existence question for the whole frontier costs the
+// same number of round-trips as answering it for one node. A context is
+// satisfied iff any of its candidates survives every step.
+func (e *Simple) evalRelativeBatch(ctxs []filter.NodeMeta, q *xpath.Query, test Test) ([]bool, error) {
+	cur := make([]taggedMeta, len(ctxs))
+	for i, m := range ctxs {
+		cur[i] = taggedMeta{m: m, ctx: i}
+	}
+	for _, s := range q.Steps {
+		if len(cur) == 0 {
+			break
+		}
+		// Parent step: navigate up, no test.
+		if s.Name == xpath.ParentStep {
+			var pres []int64
+			var keep []taggedMeta
+			for _, tm := range cur {
+				if tm.m.Parent != 0 { // root has no parent
+					pres = append(pres, tm.m.Parent)
+					keep = append(keep, tm)
+				}
+			}
+			parents, err := e.cli.NodeBatch(pres)
+			if err != nil {
+				return nil, err
+			}
+			for i := range parents {
+				keep[i].m = parents[i]
+			}
+			cur = dedupTagged(keep)
+			continue
+		}
+
+		// Expand every context's candidates along the axis together.
+		var cands []taggedMeta
+		switch s.Axis {
+		case xpath.Child:
+			pres := make([]int64, len(cur))
+			for i, tm := range cur {
+				pres[i] = tm.m.Pre
+			}
+			lists, err := e.cli.ChildrenBatch(pres)
+			if err != nil {
+				return nil, err
+			}
+			for i, kids := range lists {
+				for _, kid := range kids {
+					cands = append(cands, taggedMeta{m: kid, ctx: cur[i].ctx})
+				}
+			}
+		case xpath.Descendant:
+			spans := make([]filter.Span, len(cur))
+			for i, tm := range cur {
+				spans[i] = filter.Span{Pre: tm.m.Pre, Post: tm.m.Post}
+			}
+			lists, err := e.cli.DescendantsBatch(spans)
+			if err != nil {
+				return nil, err
+			}
+			for i, desc := range lists {
+				for _, d := range desc {
+					cands = append(cands, taggedMeta{m: d, ctx: cur[i].ctx})
+				}
+			}
+			cands = dedupTagged(cands)
+		}
+
+		if s.Name == xpath.Wildcard {
+			cur = cands
+			continue
+		}
+		v, ok := e.val(s.Name)
+		if !ok {
+			return make([]bool, len(ctxs)), nil // name cannot occur anywhere
+		}
+		checks := make([]filter.Check, len(cands))
+		for i, tm := range cands {
+			checks[i] = filter.Check{Pre: tm.m.Pre, Point: v}
+		}
+		var oks []bool
+		var err error
+		if test == Equality {
+			oks, err = e.cli.EqualsBatch(checks)
+		} else {
+			oks, err = e.cli.ContainsBatch(checks)
+		}
+		if err != nil {
+			return nil, err
+		}
+		var kept []taggedMeta
+		for i, ok := range oks {
+			if ok {
+				kept = append(kept, cands[i])
+			}
+		}
+		cur = kept
+	}
+	out := make([]bool, len(ctxs))
+	for _, tm := range cur {
+		out[tm.ctx] = true
+	}
+	return out, nil
+}
+
 // steps applies the step list to a frontier. fromRoot selects the virtual
 // document root as initial context.
 func (e *Simple) steps(frontier []filter.NodeMeta, steps []xpath.Step, test Test, fromRoot bool, visited *int64) ([]filter.NodeMeta, error) {

@@ -1,0 +1,162 @@
+package experiment
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"encshare/internal/cluster"
+	"encshare/internal/engine"
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
+	"encshare/internal/xpath"
+)
+
+// replicatedEnv serves the env's table as a shards × replicas cluster
+// over in-process rmi pipes. Each replica's client connection is
+// retained so scenarios can sever it (the in-process equivalent of the
+// replica process dying) or slow it down.
+type replicatedEnv struct {
+	filter  *cluster.Filter
+	conns   [][]*rmi.Client // [shard][replica]
+	cleanup func()
+}
+
+// slowWriter delays every reply frame a server writes — the in-process
+// stand-in for a replica on a congested or distant host.
+type slowWriter struct {
+	net.Conn
+	delay time.Duration
+}
+
+func (c *slowWriter) Write(b []byte) (int, error) {
+	time.Sleep(c.delay)
+	return c.Conn.Write(b)
+}
+
+func newReplicatedEnv(env *Env, shards, replicas int, slow map[[2]int]time.Duration, opts cluster.Options) (*replicatedEnv, error) {
+	lo, hi, err := env.Store.MinMaxPre()
+	if err != nil {
+		return nil, err
+	}
+	ranges, err := cluster.PartitionEven(lo, hi, shards)
+	if err != nil {
+		return nil, err
+	}
+	stores, dropStores, err := cluster.SplitStore(env.Store, ranges)
+	if err != nil {
+		dropStores()
+		return nil, err
+	}
+	re := &replicatedEnv{conns: make([][]*rmi.Client, shards)}
+	var closers []func()
+	specs := make([]cluster.Shard, shards)
+	for i, st := range stores {
+		specs[i] = cluster.Shard{Range: ranges[i]}
+		for j := 0; j < replicas; j++ {
+			srv := rmi.NewServer()
+			filter.RegisterServer(srv, filter.NewServerFilter(st, env.Ring, 4096))
+			cConn, sConn := net.Pipe()
+			serveConn := net.Conn(sConn)
+			if d := slow[[2]int{i, j}]; d > 0 {
+				serveConn = &slowWriter{Conn: sConn, delay: d}
+			}
+			go srv.ServeConn(serveConn)
+			cli := rmi.NewClient(cConn)
+			closers = append(closers, func() { cli.Close() })
+			re.conns[i] = append(re.conns[i], cli)
+			specs[i].Replicas = append(specs[i].Replicas, cluster.Replica{
+				Addr: fmt.Sprintf("shard%d-r%d", i, j),
+				Conn: filter.NewRemote(cli),
+			})
+		}
+	}
+	cf, err := cluster.NewWith(specs, opts)
+	if err != nil {
+		for _, c := range closers {
+			c()
+		}
+		dropStores()
+		return nil, err
+	}
+	re.filter = cf
+	re.cleanup = func() {
+		for _, c := range closers {
+			c()
+		}
+		dropStores()
+	}
+	return re, nil
+}
+
+// killReplica severs one replica's connection, as a crashed server
+// process would.
+func (re *replicatedEnv) killReplica(shard, replica int) {
+	re.conns[shard][replica].Close()
+}
+
+// Failover measures the replicated cluster under degraded conditions:
+// for each Table 2 query, the batched advanced engine runs against a
+// 3-shard × 2-replica cluster that is (a) healthy, (b) missing one
+// replica of every shard — every frame routed there fails over to the
+// sibling, (c) serving one artificially slow replica per shard, and
+// (d) the same slow cluster with hedged reads. Results are identical in
+// all scenarios (replicas are byte-identical and immutable); the table
+// shows what failover costs and what hedging buys back.
+func Failover(env *Env) (*Table, error) {
+	const slowDelay = 3 * time.Millisecond
+	t := &Table{
+		Title:  "Failover: 3-shard × 2-replica cluster under replica loss and stragglers (advanced engine, batched)",
+		Header: []string{"query", "scenario", "results", "failovers", "hedges", "time (ms)"},
+		Notes: []string{
+			"killed: replica 0 of every shard severed before the run; every frame it owned fails over",
+			fmt.Sprintf("slow: replica 0 of every shard delays each reply frame by %s; hedged adds Options.Hedge with a 1ms trigger", slowDelay),
+			"result counts are identical across scenarios: replicas are byte-identical, so failover and hedging never change answers",
+		},
+	}
+	type scenario struct {
+		name string
+		slow map[[2]int]time.Duration
+		opts cluster.Options
+		kill bool
+	}
+	slowAll := map[[2]int]time.Duration{{0, 0}: slowDelay, {1, 0}: slowDelay, {2, 0}: slowDelay}
+	scenarios := []scenario{
+		{name: "healthy"},
+		{name: "killed", kill: true},
+		{name: "slow", slow: slowAll},
+		{name: "slow+hedged", slow: slowAll, opts: cluster.Options{Hedge: true, HedgeAfter: time.Millisecond}},
+	}
+	for _, qs := range Table2Queries {
+		q := xpath.MustParse(qs)
+		for _, sc := range scenarios {
+			re, err := newReplicatedEnv(env, 3, 2, sc.slow, sc.opts)
+			if err != nil {
+				return nil, err
+			}
+			if sc.kill {
+				for si := 0; si < 3; si++ {
+					re.killReplica(si, 0)
+				}
+			}
+			cli := filter.NewClient(re.filter, env.Scheme)
+			eng := engine.NewAdvanced(cli, env.Map)
+			start := time.Now()
+			res, err := eng.Run(q, engine.Containment)
+			elapsed := time.Since(start)
+			if err != nil {
+				re.cleanup()
+				return nil, fmt.Errorf("%s under %s: %w", qs, sc.name, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				qs, sc.name,
+				fmt.Sprintf("%d", len(res.Pres)),
+				fmt.Sprintf("%d", re.filter.Failovers()),
+				fmt.Sprintf("%d", re.filter.Hedges()),
+				fmt.Sprintf("%.2f", float64(elapsed.Microseconds())/1000),
+			})
+			re.cleanup()
+		}
+	}
+	return t, nil
+}

@@ -160,10 +160,11 @@ func chunked(n, chunk int, fn func(lo, hi int) error) error {
 // checkReplyLen guards against a buggy or malicious server answering a
 // batch with the wrong member count — the server is untrusted in this
 // scheme, so a bad reply must become a protocol error, not an
-// out-of-range panic in the client.
+// out-of-range panic in the client. The typed BadReplyError additionally
+// lets a replicated cluster retry the batch on another replica.
 func checkReplyLen[T any](part []T, want int) error {
 	if len(part) != want {
-		return fmt.Errorf("filter: batch reply carried %d members for %d requests", len(part), want)
+		return &BadReplyError{Msg: fmt.Sprintf("batch reply carried %d members for %d requests", len(part), want)}
 	}
 	return nil
 }

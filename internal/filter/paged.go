@@ -25,10 +25,12 @@ import (
 	"fmt"
 )
 
-// replyByteBudget bounds the estimated payload of one paged reply frame,
+// ReplyByteBudget bounds the estimated payload of one paged reply frame,
 // with a wide margin under the 64 MiB rmi frame limit for gob overhead.
-// A variable so tests can shrink it to force multi-page replies.
-var replyByteBudget = 48 << 20
+// Exported as a tuning knob: servers on memory-constrained hosts can
+// shrink it, and tests shrink it to force multi-page replies (including
+// the chaos tests that kill a replica between pages).
+var ReplyByteBudget = 48 << 20
 
 // pageFetchChunk is how many members the server fetches at a time while
 // filling a page — keeps the worker pool busy without fetching far past
@@ -90,7 +92,7 @@ func pageDescendants(b BatchAPI, a descPageArgs) (descPageReply, error) {
 		return descPageReply{}, fmt.Errorf("filter: bad descendants page cursor %d", a.Member)
 	}
 	var rep descPageReply
-	budget := replyByteBudget
+	budget := ReplyByteBudget
 	emitted := 0
 	m, resume := a.Member, a.Resume
 	for m < n {
@@ -164,7 +166,7 @@ func pageBundles[T any](a bundlePageArgs, fetch func([]int64) ([]T, error), size
 		return bundlePage[T]{}, fmt.Errorf("filter: bad bundle page cursor %d", a.Member)
 	}
 	var rep bundlePage[T]
-	budget := replyByteBudget
+	budget := ReplyByteBudget
 	m := a.Member
 	for m < n && budget > 0 {
 		end := m + pageFetchChunk
@@ -216,11 +218,11 @@ func remotePagedBundles[T any](r *Remote, method string, pres []int64) (out []T,
 			return nil, true, err
 		}
 		if len(rep.Bundles) == 0 && !rep.Done {
-			return nil, true, fmt.Errorf("filter: paged %s reply made no progress at member %d", method, len(out))
+			return nil, true, &BadReplyError{Msg: fmt.Sprintf("paged %s reply made no progress at member %d", method, len(out))}
 		}
 		out = append(out, rep.Bundles...)
 		if len(out) > len(pres) {
-			return nil, true, fmt.Errorf("filter: paged %s reply carried %d members for %d requests", method, len(out), len(pres))
+			return nil, true, &BadReplyError{Msg: fmt.Sprintf("paged %s reply carried %d members for %d requests", method, len(out), len(pres))}
 		}
 		if rep.Done {
 			if err := checkReplyLen(out, len(pres)); err != nil {
@@ -252,7 +254,7 @@ func (r *Remote) descendantsPaged(spans []Span) (out [][]NodeMeta, handled bool,
 		}
 		for _, p := range rep.Parts {
 			if p.Member < m || p.Member >= len(spans) {
-				return nil, true, fmt.Errorf("filter: paged descendants reply addressed member %d outside [%d, %d)", p.Member, m, len(spans))
+				return nil, true, &BadReplyError{Msg: fmt.Sprintf("paged descendants reply addressed member %d outside [%d, %d)", p.Member, m, len(spans))}
 			}
 			out[p.Member] = append(out[p.Member], p.Metas...)
 		}
@@ -261,8 +263,8 @@ func (r *Remote) descendantsPaged(spans []Span) (out [][]NodeMeta, handled bool,
 		}
 		if rep.NextMember < m || rep.NextMember >= len(spans) ||
 			(rep.NextMember == m && rep.NextResume <= resume) {
-			return nil, true, fmt.Errorf("filter: paged descendants reply made no progress (cursor %d/%d -> %d/%d)",
-				m, resume, rep.NextMember, rep.NextResume)
+			return nil, true, &BadReplyError{Msg: fmt.Sprintf("paged descendants reply made no progress (cursor %d/%d -> %d/%d)",
+				m, resume, rep.NextMember, rep.NextResume)}
 		}
 		m, resume = rep.NextMember, rep.NextResume
 	}

@@ -26,9 +26,9 @@ func wideXML(n int) string {
 // frame error.
 func TestPagedDescendantsWideNode(t *testing.T) {
 	fx := newFixture(t, wideXML(3000))
-	oldBudget := replyByteBudget
-	replyByteBudget = 4096
-	t.Cleanup(func() { replyByteBudget = oldBudget })
+	oldBudget := ReplyByteBudget
+	ReplyByteBudget = 4096
+	t.Cleanup(func() { ReplyByteBudget = oldBudget })
 
 	rem := NewRemote(fx.rmiCli)
 	root, err := rem.Root()
@@ -53,7 +53,7 @@ func TestPagedDescendantsWideNode(t *testing.T) {
 		}
 	}
 	if pages := rem.CallCounts()[methodDescendantsPage]; pages < 2 {
-		t.Fatalf("wide member under a %d-byte budget used %d page(s), expected several", replyByteBudget, pages)
+		t.Fatalf("wide member under a %d-byte budget used %d page(s), expected several", ReplyByteBudget, pages)
 	}
 }
 
@@ -61,9 +61,9 @@ func TestPagedDescendantsWideNode(t *testing.T) {
 // byte size; every member still comes back, in order.
 func TestPagedNodePolysManyMembers(t *testing.T) {
 	fx := newFixture(t, wideXML(500))
-	oldBudget := replyByteBudget
-	replyByteBudget = 4096
-	t.Cleanup(func() { replyByteBudget = oldBudget })
+	oldBudget := ReplyByteBudget
+	ReplyByteBudget = 4096
+	t.Cleanup(func() { ReplyByteBudget = oldBudget })
 
 	rem := NewRemote(fx.rmiCli)
 	var pres []int64
@@ -85,7 +85,7 @@ func TestPagedNodePolysManyMembers(t *testing.T) {
 		}
 	}
 	if pages := rem.CallCounts()[methodNodePolysPage]; pages < 2 {
-		t.Fatalf("%d bundles under a %d-byte budget used %d page(s), expected several", len(pres), replyByteBudget, pages)
+		t.Fatalf("%d bundles under a %d-byte budget used %d page(s), expected several", len(pres), ReplyByteBudget, pages)
 	}
 
 	// The root bundle alone exceeds the budget (500 child share rows):
@@ -135,9 +135,9 @@ type batchOnlyAPI struct {
 // per-call while DescendantsBatch keeps using its paged protocol.
 func TestPagedDowngradeIsPerMethod(t *testing.T) {
 	fx := newFixture(t, wideXML(300))
-	oldBudget := replyByteBudget
-	replyByteBudget = 2048
-	t.Cleanup(func() { replyByteBudget = oldBudget })
+	oldBudget := ReplyByteBudget
+	ReplyByteBudget = 2048
+	t.Cleanup(func() { ReplyByteBudget = oldBudget })
 
 	srv := rmi.NewServer()
 	RegisterServer(srv, batchOnlyAPI{fx.server, fx.server})

@@ -1,0 +1,51 @@
+// Retryable-error classification for replicated deployments.
+//
+// Shard replicas are byte-identical copies of the same uniformly random
+// share table, so any read answered by one replica is answered
+// identically by all of them. That makes failover a pure transport
+// question: an error is worth retrying on another replica exactly when
+// it says nothing about the data — the connection died, the reply never
+// came, or the reply violated the batch/paged protocol (a buggy or
+// malicious replica). A deterministic handler error (row not found,
+// decode failure) would repeat on every copy and must surface to the
+// caller instead of burning the remaining replicas.
+//
+// The classification matters mid-paged-reply too: the paged protocols in
+// paged.go loop several exchanges per logical batch, and a replica dying
+// between pages surfaces as a transport error from an inner page call.
+// The whole logical batch is what the cluster layer retries — the next
+// replica restarts the page loop from member 0 and, shares being
+// immutable, reproduces the identical reply.
+package filter
+
+import (
+	"errors"
+
+	"encshare/internal/rmi"
+)
+
+// BadReplyError reports a reply that violated the batch or paged
+// protocol: wrong member count, a page cursor that went backwards, a
+// member index outside the request. The server is untrusted, so these
+// are protocol errors rather than panics — and against a replicated
+// shard they are retryable, because a healthy replica will not repeat a
+// misbehaving one's framing.
+type BadReplyError struct{ Msg string }
+
+func (e *BadReplyError) Error() string { return "filter: bad reply: " + e.Msg }
+
+// Retryable reports whether err may be cured by reissuing the call
+// against a different replica of the same (immutable) shard data:
+// transport failures and protocol-violating replies are; deterministic
+// handler errors are not.
+func Retryable(err error) bool {
+	var te *rmi.TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var be *BadReplyError
+	if errors.As(err, &be) {
+		return true
+	}
+	return false
+}

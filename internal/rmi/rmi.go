@@ -25,10 +25,28 @@ import (
 const maxFrame = 64 << 20
 
 // RemoteError is an error returned by the remote handler (as opposed to a
-// transport failure).
+// transport failure). A RemoteError means the server received the call
+// and answered it: retrying the same call — here or on a byte-identical
+// replica — would deterministically fail again.
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rmi: remote: " + e.Msg }
+
+// TransportError is a failure of the connection itself — the frame never
+// arrived, the reply never came back, or the stream desynchronized. The
+// call may or may not have executed server-side, but for a read-only
+// protocol it is always safe to retry, and against a replicated shard it
+// is the signal to fail over to another replica.
+type TransportError struct {
+	Method string
+	Err    error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("rmi: transport: %s: %v", e.Method, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
 
 // unknownMethodPrefix starts the RemoteError message for a method the
 // server does not expose; IsUnknownMethod is the public contract, so the
@@ -221,25 +239,25 @@ func (c *Client) Call(method string, args any, reply any) error {
 	req := request{Seq: c.seq, Method: method, Body: body.Bytes()}
 	n, err := writeFrame(c.conn, &req)
 	if err != nil {
-		return fmt.Errorf("rmi: sending %s: %w", method, err)
+		return &TransportError{Method: method, Err: fmt.Errorf("sending: %w", err)}
 	}
 	c.bytesOut.Add(int64(n))
 	var resp response
 	n, err = readFrame(c.conn, &resp)
 	if err != nil {
-		return fmt.Errorf("rmi: receiving reply for %s: %w", method, err)
+		return &TransportError{Method: method, Err: fmt.Errorf("receiving reply: %w", err)}
 	}
 	c.bytesIn.Add(int64(n))
 	c.calls.Add(1)
 	if resp.Seq != req.Seq {
-		return fmt.Errorf("rmi: reply sequence %d for request %d", resp.Seq, req.Seq)
+		return &TransportError{Method: method, Err: fmt.Errorf("reply sequence %d for request %d", resp.Seq, req.Seq)}
 	}
 	if resp.Err != "" {
 		return &RemoteError{Msg: resp.Err}
 	}
 	if reply != nil {
 		if err := gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply); err != nil {
-			return fmt.Errorf("rmi: decoding reply for %s: %w", method, err)
+			return &TransportError{Method: method, Err: fmt.Errorf("decoding reply: %w", err)}
 		}
 	}
 	return nil
