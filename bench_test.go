@@ -217,6 +217,32 @@ func BenchmarkRemoteRoundTrips(b *testing.B) {
 	}
 }
 
+// BenchmarkXMarkQueryCPU is the compute-bound end-to-end benchmark: a
+// full XMark query through an in-process (network-free) session, so
+// ns/op is pure client+server compute — share decoding, client-share
+// regeneration, and polynomial evaluation — with no transport in the
+// way. This is the headline number of the hot-path compute engine work.
+func BenchmarkXMarkQueryCPU(b *testing.B) {
+	env := getEnv(b, 0.1)
+	q := xpath.MustParse("/site//europe/item")
+	combos := []struct {
+		name string
+		test engine.Test
+	}{
+		{"nonstrict", engine.Containment},
+		{"strict", engine.Equality},
+	}
+	for _, c := range combos {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := env.Advanced.Run(q, c.test); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkEndToEndQuery measures the public API round-trip (local
 // session, default options) — the number a downstream user would see.
 func BenchmarkEndToEndQuery(b *testing.B) {

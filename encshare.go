@@ -354,6 +354,10 @@ type QueryOptions struct {
 // Stats re-exports per-query work metrics.
 type Stats = engine.Stats
 
+// ServerStats re-exports the server-side work counters: share
+// evaluations, decoded-polynomial cache hits/misses, and blob decodes.
+type ServerStats = filter.ServerStats
+
 // Result is a query answer: pre positions of matching nodes in document
 // order, plus the work performed.
 type Result struct {
@@ -520,6 +524,17 @@ func (s *Session) Hedges() int64 {
 		return 0
 	}
 	return s.shardF.Hedges()
+}
+
+// ServerStats returns the server-side work counters behind this
+// session: evaluations, decoded-polynomial cache hits/misses, and blob
+// decodes. Local sessions read the in-process filter directly; remote
+// sessions fetch the counters in one exchange (zeros from servers that
+// predate the method); cluster sessions aggregate every reachable
+// replica. Comparing CacheHits against Decodes shows directly what the
+// decoded-polynomial cache saves.
+func (s *Session) ServerStats() (ServerStats, error) {
+	return s.cli.ServerStats()
 }
 
 // Query parses and runs an XPath-subset query with default options.

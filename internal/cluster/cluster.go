@@ -189,6 +189,7 @@ type Filter struct {
 var (
 	_ filter.ServerAPI = (*Filter)(nil)
 	_ filter.BatchAPI  = (*Filter)(nil)
+	_ filter.StatsAPI  = (*Filter)(nil)
 )
 
 // New assembles a cluster filter from shards with default options. The
@@ -289,6 +290,39 @@ func (f *Filter) ShardRoundTrips() []int64 {
 		}
 	}
 	return out
+}
+
+// ServerStats implements filter.StatsAPI: the member-wise sum of every
+// reachable replica's server-side counters (each replica serves a share
+// of the shard's frames, so the shard's work is spread across them).
+// Replicas that are down or predate the stats method contribute zeros —
+// stats are diagnostics and must not fail a healthy query session.
+func (f *Filter) ServerStats() (filter.ServerStats, error) {
+	var (
+		mu    sync.Mutex
+		total filter.ServerStats
+	)
+	all := make([]bool, len(f.shards))
+	for i := range all {
+		all[i] = true
+	}
+	_ = f.scatter(all, func(si int) error {
+		for _, rep := range f.shards[si].reps {
+			sa, ok := rep.conn.(filter.StatsAPI)
+			if !ok {
+				continue
+			}
+			st, err := sa.ServerStats()
+			if err != nil {
+				continue // unreachable replica: diagnostics stay best-effort
+			}
+			mu.Lock()
+			total = total.Add(st)
+			mu.Unlock()
+		}
+		return nil
+	})
+	return total, nil
 }
 
 // ShardEvalRoundTrips returns per-shard evaluation exchange counts.

@@ -574,3 +574,36 @@ func TestManifestReplicas(t *testing.T) {
 		t.Fatal("manifest with 2 dbs but 1 addr accepted")
 	}
 }
+
+// TestClusterServerStats checks the stats counter plumbing through
+// scatter/gather: the aggregated cluster stats equal the sum of real
+// server-side work, and a query actually moves them.
+func TestClusterServerStats(t *testing.T) {
+	fx := xmarkFixture(t, 0.01, 7)
+	cf := fx.clusterOf(t, 3)
+	cli := filter.NewClient(cf, fx.scheme)
+	eng := engine.NewAdvanced(cli, fx.m)
+
+	before, err := cf.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Run(xpath.MustParse("/site//europe/item"), engine.Containment); err != nil {
+		t.Fatal(err)
+	}
+	after, err := cf.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Evals <= before.Evals {
+		t.Fatalf("cluster Evals did not advance: %+v -> %+v", before, after)
+	}
+	if after.Decodes == 0 || after.CacheMisses == 0 {
+		t.Fatalf("cluster decode/cache counters empty: %+v", after)
+	}
+	// Hits+misses must cover every cache probe that preceded a decode:
+	// decodes happen only on misses.
+	if after.Decodes > after.CacheMisses {
+		t.Fatalf("more decodes than cache misses: %+v", after)
+	}
+}

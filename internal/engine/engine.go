@@ -69,6 +69,10 @@ type Stats struct {
 	NodesFetched int64
 	// NodesVisited counts candidate nodes the engine examined.
 	NodesVisited int64
+	// Decodes counts client-side share-blob decodes (the per-row cost of
+	// equality tests; the limb codec made each one cheap, this makes
+	// them visible).
+	Decodes int64
 	// Elapsed is the wall-clock execution time — the y-axis of Fig. 6.
 	Elapsed time.Duration
 }
@@ -176,6 +180,7 @@ func (b *base) run(body func() ([]int64, int64, error)) (Result, error) {
 			Reconstructions: d.Reconstructions,
 			NodesFetched:    d.NodesFetched,
 			NodesVisited:    visited,
+			Decodes:         d.Decodes,
 			Elapsed:         elapsed,
 		},
 	}, nil

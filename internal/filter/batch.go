@@ -286,33 +286,57 @@ func (s *ServerFilter) poolSize() int {
 	return defaultWorkers()
 }
 
+// groupByPre splits request indices by node, preserving first-seen node
+// order — the shared pre-grouping of the batched eval paths (server and
+// client), which lets each side pay its per-node cost (decode, PRG
+// stream) once however many points one node is asked.
+func groupByPre(n int, preAt func(int) int64) (pres []int64, byPre map[int64][]int) {
+	byPre = make(map[int64][]int, n)
+	pres = make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		pre := preAt(i)
+		if _, seen := byPre[pre]; !seen {
+			pres = append(pres, pre)
+		}
+		byPre[pre] = append(byPre[pre], i)
+	}
+	return pres, byPre
+}
+
 // EvalBatch implements BatchAPI: all members are evaluated on the worker
 // pool against the shared decoded-polynomial cache. Members are grouped
 // by node first, so each distinct polynomial is fetched and decoded once
 // per batch however many points it is evaluated at (the advanced
-// engine's look-ahead asks several names of the same node).
+// engine's look-ahead asks several names of the same node); all of one
+// node's points go through ring.EvalMany, a single pass over the
+// coefficients.
 func (s *ServerFilter) EvalBatch(reqs []EvalRequest) ([]EvalResult, error) {
 	out := make([]EvalResult, len(reqs))
-	byPre := make(map[int64][]int, len(reqs))
-	pres := make([]int64, 0, len(reqs))
-	for i, q := range reqs {
-		if _, seen := byPre[q.Pre]; !seen {
-			pres = append(pres, q.Pre)
-		}
-		byPre[q.Pre] = append(byPre[q.Pre], i)
-	}
+	pres, byPre := groupByPre(len(reqs), func(i int) int64 { return reqs[i].Pre })
 	parallelFor(len(pres), s.poolSize(), func(pi int) {
 		pre := pres[pi]
+		idx := byPre[pre]
 		p, err := s.serverPoly(pre)
 		if err != nil {
-			for _, i := range byPre[pre] {
+			for _, i := range idx {
 				out[i].Err = err.Error()
 			}
 			return
 		}
-		for _, i := range byPre[pre] {
-			s.evals.Add(1)
-			out[i].Val = s.r.Eval(p, reqs[i].Point)
+		s.evals.Add(int64(len(idx)))
+		var ptsArr, valsArr [8]gf.Elem
+		var pts, vals []gf.Elem
+		if len(idx) <= len(ptsArr) {
+			pts, vals = ptsArr[:0], valsArr[:len(idx)]
+		} else {
+			pts, vals = make([]gf.Elem, 0, len(idx)), make([]gf.Elem, len(idx))
+		}
+		for _, i := range idx {
+			pts = append(pts, reqs[i].Point)
+		}
+		s.r.EvalManyInto(vals, p, pts)
+		for j, i := range idx {
+			out[i].Val = vals[j]
 		}
 	})
 	return out, nil
@@ -323,7 +347,7 @@ func (s *ServerFilter) NodeBatch(pres []int64) ([]NodeMeta, error) {
 	out := make([]NodeMeta, len(pres))
 	errs := make([]error, len(pres))
 	parallelFor(len(pres), s.poolSize(), func(i int) {
-		row, err := s.st.Node(pres[i])
+		row, err := s.st.NodeMeta(pres[i])
 		if err != nil {
 			errs[i] = err
 			return
@@ -343,7 +367,7 @@ func (s *ServerFilter) ChildrenBatch(pres []int64) ([][]NodeMeta, error) {
 	out := make([][]NodeMeta, len(pres))
 	errs := make([]error, len(pres))
 	parallelFor(len(pres), s.poolSize(), func(i int) {
-		rows, err := s.st.Children(pres[i])
+		rows, err := s.st.ChildrenMeta(pres[i])
 		if err != nil {
 			errs[i] = err
 			return
@@ -363,7 +387,7 @@ func (s *ServerFilter) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
 	out := make([][]NodeMeta, len(spans))
 	errs := make([]error, len(spans))
 	parallelFor(len(spans), s.poolSize(), func(i int) {
-		rows, err := s.st.Descendants(spans[i].Pre, spans[i].Post)
+		rows, err := s.st.DescendantsMeta(spans[i].Pre, spans[i].Post)
 		if err != nil {
 			errs[i] = err
 			return
@@ -435,7 +459,9 @@ func (c *Client) evalBatch(reqs []EvalRequest) ([]EvalResult, error) {
 // ContainsBatch runs the containment test for every check with a single
 // server exchange: true at index i iff the subtree of checks[i].Pre
 // contains a node mapped to checks[i].Point. The client halves of the
-// evaluations run in parallel on the client worker pool.
+// evaluations run in parallel on the client worker pool, grouped by
+// node: all points asked of one node share a single PRG stream pass
+// (scheme.EvalClientMany), which is the dominant client-side cost.
 func (c *Client) ContainsBatch(checks []Check) ([]bool, error) {
 	if len(checks) == 0 {
 		return nil, nil
@@ -452,9 +478,25 @@ func (c *Client) ContainsBatch(checks []Check) ([]bool, error) {
 		return nil, err
 	}
 	out := make([]bool, len(checks))
-	parallelFor(len(checks), c.poolSize(), func(i int) {
-		cv := c.scheme.EvalClientAt(uint64(checks[i].Pre), checks[i].Point)
-		out[i] = c.r.Field().Add(results[i].Val, cv) == 0
+	pres, byPre := groupByPre(len(checks), func(i int) int64 { return checks[i].Pre })
+	parallelFor(len(pres), c.poolSize(), func(pi int) {
+		pre := pres[pi]
+		idx := byPre[pre]
+		var ptsArr, valsArr [8]gf.Elem
+		var pts, vals []gf.Elem
+		if len(idx) <= len(ptsArr) {
+			pts, vals = ptsArr[:0], valsArr[:len(idx)]
+		} else {
+			pts, vals = make([]gf.Elem, 0, len(idx)), make([]gf.Elem, len(idx))
+		}
+		for _, i := range idx {
+			pts = append(pts, checks[i].Point)
+		}
+		c.scheme.EvalClientMany(uint64(pre), pts, vals)
+		f := c.r.Field()
+		for j, i := range idx {
+			out[i] = f.Add(results[i].Val, vals[j]) == 0
+		}
 	})
 	c.Counters.Evaluations.Add(int64(len(checks)))
 	return out, nil
@@ -512,24 +554,37 @@ func (c *Client) EqualsBatch(checks []Check) ([]bool, error) {
 }
 
 // equalsFromBundle is the client half of one strict test, given the
-// fetched share rows; n reports the reconstructions performed.
+// fetched share rows; n reports the reconstructions performed. The
+// whole check runs on pooled buffers: each blob decodes into a scratch
+// polynomial that is reconstructed in place, the child product
+// ping-pongs between two pooled accumulators, and everything returns to
+// the pool on exit — an equality test performs no polynomial
+// allocations.
 func (c *Client) equalsFromBundle(pre int64, val gf.Elem, b NodePolys) (ok bool, n int64, err error) {
-	server, err := c.r.FromBytes(b.Node.Poly)
-	if err != nil {
+	r := c.r
+	full := r.GetPoly()
+	defer r.PutPoly(full)
+	if err := r.DecodeInto(full, b.Node.Poly); err != nil {
 		return false, 0, decodeErr(pre, err)
 	}
-	full := c.scheme.Reconstruct(server, uint64(pre))
+	c.Counters.Decodes.Add(1)
+	c.scheme.ReconstructInto(full, full, uint64(pre))
 	n = 1
-	prod := c.r.One()
+	prod, tmp, child := r.GetPoly(), r.GetPoly(), r.GetPoly()
+	defer r.PutPoly(prod)
+	defer r.PutPoly(tmp)
+	defer r.PutPoly(child)
+	prod[0] = 1 // the constant polynomial 1
 	for _, ch := range b.Children {
-		sp, err := c.r.FromBytes(ch.Poly)
-		if err != nil {
+		if err := r.DecodeInto(child, ch.Poly); err != nil {
 			return false, n, decodeErr(ch.Pre, err)
 		}
+		c.Counters.Decodes.Add(1)
 		n++
-		prod = c.r.Mul(prod, c.scheme.Reconstruct(sp, uint64(ch.Pre)))
+		c.scheme.ReconstructInto(child, child, uint64(ch.Pre))
+		prod, tmp = r.MulInto(tmp, prod, child), prod
 	}
-	return c.r.Equal(full, c.r.MulLinear(prod, val)), n, nil
+	return r.Equal(full, r.MulLinearInto(tmp, prod, val)), n, nil
 }
 
 // NodeBatch fetches the metadata of every listed node in one exchange

@@ -2,59 +2,154 @@ package filter
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"encshare/internal/ring"
 )
 
 // polyCache is a bounded map from pre values to decoded server-share
-// polynomials with cheap random-ish eviction (clock-free: evict an
-// arbitrary entry via map iteration order). Decoding a radix-q blob costs
-// dozens of big.Int divisions, so even a small cache pays off for the
-// repeated evaluations the engines issue against the same hot nodes.
-// The single mutex also makes it the rendezvous point for the batch
-// worker pool: concurrent EvalBatch workers share decoded polynomials
-// through it, and within one batch requests are pre-grouped by node so
-// the pool never decodes the same blob twice for one exchange.
+// polynomials. Two properties matter on the hot path:
+//
+//   - Sharding: the cache is split into independently-locked segments
+//     (pre values spread by a Fibonacci hash), so the batch worker pool
+//     hitting the cache concurrently contends on 1/segments of the
+//     keyspace instead of one global mutex.
+//   - CLOCK eviction: each segment runs second-chance replacement. A
+//     hit sets the entry's reference bit; the eviction hand clears bits
+//     until it finds an unreferenced victim. Unlike the previous
+//     evict-arbitrary-map-key policy, a scan of cold nodes can no
+//     longer evict the hot entry every round — recently-referenced
+//     entries survive a full hand sweep (see cache_test.go for the
+//     hit-rate regression test).
+//
+// Cached polynomials are shared by reference with concurrent readers,
+// so an evicted Poly must never be returned to a pool — eviction just
+// drops the reference (see the pooling invariant in package ring).
 type polyCache struct {
+	segs []cacheSeg
+	mask uint64
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheSeg struct {
 	mu   sync.Mutex
 	max  int
-	data map[int64]ring.Poly
+	data map[int64]*cacheEnt
+	keys []int64 // CLOCK ring of resident keys
+	hand int
+}
+
+type cacheEnt struct {
+	p   ring.Poly
+	ref bool // second-chance bit, guarded by the segment mutex
+}
+
+// cacheSegments picks a power-of-two segment count: enough to spread a
+// worker pool, small enough that each segment still holds a useful
+// number of entries.
+func cacheSegments(max int) int {
+	segs := 16
+	for segs > 1 && max/segs < 8 {
+		segs /= 2
+	}
+	return segs
 }
 
 func newPolyCache(max int) *polyCache {
-	if max < 0 {
-		max = 0
+	if max <= 0 {
+		return &polyCache{} // disabled: no segments
 	}
-	return &polyCache{max: max, data: make(map[int64]ring.Poly, max)}
+	segs := cacheSegments(max)
+	c := &polyCache{segs: make([]cacheSeg, segs), mask: uint64(segs - 1)}
+	per := (max + segs - 1) / segs
+	for i := range c.segs {
+		c.segs[i].max = per
+		c.segs[i].data = make(map[int64]*cacheEnt, per)
+	}
+	return c
+}
+
+// seg spreads pre values over segments; sequential pre values (a
+// subtree scan) land on different segments.
+func (c *polyCache) seg(pre int64) *cacheSeg {
+	return &c.segs[(uint64(pre)*0x9E3779B97F4A7C15>>32)&c.mask]
 }
 
 func (c *polyCache) get(pre int64) (ring.Poly, bool) {
-	if c.max == 0 {
+	if len(c.segs) == 0 {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	p, ok := c.data[pre]
-	return p, ok
+	s := c.seg(pre)
+	s.mu.Lock()
+	e, ok := s.data[pre]
+	var p ring.Poly
+	if ok {
+		e.ref = true
+		// Copy the slice header under the lock: a concurrent put may
+		// overwrite e.p for an already-resident key.
+		p = e.p
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return p, true
+	}
+	c.misses.Add(1)
+	return nil, false
 }
 
 func (c *polyCache) put(pre int64, p ring.Poly) {
-	if c.max == 0 {
+	if len(c.segs) == 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if len(c.data) >= c.max {
-		for k := range c.data {
-			delete(c.data, k)
-			break
-		}
+	s := c.seg(pre)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.data[pre]; ok {
+		e.p = p
+		e.ref = true
+		return
 	}
-	c.data[pre] = p
+	if len(s.data) < s.max {
+		s.data[pre] = &cacheEnt{p: p}
+		s.keys = append(s.keys, pre)
+		return
+	}
+	// CLOCK sweep: clear reference bits until an unreferenced victim
+	// turns up. Terminates within two revolutions.
+	for {
+		if s.hand >= len(s.keys) {
+			s.hand = 0
+		}
+		victim := s.keys[s.hand]
+		e := s.data[victim]
+		if e.ref {
+			e.ref = false
+			s.hand++
+			continue
+		}
+		delete(s.data, victim)
+		s.data[pre] = &cacheEnt{p: p}
+		s.keys[s.hand] = pre
+		s.hand++
+		return
+	}
 }
 
 func (c *polyCache) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.data)
+	n := 0
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.Lock()
+		n += len(s.data)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// counters returns the cumulative hit/miss counts.
+func (c *polyCache) counters() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
 }

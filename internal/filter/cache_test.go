@@ -1,0 +1,221 @@
+package filter
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"encshare/internal/ring"
+)
+
+func mkPoly(n int, tag uint32) ring.Poly {
+	p := make(ring.Poly, n)
+	if n > 0 {
+		p[0] = tag
+	}
+	return p
+}
+
+// TestCacheHotEntrySurvivesScan is the eviction-pathology regression
+// test: under the old evict-arbitrary-map-key policy, a stream of cold
+// inserts could evict the one hot entry on every round, collapsing its
+// hit rate. With CLOCK second-chance eviction, a repeatedly-referenced
+// node must keep a ≥90% hit rate through an arbitrarily long cold scan.
+func TestCacheHotEntrySurvivesScan(t *testing.T) {
+	const cap = 64
+	c := newPolyCache(cap)
+	hot := int64(7)
+	c.put(hot, mkPoly(4, 1))
+
+	hits := 0
+	const rounds = 4096
+	for i := 0; i < rounds; i++ {
+		// One cold insert per round: a scan workload streaming new nodes
+		// through the cache.
+		cold := int64(1000 + i)
+		c.put(cold, mkPoly(4, 2))
+		// The hot node is referenced every round.
+		if _, ok := c.get(hot); ok {
+			hits++
+		} else {
+			c.put(hot, mkPoly(4, 1))
+		}
+	}
+	rate := float64(hits) / rounds
+	if rate < 0.9 {
+		t.Fatalf("hot entry hit rate %.2f under cold scan, want >= 0.90", rate)
+	}
+}
+
+// TestCacheRepeatedNodeWorkloadHitRate drives a whole working set that
+// fits the cache through a longer mixed scan: every resident node must
+// stay resident (aggregate hit rate ≥90%), which the random-eviction
+// policy could not guarantee.
+func TestCacheRepeatedNodeWorkloadHitRate(t *testing.T) {
+	const cap = 128
+	c := newPolyCache(cap)
+	workingSet := make([]int64, 32)
+	for i := range workingSet {
+		workingSet[i] = int64(i)
+		c.put(int64(i), mkPoly(4, 3))
+	}
+	var hits, lookups int
+	for round := 0; round < 1024; round++ {
+		for _, pre := range workingSet {
+			lookups++
+			if _, ok := c.get(pre); ok {
+				hits++
+			} else {
+				c.put(pre, mkPoly(4, 3))
+			}
+		}
+		// Interleave cold traffic wider than the spare capacity.
+		for j := 0; j < 8; j++ {
+			c.put(int64(10_000+round*8+j), mkPoly(4, 4))
+		}
+	}
+	rate := float64(hits) / float64(lookups)
+	if rate < 0.9 {
+		t.Fatalf("repeated-node hit rate %.2f, want >= 0.90", rate)
+	}
+}
+
+// TestCacheBasics covers bounds, disabled mode, and update-in-place
+// across the segmented layout.
+func TestCacheBasics(t *testing.T) {
+	c := newPolyCache(2)
+	c.put(1, mkPoly(2, 1))
+	c.put(2, mkPoly(2, 2))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	c.put(3, mkPoly(2, 3)) // must evict, not grow
+	if c.len() > 2 {
+		t.Fatalf("len = %d after overflow, want <= 2", c.len())
+	}
+	if p, ok := c.get(3); !ok || p[0] != 3 {
+		t.Fatal("most-recent insert missing")
+	}
+	// Update in place keeps one entry.
+	c.put(3, mkPoly(2, 9))
+	if p, ok := c.get(3); !ok || p[0] != 9 {
+		t.Fatal("update-in-place failed")
+	}
+
+	d := newPolyCache(0) // disabled
+	d.put(1, mkPoly(2, 1))
+	if _, ok := d.get(1); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if d.len() != 0 {
+		t.Fatal("disabled cache grew")
+	}
+
+	neg := newPolyCache(-1)
+	neg.put(1, mkPoly(2, 1))
+	if _, ok := neg.get(1); ok {
+		t.Fatal("negative-capacity cache returned a hit")
+	}
+}
+
+// TestCacheCounters checks hit/miss accounting.
+func TestCacheCounters(t *testing.T) {
+	c := newPolyCache(8)
+	c.put(1, mkPoly(2, 1))
+	c.get(1) // hit
+	c.get(2) // miss
+	c.get(1) // hit
+	hits, misses := c.counters()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("counters = %d hits / %d misses, want 2/1", hits, misses)
+	}
+}
+
+// TestCacheSegmentsSized checks the segment count adapts to capacity:
+// small caches must hold essentially their configured entry count
+// (hash spread across segments can cost a few slots at larger sizes,
+// never an order of magnitude).
+func TestCacheSegmentsSized(t *testing.T) {
+	for _, max := range []int{1, 2, 7, 16, 128, 4096} {
+		c := newPolyCache(max)
+		for i := 0; i < max; i++ {
+			c.put(int64(i*7919), mkPoly(1, 0))
+		}
+		got := c.len()
+		if got < 1 || got < max*9/10 {
+			t.Fatalf("cap %d: only %d resident", max, got)
+		}
+	}
+}
+
+// TestCacheConcurrent hammers the segmented cache from many goroutines;
+// meaningful under -race.
+func TestCacheConcurrent(t *testing.T) {
+	c := newPolyCache(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				pre := int64((w*2000 + i) % 512)
+				if _, ok := c.get(pre); !ok {
+					c.put(pre, mkPoly(2, uint32(w)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.len() > 256+cacheSegments(256) {
+		t.Fatalf("cache overflowed: %d entries", c.len())
+	}
+}
+
+// TestCacheConcurrentSameKey overlaps gets with puts that overwrite an
+// already-resident key — the exact interleaving where a get must copy
+// the slice header under the segment lock (meaningful under -race).
+func TestCacheConcurrentSameKey(t *testing.T) {
+	c := newPolyCache(16)
+	const key = int64(42)
+	c.put(key, mkPoly(2, 0))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				if w%2 == 0 {
+					c.put(key, mkPoly(2, uint32(i)))
+				} else if p, ok := c.get(key); ok && len(p) != 2 {
+					t.Errorf("torn read: len %d", len(p))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestCLOCKSweepTerminates fills one segment with referenced entries
+// and inserts one more: the sweep must clear bits and still evict.
+func TestCLOCKSweepTerminates(t *testing.T) {
+	c := newPolyCache(4) // small enough to collapse to few segments
+	var keys []int64
+	for i := 0; len(keys) < 4 && i < 1024; i++ {
+		c.put(int64(i), mkPoly(1, 0))
+		keys = append(keys, int64(i))
+	}
+	for _, k := range keys {
+		c.get(k) // set every reference bit
+	}
+	c.put(9999, mkPoly(1, 5)) // must not spin forever
+	if _, ok := c.get(9999); !ok {
+		t.Fatal("insert after full-reference sweep missing")
+	}
+}
+
+func ExampleServerStats() {
+	a := ServerStats{Evals: 1, CacheHits: 2, CacheMisses: 3, Decodes: 4}
+	b := ServerStats{Evals: 10, CacheHits: 20, CacheMisses: 30, Decodes: 40}
+	fmt.Println(a.Add(b))
+	// Output: {11 22 33 44}
+}

@@ -66,11 +66,13 @@ type ServerAPI interface {
 
 // ServerFilter implements ServerAPI directly against a store. It holds a
 // bounded cache of decoded polynomials (decoding a radix-q blob costs more
-// than an evaluation).
+// than an evaluation); the cache is segment-locked with CLOCK eviction
+// (see cache.go).
 type ServerFilter struct {
 	st      *store.Store
 	r       *ring.Ring
 	evals   atomic.Int64
+	decodes atomic.Int64
 	workers int // batch pool bound; 0 means defaultWorkers()
 
 	cache *polyCache
@@ -85,6 +87,47 @@ func NewServerFilter(st *store.Store, r *ring.Ring, cacheSize int) *ServerFilter
 
 // Evals returns the number of polynomial evaluations performed server-side.
 func (s *ServerFilter) Evals() int64 { return s.evals.Load() }
+
+// ServerStats aggregates the server-side work counters: share
+// evaluations, decoded-polynomial cache traffic, and blob decodes. A
+// decode only happens on a cache miss (or with the cache disabled), so
+// Decodes vs CacheHits is the direct measure of what the cache saves.
+type ServerStats struct {
+	Evals       int64
+	CacheHits   int64
+	CacheMisses int64
+	Decodes     int64
+}
+
+// Add returns the member-wise sum — how a cluster session aggregates
+// per-shard stats.
+func (s ServerStats) Add(o ServerStats) ServerStats {
+	return ServerStats{
+		Evals:       s.Evals + o.Evals,
+		CacheHits:   s.CacheHits + o.CacheHits,
+		CacheMisses: s.CacheMisses + o.CacheMisses,
+		Decodes:     s.Decodes + o.Decodes,
+	}
+}
+
+// StatsAPI is the optional introspection extension of ServerAPI. The
+// in-process ServerFilter implements it directly; Remote fetches the
+// stats over the wire (returning zeros from servers that predate the
+// method); a cluster filter sums its shards.
+type StatsAPI interface {
+	ServerStats() (ServerStats, error)
+}
+
+// ServerStats implements StatsAPI.
+func (s *ServerFilter) ServerStats() (ServerStats, error) {
+	hits, misses := s.cache.counters()
+	return ServerStats{
+		Evals:       s.evals.Load(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Decodes:     s.decodes.Load(),
+	}, nil
+}
 
 func toMeta(rows []store.NodeRow) []NodeMeta {
 	out := make([]NodeMeta, len(rows))
@@ -105,7 +148,7 @@ func (s *ServerFilter) Root() (NodeMeta, error) {
 
 // Node implements ServerAPI.
 func (s *ServerFilter) Node(pre int64) (NodeMeta, error) {
-	row, err := s.st.Node(pre)
+	row, err := s.st.NodeMeta(pre)
 	if err != nil {
 		return NodeMeta{}, err
 	}
@@ -114,7 +157,7 @@ func (s *ServerFilter) Node(pre int64) (NodeMeta, error) {
 
 // Children implements ServerAPI.
 func (s *ServerFilter) Children(pre int64) ([]NodeMeta, error) {
-	rows, err := s.st.Children(pre)
+	rows, err := s.st.ChildrenMeta(pre)
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +166,7 @@ func (s *ServerFilter) Children(pre int64) ([]NodeMeta, error) {
 
 // Descendants implements ServerAPI.
 func (s *ServerFilter) Descendants(pre, post int64) ([]NodeMeta, error) {
-	rows, err := s.st.Descendants(pre, post)
+	rows, err := s.st.DescendantsMeta(pre, post)
 	if err != nil {
 		return nil, err
 	}
@@ -142,6 +185,7 @@ func (s *ServerFilter) serverPoly(pre int64) (ring.Poly, error) {
 	if err != nil {
 		return nil, decodeErr(pre, err)
 	}
+	s.decodes.Add(1)
 	s.cache.put(pre, p)
 	return p, nil
 }
@@ -192,6 +236,9 @@ type Counters struct {
 	Reconstructions atomic.Int64
 	// NodesFetched counts node metadata records retrieved from the server.
 	NodesFetched atomic.Int64
+	// Decodes counts client-side share-blob decodes (equality tests
+	// decode the node and child rows the server ships).
+	Decodes atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -199,6 +246,7 @@ type Snapshot struct {
 	Evaluations     int64
 	Reconstructions int64
 	NodesFetched    int64
+	Decodes         int64
 }
 
 // Snapshot returns the current counter values.
@@ -207,6 +255,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Evaluations:     c.Evaluations.Load(),
 		Reconstructions: c.Reconstructions.Load(),
 		NodesFetched:    c.NodesFetched.Load(),
+		Decodes:         c.Decodes.Load(),
 	}
 }
 
@@ -216,6 +265,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Evaluations:     s.Evaluations - o.Evaluations,
 		Reconstructions: s.Reconstructions - o.Reconstructions,
 		NodesFetched:    s.NodesFetched - o.NodesFetched,
+		Decodes:         s.Decodes - o.Decodes,
 	}
 }
 
@@ -285,19 +335,35 @@ func (c *Client) Contains(pre int64, val gf.Elem) (bool, error) {
 	return c.r.Field().Add(sv, cv) == 0, nil
 }
 
+// ServerStats fetches the server-side work counters when the backend
+// exposes them (StatsAPI); zeros otherwise. For remote backends this is
+// one exchange; for clusters it aggregates the shards.
+func (c *Client) ServerStats() (ServerStats, error) {
+	if sa, ok := c.api.(StatsAPI); ok {
+		return sa.ServerStats()
+	}
+	return ServerStats{}, nil
+}
+
 // Reconstruct fetches the server share of pre and adds the regenerated
-// client share, yielding the true node polynomial.
+// client share, yielding the true node polynomial. The decode lands in
+// a pooled buffer and the client share streams into it in place, so the
+// only allocation is the returned polynomial itself.
 func (c *Client) Reconstruct(pre int64) (ring.Poly, error) {
 	row, err := c.api.Poly(pre)
 	if err != nil {
 		return nil, err
 	}
-	server, err := c.r.FromBytes(row.Poly)
-	if err != nil {
+	buf := c.r.GetPoly()
+	if err := c.r.DecodeInto(buf, row.Poly); err != nil {
+		c.r.PutPoly(buf)
 		return nil, decodeErr(pre, err)
 	}
+	c.Counters.Decodes.Add(1)
 	c.Counters.Reconstructions.Add(1)
-	return c.scheme.Reconstruct(server, uint64(pre)), nil
+	full := c.scheme.ReconstructInto(c.r.NewPoly(), buf, uint64(pre))
+	c.r.PutPoly(buf)
+	return full, nil
 }
 
 // Equals runs the strict equality test: true iff the node at pre is
@@ -305,7 +371,7 @@ func (c *Client) Reconstruct(pre int64) (ring.Poly, error) {
 // "all the child nodes should be retrieved from the server and added to
 // the pseudorandomly generated client polynomials").
 func (c *Client) Equals(pre int64, val gf.Elem) (bool, error) {
-	full, err := c.Reconstruct(pre)
+	row, err := c.api.Poly(pre)
 	if err != nil {
 		return false, err
 	}
@@ -313,15 +379,7 @@ func (c *Client) Equals(pre int64, val gf.Elem) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	prod := c.r.One()
-	for _, ch := range children {
-		server, err := c.r.FromBytes(ch.Poly)
-		if err != nil {
-			return false, decodeErr(ch.Pre, err)
-		}
-		c.Counters.Reconstructions.Add(1)
-		childFull := c.scheme.Reconstruct(server, uint64(ch.Pre))
-		prod = c.r.Mul(prod, childFull)
-	}
-	return c.r.Equal(full, c.r.MulLinear(prod, val)), nil
+	ok, n, err := c.equalsFromBundle(pre, val, NodePolys{Node: row, Children: children})
+	c.Counters.Reconstructions.Add(n)
+	return ok, err
 }

@@ -35,6 +35,10 @@ const (
 	methodNodePolysPage        = "filter.NodePolysBatchPage"
 	methodNodePolysPartialPage = "filter.NodePolysPartialPage"
 	methodPreRange             = "filter.PreRange"
+
+	// v4 addition: server-side work counters (cache hits/misses, blob
+	// decodes, evaluations) for the compute experiments.
+	methodServerStats = "filter.ServerStats"
 )
 
 type descArgs struct{ Pre, Post int64 }
@@ -105,6 +109,11 @@ func RegisterServer(srv *rmi.Server, api ServerAPI) {
 			return ra.PreRange()
 		})
 	}
+	if sa, ok := api.(StatsAPI); ok {
+		rmi.HandleFunc(srv, methodServerStats, func(struct{}) (ServerStats, error) {
+			return sa.ServerStats()
+		})
+	}
 }
 
 // Remote is a ServerAPI + BatchAPI proxy over an rmi client connection.
@@ -119,6 +128,7 @@ type Remote struct {
 
 	flagMu  sync.Mutex
 	noBatch bool            // server answered "unknown method" to a batch call
+	noStats bool            // server predates the ServerStats method
 	noPaged map[string]bool // paged methods the server rejected, individually
 }
 
@@ -127,6 +137,7 @@ var (
 	_ BatchAPI   = (*Remote)(nil)
 	_ PartialAPI = (*Remote)(nil)
 	_ RangeAPI   = (*Remote)(nil)
+	_ StatsAPI   = (*Remote)(nil)
 )
 
 // NewRemote wraps an rmi client as a ServerAPI with batch support.
@@ -359,6 +370,24 @@ func (r *Remote) NodePolysPartial(pres []int64) ([]PartialNodePolys, error) {
 			continue
 		}
 		out[i].Children = kids
+	}
+	return out, nil
+}
+
+// ServerStats implements StatsAPI over the wire. A server that predates
+// the method reports zeros (stats are diagnostics, not results, so the
+// graceful degradation other optional methods get applies here too).
+func (r *Remote) ServerStats() (ServerStats, error) {
+	if r.flagged(&r.noStats) {
+		return ServerStats{}, nil
+	}
+	var out ServerStats
+	err := r.call(methodServerStats, struct{}{}, &out)
+	if err != nil {
+		if r.noteUnknown(err, methodServerStats, &r.noStats) {
+			return ServerStats{}, nil
+		}
+		return ServerStats{}, err
 	}
 	return out, nil
 }

@@ -1,0 +1,80 @@
+package gf
+
+import "testing"
+
+// benchElems yields a deterministic mix of nonzero field elements so the
+// arithmetic benchmarks are not dominated by one lucky operand pair.
+func benchElems(f *Field, n int) []Elem {
+	out := make([]Elem, n)
+	x := Elem(1)
+	for i := range out {
+		out[i] = x
+		x = f.MulGeneric(x, f.Generator())
+	}
+	return out
+}
+
+func benchFields(b *testing.B) []*Field {
+	return []*Field{
+		MustNew(83, 1),   // the paper's parameters
+		MustNew(5, 3),    // small extension field
+		MustNew(1021, 2), // large extension field (q ~ 2^20)
+	}
+}
+
+// The arithmetic benchmarks measure throughput over a vector of
+// independent operand pairs — the shape of the actual hot path, where
+// batch evaluation streams many independent operations — not a serial
+// dependency chain. Each sub-benchmark reports ns per single operation.
+
+const benchVec = 256
+
+func benchBinop(b *testing.B, xs, ys, out []Elem, op func(a, c Elem) Elem) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		j := i & (benchVec - 1)
+		out[j] = op(xs[j], ys[j])
+	}
+	sinkElem = out[0]
+}
+
+func BenchmarkGFMul(b *testing.B) {
+	for _, f := range benchFields(b) {
+		xs := benchElems(f, benchVec)
+		ys := benchElems(f, benchVec)
+		out := make([]Elem, benchVec)
+		b.Run(f.String(), func(b *testing.B) {
+			benchBinop(b, xs, ys, out, f.Mul)
+		})
+	}
+}
+
+func BenchmarkGFInv(b *testing.B) {
+	for _, f := range benchFields(b) {
+		xs := benchElems(f, benchVec)
+		out := make([]Elem, benchVec)
+		b.Run(f.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := i & (benchVec - 1)
+				out[j] = f.Inv(xs[j])
+			}
+			sinkElem = out[0]
+		})
+	}
+}
+
+func BenchmarkGFPow(b *testing.B) {
+	for _, f := range benchFields(b) {
+		xs := benchElems(f, benchVec)
+		out := make([]Elem, benchVec)
+		b.Run(f.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				j := i & (benchVec - 1)
+				out[j] = f.Pow(xs[j], uint64(i)|1)
+			}
+			sinkElem = out[0]
+		})
+	}
+}
+
+var sinkElem Elem

@@ -40,12 +40,17 @@ var (
 )
 
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
-	// Validate eagerly so Prepare reports syntax errors like a real DB.
-	_, nparams, err := parse(query)
+	// Parse once here; executions reuse the parsed statement. Besides
+	// reporting syntax errors eagerly like a real DB, this is what makes
+	// the store's prepared navigation queries (Children, Descendants)
+	// cheap: the per-call lexer/parser pass was a measurable slice of
+	// every query's metadata traffic. Parsed statements are read-only at
+	// execution time, so sharing one across goroutines is safe.
+	s, nparams, err := parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return &stmtHandle{db: c.db, query: query, nparams: nparams}, nil
+	return &stmtHandle{db: c.db, parsed: s, nparams: nparams}, nil
 }
 
 func (c *conn) Close() error { return nil }
@@ -92,7 +97,7 @@ func namedToValues(args []driver.NamedValue) []Value {
 
 type stmtHandle struct {
 	db      *DB
-	query   string
+	parsed  stmt
 	nparams int
 }
 
@@ -104,7 +109,7 @@ func (s *stmtHandle) Exec(args []driver.Value) (driver.Result, error) {
 	for i, a := range args {
 		vals[i] = Value(a)
 	}
-	n, err := s.db.Exec(s.query, vals...)
+	n, err := s.db.execParsed(s.parsed, s.nparams, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +121,7 @@ func (s *stmtHandle) Query(args []driver.Value) (driver.Rows, error) {
 	for i, a := range args {
 		vals[i] = Value(a)
 	}
-	cols, rows, err := s.db.Query(s.query, vals...)
+	cols, rows, err := s.db.queryParsed(s.parsed, s.nparams, vals)
 	if err != nil {
 		return nil, err
 	}

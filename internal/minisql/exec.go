@@ -16,6 +16,13 @@ func (db *DB) Exec(query string, args ...Value) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return db.execParsed(s, nparams, args)
+}
+
+// execParsed executes an already-parsed non-SELECT statement — the
+// driver's prepared-statement path, which parses once at Prepare time
+// instead of on every execution.
+func (db *DB) execParsed(s stmt, nparams int, args []Value) (int64, error) {
 	if nparams != len(args) {
 		return 0, fmt.Errorf("minisql: statement has %d parameters, got %d args", nparams, len(args))
 	}
@@ -45,6 +52,12 @@ func (db *DB) Query(query string, args ...Value) ([]string, [][]Value, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return db.queryParsed(s, nparams, args)
+}
+
+// queryParsed executes an already-parsed SELECT — the driver's
+// prepared-statement path.
+func (db *DB) queryParsed(s stmt, nparams int, args []Value) ([]string, [][]Value, error) {
 	sel, ok := s.(*selectStmt)
 	if !ok {
 		return nil, nil, fmt.Errorf("minisql: Query requires SELECT")
@@ -770,4 +783,35 @@ func (db *DB) TableStats(name string) (Stats, error) {
 		return Stats{}, err
 	}
 	return Stats{Rows: t.live, Indexes: len(t.indexes)}, nil
+}
+
+// Prepared is a statement parsed once and bound to its database — the
+// in-process fast path around the database/sql driver machinery for hot
+// readers. The node store's navigation queries run here: same engine,
+// same locking, but no driver.Value boxing or convertAssign per cell.
+type Prepared struct {
+	db      *DB
+	s       stmt
+	nparams int
+}
+
+// Prepare parses a statement for repeated direct execution.
+func (db *DB) Prepare(query string) (*Prepared, error) {
+	s, nparams, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{db: db, s: s, nparams: nparams}, nil
+}
+
+// Query executes a prepared SELECT, returning column names and all rows.
+// Blob cells are returned by reference to the stored row — callers must
+// treat them as read-only.
+func (p *Prepared) Query(args ...Value) ([]string, [][]Value, error) {
+	return p.db.queryParsed(p.s, p.nparams, args)
+}
+
+// Exec executes a prepared non-SELECT statement.
+func (p *Prepared) Exec(args ...Value) (int64, error) {
+	return p.db.execParsed(p.s, p.nparams, args)
 }

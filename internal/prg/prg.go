@@ -21,6 +21,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
+	"math/bits"
 )
 
 // SeedSize is the size of a generator seed in bytes.
@@ -54,18 +56,36 @@ func NewRandom() (*Generator, []byte, error) {
 // Stream returns the deterministic stream for (domain, index). In the
 // encoder and client filter, domain identifies the purpose ("poly") and
 // index is the node's pre value.
+//
+// The key is sha256(seed || len(domain) || domain || index), assembled
+// in a stack buffer and hashed with one Sum256 call: stream derivation
+// sits on the per-check hot path (every client-share evaluation derives
+// a fresh stream), and the buffer spares the hash.Hash allocation. For
+// unusually long domains the buffer spills to the heap; the digest is
+// identical either way.
 func (g *Generator) Stream(domain string, index uint64) *Stream {
 	s := &Stream{}
-	h := sha256.New()
-	h.Write(g.seed[:])
+	g.StreamInto(s, domain, index)
+	return s
+}
+
+// StreamInto is Stream writing into a caller-supplied Stream value —
+// the allocation-free form for hot paths that derive a fresh stream per
+// operation (the client filter derives one per share evaluation). Any
+// previous state of s is discarded.
+func (g *Generator) StreamInto(s *Stream, domain string, index uint64) {
+	var arr [96]byte
+	buf := append(arr[:0], g.seed[:]...)
 	var lenbuf [8]byte
 	binary.BigEndian.PutUint64(lenbuf[:], uint64(len(domain)))
-	h.Write(lenbuf[:])
-	h.Write([]byte(domain))
+	buf = append(buf, lenbuf[:]...)
+	buf = append(buf, domain...)
 	binary.BigEndian.PutUint64(lenbuf[:], index)
-	h.Write(lenbuf[:])
-	h.Sum(s.key[:0])
-	return s
+	buf = append(buf, lenbuf[:]...)
+	s.key = sha256.Sum256(buf)
+	s.ctr = 0
+	s.off = 0
+	s.init = false
 }
 
 // Stream is a deterministic pseudorandom byte/integer stream. Not safe for
@@ -78,14 +98,15 @@ type Stream struct {
 	init bool
 }
 
+// refill computes the next counter block sha256(key || ctr). One
+// Sum256 over a stack buffer — no hash.Hash allocation — producing the
+// same digest the original hash.Hash sequence did.
 func (s *Stream) refill() {
-	h := sha256.New()
-	h.Write(s.key[:])
-	var ctrbuf [8]byte
-	binary.BigEndian.PutUint64(ctrbuf[:], s.ctr)
+	var b [40]byte
+	copy(b[:32], s.key[:])
+	binary.BigEndian.PutUint64(b[32:], s.ctr)
 	s.ctr++
-	h.Write(ctrbuf[:])
-	h.Sum(s.buf[:0])
+	s.buf = sha256.Sum256(b[:])
 	s.off = 0
 	s.init = true
 }
@@ -104,8 +125,16 @@ func (s *Stream) Read(p []byte) (int, error) {
 	return n, nil
 }
 
-// Uint32 returns the next pseudorandom 32-bit value.
+// Uint32 returns the next pseudorandom 32-bit value. The aligned fast
+// path reads straight out of the counter block; the Read fallback
+// handles a cursor left unaligned by byte-granular reads and consumes
+// exactly the same 4 stream bytes.
 func (s *Stream) Uint32() uint32 {
+	if s.init && s.off+4 <= len(s.buf) {
+		v := binary.BigEndian.Uint32(s.buf[s.off:])
+		s.off += 4
+		return v
+	}
 	var b [4]byte
 	s.Read(b[:])
 	return binary.BigEndian.Uint32(b[:])
@@ -134,6 +163,54 @@ func (s *Stream) Uniform(m uint32) uint32 {
 		v := s.Uint32()
 		if v < limit {
 			return v % m
+		}
+	}
+}
+
+// Sampler carries the precomputed reduction constants of Uniform(m) so
+// bulk consumers (a polynomial draw is q−1 samples) avoid the two
+// hardware divisions Uniform pays per call — the rejection limit and
+// the reciprocal for the final reduction. Sample consumes exactly the
+// same stream bytes and returns exactly the same values as Uniform(m);
+// the equivalence is property-tested, because the client-share stream
+// layout is part of the storage format.
+type Sampler struct {
+	m     uint32
+	mask  uint32 // m-1 when m is a power of two, else 0
+	limit uint32
+	recip uint64 // ⌊2^64/m⌋+1: ⌊v/m⌋ == (v·recip)>>64 for v < 2^32
+}
+
+// NewSampler precomputes the Uniform(m) constants. Panics if m == 0.
+func NewSampler(m uint32) Sampler {
+	if m == 0 {
+		panic("prg: NewSampler(0)")
+	}
+	if m&(m-1) == 0 {
+		return Sampler{m: m, mask: m - 1}
+	}
+	return Sampler{
+		m:     m,
+		limit: uint32(1<<32 - (uint64(1<<32) % uint64(m))),
+		recip: math.MaxUint64/uint64(m) + 1,
+	}
+}
+
+// M returns the modulus the sampler was built for.
+func (u Sampler) M() uint32 { return u.m }
+
+// Sample draws the next value in [0, m), byte-identical to Uniform(m).
+func (s *Stream) Sample(u Sampler) uint32 {
+	if u.mask != 0 || u.m == 1 {
+		return s.Uint32() & u.mask
+	}
+	for {
+		v := s.Uint32()
+		if v < u.limit {
+			// v - ⌊v/m⌋·m via the precomputed reciprocal; exact for
+			// v < 2^32 (Granlund–Montgomery), so identical to v % m.
+			q, _ := bits.Mul64(uint64(v), u.recip)
+			return v - uint32(q)*u.m
 		}
 	}
 }

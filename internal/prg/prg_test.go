@@ -2,7 +2,10 @@ package prg
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
 	"math"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -162,4 +165,107 @@ func BenchmarkUniform83(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = s.Uniform(83)
 	}
+}
+
+// TestStreamMatchesReferenceConstruction pins the wire-format identity
+// of the optimized stream: key = sha256(seed || len(domain) || domain ||
+// index) and block i = sha256(key || i), computed here with the plain
+// hash.Hash construction the package originally used. The seed file of
+// an encoded database depends on this byte layout never changing.
+func TestStreamMatchesReferenceConstruction(t *testing.T) {
+	seed := []byte("reference-seed")
+	g := New(seed)
+	for _, domain := range []string{"", "poly", "encshare/client-poly/v1", strings.Repeat("long-domain/", 20)} {
+		for _, index := range []uint64{0, 1, 7, 1 << 40} {
+			// Reference: hash.Hash step by step.
+			kh := sha256.New()
+			kh.Write(sha256Sum(seed))
+			var lenbuf [8]byte
+			binary.BigEndian.PutUint64(lenbuf[:], uint64(len(domain)))
+			kh.Write(lenbuf[:])
+			kh.Write([]byte(domain))
+			binary.BigEndian.PutUint64(lenbuf[:], index)
+			kh.Write(lenbuf[:])
+			key := kh.Sum(nil)
+
+			want := make([]byte, 0, 96)
+			for ctr := uint64(0); ctr < 3; ctr++ {
+				bh := sha256.New()
+				bh.Write(key)
+				var ctrbuf [8]byte
+				binary.BigEndian.PutUint64(ctrbuf[:], ctr)
+				bh.Write(ctrbuf[:])
+				want = bh.Sum(want)
+			}
+
+			got := make([]byte, 96)
+			g.Stream(domain, index).Read(got)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("stream bytes diverged from reference for domain %q index %d", domain, index)
+			}
+		}
+	}
+}
+
+// TestUint32MatchesRead checks the aligned Uint32 fast path consumes
+// exactly the bytes Read would, including when interleaved with
+// unaligned byte reads.
+func TestUint32MatchesRead(t *testing.T) {
+	g := New([]byte("u32"))
+	a := g.Stream("d", 1)
+	b := g.Stream("d", 1)
+	for i := 0; i < 64; i++ {
+		var buf [4]byte
+		b.Read(buf[:])
+		if got, want := a.Uint32(), binary.BigEndian.Uint32(buf[:]); got != want {
+			t.Fatalf("Uint32 #%d = %#x, Read gives %#x", i, got, want)
+		}
+	}
+	// Knock both cursors out of alignment and compare again.
+	var one [1]byte
+	a.Read(one[:])
+	b.Read(one[:])
+	for i := 0; i < 64; i++ {
+		var buf [4]byte
+		b.Read(buf[:])
+		if got, want := a.Uint32(), binary.BigEndian.Uint32(buf[:]); got != want {
+			t.Fatalf("unaligned Uint32 #%d = %#x, Read gives %#x", i, got, want)
+		}
+	}
+}
+
+func sha256Sum(b []byte) []byte {
+	s := sha256.Sum256(b)
+	return s[:]
+}
+
+// TestSamplerMatchesUniform proves Sample is byte- and value-identical
+// to Uniform for the moduli the scheme uses plus adversarial ones
+// (powers of two, 1, near-2^32 values that stress the rejection limit).
+func TestSamplerMatchesUniform(t *testing.T) {
+	g := New([]byte("sampler"))
+	moduli := []uint32{1, 2, 3, 5, 29, 64, 83, 256, 1021, 1 << 20, math.MaxUint32, math.MaxUint32 - 1, 1<<31 + 1}
+	for _, m := range moduli {
+		u := NewSampler(m)
+		if u.M() != m {
+			t.Fatalf("M() = %d, want %d", u.M(), m)
+		}
+		a := g.Stream("s", uint64(m))
+		b := g.Stream("s", uint64(m))
+		for i := 0; i < 4096; i++ {
+			got, want := a.Sample(u), b.Uniform(m)
+			if got != want {
+				t.Fatalf("m=%d draw %d: Sample %d != Uniform %d", m, i, got, want)
+			}
+		}
+	}
+}
+
+func TestNewSamplerZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSampler(0) did not panic")
+		}
+	}()
+	NewSampler(0)
 }

@@ -1,0 +1,72 @@
+package ring
+
+import (
+	"testing"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+)
+
+func benchRings(b *testing.B) []*Ring {
+	return []*Ring{
+		MustNew(gf.MustNew(83, 1)), // the paper's parameters
+		MustNew(gf.MustNew(5, 3)),  // extension field
+	}
+}
+
+func benchPoly(r *Ring, idx uint64) Poly {
+	return r.Rand(prg.New([]byte("ring-bench")).Stream("poly", idx))
+}
+
+func BenchmarkPolyCodec(b *testing.B) {
+	for _, r := range benchRings(b) {
+		p := benchPoly(r, 0)
+		blob := r.Bytes(p)
+		buf := make([]byte, 0, r.PolyBytes())
+		dst := r.NewPoly()
+		b.Run(r.Field().String()+"/encode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = r.AppendBytes(buf[:0], p)
+			}
+		})
+		b.Run(r.Field().String()+"/decode", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := r.DecodeInto(dst, blob); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRingEval(b *testing.B) {
+	for _, r := range benchRings(b) {
+		p := benchPoly(r, 0)
+		b.Run(r.Field().String(), func(b *testing.B) {
+			var acc gf.Elem
+			for i := 0; i < b.N; i++ {
+				acc = r.Eval(p, 2)
+			}
+			_ = acc
+		})
+	}
+}
+
+func BenchmarkRingEvalBatch(b *testing.B) {
+	for _, r := range benchRings(b) {
+		const k = 64
+		polys := make([]Poly, k)
+		for i := range polys {
+			polys[i] = benchPoly(r, uint64(i))
+		}
+		out := make([]gf.Elem, k)
+		b.Run(r.Field().String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.EvalBatchInto(out, polys, 2)
+			}
+		})
+	}
+}

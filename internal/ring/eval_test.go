@@ -1,0 +1,180 @@
+package ring
+
+import (
+	"testing"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+)
+
+// evalOracle is Horner's rule through the generic field arithmetic —
+// the pre-table evaluation the fast paths must reproduce.
+func evalOracle(r *Ring, p Poly, v gf.Elem) gf.Elem {
+	f := r.Field()
+	acc := gf.Elem(0)
+	for i := r.N() - 1; i >= 0; i-- {
+		acc = f.Add(f.MulGeneric(acc, v), p[i])
+	}
+	return acc
+}
+
+func allPoints(r *Ring) []gf.Elem {
+	vs := make([]gf.Elem, 0, r.Field().Q())
+	for v := gf.Elem(0); v < r.Field().Q(); v++ {
+		vs = append(vs, v)
+	}
+	return vs
+}
+
+// TestEvalMatchesOracle checks the table-hoisted Horner loop against the
+// generic oracle at every point of every test ring.
+func TestEvalMatchesOracle(t *testing.T) {
+	gen := prg.New([]byte("eval-oracle"))
+	for _, r := range testRings(t) {
+		for pi := uint64(0); pi < 8; pi++ {
+			p := r.Rand(gen.Stream(r.Field().String(), pi))
+			for _, v := range allPoints(r) {
+				if got, want := r.Eval(p, v), evalOracle(r, p, v); got != want {
+					t.Fatalf("%v: Eval(p, %d) = %d, oracle %d", r.Field(), v, got, want)
+				}
+			}
+		}
+		// Degenerate polynomials.
+		for _, p := range []Poly{r.NewPoly(), r.One(), r.Linear(1)} {
+			for _, v := range []gf.Elem{0, 1, r.Field().Q() - 1} {
+				if got, want := r.Eval(p, v), evalOracle(r, p, v); got != want {
+					t.Fatalf("%v: degenerate Eval at %d: %d vs %d", r.Field(), v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalBatchEvalMany checks the batch entry points agree with
+// scalar Eval element-for-element.
+func TestEvalBatchEvalMany(t *testing.T) {
+	gen := prg.New([]byte("eval-batch"))
+	for _, r := range testRings(t) {
+		polys := make([]Poly, 17)
+		for i := range polys {
+			polys[i] = r.Rand(gen.Stream(r.Field().String(), uint64(i)))
+		}
+		vs := allPoints(r)
+		for _, v := range []gf.Elem{0, 1, 2, r.Field().Q() - 1} {
+			got := r.EvalBatch(polys, v)
+			for i, p := range polys {
+				if want := r.Eval(p, v); got[i] != want {
+					t.Fatalf("%v: EvalBatch[%d] at %d = %d, want %d", r.Field(), i, v, got[i], want)
+				}
+			}
+		}
+		for _, p := range polys[:3] {
+			got := r.EvalMany(p, vs)
+			for i, v := range vs {
+				if want := r.Eval(p, v); got[i] != want {
+					t.Fatalf("%v: EvalMany at %d = %d, want %d", r.Field(), v, got[i], want)
+				}
+			}
+			// Small point sets exercise the stack-scratch path; the
+			// single-point case exercises its dedicated fast path.
+			for k := 1; k <= 3; k++ {
+				sub := vs[:k]
+				got := r.EvalMany(p, sub)
+				for i, v := range sub {
+					if want := r.Eval(p, v); got[i] != want {
+						t.Fatalf("%v: EvalMany(k=%d) at %d mismatch", r.Field(), k, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalStreamMatchesRand proves the streaming evaluation equals
+// materializing the polynomial with Rand from the same stream and
+// evaluating it — the client-share equivalence the filter relies on.
+func TestEvalStreamMatchesRand(t *testing.T) {
+	gen := prg.New([]byte("eval-stream"))
+	for _, r := range testRings(t) {
+		for i := uint64(0); i < 6; i++ {
+			for _, v := range []gf.Elem{0, 1, 2, r.Field().Q() - 1} {
+				p := r.Rand(gen.Stream("s", i))
+				want := r.Eval(p, v)
+				got := r.EvalStream(gen.Stream("s", i), v)
+				if got != want {
+					t.Fatalf("%v: EvalStream at %d = %d, want %d", r.Field(), v, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEvalStreamManyMatchesScalar proves the single-pass multi-point
+// stream evaluation equals per-point streaming, including zero points
+// mixed in and point sets beyond the stack-scratch bound.
+func TestEvalStreamManyMatchesScalar(t *testing.T) {
+	gen := prg.New([]byte("eval-stream-many"))
+	for _, r := range testRings(t) {
+		q := r.Field().Q()
+		pointSets := [][]gf.Elem{
+			{1},
+			{0},
+			{2 % q, 0, 1, q - 1},
+			allPoints(r)[:min(12, int(q))], // exceeds the 8-wide stack scratch
+		}
+		for i := uint64(0); i < 4; i++ {
+			for _, vs := range pointSets {
+				out := make([]gf.Elem, len(vs))
+				r.EvalStreamMany(gen.Stream("m", i), vs, out)
+				for j, v := range vs {
+					want := r.EvalStream(gen.Stream("m", i), v)
+					if out[j] != want {
+						t.Fatalf("%v: EvalStreamMany[%d] at %d = %d, want %d", r.Field(), j, v, out[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulIntoMatchesMul checks the Into variants against their
+// allocating twins and the generic convolution oracle.
+func TestMulIntoMatchesMul(t *testing.T) {
+	gen := prg.New([]byte("mulinto"))
+	for _, r := range testRings(t) {
+		f := r.Field()
+		mulOracle := func(a, b Poly) Poly {
+			out := r.NewPoly()
+			for i := 0; i < r.N(); i++ {
+				for j := 0; j < r.N(); j++ {
+					k := (i + j) % r.N()
+					out[k] = f.Add(out[k], f.MulGeneric(a[i], b[j]))
+				}
+			}
+			return out
+		}
+		for i := uint64(0); i < 4; i++ {
+			a := r.Rand(gen.Stream("a", i))
+			b := r.Rand(gen.Stream("b", i))
+			want := mulOracle(a, b)
+			if !r.Equal(r.Mul(a, b), want) {
+				t.Fatalf("%v: Mul differs from generic convolution", f)
+			}
+			dst := r.GetPoly()
+			if !r.Equal(r.MulInto(dst, a, b), want) {
+				t.Fatalf("%v: MulInto differs from generic convolution", f)
+			}
+			r.PutPoly(dst)
+			tval := gf.Elem(i+1) % f.Q()
+			lin := r.MulLinear(a, tval)
+			dst2 := r.GetPoly()
+			if !r.Equal(r.MulLinearInto(dst2, a, tval), lin) {
+				t.Fatalf("%v: MulLinearInto differs from MulLinear", f)
+			}
+			if !r.Equal(lin, r.Mul(a, r.Linear(tval))) {
+				t.Fatalf("%v: MulLinear differs from Mul by linear factor", f)
+			}
+			r.PutPoly(dst2)
+		}
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package ring
+
+const raceEnabled = false

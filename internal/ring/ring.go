@@ -13,11 +13,32 @@
 // unreduced product Π(x − t_i) has map(N) among its roots — i.e. exactly
 // when tag N occurs in the subtree. Containment matching has no false
 // positives or negatives at the ring level.
+//
+// # Hot path
+//
+// This package is the compute floor of every query: a containment test
+// is one Eval per share, an equality test decodes and multiplies whole
+// polynomials. The hot entry points are built accordingly:
+//
+//   - evaluation and multiplication hoist the field's log/exp tables
+//     (gf.Tables) out of their inner loops, with a branch-free residue
+//     fast path for prime fields;
+//   - EvalBatch/EvalMany amortize the hoisting across many polynomials
+//     or many points; EvalStream evaluates a PRG-defined polynomial
+//     without materializing it (the client-share path);
+//   - the radix-q codec runs on pooled uint64 limb vectors (limb.go)
+//     and decodes into caller-supplied buffers — zero heap allocations
+//     on the decode path;
+//   - GetPoly/PutPoly expose a pooled buffer source for transient
+//     polynomials. Pooling invariant: a Poly may be returned to the
+//     pool only when no other reference to it can remain — never pool a
+//     polynomial that was handed to a cache or kept in a result.
 package ring
 
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"encshare/internal/gf"
 	"encshare/internal/prg"
@@ -26,13 +47,29 @@ import (
 // Ring is the polynomial ring F_q[x]/(x^(q-1) − 1). Immutable and safe for
 // concurrent use.
 type Ring struct {
-	f *gf.Field
-	n int // q - 1, number of coefficients in reduced form
+	f     *gf.Field
+	n     int    // q - 1, number of coefficients in reduced form
+	q32   uint32 // field order, hoisted for the prime fast paths
+	prime bool   // e == 1: coefficients are residues mod q
 
 	// serialization support: polynomials are packed as a base-q integer
 	// occupying polyBytes bytes, the paper's (q−1)·log2(q) bits (§4).
 	polyBytes int
 	qBig      *big.Int
+
+	// limb codec geometry (see limb.go): values occupy `limbs` uint64
+	// words; `chunk` is the largest k with q^k ≤ 2^63 and qpow[g] = q^g.
+	limbs int
+	chunk int
+	qpow  []uint64
+
+	// sampler holds the precomputed Uniform(q) constants for the PRG
+	// draws (coefficient sampling is division-free).
+	sampler prg.Sampler
+
+	limbPool sync.Pool // *limbScratch
+	polyPool sync.Pool // *polyBox (full)
+	boxPool  sync.Pool // *polyBox (empty, recycled wrappers)
 }
 
 // New constructs the ring over the given field. Fields of order q < 3 are
@@ -43,11 +80,23 @@ func New(f *gf.Field) (*Ring, error) {
 		return nil, fmt.Errorf("ring: field order %d too small (need q >= 3)", f.Q())
 	}
 	n := int(f.Q() - 1)
-	r := &Ring{f: f, n: n, qBig: big.NewInt(int64(f.Q()))}
+	r := &Ring{f: f, n: n, q32: f.Q(), prime: f.E() == 1, qBig: big.NewInt(int64(f.Q())), sampler: prg.NewSampler(f.Q())}
 	// polyBytes = bytes needed for the largest packed value q^n - 1.
 	max := new(big.Int).Exp(r.qBig, big.NewInt(int64(n)), nil)
 	max.Sub(max, big.NewInt(1))
 	r.polyBytes = (max.BitLen() + 7) / 8
+	r.limbs = (r.polyBytes + 7) / 8
+	q64 := uint64(f.Q())
+	qk := uint64(1)
+	for qk <= (uint64(1)<<63)/q64 {
+		qk *= q64
+		r.chunk++
+	}
+	r.qpow = make([]uint64, r.chunk+1)
+	r.qpow[0] = 1
+	for i := 1; i <= r.chunk; i++ {
+		r.qpow[i] = r.qpow[i-1] * q64
+	}
 	return r, nil
 }
 
@@ -77,6 +126,45 @@ type Poly []gf.Elem
 
 // NewPoly returns the zero polynomial.
 func (r *Ring) NewPoly() Poly { return make(Poly, r.n) }
+
+// polyBox wraps a pooled Poly so Get/Put round trips reuse the pointer
+// cell instead of boxing a fresh slice header per Put: emptied boxes
+// recycle through boxPool, so the steady state allocates nothing.
+type polyBox struct{ p Poly }
+
+// GetPoly returns a zeroed polynomial from the ring's buffer pool. Pair
+// with PutPoly for transient polynomials on hot paths. A Poly obtained
+// here is indistinguishable from NewPoly's — forgetting to return it
+// costs an allocation, never correctness.
+func (r *Ring) GetPoly() Poly {
+	if v := r.polyPool.Get(); v != nil {
+		b := v.(*polyBox)
+		p := b.p
+		b.p = nil
+		r.boxPool.Put(b)
+		clear(p)
+		return p
+	}
+	return make(Poly, r.n)
+}
+
+// PutPoly returns a polynomial to the buffer pool. The caller must hold
+// the only remaining reference: never return a Poly that was stored in a
+// cache, captured in a result, or is still being read by another
+// goroutine. Polys of the wrong length are dropped.
+func (r *Ring) PutPoly(p Poly) {
+	if len(p) != r.n {
+		return
+	}
+	var b *polyBox
+	if v := r.boxPool.Get(); v != nil {
+		b = v.(*polyBox)
+	} else {
+		b = &polyBox{}
+	}
+	b.p = p
+	r.polyPool.Put(b)
+}
 
 // One returns the constant polynomial 1.
 func (r *Ring) One() Poly {
@@ -111,6 +199,17 @@ func (r *Ring) Clone(p Poly) Poly {
 // Add returns a + b.
 func (r *Ring) Add(a, b Poly) Poly {
 	out := make(Poly, r.n)
+	if r.prime {
+		q := r.q32
+		for i, av := range a {
+			s := av + b[i]
+			if s >= q {
+				s -= q
+			}
+			out[i] = s
+		}
+		return out
+	}
 	for i := 0; i < r.n; i++ {
 		out[i] = r.f.Add(a[i], b[i])
 	}
@@ -119,6 +218,17 @@ func (r *Ring) Add(a, b Poly) Poly {
 
 // AddInPlace sets a += b and returns a.
 func (r *Ring) AddInPlace(a, b Poly) Poly {
+	if r.prime {
+		q := r.q32
+		for i, bv := range b {
+			s := a[i] + bv
+			if s >= q {
+				s -= q
+			}
+			a[i] = s
+		}
+		return a
+	}
 	for i := 0; i < r.n; i++ {
 		a[i] = r.f.Add(a[i], b[i])
 	}
@@ -128,6 +238,18 @@ func (r *Ring) AddInPlace(a, b Poly) Poly {
 // Sub returns a − b.
 func (r *Ring) Sub(a, b Poly) Poly {
 	out := make(Poly, r.n)
+	if r.prime {
+		q := r.q32
+		for i, av := range a {
+			bv := b[i]
+			if av >= bv {
+				out[i] = av - bv
+			} else {
+				out[i] = av + q - bv
+			}
+		}
+		return out
+	}
 	for i := 0; i < r.n; i++ {
 		out[i] = r.f.Sub(a[i], b[i])
 	}
@@ -145,46 +267,120 @@ func (r *Ring) Neg(a Poly) Poly {
 
 // Mul returns a·b, reduced: cyclic convolution of the coefficient vectors.
 func (r *Ring) Mul(a, b Poly) Poly {
-	out := make(Poly, r.n)
-	for i := 0; i < r.n; i++ {
-		ai := a[i]
+	return r.MulInto(make(Poly, r.n), a, b)
+}
+
+// MulInto sets dst = a·b and returns dst. dst must not alias a or b.
+// The inner loop runs on the hoisted log/exp tables: each nonzero
+// coefficient pair costs one exp lookup and one modular add.
+func (r *Ring) MulInto(dst, a, b Poly) Poly {
+	t := r.f.Tables()
+	lg, ex := t.Log, t.Exp
+	clear(dst)
+	n := r.n
+	if r.prime {
+		q := r.q32
+		for i, ai := range a {
+			if ai == 0 {
+				continue
+			}
+			la := lg[ai]
+			for j, bj := range b {
+				if bj == 0 {
+					continue
+				}
+				k := i + j
+				if k >= n {
+					k -= n
+				}
+				s := dst[k] + ex[la+lg[bj]]
+				if s >= q {
+					s -= q
+				}
+				dst[k] = s
+			}
+		}
+		return dst
+	}
+	f := r.f
+	for i, ai := range a {
 		if ai == 0 {
 			continue
 		}
-		for j := 0; j < r.n; j++ {
-			bj := b[j]
+		la := lg[ai]
+		for j, bj := range b {
 			if bj == 0 {
 				continue
 			}
 			k := i + j
-			if k >= r.n {
-				k -= r.n
+			if k >= n {
+				k -= n
 			}
-			out[k] = r.f.Add(out[k], r.f.Mul(ai, bj))
+			dst[k] = f.Add(dst[k], ex[la+lg[bj]])
 		}
 	}
-	return out
+	return dst
 }
 
 // MulLinear returns a·(x − t) without forming the dense factor — the inner
 // loop of the encoder, where every node contributes one linear factor.
 func (r *Ring) MulLinear(a Poly, t gf.Elem) Poly {
-	out := make(Poly, r.n)
+	return r.MulLinearInto(make(Poly, r.n), a, t)
+}
+
+// MulLinearInto sets dst = a·(x − t) and returns dst. dst must not
+// alias a.
+func (r *Ring) MulLinearInto(dst, a Poly, t gf.Elem) Poly {
+	tab := r.f.Tables()
+	lg, ex := tab.Log, tab.Exp
 	negT := r.f.Neg(t)
-	for i := 0; i < r.n; i++ {
-		ai := a[i]
+	clear(dst)
+	n := r.n
+	if r.prime {
+		q := r.q32
+		var lnt uint32
+		if negT != 0 {
+			lnt = lg[negT]
+		}
+		for i, ai := range a {
+			if ai == 0 {
+				continue
+			}
+			// a_i x^i (x − t) = a_i x^(i+1) − t a_i x^i
+			k := i + 1
+			if k == n {
+				k = 0
+			}
+			s := dst[k] + ai
+			if s >= q {
+				s -= q
+			}
+			dst[k] = s
+			if negT != 0 {
+				s = dst[i] + ex[lnt+lg[ai]]
+				if s >= q {
+					s -= q
+				}
+				dst[i] = s
+			}
+		}
+		return dst
+	}
+	f := r.f
+	for i, ai := range a {
 		if ai == 0 {
 			continue
 		}
-		// a_i x^i (x − t) = a_i x^(i+1) − t a_i x^i
 		k := i + 1
-		if k == r.n {
+		if k == n {
 			k = 0
 		}
-		out[k] = r.f.Add(out[k], ai)
-		out[i] = r.f.Add(out[i], r.f.Mul(negT, ai))
+		dst[k] = f.Add(dst[k], ai)
+		if negT != 0 {
+			dst[i] = f.Add(dst[i], ex[lg[negT]+lg[ai]])
+		}
 	}
-	return out
+	return dst
 }
 
 // FromRoots returns Π (x − t) over the given roots — the unshared encoding
@@ -200,11 +396,147 @@ func (r *Ring) FromRoots(ts []gf.Elem) Poly {
 // Eval evaluates p at point v by Horner's rule. For v ∈ F_q^* this equals
 // the evaluation of any unreduced preimage of p.
 func (r *Ring) Eval(p Poly, v gf.Elem) gf.Elem {
-	acc := gf.Elem(0)
-	for i := r.n - 1; i >= 0; i-- {
-		acc = r.f.Add(r.f.Mul(acc, v), p[i])
+	return r.evalTab(r.f.Tables(), p, v)
+}
+
+// evalTab computes Σ c_i·v^i with the tables already hoisted, in power
+// form rather than Horner form: the power of v rides in the log domain
+// (one add mod N per step) and each term is one exp lookup. Horner's
+// loop carries its dependency through Log[acc] — a load — every
+// iteration; here the only loop-carried state is two integer adds, so
+// the table loads of successive terms pipeline.
+func (r *Ring) evalTab(t *gf.Tables, p Poly, v gf.Elem) gf.Elem {
+	if v == 0 {
+		return p[0]
+	}
+	lg, ex := t.Log, t.Exp
+	logv := lg[v]
+	var pw uint32 // log of v^i, updated incrementally mod N
+	if r.prime {
+		q := r.q32
+		var acc uint32
+		for _, c := range p {
+			if c != 0 {
+				acc += ex[lg[c]+pw]
+				if acc >= q {
+					acc -= q
+				}
+			}
+			pw += logv
+			if pw >= t.N {
+				pw -= t.N
+			}
+		}
+		return acc
+	}
+	f := r.f
+	var acc gf.Elem
+	for _, c := range p {
+		if c != 0 {
+			acc = f.Add(acc, ex[lg[c]+pw])
+		}
+		pw += logv
+		if pw >= t.N {
+			pw -= t.N
+		}
 	}
 	return acc
+}
+
+// EvalBatch evaluates every polynomial at the same point v — the
+// server's batched containment test. Field and table pointers are
+// hoisted once for the whole batch.
+func (r *Ring) EvalBatch(polys []Poly, v gf.Elem) []gf.Elem {
+	out := make([]gf.Elem, len(polys))
+	r.EvalBatchInto(out, polys, v)
+	return out
+}
+
+// EvalBatchInto is EvalBatch into a caller-supplied result slice
+// (len(out) ≥ len(polys)), performing no allocation.
+func (r *Ring) EvalBatchInto(out []gf.Elem, polys []Poly, v gf.Elem) {
+	t := r.f.Tables()
+	for i, p := range polys {
+		out[i] = r.evalTab(t, p, v)
+	}
+}
+
+// EvalMany evaluates one polynomial at many points — the advanced
+// engine's look-ahead asks several names of the same node. One pass
+// over the coefficients updates all accumulators, so p streams through
+// the cache once however many points are asked.
+func (r *Ring) EvalMany(p Poly, vs []gf.Elem) []gf.Elem {
+	out := make([]gf.Elem, len(vs))
+	r.EvalManyInto(out, p, vs)
+	return out
+}
+
+// EvalManyInto is EvalMany into a caller-supplied result slice
+// (len(out) ≥ len(vs)).
+func (r *Ring) EvalManyInto(out []gf.Elem, p Poly, vs []gf.Elem) {
+	t := r.f.Tables()
+	if len(vs) == 1 { // common case: skip the accumulator machinery
+		out[0] = r.evalTab(t, p, vs[0])
+		return
+	}
+	lg, ex := t.Log, t.Exp
+	var logs [8]uint32
+	lv := logs[:0]
+	if len(vs) > len(logs) {
+		lv = make([]uint32, 0, len(vs))
+	}
+	for i, v := range vs {
+		out[i] = 0
+		if v == 0 {
+			// x^0 term only; handled after the loop.
+			lv = append(lv, 0)
+			continue
+		}
+		lv = append(lv, lg[v])
+	}
+	if r.prime {
+		q := r.q32
+		for i := r.n - 1; i >= 0; i-- {
+			c := p[i]
+			for j, v := range vs {
+				if v == 0 {
+					continue
+				}
+				acc := out[j]
+				if acc != 0 {
+					acc = ex[lg[acc]+lv[j]]
+				}
+				acc += c
+				if acc >= q {
+					acc -= q
+				}
+				out[j] = acc
+			}
+		}
+	} else {
+		f := r.f
+		for i := r.n - 1; i >= 0; i-- {
+			c := p[i]
+			for j, v := range vs {
+				if v == 0 {
+					continue
+				}
+				acc := out[j]
+				if acc != 0 {
+					acc = ex[lg[acc]+lv[j]]
+				}
+				if c != 0 {
+					acc = f.Add(acc, c)
+				}
+				out[j] = acc
+			}
+		}
+	}
+	for j, v := range vs {
+		if v == 0 {
+			out[j] = p[0]
+		}
+	}
 }
 
 // IsZero reports whether p is the zero polynomial.
@@ -230,45 +562,154 @@ func (r *Ring) Equal(a, b Poly) bool {
 // Rand returns a polynomial with coefficients drawn uniformly from the
 // given stream — the client share generator (§3, step 3).
 func (r *Ring) Rand(s *prg.Stream) Poly {
-	p := make(Poly, r.n)
-	q := r.f.Q()
-	for i := range p {
-		p[i] = s.Uniform(q)
+	return r.RandInto(make(Poly, r.n), s)
+}
+
+// RandInto fills dst (len == N()) with coefficients drawn uniformly
+// from the stream and returns it — Rand without the allocation.
+func (r *Ring) RandInto(dst Poly, s *prg.Stream) Poly {
+	u := r.sampler
+	for i := range dst {
+		dst[i] = s.Sample(u)
 	}
-	return p
+	return dst
+}
+
+// Sampler returns the precomputed Uniform(Q()) sampler — for callers
+// (the sharing scheme) that draw coefficients from the same stream
+// layout as Rand.
+func (r *Ring) Sampler() prg.Sampler { return r.sampler }
+
+// EvalStream evaluates, at point v, the polynomial whose coefficients
+// Rand would draw from s — WITHOUT materializing it: the coefficients
+// stream straight from the PRG into an accumulator, with the power of v
+// carried incrementally in the log domain. This is the client-share
+// evaluation path: a containment check costs a PRG pass and zero
+// allocations instead of a polynomial construction.
+func (r *Ring) EvalStream(s *prg.Stream, v gf.Elem) gf.Elem {
+	q := r.q32
+	u := r.sampler
+	if v == 0 {
+		return s.Sample(u) // only c_0 · v^0 survives
+	}
+	t := r.f.Tables()
+	lg, ex := t.Log, t.Exp
+	logv := lg[v]
+	var pw uint32 // log of v^i, updated incrementally mod N
+	var acc gf.Elem
+	if r.prime {
+		for i := 0; i < r.n; i++ {
+			c := s.Sample(u)
+			if c != 0 {
+				acc += ex[lg[c]+pw]
+				if acc >= q {
+					acc -= q
+				}
+			}
+			pw += logv
+			if pw >= t.N {
+				pw -= t.N
+			}
+		}
+		return acc
+	}
+	f := r.f
+	for i := 0; i < r.n; i++ {
+		c := s.Sample(u)
+		if c != 0 {
+			acc = f.Add(acc, ex[lg[c]+pw])
+		}
+		pw += logv
+		if pw >= t.N {
+			pw -= t.N
+		}
+	}
+	return acc
+}
+
+// EvalStreamMany evaluates the stream-defined polynomial at every point
+// in vs with a SINGLE pass over the PRG stream, writing results to out
+// (len(out) ≥ len(vs)). The PRG work — the dominant cost of a client
+// evaluation — is paid once however many points are asked of one node.
+func (r *Ring) EvalStreamMany(s *prg.Stream, vs []gf.Elem, out []gf.Elem) {
+	if len(vs) == 0 {
+		return
+	}
+	if len(vs) == 1 {
+		out[0] = r.EvalStream(s, vs[0])
+		return
+	}
+	t := r.f.Tables()
+	lg, ex := t.Log, t.Exp
+	q := r.q32
+	var logsArr, pwArr [8]uint32
+	var logs, pw []uint32
+	if len(vs) <= len(logsArr) {
+		logs, pw = logsArr[:len(vs)], pwArr[:len(vs)]
+	} else {
+		logs, pw = make([]uint32, len(vs)), make([]uint32, len(vs))
+	}
+	for j, v := range vs {
+		if v != 0 {
+			logs[j] = lg[v]
+		}
+	}
+	for j := range vs {
+		out[j] = 0
+	}
+	prime := r.prime
+	f := r.f
+	u := r.sampler
+	for i := 0; i < r.n; i++ {
+		c := s.Sample(u)
+		if c != 0 {
+			lc := lg[c]
+			for j, v := range vs {
+				if v == 0 {
+					if i == 0 {
+						out[j] = c
+					}
+					continue
+				}
+				if prime {
+					acc := out[j] + ex[lc+pw[j]]
+					if acc >= q {
+						acc -= q
+					}
+					out[j] = acc
+				} else {
+					out[j] = f.Add(out[j], ex[lc+pw[j]])
+				}
+			}
+		}
+		for j, v := range vs {
+			if v == 0 {
+				continue
+			}
+			p := pw[j] + logs[j]
+			if p >= t.N {
+				p -= t.N
+			}
+			pw[j] = p
+		}
+	}
 }
 
 // Bytes serializes p into exactly PolyBytes() bytes by radix-q packing
 // (big-endian): the storage format matching the paper's
 // (q−1)·log2(q)-bit cost accounting. Fixed width keeps rows uniform.
+// The encoding runs on pooled limb vectors (see limb.go); AppendBytes
+// is the allocation-free variant.
 func (r *Ring) Bytes(p Poly) []byte {
-	acc := new(big.Int)
-	tmp := new(big.Int)
-	for i := r.n - 1; i >= 0; i-- {
-		acc.Mul(acc, r.qBig)
-		tmp.SetUint64(uint64(p[i]))
-		acc.Add(acc, tmp)
-	}
-	out := make([]byte, r.polyBytes)
-	acc.FillBytes(out)
-	return out
+	return r.AppendBytes(make([]byte, 0, r.polyBytes), p)
 }
 
 // FromBytes deserializes a polynomial previously produced by Bytes.
+// DecodeInto is the variant that reuses a caller-supplied buffer.
 func (r *Ring) FromBytes(b []byte) (Poly, error) {
-	if len(b) != r.polyBytes {
-		return nil, fmt.Errorf("ring: polynomial blob is %d bytes, want %d", len(b), r.polyBytes)
-	}
-	acc := new(big.Int).SetBytes(b)
-	mod := new(big.Int)
 	p := make(Poly, r.n)
-	for i := 0; i < r.n; i++ {
-		acc.DivMod(acc, r.qBig, mod)
-		v := mod.Uint64()
-		p[i] = gf.Elem(v)
-	}
-	if acc.Sign() != 0 {
-		return nil, fmt.Errorf("ring: polynomial blob out of range")
+	if err := r.DecodeInto(p, b); err != nil {
+		return nil, err
 	}
 	return p, nil
 }

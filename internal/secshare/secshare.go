@@ -7,9 +7,19 @@
 // regenerated on demand from the seed file; the server share is what gets
 // stored in the (public, untrusted) database. Each share on its own is a
 // uniformly random polynomial, so the server learns nothing about f.
+//
+// The evaluation entry points stream the client share straight off the
+// PRG (ring.EvalStream): a containment check never materializes a
+// client polynomial, it folds each coefficient into the accumulator as
+// it is drawn. Reconstruction likewise streams the client coefficients
+// directly into the destination buffer; ReconstructInto with a pooled
+// buffer makes a full reconstruction allocation-free.
 package secshare
 
 import (
+	"sync/atomic"
+
+	"encshare/internal/gf"
 	"encshare/internal/prg"
 	"encshare/internal/ring"
 )
@@ -20,10 +30,15 @@ import (
 const Domain = "encshare/client-poly/v1"
 
 // Scheme ties a ring and a PRG together and produces/regenerates shares.
-// Immutable and safe for concurrent use.
+// Immutable and safe for concurrent use; the counter is atomic.
 type Scheme struct {
 	r *ring.Ring
 	g *prg.Generator
+
+	// recons counts full polynomial reconstructions, so tests can
+	// cross-check the engines' Stats.Reconstructions against the number
+	// of times a share pair was actually recombined here.
+	recons atomic.Int64
 }
 
 // New creates a sharing scheme over ring r with client shares drawn from g.
@@ -34,23 +49,88 @@ func New(r *ring.Ring, g *prg.Generator) *Scheme {
 // Ring returns the underlying polynomial ring.
 func (s *Scheme) Ring() *ring.Ring { return s.r }
 
+// Reconstructions returns how many share pairs this scheme has
+// recombined (Reconstruct/ReconstructInto calls).
+func (s *Scheme) Reconstructions() int64 { return s.recons.Load() }
+
+// clientStream opens the deterministic coefficient stream of the client
+// share for the node at pre.
+func (s *Scheme) clientStream(pre uint64) *prg.Stream {
+	return s.g.Stream(Domain, pre)
+}
+
 // ClientShare regenerates the client share for the node stored at the
 // given pre position. This is deterministic: it is how the client
 // "remembers" its half of every polynomial while storing only the seed.
 func (s *Scheme) ClientShare(pre uint64) ring.Poly {
-	return s.r.Rand(s.g.Stream(Domain, pre))
+	return s.r.Rand(s.clientStream(pre))
 }
 
 // Split computes the server share for node polynomial f at position pre:
 // server = f − client. The pair (ClientShare(pre), server) sums to f.
 func (s *Scheme) Split(f ring.Poly, pre uint64) (server ring.Poly) {
-	return s.r.Sub(f, s.ClientShare(pre))
+	return s.SplitInto(s.r.NewPoly(), f, pre)
+}
+
+// SplitInto is Split writing the server share into dst (len == N()),
+// streaming the client coefficients instead of materializing the client
+// polynomial. dst may alias f.
+func (s *Scheme) SplitInto(dst, f ring.Poly, pre uint64) ring.Poly {
+	var st prg.Stream
+	s.g.StreamInto(&st, Domain, pre)
+	r := s.r
+	field := r.Field()
+	q := field.Q()
+	u := r.Sampler()
+	if field.E() == 1 {
+		for i := range dst {
+			fv, cv := f[i], st.Sample(u)
+			if fv >= cv {
+				dst[i] = fv - cv
+			} else {
+				dst[i] = fv + q - cv
+			}
+		}
+		return dst
+	}
+	for i := range dst {
+		dst[i] = field.Sub(f[i], st.Sample(u))
+	}
+	return dst
 }
 
 // Reconstruct recombines a server share with the regenerated client share:
 // f = client + server.
 func (s *Scheme) Reconstruct(server ring.Poly, pre uint64) ring.Poly {
-	return s.r.Add(s.ClientShare(pre), server)
+	return s.ReconstructInto(s.r.NewPoly(), server, pre)
+}
+
+// ReconstructInto recombines into dst (len == N()): dst = client +
+// server, with the client coefficients streamed straight from the PRG —
+// no intermediate polynomial. dst may alias server, so callers can
+// decode a blob into a pooled buffer and reconstruct in place.
+func (s *Scheme) ReconstructInto(dst, server ring.Poly, pre uint64) ring.Poly {
+	var st prg.Stream
+	s.g.StreamInto(&st, Domain, pre)
+	r := s.r
+	field := r.Field()
+	q := field.Q()
+	u := r.Sampler()
+	if field.E() == 1 {
+		for i := range dst {
+			v := server[i] + st.Sample(u)
+			if v >= q {
+				v -= q
+			}
+			dst[i] = v
+		}
+	} else {
+		for i := range dst {
+			dst[i] = field.Add(server[i], st.Sample(u))
+		}
+	}
+	s.recons.Add(1)
+	return dst
 }
 
 // EvalShared evaluates the *unshared* polynomial at point v given only the
@@ -58,13 +138,27 @@ func (s *Scheme) Reconstruct(server ring.Poly, pre uint64) ring.Poly {
 // containment test — the server evaluates its share, the client evaluates
 // its regenerated share, and only the sum is meaningful.
 func (s *Scheme) EvalShared(server ring.Poly, pre uint64, v uint32) uint32 {
-	cv := s.r.Eval(s.ClientShare(pre), v)
+	cv := s.EvalClientAt(pre, v)
 	sv := s.r.Eval(server, v)
 	return s.r.Field().Add(cv, sv)
 }
 
 // EvalClientAt evaluates just the client share at v; used when the server
-// evaluation happens remotely and only the two field values meet.
+// evaluation happens remotely and only the two field values meet. The
+// share streams off the PRG without being materialized.
 func (s *Scheme) EvalClientAt(pre uint64, v uint32) uint32 {
-	return s.r.Eval(s.ClientShare(pre), v)
+	var st prg.Stream
+	s.g.StreamInto(&st, Domain, pre)
+	return s.r.EvalStream(&st, v)
+}
+
+// EvalClientMany evaluates the client share of one node at every point
+// in vs, writing to out (len(out) ≥ len(vs)). The PRG stream — the
+// dominant cost of a client evaluation — is traversed once for all
+// points, which is what makes the advanced engine's several-names-per-
+// node look-ahead cheap on the client side.
+func (s *Scheme) EvalClientMany(pre uint64, vs []gf.Elem, out []gf.Elem) {
+	var st prg.Stream
+	s.g.StreamInto(&st, Domain, pre)
+	s.r.EvalStreamMany(&st, vs, out)
 }

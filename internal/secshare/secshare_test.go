@@ -144,3 +144,81 @@ func BenchmarkSplit(b *testing.B) {
 		_ = s.Split(f, uint64(i))
 	}
 }
+
+// TestStreamingPathsMatchMaterialized proves the streaming entry points
+// (SplitInto, ReconstructInto, EvalClientAt, EvalClientMany) equal the
+// materialize-then-operate formulation, on prime and extension fields.
+func TestStreamingPathsMatchMaterialized(t *testing.T) {
+	rings := []*ring.Ring{
+		ring.MustNew(gf.MustNew(83, 1)),
+		ring.MustNew(gf.MustNew(3, 2)),
+	}
+	for _, r := range rings {
+		s := New(r, prg.New([]byte("streaming")))
+		gen := prg.New([]byte("streaming-data")).Stream("f", 0)
+		for pre := uint64(0); pre < 8; pre++ {
+			f := r.Rand(gen)
+			client := s.ClientShare(pre)
+
+			server := s.SplitInto(r.NewPoly(), f, pre)
+			if !r.Equal(server, r.Sub(f, client)) {
+				t.Fatalf("%v pre=%d: SplitInto != f - client", r.Field(), pre)
+			}
+			// In-place split: dst aliases f.
+			fCopy := r.Clone(f)
+			if !r.Equal(s.SplitInto(fCopy, fCopy, pre), server) {
+				t.Fatalf("%v pre=%d: in-place SplitInto differs", r.Field(), pre)
+			}
+
+			full := s.ReconstructInto(r.NewPoly(), server, pre)
+			if !r.Equal(full, f) {
+				t.Fatalf("%v pre=%d: ReconstructInto != f", r.Field(), pre)
+			}
+			// In-place reconstruct: dst aliases server.
+			sCopy := r.Clone(server)
+			if !r.Equal(s.ReconstructInto(sCopy, sCopy, pre), f) {
+				t.Fatalf("%v pre=%d: in-place ReconstructInto differs", r.Field(), pre)
+			}
+
+			points := []gf.Elem{0, 1, 2 % r.Field().Q(), r.Field().Q() - 1}
+			for _, v := range points {
+				if got, want := s.EvalClientAt(pre, v), r.Eval(client, v); got != want {
+					t.Fatalf("%v pre=%d: EvalClientAt(%d) = %d, want %d", r.Field(), pre, v, got, want)
+				}
+			}
+			out := make([]gf.Elem, len(points))
+			s.EvalClientMany(pre, points, out)
+			for i, v := range points {
+				if want := r.Eval(client, v); out[i] != want {
+					t.Fatalf("%v pre=%d: EvalClientMany[%d] = %d, want %d", r.Field(), pre, i, out[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructionCounterAndAllocs cross-checks the scheme's
+// reconstruction counter against the work actually done, and pins the
+// allocation-free property of ReconstructInto with a pooled buffer —
+// the point of the counter is that the two can be compared.
+func TestReconstructionCounterAndAllocs(t *testing.T) {
+	s := newScheme(t, "counter")
+	r := s.Ring()
+	f := r.Linear(9)
+	server := s.Split(f, 3)
+
+	before := s.Reconstructions()
+	const runs = 100
+	dst := r.GetPoly()
+	if avg := testing.AllocsPerRun(runs, func() {
+		s.ReconstructInto(dst, server, 3)
+	}); avg > 0 {
+		t.Errorf("ReconstructInto allocates %.2f objects/op, want 0", avg)
+	}
+	r.PutPoly(dst)
+	got := s.Reconstructions() - before
+	// AllocsPerRun executes runs+1 iterations (one warm-up).
+	if got != runs+1 {
+		t.Fatalf("Reconstructions advanced by %d, want %d", got, runs+1)
+	}
+}

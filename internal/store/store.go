@@ -47,16 +47,28 @@ type Store struct {
 	dsn string
 
 	insert      *sql.Stmt
-	byPre       *sql.Stmt
-	children    *sql.Stmt
-	boundary    *sql.Stmt
-	rangeScan   *sql.Stmt
 	rangeIncl   *sql.Stmt
 	rootQuery   *sql.Stmt
 	countQuery  *sql.Stmt
 	minMaxQuery *sql.Stmt
 	naiveDesc   *sql.Stmt
 	childrenCnt *sql.Stmt
+
+	// Hot read path: the navigation and share-fetch queries the filter
+	// issues per engine step run directly against the embedded minisql
+	// engine through pre-parsed statements — same engine and locking as
+	// the database/sql path, minus the driver boxing per cell. The
+	// metadata twins additionally skip the poly column, so a structural
+	// fetch does not drag every row's share blob through the scan just
+	// to discard it.
+	mdb           *minisql.DB
+	qByPre        *minisql.Prepared
+	qByPreMeta    *minisql.Prepared
+	qChildren     *minisql.Prepared
+	qChildrenMeta *minisql.Prepared
+	qBoundary     *minisql.Prepared
+	qRangeScan    *minisql.Prepared
+	qRangeMeta    *minisql.Prepared
 }
 
 // Open connects to (creating if necessary) the minisql database named by
@@ -111,10 +123,6 @@ func (s *Store) prepare() error {
 		q   string
 	}{
 		{&s.insert, "INSERT INTO nodes (pre, post, parent, poly) VALUES (?, ?, ?, ?)"},
-		{&s.byPre, "SELECT pre, post, parent, poly FROM nodes WHERE pre = ?"},
-		{&s.children, "SELECT pre, post, parent, poly FROM nodes WHERE parent = ? ORDER BY pre"},
-		{&s.boundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
-		{&s.rangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
 		{&s.rangeIncl, "SELECT pre, post, parent, poly FROM nodes WHERE pre >= ? AND pre <= ? ORDER BY pre"},
 		{&s.rootQuery, "SELECT pre, post, parent, poly FROM nodes WHERE parent = 0"},
 		{&s.countQuery, "SELECT COUNT(*) FROM nodes"},
@@ -126,7 +134,55 @@ func (s *Store) prepare() error {
 			return err
 		}
 	}
+	s.mdb = minisql.Get(s.dsn)
+	direct := func(dst **minisql.Prepared, q string) error {
+		st, err := s.mdb.Prepare(q)
+		if err != nil {
+			return fmt.Errorf("store: prepare %q: %w", q, err)
+		}
+		*dst = st
+		return nil
+	}
+	for _, p := range []struct {
+		dst **minisql.Prepared
+		q   string
+	}{
+		{&s.qByPre, "SELECT pre, post, parent, poly FROM nodes WHERE pre = ?"},
+		{&s.qByPreMeta, "SELECT pre, post, parent FROM nodes WHERE pre = ?"},
+		{&s.qChildren, "SELECT pre, post, parent, poly FROM nodes WHERE parent = ? ORDER BY pre"},
+		{&s.qChildrenMeta, "SELECT pre, post, parent FROM nodes WHERE parent = ? ORDER BY pre"},
+		{&s.qBoundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
+		{&s.qRangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+		{&s.qRangeMeta, "SELECT pre, post, parent FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+	} {
+		if err := direct(p.dst, p.q); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// rowsFromValues converts direct-engine result rows (pre, post, parent
+// [, poly]) into NodeRows. Blob cells alias the stored row — NodeRow
+// consumers treat share blobs as read-only, which every caller in this
+// repo does (shares are immutable once encoded).
+func rowsFromValues(rows [][]minisql.Value, withPoly bool) ([]NodeRow, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([]NodeRow, len(rows))
+	for i, row := range rows {
+		r := NodeRow{Pre: row[0].(int64), Post: row[1].(int64), Parent: row[2].(int64)}
+		if withPoly {
+			b, ok := row[3].([]byte)
+			if !ok {
+				return nil, fmt.Errorf("store: poly column holds %T", row[3])
+			}
+			r.Poly = b
+		}
+		out[i] = r
+	}
+	return out, nil
 }
 
 // InsertNode stores one row. It satisfies the encoder's RowSink.
@@ -174,11 +230,21 @@ func (s *Store) Root() (NodeRow, error) {
 
 // Node returns the node at pre.
 func (s *Store) Node(pre int64) (NodeRow, error) {
-	rows, err := s.byPre.Query(pre)
+	return s.nodeWith(s.qByPre, pre, true)
+}
+
+// NodeMeta returns the node at pre without its share blob (Poly nil) —
+// the cheap fetch for structural navigation.
+func (s *Store) NodeMeta(pre int64) (NodeRow, error) {
+	return s.nodeWith(s.qByPreMeta, pre, false)
+}
+
+func (s *Store) nodeWith(q *minisql.Prepared, pre int64, withPoly bool) (NodeRow, error) {
+	_, rows, err := q.Query(pre)
 	if err != nil {
 		return NodeRow{}, fmt.Errorf("store: node %d: %w", pre, err)
 	}
-	all, err := scanRows(rows)
+	all, err := rowsFromValues(rows, withPoly)
 	if err != nil {
 		return NodeRow{}, err
 	}
@@ -190,29 +256,48 @@ func (s *Store) Node(pre int64) (NodeRow, error) {
 
 // Children returns the child rows of the node at pre, in document order.
 func (s *Store) Children(pre int64) ([]NodeRow, error) {
-	rows, err := s.children.Query(pre)
+	_, rows, err := s.qChildren.Query(pre)
 	if err != nil {
 		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
 	}
-	return scanRows(rows)
+	return rowsFromValues(rows, true)
+}
+
+// ChildrenMeta is Children without the share blobs.
+func (s *Store) ChildrenMeta(pre int64) ([]NodeRow, error) {
+	_, rows, err := s.qChildrenMeta.Query(pre)
+	if err != nil {
+		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
+	}
+	return rowsFromValues(rows, false)
 }
 
 // Descendants returns all proper descendants of the node (pre, post), in
 // document order, using the boundary optimization.
 func (s *Store) Descendants(pre, post int64) ([]NodeRow, error) {
-	var bound sql.NullInt64
-	if err := s.boundary.QueryRow(pre, post).Scan(&bound); err != nil {
+	return s.descendantsWith(s.qRangeScan, pre, post, true)
+}
+
+// DescendantsMeta is Descendants without the share blobs — what the
+// engines' frontier expansion consumes.
+func (s *Store) DescendantsMeta(pre, post int64) ([]NodeRow, error) {
+	return s.descendantsWith(s.qRangeMeta, pre, post, false)
+}
+
+func (s *Store) descendantsWith(q *minisql.Prepared, pre, post int64, withPoly bool) ([]NodeRow, error) {
+	_, brows, err := s.qBoundary.Query(pre, post)
+	if err != nil {
 		return nil, fmt.Errorf("store: boundary of %d: %w", pre, err)
 	}
 	hi := int64(math.MaxInt64)
-	if bound.Valid {
-		hi = bound.Int64
+	if len(brows) == 1 && len(brows[0]) == 1 && brows[0][0] != nil {
+		hi = brows[0][0].(int64)
 	}
-	rows, err := s.rangeScan.Query(pre, hi)
+	_, rows, err := q.Query(pre, hi)
 	if err != nil {
 		return nil, fmt.Errorf("store: descendants of %d: %w", pre, err)
 	}
-	return scanRows(rows)
+	return rowsFromValues(rows, withPoly)
 }
 
 // DescendantsNaive is the unoptimized variant (full pre-range scan with a
