@@ -21,11 +21,18 @@
 // copy, and the query side retries a dead replica's frames on its
 // siblings.
 //
+// With -tenant NAME the manifest is written in the v2 multi-tenant
+// format (one named tenant) — and is written even for a single,
+// unsharded table. Merging several such manifests' tenant lists into
+// one file gives encshare-server a multi-tenant serving config; each
+// tenant keeps its own keys, field parameters, and quotas.
+//
 // Usage:
 //
 //	encshare-encode -seed seed.key -map tags.map -xml auction.xml -out auction.db
 //	encshare-encode -shards 3 -seed seed.key -map tags.map -xml auction.xml -out auction.db
 //	encshare-encode -shards 3 -replicas 2 -seed seed.key -map tags.map -xml auction.xml -out auction.db
+//	encshare-encode -tenant auction -seed seed.key -map tags.map -xml auction.xml -out auction.db
 package main
 
 import (
@@ -52,6 +59,7 @@ func main() {
 		trieMode = flag.String("trie", "off", "text indexing: off, compressed, uncompressed")
 		shards   = flag.Int("shards", 1, "split the table into N pre-range shard files plus a manifest")
 		replicas = flag.Int("replicas", 1, "with -shards: emit M byte-identical copies of every shard file")
+		tenant   = flag.String("tenant", "", "write the manifest in the v2 multi-tenant format under this tenant name")
 	)
 	flag.Parse()
 	if *xmlPath == "" {
@@ -108,7 +116,7 @@ func main() {
 	fmt.Printf("encoded %d nodes in %s: %d polynomial bytes + %d meta bytes\n",
 		stats.Nodes, stats.Elapsed.Round(1e6), stats.PolyBytes, stats.MetaBytes)
 	if *shards > 1 {
-		writeShards(db, *outPath, *shards, *replicas)
+		writeShards(db, *outPath, *shards, *replicas, *tenant)
 		return
 	}
 	out, err := os.Create(*outPath)
@@ -122,12 +130,22 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("-> %s\n", *outPath)
+	if *tenant != "" {
+		plan, err := db.ShardPlan(1)
+		if err != nil {
+			fatal(err)
+		}
+		m := (&cluster.Manifest{Shards: []cluster.ShardInfo{{
+			DB: filepath.Base(*outPath), Lo: plan[0].Lo, Hi: plan[0].Hi,
+		}}}).Upgrade(*tenant)
+		writeManifest(m, strings.TrimSuffix(*outPath, ".db")+".manifest.json")
+	}
 }
 
 // writeShards cuts the encoded table into n contiguous slices, writing
 // one standalone shard database per range (replicated reps times) and a
 // manifest describing the partition.
-func writeShards(db *encshare.Database, outPath string, n, reps int) {
+func writeShards(db *encshare.Database, outPath string, n, reps int, tenant string) {
 	base := strings.TrimSuffix(outPath, ".db")
 	plan, err := db.ShardPlan(n)
 	if err != nil {
@@ -157,11 +175,17 @@ func writeShards(db *encshare.Database, outPath string, n, reps int) {
 		}
 		m.Shards = append(m.Shards, info)
 	}
-	manifestPath := base + ".manifest.json"
-	if err := m.WriteFile(manifestPath); err != nil {
+	if tenant != "" {
+		m = m.Upgrade(tenant)
+	}
+	writeManifest(m, base+".manifest.json")
+}
+
+func writeManifest(m *cluster.Manifest, path string) {
+	if err := m.WriteFile(path); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("manifest -> %s\n", manifestPath)
+	fmt.Printf("manifest -> %s\n", path)
 }
 
 func writeShardFile(db *encshare.Database, r encshare.ShardRange, path string) {

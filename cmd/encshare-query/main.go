@@ -43,6 +43,8 @@ func main() {
 		percall  = flag.Bool("percall", false, "use the paper's one-exchange-per-check protocol instead of batching")
 		hedge    = flag.Bool("hedge", false, "hedge straggling per-shard frames on a second replica")
 		tolerate = flag.Bool("tolerate-down", false, "skip unreachable servers at dial time (replicas must still cover the table)")
+		tenant   = flag.String("tenant", "", "tenant to query on a multi-tenant server (default: the server's default tenant)")
+		cworkers = flag.Int("client-workers", 0, "client-side worker pool for share streams and reconstructions (0 = number of CPUs)")
 		verbose  = flag.Bool("v", false, "print work statistics")
 	)
 	flag.Parse()
@@ -92,6 +94,8 @@ func main() {
 	session, err := encshare.DialClusterWith(keys, addrs, encshare.ClusterOptions{
 		Hedge:               *hedge,
 		TolerateUnreachable: *tolerate,
+		Tenant:              *tenant,
+		ClientWorkers:       *cworkers,
 	})
 	if err != nil {
 		fatal(err)
@@ -107,6 +111,14 @@ func main() {
 		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d visited=%d round-trips=%d elapsed=%s\n",
 			res.Stats.Evaluations, res.Stats.Reconstructions,
 			res.Stats.NodesFetched, res.Stats.NodesVisited, session.RoundTrips(), res.Stats.Elapsed)
+		if ss, err := session.ServerStats(); err == nil {
+			label := session.Tenant()
+			if label == "" {
+				label = "default"
+			}
+			fmt.Printf("tenant=%s server-evals=%d cache-hits=%d cache-misses=%d decodes=%d\n",
+				label, ss.Evals, ss.CacheHits, ss.CacheMisses, ss.Decodes)
+		}
 		if per := session.ShardRoundTrips(); per != nil {
 			fmt.Printf("per-shard round-trips: %v (replicas per shard: %v)\n", per, session.Replicas())
 			if fo, h := session.Failovers(), session.Hedges(); fo > 0 || h > 0 {

@@ -1,4 +1,4 @@
-// Command encshare-server loads an encrypted database file produced by
+// Command encshare-server loads encrypted database files produced by
 // encshare-encode and serves the ServerFilter API over TCP (the paper's
 // server side, §5.2). The server holds only polynomial shares — it can
 // evaluate them at points the client sends, but the results are
@@ -15,11 +15,23 @@
 // -replicas) this process serves — every replica is byte-identical, so
 // any copy answers any read.
 //
+// A v2 manifest lists named tenants: one process then serves shard
+// -shard of every tenant concurrently, each tenant an independent
+// table with its own worker quota and decoded-polynomial cache quota
+// (carved from the manifest's cache_budget), dispatched by the tenant
+// name in each request frame. Clients that predate the tenant protocol
+// are routed to the manifest's default tenant. SIGHUP reloads the
+// manifest and attaches/detaches tenants live, without dropping the
+// other tenants' connections; SIGTERM (and SIGINT) drains gracefully —
+// in-flight frames complete and reply, then the process exits 0.
+//
 // Usage:
 //
 //	encshare-server -db auction.db -listen :7083 -workers 8 -cache 4096
 //	encshare-server -manifest auction.manifest.json -shard 1 -listen :7084
 //	encshare-server -manifest auction.manifest.json -shard 1 -replica 1 -listen :7184
+//	encshare-server -manifest tenants.json -listen :7083        (v2, single-shard tenants)
+//	kill -HUP <pid>    # reload tenants.json: attach new tenants, detach removed ones
 package main
 
 import (
@@ -27,95 +39,181 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
 
-	"encshare"
 	"encshare/internal/cluster"
-	"encshare/internal/minisql"
+	"encshare/internal/server"
 )
 
 func main() {
 	var (
-		p        = flag.Uint("p", 83, "field characteristic (prime)")
-		e        = flag.Uint("e", 1, "field extension degree")
+		p        = flag.Uint("p", 83, "field characteristic (prime); per-tenant p in a v2 manifest overrides")
+		e        = flag.Uint("e", 1, "field extension degree; per-tenant e in a v2 manifest overrides")
 		dbPath   = flag.String("db", "encrypted.db", "database file from encshare-encode")
-		manifest = flag.String("manifest", "", "cluster manifest from encshare-encode -shards")
-		shard    = flag.Int("shard", -1, "shard index to serve from -manifest")
+		manifest = flag.String("manifest", "", "cluster manifest from encshare-encode -shards (v1) or a multi-tenant manifest (v2)")
+		shard    = flag.Int("shard", -1, "shard index to serve from -manifest (default 0 for single-shard manifests)")
 		replica  = flag.Int("replica", 0, "replica index of the shard to serve (with -manifest)")
 		listen   = flag.String("listen", "", "listen address (default 127.0.0.1:7083, or the manifest's addr)")
-		workers  = flag.Int("workers", 0, "batch worker pool size (0 = number of CPUs)")
-		cache    = flag.Int("cache", 4096, "decoded-polynomial cache entries (0 = default 4096, negative disables)")
+		workers  = flag.Int("workers", 0, "batch worker pool size per tenant (0 = number of CPUs); per-tenant workers in a v2 manifest override")
+		cache    = flag.Int("cache", 4096, "decoded-polynomial cache entries per tenant (0 = default 4096, negative disables); per-tenant cache in a v2 manifest overrides")
 	)
 	flag.Parse()
 
-	path := *dbPath
-	addr := *listen
-	if *manifest != "" {
+	if *manifest == "" {
+		if *shard >= 0 {
+			fatal(fmt.Errorf("-shard requires -manifest"))
+		}
+		if *replica != 0 {
+			fatal(fmt.Errorf("-replica requires -manifest and -shard"))
+		}
+	}
+
+	// loadPlan re-reads the configuration — it runs once at startup and
+	// again on every SIGHUP.
+	loadPlan := func() (tenants []server.Tenant, dflt, addr string, budget int, err error) {
+		if *manifest == "" {
+			return []server.Tenant{{
+				Path: *dbPath, P: uint32(*p), E: uint32(*e),
+				Workers: *workers, CacheEntries: *cache,
+			}}, "", "", 0, nil
+		}
 		m, err := cluster.LoadManifest(*manifest)
 		if err != nil {
-			fatal(err)
+			return nil, "", "", 0, err
 		}
-		if *shard < 0 || *shard >= len(m.Shards) {
-			fatal(fmt.Errorf("-shard %d out of range: manifest %s has %d shards", *shard, *manifest, len(m.Shards)))
+		table := m.TenantTable()
+		si := *shard
+		if si < 0 {
+			if len(table[0].Shards) != 1 {
+				return nil, "", "", 0, fmt.Errorf("manifest %s has %d shards: -shard required", *manifest, len(table[0].Shards))
+			}
+			si = 0
 		}
-		info := m.Shards[*shard]
-		dbs := info.ReplicaDBs()
-		if len(dbs) == 0 {
-			fatal(fmt.Errorf("manifest shard %d has no db file", *shard))
+		if si >= len(table[0].Shards) {
+			return nil, "", "", 0, fmt.Errorf("-shard %d out of range: manifest %s has %d shards", si, *manifest, len(table[0].Shards))
 		}
-		if *replica < 0 || *replica >= info.Replicas() {
-			fatal(fmt.Errorf("-replica %d out of range: manifest shard %d has %d replicas", *replica, *shard, info.Replicas()))
-		}
-		// Replica files are byte-identical; if the manifest lists fewer
-		// files than addresses, any copy serves any replica slot.
-		path = dbs[min(*replica, len(dbs)-1)]
-		if !filepath.IsAbs(path) {
-			path = filepath.Join(filepath.Dir(*manifest), path)
-		}
-		if addr == "" {
-			if addrs := info.ReplicaAddrs(); *replica < len(addrs) {
-				addr = addrs[*replica]
+		for _, tn := range table {
+			info := tn.Shards[si]
+			dbs := info.ReplicaDBs()
+			if len(dbs) == 0 {
+				return nil, "", "", 0, fmt.Errorf("manifest tenant %q shard %d has no db file", tn.Name, si)
+			}
+			if *replica < 0 || *replica >= info.Replicas() {
+				return nil, "", "", 0, fmt.Errorf("-replica %d out of range: manifest shard %d has %d replicas", *replica, si, info.Replicas())
+			}
+			// Replica files are byte-identical; if the manifest lists
+			// fewer files than addresses, any copy serves any slot.
+			path := dbs[min(*replica, len(dbs)-1)]
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(filepath.Dir(*manifest), path)
+			}
+			tp, te := tn.P, tn.E
+			if tp == 0 {
+				tp, te = uint32(*p), uint32(*e)
+			}
+			tw := tn.Workers
+			if tw == 0 {
+				tw = *workers
+			}
+			tc := tn.Cache
+			if tc == 0 {
+				tc = *cache // the flag is the default for tenants without a quota
+			}
+			tenants = append(tenants, server.Tenant{
+				Name: tn.Name, Path: path, P: tp, E: te,
+				Workers: tw, CacheEntries: tc,
+			})
+			if addr == "" {
+				if addrs := info.ReplicaAddrs(); *replica < len(addrs) {
+					addr = addrs[*replica]
+				}
 			}
 		}
-	} else if *shard >= 0 {
-		fatal(fmt.Errorf("-shard requires -manifest"))
-	} else if *replica != 0 {
-		fatal(fmt.Errorf("-replica requires -manifest and -shard"))
+		return tenants, m.DefaultTenant(), addr, m.CacheBudget, nil
+	}
+
+	tenants, dflt, addr, budget, err := loadPlan()
+	if err != nil {
+		fatal(err)
+	}
+	if *listen != "" {
+		addr = *listen
 	}
 	if addr == "" {
 		addr = "127.0.0.1:7083"
 	}
 
-	db, err := encshare.CreateDatabase(minisql.FreshDSN())
-	if err != nil {
-		fatal(err)
-	}
-	defer db.Close()
-	f, err := os.Open(path)
-	if err != nil {
-		fatal(err)
-	}
-	if err := db.LoadFrom(f); err != nil {
-		fatal(err)
-	}
-	f.Close()
-	n, err := db.NodeCount()
-	if err != nil {
-		fatal(err)
+	rt := server.New(server.Config{CacheBudget: budget, Default: dflt})
+	for _, t := range tenants {
+		if err := rt.AttachFile(t); err != nil {
+			fatal(err)
+		}
 	}
 
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving %d encrypted nodes on %s (F_%d^%d)\n", n, l.Addr(), *p, *e)
-	err = db.ServeWith(l, encshare.Params{P: uint32(*p), E: uint32(*e)}, encshare.ServeConfig{
-		CacheSize: *cache,
-		Workers:   *workers,
-	})
+	banner(rt, l.Addr())
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)
+	go func() {
+		for s := range sig {
+			if s != syscall.SIGHUP {
+				fmt.Printf("%s: draining in-flight frames and shutting down\n", s)
+				rt.Shutdown()
+				return
+			}
+			if *manifest == "" {
+				fmt.Println("SIGHUP ignored: no -manifest to reload")
+				continue
+			}
+			tenants, dflt, _, _, err := loadPlan()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "encshare-server: reload failed, keeping current tenants:", err)
+				continue
+			}
+			attached, detached, err := rt.Apply(tenants, dflt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "encshare-server: reload incomplete:", err)
+			}
+			fmt.Printf("reloaded %s: attached %q, detached %q, serving %q\n",
+				*manifest, attached, detached, rt.Tenants())
+		}
+	}()
+
+	if err := rt.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+// banner prints what the process serves: per-tenant node counts for
+// multi-tenant runtimes, the classic single-line form otherwise.
+func banner(rt *server.Runtime, addr net.Addr) {
+	counts, err := rt.NodeCounts()
 	if err != nil {
 		fatal(err)
 	}
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 1 && names[0] == "" {
+		fmt.Printf("serving %d encrypted nodes on %s\n", counts[""], addr)
+		return
+	}
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = fmt.Sprintf("%s: %d nodes", name, counts[name])
+	}
+	fmt.Printf("serving %d tenants on %s (default %s) — %s\n",
+		len(names), addr, rt.Default(), strings.Join(parts, ", "))
 }
 
 func fatal(err error) {

@@ -52,6 +52,7 @@ import (
 	"encshare/internal/ring"
 	"encshare/internal/rmi"
 	"encshare/internal/secshare"
+	"encshare/internal/server"
 	"encshare/internal/store"
 	"encshare/internal/trie"
 	"encshare/internal/xpath"
@@ -261,16 +262,6 @@ type ServeConfig struct {
 	Workers int
 }
 
-func (c ServeConfig) normalized() ServeConfig {
-	if c.CacheSize == 0 {
-		c.CacheSize = 4096
-	}
-	if c.CacheSize < 0 {
-		c.CacheSize = 0
-	}
-	return c
-}
-
 // Serve exposes the database's ServerFilter over the RMI protocol until
 // the listener closes, with default tuning. The params must match the
 // keys used at encode time (the server needs the ring dimensions, not
@@ -281,25 +272,24 @@ func (db *Database) Serve(l net.Listener, params Params) error {
 
 // ServeWith is Serve with explicit cache and worker-pool tuning. The
 // served endpoint speaks both the per-call filter protocol and the
-// batched protocol (one frame per engine step).
+// batched protocol (one frame per engine step). The accept/dispatch
+// loop is the multi-tenant runtime's (internal/server) hosting this
+// database as its sole, unnamed tenant — a process that needs several
+// tenants runs the runtime directly (see cmd/encshare-server).
 func (db *Database) ServeWith(l net.Listener, params Params, cfg ServeConfig) error {
 	params = params.normalized()
-	cfg = cfg.normalized()
-	f, err := gf.New(params.P, params.E)
+	rt := server.New(server.Config{})
+	// Tenant.CacheEntries shares ServeConfig.CacheSize's convention
+	// (0 = default, negative disables), so the raw value passes through.
+	err := rt.AttachStore(server.Tenant{
+		P: params.P, E: params.E,
+		Workers:      cfg.Workers,
+		CacheEntries: cfg.CacheSize,
+	}, db.st)
 	if err != nil {
 		return err
 	}
-	r, err := ring.New(f)
-	if err != nil {
-		return err
-	}
-	sf := filter.NewServerFilter(db.st, r, cfg.CacheSize)
-	if cfg.Workers > 0 {
-		sf.SetWorkers(cfg.Workers)
-	}
-	srv := rmi.NewServer()
-	filter.RegisterServer(srv, sf)
-	return srv.Serve(l)
+	return rt.Serve(l)
 }
 
 // EngineKind selects the query strategy of §5.3.
@@ -376,6 +366,7 @@ type Session struct {
 	advancedSeq *engine.Advanced
 	rmiCli      *rmi.Client
 	shardF      *cluster.Filter // non-nil for cluster sessions
+	tenant      string
 	closer      io.Closer
 }
 
@@ -391,12 +382,42 @@ func OpenLocal(keys *Keys, db *Database) *Session {
 // speaks the batched protocol when the server supports it and falls back
 // to per-call exchanges otherwise.
 func Dial(keys *Keys, addr string) (*Session, error) {
+	return DialWith(keys, addr, DialOptions{})
+}
+
+// DialOptions tunes a single-server session.
+type DialOptions struct {
+	// Tenant names the tenant to query on a multi-tenant server. Empty
+	// routes to the server's default tenant (and stays wire-compatible
+	// with pre-tenant servers). A named tenant is verified at dial
+	// time: a server that does not host it — or predates the tenant
+	// protocol — fails the dial instead of silently answering from the
+	// wrong table.
+	Tenant string
+	// ClientWorkers bounds the client-side worker pool that evaluates
+	// share streams and reconstructions per engine wave (0 = number of
+	// CPUs). Results are identical for any bound; see
+	// Session.SetClientWorkers.
+	ClientWorkers int
+}
+
+// DialWith is Dial with explicit tenant and client tuning.
+func DialWith(keys *Keys, addr string, opts DialOptions) (*Session, error) {
 	cli, err := rmi.Dial(addr)
 	if err != nil {
 		return nil, err
 	}
+	if opts.Tenant != "" {
+		cli.SetTenant(opts.Tenant)
+		if _, err := server.ResolveTenant(cli); err != nil {
+			cli.Close()
+			return nil, err
+		}
+	}
 	s := newSession(keys, filter.NewRemote(cli), cli)
 	s.rmiCli = cli
+	s.tenant = opts.Tenant
+	s.SetClientWorkers(opts.ClientWorkers)
 	return s, nil
 }
 
@@ -415,6 +436,12 @@ type ClusterOptions struct {
 	// servers are down, as long as the reachable ones still cover the
 	// whole table — so sessions can start during a replica outage.
 	TolerateUnreachable bool
+	// Tenant names the tenant to query on multi-tenant servers (see
+	// DialOptions.Tenant).
+	Tenant string
+	// ClientWorkers bounds the client-side worker pool (see
+	// DialOptions.ClientWorkers).
+	ClientWorkers int
 }
 
 // DialCluster starts a session against a sharded deployment: one
@@ -436,18 +463,21 @@ func DialCluster(keys *Keys, addrs []string) (*Session, error) {
 // DialClusterWith is DialCluster with explicit replica-routing options.
 func DialClusterWith(keys *Keys, addrs []string, opts ClusterOptions) (*Session, error) {
 	if len(addrs) == 1 {
-		return Dial(keys, addrs[0])
+		return DialWith(keys, addrs[0], DialOptions{Tenant: opts.Tenant, ClientWorkers: opts.ClientWorkers})
 	}
 	f, err := cluster.DialWith(addrs, cluster.Options{
 		Hedge:               opts.Hedge,
 		HedgeAfter:          opts.HedgeAfter,
 		TolerateUnreachable: opts.TolerateUnreachable,
+		Tenant:              opts.Tenant,
 	})
 	if err != nil {
 		return nil, err
 	}
 	s := newSession(keys, f, f)
 	s.shardF = f
+	s.tenant = opts.Tenant
+	s.SetClientWorkers(opts.ClientWorkers)
 	return s, nil
 }
 
@@ -504,6 +534,35 @@ func (s *Session) Replicas() []int {
 		return nil
 	}
 	return s.shardF.Replicas()
+}
+
+// Tenant returns the tenant this session was dialed for ("" for local
+// sessions and for sessions on a server's default tenant).
+func (s *Session) Tenant() string { return s.tenant }
+
+// SetClientWorkers bounds the client-side worker pool that runs each
+// engine wave's PRG share streams and reconstructions in parallel
+// (n < 1 restores the default, the number of CPUs). Any bound computes
+// byte-identical results — with one worker the pool degenerates to the
+// sequential loop — so this is purely a resource knob for multi-core
+// clients.
+func (s *Session) SetClientWorkers(n int) {
+	s.cli.SetWorkers(n)
+}
+
+// AddReplica joins a freshly provisioned server to this live cluster
+// session: the server is dialed (under the session's tenant, if any),
+// asked for its pre range, and added to the shard group holding exactly
+// that range — from then on it serves a round-robin share of that
+// shard's frames, no redial needed. Returns the shard index joined.
+// Fails for local and single-server sessions, and for servers whose
+// range matches no existing shard group (only byte-identical replicas
+// can join live; re-sharding is a different operation).
+func (s *Session) AddReplica(addr string) (int, error) {
+	if s.shardF == nil {
+		return 0, fmt.Errorf("encshare: AddReplica requires a cluster session (DialCluster)")
+	}
+	return s.shardF.AddReplica(addr)
 }
 
 // Failovers returns how many per-shard frames this cluster session

@@ -120,6 +120,14 @@ type Options struct {
 	// (strict) dial fails on the first unreachable address, which is the
 	// right behavior for catching typos.
 	TolerateUnreachable bool
+	// Tenant names the tenant every dialed connection is issued
+	// against — how one cluster of multi-tenant servers presents a
+	// different shard table per tenant. Empty routes to each server's
+	// default tenant (the pre-tenant behavior). Non-empty tenants are
+	// verified at dial time: a server that predates the tenant
+	// protocol fails the dial instead of silently answering from its
+	// default table.
+	Tenant string
 }
 
 // replica is the runtime state of one shard replica connection.
@@ -142,20 +150,39 @@ const (
 
 // shardState is the runtime state of one shard: its replica set plus the
 // round-robin cursor and per-op-class latency windows the router uses.
+// The replica set is mutable — AddReplica grows it on a live session —
+// so readers take a snapshot through replicaList and index only into
+// that snapshot.
 type shardState struct {
 	label string // first replica's address, for error messages
 	rng   Range
+	repMu sync.RWMutex
 	reps  []*replica
 	rr    atomic.Uint32
 	lat   [opClasses]latWindow
 }
 
-// replicaOrder returns replica indices in dispatch-preference order:
+// replicaList snapshots the current replica set. The slice is
+// append-only: a concurrent addReplica may publish a longer list, but
+// never mutates the elements a snapshot holds.
+func (sh *shardState) replicaList() []*replica {
+	sh.repMu.RLock()
+	defer sh.repMu.RUnlock()
+	return sh.reps
+}
+
+func (sh *shardState) addReplica(r *replica) {
+	sh.repMu.Lock()
+	sh.reps = append(sh.reps, r)
+	sh.repMu.Unlock()
+}
+
+// replicaOrder returns indices into reps in dispatch-preference order:
 // round-robin rotated for load spread, connections with open circuit
 // breakers pushed last (still tried when every healthy replica fails —
 // a degraded replica beats no answer).
-func (sh *shardState) replicaOrder() []int {
-	n := len(sh.reps)
+func (sh *shardState) replicaOrder(reps []*replica) []int {
+	n := len(reps)
 	if n == 1 {
 		return []int{0}
 	}
@@ -164,7 +191,7 @@ func (sh *shardState) replicaOrder() []int {
 	var open []int
 	for i := 0; i < n; i++ {
 		ri := (start + i) % n
-		if sh.reps[ri].brk.allow() {
+		if reps[ri].brk.allow() {
 			order = append(order, ri)
 		} else {
 			open = append(open, ri)
@@ -178,9 +205,11 @@ func (sh *shardState) replicaOrder() []int {
 // request order, failing over between replicas per shard. A
 // filter.Client (and therefore every engine) runs against it unchanged.
 type Filter struct {
-	shards  []*shardState // sorted by rng.Lo; ranges tile [lo, hi] with no gaps
-	opts    Options
-	closers []io.Closer
+	shards []*shardState // sorted by rng.Lo; ranges tile [lo, hi] with no gaps
+	opts   Options
+
+	closerMu sync.Mutex
+	closers  []io.Closer
 
 	failovers atomic.Int64
 	hedges    atomic.Int64
@@ -237,7 +266,7 @@ func (f *Filter) Shards() int { return len(f.shards) }
 func (f *Filter) Replicas() []int {
 	out := make([]int, len(f.shards))
 	for i, sh := range f.shards {
-		out[i] = len(sh.reps)
+		out[i] = len(sh.replicaList())
 	}
 	return out
 }
@@ -250,15 +279,27 @@ func (f *Filter) Failovers() int64 { return f.failovers.Load() }
 func (f *Filter) Hedges() int64 { return f.hedges.Load() }
 
 // Close closes whatever closers the filter owns (the rmi connections of
-// a dialed cluster; none for in-process shards).
+// a dialed cluster, including ones joined later via AddReplica; none
+// for in-process shards).
 func (f *Filter) Close() error {
+	f.closerMu.Lock()
+	closers := f.closers
+	f.closers = nil
+	f.closerMu.Unlock()
 	var first error
-	for _, c := range f.closers {
+	for _, c := range closers {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// addCloser registers a connection for Close to release.
+func (f *Filter) addCloser(c io.Closer) {
+	f.closerMu.Lock()
+	f.closers = append(f.closers, c)
+	f.closerMu.Unlock()
 }
 
 // roundTripper is implemented by *filter.Remote; in-process shard conns
@@ -283,7 +324,7 @@ func (f *Filter) RoundTrips() int64 {
 func (f *Filter) ShardRoundTrips() []int64 {
 	out := make([]int64, len(f.shards))
 	for i, sh := range f.shards {
-		for _, rep := range sh.reps {
+		for _, rep := range sh.replicaList() {
 			if rt, ok := rep.conn.(roundTripper); ok {
 				out[i] += rt.RoundTrips()
 			}
@@ -307,7 +348,7 @@ func (f *Filter) ServerStats() (filter.ServerStats, error) {
 		all[i] = true
 	}
 	_ = f.scatter(all, func(si int) error {
-		for _, rep := range f.shards[si].reps {
+		for _, rep := range f.shards[si].replicaList() {
 			sa, ok := rep.conn.(filter.StatsAPI)
 			if !ok {
 				continue
@@ -329,7 +370,7 @@ func (f *Filter) ServerStats() (filter.ServerStats, error) {
 func (f *Filter) ShardEvalRoundTrips() []int64 {
 	out := make([]int64, len(f.shards))
 	for i, sh := range f.shards {
-		for _, rep := range sh.reps {
+		for _, rep := range sh.replicaList() {
 			if rt, ok := rep.conn.(roundTripper); ok {
 				out[i] += rt.EvalRoundTrips()
 			}
@@ -356,7 +397,8 @@ func (f *Filter) owner(pre int64) (int, error) {
 // immediately, as every byte-identical replica would repeat it.
 func onShard[T any](f *Filter, si, class int, op func(Conn) (T, error)) (T, error) {
 	sh := f.shards[si]
-	order := sh.replicaOrder()
+	reps := sh.replicaList()
+	order := sh.replicaOrder(reps)
 	type result struct {
 		v   T
 		err error
@@ -366,7 +408,7 @@ func onShard[T any](f *Filter, si, class int, op func(Conn) (T, error)) (T, erro
 	ch := make(chan result, len(order))
 	next, inflight := 0, 0
 	launch := func() {
-		rep := sh.reps[order[next]]
+		rep := reps[order[next]]
 		next++
 		inflight++
 		go func() {

@@ -1,12 +1,33 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"encshare/internal/filter"
 	"encshare/internal/rmi"
+	"encshare/internal/server"
 )
+
+// dialServer dials one server for the given tenant: the connection's
+// frames carry the tenant name, and for a non-default tenant the
+// server must positively confirm it hosts that tenant (a pre-tenant
+// server would otherwise silently answer from its only table).
+func dialServer(addr, tenant string) (*rmi.Client, error) {
+	cli, err := rmi.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	if tenant != "" {
+		cli.SetTenant(tenant)
+		if _, err := server.ResolveTenant(cli); err != nil {
+			cli.Close()
+			return nil, err
+		}
+	}
+	return cli, nil
+}
 
 // Dial connects to every listed server with default options — see
 // DialWith.
@@ -39,9 +60,9 @@ func DialWith(addrs []string, opts Options) (*Filter, error) {
 	var groups []*group
 	byRange := make(map[Range]*group)
 	for i, addr := range addrs {
-		cli, err := rmi.Dial(addr)
+		cli, err := dialServer(addr, opts.Tenant)
 		if err != nil {
-			if opts.TolerateUnreachable {
+			if opts.TolerateUnreachable && !isTenantErr(err) {
 				continue
 			}
 			closeAll()
@@ -78,4 +99,43 @@ func DialWith(addrs []string, opts Options) (*Filter, error) {
 	}
 	f.closers = closers
 	return f, nil
+}
+
+// isTenantErr reports a tenant-level rejection from an otherwise
+// healthy server — never skipped by TolerateUnreachable, because the
+// server is up and the configuration is wrong.
+func isTenantErr(err error) bool {
+	var te *server.TenantError
+	return errors.As(err, &te)
+}
+
+// AddReplica dials addr and joins it to the live session's shard group
+// whose pre range it reports — the topology-change seam replication
+// left open: a freshly provisioned replica starts taking traffic
+// without the session redialing. The server must hold exactly the same
+// range as an existing group (byte-identical replicas are the only
+// safe live addition; re-sharding is a different operation), and must
+// serve the session's tenant. Returns the index of the shard group
+// joined.
+func (f *Filter) AddReplica(addr string) (int, error) {
+	cli, err := dialServer(addr, f.opts.Tenant)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: adding replica %s: %w", addr, err)
+	}
+	rem := filter.NewRemote(cli)
+	pr, err := rem.PreRange()
+	if err != nil {
+		cli.Close()
+		return 0, fmt.Errorf("cluster: adding replica %s: %w", addr, err)
+	}
+	r := Range{Lo: pr.Lo, Hi: pr.Hi}
+	for si, sh := range f.shards {
+		if sh.rng == r {
+			sh.addReplica(&replica{addr: addr, conn: rem})
+			f.addCloser(cli)
+			return si, nil
+		}
+	}
+	cli.Close()
+	return 0, fmt.Errorf("cluster: replica %s reports range [%d, %d], which matches no shard group", addr, r.Lo, r.Hi)
 }

@@ -114,7 +114,7 @@ func TestReplicaOrderPrefersClosedBreakers(t *testing.T) {
 		sh.reps[1].brk.failure()
 	}
 	for i := 0; i < 4; i++ {
-		order := sh.replicaOrder()
+		order := sh.replicaOrder(sh.replicaList())
 		if len(order) != 3 {
 			t.Fatalf("order %v dropped replicas", order)
 		}
@@ -128,7 +128,7 @@ func TestReplicaOrderPrefersClosedBreakers(t *testing.T) {
 			r.brk.failure()
 		}
 	}
-	if order := sh.replicaOrder(); len(order) != 3 {
+	if order := sh.replicaOrder(sh.replicaList()); len(order) != 3 {
 		t.Fatalf("all-open order %v dropped replicas", order)
 	}
 }

@@ -60,47 +60,171 @@ func (s *ShardInfo) Replicas() int {
 	return n
 }
 
-// Manifest describes a sharded deployment: which contiguous pre slice of
-// the encrypted node table each server holds. It carries no secrets —
-// pre ranges are structural metadata the servers see anyway.
-type Manifest struct {
+// TenantShards is one tenant's entry in a v2 manifest: a named,
+// independently encoded shard table plus its runtime quotas. The shard
+// list has exactly the v1 shape, so a v1 manifest normalizes to a
+// single unnamed tenant.
+type TenantShards struct {
+	Name string `json:"name"`
+	// Workers bounds the tenant's server-side batch worker pool
+	// (0 = number of CPUs).
+	Workers int `json:"workers,omitempty"`
+	// Cache is the tenant's decoded-polynomial cache quota in entries
+	// (0 = server default, negative disables).
+	Cache int `json:"cache,omitempty"`
+	// P, E are the tenant's field parameters (0 = the serving
+	// process's defaults). Tenants may be encoded over different
+	// fields.
+	P uint32 `json:"p,omitempty"`
+	E uint32 `json:"e,omitempty"`
+
 	Shards []ShardInfo `json:"shards"`
 }
 
-// Ranges returns the manifest's shard ranges in order.
+// Manifest describes a sharded deployment: which contiguous pre slice of
+// the encrypted node table each server holds. It carries no secrets —
+// pre ranges are structural metadata the servers see anyway.
+//
+// Two formats share this type. A v1 manifest (the original) lists one
+// tenant's shards at top level. A v2 manifest (Version >= 2) lists
+// named tenants, each with its own shard table, plus the runtime-level
+// cache budget and default-tenant designation; every tenant has the
+// same number of shard slots, because shard slot i of every tenant is
+// served by the same process (tenants co-locate, their addresses
+// overlap; their db files may not).
+type Manifest struct {
+	Version int         `json:"version,omitempty"`
+	Shards  []ShardInfo `json:"shards,omitempty"`
+
+	// v2 fields.
+	Tenants []TenantShards `json:"tenants,omitempty"`
+	// Default names the tenant that pre-tenant clients are served from
+	// ("" = the first listed tenant).
+	Default string `json:"default,omitempty"`
+	// CacheBudget caps the sum of tenant cache quotas server-side
+	// (0 = uncapped).
+	CacheBudget int `json:"cache_budget,omitempty"`
+}
+
+// TenantTable returns the manifest's tenants in listed order, lifting a
+// v1 manifest into a single unnamed tenant — the one shape consumers
+// iterate over.
+func (m *Manifest) TenantTable() []TenantShards {
+	if len(m.Tenants) > 0 {
+		return m.Tenants
+	}
+	return []TenantShards{{Shards: m.Shards}}
+}
+
+// DefaultTenant returns the name of the tenant pre-tenant clients land
+// on.
+func (m *Manifest) DefaultTenant() string {
+	if m.Default != "" {
+		return m.Default
+	}
+	if len(m.Tenants) > 0 {
+		return m.Tenants[0].Name
+	}
+	return ""
+}
+
+// Ranges returns the manifest's shard ranges in order (the first
+// tenant's, for v2 manifests).
 func (m *Manifest) Ranges() []Range {
-	out := make([]Range, len(m.Shards))
-	for i, s := range m.Shards {
+	shards := m.TenantTable()[0].Shards
+	out := make([]Range, len(shards))
+	for i, s := range shards {
 		out[i] = Range{Lo: s.Lo, Hi: s.Hi}
 	}
 	return out
 }
 
-// Validate checks that the manifest's ranges are in order and tile a
-// contiguous pre interval.
+// Validate checks the manifest: per tenant, ranges in order tiling a
+// contiguous pre interval; across tenants, unique non-empty names,
+// equal shard-slot counts, and no db file claimed twice (tenants
+// co-locate on addresses — overlapping replica *address* lists across
+// tenants are the expected deployment — but a db file encodes exactly
+// one tenant's rows).
 func (m *Manifest) Validate() error {
-	if len(m.Shards) == 0 {
-		return fmt.Errorf("cluster: manifest has no shards")
-	}
-	for i, s := range m.Shards {
-		if s.Lo > s.Hi {
-			return fmt.Errorf("cluster: manifest shard %d has empty range [%d, %d]", i, s.Lo, s.Hi)
+	if m.Version >= 2 || len(m.Tenants) > 0 {
+		if len(m.Tenants) == 0 {
+			return fmt.Errorf("cluster: v2 manifest has an empty tenant table")
 		}
-		if i > 0 && s.Lo != m.Shards[i-1].Hi+1 {
-			return fmt.Errorf("cluster: manifest shard %d starts at %d, want %d (contiguous ranges)",
-				i, s.Lo, m.Shards[i-1].Hi+1)
+		if len(m.Shards) > 0 {
+			return fmt.Errorf("cluster: v2 manifest sets both tenants and top-level shards")
+		}
+		seen := make(map[string]bool, len(m.Tenants))
+		dbOwner := map[string]string{}
+		for ti, tn := range m.Tenants {
+			if tn.Name == "" {
+				return fmt.Errorf("cluster: manifest tenant %d has no name", ti)
+			}
+			if seen[tn.Name] {
+				return fmt.Errorf("cluster: duplicate tenant name %q in manifest", tn.Name)
+			}
+			seen[tn.Name] = true
+			if len(tn.Shards) != len(m.Tenants[0].Shards) {
+				return fmt.Errorf("cluster: tenant %q has %d shards, tenant %q has %d (shard slots must align)",
+					tn.Name, len(tn.Shards), m.Tenants[0].Name, len(m.Tenants[0].Shards))
+			}
+			if err := validateShards(tn.Shards, "tenant "+tn.Name+" "); err != nil {
+				return err
+			}
+			for _, s := range tn.Shards {
+				for _, db := range s.ReplicaDBs() {
+					if owner, dup := dbOwner[db]; dup && owner != tn.Name {
+						return fmt.Errorf("cluster: db file %q listed by tenants %q and %q", db, owner, tn.Name)
+					}
+					dbOwner[db] = tn.Name
+				}
+			}
+		}
+		if m.Default != "" && !seen[m.Default] {
+			return fmt.Errorf("cluster: manifest default tenant %q is not in the tenant table", m.Default)
+		}
+		return nil
+	}
+	return validateShards(m.Shards, "")
+}
+
+func validateShards(shards []ShardInfo, where string) error {
+	if len(shards) == 0 {
+		return fmt.Errorf("cluster: %smanifest has no shards", where)
+	}
+	for i, s := range shards {
+		if s.Lo > s.Hi {
+			return fmt.Errorf("cluster: %smanifest shard %d has empty range [%d, %d]", where, i, s.Lo, s.Hi)
+		}
+		if i > 0 && s.Lo != shards[i-1].Hi+1 {
+			return fmt.Errorf("cluster: %smanifest shard %d starts at %d, want %d (contiguous ranges)",
+				where, i, s.Lo, shards[i-1].Hi+1)
 		}
 		if s.DB != "" && len(s.DBs) > 0 {
-			return fmt.Errorf("cluster: manifest shard %d sets both db and dbs", i)
+			return fmt.Errorf("cluster: %smanifest shard %d sets both db and dbs", where, i)
 		}
 		if s.Addr != "" && len(s.Addrs) > 0 {
-			return fmt.Errorf("cluster: manifest shard %d sets both addr and addrs", i)
+			return fmt.Errorf("cluster: %smanifest shard %d sets both addr and addrs", where, i)
 		}
 		if d, a := len(s.ReplicaDBs()), len(s.ReplicaAddrs()); d > 0 && a > 0 && d != a {
-			return fmt.Errorf("cluster: manifest shard %d lists %d db files but %d addresses", i, d, a)
+			return fmt.Errorf("cluster: %smanifest shard %d lists %d db files but %d addresses", where, i, d, a)
 		}
 	}
 	return nil
+}
+
+// Upgrade lifts a v1 manifest into the v2 format, naming its single
+// tenant. A manifest that is already v2 is returned unchanged. The
+// upgraded manifest round-trips through Write/LoadManifest with the
+// same tenant table.
+func (m *Manifest) Upgrade(name string) *Manifest {
+	if len(m.Tenants) > 0 {
+		return m
+	}
+	return &Manifest{
+		Version: 2,
+		Tenants: []TenantShards{{Name: name, Shards: m.Shards}},
+		Default: name,
+	}
 }
 
 // Write serializes the manifest as indented JSON.

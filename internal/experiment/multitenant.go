@@ -1,0 +1,164 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"encshare/internal/engine"
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
+	"encshare/internal/server"
+	"encshare/internal/xpath"
+)
+
+// MultiTenant measures tenant isolation in the server runtime: a
+// victim tenant runs the advanced strict engine over its table while a
+// noisy neighbor tenant floods the same process with evaluation
+// batches over its own (equally large) table. With per-tenant cache
+// quotas the victim keeps its decoded-polynomial hit rate; with the
+// quota disabled (one shared cache of the same total budget) the
+// neighbor's scan evicts the victim's hot set between queries.
+func MultiTenant(env *Env) (*Table, error) {
+	nodes, err := env.Store.Count()
+	if err != nil {
+		return nil, err
+	}
+	// Half the table: the victim's segment still fits its hot set, but
+	// a shared cache of this size cannot hold the neighbor's full
+	// random sweep plus the victim's hot set.
+	budget := int(nodes) / 2
+	const query = "/site//europe/item"
+	const rounds = 5
+
+	t := &Table{
+		Title:  "Tenant isolation: victim query vs noisy neighbor, cache quotas on vs off (advanced engine, strict)",
+		Header: []string{"scenario", "victim median (ms)", "victim hit rate", "victim decodes", "noisy evals"},
+		Notes: []string{
+			fmt.Sprintf("one runtime process, two tenants over %d-node tables; global cache budget %d entries", nodes, budget),
+			"quotas on: per-tenant cache segments (budget/2 each) — the neighbor cannot evict the victim's entries",
+			"quotas off: one shared cache of the full budget — the neighbor's scan evicts the victim's hot set",
+			fmt.Sprintf("victim runs %s %d times; noisy tenant streams random 256-node eval batches throughout", query, rounds),
+		},
+	}
+
+	type scenario struct {
+		name   string
+		noisy  bool
+		shared bool
+	}
+	for _, sc := range []scenario{
+		{"idle neighbor, quotas on", false, false},
+		{"noisy neighbor, quotas on", true, false},
+		{"noisy neighbor, quotas off", true, true},
+	} {
+		row, err := multiTenantScenario(env, query, rounds, budget, sc.noisy, sc.shared)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, append([]string{sc.name}, row...))
+	}
+	return t, nil
+}
+
+func multiTenantScenario(env *Env, query string, rounds, budget int, noisy, shared bool) ([]string, error) {
+	perTenant := budget / 2
+	cfg := server.Config{CacheBudget: budget, SharedCache: shared}
+	rt := server.New(cfg)
+	quota := perTenant
+	if shared {
+		quota = 0 // quotas off: tenants draw on the one shared cache
+	}
+	if err := rt.AttachStore(server.Tenant{Name: "victim", P: 83, CacheEntries: quota}, env.Store); err != nil {
+		return nil, err
+	}
+	// The noisy neighbor serves the same table under its own name —
+	// equal size, disjoint cache keys, so its traffic is pure cache
+	// pressure from the runtime's point of view.
+	if err := rt.AttachStore(server.Tenant{Name: "noisy", P: 83, CacheEntries: quota}, env.Store); err != nil {
+		return nil, err
+	}
+
+	vCli := rmi.Pipe(rt.RMI())
+	vCli.SetTenant("victim")
+	defer vCli.Close()
+	victim := filter.NewClient(filter.NewRemote(vCli), env.Scheme)
+	adv := engine.NewAdvanced(victim, env.Map)
+	parsed, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	if noisy {
+		nCli := rmi.Pipe(rt.RMI())
+		nCli.SetTenant("noisy")
+		defer nCli.Close()
+		neighbor := filter.NewRemote(nCli)
+		lo, hi, err := env.Store.MinMaxPre()
+		if err != nil {
+			return nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(99))
+			reqs := make([]filter.EvalRequest, 256)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range reqs {
+					reqs[i] = filter.EvalRequest{Pre: lo + rng.Int63n(hi-lo+1), Point: 7}
+				}
+				if _, err := neighbor.EvalBatch(reqs); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	// Warm the victim's cache once, then measure steady-state rounds —
+	// the state a resident tenant is in when a neighbor moves in.
+	if _, err := adv.Run(parsed, engine.Equality); err != nil {
+		close(stop)
+		wg.Wait()
+		return nil, err
+	}
+	statsBefore := rt.Stats()["victim"]
+	times := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		start := time.Now()
+		if _, err := adv.Run(parsed, engine.Equality); err != nil {
+			close(stop)
+			wg.Wait()
+			return nil, err
+		}
+		times = append(times, time.Since(start))
+	}
+	statsAfter := rt.Stats()["victim"]
+	close(stop)
+	wg.Wait()
+	noisyEvals := rt.Stats()["noisy"].Evals
+
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	median := times[len(times)/2]
+	hits := statsAfter.CacheHits - statsBefore.CacheHits
+	misses := statsAfter.CacheMisses - statsBefore.CacheMisses
+	decodes := statsAfter.Decodes - statsBefore.Decodes
+	hitRate := "n/a"
+	if hits+misses > 0 {
+		hitRate = fmt.Sprintf("%.1f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	return []string{
+		fmt.Sprintf("%.2f", float64(median.Microseconds())/1000),
+		hitRate,
+		fmt.Sprintf("%d", decodes),
+		fmt.Sprintf("%d", noisyEvals),
+	}, nil
+}

@@ -153,3 +153,23 @@ func (c *polyCache) len() int {
 func (c *polyCache) counters() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
 }
+
+// PolyCache is the exported handle to a decoded-polynomial cache. The
+// server runtime owns cache objects — one per tenant when quotas
+// partition the global budget, or a single shared one when they do not
+// — and hands them to the filters it builds; filters without an
+// injected cache still create a private one (NewServerFilter).
+type PolyCache struct{ c *polyCache }
+
+// NewPolyCache creates a cache bounded to the given number of decoded
+// polynomials (<= 0 disables caching).
+func NewPolyCache(entries int) *PolyCache {
+	return &PolyCache{c: newPolyCache(entries)}
+}
+
+// Counters returns the cache's cumulative hit/miss counts across every
+// filter using it.
+func (p *PolyCache) Counters() (hits, misses int64) { return p.c.counters() }
+
+// Len returns the number of resident entries.
+func (p *PolyCache) Len() int { return p.c.len() }

@@ -76,13 +76,56 @@ type ServerFilter struct {
 	workers int // batch pool bound; 0 means defaultWorkers()
 
 	cache *polyCache
+	// keyBase namespaces this filter's entries inside a cache shared
+	// with other filters (tenants): cache keys are keyBase+pre.
+	keyBase int64
+	// Per-filter cache traffic. The cache's own counters aggregate
+	// every filter sharing it; these stay tenant-local so ServerStats
+	// isolation holds under any cache layout.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// ServerOptions tunes a server filter beyond the defaults: an injected
+// (possibly shared) decoded-polynomial cache with a key namespace, and
+// the batch worker-pool bound. The zero value matches
+// NewServerFilter(st, r, 0).
+type ServerOptions struct {
+	// Cache is the decoded-polynomial cache to use. Nil means a private
+	// cache of CacheSize entries.
+	Cache *PolyCache
+	// CacheSize bounds the private cache when Cache is nil (<= 0
+	// disables caching).
+	CacheSize int
+	// CacheKeyBase offsets this filter's cache keys, so filters of
+	// different tenants can share one cache without colliding on equal
+	// pre values. Must leave the pre range unshifted within an offset
+	// window (the runtime spaces tenants 2^44 apart).
+	CacheKeyBase int64
+	// Workers bounds the batch worker pool (0 = number of CPUs).
+	Workers int
 }
 
 // NewServerFilter creates a server filter over st, with polynomials
 // decoded in ring r. cacheSize bounds the decoded-polynomial cache
 // (0 disables caching).
 func NewServerFilter(st *store.Store, r *ring.Ring, cacheSize int) *ServerFilter {
-	return &ServerFilter{st: st, r: r, cache: newPolyCache(cacheSize)}
+	return NewServerFilterWith(st, r, ServerOptions{CacheSize: cacheSize})
+}
+
+// NewServerFilterWith is NewServerFilter with explicit options — how
+// the server runtime builds per-tenant filters that draw on a cache it
+// owns.
+func NewServerFilterWith(st *store.Store, r *ring.Ring, opts ServerOptions) *ServerFilter {
+	cache := newPolyCache(opts.CacheSize)
+	if opts.Cache != nil {
+		cache = opts.Cache.c
+	}
+	sf := &ServerFilter{st: st, r: r, cache: cache, keyBase: opts.CacheKeyBase}
+	if opts.Workers > 0 {
+		sf.workers = opts.Workers
+	}
+	return sf
 }
 
 // Evals returns the number of polynomial evaluations performed server-side.
@@ -118,13 +161,13 @@ type StatsAPI interface {
 	ServerStats() (ServerStats, error)
 }
 
-// ServerStats implements StatsAPI.
+// ServerStats implements StatsAPI. The counters are per-filter: two
+// tenants' filters sharing one cache still report disjoint traffic.
 func (s *ServerFilter) ServerStats() (ServerStats, error) {
-	hits, misses := s.cache.counters()
 	return ServerStats{
 		Evals:       s.evals.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		CacheHits:   s.cacheHits.Load(),
+		CacheMisses: s.cacheMisses.Load(),
 		Decodes:     s.decodes.Load(),
 	}, nil
 }
@@ -174,9 +217,11 @@ func (s *ServerFilter) Descendants(pre, post int64) ([]NodeMeta, error) {
 }
 
 func (s *ServerFilter) serverPoly(pre int64) (ring.Poly, error) {
-	if p, ok := s.cache.get(pre); ok {
+	if p, ok := s.cache.get(s.keyBase + pre); ok {
+		s.cacheHits.Add(1)
 		return p, nil
 	}
+	s.cacheMisses.Add(1)
 	row, err := s.st.Node(pre)
 	if err != nil {
 		return nil, err
@@ -186,7 +231,7 @@ func (s *ServerFilter) serverPoly(pre int64) (ring.Poly, error) {
 		return nil, decodeErr(pre, err)
 	}
 	s.decodes.Add(1)
-	s.cache.put(pre, p)
+	s.cache.put(s.keyBase+pre, p)
 	return p, nil
 }
 

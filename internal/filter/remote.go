@@ -50,67 +50,76 @@ type evalArgs struct {
 
 // RegisterServer exposes a ServerAPI (normally a *ServerFilter) on an rmi
 // server — the paper's server-side RMI endpoint. When the API also
-// implements BatchAPI, the batch methods are registered as well.
+// implements BatchAPI, the batch methods are registered as well. The
+// methods land in the global handler set, which is the single-tenant
+// layout; multi-tenant runtimes use RegisterServerAt per tenant.
 func RegisterServer(srv *rmi.Server, api ServerAPI) {
-	rmi.HandleFunc(srv, methodRoot, func(struct{}) (NodeMeta, error) {
+	RegisterServerAt(srv, "", api)
+}
+
+// RegisterServerAt is RegisterServer into the named tenant's handler
+// set: calls carrying that tenant in their frame header dispatch to
+// this api, so one rmi server hosts many independent filter backends.
+func RegisterServerAt(srv *rmi.Server, tenant string, api ServerAPI) {
+	rmi.HandleFuncAt(srv, tenant, methodRoot, func(struct{}) (NodeMeta, error) {
 		return api.Root()
 	})
-	rmi.HandleFunc(srv, methodNode, func(pre int64) (NodeMeta, error) {
+	rmi.HandleFuncAt(srv, tenant, methodNode, func(pre int64) (NodeMeta, error) {
 		return api.Node(pre)
 	})
-	rmi.HandleFunc(srv, methodChildren, func(pre int64) ([]NodeMeta, error) {
+	rmi.HandleFuncAt(srv, tenant, methodChildren, func(pre int64) ([]NodeMeta, error) {
 		return api.Children(pre)
 	})
-	rmi.HandleFunc(srv, methodDescendants, func(a descArgs) ([]NodeMeta, error) {
+	rmi.HandleFuncAt(srv, tenant, methodDescendants, func(a descArgs) ([]NodeMeta, error) {
 		return api.Descendants(a.Pre, a.Post)
 	})
-	rmi.HandleFunc(srv, methodEvalAt, func(a evalArgs) (gf.Elem, error) {
+	rmi.HandleFuncAt(srv, tenant, methodEvalAt, func(a evalArgs) (gf.Elem, error) {
 		return api.EvalAt(a.Pre, a.Point)
 	})
-	rmi.HandleFunc(srv, methodPoly, func(pre int64) (PolyRow, error) {
+	rmi.HandleFuncAt(srv, tenant, methodPoly, func(pre int64) (PolyRow, error) {
 		return api.Poly(pre)
 	})
-	rmi.HandleFunc(srv, methodChildrenPolys, func(pre int64) ([]PolyRow, error) {
+	rmi.HandleFuncAt(srv, tenant, methodChildrenPolys, func(pre int64) ([]PolyRow, error) {
 		return api.ChildrenPolys(pre)
 	})
-	rmi.HandleFunc(srv, methodCount, func(struct{}) (int64, error) {
+	rmi.HandleFuncAt(srv, tenant, methodCount, func(struct{}) (int64, error) {
 		return api.Count()
 	})
 	if b, ok := api.(BatchAPI); ok {
-		rmi.HandleFunc(srv, methodEvalBatch, func(reqs []EvalRequest) ([]EvalResult, error) {
+		rmi.HandleFuncAt(srv, tenant, methodEvalBatch, func(reqs []EvalRequest) ([]EvalResult, error) {
 			return b.EvalBatch(reqs)
 		})
-		rmi.HandleFunc(srv, methodNodeBatch, func(pres []int64) ([]NodeMeta, error) {
+		rmi.HandleFuncAt(srv, tenant, methodNodeBatch, func(pres []int64) ([]NodeMeta, error) {
 			return b.NodeBatch(pres)
 		})
-		rmi.HandleFunc(srv, methodChildrenBatch, func(pres []int64) ([][]NodeMeta, error) {
+		rmi.HandleFuncAt(srv, tenant, methodChildrenBatch, func(pres []int64) ([][]NodeMeta, error) {
 			return b.ChildrenBatch(pres)
 		})
-		rmi.HandleFunc(srv, methodDescendantsBatch, func(spans []Span) ([][]NodeMeta, error) {
+		rmi.HandleFuncAt(srv, tenant, methodDescendantsBatch, func(spans []Span) ([][]NodeMeta, error) {
 			return b.DescendantsBatch(spans)
 		})
-		rmi.HandleFunc(srv, methodNodePolysBatch, func(pres []int64) ([]NodePolys, error) {
+		rmi.HandleFuncAt(srv, tenant, methodNodePolysBatch, func(pres []int64) ([]NodePolys, error) {
 			return b.NodePolysBatch(pres)
 		})
-		rmi.HandleFunc(srv, methodDescendantsPage, func(a descPageArgs) (descPageReply, error) {
+		rmi.HandleFuncAt(srv, tenant, methodDescendantsPage, func(a descPageArgs) (descPageReply, error) {
 			return pageDescendants(b, a)
 		})
-		rmi.HandleFunc(srv, methodNodePolysPage, func(a bundlePageArgs) (bundlePage[NodePolys], error) {
+		rmi.HandleFuncAt(srv, tenant, methodNodePolysPage, func(a bundlePageArgs) (bundlePage[NodePolys], error) {
 			return pageBundles(a, b.NodePolysBatch, nodePolysWire)
 		})
 	}
 	if p, ok := api.(PartialAPI); ok {
-		rmi.HandleFunc(srv, methodNodePolysPartialPage, func(a bundlePageArgs) (bundlePage[PartialNodePolys], error) {
+		rmi.HandleFuncAt(srv, tenant, methodNodePolysPartialPage, func(a bundlePageArgs) (bundlePage[PartialNodePolys], error) {
 			return pageBundles(a, p.NodePolysPartial, partialNodePolysWire)
 		})
 	}
 	if ra, ok := api.(RangeAPI); ok {
-		rmi.HandleFunc(srv, methodPreRange, func(struct{}) (PreRange, error) {
+		rmi.HandleFuncAt(srv, tenant, methodPreRange, func(struct{}) (PreRange, error) {
 			return ra.PreRange()
 		})
 	}
 	if sa, ok := api.(StatsAPI); ok {
-		rmi.HandleFunc(srv, methodServerStats, func(struct{}) (ServerStats, error) {
+		rmi.HandleFuncAt(srv, tenant, methodServerStats, func(struct{}) (ServerStats, error) {
 			return sa.ServerStats()
 		})
 	}

@@ -6,6 +6,20 @@
 //
 // The protocol is strictly request/response. Clients serialize concurrent
 // calls; servers handle each connection in its own goroutine.
+//
+// # Tenants (frame version 2)
+//
+// A v2 request frame carries a tenant name, and a server dispatches each
+// call against that tenant's handler set — how one process serves many
+// independent encrypted tables. The frame format is gob, so the version
+// bump is bidirectionally graceful: a v1 client's frames decode with an
+// empty tenant and route to the server's designated default tenant, and
+// a v1 server silently ignores the extra fields (which is why clients
+// naming a non-default tenant must verify the server speaks v2 first —
+// see the runtime's ResolveTenant handshake in internal/server).
+// Handlers registered under the empty tenant name are global: reachable
+// from every tenant, which is how protocol-negotiation and admin
+// methods stay tenant-independent.
 package rmi
 
 import (
@@ -18,6 +32,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxFrame bounds a single message; a frame larger than this indicates
@@ -50,8 +65,12 @@ func (e *TransportError) Unwrap() error { return e.Err }
 
 // unknownMethodPrefix starts the RemoteError message for a method the
 // server does not expose; IsUnknownMethod is the public contract, so the
-// wording can change without breaking callers.
-const unknownMethodPrefix = "unknown method "
+// wording can change without breaking callers. unknownTenantPrefix is
+// its tenant-level analogue.
+const (
+	unknownMethodPrefix = "unknown method "
+	unknownTenantPrefix = "unknown tenant "
+)
 
 // IsUnknownMethod reports whether err says the server does not expose
 // the named method — how clients feature-detect protocol extensions.
@@ -63,10 +82,33 @@ func IsUnknownMethod(err error, method string) bool {
 	return errors.As(err, &re) && re.Msg == unknownMethodPrefix+method
 }
 
+// IsUnknownTenant reports whether err says the server does not host the
+// named tenant.
+func IsUnknownTenant(err error, tenant string) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Msg == unknownTenantPrefix+tenant
+}
+
+// ErrUnknownTenant is the error a handler returns to reject a tenant by
+// name with the same reply text the dispatcher itself uses — so
+// IsUnknownTenant matches both producers and the wording lives in one
+// package.
+func ErrUnknownTenant(tenant string) error {
+	return errors.New(unknownTenantPrefix + tenant)
+}
+
+// FrameVersion is the request frame version this client sends. Version
+// 2 added the Tenant field; version-0 frames (from pre-tenant clients,
+// whose request struct had neither field) decode identically to a v2
+// frame with an empty tenant.
+const FrameVersion = 2
+
 type request struct {
 	Seq    uint64
 	Method string
 	Body   []byte
+	Ver    uint8
+	Tenant string
 }
 
 type response struct {
@@ -80,37 +122,115 @@ type response struct {
 type HandlerFunc func(body []byte) ([]byte, error)
 
 // Server dispatches incoming calls to registered handlers. Safe for
-// concurrent use.
+// concurrent use. Handler sets are keyed by tenant name; the empty name
+// holds the global set, which doubles as the legacy single-tenant
+// registration target and as the fallback for tenant-independent
+// methods (a method missing from a tenant's set is looked up globally
+// before the call fails).
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[string]HandlerFunc
+	mu            sync.RWMutex
+	tenants       map[string]map[string]HandlerFunc
+	defaultTenant string
 
 	// Stats
 	calls     atomic.Int64
 	bytesIn   atomic.Int64
 	bytesOut  atomic.Int64
 	listeners sync.WaitGroup
+
+	// Graceful shutdown: closing flips first, the drain lock waits out
+	// frames already being handled (each frame holds a read lock from
+	// dispatch through reply write), then tracked connections close.
+	closing atomic.Bool
+	drain   sync.RWMutex
+	connMu  sync.Mutex
+	conns   map[net.Conn]struct{}
 }
 
 // NewServer returns an empty server.
 func NewServer() *Server {
-	return &Server{handlers: map[string]HandlerFunc{}}
+	return &Server{
+		tenants: map[string]map[string]HandlerFunc{"": {}},
+		conns:   map[net.Conn]struct{}{},
+	}
 }
 
-// Handle registers fn under the method name. Registering a duplicate name
-// panics (a programming error).
+// Handle registers fn under the method name in the global handler set.
+// Registering a duplicate name panics (a programming error).
 func (s *Server) Handle(method string, fn HandlerFunc) {
+	s.HandleAt("", method, fn)
+}
+
+// HandleAt registers fn under the method name in the named tenant's
+// handler set (the empty tenant is the global set). Registering a
+// duplicate (tenant, method) pair panics.
+func (s *Server) HandleAt(tenant, method string, fn HandlerFunc) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.handlers[method]; dup {
-		panic("rmi: duplicate handler for " + method)
+	set := s.tenants[tenant]
+	if set == nil {
+		set = map[string]HandlerFunc{}
+		s.tenants[tenant] = set
 	}
-	s.handlers[method] = fn
+	if _, dup := set[method]; dup {
+		panic("rmi: duplicate handler for " + tenant + "/" + method)
+	}
+	set[method] = fn
+}
+
+// DropTenant removes a tenant's entire handler set, reporting whether it
+// existed. In-flight calls already dispatched to its handlers complete;
+// later frames naming the tenant get an unknown-tenant error. The global
+// set cannot be dropped.
+func (s *Server) DropTenant(tenant string) bool {
+	if tenant == "" {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tenants[tenant]; !ok {
+		return false
+	}
+	delete(s.tenants, tenant)
+	if s.defaultTenant == tenant {
+		s.defaultTenant = ""
+	}
+	return true
+}
+
+// SetDefaultTenant names the tenant that calls carrying no tenant (v1
+// clients, or v2 clients that never set one) are routed to — the
+// graceful-downgrade rule that keeps pre-tenant client binaries working
+// against a multi-tenant server. An empty name restores the global set
+// as the target.
+func (s *Server) SetDefaultTenant(tenant string) {
+	s.mu.Lock()
+	s.defaultTenant = tenant
+	s.mu.Unlock()
+}
+
+// Tenants returns the named tenants with registered handler sets (the
+// global set is not listed).
+func (s *Server) Tenants() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tenants)-1)
+	for name := range s.tenants {
+		if name != "" {
+			out = append(out, name)
+		}
+	}
+	return out
 }
 
 // HandleFunc registers a typed handler: decode Args, call, encode Reply.
 func HandleFunc[Args any, Reply any](s *Server, method string, fn func(Args) (Reply, error)) {
-	s.Handle(method, func(body []byte) ([]byte, error) {
+	HandleFuncAt(s, "", method, fn)
+}
+
+// HandleFuncAt is HandleFunc targeting a tenant's handler set.
+func HandleFuncAt[Args any, Reply any](s *Server, tenant, method string, fn func(Args) (Reply, error)) {
+	s.HandleAt(tenant, method, func(body []byte) ([]byte, error) {
 		var args Args
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&args); err != nil {
 			return nil, fmt.Errorf("decoding args: %w", err)
@@ -125,6 +245,30 @@ func HandleFunc[Args any, Reply any](s *Server, method string, fn func(Args) (Re
 		}
 		return buf.Bytes(), nil
 	})
+}
+
+// lookup resolves a request's tenant and method to a handler, or to the
+// error message the response should carry.
+func (s *Server) lookup(tenant, method string) (HandlerFunc, string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	name := tenant
+	if name == "" {
+		name = s.defaultTenant
+	}
+	set, known := s.tenants[name]
+	if fn, ok := set[method]; ok {
+		return fn, ""
+	}
+	// Tenant-independent methods (protocol negotiation, admin) live in
+	// the global set and answer under any tenant, known or not.
+	if fn, ok := s.tenants[""][method]; ok {
+		return fn, ""
+	}
+	if !known {
+		return nil, unknownTenantPrefix + name
+	}
+	return nil, unknownMethodPrefix + method
 }
 
 // Serve accepts connections until the listener is closed.
@@ -146,24 +290,44 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// ServeConn serves a single connection until EOF or error.
+// ServeConn serves a single connection until EOF, error, or server
+// shutdown.
 func (s *Server) ServeConn(conn net.Conn) {
-	defer conn.Close()
+	s.connMu.Lock()
+	if s.closing.Load() {
+		s.connMu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+	defer func() {
+		s.connMu.Lock()
+		delete(s.conns, conn)
+		s.connMu.Unlock()
+		conn.Close()
+	}()
 	for {
 		var req request
 		n, err := readFrame(conn, &req)
 		if err != nil {
 			return // EOF or broken peer: nothing to report to
 		}
+		// The read lock brackets one frame: Shutdown's write lock
+		// cannot proceed until every frame already past the closing
+		// check has written its reply.
+		s.drain.RLock()
+		if s.closing.Load() {
+			s.drain.RUnlock()
+			return
+		}
 		s.bytesIn.Add(int64(n))
 		s.calls.Add(1)
-		s.mu.RLock()
-		fn, ok := s.handlers[req.Method]
-		s.mu.RUnlock()
+		fn, errMsg := s.lookup(req.Tenant, req.Method)
 		var resp response
 		resp.Seq = req.Seq
-		if !ok {
-			resp.Err = unknownMethodPrefix + req.Method
+		if fn == nil {
+			resp.Err = errMsg
 		} else {
 			body, err := fn(req.Body)
 			if err != nil {
@@ -173,11 +337,49 @@ func (s *Server) ServeConn(conn net.Conn) {
 			}
 		}
 		n, err = writeFrame(conn, &resp)
+		s.drain.RUnlock()
 		if err != nil {
 			return
 		}
 		s.bytesOut.Add(int64(n))
+		if s.closing.Load() {
+			return
+		}
 	}
+}
+
+// drainTimeout bounds how long Shutdown waits for in-flight frames: a
+// peer that requested a reply and then stopped reading would otherwise
+// hold its ServeConn goroutine in a blocked write forever, and the
+// drain barrier with it. A variable so tests can shrink it.
+var drainTimeout = 5 * time.Second
+
+// Shutdown drains the server: frames already being handled complete and
+// their replies are written (bounded by drainTimeout — a peer that
+// stopped reading has its reply write cut off instead of hanging the
+// shutdown), no new frame is dispatched, and every tracked connection
+// is then closed, which unblocks ServeConn readers and lets Serve
+// return once its listener is closed. Safe to call more than once.
+func (s *Server) Shutdown() {
+	s.closing.Store(true)
+	// Bound the drain: any conn I/O still pending past the deadline
+	// errors out and releases its read lock.
+	deadline := time.Now().Add(drainTimeout)
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.SetDeadline(deadline)
+	}
+	s.connMu.Unlock()
+	// Barrier: wait for every in-flight frame (dispatch through reply
+	// write) to release its read lock.
+	s.drain.Lock()
+	s.drain.Unlock() //nolint:staticcheck // empty critical section is the drain barrier
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	s.listeners.Wait()
 }
 
 // ServerStats is a snapshot of server-side traffic counters.
@@ -199,9 +401,10 @@ func (s *Server) Stats() ServerStats {
 // Client issues calls over one connection. Safe for concurrent use; calls
 // are serialized.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint64
+	mu     sync.Mutex
+	conn   net.Conn
+	seq    uint64
+	tenant string
 
 	calls    atomic.Int64
 	bytesOut atomic.Int64
@@ -225,6 +428,25 @@ func NewClient(conn net.Conn) *Client {
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetTenant names the tenant every subsequent call is issued against.
+// An empty name (the default) routes to the server's default tenant —
+// the wire frames are then indistinguishable from a pre-tenant
+// client's, so old servers keep working. Callers naming a non-default
+// tenant should verify the server speaks the tenant protocol first
+// (see internal/server.ResolveTenant).
+func (c *Client) SetTenant(tenant string) {
+	c.mu.Lock()
+	c.tenant = tenant
+	c.mu.Unlock()
+}
+
+// Tenant returns the tenant set with SetTenant ("" if none).
+func (c *Client) Tenant() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenant
+}
+
 // Call invokes method with gob-encoded args, decoding the reply into
 // reply (a pointer), and returns a *RemoteError if the handler failed.
 func (c *Client) Call(method string, args any, reply any) error {
@@ -236,7 +458,7 @@ func (c *Client) Call(method string, args any, reply any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
-	req := request{Seq: c.seq, Method: method, Body: body.Bytes()}
+	req := request{Seq: c.seq, Method: method, Body: body.Bytes(), Ver: FrameVersion, Tenant: c.tenant}
 	n, err := writeFrame(c.conn, &req)
 	if err != nil {
 		return &TransportError{Method: method, Err: fmt.Errorf("sending: %w", err)}

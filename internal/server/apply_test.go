@@ -1,0 +1,36 @@
+package server_test
+
+import (
+	"testing"
+
+	"encshare/internal/server"
+)
+
+// TestApplyUnnamedReload pins the v1-manifest SIGHUP path end to end:
+// Apply with only the unnamed tenant must route tenantless clients to
+// it, and a config change (new db path) must detach and re-attach it
+// without losing the dispatch default or panicking.
+func TestApplyUnnamedReload(t *testing.T) {
+	alpha := newTenantFixture(t, alphaXML, "seed-alpha")
+	beta := newTenantFixture(t, betaXML, "seed-beta")
+	dir := t.TempDir()
+	aDB := dumpFixture(t, alpha, dir, "a.db")
+	bDB := dumpFixture(t, beta, dir, "b.db")
+
+	rt := server.New(server.Config{})
+	defer rt.Shutdown()
+	if _, _, err := rt.Apply([]server.Tenant{{Path: aDB, P: 83}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	lc, _ := runtimeClient(t, rt, "", alpha)
+	if n, err := lc.Count(); err != nil || n != alpha.nodes {
+		t.Fatalf("first apply: %d, %v", n, err)
+	}
+	if _, _, err := rt.Apply([]server.Tenant{{Path: bDB, P: 83}}, ""); err != nil {
+		t.Fatal(err)
+	}
+	lc2, _ := runtimeClient(t, rt, "", beta)
+	if n, err := lc2.Count(); err != nil || n != beta.nodes {
+		t.Fatalf("second apply: %d, %v", n, err)
+	}
+}

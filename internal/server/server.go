@@ -1,0 +1,511 @@
+// Package server is the multi-tenant server runtime: everything a
+// serving process does that is not pure query evaluation. It owns the
+// rmi endpoint and its accept/dispatch loop, a registry of named
+// tenants — each an independent encrypted shard table with its own
+// store, field parameters, worker quota, and decoded-polynomial cache
+// quota — and the process lifecycle (graceful drain on shutdown, live
+// attach/detach for config reloads).
+//
+// The filter package stays pure: a ServerFilter evaluates queries
+// against one store and knows nothing about listeners, tenants, or
+// cache budgets. The runtime builds one filter per tenant, hands each
+// a cache carved from the shared global budget (per-tenant segments by
+// default, so one tenant's scan cannot evict another's hot set; one
+// shared cache when quotas are disabled), and registers the filter's
+// RMI methods under the tenant's name. Calls carrying no tenant — from
+// pre-tenant client binaries, whose frames decode identically — route
+// to the designated default tenant, so a single-tenant deployment
+// upgrades in place.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+
+	"encshare/internal/filter"
+	"encshare/internal/gf"
+	"encshare/internal/minisql"
+	"encshare/internal/ring"
+	"encshare/internal/rmi"
+	"encshare/internal/store"
+)
+
+// Runtime-level RMI methods, registered in the global handler set so
+// they answer under any tenant name (they run before a tenant is
+// trusted to exist).
+const (
+	methodResolveTenant = "runtime.ResolveTenant"
+	methodTenants       = "runtime.Tenants"
+)
+
+// DefaultCacheEntries is the decoded-polynomial cache quota a tenant
+// gets when neither it nor the runtime budget says otherwise — the same
+// default a standalone single-tenant server always had.
+const DefaultCacheEntries = 4096
+
+// tenantKeySpacing separates tenants' key ranges inside a shared cache:
+// pre values are dense encoder-assigned positions, far below 2^44.
+const tenantKeySpacing = int64(1) << 44
+
+// unnamedKey is the rmi registry key of the unnamed (legacy
+// single-tenant) tenant. It must NOT be the empty string: the empty
+// key is the global handler set (runtime methods), which can never be
+// dropped — registering the unnamed tenant there would make it
+// impossible to detach and re-attach on a config reload. The NUL
+// prefix keeps it out of the way of configured names (config
+// validation requires non-empty names; a wire client naming it
+// explicitly just reaches the default-tenant handlers, exactly as an
+// empty tenant field would).
+const unnamedKey = "\x00unnamed"
+
+// regKey maps a tenant name to its rmi registry key.
+func regKey(name string) string {
+	if name == "" {
+		return unnamedKey
+	}
+	return name
+}
+
+// Tenant describes one tenant's serving configuration.
+type Tenant struct {
+	// Name identifies the tenant in frame headers. Empty names the
+	// legacy unnamed tenant (registered globally) — valid only for the
+	// single-tenant layout.
+	Name string
+	// Path is the encoded database file to load (AttachFile).
+	Path string
+	// P, E are the field parameters the tenant's table was encoded
+	// with (the server needs ring dimensions, not secrets).
+	P, E uint32
+	// Workers bounds the tenant's batch worker pool (0 = number of
+	// CPUs).
+	Workers int
+	// CacheEntries is the tenant's decoded-polynomial cache quota
+	// (0 = DefaultCacheEntries, negative disables). With a runtime
+	// cache budget set, the quotas of all attached tenants may not
+	// exceed it.
+	CacheEntries int
+}
+
+func (t Tenant) quota() int {
+	switch {
+	case t.CacheEntries < 0:
+		return 0
+	case t.CacheEntries == 0:
+		return DefaultCacheEntries
+	default:
+		return t.CacheEntries
+	}
+}
+
+// Config tunes the runtime.
+type Config struct {
+	// CacheBudget caps the sum of all tenants' cache quotas (0 = no
+	// cap). Attaching a tenant whose quota would exceed the budget
+	// fails — the enforcement that keeps one tenant from starving the
+	// others of cache memory.
+	CacheBudget int
+	// SharedCache disables per-tenant cache segmentation: every tenant
+	// draws on one cache of CacheBudget entries (quotas "off"). Key
+	// namespacing keeps correctness; isolation is gone — a noisy
+	// tenant can evict its neighbors' hot sets. Kept for the
+	// tenant-isolation experiment and as an explicit opt-out.
+	SharedCache bool
+	// Default names the tenant that calls without a tenant header route
+	// to. Empty means the first attached tenant becomes the default.
+	Default string
+}
+
+type tenantState struct {
+	cfg   Tenant
+	st    *store.Store
+	dsn   string // fresh DSN to drop, when the runtime opened the store
+	owned bool
+	sf    *filter.ServerFilter
+	cache *filter.PolyCache // nil when drawing on the shared cache
+}
+
+// Runtime hosts a set of tenants behind one rmi endpoint.
+type Runtime struct {
+	cfg Config
+	srv *rmi.Server
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+	slots   int64 // next shared-cache key-namespace slot
+	shared  *filter.PolyCache
+	dflt    string
+	l       net.Listener
+}
+
+// New creates an empty runtime and registers the runtime-level RMI
+// methods (tenant resolution and listing).
+func New(cfg Config) *Runtime {
+	rt := &Runtime{cfg: cfg, srv: rmi.NewServer(), tenants: map[string]*tenantState{}}
+	if cfg.SharedCache {
+		size := cfg.CacheBudget
+		if size == 0 {
+			size = DefaultCacheEntries
+		}
+		rt.shared = filter.NewPolyCache(size)
+	}
+	rmi.HandleFunc(rt.srv, methodResolveTenant, func(name string) (string, error) {
+		return rt.resolve(name)
+	})
+	rmi.HandleFunc(rt.srv, methodTenants, func(struct{}) ([]string, error) {
+		return rt.Tenants(), nil
+	})
+	if cfg.Default != "" {
+		rt.setDefault(cfg.Default)
+	}
+	return rt
+}
+
+// RMI returns the runtime's rmi server, for callers that register
+// additional methods (tests, future admin surfaces).
+func (rt *Runtime) RMI() *rmi.Server { return rt.srv }
+
+// resolve maps a caller-supplied tenant name ("" = default) to the
+// attached tenant it would dispatch to.
+func (rt *Runtime) resolve(name string) (string, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if name == "" {
+		name = rt.dflt
+	}
+	if _, ok := rt.tenants[name]; !ok {
+		return "", rmi.ErrUnknownTenant(name)
+	}
+	return name, nil
+}
+
+// Tenants returns the attached tenant names, sorted.
+func (rt *Runtime) Tenants() []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]string, 0, len(rt.tenants))
+	for name := range rt.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Default returns the tenant name calls without a tenant header route
+// to.
+func (rt *Runtime) Default() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.dflt
+}
+
+// setDefault records the default and points the rmi dispatcher at it.
+// The empty name means "no named default": if the unnamed tenant is
+// attached, tenantless frames dispatch to it (its registry key is
+// unnamedKey, never the empty string). Caller must not hold rt.mu.
+func (rt *Runtime) setDefault(name string) {
+	rt.mu.Lock()
+	rt.dflt = name
+	_, hasUnnamed := rt.tenants[""]
+	rt.mu.Unlock()
+	key := name
+	if name == "" && hasUnnamed {
+		key = unnamedKey
+	}
+	rt.srv.SetDefaultTenant(key)
+}
+
+// budgetLeft returns how many cache entries of the budget remain,
+// ignoring tenant skip. Caller holds rt.mu.
+func (rt *Runtime) budgetLeft(skip string) int {
+	left := rt.cfg.CacheBudget
+	for name, ts := range rt.tenants {
+		if name == skip {
+			continue
+		}
+		left -= ts.cfg.quota()
+	}
+	return left
+}
+
+// AttachFile opens and loads t.Path into a fresh store and attaches it
+// as tenant t. The runtime owns the store: Detach (and a failed attach)
+// closes it and drops its backing DSN.
+func (rt *Runtime) AttachFile(t Tenant) error {
+	dsn := minisql.FreshDSN()
+	st, err := store.Open(dsn)
+	if err != nil {
+		return err
+	}
+	if err := st.Init(); err != nil {
+		st.Close()
+		minisql.Drop(dsn)
+		return err
+	}
+	f, err := os.Open(t.Path)
+	if err == nil {
+		err = st.Load(f)
+		f.Close()
+	}
+	if err == nil {
+		err = rt.attach(t, st, dsn, true)
+	}
+	if err != nil {
+		st.Close()
+		minisql.Drop(dsn)
+		return fmt.Errorf("server: attaching tenant %q from %s: %w", t.Name, t.Path, err)
+	}
+	return nil
+}
+
+// AttachStore attaches an already-open store as tenant t. The caller
+// keeps ownership: Detach unregisters the tenant but leaves the store
+// open.
+func (rt *Runtime) AttachStore(t Tenant, st *store.Store) error {
+	return rt.attach(t, st, "", false)
+}
+
+func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool) error {
+	f, err := gf.New(normParams(t.P, t.E))
+	if err != nil {
+		return err
+	}
+	r, err := ring.New(f)
+	if err != nil {
+		return err
+	}
+
+	rt.mu.Lock()
+	if _, dup := rt.tenants[t.Name]; dup {
+		rt.mu.Unlock()
+		return fmt.Errorf("server: tenant %q already attached", t.Name)
+	}
+	if rt.cfg.CacheBudget > 0 && !rt.cfg.SharedCache && t.quota() > rt.budgetLeft(t.Name) {
+		left := rt.budgetLeft(t.Name)
+		rt.mu.Unlock()
+		return fmt.Errorf("server: tenant %q cache quota %d exceeds remaining budget %d (global budget %d)",
+			t.Name, t.quota(), left, rt.cfg.CacheBudget)
+	}
+	opts := filter.ServerOptions{Workers: t.Workers}
+	ts := &tenantState{cfg: t, st: st, dsn: dsn, owned: owned}
+	if rt.shared != nil {
+		opts.Cache = rt.shared
+		opts.CacheKeyBase = rt.slots * tenantKeySpacing
+		rt.slots++
+	} else {
+		ts.cache = filter.NewPolyCache(t.quota())
+		opts.Cache = ts.cache
+	}
+	ts.sf = filter.NewServerFilterWith(st, r, opts)
+	rt.tenants[t.Name] = ts
+	needDefault := rt.dflt == "" && (rt.cfg.Default == "" || rt.cfg.Default == t.Name) && t.Name != ""
+	rt.mu.Unlock()
+
+	filter.RegisterServerAt(rt.srv, regKey(t.Name), ts.sf)
+	switch {
+	case needDefault:
+		rt.setDefault(t.Name)
+	case t.Name == "":
+		// The unnamed tenant is the legacy single-tenant layout:
+		// tenantless frames must dispatch to it. rt.dflt stays "" —
+		// resolve("") already finds tenants[""] directly.
+		rt.setDefault("")
+	}
+	return nil
+}
+
+// Detach unregisters the named tenant: subsequent frames naming it get
+// an unknown-tenant error, and a runtime-owned store is closed and
+// dropped. In-flight calls already dispatched may fail as the store
+// goes away — detach during a drain, not under live tenant traffic.
+func (rt *Runtime) Detach(name string) error {
+	rt.mu.Lock()
+	ts, ok := rt.tenants[name]
+	if !ok {
+		rt.mu.Unlock()
+		return fmt.Errorf("server: tenant %q not attached", name)
+	}
+	delete(rt.tenants, name)
+	wasDefault := rt.dflt == name
+	rt.mu.Unlock()
+
+	rt.srv.DropTenant(regKey(name))
+	if wasDefault {
+		rt.setDefault("")
+	}
+	if ts.owned {
+		ts.st.Close()
+		minisql.Drop(ts.dsn)
+	}
+	return nil
+}
+
+// Apply reconciles the attached tenant set against want (a freshly
+// reloaded config): tenants not yet attached are attached from their
+// files, attached tenants missing from want are detached, and tenants
+// whose configuration changed are detached and re-attached. It returns
+// the names touched, and the first error with the reconciliation
+// stopped at it (already-applied changes stay applied).
+func (rt *Runtime) Apply(want []Tenant, dflt string) (attached, detached []string, err error) {
+	wantByName := make(map[string]Tenant, len(want))
+	for _, t := range want {
+		wantByName[t.Name] = t
+	}
+	rt.mu.Lock()
+	var toDetach []string
+	for name, ts := range rt.tenants {
+		w, keep := wantByName[name]
+		if keep && w == ts.cfg {
+			delete(wantByName, name) // unchanged
+			continue
+		}
+		toDetach = append(toDetach, name)
+	}
+	rt.mu.Unlock()
+	sort.Strings(toDetach)
+	for _, name := range toDetach {
+		if err := rt.Detach(name); err != nil {
+			return attached, detached, err
+		}
+		detached = append(detached, name)
+	}
+	var toAttach []string
+	for name := range wantByName {
+		toAttach = append(toAttach, name)
+	}
+	sort.Strings(toAttach)
+	for _, name := range toAttach {
+		if err := rt.AttachFile(wantByName[name]); err != nil {
+			return attached, detached, err
+		}
+		attached = append(attached, name)
+	}
+	if dflt != "" {
+		rt.setDefault(dflt)
+	} else if rt.Default() == "" {
+		// The previous default was detached: fall back to the first
+		// attached tenant, so legacy clients keep an endpoint.
+		if names := rt.Tenants(); len(names) > 0 {
+			rt.setDefault(names[0])
+		}
+	}
+	return attached, detached, nil
+}
+
+// Stats returns every tenant's server-side work counters, keyed by
+// tenant name — isolated per tenant even when the cache is shared.
+func (rt *Runtime) Stats() map[string]filter.ServerStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]filter.ServerStats, len(rt.tenants))
+	for name, ts := range rt.tenants {
+		st, _ := ts.sf.ServerStats()
+		out[name] = st
+	}
+	return out
+}
+
+// NodeCounts returns every tenant's stored-node count, for startup
+// banners and smoke checks.
+func (rt *Runtime) NodeCounts() (map[string]int64, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]int64, len(rt.tenants))
+	for name, ts := range rt.tenants {
+		n, err := ts.st.Count()
+		if err != nil {
+			return nil, err
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
+// Serve accepts connections on l until the listener closes or Shutdown
+// runs.
+func (rt *Runtime) Serve(l net.Listener) error {
+	rt.mu.Lock()
+	rt.l = l
+	rt.mu.Unlock()
+	return rt.srv.Serve(l)
+}
+
+// Shutdown drains gracefully: the listener stops accepting, frames
+// already being handled complete and reply, connections close, and
+// owned tenant stores are released. Serve then returns nil.
+func (rt *Runtime) Shutdown() {
+	rt.mu.Lock()
+	l := rt.l
+	rt.l = nil
+	rt.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	rt.srv.Shutdown()
+	for _, name := range rt.Tenants() {
+		rt.Detach(name)
+	}
+}
+
+func normParams(p, e uint32) (uint32, uint32) {
+	if e == 0 {
+		e = 1
+	}
+	return p, e
+}
+
+// TenantError reports that a reachable, answering server cannot serve
+// the requested tenant — it does not host it, or predates the tenant
+// protocol entirely. Distinct from a transport failure: retrying or
+// tolerating the server is wrong, the deployment is misconfigured.
+type TenantError struct {
+	Tenant string
+	Err    error
+}
+
+func (e *TenantError) Error() string {
+	return fmt.Sprintf("server: tenant %q: %v", e.Tenant, e.Err)
+}
+
+func (e *TenantError) Unwrap() error { return e.Err }
+
+// ResolveTenant verifies, over an established client connection, that
+// the server will dispatch this client's tenant, returning the resolved
+// name (the default tenant's name for clients that set none). Old
+// servers that predate the multi-tenant protocol pass the check for
+// tenantless clients — their dispatch behavior is identical — and fail
+// it with a *TenantError when a tenant was named, instead of silently
+// answering from the wrong table.
+func ResolveTenant(c *rmi.Client) (string, error) {
+	tenant := c.Tenant()
+	var name string
+	err := c.Call(methodResolveTenant, tenant, &name)
+	switch {
+	case err == nil:
+		return name, nil
+	case rmi.IsUnknownMethod(err, methodResolveTenant):
+		if tenant == "" {
+			return "", nil // pre-tenant server, pre-tenant client: compatible
+		}
+		return "", &TenantError{Tenant: tenant, Err: errors.New("server predates the multi-tenant protocol")}
+	case rmi.IsUnknownTenant(err, tenant):
+		return "", &TenantError{Tenant: tenant, Err: err}
+	default:
+		return "", err
+	}
+}
+
+// ListTenants asks a server for its attached tenant names (empty on
+// pre-tenant servers).
+func ListTenants(c *rmi.Client) ([]string, error) {
+	var names []string
+	err := c.Call(methodTenants, struct{}{}, &names)
+	if rmi.IsUnknownMethod(err, methodTenants) {
+		return nil, nil
+	}
+	return names, err
+}
