@@ -20,6 +20,14 @@
 //	encshare-query -addr 127.0.0.1:7083,127.0.0.1:7183,127.0.0.1:7084,127.0.0.1:7184 -hedge ... '//item'
 //	encshare-query -engine simple -test containment ... '//bidder/date'
 //	encshare-query -percall -v ... '/site//europe/item'
+//	encshare-query -agg sum ... '//item'
+//
+// -agg count|sum|avg folds the matching rows server-side instead of
+// listing them: each shard returns one folded share blob per chunk
+// (O(shards) bytes instead of O(rows)), the client completes the
+// aggregate with its regenerated shares, and a verification share
+// detects a shard returning wrong folds. Old servers downgrade to
+// client-side reconstruction automatically.
 package main
 
 import (
@@ -43,6 +51,7 @@ func main() {
 		percall  = flag.Bool("percall", false, "use the paper's one-exchange-per-check protocol instead of batching")
 		hedge    = flag.Bool("hedge", false, "hedge straggling per-shard frames on a second replica")
 		tolerate = flag.Bool("tolerate-down", false, "skip unreachable servers at dial time (replicas must still cover the table)")
+		agg      = flag.String("agg", "", "aggregate the matching rows instead of listing them: count, sum, or avg")
 		tenant   = flag.String("tenant", "", "tenant to query on a multi-tenant server (default: the server's default tenant)")
 		cworkers = flag.Int("client-workers", 0, "client-side worker pool for share streams and reconstructions (0 = number of CPUs)")
 		verbose  = flag.Bool("v", false, "print work statistics")
@@ -102,15 +111,51 @@ func main() {
 	}
 	defer session.Close()
 
-	res, err := session.QueryWith(flag.Arg(0), opts)
-	if err != nil {
-		fatal(err)
+	var res encshare.Result
+	if *agg != "" {
+		var kind encshare.AggKind
+		switch *agg {
+		case "count":
+			kind = encshare.AggCount
+		case "sum":
+			kind = encshare.AggSum
+		case "avg":
+			kind = encshare.AggAvg
+		default:
+			fatal(fmt.Errorf("unknown aggregate %q (want count, sum, or avg)", *agg))
+		}
+		ar, err := session.AggregateWith(flag.Arg(0), kind, encshare.AggregateOptions{Query: opts})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s over %d matching nodes", kind, ar.Count)
+		if kind != encshare.AggCount {
+			vec := ar.Sum
+			label := "sum"
+			if kind == encshare.AggAvg {
+				vec, label = ar.Avg, "avg"
+			}
+			fmt.Printf(": %s coefficients %v", label, vec)
+		}
+		fmt.Println()
+		if ar.Downgraded {
+			fmt.Println("note: server predates aggregate frames — rows were reconstructed client-side")
+		} else if ar.Verified {
+			fmt.Println("verification share: OK")
+		}
+		res = encshare.Result{Pres: ar.Pres, Stats: ar.Stats}
+	} else {
+		var err error
+		res, err = session.QueryWith(flag.Arg(0), opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d matching nodes (pre positions): %v\n", len(res.Pres), res.Pres)
 	}
-	fmt.Printf("%d matching nodes (pre positions): %v\n", len(res.Pres), res.Pres)
 	if *verbose {
-		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d visited=%d round-trips=%d elapsed=%s\n",
+		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d folds=%d round-trips=%d elapsed=%s\n",
 			res.Stats.Evaluations, res.Stats.Reconstructions,
-			res.Stats.NodesFetched, res.Stats.NodesVisited, session.RoundTrips(), res.Stats.Elapsed)
+			res.Stats.NodesFetched, res.Stats.Folds, session.RoundTrips(), res.Stats.Elapsed)
 		if ss, err := session.ServerStats(); err == nil {
 			label := session.Tenant()
 			if label == "" {

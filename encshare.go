@@ -607,6 +607,15 @@ func (s *Session) QueryWith(q string, opts QueryOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	res, err := s.runQuery(parsed, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Pres: res.Pres, Stats: res.Stats}, nil
+}
+
+// runQuery executes a parsed query on the engine variant opts selects.
+func (s *Session) runQuery(parsed *xpath.Query, opts QueryOptions) (engine.Result, error) {
 	var eng engine.Engine = s.advanced
 	switch {
 	case opts.Engine == Simple && opts.Batch == PerCall:
@@ -620,11 +629,118 @@ func (s *Session) QueryWith(q string, opts QueryOptions) (Result, error) {
 	if opts.Test == TestContainment {
 		test = engine.Containment
 	}
-	res, err := eng.Run(parsed, test)
+	return eng.Run(parsed, test)
+}
+
+// AggKind re-exports the aggregate selector (AggCount / AggSum / AggAvg).
+type AggKind = filter.AggKind
+
+// Aggregate kinds: COUNT is the exact matching-row count, SUM the
+// coefficient-wise sum of the matching node polynomials over F_q, and
+// AVG the SUM scaled by the inverse of COUNT mod q (derived client-side;
+// undefined when q divides the count).
+const (
+	AggCount = filter.AggCount
+	AggSum   = filter.AggSum
+	AggAvg   = filter.AggAvg
+)
+
+// IntegrityError re-exports the typed verification failure an aggregate
+// raises when a shard's folded reply contradicts the client's checks.
+type IntegrityError = filter.IntegrityError
+
+// AggregateOptions tunes one aggregate execution.
+type AggregateOptions struct {
+	// Query tunes the filtering phase (engine, test, wire mode).
+	Query QueryOptions
+	// NoVerify skips the verification share: no mask travels with the
+	// fold frames and the known-root check does not run.
+	NoVerify bool
+	// ChunkRows bounds the server-side fold chunk (0 means q−1, the
+	// maximum wraparound-safe window).
+	ChunkRows int
+}
+
+// AggregateResult is an aggregate answer plus how it was computed.
+type AggregateResult struct {
+	Kind AggKind
+	// Pres are the matching rows the aggregate folded, in document
+	// order (the filtering phase's answer).
+	Pres []int64
+	// Count is the exact number of matching rows (every kind).
+	Count int64
+	// Sum is the coefficient vector of Σ f_p over the matching rows
+	// (nil for AggCount).
+	Sum []uint32
+	// Avg is the coefficient vector of Sum · (Count mod q)⁻¹ (AggAvg
+	// only).
+	Avg []uint32
+	// Stats covers both phases: the query's work plus the aggregation
+	// phase's folds/decodes/reconstructions.
+	Stats Stats
+	// Verified reports that the verification share traveled and every
+	// chunk passed its checks.
+	Verified bool
+	// Downgraded reports that the server predates aggregate frames and
+	// the client reconstructed every matching row instead — correct but
+	// O(rows) bytes, with the extra exchanges visible in RoundTrips.
+	Downgraded bool
+}
+
+// Aggregate runs query q and folds the matching rows into the requested
+// aggregate with default options. Against servers speaking the
+// aggregate frames the fold costs O(chunks) bytes per shard instead of
+// shipping every matching row; a verification share guards the folded
+// values (see AggregateWith and DESIGN.md "Aggregation & verification").
+func (s *Session) Aggregate(q string, kind AggKind) (AggregateResult, error) {
+	return s.AggregateWith(q, kind, AggregateOptions{})
+}
+
+// AggregateWith is Aggregate with explicit options.
+func (s *Session) AggregateWith(q string, kind AggKind, opts AggregateOptions) (AggregateResult, error) {
+	parsed, err := xpath.Parse(q)
 	if err != nil {
-		return Result{}, err
+		return AggregateResult{}, err
 	}
-	return Result{Pres: res.Pres, Stats: res.Stats}, nil
+	res, err := s.runQuery(parsed, opts.Query)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	fopts := filter.AggregateOptions{NoVerify: opts.NoVerify, ChunkRows: opts.ChunkRows}
+	if !opts.NoVerify {
+		// Known-root check point: every matching row's polynomial has
+		// the query's last name as a root. A wildcard/parent last step
+		// (or an unmappable name, which yields no rows anyway) gives the
+		// verification no fixed root, so only the count checks run.
+		if last := parsed.Steps[len(parsed.Steps)-1]; last.IsNameTest() {
+			if v, verr := s.keys.m.Value(last.Name); verr == nil {
+				fopts.CheckPoint = v
+			}
+		}
+	}
+	before := s.cli.Counters.Snapshot()
+	start := time.Now()
+	agg, err := s.cli.AggregateFold(res.Pres, kind, fopts)
+	if err != nil {
+		return AggregateResult{}, err
+	}
+	d := s.cli.Counters.Snapshot().Sub(before)
+	stats := res.Stats
+	stats.Folds += d.Folds
+	stats.Decodes += d.Decodes
+	stats.Reconstructions += d.Reconstructions
+	stats.NodesFetched += d.NodesFetched
+	stats.Elapsed += time.Since(start)
+	return AggregateResult{
+		Kind:       kind,
+		Pres:       res.Pres,
+		Count:      agg.Count,
+		Sum:        agg.Sum,
+		Avg:        agg.Avg,
+		Stats:      stats,
+		Verified:   agg.Verified,
+		Downgraded: !agg.Folded,
+	}, nil
 }
 
 // Close closes the underlying connection for remote sessions (no-op for

@@ -45,6 +45,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -66,13 +67,15 @@ type Range struct {
 func (r Range) contains(pre int64) bool { return pre >= r.Lo && pre <= r.Hi }
 
 // Conn is what the cluster needs from each shard replica: the base and
-// batched filter protocols plus the shard-partial equality bundles. Both
-// *filter.Remote (TCP shards) and *filter.ServerFilter (in-process
-// shards) satisfy it.
+// batched filter protocols, the shard-partial equality bundles, and the
+// aggregate fold frames. Both *filter.Remote (TCP shards, which answers
+// filter.ErrAggregateUnsupported for pre-aggregate servers) and
+// *filter.ServerFilter (in-process shards) satisfy it.
 type Conn interface {
 	filter.ServerAPI
 	filter.BatchAPI
 	filter.PartialAPI
+	filter.AggregateAPI
 }
 
 // Replica couples one replica connection with its address label.
@@ -216,9 +219,10 @@ type Filter struct {
 }
 
 var (
-	_ filter.ServerAPI = (*Filter)(nil)
-	_ filter.BatchAPI  = (*Filter)(nil)
-	_ filter.StatsAPI  = (*Filter)(nil)
+	_ filter.ServerAPI    = (*Filter)(nil)
+	_ filter.BatchAPI     = (*Filter)(nil)
+	_ filter.StatsAPI     = (*Filter)(nil)
+	_ filter.AggregateAPI = (*Filter)(nil)
 )
 
 // New assembles a cluster filter from shards with default options. The
@@ -797,6 +801,91 @@ func (f *Filter) ChildrenBatch(pres []int64) ([][]filter.NodeMeta, error) {
 func (f *Filter) DescendantsBatch(spans []filter.Span) ([][]filter.NodeMeta, error) {
 	return broadcastLists(f, spans, func(sp filter.Span) int64 { return sp.Pre },
 		func(c Conn, sub []filter.Span) ([][]filter.NodeMeta, error) { return c.DescendantsBatch(sub) })
+}
+
+// AggregateBatch implements filter.AggregateAPI: the rows are grouped
+// by owning shard (shards tile the pre axis, so each group is a
+// contiguous run of the sorted request), each shard folds its run in ONE
+// frame — this is where bytes-on-wire drop from O(rows) to O(shards) —
+// and the per-shard chunk lists concatenate in shard order, which is
+// exactly request order. Each chunk is stamped with its shard's label so
+// a failed verification names the misbehaving shard. Folds are pure
+// functions of immutable rows, so a replica dying mid-frame fails over
+// like any read: the sibling reproduces the identical chunks, and a
+// duplicated (hedged) frame is harmless. A single shard replying with a
+// pre-aggregate "unknown method" downgrades the whole call
+// (filter.ErrAggregateUnsupported), so mixed-version clusters fall back
+// to client-side reconstruction rather than half-fold.
+func (f *Filter) AggregateBatch(req filter.AggregateRequest) (filter.AggregateReply, error) {
+	pres, err := filter.UnpackPres(req.Pres)
+	if err != nil {
+		return filter.AggregateReply{}, err
+	}
+	if len(req.Mask) != 0 && len(req.Mask) != len(pres) {
+		return filter.AggregateReply{}, fmt.Errorf("cluster: aggregate mask has %d elements for %d rows", len(req.Mask), len(pres))
+	}
+	groups, active, err := f.group(len(pres), func(i int) int64 { return pres[i] })
+	if err != nil {
+		return filter.AggregateReply{}, err
+	}
+	parts := make([][]filter.AggregateChunk, len(f.shards))
+	err = f.scatter(active, func(si int) error {
+		idx := groups[si]
+		subPres := make([]int64, len(idx))
+		var subMask []gf.Elem
+		if len(req.Mask) != 0 {
+			subMask = make([]gf.Elem, len(idx))
+		}
+		for j, i := range idx {
+			subPres[j] = pres[i]
+			if subMask != nil {
+				subMask[j] = req.Mask[i]
+			}
+		}
+		subReq := filter.AggregateRequest{
+			Ver:       req.Ver,
+			Kind:      req.Kind,
+			Pres:      filter.PackPres(subPres),
+			Mask:      subMask,
+			ChunkRows: req.ChunkRows,
+		}
+		rep, err := onShard(f, si, opBatch, func(c Conn) (filter.AggregateReply, error) {
+			rep, err := c.AggregateBatch(subReq)
+			if err != nil {
+				return filter.AggregateReply{}, err
+			}
+			// Structural validation runs inside the per-replica op so a
+			// malformed reply fails over to a sibling; the value-level
+			// verification stays with the client, which holds the keys.
+			var rows int
+			for _, ck := range rep.Chunks {
+				rows += int(ck.Rows)
+			}
+			if rows != len(subPres) {
+				return filter.AggregateReply{}, badCount(rows, len(subPres))
+			}
+			return rep, nil
+		})
+		if err != nil {
+			return err
+		}
+		for i := range rep.Chunks {
+			rep.Chunks[i].Origin = f.shards[si].label
+		}
+		parts[si] = rep.Chunks
+		return nil
+	})
+	if err != nil {
+		if errors.Is(err, filter.ErrAggregateUnsupported) {
+			return filter.AggregateReply{}, filter.ErrAggregateUnsupported
+		}
+		return filter.AggregateReply{}, err
+	}
+	out := filter.AggregateReply{Ver: filter.AggregateFrameVersion}
+	for si := range f.shards {
+		out.Chunks = append(out.Chunks, parts[si]...)
+	}
+	return out, nil
 }
 
 // NodePolysBatch implements filter.BatchAPI: every shard whose range

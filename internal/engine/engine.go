@@ -73,6 +73,10 @@ type Stats struct {
 	// equality tests; the limb codec made each one cheap, this makes
 	// them visible).
 	Decodes int64
+	// Folds counts client shares folded into an aggregate accumulator —
+	// zero for plain queries, the per-row client cost of the aggregation
+	// phase when Session.Aggregate merges that phase's work in.
+	Folds int64
 	// Elapsed is the wall-clock execution time — the y-axis of Fig. 6.
 	Elapsed time.Duration
 }
@@ -181,6 +185,7 @@ func (b *base) run(body func() ([]int64, int64, error)) (Result, error) {
 			NodesFetched:    d.NodesFetched,
 			NodesVisited:    visited,
 			Decodes:         d.Decodes,
+			Folds:           d.Folds,
 			Elapsed:         elapsed,
 		},
 	}, nil

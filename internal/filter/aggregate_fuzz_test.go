@@ -1,0 +1,113 @@
+package filter
+
+import (
+	"math/rand"
+	"testing"
+
+	"encshare/internal/gf"
+)
+
+// FuzzAggregateFrame throws arbitrary bytes at the aggregate frame
+// codec and the server fold behind it. Three properties must hold for
+// ANY input:
+//
+//  1. UnpackPres never panics, and any list it accepts round-trips
+//     losslessly through the canonical PackPres encoding.
+//  2. AggregateBatch never panics; it either rejects the frame with an
+//     error or returns chunks that tile the decoded row list.
+//  3. Every accepted SUM reply, completed with the client shares,
+//     equals the per-row reconstruction oracle — a hostile frame can
+//     make the server refuse, never make it fold wrongly.
+func FuzzAggregateFrame(f *testing.F) {
+	fx := newFixture(f, wideXML(40))
+	pres := fx.presNamed("item")
+
+	f.Add(PackPres(pres), wireAggSum, 0, uint16(1))
+	f.Add(PackPres(pres[:5]), wireAggCount, 3, uint16(0))
+	f.Add(PackPres([]int64{1}), wireAggSum, 1, uint16(99))
+	f.Add([]byte{}, wireAggSum, 0, uint16(0))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, wireAggCount, 0, uint16(7))
+	f.Add([]byte{3, 1, 0, 1}, wireAggSum, 2, uint16(3))
+
+	f.Fuzz(func(t *testing.T, raw []byte, kind uint8, chunkRows int, maskSeed uint16) {
+		rows, perr := UnpackPres(raw)
+		if perr == nil {
+			again, err := UnpackPres(PackPres(rows))
+			if err != nil {
+				t.Fatalf("canonical re-encoding rejected: %v", err)
+			}
+			if len(again) != len(rows) {
+				t.Fatalf("canonical round trip changed length %d -> %d", len(rows), len(again))
+			}
+			for i := range rows {
+				if again[i] != rows[i] {
+					t.Fatalf("canonical round trip changed rows[%d]", i)
+				}
+			}
+		}
+
+		var mask []gf.Elem
+		if perr == nil && maskSeed != 0 {
+			rng := rand.New(rand.NewSource(int64(maskSeed)))
+			mask = make([]gf.Elem, len(rows))
+			for i := range mask {
+				mask[i] = gf.Elem(1 + rng.Intn(82))
+			}
+		}
+		reply, err := fx.server.AggregateBatch(AggregateRequest{
+			Ver:       AggregateFrameVersion,
+			Kind:      kind,
+			Pres:      raw,
+			Mask:      mask,
+			ChunkRows: chunkRows,
+		})
+		if err != nil {
+			return // rejection is always a legal answer
+		}
+		if perr != nil {
+			t.Fatalf("server folded a row list the codec rejects: %v", perr)
+		}
+		bound := normChunkRows(chunkRows, fx.r.Field().Q())
+		offs, err := chunkOffsets(rows, reply.Chunks, bound)
+		if err != nil {
+			t.Fatalf("accepted frame, reply does not tile: %v", err)
+		}
+		// Complete each chunk through the real client verification path
+		// (checkPoint 0: arbitrary fuzz rows share no common name) and
+		// compare the total against the reconstruction oracle.
+		wantKind := AggSum
+		if kind == wireAggCount {
+			wantKind = AggCount
+		}
+		total := fx.r.NewPoly()
+		for i := range reply.Chunks {
+			ck := &reply.Chunks[i]
+			seg := rows[offs[i] : offs[i]+int(ck.Rows)]
+			var subMask []gf.Elem
+			if mask != nil {
+				subMask = mask[offs[i] : offs[i]+int(ck.Rows)]
+			}
+			sum, err := fx.local.checkChunk(ck, seg, subMask, wantKind, 0)
+			if err != nil {
+				t.Fatalf("honest chunk failed verification: %v", err)
+			}
+			if sum != nil {
+				fx.r.AddInPlace(total, sum)
+				fx.r.PutPoly(sum)
+			}
+		}
+		if kind == wireAggSum {
+			want := fx.r.NewPoly()
+			for _, pre := range rows {
+				p, err := fx.local.Reconstruct(pre)
+				if err != nil {
+					t.Fatalf("server folded unfetchable row %d: %v", pre, err)
+				}
+				fx.r.AddInPlace(want, p)
+			}
+			if !fx.r.Equal(total, want) {
+				t.Fatal("completed fold != reconstruction oracle")
+			}
+		}
+	})
+}

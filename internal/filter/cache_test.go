@@ -214,8 +214,8 @@ func TestCLOCKSweepTerminates(t *testing.T) {
 }
 
 func ExampleServerStats() {
-	a := ServerStats{Evals: 1, CacheHits: 2, CacheMisses: 3, Decodes: 4}
-	b := ServerStats{Evals: 10, CacheHits: 20, CacheMisses: 30, Decodes: 40}
+	a := ServerStats{Evals: 1, CacheHits: 2, CacheMisses: 3, Decodes: 4, Aggregates: 5}
+	b := ServerStats{Evals: 10, CacheHits: 20, CacheMisses: 30, Decodes: 40, Aggregates: 50}
 	fmt.Println(a.Add(b))
-	// Output: {11 22 33 44}
+	// Output: {11 22 33 44 55}
 }

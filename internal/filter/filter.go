@@ -75,6 +75,11 @@ type ServerFilter struct {
 	decodes atomic.Int64
 	workers int // batch pool bound; 0 means defaultWorkers()
 
+	// aggregates counts aggregate frames served (AggregateBatch calls),
+	// per filter, so multi-tenant stats stay disjoint like the cache
+	// counters below.
+	aggregates atomic.Int64
+
 	cache *polyCache
 	// keyBase namespaces this filter's entries inside a cache shared
 	// with other filters (tenants): cache keys are keyBase+pre.
@@ -140,6 +145,10 @@ type ServerStats struct {
 	CacheHits   int64
 	CacheMisses int64
 	Decodes     int64
+	// Aggregates counts aggregate fold frames served (AggregateBatch
+	// calls). Gob tolerates the field's absence in either direction, so
+	// old and new binaries interoperate (old peers report/see zero).
+	Aggregates int64
 }
 
 // Add returns the member-wise sum — how a cluster session aggregates
@@ -150,6 +159,7 @@ func (s ServerStats) Add(o ServerStats) ServerStats {
 		CacheHits:   s.CacheHits + o.CacheHits,
 		CacheMisses: s.CacheMisses + o.CacheMisses,
 		Decodes:     s.Decodes + o.Decodes,
+		Aggregates:  s.Aggregates + o.Aggregates,
 	}
 }
 
@@ -169,6 +179,7 @@ func (s *ServerFilter) ServerStats() (ServerStats, error) {
 		CacheHits:   s.cacheHits.Load(),
 		CacheMisses: s.cacheMisses.Load(),
 		Decodes:     s.decodes.Load(),
+		Aggregates:  s.aggregates.Load(),
 	}, nil
 }
 
@@ -284,6 +295,10 @@ type Counters struct {
 	// Decodes counts client-side share-blob decodes (equality tests
 	// decode the node and child rows the server ships).
 	Decodes atomic.Int64
+	// Folds counts client shares folded into an aggregate accumulator
+	// (the per-row cost of the aggregation phase: one PRG pass per row,
+	// whether the server folded or the client reconstructed).
+	Folds atomic.Int64
 }
 
 // Snapshot is a point-in-time copy of the counters.
@@ -292,6 +307,7 @@ type Snapshot struct {
 	Reconstructions int64
 	NodesFetched    int64
 	Decodes         int64
+	Folds           int64
 }
 
 // Snapshot returns the current counter values.
@@ -301,6 +317,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Reconstructions: c.Reconstructions.Load(),
 		NodesFetched:    c.NodesFetched.Load(),
 		Decodes:         c.Decodes.Load(),
+		Folds:           c.Folds.Load(),
 	}
 }
 
@@ -311,6 +328,7 @@ func (s Snapshot) Sub(o Snapshot) Snapshot {
 		Reconstructions: s.Reconstructions - o.Reconstructions,
 		NodesFetched:    s.NodesFetched - o.NodesFetched,
 		Decodes:         s.Decodes - o.Decodes,
+		Folds:           s.Folds - o.Folds,
 	}
 }
 

@@ -39,6 +39,11 @@ const (
 	// v4 addition: server-side work counters (cache hits/misses, blob
 	// decodes, evaluations) for the compute experiments.
 	methodServerStats = "filter.ServerStats"
+
+	// v5 addition: server-side aggregate folds (see aggregate.go). The
+	// frame itself is versioned (AggregateRequest.Ver) on top of the
+	// method-level feature detection.
+	methodAggregateBatch = "filter.AggregateBatch"
 )
 
 type descArgs struct{ Pre, Post int64 }
@@ -123,6 +128,11 @@ func RegisterServerAt(srv *rmi.Server, tenant string, api ServerAPI) {
 			return sa.ServerStats()
 		})
 	}
+	if aa, ok := api.(AggregateAPI); ok {
+		rmi.HandleFuncAt(srv, tenant, methodAggregateBatch, func(req AggregateRequest) (AggregateReply, error) {
+			return aa.AggregateBatch(req)
+		})
+	}
 }
 
 // Remote is a ServerAPI + BatchAPI proxy over an rmi client connection.
@@ -135,18 +145,20 @@ type Remote struct {
 	mu     sync.Mutex
 	counts map[string]int64
 
-	flagMu  sync.Mutex
-	noBatch bool            // server answered "unknown method" to a batch call
-	noStats bool            // server predates the ServerStats method
-	noPaged map[string]bool // paged methods the server rejected, individually
+	flagMu      sync.Mutex
+	noBatch     bool            // server answered "unknown method" to a batch call
+	noStats     bool            // server predates the ServerStats method
+	noAggregate bool            // server predates the aggregate fold frames
+	noPaged     map[string]bool // paged methods the server rejected, individually
 }
 
 var (
-	_ ServerAPI  = (*Remote)(nil)
-	_ BatchAPI   = (*Remote)(nil)
-	_ PartialAPI = (*Remote)(nil)
-	_ RangeAPI   = (*Remote)(nil)
-	_ StatsAPI   = (*Remote)(nil)
+	_ ServerAPI    = (*Remote)(nil)
+	_ BatchAPI     = (*Remote)(nil)
+	_ PartialAPI   = (*Remote)(nil)
+	_ RangeAPI     = (*Remote)(nil)
+	_ StatsAPI     = (*Remote)(nil)
+	_ AggregateAPI = (*Remote)(nil)
 )
 
 // NewRemote wraps an rmi client as a ServerAPI with batch support.
@@ -397,6 +409,26 @@ func (r *Remote) ServerStats() (ServerStats, error) {
 			return ServerStats{}, nil
 		}
 		return ServerStats{}, err
+	}
+	return out, nil
+}
+
+// AggregateBatch implements AggregateAPI over the wire. Against a
+// server that predates the aggregate frames it reports
+// ErrAggregateUnsupported (remembered, so later folds skip the probe),
+// and the client filter reconstructs the rows itself — the graceful
+// downgrade path, visible to callers as O(rows) extra round-trips.
+func (r *Remote) AggregateBatch(req AggregateRequest) (AggregateReply, error) {
+	if r.flagged(&r.noAggregate) {
+		return AggregateReply{}, ErrAggregateUnsupported
+	}
+	var out AggregateReply
+	err := r.call(methodAggregateBatch, req, &out)
+	if err != nil {
+		if r.noteUnknown(err, methodAggregateBatch, &r.noAggregate) {
+			return AggregateReply{}, ErrAggregateUnsupported
+		}
+		return AggregateReply{}, err
 	}
 	return out, nil
 }

@@ -1,0 +1,109 @@
+package ring
+
+import (
+	"testing"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+)
+
+// naiveAddScaled is the schoolbook oracle for AddScaledInPlace: a + c·b
+// computed coefficient by coefficient through the field API, with no
+// log-table shortcuts.
+func naiveAddScaled(r *Ring, a, b Poly, c gf.Elem) Poly {
+	f := r.Field()
+	out := r.Clone(a)
+	for i := range out {
+		out[i] = f.Add(out[i], f.Mul(c, b[i]))
+	}
+	return out
+}
+
+func TestAddScaledInPlaceMatchesNaive(t *testing.T) {
+	for _, r := range testRings(t) {
+		gen := prg.New([]byte("fold")).Stream("p", uint64(r.Field().Q()))
+		for trial := 0; trial < 20; trial++ {
+			a, b := r.Rand(gen), r.Rand(gen)
+			for c := gf.Elem(0); c < r.Field().Q(); c++ {
+				want := naiveAddScaled(r, a, b, c)
+				got := r.AddScaledInPlace(r.Clone(a), b, c)
+				if !r.Equal(got, want) {
+					t.Fatalf("%s c=%d: AddScaledInPlace diverges from naive", r.Field(), c)
+				}
+			}
+		}
+	}
+}
+
+func TestAddScaledInPlaceEdgeScalars(t *testing.T) {
+	r := f83(t)
+	gen := prg.New([]byte("edge")).Stream("p", 0)
+	a, b := r.Rand(gen), r.Rand(gen)
+
+	// c = 0 must leave a untouched.
+	if got := r.AddScaledInPlace(r.Clone(a), b, 0); !r.Equal(got, a) {
+		t.Fatal("AddScaledInPlace with c=0 changed the accumulator")
+	}
+	// c = 1 must match a plain add.
+	if got := r.AddScaledInPlace(r.Clone(a), b, 1); !r.Equal(got, r.Add(a, b)) {
+		t.Fatal("AddScaledInPlace with c=1 != Add")
+	}
+	// Scaling the zero polynomial is a no-op for any c.
+	zero := r.NewPoly()
+	for c := gf.Elem(2); c < 10; c++ {
+		if got := r.AddScaledInPlace(r.Clone(a), zero, c); !r.Equal(got, a) {
+			t.Fatalf("c=%d: adding scaled zero changed the accumulator", c)
+		}
+	}
+}
+
+func TestSumIntoMatchesSequentialAdds(t *testing.T) {
+	for _, r := range testRings(t) {
+		gen := prg.New([]byte("sum")).Stream("p", 0)
+		ps := make([]Poly, 7)
+		for i := range ps {
+			ps[i] = r.Rand(gen)
+		}
+		want := r.NewPoly()
+		for _, p := range ps {
+			want = r.Add(want, p)
+		}
+		got := r.SumInto(r.NewPoly(), ps...)
+		if !r.Equal(got, want) {
+			t.Fatalf("%s: SumInto != sequential Add", r.Field())
+		}
+		// Empty variadic call is the identity.
+		if acc := r.SumInto(r.Clone(got)); !r.Equal(acc, got) {
+			t.Fatalf("%s: SumInto with no summands changed dst", r.Field())
+		}
+	}
+}
+
+// TestFoldLinearity pins the algebra server-side aggregation rests on:
+// Σ (c_i · f_i) evaluated anywhere equals Σ c_i · f_i(v) — folding
+// commutes with evaluation, which is why one blob per chunk suffices.
+func TestFoldLinearity(t *testing.T) {
+	for _, r := range testRings(t) {
+		f := r.Field()
+		gen := prg.New([]byte("lin")).Stream("p", 1)
+		ps := make([]Poly, 5)
+		cs := make([]gf.Elem, 5)
+		for i := range ps {
+			ps[i] = r.Rand(gen)
+			cs[i] = 1 + gf.Elem(uint32(i*7+3)%(f.Q()-1))
+		}
+		acc := r.NewPoly()
+		for i := range ps {
+			r.AddScaledInPlace(acc, ps[i], cs[i])
+		}
+		for v := gf.Elem(1); v < f.Q(); v++ {
+			var want gf.Elem
+			for i := range ps {
+				want = f.Add(want, f.Mul(cs[i], r.Eval(ps[i], v)))
+			}
+			if got := r.Eval(acc, v); got != want {
+				t.Fatalf("%s v=%d: fold(%d polys) evaluates to %d, want %d", f, v, len(ps), got, want)
+			}
+		}
+	}
+}

@@ -235,6 +235,57 @@ func (r *Ring) AddInPlace(a, b Poly) Poly {
 	return a
 }
 
+// SumInto folds every polynomial of ps into dst (dst += Σ ps) and
+// returns dst — the additive share combination behind server-side
+// aggregation: a shard sums the server shares of all matching rows into
+// one polynomial instead of shipping each row. Addition is coefficient-
+// wise, so the fold is exact in the field regardless of how many shares
+// it absorbs; only counters (sums of ones) need the chunking rule, not
+// the share fold itself.
+func (r *Ring) SumInto(dst Poly, ps ...Poly) Poly {
+	for _, p := range ps {
+		r.AddInPlace(dst, p)
+	}
+	return dst
+}
+
+// AddScaledInPlace sets a += c·b and returns a — the masked-fold
+// primitive of the verification share: the scalar multiple of a share is
+// again a share, so Σ ρ_i·s_i is computable shard-side without revealing
+// anything. The scale runs in the log domain (one table add per nonzero
+// coefficient), matching the evaluation paths' cost model.
+func (r *Ring) AddScaledInPlace(a, b Poly, c gf.Elem) Poly {
+	switch c {
+	case 0:
+		return a
+	case 1:
+		return r.AddInPlace(a, b)
+	}
+	t := r.f.Tables()
+	lg, ex := t.Log, t.Exp
+	lc := lg[c]
+	if r.prime {
+		q := r.q32
+		for i, bv := range b {
+			if bv == 0 {
+				continue
+			}
+			s := a[i] + ex[lg[bv]+lc]
+			if s >= q {
+				s -= q
+			}
+			a[i] = s
+		}
+		return a
+	}
+	for i, bv := range b {
+		if bv != 0 {
+			a[i] = r.f.Add(a[i], ex[lg[bv]+lc])
+		}
+	}
+	return a
+}
+
 // Sub returns a − b.
 func (r *Ring) Sub(a, b Poly) Poly {
 	out := make(Poly, r.n)

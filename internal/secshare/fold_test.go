@@ -1,0 +1,94 @@
+package secshare
+
+import (
+	"testing"
+
+	"encshare/internal/gf"
+	"encshare/internal/prg"
+	"encshare/internal/ring"
+)
+
+// foldSchemes covers a prime field and an extension field — the two
+// arithmetic regimes AddClientShareScaled special-cases.
+func foldSchemes(t testing.TB) []*Scheme {
+	t.Helper()
+	return []*Scheme{
+		New(ring.MustNew(gf.MustNew(83, 1)), prg.New([]byte("fold-prime"))),
+		New(ring.MustNew(gf.MustNew(3, 2)), prg.New([]byte("fold-ext"))),
+	}
+}
+
+func TestAddSharesMatchesClientShareSum(t *testing.T) {
+	pres := []int64{1, 2, 5, 17, 40, 41}
+	for _, s := range foldSchemes(t) {
+		r := s.Ring()
+		want := r.NewPoly()
+		for _, pre := range pres {
+			want = r.Add(want, s.ClientShare(uint64(pre)))
+		}
+		got := s.AddShares(r.NewPoly(), pres)
+		if !r.Equal(got, want) {
+			t.Fatalf("%s: AddShares != Σ ClientShare", r.Field())
+		}
+	}
+}
+
+func TestAddSharesScaledMatchesScaledSum(t *testing.T) {
+	pres := []int64{0, 3, 9, 12, 33}
+	for _, s := range foldSchemes(t) {
+		r, f := s.Ring(), s.Ring().Field()
+		mask := make([]gf.Elem, len(pres))
+		for i := range mask {
+			mask[i] = 1 + gf.Elem(uint32(i*5+2)%(f.Q()-1))
+		}
+		want := r.NewPoly()
+		for i, pre := range pres {
+			cs := s.ClientShare(uint64(pre))
+			for j := range want {
+				want[j] = f.Add(want[j], f.Mul(mask[i], cs[j]))
+			}
+		}
+		got := s.AddSharesScaled(r.NewPoly(), pres, mask)
+		if !r.Equal(got, want) {
+			t.Fatalf("%s: AddSharesScaled != Σ ρ·ClientShare", r.Field())
+		}
+	}
+}
+
+func TestAddClientShareScaledEdgeScalars(t *testing.T) {
+	for _, s := range foldSchemes(t) {
+		r := s.Ring()
+		base := r.Clone(s.ClientShare(99)) // arbitrary nonzero accumulator
+		// c = 0 is a no-op.
+		if got := s.AddClientShareScaled(r.Clone(base), 7, 0); !r.Equal(got, base) {
+			t.Fatalf("%s: c=0 changed the accumulator", r.Field())
+		}
+		// c = 1 is a plain add of the client share.
+		want := r.Add(base, s.ClientShare(7))
+		if got := s.AddClientShareScaled(r.Clone(base), 7, 1); !r.Equal(got, want) {
+			t.Fatalf("%s: c=1 != plain ClientShare add", r.Field())
+		}
+	}
+}
+
+// TestFoldCompletesServerFold is the end-to-end share algebra the
+// aggregate protocol relies on: the server folds Σ server_p, the client
+// adds Σ client_p, and the result is exactly Σ f_p.
+func TestFoldCompletesServerFold(t *testing.T) {
+	for _, s := range foldSchemes(t) {
+		r := s.Ring()
+		gen := prg.New([]byte("secrets")).Stream("f", 0)
+		pres := []int64{2, 4, 8, 16, 32}
+		serverFold := r.NewPoly()
+		want := r.NewPoly()
+		for _, pre := range pres {
+			f := r.Rand(gen)
+			want = r.Add(want, f)
+			serverFold = r.Add(serverFold, s.Split(f, uint64(pre)))
+		}
+		got := s.AddShares(r.Clone(serverFold), pres)
+		if !r.Equal(got, want) {
+			t.Fatalf("%s: server fold + client fold != Σ f", r.Field())
+		}
+	}
+}

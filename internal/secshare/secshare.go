@@ -133,6 +133,85 @@ func (s *Scheme) ReconstructInto(dst, server ring.Poly, pre uint64) ring.Poly {
 	return dst
 }
 
+// AddShares folds the regenerated client shares of every listed node
+// into dst (dst += Σ client(pre)) and returns dst — the client half of
+// an aggregate fold. The server returns Σ server(pre) for the same rows,
+// so after this call dst holds Σ f_pre, the true aggregate, without any
+// per-row polynomial ever materializing: each share streams straight off
+// the PRG into the accumulator.
+func (s *Scheme) AddShares(dst ring.Poly, pres []int64) ring.Poly {
+	for _, pre := range pres {
+		s.AddClientShareScaled(dst, uint64(pre), 1)
+	}
+	return dst
+}
+
+// AddSharesScaled is AddShares with a per-row scalar mask: dst +=
+// Σ mask[i]·client(pres[i]) (len(mask) == len(pres), every element
+// nonzero and in-field). This is the client half of the verification
+// share — the masked aggregate the server cannot predict.
+func (s *Scheme) AddSharesScaled(dst ring.Poly, pres []int64, mask []gf.Elem) ring.Poly {
+	for i, pre := range pres {
+		s.AddClientShareScaled(dst, uint64(pre), mask[i])
+	}
+	return dst
+}
+
+// AddClientShareScaled streams one node's client share into dst with a
+// scalar factor: dst += c·client(pre). c must be a valid field element;
+// c == 0 still consumes nothing and leaves dst unchanged.
+func (s *Scheme) AddClientShareScaled(dst ring.Poly, pre uint64, c gf.Elem) ring.Poly {
+	if c == 0 {
+		return dst
+	}
+	var st prg.Stream
+	s.g.StreamInto(&st, Domain, pre)
+	r := s.r
+	field := r.Field()
+	q := field.Q()
+	u := r.Sampler()
+	if c == 1 {
+		if field.E() == 1 {
+			for i := range dst {
+				v := dst[i] + st.Sample(u)
+				if v >= q {
+					v -= q
+				}
+				dst[i] = v
+			}
+			return dst
+		}
+		for i := range dst {
+			dst[i] = field.Add(dst[i], st.Sample(u))
+		}
+		return dst
+	}
+	t := field.Tables()
+	lg, ex := t.Log, t.Exp
+	lc := lg[c]
+	if field.E() == 1 {
+		for i := range dst {
+			cv := st.Sample(u)
+			if cv == 0 {
+				continue
+			}
+			v := dst[i] + ex[lg[cv]+lc]
+			if v >= q {
+				v -= q
+			}
+			dst[i] = v
+		}
+		return dst
+	}
+	for i := range dst {
+		cv := st.Sample(u)
+		if cv != 0 {
+			dst[i] = field.Add(dst[i], ex[lg[cv]+lc])
+		}
+	}
+	return dst
+}
+
 // EvalShared evaluates the *unshared* polynomial at point v given only the
 // server share: client(v) + server(v) = f(v). This is the core of the
 // containment test — the server evaluates its share, the client evaluates
