@@ -35,16 +35,18 @@ type jsonReport struct {
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|trie|ablation|compute|cluster|failover|multitenant|aggregate|all")
+		which    = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|trie|ablation|compute|cluster|failover|multitenant|aggregate|loadtest|all")
 		scale    = flag.Float64("scale", 0.1, "XMark scale for the query experiments")
 		scales   = flag.String("scales", "0.25,0.5,1,2", "comma-separated scales for fig4")
 		shards   = flag.String("shards", "1,2,4", "comma-separated shard counts for the cluster experiment")
+		sessions = flag.Int("sessions", 0, "concurrent client sessions for the loadtest experiment (0 = default 4)")
+		ops      = flag.Int("ops", 0, "timed operations per session for the loadtest experiment (0 = default 24)")
 		jsonPath = flag.String("json", "", "also write the run's tables to this JSON file")
 		seed     = flag.Int64("seed", 42, "workload seed")
 	)
 	flag.Parse()
 
-	needEnv := map[string]bool{"fig5": true, "fig6": true, "fig7": true, "ablation": true, "compute": true, "cluster": true, "failover": true, "multitenant": true, "aggregate": true, "all": true}
+	needEnv := map[string]bool{"fig5": true, "fig6": true, "fig7": true, "ablation": true, "compute": true, "cluster": true, "failover": true, "multitenant": true, "aggregate": true, "loadtest": true, "all": true}
 	var env *experiment.Env
 	if needEnv[*which] {
 		var err error
@@ -113,13 +115,23 @@ func main() {
 			show(experiment.MultiTenant(env))
 		case "aggregate":
 			show(experiment.AggregateBytes(env))
+		case "loadtest":
+			tabs, err := experiment.LoadTest(env, experiment.LoadTestConfig{
+				Sessions: *sessions, Ops: *ops, Seed: *seed,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			for _, t := range tabs {
+				show(t, nil)
+			}
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"fig4", "fig5", "fig6", "fig7", "trie", "ablation", "compute", "cluster", "failover", "multitenant", "aggregate"} {
+		for _, name := range []string{"fig4", "fig5", "fig6", "fig7", "trie", "ablation", "compute", "cluster", "failover", "multitenant", "aggregate", "loadtest"} {
 			run(name)
 		}
 	} else {

@@ -21,6 +21,14 @@
 //	encshare-query -engine simple -test containment ... '//bidder/date'
 //	encshare-query -percall -v ... '/site//europe/item'
 //	encshare-query -agg sum ... '//item'
+//	encshare-query -trace ... '/site//europe/item'
+//	encshare-query -stats ... '//item'
+//
+// -trace records a span tree for the query — one span per engine step,
+// one per shard frame with wall time and byte counts, events for
+// failovers and hedges — and prints it as an indented timing report.
+// -stats fetches and prints the server-side work counters (merged over
+// every shard replica) after the query.
 //
 // -agg count|sum|avg folds the matching rows server-side instead of
 // listing them: each shard returns one folded share blob per chunk
@@ -54,6 +62,8 @@ func main() {
 		agg      = flag.String("agg", "", "aggregate the matching rows instead of listing them: count, sum, or avg")
 		tenant   = flag.String("tenant", "", "tenant to query on a multi-tenant server (default: the server's default tenant)")
 		cworkers = flag.Int("client-workers", 0, "client-side worker pool for share streams and reconstructions (0 = number of CPUs)")
+		trace    = flag.Bool("trace", false, "trace the query and print the span tree (per-step, per-shard frame timings)")
+		stats    = flag.Bool("stats", false, "print the merged server-side work counters after the query")
 		verbose  = flag.Bool("v", false, "print work statistics")
 	)
 	flag.Parse()
@@ -110,6 +120,9 @@ func main() {
 		fatal(err)
 	}
 	defer session.Close()
+	if *trace {
+		session.SetTracing(true)
+	}
 
 	var res encshare.Result
 	if *agg != "" {
@@ -151,6 +164,31 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("%d matching nodes (pre positions): %v\n", len(res.Pres), res.Pres)
+	}
+	if *trace {
+		if t := session.Trace(); t != nil {
+			t.Render(os.Stdout)
+		}
+	}
+	if *stats {
+		ss, err := session.ServerStats()
+		if err != nil {
+			fatal(fmt.Errorf("fetching server stats: %w", err))
+		}
+		label := session.Tenant()
+		if label == "" {
+			label = "default"
+		}
+		fmt.Printf("server stats (tenant %s, merged over %d shards):\n", label, session.Shards())
+		for _, row := range [][2]any{
+			{"evaluations", ss.Evals},
+			{"cache hits", ss.CacheHits},
+			{"cache misses", ss.CacheMisses},
+			{"blob decodes", ss.Decodes},
+			{"aggregate folds", ss.Aggregates},
+		} {
+			fmt.Printf("  %-16s %d\n", row[0], row[1])
+		}
 	}
 	if *verbose {
 		fmt.Printf("evaluations=%d reconstructions=%d nodes-fetched=%d folds=%d round-trips=%d elapsed=%s\n",

@@ -31,13 +31,20 @@
 //	encshare-server -manifest auction.manifest.json -shard 1 -listen :7084
 //	encshare-server -manifest auction.manifest.json -shard 1 -replica 1 -listen :7184
 //	encshare-server -manifest tenants.json -listen :7083        (v2, single-shard tenants)
+//	encshare-server -db auction.db -listen :7083 -metrics :9090
 //	kill -HUP <pid>    # reload tenants.json: attach new tenants, detach removed ones
+//
+// -metrics starts an HTTP listener exposing the runtime's counters —
+// RMI frame/byte totals, per-method latency histograms, per-tenant
+// eval/cache counters — as Prometheus text at /metrics, JSON at
+// /metrics.json, and the pprof handlers at /debug/pprof/.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -46,6 +53,7 @@ import (
 	"syscall"
 
 	"encshare/internal/cluster"
+	"encshare/internal/obs"
 	"encshare/internal/server"
 )
 
@@ -60,6 +68,7 @@ func main() {
 		listen   = flag.String("listen", "", "listen address (default 127.0.0.1:7083, or the manifest's addr)")
 		workers  = flag.Int("workers", 0, "batch worker pool size per tenant (0 = number of CPUs); per-tenant workers in a v2 manifest override")
 		cache    = flag.Int("cache", 4096, "decoded-polynomial cache entries per tenant (0 = default 4096, negative disables); per-tenant cache in a v2 manifest overrides")
+		metrics  = flag.String("metrics", "", "serve Prometheus metrics, JSON metrics, and pprof on this HTTP address (e.g. :9090); empty disables")
 	)
 	flag.Parse()
 
@@ -159,6 +168,19 @@ func main() {
 		fatal(err)
 	}
 	banner(rt, l.Addr())
+
+	if *metrics != "" {
+		ml, err := net.Listen("tcp", *metrics)
+		if err != nil {
+			fatal(fmt.Errorf("metrics listener: %w", err))
+		}
+		fmt.Printf("metrics on http://%s/metrics (JSON at /metrics.json, pprof at /debug/pprof/)\n", ml.Addr())
+		go func() {
+			if err := http.Serve(ml, obs.NewMux(rt.Metrics())); err != nil {
+				fmt.Fprintln(os.Stderr, "encshare-server: metrics listener:", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT, syscall.SIGHUP)

@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"encshare/internal/cluster"
@@ -48,6 +49,7 @@ import (
 	"encshare/internal/gf"
 	"encshare/internal/mapping"
 	"encshare/internal/minisql"
+	"encshare/internal/obs"
 	"encshare/internal/prg"
 	"encshare/internal/ring"
 	"encshare/internal/rmi"
@@ -365,9 +367,15 @@ type Session struct {
 	simpleSeq   *engine.Simple
 	advancedSeq *engine.Advanced
 	rmiCli      *rmi.Client
+	remote      *filter.Remote  // non-nil for single-server sessions
 	shardF      *cluster.Filter // non-nil for cluster sessions
 	tenant      string
+	addr        string
 	closer      io.Closer
+
+	tracer    *obs.Tracer
+	traceMu   sync.Mutex
+	lastTrace *Trace
 }
 
 // OpenLocal starts a session against an in-process database (client and
@@ -414,9 +422,12 @@ func DialWith(keys *Keys, addr string, opts DialOptions) (*Session, error) {
 			return nil, err
 		}
 	}
-	s := newSession(keys, filter.NewRemote(cli), cli)
+	rem := filter.NewRemote(cli)
+	s := newSession(keys, rem, cli)
 	s.rmiCli = cli
+	s.remote = rem
 	s.tenant = opts.Tenant
+	s.addr = addr
 	s.SetClientWorkers(opts.ClientWorkers)
 	return s, nil
 }
@@ -596,6 +607,133 @@ func (s *Session) ServerStats() (ServerStats, error) {
 	return s.cli.ServerStats()
 }
 
+// Span re-exports one node of a trace tree (see Trace.Root).
+type Span = obs.Span
+
+// Trace is one traced query's record: the span tree plus the counter
+// deltas of its capture window. The window opens after the
+// before-stats fetch and closes before the after-stats fetch, so the
+// tree's frame count equals exactly the RoundTrips delta — the
+// invariant TestTraceFrameInvariant pins.
+type Trace struct {
+	// Query is the query (or aggregate) string traced.
+	Query string
+	// Root is the span tree: a query span, one step/wave span per engine
+	// round, frame spans per shard exchange, event spans for
+	// failovers/hedges.
+	Root *Span
+	// RoundTrips is how many server exchanges the window issued;
+	// ShardRoundTrips splits them per shard (nil off-cluster).
+	RoundTrips      int64
+	ShardRoundTrips []int64
+	// Failovers/Hedges are the window's replica-routing deltas.
+	Failovers int64
+	Hedges    int64
+	// Server is the server-side work delta (evals, cache traffic,
+	// decodes, aggregates) attributed to the window — best-effort, from
+	// stats exchanges bracketing it.
+	Server ServerStats
+}
+
+// Frames returns the number of frame spans recorded — equal to
+// RoundTrips by construction.
+func (t *Trace) Frames() int64 { return t.Root.Frames() }
+
+// Render writes the trace as an indented timing report.
+func (t *Trace) Render(w io.Writer) error {
+	fmt.Fprintf(w, "trace %s: %d frames", t.Query, t.Frames())
+	if len(t.ShardRoundTrips) > 0 {
+		fmt.Fprintf(w, " over %d shards %v", len(t.ShardRoundTrips), t.ShardRoundTrips)
+	}
+	if t.Failovers > 0 || t.Hedges > 0 {
+		fmt.Fprintf(w, ", %d failovers, %d hedges", t.Failovers, t.Hedges)
+	}
+	fmt.Fprintf(w, "\nserver work: %d evals, %d cache hits, %d misses, %d decodes, %d aggregates\n",
+		t.Server.Evals, t.Server.CacheHits, t.Server.CacheMisses, t.Server.Decodes, t.Server.Aggregates)
+	return t.Root.Fprint(w)
+}
+
+// SetTracing turns per-query tracing on or off for this session. While
+// on, every Query/Aggregate call captures a span tree readable via
+// Trace() right after the call. Tracing adds two stats exchanges per
+// query (the before/after server-work bracket) plus the trace context
+// on each frame, so it is a debugging mode, not an always-on default —
+// the metrics registry is the zero-per-query-cost counterpart.
+func (s *Session) SetTracing(on bool) {
+	if !on {
+		if s.tracer != nil {
+			s.cli.SetTracer(nil)
+			if s.shardF != nil {
+				s.shardF.SetTracer(nil)
+			}
+			if s.remote != nil {
+				s.remote.SetTracer(nil, 0, "")
+			}
+			s.tracer = nil
+		}
+		return
+	}
+	if s.tracer != nil {
+		return
+	}
+	tr := obs.NewTracer()
+	s.tracer = tr
+	s.cli.SetTracer(tr)
+	if s.shardF != nil {
+		s.shardF.SetTracer(tr)
+	}
+	if s.remote != nil {
+		s.remote.SetTracer(tr, 0, s.addr)
+	}
+}
+
+// Trace returns the last completed query's trace, or nil when tracing
+// is off (or no traced query ran yet).
+func (s *Session) Trace() *Trace {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return s.lastTrace
+}
+
+// beginTrace opens a capture window for one query and returns the
+// closure that seals it. The stats exchanges bracket the window from
+// the OUTSIDE — fetched before Begin and after End — which is what
+// keeps the frame-count == RoundTrips-delta invariant exact.
+func (s *Session) beginTrace(label string) func() {
+	if s.tracer == nil {
+		return func() {}
+	}
+	statsBefore, _ := s.ServerStats()
+	rtBefore := s.RoundTrips()
+	shardBefore := append([]int64(nil), s.ShardRoundTrips()...)
+	failBefore, hedgeBefore := s.Failovers(), s.Hedges()
+	s.tracer.Begin(label)
+	return func() {
+		s.tracer.End()
+		rtAfter := s.RoundTrips()
+		shardAfter := s.ShardRoundTrips()
+		fail, hedge := s.Failovers()-failBefore, s.Hedges()-hedgeBefore
+		statsAfter, _ := s.ServerStats()
+		tr := &Trace{
+			Query:      label,
+			Root:       s.tracer.Root(),
+			RoundTrips: rtAfter - rtBefore,
+			Failovers:  fail,
+			Hedges:     hedge,
+			Server:     statsAfter.Sub(statsBefore),
+		}
+		if len(shardAfter) == len(shardBefore) && len(shardAfter) > 0 {
+			tr.ShardRoundTrips = make([]int64, len(shardAfter))
+			for i := range shardAfter {
+				tr.ShardRoundTrips[i] = shardAfter[i] - shardBefore[i]
+			}
+		}
+		s.traceMu.Lock()
+		s.lastTrace = tr
+		s.traceMu.Unlock()
+	}
+}
+
 // Query parses and runs an XPath-subset query with default options.
 func (s *Session) Query(q string) (Result, error) {
 	return s.QueryWith(q, QueryOptions{})
@@ -607,7 +745,9 @@ func (s *Session) QueryWith(q string, opts QueryOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	endTrace := s.beginTrace(q)
 	res, err := s.runQuery(parsed, opts)
+	endTrace()
 	if err != nil {
 		return Result{}, err
 	}
@@ -702,6 +842,8 @@ func (s *Session) AggregateWith(q string, kind AggKind, opts AggregateOptions) (
 	if err != nil {
 		return AggregateResult{}, err
 	}
+	endTrace := s.beginTrace(fmt.Sprintf("aggregate(%s) %s", kind, q))
+	defer endTrace()
 	res, err := s.runQuery(parsed, opts.Query)
 	if err != nil {
 		return AggregateResult{}, err

@@ -55,6 +55,7 @@ import (
 
 	"encshare/internal/filter"
 	"encshare/internal/gf"
+	"encshare/internal/obs"
 	"encshare/internal/store"
 )
 
@@ -216,6 +217,16 @@ type Filter struct {
 
 	failovers atomic.Int64
 	hedges    atomic.Int64
+
+	// tracer, when attached, gets failover/hedge events and is pushed
+	// down to every replica proxy (including ones joined later).
+	tracer atomic.Pointer[obs.Tracer]
+}
+
+// connTracer is the tracing hook a replica connection may expose
+// (*filter.Remote does; in-process conns don't record frames).
+type connTracer interface {
+	SetTracer(tr *obs.Tracer, shard int, addr string)
 }
 
 var (
@@ -281,6 +292,50 @@ func (f *Filter) Failovers() int64 { return f.failovers.Load() }
 
 // Hedges returns how many hedge frames were fired at a second replica.
 func (f *Filter) Hedges() int64 { return f.hedges.Load() }
+
+// SetTracer attaches (nil detaches) a query tracer: every replica proxy
+// records its frames under the owning shard's index and address, and
+// the router emits failover/hedge events. Replicas joined later via
+// AddReplica inherit the tracer.
+func (f *Filter) SetTracer(tr *obs.Tracer) {
+	f.tracer.Store(tr)
+	for si, sh := range f.shards {
+		for _, rep := range sh.replicaList() {
+			if ct, ok := rep.conn.(connTracer); ok {
+				ct.SetTracer(tr, si, rep.addr)
+			}
+		}
+	}
+}
+
+// RegisterMetrics registers the cluster's routing health into reg:
+// failover/hedge totals as func-backed counters, and per-replica
+// breaker state plus per-shard replica counts as a scrape-time
+// collector (the replica set is live-mutable, so enumeration happens at
+// scrape).
+func (f *Filter) RegisterMetrics(reg *obs.Registry) {
+	reg.CounterFunc("cluster_failovers_total", "frames retried on another replica", nil, f.failovers.Load)
+	reg.CounterFunc("cluster_hedges_total", "hedge frames fired", nil, f.hedges.Load)
+	reg.Collect(func(emit func(obs.Sample)) {
+		for si, sh := range f.shards {
+			reps := sh.replicaList()
+			emit(obs.Sample{
+				Name: "cluster_replicas", Help: "replicas serving the shard", Type: obs.TypeGauge,
+				Labels: obs.Labels{"shard": fmt.Sprint(si)}, Value: float64(len(reps)),
+			})
+			for _, rep := range reps {
+				streak, open := rep.brk.state()
+				lbl := obs.Labels{"shard": fmt.Sprint(si), "addr": rep.addr}
+				var openVal float64
+				if open {
+					openVal = 1
+				}
+				emit(obs.Sample{Name: "cluster_breaker_open", Help: "1 while the replica's circuit breaker is open", Type: obs.TypeGauge, Labels: lbl, Value: openVal})
+				emit(obs.Sample{Name: "cluster_breaker_streak", Help: "consecutive retryable failures on the replica", Type: obs.TypeGauge, Labels: lbl, Value: float64(streak)})
+			}
+		}
+	})
+}
 
 // Close closes whatever closers the filter owns (the rmi connections of
 // a dialed cluster, including ones joined later via AddReplica; none
@@ -457,12 +512,18 @@ func onShard[T any](f *Filter, si, class int, op func(Conn) (T, error)) (T, erro
 			// gated on the very straggler the hedge was meant to beat.
 			if next < len(order) {
 				f.failovers.Add(1)
+				if tr := f.tracer.Load(); tr != nil {
+					tr.Event(fmt.Sprintf("failover shard %d -> %s", si, reps[order[next]].addr))
+				}
 				launch()
 			}
 		case <-hedge:
 			hedge = nil
 			if next < len(order) { // a failover may already hold the last replica
 				f.hedges.Add(1)
+				if tr := f.tracer.Load(); tr != nil {
+					tr.Event(fmt.Sprintf("hedge shard %d -> %s", si, reps[order[next]].addr))
+				}
 				launch()
 			}
 		}

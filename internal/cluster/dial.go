@@ -131,6 +131,9 @@ func (f *Filter) AddReplica(addr string) (int, error) {
 	r := Range{Lo: pr.Lo, Hi: pr.Hi}
 	for si, sh := range f.shards {
 		if sh.rng == r {
+			if tr := f.tracer.Load(); tr != nil {
+				rem.SetTracer(tr, si, addr)
+			}
 			sh.addReplica(&replica{addr: addr, conn: rem})
 			f.addCloser(cli)
 			return si, nil

@@ -76,3 +76,11 @@ func (b *breaker) score() int {
 	defer b.mu.Unlock()
 	return b.streak
 }
+
+// state reports the breaker for metrics exposition: the failure streak
+// and whether the circuit is currently open (cooldown still running).
+func (b *breaker) state() (streak int, open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.streak, !b.openUntil.IsZero() && b.clock().Before(b.openUntil)
+}

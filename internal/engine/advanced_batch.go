@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"encshare/internal/filter"
 	"encshare/internal/gf"
 	"encshare/internal/xpath"
@@ -138,9 +140,16 @@ func (r *advBatch) start(steps []xpath.Step) error {
 // drain runs waves until no branch is alive (or every existence context
 // found its witness).
 func (r *advBatch) drain() error {
-	for len(r.items) > 0 || len(r.scans) > 0 {
+	tr := r.e.cli.Tracer()
+	if tr != nil {
+		defer tr.EndStep()
+	}
+	for wave := 1; len(r.items) > 0 || len(r.scans) > 0; wave++ {
 		if r.allDone() {
 			return nil
+		}
+		if tr != nil {
+			tr.BeginStep(fmt.Sprintf("wave %d (%d branches, %d scans)", wave, len(r.items), len(r.scans)))
 		}
 		if err := r.wave(); err != nil {
 			return err

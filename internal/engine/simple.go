@@ -72,7 +72,14 @@ func (e *Simple) evalRelativeBatch(ctxs []filter.NodeMeta, q *xpath.Query, test 
 	for i, m := range ctxs {
 		cur[i] = taggedMeta{m: m, ctx: i}
 	}
+	tr := e.cli.Tracer()
+	if tr != nil {
+		defer tr.EndStep()
+	}
 	for _, s := range q.Steps {
+		if tr != nil {
+			tr.BeginStep("pred " + s.String())
+		}
 		if len(cur) == 0 {
 			break
 		}
@@ -171,7 +178,14 @@ func (e *Simple) evalRelativeBatch(ctxs []filter.NodeMeta, q *xpath.Query, test 
 // steps applies the step list to a frontier. fromRoot selects the virtual
 // document root as initial context.
 func (e *Simple) steps(frontier []filter.NodeMeta, steps []xpath.Step, test Test, fromRoot bool, visited *int64) ([]filter.NodeMeta, error) {
+	tr := e.cli.Tracer()
+	if tr != nil {
+		defer tr.EndStep()
+	}
 	for i, s := range steps {
+		if tr != nil {
+			tr.BeginStep("step " + s.String())
+		}
 		// Parent step: navigate up, no test.
 		if s.Name == xpath.ParentStep {
 			var parents []filter.NodeMeta

@@ -1,0 +1,342 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"encshare/internal/cluster"
+	"encshare/internal/engine"
+	"encshare/internal/filter"
+	"encshare/internal/obs"
+	"encshare/internal/server"
+	"encshare/internal/xpath"
+)
+
+// LoadTestConfig sizes the load test. The zero value picks the small
+// CI-friendly configuration.
+type LoadTestConfig struct {
+	Sessions int // concurrent client sessions (default 4)
+	Ops      int // timed operations per session (default 24)
+	Shards   int // shard count of the live cluster (default 2)
+	Replicas int // replicas per shard (default 2)
+	Seed     int64
+}
+
+func (c LoadTestConfig) withDefaults() LoadTestConfig {
+	if c.Sessions <= 0 {
+		c.Sessions = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 24
+	}
+	if c.Shards <= 0 {
+		c.Shards = 2
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// loadClass is one workload class of the mixed load: a name, a weight
+// in the mix, and the operation a session runs for it.
+type loadClass struct {
+	name   string
+	weight int
+	op     func(*loadSession) error
+}
+
+// loadClasses is the mixed workload: point path lookups, descendant
+// scans, and server-side aggregates, weighted toward the cheap class
+// like a realistic read mix.
+var loadClasses = []loadClass{
+	{"point", 5, func(s *loadSession) error {
+		_, err := s.adv.Run(s.pointQ, engine.Equality)
+		return err
+	}},
+	{"scan", 3, func(s *loadSession) error {
+		_, err := s.adv.Run(s.scanQ, engine.Containment)
+		return err
+	}},
+	{"aggregate", 2, func(s *loadSession) error {
+		res, err := s.adv.Run(s.aggQ, engine.Equality)
+		if err != nil {
+			return err
+		}
+		_, err = s.cli.AggregateFold(res.Pres, filter.AggSum, filter.AggregateOptions{})
+		return err
+	}},
+}
+
+// loadSession is one concurrent client: its own TCP connections to
+// every replica, its own filter client and engine, its own RNG.
+type loadSession struct {
+	cf     *cluster.Filter
+	cli    *filter.Client
+	adv    *engine.Advanced
+	pointQ *xpath.Query
+	scanQ  *xpath.Query
+	aggQ   *xpath.Query
+}
+
+// liveCluster is a real-TCP cluster: every replica of every shard is
+// its own server.Runtime accepting on a loopback listener — the same
+// process shape `encshare-server` has, minus the process boundary.
+type liveCluster struct {
+	addrs    []string
+	runtimes []*server.Runtime
+	cleanup  func()
+}
+
+// startLiveCluster splits the env's table into cfg.Shards ranges and
+// serves each range from cfg.Replicas independent runtimes (replicas
+// share the shard's store — byte-identical by construction). With
+// metrics on, every runtime's registry is created and attached, so each
+// served frame pays the full exposition-side cost.
+func startLiveCluster(env *Env, cfg LoadTestConfig, metrics bool) (*liveCluster, error) {
+	lo, hi, err := env.Store.MinMaxPre()
+	if err != nil {
+		return nil, err
+	}
+	ranges, err := cluster.PartitionEven(lo, hi, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	stores, dropStores, err := cluster.SplitStore(env.Store, ranges)
+	if err != nil {
+		dropStores()
+		return nil, err
+	}
+	lc := &liveCluster{}
+	var listeners []net.Listener
+	lc.cleanup = func() {
+		for _, rt := range lc.runtimes {
+			rt.Shutdown()
+		}
+		for _, l := range listeners {
+			l.Close()
+		}
+		dropStores()
+	}
+	for _, st := range stores {
+		for r := 0; r < cfg.Replicas; r++ {
+			rt := server.New(server.Config{})
+			if err := rt.AttachStore(server.Tenant{P: 83, CacheEntries: 4096}, st); err != nil {
+				lc.cleanup()
+				return nil, err
+			}
+			if metrics {
+				rt.Metrics()
+			}
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				lc.cleanup()
+				return nil, err
+			}
+			listeners = append(listeners, l)
+			lc.runtimes = append(lc.runtimes, rt)
+			go rt.Serve(l)
+			lc.addrs = append(lc.addrs, l.Addr().String())
+		}
+	}
+	return lc, nil
+}
+
+// loadSample is one timed operation.
+type loadSample struct {
+	class string
+	dur   time.Duration
+}
+
+// runLoad executes the full mixed workload — cfg.Sessions concurrent
+// sessions, cfg.Ops timed operations each — against a fresh live
+// cluster, returning every sample. The metrics flag selects the paired
+// run's arm: with it on, every server runtime carries its registry and
+// every client session registers its cluster metrics, exactly the
+// always-on production configuration; with it off nothing is attached
+// and every instrumentation gate stays nil.
+func runLoad(env *Env, cfg LoadTestConfig, metrics bool) ([]loadSample, error) {
+	lc, err := startLiveCluster(env, cfg, metrics)
+	if err != nil {
+		return nil, err
+	}
+	defer lc.cleanup()
+
+	pointQ := xpath.MustParse("/site/regions/europe/item")
+	scanQ := xpath.MustParse("//bidder/date")
+	aggQ := xpath.MustParse("/site/regions//item")
+
+	var mu sync.Mutex
+	var samples []loadSample
+	errs := make([]error, cfg.Sessions)
+	var wg sync.WaitGroup
+	for si := 0; si < cfg.Sessions; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			cf, err := cluster.DialWith(lc.addrs, cluster.Options{})
+			if err != nil {
+				errs[si] = err
+				return
+			}
+			defer cf.Close()
+			if metrics {
+				cf.RegisterMetrics(obs.NewRegistry())
+			}
+			s := &loadSession{
+				cf:     cf,
+				cli:    filter.NewClient(cf, env.Scheme),
+				pointQ: pointQ,
+				scanQ:  scanQ,
+				aggQ:   aggQ,
+			}
+			s.adv = engine.NewAdvanced(s.cli, env.Map)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(si)))
+			// One untimed warm-up per class: connection setup, cache
+			// fill, and the runtime's first-frame costs are not what the
+			// percentiles are about.
+			for _, c := range loadClasses {
+				if err := c.op(s); err != nil {
+					errs[si] = fmt.Errorf("session %d warmup %s: %w", si, c.name, err)
+					return
+				}
+			}
+			totalWeight := 0
+			for _, c := range loadClasses {
+				totalWeight += c.weight
+			}
+			for op := 0; op < cfg.Ops; op++ {
+				w := rng.Intn(totalWeight)
+				var pick loadClass
+				for _, c := range loadClasses {
+					if w < c.weight {
+						pick = c
+						break
+					}
+					w -= c.weight
+				}
+				start := time.Now()
+				if err := pick.op(s); err != nil {
+					errs[si] = fmt.Errorf("session %d op %d (%s): %w", si, op, pick.name, err)
+					return
+				}
+				d := time.Since(start)
+				mu.Lock()
+				samples = append(samples, loadSample{class: pick.name, dur: d})
+				mu.Unlock()
+			}
+		}(si)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return samples, nil
+}
+
+// quantileDur returns the q-quantile of a sorted duration slice by
+// nearest-rank.
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000) }
+
+// LoadTest is the load-test harness: a mixed point/scan/aggregate
+// workload from concurrent sessions against a live TCP cluster, run
+// twice — once with every metrics registry attached (servers and
+// clients), once with none — to put a number on what the always-on
+// instrumentation costs. Returns the per-class latency-percentile
+// table and the paired-run overhead table.
+func LoadTest(env *Env, cfg LoadTestConfig) ([]*Table, error) {
+	cfg = cfg.withDefaults()
+
+	off, err := runLoad(env, cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest (metrics off): %w", err)
+	}
+	on, err := runLoad(env, cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("loadtest (metrics on): %w", err)
+	}
+
+	// Percentile table from the instrumented arm — the configuration a
+	// production deployment runs.
+	byClass := map[string][]time.Duration{}
+	for _, s := range on {
+		byClass[s.class] = append(byClass[s.class], s.dur)
+	}
+	perc := &Table{
+		Title:  "Load test: latency percentiles by query class (live TCP cluster, metrics on)",
+		Header: []string{"class", "ops", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"},
+		Notes: []string{
+			fmt.Sprintf("%d sessions x %d ops against %d shards x %d replicas on loopback TCP",
+				cfg.Sessions, cfg.Ops, cfg.Shards, cfg.Replicas),
+			"point = /site/regions/europe/item (strict); scan = //bidder/date (containment); aggregate = /site/regions//item + server-side SUM fold",
+			"one untimed warm-up per class per session; advanced engine throughout",
+		},
+	}
+	for _, c := range loadClasses {
+		ds := byClass[c.name]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		if len(ds) == 0 {
+			perc.Rows = append(perc.Rows, []string{c.name, "0", "-", "-", "-", "-"})
+			continue
+		}
+		perc.Rows = append(perc.Rows, []string{
+			c.name, fmt.Sprintf("%d", len(ds)),
+			ms(quantileDur(ds, 0.50)), ms(quantileDur(ds, 0.90)),
+			ms(quantileDur(ds, 0.99)), ms(ds[len(ds)-1]),
+		})
+	}
+
+	// Overhead table: identical workloads, medians compared. The
+	// instrumentation design target is <2% — every hot-path gate is one
+	// atomic pointer load when nothing is attached, and with metrics on
+	// the per-frame cost is a handful of atomic adds.
+	overhead := &Table{
+		Title:  "Instrumentation overhead: identical load with metrics registries attached vs detached",
+		Header: []string{"run", "ops", "median (ms)", "p90 (ms)"},
+		Notes: []string{
+			"metrics on: every runtime exposes its registry (RMI counters + per-method histograms + per-tenant collectors); every session registers cluster metrics",
+			"metrics off: nothing attached — the hot path sees only nil atomic.Pointer gates",
+		},
+	}
+	var all [2][]time.Duration
+	for i, run := range [2][]loadSample{off, on} {
+		for _, s := range run {
+			all[i] = append(all[i], s.dur)
+		}
+		sort.Slice(all[i], func(a, b int) bool { return all[i][a] < all[i][b] })
+	}
+	names := [2]string{"metrics off", "metrics on"}
+	for i := range all {
+		overhead.Rows = append(overhead.Rows, []string{
+			names[i], fmt.Sprintf("%d", len(all[i])),
+			ms(quantileDur(all[i], 0.50)), ms(quantileDur(all[i], 0.90)),
+		})
+	}
+	offMed, onMed := quantileDur(all[0], 0.50), quantileDur(all[1], 0.50)
+	if offMed > 0 {
+		pct := 100 * (float64(onMed) - float64(offMed)) / float64(offMed)
+		overhead.Rows = append(overhead.Rows, []string{
+			"overhead", "", fmt.Sprintf("%+.2f%%", pct), "",
+		})
+		overhead.Notes = append(overhead.Notes,
+			"overhead = (on median - off median) / off median; design target < 2%")
+	}
+	return []*Table{perc, overhead}, nil
+}

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 
 	"encshare/internal/gf"
+	"encshare/internal/obs"
 	"encshare/internal/ring"
 	"encshare/internal/secshare"
 	"encshare/internal/store"
@@ -160,6 +161,18 @@ func (s ServerStats) Add(o ServerStats) ServerStats {
 		CacheMisses: s.CacheMisses + o.CacheMisses,
 		Decodes:     s.Decodes + o.Decodes,
 		Aggregates:  s.Aggregates + o.Aggregates,
+	}
+}
+
+// Sub returns s - o member-wise: the server work done between two
+// snapshots, which is what a query trace attributes to its window.
+func (s ServerStats) Sub(o ServerStats) ServerStats {
+	return ServerStats{
+		Evals:       s.Evals - o.Evals,
+		CacheHits:   s.CacheHits - o.CacheHits,
+		CacheMisses: s.CacheMisses - o.CacheMisses,
+		Decodes:     s.Decodes - o.Decodes,
+		Aggregates:  s.Aggregates - o.Aggregates,
 	}
 }
 
@@ -340,8 +353,26 @@ type Client struct {
 	r       *ring.Ring
 	workers int // batch pool bound; 0 means defaultWorkers()
 
+	// tracer is the session's query tracer, if one was attached; the
+	// engines read it to mark step boundaries.
+	tracer atomic.Pointer[obs.Tracer]
+
 	Counters Counters
 }
+
+// SetTracer attaches (nil detaches) the session's query tracer. The
+// engines mark step boundaries on it; the transport proxies record the
+// frames (see Remote.SetTracer — wiring both is the session's job).
+func (c *Client) SetTracer(tr *obs.Tracer) {
+	if tr == nil {
+		c.tracer.Store(nil)
+		return
+	}
+	c.tracer.Store(tr)
+}
+
+// Tracer returns the attached tracer, or nil.
+func (c *Client) Tracer() *obs.Tracer { return c.tracer.Load() }
 
 // NewClient builds a client filter over any ServerAPI.
 func NewClient(api ServerAPI, scheme *secshare.Scheme) *Client {

@@ -2,8 +2,11 @@ package filter
 
 import (
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"encshare/internal/gf"
+	"encshare/internal/obs"
 	"encshare/internal/rmi"
 )
 
@@ -150,6 +153,18 @@ type Remote struct {
 	noStats     bool            // server predates the ServerStats method
 	noAggregate bool            // server predates the aggregate fold frames
 	noPaged     map[string]bool // paged methods the server rejected, individually
+
+	// trc is nil until SetTracer attaches one; untraced proxies pay one
+	// pointer load per call.
+	trc atomic.Pointer[remoteTracer]
+}
+
+// remoteTracer carries the tracer plus this proxy's identity in the
+// span tree (which shard it serves, at which address).
+type remoteTracer struct {
+	tr    *obs.Tracer
+	shard int
+	addr  string
 }
 
 var (
@@ -166,12 +181,48 @@ func NewRemote(c *rmi.Client) *Remote {
 	return &Remote{c: c, counts: map[string]int64{}}
 }
 
+// SetTracer attaches (or, with nil, detaches) a query tracer. Every
+// round-trip this proxy issues while the tracer has an open capture
+// window is recorded as a frame span labeled with the shard index and
+// address, and its trace context rides the rmi frame header.
+func (r *Remote) SetTracer(tr *obs.Tracer, shard int, addr string) {
+	if tr == nil {
+		r.trc.Store(nil)
+		return
+	}
+	r.trc.Store(&remoteTracer{tr: tr, shard: shard, addr: addr})
+}
+
 // call issues one RMI round-trip and counts it against the method.
 func (r *Remote) call(method string, args, reply any) error {
+	return r.callRows(method, args, reply, nil)
+}
+
+// callRows is call with a row-count closure for the frame span, read
+// from the decoded reply only after a successful exchange.
+func (r *Remote) callRows(method string, args, reply any, rows func() int64) error {
 	r.mu.Lock()
 	r.counts[method]++
 	r.mu.Unlock()
-	return r.c.Call(method, args, reply)
+	t := r.trc.Load()
+	if t == nil || !t.tr.Active() {
+		return r.c.Call(method, args, reply)
+	}
+	tc := rmi.TraceContext{Trace: t.tr.ID(), Span: t.tr.NextSpanID()}
+	start := time.Now()
+	fi, err := r.c.CallTraced(method, args, reply, tc)
+	f := obs.Frame{
+		Method: method, Shard: t.shard, Addr: t.addr,
+		Start: start, Dur: time.Since(start),
+		BytesOut: int64(fi.BytesOut), BytesIn: int64(fi.BytesIn),
+	}
+	if err != nil {
+		f.Err = err.Error()
+	} else if rows != nil {
+		f.Rows = rows()
+	}
+	t.tr.AddFrame(f)
+	return err
 }
 
 // CallCounts returns a snapshot of round-trips issued, keyed by RMI
@@ -308,7 +359,7 @@ func (r *Remote) Count() (int64, error) {
 func remoteBatch[Req, Resp any](r *Remote, method string, reqs []Req, fallback func([]Req) ([]Resp, error)) ([]Resp, error) {
 	if !r.flagged(&r.noBatch) {
 		var out []Resp
-		err := r.call(method, reqs, &out)
+		err := r.callRows(method, reqs, &out, func() int64 { return int64(len(out)) })
 		if err == nil {
 			return out, nil
 		}

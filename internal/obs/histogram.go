@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: log base-2 duration buckets starting at 1µs.
+// Bucket i covers durations <= histBase << i; the last slot is +Inf.
+// 1µs << 25 ≈ 33.6s, so the ladder spans sub-microsecond RPCs to
+// stuck-for-half-a-minute outliers in 26 buckets + overflow.
+const (
+	histBase    = time.Microsecond
+	histBuckets = 26
+)
+
+// Histogram is a fixed-bucket, allocation-free duration histogram. All
+// fields are atomics, so Observe is safe from any goroutine and costs
+// three atomic adds — cheap enough for per-RPC hot paths.
+type Histogram struct {
+	buckets [histBuckets + 1]atomic.Int64 // +1 for +Inf overflow
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+// NewHistogram returns an empty histogram (also usable standalone,
+// outside any registry — the load-test harness does).
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketFor returns the index of the first bucket whose upper bound
+// holds d.
+func bucketFor(d time.Duration) int {
+	if d < 0 {
+		d = 0
+	}
+	bound := histBase
+	for i := 0; i < histBuckets; i++ {
+		if d <= bound {
+			return i
+		}
+		bound <<= 1
+	}
+	return histBuckets
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistSnapshot is a point-in-time copy of a histogram, the unit the
+// exposition formats and quantile extraction work from.
+type HistSnapshot struct {
+	// Buckets holds per-bucket (non-cumulative) counts; Bounds[i] is
+	// Buckets[i]'s inclusive upper bound, with the final overflow bucket
+	// unbounded (Bounds has len(Buckets)-1 entries).
+	Buckets []int64
+	Bounds  []time.Duration
+	Count   int64
+	Sum     time.Duration
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() *HistSnapshot {
+	s := &HistSnapshot{
+		Buckets: make([]int64, histBuckets+1),
+		Bounds:  make([]time.Duration, histBuckets),
+		Count:   h.count.Load(),
+		Sum:     time.Duration(h.sumNs.Load()),
+	}
+	bound := histBase
+	for i := 0; i < histBuckets; i++ {
+		s.Bounds[i] = bound
+		bound <<= 1
+	}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Count returns how many observations the histogram has absorbed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Quantile extracts an approximate quantile (0 < q <= 1) from the
+// snapshot by walking the cumulative bucket counts and interpolating
+// linearly inside the winning bucket. With log-2 buckets the answer is
+// within 2x of the true quantile — plenty for p50/p90/p99 latency
+// tables. Returns 0 when the histogram is empty.
+func (s *HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = s.Bounds[i-1]
+			}
+			hi := 2 * lo
+			if i < len(s.Bounds) {
+				hi = s.Bounds[i]
+			}
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile is Snapshot().Quantile for callers that need one value.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	return h.Snapshot().Quantile(q)
+}

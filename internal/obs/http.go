@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WritePrometheus renders every registry's gathered samples in the
+// Prometheus text exposition format (version 0.0.4). Multiple
+// registries merge into one page — the server process passes its
+// runtime registry, tests additionally merge a client-side cluster
+// registry so breaker state shows up on the same scrape.
+func WritePrometheus(w io.Writer, regs ...*Registry) error {
+	samples := gatherAll(regs)
+	var sb strings.Builder
+	seenHeader := map[string]bool{}
+	for _, s := range samples {
+		if !seenHeader[s.Name] {
+			seenHeader[s.Name] = true
+			if s.Help != "" {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", s.Name, s.Help)
+			}
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", s.Name, s.Type)
+		}
+		if s.Hist != nil {
+			writePromHist(&sb, s)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s%s %s\n", s.Name, promLabels(s.Labels, "", 0), promFloat(s.Value))
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writePromHist renders one histogram series: cumulative _bucket lines
+// with le= bounds in seconds, then _sum and _count.
+func writePromHist(sb *strings.Builder, s Sample) {
+	snap := s.Hist
+	var cum int64
+	for i, n := range snap.Buckets {
+		cum += n
+		le := "+Inf"
+		if i < len(snap.Bounds) {
+			le = promFloat(snap.Bounds[i].Seconds())
+		}
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, le, 1), cum)
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, "", 0), promFloat(snap.Sum.Seconds()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", 0), snap.Count)
+}
+
+// promLabels renders a label set (plus an optional le bucket bound when
+// mode==1) as {k="v",...}, or "" when empty.
+func promLabels(l Labels, le string, mode int) string {
+	if len(l) == 0 && mode == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+	}
+	if mode == 1 {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "le=%q", le)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// promFloat renders a float the way Prometheus clients do: integers
+// without a decimal point, everything else with minimal digits.
+func promFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// jsonSample is the debug-dump shape of one series.
+type jsonSample struct {
+	Name   string            `json:"name"`
+	Type   string            `json:"type"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+	Hist   *jsonHist         `json:"histogram,omitempty"`
+}
+
+type jsonHist struct {
+	Count int64   `json:"count"`
+	SumMs float64 `json:"sum_ms"`
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// WriteJSON renders the merged registries as an indented JSON debug
+// dump with pre-extracted percentiles — handier than bucket math when
+// a human is curling.
+func WriteJSON(w io.Writer, regs ...*Registry) error {
+	samples := gatherAll(regs)
+	out := make([]jsonSample, 0, len(samples))
+	for _, s := range samples {
+		js := jsonSample{Name: s.Name, Type: s.Type, Labels: s.Labels}
+		if s.Hist != nil {
+			js.Hist = &jsonHist{
+				Count: s.Hist.Count,
+				SumMs: float64(s.Hist.Sum) / float64(time.Millisecond),
+				P50Ms: float64(s.Hist.Quantile(0.50)) / float64(time.Millisecond),
+				P90Ms: float64(s.Hist.Quantile(0.90)) / float64(time.Millisecond),
+				P99Ms: float64(s.Hist.Quantile(0.99)) / float64(time.Millisecond),
+			}
+		} else {
+			v := s.Value
+			js.Value = &v
+		}
+		out = append(out, js)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func gatherAll(regs []*Registry) []Sample {
+	var out []Sample
+	for _, r := range regs {
+		if r != nil {
+			out = append(out, r.Gather()...)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels.signature() < out[j].Labels.signature()
+	})
+	return out
+}
+
+// NewMux builds the metrics HTTP handler: /metrics (Prometheus text),
+// /metrics.json (debug dump), and /debug/pprof/* on the same mux —
+// explicitly wired so we can keep http.DefaultServeMux out of it.
+func NewMux(regs ...*Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, regs...)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, regs...)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

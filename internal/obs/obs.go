@@ -1,0 +1,234 @@
+// Package obs is the repo's observability core: a dependency-free
+// metrics registry (atomic counters, gauges, log-bucketed latency
+// histograms) with Prometheus text and JSON exposition, plus the query
+// tracer (trace.go) whose span trees Session.Trace renders.
+//
+// Design constraints, in order:
+//
+//   - Zero cost when unused. Nothing in the hot path touches a registry
+//     unless one was explicitly attached; instruments are plain atomics,
+//     so an attached registry costs one atomic add per event.
+//   - No double accounting. Subsystems that already keep atomic counters
+//     (rmi traffic, cluster failovers, per-tenant filter stats) register
+//     *func-backed* instruments that read the live counter at scrape
+//     time instead of maintaining a second copy.
+//   - Dynamic label sets without unregistration. Per-tenant metrics come
+//     and go with attach/detach; a Collect callback enumerates whatever
+//     exists at scrape time, so detaching a tenant never leaves a stale
+//     series behind.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels is one metric series' label set. Exposition sorts keys, so any
+// map order is fine.
+type Labels map[string]string
+
+// signature is the canonical form of a label set, used to dedupe
+// get-or-create registration.
+func (l Labels) signature() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, l[k])
+	}
+	return sb.String()
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be >= 0 for the exposition to
+// stay a valid Prometheus counter).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic gauge: a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Metric types, as exposed in Sample.Type and the Prometheus TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// Sample is one gathered metric series: a point-in-time value with its
+// identity. Histograms carry a snapshot instead of a scalar.
+type Sample struct {
+	Name   string
+	Help   string
+	Type   string
+	Labels Labels
+	Value  float64
+	Hist   *HistSnapshot
+}
+
+// instrument is one registered series.
+type instrument struct {
+	name   string
+	help   string
+	typ    string
+	labels Labels
+	sig    string
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() int64 // func-backed counter/gauge
+}
+
+func (in *instrument) sample() Sample {
+	s := Sample{Name: in.name, Help: in.help, Type: in.typ, Labels: in.labels}
+	switch {
+	case in.fn != nil:
+		s.Value = float64(in.fn())
+	case in.counter != nil:
+		s.Value = float64(in.counter.Load())
+	case in.gauge != nil:
+		s.Value = float64(in.gauge.Load())
+	case in.hist != nil:
+		s.Hist = in.hist.Snapshot()
+	}
+	return s
+}
+
+// Registry holds instruments and scrape-time collectors. Safe for
+// concurrent registration and gathering; get-or-create semantics make
+// it safe to register the same (name, labels) series from concurrent
+// hot paths (per-method histograms do exactly that).
+type Registry struct {
+	mu         sync.Mutex
+	order      []*instrument
+	byKey      map[string]*instrument // name + "\x00" + label signature
+	collectors []func(emit func(Sample))
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: map[string]*instrument{}}
+}
+
+func (r *Registry) getOrCreate(name, help, typ string, labels Labels) *instrument {
+	key := name + "\x00" + labels.signature()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if in, ok := r.byKey[key]; ok {
+		if in.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, typ, in.typ))
+		}
+		return in
+	}
+	in := &instrument{name: name, help: help, typ: typ, labels: labels, sig: labels.signature()}
+	r.byKey[key] = in
+	r.order = append(r.order, in)
+	return in
+}
+
+// Counter registers (or returns the existing) counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	in := r.getOrCreate(name, help, TypeCounter, labels)
+	if in.counter == nil && in.fn == nil {
+		in.counter = &Counter{}
+	}
+	return in.counter
+}
+
+// Gauge registers (or returns the existing) gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	in := r.getOrCreate(name, help, TypeGauge, labels)
+	if in.gauge == nil && in.fn == nil {
+		in.gauge = &Gauge{}
+	}
+	return in.gauge
+}
+
+// Histogram registers (or returns the existing) duration histogram
+// series. Concurrency-safe get-or-create, so hot paths can call it per
+// event with a label value discovered at runtime (e.g. an RMI method).
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	in := r.getOrCreate(name, help, TypeHistogram, labels)
+	if in.hist == nil {
+		in.hist = NewHistogram()
+	}
+	return in.hist
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the no-double-accounting hook for subsystems that already keep
+// an atomic counter.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() int64) {
+	in := r.getOrCreate(name, help, TypeCounter, labels)
+	in.fn = fn
+}
+
+// GaugeFunc is CounterFunc for gauges.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() int64) {
+	in := r.getOrCreate(name, help, TypeGauge, labels)
+	in.fn = fn
+}
+
+// Collect registers a scrape-time callback that emits samples for
+// series whose label sets are dynamic (per-tenant counters, per-replica
+// breaker state): whatever exists at scrape time is emitted, so
+// detaching a tenant or dropping a replica needs no unregistration.
+func (r *Registry) Collect(fn func(emit func(Sample))) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Gather snapshots every registered instrument and collector into a
+// stable order: by name, then label signature, preserving registration
+// order within ties. The result is what the exposition formats render
+// and what tests diff.
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	ins := append([]*instrument(nil), r.order...)
+	cols := append([]func(func(Sample)){}, r.collectors...)
+	r.mu.Unlock()
+	var out []Sample
+	for _, in := range ins {
+		out = append(out, in.sample())
+	}
+	for _, fn := range cols {
+		fn(func(s Sample) { out = append(out, s) })
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels.signature() < out[j].Labels.signature()
+	})
+	return out
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeGather(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests", Labels{"tenant": "a"})
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("conns", "open connections", nil)
+	g.Set(7)
+	g.Add(-2)
+	r.CounterFunc("fn_total", "func backed", nil, func() int64 { return 42 })
+
+	got := map[string]float64{}
+	for _, s := range r.Gather() {
+		got[s.Name+s.Labels.signature()] = s.Value
+	}
+	if got[`reqs_total`+Labels{"tenant": "a"}.signature()] != 4 {
+		t.Fatalf("counter = %v, want 4", got)
+	}
+	if got["conns"] != 5 {
+		t.Fatalf("gauge = %v, want 5", got)
+	}
+	if got["fn_total"] != 42 {
+		t.Fatalf("func counter = %v, want 42", got)
+	}
+}
+
+func TestGetOrCreateDedupes(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "", Labels{"k": "v"})
+	b := r.Counter("x_total", "", Labels{"k": "v"})
+	if a != b {
+		t.Fatal("same (name, labels) should return the same counter")
+	}
+	c := r.Counter("x_total", "", Labels{"k": "w"})
+	if a == c {
+		t.Fatal("different labels should return a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering as a different type should panic")
+		}
+	}()
+	r.Gauge("x_total", "", Labels{"k": "v"})
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations spread evenly from 1ms to 100ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	snap := h.Snapshot()
+	p50 := snap.Quantile(0.50)
+	if p50 < 20*time.Millisecond || p50 > 100*time.Millisecond {
+		t.Fatalf("p50 = %v, want within 2x of 50ms", p50)
+	}
+	p99 := snap.Quantile(0.99)
+	if p99 < 64*time.Millisecond || p99 > 200*time.Millisecond {
+		t.Fatalf("p99 = %v, want within 2x of 99ms", p99)
+	}
+	if p50 > p99 {
+		t.Fatalf("p50 %v > p99 %v", p50, p99)
+	}
+	if got := (&HistSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	var sum int64
+	for _, n := range h.Snapshot().Buckets {
+		sum += n
+	}
+	if sum != 8000 {
+		t.Fatalf("bucket sum = %d, want 8000", sum)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("encshare_reqs_total", "total requests", Labels{"tenant": "acme"}).Add(12)
+	r.Gauge("encshare_conns", "open conns", nil).Set(3)
+	h := r.Histogram("rmi_server_call_seconds", "per-call latency", Labels{"method": "Eval"})
+	h.Observe(3 * time.Millisecond)
+	h.Observe(40 * time.Microsecond)
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Name: "dyn_total", Type: TypeCounter, Labels: Labels{"shard": "0"}, Value: 9})
+	})
+
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE encshare_reqs_total counter",
+		`encshare_reqs_total{tenant="acme"} 12`,
+		"# TYPE encshare_conns gauge",
+		"encshare_conns 3",
+		"# TYPE rmi_server_call_seconds histogram",
+		`rmi_server_call_seconds_bucket{method="Eval",le="+Inf"} 2`,
+		`rmi_server_call_seconds_count{method="Eval"} 2`,
+		`rmi_server_call_seconds_sum{method="Eval"}`,
+		`dyn_total{shard="0"} 9`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, text)
+		}
+	}
+	// Buckets must be cumulative: every _bucket count <= the +Inf count.
+	if !strings.Contains(text, `le="4.096e-05"`) && !strings.Contains(text, `le="6.4e-05"`) {
+		// 40µs falls in the 64µs bucket (bounds 1µs<<k); just assert some le label rendered.
+		if !strings.Contains(text, `le="`) {
+			t.Fatalf("no le labels rendered:\n%s", text)
+		}
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "", nil).Add(5)
+	r.Histogram("lat_seconds", "", nil).Observe(2 * time.Millisecond)
+	var sb strings.Builder
+	if err := WriteJSON(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"a_total"`, `"lat_seconds"`, `"p99_ms"`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("json missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestTracerTree(t *testing.T) {
+	tr := NewTracer()
+	if tr.Active() {
+		t.Fatal("new tracer should be inactive")
+	}
+	// Frames before Begin are dropped.
+	tr.AddFrame(Frame{Method: "Drop"})
+
+	tr.Begin("//site//item")
+	tr.BeginStep("step //site")
+	tr.AddFrame(Frame{Method: "EvalBatch", Shard: 0, Addr: "s0", Dur: time.Millisecond, BytesOut: 100, BytesIn: 200, Rows: 4})
+	tr.AddFrame(Frame{Method: "EvalBatch", Shard: 1, Addr: "s1", Dur: 2 * time.Millisecond, Rows: 2})
+	tr.Event("failover shard 1")
+	tr.BeginStep("step //item")
+	tr.AddFrame(Frame{Method: "ChildrenBatch", Shard: 0, Addr: "s0"})
+	tr.End()
+	// Frames after End are dropped too.
+	tr.AddFrame(Frame{Method: "Drop"})
+
+	root := tr.Root()
+	if root == nil || root.Kind != KindQuery || root.Name != "//site//item" {
+		t.Fatalf("bad root: %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("want 2 steps, got %d", len(root.Children))
+	}
+	if got := root.Frames(); got != 3 {
+		t.Fatalf("frame count = %d, want 3", got)
+	}
+	perShard := map[int]int64{}
+	root.ShardFrames(perShard)
+	if perShard[0] != 2 || perShard[1] != 1 {
+		t.Fatalf("per-shard frames = %v", perShard)
+	}
+	step0 := root.Children[0]
+	if step0.Frames() != 2 {
+		t.Fatalf("step0 frames = %d, want 2", step0.Frames())
+	}
+	var hasEvent bool
+	for _, c := range step0.Children {
+		if c.Kind == KindEvent {
+			hasEvent = true
+		}
+	}
+	if !hasEvent {
+		t.Fatal("failover event not recorded under step0")
+	}
+
+	var sb strings.Builder
+	if err := root.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"query //site//item", "step step //site", "frame EvalBatch", "event failover shard 1", "rows 4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTracerConcurrentFrames(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("q")
+	tr.BeginStep("s")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.AddFrame(Frame{Method: "Eval", Shard: shard})
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.End()
+	if got := tr.Root().Frames(); got != 800 {
+		t.Fatalf("frames = %d, want 800", got)
+	}
+}
+
+func TestTracerReuseResets(t *testing.T) {
+	tr := NewTracer()
+	tr.Begin("first")
+	tr.AddFrame(Frame{Method: "A"})
+	tr.End()
+	first := tr.ID()
+	tr.Begin("second")
+	tr.AddFrame(Frame{Method: "B"})
+	tr.End()
+	if tr.ID() == first {
+		t.Fatal("trace ID should change between captures")
+	}
+	root := tr.Root()
+	if root.Name != "second" || root.Frames() != 1 {
+		t.Fatalf("reuse did not reset tree: %+v", root)
+	}
+}

@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span kinds. A trace is one query: a root span, one child per engine
+// step (or wave), frame spans under the step that issued them, and
+// event spans (failover, hedge) recording replica routing decisions.
+const (
+	KindQuery = "query"
+	KindStep  = "step"
+	KindFrame = "frame"
+	KindEvent = "event"
+)
+
+// Span is one node of a trace tree. Start is the offset from the trace's
+// beginning, so a rendered report reads as a timeline.
+type Span struct {
+	ID    uint64
+	Name  string
+	Kind  string
+	Start time.Duration
+	Dur   time.Duration
+
+	// Frame-span payload (zero elsewhere): which shard replica answered
+	// and what traveled.
+	Shard    int
+	Addr     string
+	Method   string
+	BytesOut int64
+	BytesIn  int64
+	Rows     int64
+	Err      string
+
+	Children []*Span
+}
+
+// Frames counts the frame spans in the subtree — the quantity the trace
+// invariant checks against the session's round-trip counters.
+func (s *Span) Frames() int64 {
+	var n int64
+	if s.Kind == KindFrame {
+		n++
+	}
+	for _, c := range s.Children {
+		n += c.Frames()
+	}
+	return n
+}
+
+// ShardFrames counts frame spans per shard index in the subtree.
+func (s *Span) ShardFrames(out map[int]int64) {
+	if s.Kind == KindFrame {
+		out[s.Shard]++
+	}
+	for _, c := range s.Children {
+		c.ShardFrames(out)
+	}
+}
+
+// Fprint renders the subtree as an indented timing report.
+func (s *Span) Fprint(w io.Writer) error {
+	var sb strings.Builder
+	s.fprint(&sb, 0)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func (s *Span) fprint(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	switch s.Kind {
+	case KindFrame:
+		fmt.Fprintf(sb, "frame %-28s shard %d %-21s +%-9s %-9s out %s in %s",
+			s.Method, s.Shard, s.Addr, fmtDur(s.Start), fmtDur(s.Dur), fmtBytes(s.BytesOut), fmtBytes(s.BytesIn))
+		if s.Rows > 0 {
+			fmt.Fprintf(sb, " rows %d", s.Rows)
+		}
+		if s.Err != "" {
+			fmt.Fprintf(sb, " err %q", s.Err)
+		}
+	case KindEvent:
+		fmt.Fprintf(sb, "event %s +%s", s.Name, fmtDur(s.Start))
+	default:
+		fmt.Fprintf(sb, "%s %s +%s %s", s.Kind, s.Name, fmtDur(s.Start), fmtDur(s.Dur))
+		if s.Kind == KindStep {
+			fmt.Fprintf(sb, " (%d frames)", s.Frames())
+		}
+	}
+	sb.WriteByte('\n')
+	for _, c := range s.Children {
+		c.fprint(sb, depth+1)
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// Frame is one recorded RMI exchange, as reported by the filter proxy.
+type Frame struct {
+	Method   string
+	Shard    int
+	Addr     string
+	Start    time.Time
+	Dur      time.Duration
+	BytesOut int64
+	BytesIn  int64
+	Rows     int64
+	Err      string
+}
+
+// Tracer assembles one query's span tree. Steps are sequential (the
+// engines run one step/wave at a time), so a single current-step
+// pointer suffices; frames within a step arrive concurrently from the
+// per-shard scatter goroutines, so every mutation takes the mutex.
+//
+// A tracer is attached once (to the session's filter chain) and
+// recycled per query: Begin resets the tree, End seals it. Frames
+// reported outside a Begin..End window — session teardown, stats
+// fetches around the capture — are dropped, which is what keeps the
+// frame-count invariant exact.
+type Tracer struct {
+	traceID uint64
+	spanID  atomic.Uint64
+
+	mu     sync.Mutex
+	active bool
+	start  time.Time
+	root   *Span
+	cur    *Span // current step span; nil parks frames on the root
+}
+
+// nextTraceID makes trace IDs unique within a process without needing
+// a random source.
+var nextTraceID atomic.Uint64
+
+// NewTracer returns an idle tracer.
+func NewTracer() *Tracer {
+	return &Tracer{}
+}
+
+// ID returns the current trace's ID (0 when no trace ran yet).
+func (t *Tracer) ID() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.traceID
+}
+
+// NextSpanID allocates a span ID for wire propagation.
+func (t *Tracer) NextSpanID() uint64 { return t.spanID.Add(1) }
+
+// Active reports whether a Begin..End capture window is open — the
+// gate every recording hook checks before doing any work.
+func (t *Tracer) Active() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.active
+}
+
+// Begin opens a capture window: a fresh root span named after the
+// query. Any previous tree is discarded.
+func (t *Tracer) Begin(name string) {
+	t.mu.Lock()
+	t.traceID = nextTraceID.Add(1)
+	t.spanID.Store(0)
+	t.active = true
+	t.start = time.Now()
+	t.root = &Span{ID: t.NextSpanID(), Name: name, Kind: KindQuery}
+	t.cur = nil
+	t.mu.Unlock()
+}
+
+// End seals the capture window: the last open step closes, the root's
+// duration is stamped, and subsequent frames are dropped.
+func (t *Tracer) End() {
+	t.mu.Lock()
+	if t.active {
+		t.closeStepLocked()
+		t.root.Dur = time.Since(t.start)
+		t.active = false
+	}
+	t.mu.Unlock()
+}
+
+// BeginStep closes the current step (if any) and opens a new one as a
+// child of the root — called by the engines at each step/wave boundary.
+func (t *Tracer) BeginStep(name string) {
+	t.mu.Lock()
+	if t.active {
+		t.closeStepLocked()
+		sp := &Span{ID: t.NextSpanID(), Name: name, Kind: KindStep, Start: time.Since(t.start)}
+		t.root.Children = append(t.root.Children, sp)
+		t.cur = sp
+	}
+	t.mu.Unlock()
+}
+
+// EndStep closes the current step; later frames land on the root.
+func (t *Tracer) EndStep() {
+	t.mu.Lock()
+	if t.active {
+		t.closeStepLocked()
+	}
+	t.mu.Unlock()
+}
+
+func (t *Tracer) closeStepLocked() {
+	if t.cur != nil {
+		t.cur.Dur = time.Since(t.start) - t.cur.Start
+		t.cur = nil
+	}
+}
+
+// AddFrame records one RMI exchange under the current step (or the
+// root, outside any step). Safe to call from concurrent per-shard
+// goroutines; dropped outside a capture window.
+func (t *Tracer) AddFrame(f Frame) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.active {
+		return
+	}
+	start := f.Start
+	if start.IsZero() {
+		start = time.Now().Add(-f.Dur)
+	}
+	sp := &Span{
+		ID: t.NextSpanID(), Kind: KindFrame,
+		Start: start.Sub(t.start), Dur: f.Dur,
+		Method: f.Method, Shard: f.Shard, Addr: f.Addr,
+		BytesOut: f.BytesOut, BytesIn: f.BytesIn, Rows: f.Rows, Err: f.Err,
+	}
+	parent := t.root
+	if t.cur != nil {
+		parent = t.cur
+	}
+	parent.Children = append(parent.Children, sp)
+}
+
+// Event records a routing event (failover, hedge) under the current
+// step.
+func (t *Tracer) Event(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.active {
+		return
+	}
+	sp := &Span{ID: t.NextSpanID(), Name: name, Kind: KindEvent, Start: time.Since(t.start)}
+	parent := t.root
+	if t.cur != nil {
+		parent = t.cur
+	}
+	parent.Children = append(parent.Children, sp)
+}
+
+// Root returns the last sealed (or in-progress) span tree. The tree is
+// not copied: callers must not read it concurrently with an open
+// capture window.
+func (t *Tracer) Root() *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}

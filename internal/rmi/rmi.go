@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"encshare/internal/obs"
 )
 
 // maxFrame bounds a single message; a frame larger than this indicates
@@ -101,6 +103,12 @@ func ErrUnknownTenant(tenant string) error {
 // 2 added the Tenant field; version-0 frames (from pre-tenant clients,
 // whose request struct had neither field) decode identically to a v2
 // frame with an empty tenant.
+//
+// The Trace/Span fields ride on v2 without a version bump: gob omits
+// zero-valued fields from the stream, so an untraced frame is
+// byte-identical to a pre-trace frame, a pre-trace server silently
+// drops the fields from a traced client, and a pre-trace client's
+// frames decode here with a zero-valued trace context.
 const FrameVersion = 2
 
 type request struct {
@@ -109,6 +117,8 @@ type request struct {
 	Body   []byte
 	Ver    uint8
 	Tenant string
+	Trace  uint64
+	Span   uint64
 }
 
 type response struct {
@@ -145,6 +155,16 @@ type Server struct {
 	drain   sync.RWMutex
 	connMu  sync.Mutex
 	conns   map[net.Conn]struct{}
+
+	// metrics is nil until SetMetrics attaches a registry; the hot path
+	// pays only this pointer load when no one is scraping.
+	metrics atomic.Pointer[serverMetrics]
+}
+
+// serverMetrics holds the instruments ServeConn touches per frame.
+type serverMetrics struct {
+	reg    *obs.Registry
+	traced *obs.Counter
 }
 
 // NewServer returns an empty server.
@@ -324,12 +344,24 @@ func (s *Server) ServeConn(conn net.Conn) {
 		s.bytesIn.Add(int64(n))
 		s.calls.Add(1)
 		fn, errMsg := s.lookup(req.Tenant, req.Method)
+		m := s.metrics.Load()
+		if m != nil && req.Trace != 0 {
+			m.traced.Inc()
+		}
 		var resp response
 		resp.Seq = req.Seq
 		if fn == nil {
 			resp.Err = errMsg
 		} else {
+			start := time.Time{}
+			if m != nil {
+				start = time.Now()
+			}
 			body, err := fn(req.Body)
+			if m != nil {
+				m.reg.Histogram("rmi_server_call_seconds", "handler latency by method",
+					obs.Labels{"method": req.Method}).Observe(time.Since(start))
+			}
 			if err != nil {
 				resp.Err = err.Error()
 			} else {
@@ -398,6 +430,22 @@ func (s *Server) Stats() ServerStats {
 	}
 }
 
+// SetMetrics registers this server's instruments into reg and turns on
+// per-method latency histograms. The existing traffic counters are
+// exposed as func-backed series (read at scrape time, never copied);
+// only the per-frame histogram Observe and the traced-frame counter are
+// new work, and both happen only after a registry is attached.
+func (s *Server) SetMetrics(reg *obs.Registry) {
+	reg.CounterFunc("rmi_server_calls_total", "frames dispatched", nil, s.calls.Load)
+	reg.CounterFunc("rmi_server_bytes_in_total", "request bytes received", nil, s.bytesIn.Load)
+	reg.CounterFunc("rmi_server_bytes_out_total", "reply bytes written", nil, s.bytesOut.Load)
+	m := &serverMetrics{
+		reg:    reg,
+		traced: reg.Counter("rmi_server_traced_frames_total", "frames carrying a trace context", nil),
+	}
+	s.metrics.Store(m)
+}
+
 // Client issues calls over one connection. Safe for concurrent use; calls
 // are serialized.
 type Client struct {
@@ -447,42 +495,71 @@ func (c *Client) Tenant() string {
 	return c.tenant
 }
 
+// TraceContext identifies the trace (and the client-side span issuing
+// the call) a frame belongs to. The zero value means "untraced" and
+// encodes to exactly the pre-trace wire bytes.
+type TraceContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// FrameInfo reports the wire cost of one completed call.
+type FrameInfo struct {
+	BytesOut int
+	BytesIn  int
+}
+
 // Call invokes method with gob-encoded args, decoding the reply into
 // reply (a pointer), and returns a *RemoteError if the handler failed.
 func (c *Client) Call(method string, args any, reply any) error {
+	_, err := c.doCall(method, args, reply, TraceContext{})
+	return err
+}
+
+// CallTraced is Call with a trace context stamped into the frame header
+// and the frame's byte counts returned — the hook the filter proxy uses
+// to record frame spans.
+func (c *Client) CallTraced(method string, args any, reply any, tc TraceContext) (FrameInfo, error) {
+	return c.doCall(method, args, reply, tc)
+}
+
+func (c *Client) doCall(method string, args any, reply any, tc TraceContext) (FrameInfo, error) {
+	var fi FrameInfo
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(args); err != nil {
-		return fmt.Errorf("rmi: encoding args for %s: %w", method, err)
+		return fi, fmt.Errorf("rmi: encoding args for %s: %w", method, err)
 	}
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
-	req := request{Seq: c.seq, Method: method, Body: body.Bytes(), Ver: FrameVersion, Tenant: c.tenant}
+	req := request{Seq: c.seq, Method: method, Body: body.Bytes(), Ver: FrameVersion, Tenant: c.tenant, Trace: tc.Trace, Span: tc.Span}
 	n, err := writeFrame(c.conn, &req)
 	if err != nil {
-		return &TransportError{Method: method, Err: fmt.Errorf("sending: %w", err)}
+		return fi, &TransportError{Method: method, Err: fmt.Errorf("sending: %w", err)}
 	}
 	c.bytesOut.Add(int64(n))
+	fi.BytesOut = n
 	var resp response
 	n, err = readFrame(c.conn, &resp)
 	if err != nil {
-		return &TransportError{Method: method, Err: fmt.Errorf("receiving reply: %w", err)}
+		return fi, &TransportError{Method: method, Err: fmt.Errorf("receiving reply: %w", err)}
 	}
 	c.bytesIn.Add(int64(n))
 	c.calls.Add(1)
+	fi.BytesIn = n
 	if resp.Seq != req.Seq {
-		return &TransportError{Method: method, Err: fmt.Errorf("reply sequence %d for request %d", resp.Seq, req.Seq)}
+		return fi, &TransportError{Method: method, Err: fmt.Errorf("reply sequence %d for request %d", resp.Seq, req.Seq)}
 	}
 	if resp.Err != "" {
-		return &RemoteError{Msg: resp.Err}
+		return fi, &RemoteError{Msg: resp.Err}
 	}
 	if reply != nil {
 		if err := gob.NewDecoder(bytes.NewReader(resp.Body)).Decode(reply); err != nil {
-			return &TransportError{Method: method, Err: fmt.Errorf("decoding reply: %w", err)}
+			return fi, &TransportError{Method: method, Err: fmt.Errorf("decoding reply: %w", err)}
 		}
 	}
-	return nil
+	return fi, nil
 }
 
 // ClientStats is a snapshot of client-side traffic counters.

@@ -29,6 +29,7 @@ import (
 	"encshare/internal/filter"
 	"encshare/internal/gf"
 	"encshare/internal/minisql"
+	"encshare/internal/obs"
 	"encshare/internal/ring"
 	"encshare/internal/rmi"
 	"encshare/internal/store"
@@ -140,6 +141,7 @@ type Runtime struct {
 	shared  *filter.PolyCache
 	dflt    string
 	l       net.Listener
+	reg     *obs.Registry // created lazily by Metrics
 }
 
 // New creates an empty runtime and registers the runtime-level RMI
@@ -394,6 +396,43 @@ func (rt *Runtime) Apply(want []Tenant, dflt string) (attached, detached []strin
 		}
 	}
 	return attached, detached, nil
+}
+
+// Metrics returns the runtime's metrics registry, creating and wiring
+// it on first call: the rmi server's traffic counters and per-method
+// latency histograms register directly, and a collector emits every
+// attached tenant's work counters at scrape time — so tenants attached
+// or detached after this call are always reflected, with no
+// unregistration bookkeeping. Until the first call, nothing in the
+// serving path touches a registry.
+func (rt *Runtime) Metrics() *obs.Registry {
+	rt.mu.Lock()
+	if rt.reg != nil {
+		defer rt.mu.Unlock()
+		return rt.reg
+	}
+	reg := obs.NewRegistry()
+	rt.reg = reg
+	rt.mu.Unlock()
+
+	rt.srv.SetMetrics(reg)
+	reg.GaugeFunc("encshare_tenants", "attached tenants", nil, func() int64 {
+		return int64(len(rt.Tenants()))
+	})
+	reg.Collect(func(emit func(obs.Sample)) {
+		for name, st := range rt.Stats() {
+			if name == "" {
+				name = "default"
+			}
+			lbl := obs.Labels{"tenant": name}
+			emit(obs.Sample{Name: "encshare_tenant_evals_total", Help: "server-share evaluations", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.Evals)})
+			emit(obs.Sample{Name: "encshare_tenant_cache_hits_total", Help: "decoded-polynomial cache hits", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.CacheHits)})
+			emit(obs.Sample{Name: "encshare_tenant_cache_misses_total", Help: "decoded-polynomial cache misses", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.CacheMisses)})
+			emit(obs.Sample{Name: "encshare_tenant_decodes_total", Help: "share-blob decodes", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.Decodes)})
+			emit(obs.Sample{Name: "encshare_tenant_aggregates_total", Help: "aggregate fold frames served", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.Aggregates)})
+		}
+	})
+	return reg
 }
 
 // Stats returns every tenant's server-side work counters, keyed by
