@@ -7,7 +7,7 @@
 // Fig5 advanced ≥ simple by a constant factor on chain queries; Fig6
 // advanced beats simple on all five // queries; Fig7 containment accuracy
 // drops with each //.
-package encshare
+package encshare_test
 
 import (
 	"fmt"

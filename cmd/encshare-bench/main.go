@@ -35,12 +35,12 @@ type jsonReport struct {
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|trie|ablation|compute|cluster|failover|multitenant|aggregate|loadtest|all")
+		which    = flag.String("experiment", "all", "fig4|fig5|fig6|fig7|trie|ablation|compute|cluster|failover|multitenant|aggregate|loadtest|mutate|all")
 		scale    = flag.Float64("scale", 0.1, "XMark scale for the query experiments")
 		scales   = flag.String("scales", "0.25,0.5,1,2", "comma-separated scales for fig4")
 		shards   = flag.String("shards", "1,2,4", "comma-separated shard counts for the cluster experiment")
 		sessions = flag.Int("sessions", 0, "concurrent client sessions for the loadtest experiment (0 = default 4)")
-		ops      = flag.Int("ops", 0, "timed operations per session for the loadtest experiment (0 = default 24)")
+		ops      = flag.Int("ops", 0, "timed operations: per session for loadtest (0 = default 24), per class for mutate (0 = default 12)")
 		jsonPath = flag.String("json", "", "also write the run's tables to this JSON file")
 		seed     = flag.Int64("seed", 42, "workload seed")
 	)
@@ -125,13 +125,15 @@ func main() {
 			for _, t := range tabs {
 				show(t, nil)
 			}
+		case "mutate":
+			show(experiment.Mutate(experiment.MutateConfig{Ops: *ops, Seed: *seed}))
 		default:
 			fatal(fmt.Errorf("unknown experiment %q", name))
 		}
 	}
 
 	if *which == "all" {
-		for _, name := range []string{"fig4", "fig5", "fig6", "fig7", "trie", "ablation", "compute", "cluster", "failover", "multitenant", "aggregate", "loadtest"} {
+		for _, name := range []string{"fig4", "fig5", "fig6", "fig7", "trie", "ablation", "compute", "cluster", "failover", "multitenant", "aggregate", "loadtest", "mutate"} {
 			run(name)
 		}
 	} else {

@@ -1,0 +1,142 @@
+// Command encshare-mutate edits a live encshare deployment: it holds
+// the seed and map files (the client role, like encshare-query), plans
+// each edit by reading the affected shares, and sends versioned
+// mutation batches to the owning shard — every replica of it. Servers
+// started with -wal journal each batch before applying, so edits
+// survive a restart.
+//
+// Usage:
+//
+//	encshare-mutate -seed seed.key -map tags.map -addr 127.0.0.1:7083 insert <parentPre> <name>
+//	encshare-mutate ... update <pre> <name>
+//	encshare-mutate ... delete <pre>
+//	encshare-mutate ... -n 32 -interval 25ms -sync-timeout 30s hammer <name>
+//
+// insert appends a new last child under parentPre and prints its pre;
+// update renames the node at pre; delete removes a childless node.
+//
+// hammer is the crash-drill mode for the CI mutation smoke test: it
+// appends -n children of <name> under the root, pausing -interval
+// between batches so an operator (or the CI job) can SIGKILL and
+// restart a replica mid-run. Mutation sequencing is per session — a
+// fresh process cannot redeliver another session's backlog — so the
+// kill, the restart, and the catch-up must all happen within the one
+// hammer run: after the last append it keeps re-dialing every -addr
+// and redelivering missed batches until all replicas report the same
+// sequence (or -sync-timeout expires).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"encshare"
+)
+
+func main() {
+	var (
+		p        = flag.Uint("p", 83, "field characteristic (prime)")
+		e        = flag.Uint("e", 1, "field extension degree")
+		seedPath = flag.String("seed", "seed.key", "seed file")
+		mapPath  = flag.String("map", "tags.map", "map file")
+		addr     = flag.String("addr", "127.0.0.1:7083", "server address, or comma-separated shard/replica addresses")
+		tolerate = flag.Bool("tolerate-down", false, "skip unreachable servers at dial time (replicas must still cover the table)")
+		n        = flag.Int("n", 16, "hammer: number of appended nodes")
+		interval = flag.Duration("interval", 0, "hammer: pause between appends")
+		syncTO   = flag.Duration("sync-timeout", 30*time.Second, "hammer: how long to wait for every replica to catch up (0 skips the wait)")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fatal(fmt.Errorf("a verb is required: insert, update, delete, or hammer"))
+	}
+
+	seed, err := os.ReadFile(*seedPath)
+	if err != nil {
+		fatal(err)
+	}
+	mf, err := os.Open(*mapPath)
+	if err != nil {
+		fatal(err)
+	}
+	keys, err := encshare.LoadKeys(encshare.Params{P: uint32(*p), E: uint32(*e)}, seed, mf)
+	mf.Close()
+	if err != nil {
+		fatal(err)
+	}
+	addrs := strings.Split(*addr, ",")
+	for i := range addrs {
+		addrs[i] = strings.TrimSpace(addrs[i])
+	}
+	session, err := encshare.DialClusterWith(keys, addrs, encshare.ClusterOptions{
+		TolerateUnreachable: *tolerate,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer session.Close()
+
+	arg := func(i int) string {
+		if flag.NArg() <= i {
+			fatal(fmt.Errorf("%s: missing argument", flag.Arg(0)))
+		}
+		return flag.Arg(i)
+	}
+	pre := func(i int) int64 {
+		v, err := strconv.ParseInt(arg(i), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("%s: bad pre %q", flag.Arg(0), arg(i)))
+		}
+		return v
+	}
+
+	switch verb := flag.Arg(0); verb {
+	case "insert":
+		parent, name := pre(1), arg(2)
+		newPre, err := session.Insert(parent, name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("inserted <%s> at pre %d (child of %d)\n", name, newPre, parent)
+	case "update":
+		target, name := pre(1), arg(2)
+		if err := session.Update(target, name); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("renamed pre %d to <%s>\n", target, name)
+	case "delete":
+		target := pre(1)
+		if err := session.Delete(target); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deleted pre %d\n", target)
+	case "hammer":
+		name := arg(1)
+		for i := 0; i < *n; i++ {
+			newPre, err := session.Insert(1, name)
+			if err != nil {
+				fatal(fmt.Errorf("append %d/%d: %w", i+1, *n, err))
+			}
+			fmt.Printf("append %d/%d: <%s> at pre %d\n", i+1, *n, name, newPre)
+			if *interval > 0 {
+				time.Sleep(*interval)
+			}
+		}
+		if *syncTO > 0 {
+			if err := session.Resync(addrs, *syncTO); err != nil {
+				fatal(fmt.Errorf("replica resync: %w", err))
+			}
+			fmt.Println("all replicas in sync")
+		}
+	default:
+		fatal(fmt.Errorf("unknown verb %q (want insert, update, delete, or hammer)", verb))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "encshare-mutate:", err)
+	os.Exit(1)
+}

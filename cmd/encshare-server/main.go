@@ -32,7 +32,16 @@
 //	encshare-server -manifest auction.manifest.json -shard 1 -replica 1 -listen :7184
 //	encshare-server -manifest tenants.json -listen :7083        (v2, single-shard tenants)
 //	encshare-server -db auction.db -listen :7083 -metrics :9090
+//	encshare-server -db auction.db -listen :7083 -wal /var/lib/encshare/r0
 //	kill -HUP <pid>    # reload tenants.json: attach new tenants, detach removed ones
+//
+// -wal makes writes (encshare-mutate) durable: every mutation batch
+// journals to <dir>/wal.log before it touches the table, and a restart
+// recovers snapshot + log state in preference to the -db file. Each
+// tenant journals under its own subdirectory; each replica process
+// needs its own -wal dir. -compact-bytes folds the log into a snapshot
+// once it exceeds the given size (0, the default, never folds — replica
+// logs then stay byte-comparable).
 //
 // -metrics starts an HTTP listener exposing the runtime's counters —
 // RMI frame/byte totals, per-method latency histograms, per-tenant
@@ -69,6 +78,8 @@ func main() {
 		workers  = flag.Int("workers", 0, "batch worker pool size per tenant (0 = number of CPUs); per-tenant workers in a v2 manifest override")
 		cache    = flag.Int("cache", 4096, "decoded-polynomial cache entries per tenant (0 = default 4096, negative disables); per-tenant cache in a v2 manifest overrides")
 		metrics  = flag.String("metrics", "", "serve Prometheus metrics, JSON metrics, and pprof on this HTTP address (e.g. :9090); empty disables")
+		walDir   = flag.String("wal", "", "journal mutations under this directory (one subdirectory per tenant); empty = writes die with the process")
+		compact  = flag.Int64("compact-bytes", 0, "with -wal: fold the log into a snapshot once it exceeds this many bytes (0 never folds)")
 	)
 	flag.Parse()
 
@@ -84,10 +95,20 @@ func main() {
 	// loadPlan re-reads the configuration — it runs once at startup and
 	// again on every SIGHUP.
 	loadPlan := func() (tenants []server.Tenant, dflt, addr string, budget int, err error) {
+		tenantWAL := func(name string) string {
+			if *walDir == "" {
+				return ""
+			}
+			if name == "" {
+				name = "default"
+			}
+			return filepath.Join(*walDir, name)
+		}
 		if *manifest == "" {
 			return []server.Tenant{{
 				Path: *dbPath, P: uint32(*p), E: uint32(*e),
 				Workers: *workers, CacheEntries: *cache,
+				WALDir: tenantWAL(""), CompactBytes: *compact,
 			}}, "", "", 0, nil
 		}
 		m, err := cluster.LoadManifest(*manifest)
@@ -135,6 +156,7 @@ func main() {
 			tenants = append(tenants, server.Tenant{
 				Name: tn.Name, Path: path, P: tp, E: te,
 				Workers: tw, CacheEntries: tc,
+				WALDir: tenantWAL(tn.Name), CompactBytes: *compact,
 			})
 			if addr == "" {
 				if addrs := info.ReplicaAddrs(); *replica < len(addrs) {

@@ -262,6 +262,11 @@ type ServeConfig struct {
 	// Workers bounds the worker pool that evaluates batch members in
 	// parallel (default: number of CPUs).
 	Workers int
+	// WALDir, when set, journals every applied mutation batch to
+	// WALDir/wal.log before it touches the table, and recovers
+	// snapshot + log state on a later restart (see server.Tenant).
+	// Empty means mutations are accepted but die with the process.
+	WALDir string
 }
 
 // Serve exposes the database's ServerFilter over the RMI protocol until
@@ -287,6 +292,7 @@ func (db *Database) ServeWith(l net.Listener, params Params, cfg ServeConfig) er
 		P: params.P, E: params.E,
 		Workers:      cfg.Workers,
 		CacheEntries: cfg.CacheSize,
+		WALDir:       cfg.WALDir,
 	}, db.st)
 	if err != nil {
 		return err
@@ -369,9 +375,15 @@ type Session struct {
 	rmiCli      *rmi.Client
 	remote      *filter.Remote  // non-nil for single-server sessions
 	shardF      *cluster.Filter // non-nil for cluster sessions
+	mut         *filter.Mutable // non-nil for local sessions (in-process write path)
+	scheme      *secshare.Scheme
 	tenant      string
 	addr        string
 	closer      io.Closer
+
+	mutMu    sync.Mutex // serializes this session's mutations
+	mutSeq   uint64     // single-server write path: last acknowledged sequence
+	mutSeqOK bool
 
 	tracer    *obs.Tracer
 	traceMu   sync.Mutex
@@ -382,8 +394,10 @@ type Session struct {
 // server roles in one process; the trust split is still enforced by the
 // ServerAPI boundary).
 func OpenLocal(keys *Keys, db *Database) *Session {
-	api := filter.NewServerFilter(db.st, keys.ring, 4096)
-	return newSession(keys, api, nil)
+	mut := filter.NewMutable(filter.NewServerFilter(db.st, keys.ring, 4096), 0, nil, nil)
+	s := newSession(keys, mut, nil)
+	s.mut = mut
+	return s
 }
 
 // Dial starts a session against a remote encshare server. The session
@@ -429,6 +443,12 @@ func DialWith(keys *Keys, addr string, opts DialOptions) (*Session, error) {
 	s.tenant = opts.Tenant
 	s.addr = addr
 	s.SetClientWorkers(opts.ClientWorkers)
+	// Best-effort epoch pin: a mutation-capable server fences this
+	// session's reads from the first frame; a pre-mutation server just
+	// leaves the session unpinned (the read-only behavior it had).
+	if info, err := rem.Epoch(); err == nil {
+		cli.SetEpoch(info.Epoch)
+	}
 	return s, nil
 }
 
@@ -493,10 +513,12 @@ func DialClusterWith(keys *Keys, addrs []string, opts ClusterOptions) (*Session,
 }
 
 func newSession(keys *Keys, api filter.ServerAPI, closer io.Closer) *Session {
-	cli := filter.NewClient(api, keys.scheme())
+	sch := keys.scheme()
+	cli := filter.NewClient(api, sch)
 	return &Session{
 		keys:        keys,
 		cli:         cli,
+		scheme:      sch,
 		simple:      engine.NewSimple(cli, keys.m),
 		advanced:    engine.NewAdvanced(cli, keys.m),
 		simpleSeq:   engine.NewSimpleSequential(cli, keys.m),
@@ -745,9 +767,20 @@ func (s *Session) QueryWith(q string, opts QueryOptions) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	endTrace := s.beginTrace(q)
-	res, err := s.runQuery(parsed, opts)
-	endTrace()
+	// A stale-epoch fence means the session's pin fell behind a
+	// mutation: re-pin to the servers' current epoch and rerun against
+	// the new state. Bounded retries, because a busy enough writer can
+	// outrun each rerun.
+	const staleRetries = 4
+	var res engine.Result
+	for attempt := 0; ; attempt++ {
+		endTrace := s.beginTrace(q)
+		res, err = s.runQuery(parsed, opts)
+		endTrace()
+		if err == nil || attempt == staleRetries || !filter.IsStaleEpoch(err) || !s.refreshEpoch() {
+			break
+		}
+	}
 	if err != nil {
 		return Result{}, err
 	}

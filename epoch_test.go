@@ -1,0 +1,116 @@
+package encshare
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"encshare/internal/filter"
+)
+
+// TestStaleEpochIsRetryable pins the typed-error contract the cluster
+// failover path relies on: a replica pinned ahead of its data refuses
+// reads with a StaleEpochError, and the router must classify that as
+// retryable to fail the frame over to an in-sync sibling.
+func TestStaleEpochIsRetryable(t *testing.T) {
+	if !filter.Retryable(&filter.StaleEpochError{Pinned: 1, Current: 2}) {
+		t.Fatal("StaleEpochError is not Retryable")
+	}
+	if filter.Retryable(&filter.SeqGapError{Want: 2, Got: 5}) {
+		t.Fatal("SeqGapError classified Retryable: resending a gapped batch is not safe")
+	}
+}
+
+// TestEpochFencedReaders hammers a reader session against a live
+// writer over TCP. The reader dialed before any mutation, so its epoch
+// pin goes stale on every write; the server must fence each stale read
+// (never serve a torn or stale answer) and the session must re-pin and
+// retry transparently. Every answer must therefore be EXACTLY the
+// document at some write boundary — the root's regions child plus a
+// contiguous run of appended ones — and the observed write count must
+// never go backwards.
+func TestEpochFencedReaders(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go db.Serve(l, keys.Params())
+	defer l.Close()
+	addr := l.Addr().String()
+
+	reader, err := Dial(keys, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reader.Close()
+	writer, err := Dial(keys, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer writer.Close()
+
+	// Writer: appendInserts appends under the root, so write k puts a
+	// <regions/> at pre 10+k and shifts nothing — the valid snapshots
+	// are exactly {2} ∪ {11..10+k}.
+	const appends = 12
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < appends; i++ {
+			if _, err := writer.Insert(1, "regions"); err != nil {
+				t.Errorf("append %d: %v", i, err)
+				return
+			}
+			// Wide enough for a retried read to land between writes even
+			// under -race; the reader still overlaps several epochs.
+			time.Sleep(15 * time.Millisecond)
+		}
+	}()
+
+	seen := 0 // appended regions observed so far; must not regress
+	for loop := 0; ; loop++ {
+		res, err := reader.Query("//regions")
+		if err != nil {
+			t.Fatalf("reader query %d: %v", loop, err)
+		}
+		if len(res.Pres) == 0 || res.Pres[0] != 2 {
+			t.Fatalf("query %d: %v does not start with the original regions node", loop, res.Pres)
+		}
+		k := len(res.Pres) - 1
+		if k > appends {
+			t.Fatalf("query %d: %d appended regions, only %d written", loop, k, appends)
+		}
+		for i := 1; i <= k; i++ {
+			if res.Pres[i] != int64(10+i) {
+				t.Fatalf("query %d saw a torn snapshot: %v (appended regions must sit at 11..%d)", loop, res.Pres, 10+k)
+			}
+		}
+		if k < seen {
+			t.Fatalf("query %d went back in time: %d appended regions after seeing %d", loop, k, seen)
+		}
+		seen = k
+		select {
+		case <-done:
+			wg.Wait()
+			// One final read must see every write.
+			res, err := reader.Query("//regions")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Pres) != appends+1 {
+				t.Fatalf("final read sees %d regions nodes, want %d", len(res.Pres), appends+1)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -159,11 +159,32 @@ const (
 // that snapshot.
 type shardState struct {
 	label string // first replica's address, for error messages
-	rng   Range
+	rngMu sync.RWMutex
+	rng   Range // guarded by rngMu: renumbering mutations shift it live
 	repMu sync.RWMutex
 	reps  []*replica
 	rr    atomic.Uint32
 	lat   [opClasses]latWindow
+
+	// Writer-session mutation state, guarded by the Filter's mutMu: the
+	// shard's log position as this session knows it, and the bounded
+	// redelivery window SyncReplicas serves lagging replicas from.
+	lastSeq uint64
+	seqOK   bool
+	backlog []filter.MutationBatch
+}
+
+// rangeOf snapshots the shard's current pre range.
+func (sh *shardState) rangeOf() Range {
+	sh.rngMu.RLock()
+	defer sh.rngMu.RUnlock()
+	return sh.rng
+}
+
+func (sh *shardState) setRange(r Range) {
+	sh.rngMu.Lock()
+	sh.rng = r
+	sh.rngMu.Unlock()
 }
 
 // replicaList snapshots the current replica set. The slice is
@@ -211,6 +232,7 @@ func (sh *shardState) replicaOrder(reps []*replica) []int {
 type Filter struct {
 	shards []*shardState // sorted by rng.Lo; ranges tile [lo, hi] with no gaps
 	opts   Options
+	mutMu  mutState // serializes this session's Mutate/SyncReplicas calls
 
 	closerMu sync.Mutex
 	closers  []io.Closer
@@ -440,9 +462,9 @@ func (f *Filter) ShardEvalRoundTrips() []int64 {
 
 // owner returns the index of the shard owning pre.
 func (f *Filter) owner(pre int64) (int, error) {
-	i := sort.Search(len(f.shards), func(i int) bool { return f.shards[i].rng.Hi >= pre })
-	if i == len(f.shards) || !f.shards[i].rng.contains(pre) {
-		return 0, &RangeError{Pre: pre, Lo: f.shards[0].rng.Lo, Hi: f.shards[len(f.shards)-1].rng.Hi}
+	i := sort.Search(len(f.shards), func(i int) bool { return f.shards[i].rangeOf().Hi >= pre })
+	if i == len(f.shards) || !f.shards[i].rangeOf().contains(pre) {
+		return 0, &RangeError{Pre: pre, Lo: f.shards[0].rangeOf().Lo, Hi: f.shards[len(f.shards)-1].rangeOf().Hi}
 	}
 	return i, nil
 }
@@ -601,8 +623,9 @@ func (f *Filter) spread(n int, preAt func(int) int64) (groups [][]int, active []
 	groups = make([][]int, len(f.shards))
 	active = make([]bool, len(f.shards))
 	for si, sh := range f.shards {
+		hi := sh.rangeOf().Hi
 		for i := 0; i < n; i++ {
-			if sh.rng.Hi > preAt(i) {
+			if hi > preAt(i) {
 				groups[si] = append(groups[si], i)
 				active[si] = true
 			}
@@ -958,8 +981,9 @@ func (f *Filter) NodePolysBatch(pres []int64) ([]filter.NodePolys, error) {
 	groups := make([][]int, len(f.shards))
 	active := make([]bool, len(f.shards))
 	for si, sh := range f.shards {
+		hi := sh.rangeOf().Hi
 		for i, pre := range pres {
-			if sh.rng.Hi >= pre { // owner (Hi >= pre) or potential child holder (Hi > pre)
+			if hi >= pre { // owner (Hi >= pre) or potential child holder (Hi > pre)
 				groups[si] = append(groups[si], i)
 				active[si] = true
 			}

@@ -98,6 +98,11 @@ func DialWith(addrs []string, opts Options) (*Filter, error) {
 		return nil, err
 	}
 	f.closers = closers
+	// Best-effort epoch pin: reads are fenced from the first frame when
+	// the servers speak the mutation protocol; pre-mutation servers (and
+	// transient probe failures) just leave the session unpinned, exactly
+	// the read-only behavior it had before.
+	_ = f.RefreshEpochs()
 	return f, nil
 }
 
@@ -130,7 +135,7 @@ func (f *Filter) AddReplica(addr string) (int, error) {
 	}
 	r := Range{Lo: pr.Lo, Hi: pr.Hi}
 	for si, sh := range f.shards {
-		if sh.rng == r {
+		if sh.rangeOf() == r {
 			if tr := f.tracer.Load(); tr != nil {
 				rem.SetTracer(tr, si, addr)
 			}
@@ -139,6 +144,55 @@ func (f *Filter) AddReplica(addr string) (int, error) {
 			return si, nil
 		}
 	}
+	// No exact match: a replica that missed renumbering batches reports
+	// a range lagging its group's by the missed shifts. If it speaks the
+	// mutation protocol it can be caught up (SyncReplicas), so adopt it
+	// into the group its range overlaps most — requiring a unique
+	// winner, because joining the wrong group would serve wrong rows.
+	if _, eerr := rem.Epoch(); eerr == nil {
+		if si, ok := f.bestOverlap(r); ok {
+			if tr := f.tracer.Load(); tr != nil {
+				rem.SetTracer(tr, si, addr)
+			}
+			f.shards[si].addReplica(&replica{addr: addr, conn: rem})
+			f.addCloser(cli)
+			return si, nil
+		}
+	}
 	cli.Close()
 	return 0, fmt.Errorf("cluster: replica %s reports range [%d, %d], which matches no shard group", addr, r.Lo, r.Hi)
+}
+
+// bestOverlap returns the shard whose range overlaps r by strictly more
+// rows than any other (ok=false on a tie or no overlap).
+func (f *Filter) bestOverlap(r Range) (int, bool) {
+	best, bestLen, tie := -1, int64(0), false
+	for si, sh := range f.shards {
+		g := sh.rangeOf()
+		lo, hi := max64(g.Lo, r.Lo), min64(g.Hi, r.Hi)
+		if hi < lo {
+			continue
+		}
+		switch n := hi - lo + 1; {
+		case n > bestLen:
+			best, bestLen, tie = si, n, false
+		case n == bestLen:
+			tie = true
+		}
+	}
+	return best, best >= 0 && !tie
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
 }

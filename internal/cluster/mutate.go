@@ -1,0 +1,371 @@
+// Cluster write path: routing mutation batches to shards and their
+// replicas.
+//
+// The Session planner emits row operations in global pre space; this
+// layer splits them by owning shard (patches and deletes by the row
+// they address, puts by the shard whose range the new row lands in),
+// assigns each shard's batch the next sequence in that shard's log,
+// and delivers it to EVERY replica of the shard. One acknowledgment
+// per affected shard commits the write — the acking replica journaled
+// it — and replicas that missed it are caught up from a bounded
+// in-session redelivery window (SyncReplicas), or, past the window,
+// by re-seeding from a sibling's files.
+//
+// Per-shard batches stay independent: an insert's renumbering patches
+// for shard k shift only rows shard k holds, so the shard ranges keep
+// tiling after every shard applies its own slice of the plan (the
+// owner's Hi grows by one, every later shard's window slides by one).
+// The reply's range updates the router live.
+//
+// One writer session per document is assumed — concurrent writer
+// sessions would interleave sequence numbers and fail each other's
+// gap checks (the second writer sees SeqGapError and must re-learn).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"encshare/internal/filter"
+)
+
+// backlogMax bounds the per-shard redelivery window: a replica that
+// missed more than this many batches cannot be caught up by this
+// session and must be re-seeded from a sibling's store + log files.
+const backlogMax = 64
+
+// epochSetter is the frame-pinning hook a dialed replica connection
+// exposes (*filter.Remote). In-process connections don't carry frame
+// headers and don't need pins — their sessions serialize locally.
+type epochSetter interface{ SetEpoch(epoch uint64) }
+
+// mutMu serializes this session's writers across all shards. It lives
+// on the Filter rather than per shard so a multi-shard batch commits
+// shard by shard without interleaving another local writer.
+type mutState struct{ mu sync.Mutex }
+
+// Mutate applies one logical mutation (the op list a Session planner
+// produced) across the cluster. Ops are split by shard, sequenced, and
+// sent to every replica; the call succeeds when every affected shard
+// acknowledged on at least one replica. Failed replicas are left to
+// SyncReplicas — their conns keep their place in the shard and their
+// missed batches sit in the redelivery window.
+func (f *Filter) Mutate(ops []filter.RowOp) error {
+	f.mutMu.mu.Lock()
+	defer f.mutMu.mu.Unlock()
+	groups, err := f.groupOps(ops)
+	if err != nil {
+		return err
+	}
+	for si, sub := range groups {
+		if len(sub) == 0 {
+			continue
+		}
+		if err := f.mutateShard(si, sub); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupOps splits ops by owning shard, preserving op order within each
+// shard (the planner's shift-ordering is what keeps the primary key
+// unique mid-batch, and a subsequence keeps its order).
+func (f *Filter) groupOps(ops []filter.RowOp) ([][]filter.RowOp, error) {
+	groups := make([][]filter.RowOp, len(f.shards))
+	for _, op := range ops {
+		var si int
+		var err error
+		if op.Kind == filter.OpPut {
+			si = f.putOwner(op.Pre)
+		} else {
+			si, err = f.owner(op.Pre)
+			if err != nil {
+				return nil, err
+			}
+		}
+		groups[si] = append(groups[si], op)
+	}
+	return groups, nil
+}
+
+// putOwner picks the shard a brand-new row at pre lands in: the first
+// shard whose range reaches pre, or the last shard when pre extends
+// past every range (an append at the end of the document). A put at a
+// shard boundary (pre = Hi_k+1 = the next shard's Lo) goes to the next
+// shard — its rows shift up by one, opening the slot; both choices
+// would re-tile, but every replica must see the same one, so the rule
+// is fixed client-side.
+func (f *Filter) putOwner(pre int64) int {
+	for si := range f.shards {
+		if f.shards[si].rangeOf().Hi >= pre {
+			return si
+		}
+	}
+	return len(f.shards) - 1
+}
+
+// mutateShard sequences and delivers one shard's slice of the plan.
+func (f *Filter) mutateShard(si int, ops []filter.RowOp) error {
+	sh := f.shards[si]
+	if !sh.seqOK {
+		info, err := f.shardEpoch(si)
+		if err != nil {
+			return f.shardErr(si, err)
+		}
+		sh.lastSeq = info.LastSeq
+		sh.seqOK = true
+	}
+	b := filter.MutationBatch{Ver: filter.MutationBatchVersion, Seq: sh.lastSeq + 1, Ops: ops}
+	var (
+		acks     int
+		firstErr error
+		consumed bool // a replica definitively consumed the sequence
+		ack      filter.MutateReply
+	)
+	for _, rep := range sh.replicaList() {
+		ma, ok := rep.conn.(filter.MutableAPI)
+		if !ok {
+			if firstErr == nil {
+				firstErr = filter.ErrMutationUnsupported
+			}
+			continue
+		}
+		reply, err := ma.Mutate(b)
+		switch {
+		case err == nil:
+			acks++
+			ack = reply
+		case errors.Is(err, filter.ErrMutationUnsupported):
+			if firstErr == nil {
+				firstErr = err
+			}
+		case filter.IsSeqGap(err):
+			// This replica's log is elsewhere (it lags, or another
+			// writer advanced it). Re-learn before the next attempt.
+			sh.seqOK = false
+			if firstErr == nil {
+				firstErr = err
+			}
+		case filter.Retryable(err):
+			// Transport: delivery unknown. SyncReplicas resolves it.
+			if firstErr == nil {
+				firstErr = err
+			}
+		default:
+			// A deterministic reply (e.g. the apply failed): the server
+			// journaled the batch and advanced its sequence — every
+			// replica and every replay lands in the same state, so the
+			// sequence is spent even though the mutation failed.
+			consumed = true
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	if acks == 0 && !consumed {
+		return f.shardErr(si, fmt.Errorf("mutation batch %d: %w", b.Seq, firstErr))
+	}
+	sh.lastSeq = b.Seq
+	sh.backlog = append(sh.backlog, b)
+	if len(sh.backlog) > backlogMax {
+		sh.backlog = sh.backlog[len(sh.backlog)-backlogMax:]
+	}
+	if acks == 0 {
+		return f.shardErr(si, fmt.Errorf("mutation batch %d: %w", b.Seq, firstErr))
+	}
+	sh.setRange(Range{Lo: ack.Range.Lo, Hi: ack.Range.Hi})
+	f.pinShard(sh, ack.Epoch)
+	return nil
+}
+
+// pinShard stamps every dialable connection of the shard with the
+// epoch. A lagging replica pinned ahead of its data refuses reads with
+// a StaleEpochError, which is Retryable — the router fails the frame
+// over to an in-sync sibling instead of serving a stale answer.
+func (f *Filter) pinShard(sh *shardState, epoch uint64) {
+	for _, rep := range sh.replicaList() {
+		if es, ok := rep.conn.(epochSetter); ok {
+			es.SetEpoch(epoch)
+		}
+	}
+}
+
+// shardEpoch asks the shard's replicas for their mutation state and
+// returns the most advanced answer — pinning to a lagging replica's
+// epoch would fence reads off the current data. Replicas that are down
+// are skipped; a shard where nothing answers fails.
+func (f *Filter) shardEpoch(si int) (filter.EpochInfo, error) {
+	var (
+		best    filter.EpochInfo
+		got     bool
+		lastErr error
+	)
+	for _, rep := range f.shards[si].replicaList() {
+		ma, ok := rep.conn.(filter.MutableAPI)
+		if !ok {
+			if lastErr == nil {
+				lastErr = filter.ErrMutationUnsupported
+			}
+			continue
+		}
+		info, err := ma.Epoch()
+		if err != nil {
+			if lastErr == nil || errors.Is(lastErr, filter.ErrMutationUnsupported) {
+				lastErr = err
+			}
+			continue
+		}
+		if !got || info.LastSeq > best.LastSeq {
+			best, got = info, true
+		}
+	}
+	if !got {
+		return filter.EpochInfo{}, lastErr
+	}
+	return best, nil
+}
+
+// RefreshEpochs re-pins every shard's connections to the shard's
+// current epoch and refreshes the routing ranges — what a session calls
+// after a StaleEpochError before rerunning its query. Shards served
+// only by pre-mutation servers are skipped (nothing to pin).
+func (f *Filter) RefreshEpochs() error {
+	for si, sh := range f.shards {
+		info, err := f.shardEpoch(si)
+		if err != nil {
+			if errors.Is(err, filter.ErrMutationUnsupported) {
+				continue
+			}
+			return f.shardErr(si, err)
+		}
+		sh.setRange(Range{Lo: info.Range.Lo, Hi: info.Range.Hi})
+		f.pinShard(sh, info.Epoch)
+	}
+	return nil
+}
+
+// SyncReplicas redelivers missed batches from the session's redelivery
+// window to every replica that is behind, and reports how many
+// replicas remain out of sync (down, or lagging past the window).
+// Callers poll it after a replica restart until pending hits zero.
+// Replicas are accounted by ADDRESS: a restarted process leaves its
+// dead pre-restart connection behind (the reconnect seam keeps it in
+// the shard behind its breaker), and an address whose fresh connection
+// answers and is caught up is in sync regardless of dead siblings.
+func (f *Filter) SyncReplicas() (pending int, err error) {
+	f.mutMu.mu.Lock()
+	defer f.mutMu.mu.Unlock()
+	var firstErr error
+	for si, sh := range f.shards {
+		if !sh.seqOK {
+			continue // no writes through this session: nothing to redeliver
+		}
+		type endpoint struct {
+			ma    filter.MutableAPI
+			info  filter.EpochInfo
+			alive bool
+		}
+		state := make(map[string]*endpoint)
+		var order []string
+		for _, rep := range sh.replicaList() {
+			ma, ok := rep.conn.(filter.MutableAPI)
+			if !ok {
+				continue
+			}
+			ep := state[rep.addr]
+			if ep == nil {
+				ep = &endpoint{}
+				state[rep.addr] = ep
+				order = append(order, rep.addr)
+			}
+			if ep.alive {
+				continue
+			}
+			if info, ierr := ma.Epoch(); ierr == nil {
+				*ep = endpoint{ma: ma, info: info, alive: true}
+			}
+		}
+		for _, addr := range order {
+			ep := state[addr]
+			if !ep.alive {
+				pending++ // down: retry on the caller's next poll
+				continue
+			}
+			if ep.info.LastSeq >= sh.lastSeq {
+				continue
+			}
+			if len(sh.backlog) == 0 || sh.backlog[0].Seq > ep.info.LastSeq+1 {
+				pending++
+				if firstErr == nil {
+					firstErr = f.shardErr(si, fmt.Errorf(
+						"replica %s is at seq %d, beyond the %d-batch redelivery window (re-seed it from a sibling)",
+						addr, ep.info.LastSeq, backlogMax))
+				}
+				continue
+			}
+			caught := true
+			for _, b := range sh.backlog {
+				if b.Seq <= ep.info.LastSeq {
+					continue
+				}
+				if _, merr := ep.ma.Mutate(b); merr != nil {
+					pending++
+					caught = false
+					if firstErr == nil && !filter.Retryable(merr) {
+						firstErr = f.shardErr(si, fmt.Errorf("redelivering batch %d to %s: %w", b.Seq, addr, merr))
+					}
+					break
+				}
+			}
+			if caught {
+				f.pinShard(sh, sh.lastSeq+1)
+			}
+		}
+	}
+	return pending, firstErr
+}
+
+// AdoptReplica joins conn as a replica of shard si without AddReplica's
+// range gate — for a restarted replica the caller knows belongs there
+// (its reported range lags until SyncReplicas catches it up) and for
+// in-process chaos tests that rebuild a replica's backend around a
+// replayed log.
+func (f *Filter) AdoptReplica(si int, addr string, conn Conn) error {
+	if si < 0 || si >= len(f.shards) {
+		return fmt.Errorf("cluster: no shard %d", si)
+	}
+	if conn == nil {
+		return fmt.Errorf("cluster: adopting %s: nil connection", addr)
+	}
+	if tr := f.tracer.Load(); tr != nil {
+		if ct, ok := conn.(connTracer); ok {
+			ct.SetTracer(tr, si, addr)
+		}
+	}
+	f.shards[si].addReplica(&replica{addr: addr, conn: conn})
+	return nil
+}
+
+// EnsureReplica probes the replicas registered at addr and, when none
+// answers, dials the address fresh and joins the connection to the
+// shard its range (best-overlap for a lagging recoverer) indicates —
+// the reconnect seam a writer session uses after a replica process is
+// killed and restarted: the dead conn stays behind its breaker, the
+// fresh conn takes the traffic, SyncReplicas replays what was missed.
+func (f *Filter) EnsureReplica(addr string) (int, error) {
+	for si, sh := range f.shards {
+		for _, rep := range sh.replicaList() {
+			if rep.addr != addr {
+				continue
+			}
+			if ma, ok := rep.conn.(filter.MutableAPI); ok {
+				if _, err := ma.Epoch(); err == nil {
+					return si, nil // already connected and answering
+				}
+			}
+		}
+	}
+	return f.AddReplica(addr)
+}

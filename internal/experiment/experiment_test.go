@@ -258,3 +258,27 @@ func TestTableFprint(t *testing.T) {
 		}
 	}
 }
+
+func TestMutateShape(t *testing.T) {
+	tb, err := Mutate(MutateConfig{Ops: 2, Scale: 0.02, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(mutateClasses) {
+		t.Fatalf("rows = %d, want one per class (%d)", len(tb.Rows), len(mutateClasses))
+	}
+	for i, class := range mutateClasses {
+		if cell(t, tb, i, 0) != class {
+			t.Errorf("row %d is %q, want %q", i, cell(t, tb, i, 0), class)
+		}
+		if cell(t, tb, i, 1) != "2" {
+			t.Errorf("row %d ops = %q, want 2", i, cell(t, tb, i, 1))
+		}
+		// Every arm produced a timing (any parse failure fails here).
+		for col := 2; col <= 4; col++ {
+			if cellF(t, tb, i, col) < 0 {
+				t.Errorf("row %d col %d negative", i, col)
+			}
+		}
+	}
+}

@@ -138,6 +138,20 @@ func (c *polyCache) put(pre int64, p ring.Poly) {
 	}
 }
 
+// purge drops every resident entry (hit/miss counters keep running).
+// The mutation apply path calls it: after rows renumber or shares
+// change, no cached decode can be trusted.
+func (c *polyCache) purge() {
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.Lock()
+		clear(s.data)
+		s.keys = s.keys[:0]
+		s.hand = 0
+		s.mu.Unlock()
+	}
+}
+
 func (c *polyCache) len() int {
 	n := 0
 	for i := range c.segs {

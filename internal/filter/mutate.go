@@ -1,0 +1,496 @@
+// Writable shares: the server half of the mutation pipeline.
+//
+// The client plans every insert/update/delete as a flat list of row
+// operations (see the Session planner in the root package) — division
+// in the ring F_q[x]/(x^(q−1)−1) is impossible (zero divisors), so all
+// rewrites arrive as precomputed additive deltas or full replacement
+// rows, and the server applies them without learning tags or structure
+// beyond what the static table already reveals. A batch is:
+//
+//   - journaled to the tenant's write-ahead log (internal/wal) before
+//     any row changes, so a crash replays it;
+//   - applied atomically with respect to readers: the epoch gate's
+//     write lock holds off per-frame reads for the duration;
+//   - sequenced: batches carry a per-log sequence number, the server
+//     rejects gaps and acknowledges duplicates idempotently, which is
+//     what lets the cluster layer redeliver batches to a restarted
+//     replica without divergence.
+//
+// Apply is deterministic: replicas that accept the same batch sequence
+// hold byte-identical node tables (minisql updates rows in place and
+// its dump order is physical), and a batch that fails mid-way fails at
+// the same op on every replica — consistency never depends on a batch
+// succeeding, only on everyone applying the same prefix.
+package filter
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"encshare/internal/rmi"
+	"encshare/internal/store"
+)
+
+// Op kinds of one row operation.
+const (
+	// OpPut inserts a brand-new row (Pre, Post, Parent, Blob).
+	OpPut = uint8(iota + 1)
+	// OpPatch rewrites the row at Pre: optionally renumbering it to
+	// NewPre, shifting Post by PostDelta, conditionally shifting Parent,
+	// and ring-adding Blob (a share delta) onto the stored share.
+	OpPatch
+	// OpDelete removes the row at Pre.
+	OpDelete
+)
+
+// RowOp is one wire-level row operation. For OpPatch, Blob — when
+// non-empty — is the additive share delta: decoded, ring-added to the
+// stored share, re-encoded. Parent is shifted by ParentDelta only when
+// the stored parent is ≥ ParentMin (evaluated server-side, so a
+// renumbering shift is one op per row instead of a fetch round-trip).
+type RowOp struct {
+	Kind   uint8
+	Pre    int64
+	Post   int64 // OpPut: post value
+	Parent int64 // OpPut: parent value
+
+	NewPre      int64 // OpPatch: new pre (0 = unchanged)
+	PostDelta   int64 // OpPatch: post += PostDelta
+	ParentMin   int64 // OpPatch: shift parent only when parent >= ParentMin (0 = never)
+	ParentDelta int64 // OpPatch: parent += ParentDelta when the guard holds
+
+	Blob []byte // OpPut: full share; OpPatch: share delta (empty = unchanged)
+}
+
+// MutationBatchVersion is the current MutationBatch.Ver value.
+const MutationBatchVersion = 1
+
+// MutationBatch is one journaled unit of mutation: the ops of one
+// logical insert/update/delete (or several), applied atomically with
+// respect to reader frames.
+type MutationBatch struct {
+	Ver uint8
+	// Seq is the batch's position in the tenant's log: the server
+	// accepts exactly lastSeq+1, acknowledges ≤ lastSeq idempotently,
+	// and rejects anything further ahead as a gap.
+	Seq uint64
+	Ops []RowOp
+}
+
+// MutateReply acknowledges a batch: the server's new epoch and last
+// applied sequence, plus the shard's (possibly shifted) pre range.
+type MutateReply struct {
+	Epoch   uint64
+	LastSeq uint64
+	Range   PreRange
+}
+
+// EpochInfo reports a server's mutation state without changing it —
+// what sessions pin at dial time and refresh after a StaleEpochError.
+type EpochInfo struct {
+	Epoch   uint64
+	LastSeq uint64
+	Range   PreRange
+}
+
+// staleEpochPrefix is the wire-stable start of a StaleEpochError's
+// message; IsStaleEpoch matches it across the RMI boundary.
+const staleEpochPrefix = "filter: stale epoch"
+
+// StaleEpochError fences a pinned reader off data that mutated under
+// it: the frame carried epoch Pinned but the server is at Current. The
+// cure is a whole-query retry after re-pinning (sessions do this
+// automatically), so the error is Retryable.
+type StaleEpochError struct {
+	Pinned  uint64
+	Current uint64
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("%s: pinned %d, server at %d", staleEpochPrefix, e.Pinned, e.Current)
+}
+
+// IsStaleEpoch reports whether err is a stale-epoch fence, locally
+// typed or arriving over the wire as a RemoteError.
+func IsStaleEpoch(err error) bool {
+	var se *StaleEpochError
+	if errors.As(err, &se) {
+		return true
+	}
+	var re *rmi.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, staleEpochPrefix)
+}
+
+// seqGapPrefix is the wire-stable start of a SeqGapError's message.
+const seqGapPrefix = "filter: sequence gap"
+
+// SeqGapError rejects a batch that is not the immediate successor of
+// the log: the sender must catch the replica up (redeliver Want..) or
+// refresh its own view of LastSeq.
+type SeqGapError struct {
+	Want uint64
+	Got  uint64
+}
+
+func (e *SeqGapError) Error() string {
+	return fmt.Sprintf("%s: want %d, got %d", seqGapPrefix, e.Want, e.Got)
+}
+
+// IsSeqGap reports whether err is a sequence-gap rejection, locally
+// typed or over the wire.
+func IsSeqGap(err error) bool {
+	var ge *SeqGapError
+	if errors.As(err, &ge) {
+		return true
+	}
+	var re *rmi.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, seqGapPrefix)
+}
+
+// ErrMutationUnsupported reports a server that predates the mutation
+// frames: writes cannot downgrade the way reads do, so the caller sees
+// a typed refusal instead of silent data loss.
+var ErrMutationUnsupported = errors.New("filter: server does not support mutation frames")
+
+// MutableAPI is the optional interface a writable backend adds on top
+// of ServerAPI. RegisterServerAt exposes it as the v6 wire methods.
+type MutableAPI interface {
+	Mutate(b MutationBatch) (MutateReply, error)
+	Epoch() (EpochInfo, error)
+}
+
+// GateExempt reports whether an RMI method must bypass the epoch read
+// gate: the write path takes its own locks (gating Mutate behind a read
+// lock would deadlock against its own apply), and Epoch must answer
+// even when the caller's pin is stale — it is how sessions re-pin.
+func GateExempt(method string) bool {
+	return method == methodMutate || method == methodEpoch
+}
+
+// EncodeBatch serializes a batch to the byte string journaled in the
+// WAL (and replayed from it). The encoding is hand-rolled because it
+// must be fully deterministic — equal batches must encode to equal
+// bytes in every process, since replica WAL files are compared
+// byte-for-byte. gob cannot promise that: its type IDs come from a
+// process-global registry in first-encode order, so two replica
+// processes journal different bytes for the same batch. Layout: Ver
+// byte, Seq uvarint, op count uvarint, then per op a Kind byte, the
+// seven numeric fields as zigzag varints, and a length-prefixed blob.
+// New fields append behind a Ver bump.
+func EncodeBatch(b MutationBatch) ([]byte, error) {
+	buf := make([]byte, 0, 16+len(b.Ops)*24)
+	buf = append(buf, b.Ver)
+	buf = binary.AppendUvarint(buf, b.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(b.Ops)))
+	for _, op := range b.Ops {
+		buf = append(buf, op.Kind)
+		for _, v := range [...]int64{op.Pre, op.Post, op.Parent, op.NewPre, op.PostDelta, op.ParentMin, op.ParentDelta} {
+			buf = binary.AppendVarint(buf, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(op.Blob)))
+		buf = append(buf, op.Blob...)
+	}
+	return buf, nil
+}
+
+// DecodeBatch reverses EncodeBatch. It is defensive — a corrupted
+// record surfaces as an error, never a panic or an oversized
+// allocation — because replay feeds it whatever prefix of the log
+// passed the CRC check.
+func DecodeBatch(data []byte) (MutationBatch, error) {
+	bad := func(what string) (MutationBatch, error) {
+		return MutationBatch{}, fmt.Errorf("filter: decode batch: truncated or invalid %s", what)
+	}
+	if len(data) == 0 {
+		return bad("header")
+	}
+	var b MutationBatch
+	b.Ver = data[0]
+	data = data[1:]
+	seq, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad("seq")
+	}
+	b.Seq = seq
+	data = data[n:]
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return bad("op count")
+	}
+	data = data[n:]
+	// Every op occupies at least 9 bytes, so the count bounds the
+	// allocation against a corrupted record.
+	if count > uint64(len(data)) {
+		return bad("op count")
+	}
+	if count > 0 {
+		b.Ops = make([]RowOp, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		if len(data) == 0 {
+			return bad("op kind")
+		}
+		var op RowOp
+		op.Kind = data[0]
+		data = data[1:]
+		for _, dst := range [...]*int64{&op.Pre, &op.Post, &op.Parent, &op.NewPre, &op.PostDelta, &op.ParentMin, &op.ParentDelta} {
+			v, n := binary.Varint(data)
+			if n <= 0 {
+				return bad("op field")
+			}
+			*dst = v
+			data = data[n:]
+		}
+		bl, n := binary.Uvarint(data)
+		if n <= 0 || bl > uint64(len(data)-n) {
+			return bad("blob")
+		}
+		data = data[n:]
+		if bl > 0 {
+			op.Blob = append([]byte(nil), data[:bl]...)
+			data = data[bl:]
+		}
+		b.Ops = append(b.Ops, op)
+	}
+	if len(data) != 0 {
+		return MutationBatch{}, fmt.Errorf("filter: decode batch: %d trailing bytes", len(data))
+	}
+	return b, nil
+}
+
+// Mutable wraps a ServerFilter with the write path: sequencing, WAL
+// journaling, and the epoch gate that fences readers. It serves the
+// full read API by embedding, so it registers wherever a ServerFilter
+// would; reads do not lock here — per-frame atomicity comes from the
+// epoch gate held by the RMI dispatch layer (see Mutable.ReadLock),
+// and in-process sessions serialize at the session level.
+type Mutable struct {
+	*ServerFilter
+
+	mu   sync.Mutex   // one writer at a time: seq check + journal + apply
+	gate sync.RWMutex // readers (per frame) vs apply
+
+	// lastSeq is atomic, not mu-guarded: ReadLock checks it while
+	// holding gate.RLock, and taking mu there would deadlock against a
+	// writer holding mu while waiting for gate.Lock. Writers still
+	// serialize stores under mu; the store happens before gate.Unlock so
+	// an admitted reader never sees a pre-bump epoch with post-apply
+	// rows.
+	lastSeq atomic.Uint64
+
+	// journal persists an encoded batch before apply; nil = ephemeral
+	// (mutations allowed, nothing survives a restart).
+	journal func(payload []byte) error
+	// compact runs after a successful apply, under mu (which is why it
+	// is handed lastSeq instead of reading it back through a method that
+	// would re-lock); the server runtime uses it for size-triggered log
+	// folding. May be nil.
+	compact func(lastSeq uint64) error
+}
+
+var _ MutableAPI = (*Mutable)(nil)
+
+// NewMutable makes sf writable. journal and compact may be nil; seed
+// lastSeq with the sequence number recovered from the snapshot + log.
+func NewMutable(sf *ServerFilter, lastSeq uint64, journal func(payload []byte) error, compact func(lastSeq uint64) error) *Mutable {
+	m := &Mutable{ServerFilter: sf, journal: journal, compact: compact}
+	m.lastSeq.Store(lastSeq)
+	return m
+}
+
+// epochOf maps a log position to the reader-visible epoch: a fresh
+// table is epoch 1, every applied batch bumps it by one. Epoch 0 on the
+// wire means "unpinned" (and keeps pre-mutation frames byte-identical,
+// since gob omits zero fields).
+func epochOf(lastSeq uint64) uint64 { return lastSeq + 1 }
+
+// LastSeq returns the sequence number of the last applied batch.
+func (m *Mutable) LastSeq() uint64 { return m.lastSeq.Load() }
+
+// Epoch implements MutableAPI.
+func (m *Mutable) Epoch() (EpochInfo, error) {
+	last := m.lastSeq.Load()
+	rng, err := m.PreRange()
+	if err != nil {
+		return EpochInfo{}, err
+	}
+	return EpochInfo{Epoch: epochOf(last), LastSeq: last, Range: rng}, nil
+}
+
+// ReadLock admits one reader frame pinned at epoch (0 = unpinned): it
+// takes the gate's read lock, verifies the pin against the current
+// epoch, and returns the release. The lock is held across the whole
+// frame, so an apply cannot interleave with it — a pinned frame either
+// sees its epoch's data in full or fails the check here.
+func (m *Mutable) ReadLock(epoch uint64) (release func(), err error) {
+	m.gate.RLock()
+	if epoch != 0 {
+		if cur := epochOf(m.lastSeq.Load()); epoch != cur {
+			m.gate.RUnlock()
+			return nil, &StaleEpochError{Pinned: epoch, Current: cur}
+		}
+	}
+	return m.gate.RUnlock, nil
+}
+
+// Mutate implements MutableAPI: sequence-check, journal, apply, bump.
+func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
+	if b.Ver == 0 || b.Ver > MutationBatchVersion {
+		return MutateReply{}, fmt.Errorf("filter: mutation batch version %d unsupported", b.Ver)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	last := m.lastSeq.Load()
+	ack := func() (MutateReply, error) {
+		rng, err := m.PreRange()
+		if err != nil {
+			return MutateReply{}, err
+		}
+		cur := m.lastSeq.Load()
+		return MutateReply{Epoch: epochOf(cur), LastSeq: cur, Range: rng}, nil
+	}
+	if b.Seq <= last {
+		// Redelivery of an applied batch (a replica catch-up overshooting,
+		// or a writer retry after a lost ack): acknowledge idempotently.
+		return ack()
+	}
+	if b.Seq != last+1 {
+		return MutateReply{}, &SeqGapError{Want: last + 1, Got: b.Seq}
+	}
+	if m.journal != nil {
+		payload, err := EncodeBatch(b)
+		if err != nil {
+			return MutateReply{}, err
+		}
+		if err := m.journal(payload); err != nil {
+			return MutateReply{}, fmt.Errorf("filter: journal batch %d: %w", b.Seq, err)
+		}
+	}
+	m.gate.Lock()
+	applyErr := m.ServerFilter.ApplyOps(b.Ops)
+	// The batch is journaled and its deterministic prefix applied: the
+	// sequence advances even on error, because every replica (and every
+	// replay) fails at the same op and holds the same state. The bump
+	// happens before the gate opens so a reader admitted next sees the
+	// new epoch with the new rows, never one without the other.
+	m.lastSeq.Store(b.Seq)
+	m.gate.Unlock()
+	if applyErr != nil {
+		return MutateReply{}, fmt.Errorf("filter: apply batch %d: %w", b.Seq, applyErr)
+	}
+	if m.compact != nil {
+		if err := m.compact(b.Seq); err != nil {
+			return MutateReply{}, fmt.Errorf("filter: compact after batch %d: %w", b.Seq, err)
+		}
+	}
+	return ack()
+}
+
+// Replay applies a batch recovered from the log without re-journaling
+// it — the attach-time recovery path. Batches at or below lastSeq are
+// skipped (they are folded into the snapshot already).
+func (m *Mutable) Replay(b MutationBatch) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	last := m.lastSeq.Load()
+	if b.Seq <= last {
+		return nil
+	}
+	if b.Seq != last+1 {
+		return &SeqGapError{Want: last + 1, Got: b.Seq}
+	}
+	m.gate.Lock()
+	err := m.ServerFilter.ApplyOps(b.Ops)
+	m.lastSeq.Store(b.Seq)
+	m.gate.Unlock()
+	return err
+}
+
+// Compact runs fn with writers excluded and the current last sequence:
+// the hook a manual compaction (snapshot + log truncate) uses to dump a
+// store no batch is concurrently rewriting. Reader frames are not held
+// off — they only read, and no writer can interleave.
+func (m *Mutable) Compact(fn func(lastSeq uint64) error) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fn(m.lastSeq.Load())
+}
+
+// ApplyOps applies row operations in order. Determinism contract: the
+// only sources of outcome are the op list and the current table; any
+// error leaves exactly the ops before the failing one applied. The
+// decoded-polynomial cache is invalidated wholesale afterwards — a
+// renumbering batch touches most keys anyway, and correctness must
+// never depend on selective invalidation.
+func (sf *ServerFilter) ApplyOps(ops []RowOp) error {
+	defer sf.purgeCache()
+	for i, op := range ops {
+		var err error
+		switch op.Kind {
+		case OpPut:
+			err = sf.st.InsertNode(store.NodeRow{Pre: op.Pre, Post: op.Post, Parent: op.Parent, Poly: op.Blob})
+		case OpPatch:
+			err = sf.applyPatch(op)
+		case OpDelete:
+			err = sf.st.DeleteNode(op.Pre)
+		default:
+			err = fmt.Errorf("unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("op %d (kind %d, pre %d): %w", i, op.Kind, op.Pre, err)
+		}
+	}
+	return nil
+}
+
+func (sf *ServerFilter) applyPatch(op RowOp) error {
+	row, err := sf.st.Node(op.Pre)
+	if err != nil {
+		return err
+	}
+	if len(op.Blob) > 0 {
+		cur := sf.r.GetPoly()
+		delta := sf.r.GetPoly()
+		defer sf.r.PutPoly(cur)
+		defer sf.r.PutPoly(delta)
+		if err := sf.r.DecodeInto(cur, row.Poly); err != nil {
+			return fmt.Errorf("stored share: %w", err)
+		}
+		if err := sf.r.DecodeInto(delta, op.Blob); err != nil {
+			return fmt.Errorf("share delta: %w", err)
+		}
+		sf.r.AddInPlace(cur, delta)
+		row.Poly = sf.r.AppendBytes(make([]byte, 0, sf.r.PolyBytes()), cur)
+	} else {
+		// The blob cells alias the stored row; copy before UpdateNode
+		// rewrites the slot.
+		row.Poly = append([]byte(nil), row.Poly...)
+	}
+	newPre := op.Pre
+	if op.NewPre != 0 {
+		newPre = op.NewPre
+	}
+	parent := row.Parent
+	if op.ParentMin > 0 && parent >= op.ParentMin {
+		parent += op.ParentDelta
+	}
+	return sf.st.UpdateNode(op.Pre, store.NodeRow{
+		Pre:    newPre,
+		Post:   row.Post + op.PostDelta,
+		Parent: parent,
+		Poly:   row.Poly,
+	})
+}
+
+// purgeCache drops every decoded polynomial after a mutation. With a
+// shared multi-tenant cache this also evicts other tenants' entries —
+// wasteful but safe, and mutations are rare next to reads.
+func (sf *ServerFilter) purgeCache() {
+	if sf.cache != nil {
+		sf.cache.purge()
+	}
+}

@@ -47,6 +47,12 @@ const (
 	// frame itself is versioned (AggregateRequest.Ver) on top of the
 	// method-level feature detection.
 	methodAggregateBatch = "filter.AggregateBatch"
+
+	// v6 additions: the mutation pipeline (see mutate.go). The batch
+	// frame is versioned (MutationBatch.Ver) on top of method-level
+	// feature detection; Epoch is the read side of the fence.
+	methodMutate = "filter.Mutate"
+	methodEpoch  = "filter.Epoch"
 )
 
 type descArgs struct{ Pre, Post int64 }
@@ -136,6 +142,14 @@ func RegisterServerAt(srv *rmi.Server, tenant string, api ServerAPI) {
 			return aa.AggregateBatch(req)
 		})
 	}
+	if ma, ok := api.(MutableAPI); ok {
+		rmi.HandleFuncAt(srv, tenant, methodMutate, func(b MutationBatch) (MutateReply, error) {
+			return ma.Mutate(b)
+		})
+		rmi.HandleFuncAt(srv, tenant, methodEpoch, func(struct{}) (EpochInfo, error) {
+			return ma.Epoch()
+		})
+	}
 }
 
 // Remote is a ServerAPI + BatchAPI proxy over an rmi client connection.
@@ -174,6 +188,7 @@ var (
 	_ RangeAPI     = (*Remote)(nil)
 	_ StatsAPI     = (*Remote)(nil)
 	_ AggregateAPI = (*Remote)(nil)
+	_ MutableAPI   = (*Remote)(nil)
 )
 
 // NewRemote wraps an rmi client as a ServerAPI with batch support.
@@ -491,3 +506,29 @@ func (r *Remote) PreRange() (PreRange, error) {
 	err := r.call(methodPreRange, struct{}{}, &out)
 	return out, err
 }
+
+// Mutate implements MutableAPI over the wire. Writes cannot downgrade:
+// a server that predates the mutation frames reports the typed
+// ErrMutationUnsupported instead of pretending.
+func (r *Remote) Mutate(b MutationBatch) (MutateReply, error) {
+	var out MutateReply
+	err := r.call(methodMutate, b, &out)
+	if err != nil && rmi.IsUnknownMethod(err, methodMutate) {
+		return MutateReply{}, ErrMutationUnsupported
+	}
+	return out, err
+}
+
+// Epoch implements MutableAPI over the wire.
+func (r *Remote) Epoch() (EpochInfo, error) {
+	var out EpochInfo
+	err := r.call(methodEpoch, struct{}{}, &out)
+	if err != nil && rmi.IsUnknownMethod(err, methodEpoch) {
+		return EpochInfo{}, ErrMutationUnsupported
+	}
+	return out, err
+}
+
+// SetEpoch pins (or with 0 unpins) the epoch stamped on every
+// subsequent frame of this proxy's connection.
+func (r *Remote) SetEpoch(epoch uint64) { r.c.SetEpoch(epoch) }

@@ -47,5 +47,9 @@ func Retryable(err error) bool {
 	if errors.As(err, &be) {
 		return true
 	}
-	return false
+	// A stale-epoch fence is retryable by contract: the data moved, not
+	// broke. Sibling replicas of a current shard answer the same frame
+	// fine, and the session layer re-pins and reruns the query when the
+	// whole replica set is ahead of the pin.
+	return IsStaleEpoch(err)
 }

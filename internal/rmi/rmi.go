@@ -109,6 +109,10 @@ func ErrUnknownTenant(tenant string) error {
 // byte-identical to a pre-trace frame, a pre-trace server silently
 // drops the fields from a traced client, and a pre-trace client's
 // frames decode here with a zero-valued trace context.
+//
+// The Epoch field rides the same way: 0 means "unpinned" and encodes to
+// the pre-epoch wire bytes, so read-only clients and old servers are
+// unaffected.
 const FrameVersion = 2
 
 type request struct {
@@ -119,6 +123,7 @@ type request struct {
 	Tenant string
 	Trace  uint64
 	Span   uint64
+	Epoch  uint64
 }
 
 type response struct {
@@ -159,6 +164,31 @@ type Server struct {
 	// metrics is nil until SetMetrics attaches a registry; the hot path
 	// pays only this pointer load when no one is scraping.
 	metrics atomic.Pointer[serverMetrics]
+
+	// gate, when set, brackets every dispatched frame (see SetGate); nil
+	// until a runtime with epoch-fenced data installs one.
+	gate atomic.Pointer[GateFunc]
+}
+
+// GateFunc admits or rejects one frame before its handler runs. It
+// receives the frame's tenant (as sent — "" means the server default),
+// method, and pinned epoch (0 = unpinned), and either returns a release
+// callback that ServeConn invokes after the handler's reply is built,
+// or an error that becomes the frame's remote error. The server runtime
+// uses this to fence reads against a data epoch: a frame pinned to a
+// stale epoch is refused here, atomically with respect to mutations,
+// instead of racing them inside the handler.
+type GateFunc func(tenant, method string, epoch uint64) (release func(), err error)
+
+// SetGate installs (or, with nil, removes) the per-frame gate. Safe to
+// call while serving; frames already past their gate check complete
+// under the gate they acquired.
+func (s *Server) SetGate(fn GateFunc) {
+	if fn == nil {
+		s.gate.Store(nil)
+		return
+	}
+	s.gate.Store(&fn)
 }
 
 // serverMetrics holds the instruments ServeConn touches per frame.
@@ -352,12 +382,17 @@ func (s *Server) ServeConn(conn net.Conn) {
 		resp.Seq = req.Seq
 		if fn == nil {
 			resp.Err = errMsg
+		} else if release, gerr := s.admit(req.Tenant, req.Method, req.Epoch); gerr != nil {
+			resp.Err = gerr.Error()
 		} else {
 			start := time.Time{}
 			if m != nil {
 				start = time.Now()
 			}
 			body, err := fn(req.Body)
+			if release != nil {
+				release()
+			}
 			if m != nil {
 				m.reg.Histogram("rmi_server_call_seconds", "handler latency by method",
 					obs.Labels{"method": req.Method}).Observe(time.Since(start))
@@ -378,6 +413,15 @@ func (s *Server) ServeConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// admit runs the installed gate, if any, for one frame.
+func (s *Server) admit(tenant, method string, epoch uint64) (func(), error) {
+	g := s.gate.Load()
+	if g == nil {
+		return nil, nil
+	}
+	return (*g)(tenant, method, epoch)
 }
 
 // drainTimeout bounds how long Shutdown waits for in-flight frames: a
@@ -453,6 +497,7 @@ type Client struct {
 	conn   net.Conn
 	seq    uint64
 	tenant string
+	epoch  uint64
 
 	calls    atomic.Int64
 	bytesOut atomic.Int64
@@ -495,6 +540,25 @@ func (c *Client) Tenant() string {
 	return c.tenant
 }
 
+// SetEpoch pins every subsequent call to a data epoch. Zero (the
+// default) means unpinned — the frame bytes are then identical to a
+// pre-epoch client's, and epoch-unaware servers keep working. A server
+// with an epoch gate refuses pinned frames whose epoch has passed, so
+// the caller sees a consistent snapshot or a typed stale-epoch error,
+// never a torn read.
+func (c *Client) SetEpoch(epoch uint64) {
+	c.mu.Lock()
+	c.epoch = epoch
+	c.mu.Unlock()
+}
+
+// Epoch returns the epoch pinned with SetEpoch (0 if unpinned).
+func (c *Client) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
 // TraceContext identifies the trace (and the client-side span issuing
 // the call) a frame belongs to. The zero value means "untraced" and
 // encodes to exactly the pre-trace wire bytes.
@@ -533,7 +597,7 @@ func (c *Client) doCall(method string, args any, reply any, tc TraceContext) (Fr
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.seq++
-	req := request{Seq: c.seq, Method: method, Body: body.Bytes(), Ver: FrameVersion, Tenant: c.tenant, Trace: tc.Trace, Span: tc.Span}
+	req := request{Seq: c.seq, Method: method, Body: body.Bytes(), Ver: FrameVersion, Tenant: c.tenant, Trace: tc.Trace, Span: tc.Span, Epoch: c.epoch}
 	n, err := writeFrame(c.conn, &req)
 	if err != nil {
 		return fi, &TransportError{Method: method, Err: fmt.Errorf("sending: %w", err)}

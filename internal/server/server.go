@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"encshare/internal/filter"
@@ -33,6 +35,13 @@ import (
 	"encshare/internal/ring"
 	"encshare/internal/rmi"
 	"encshare/internal/store"
+	"encshare/internal/wal"
+)
+
+// Per-tenant durability files inside Tenant.WALDir.
+const (
+	walLogName  = "wal.log"
+	walSnapName = "base.snap"
 )
 
 // Runtime-level RMI methods, registered in the global handler set so
@@ -90,6 +99,18 @@ type Tenant struct {
 	// cache budget set, the quotas of all attached tenants may not
 	// exceed it.
 	CacheEntries int
+	// WALDir, when set, makes the tenant's writes durable: mutation
+	// batches journal to WALDir/wal.log before applying, compaction
+	// folds the log into WALDir/base.snap, and AttachFile recovers
+	// snapshot + log state in preference to Path. Empty means
+	// mutations are accepted but die with the process.
+	WALDir string
+	// CompactBytes, when positive, folds the log into a snapshot
+	// automatically once wal.log exceeds this many bytes (checked
+	// after each applied batch). Zero leaves folding to
+	// Runtime.Compact — the default, so operators (and the CI
+	// byte-diff of replica logs) control when log bytes disappear.
+	CompactBytes int64
 }
 
 func (t Tenant) quota() int {
@@ -127,6 +148,8 @@ type tenantState struct {
 	dsn   string // fresh DSN to drop, when the runtime opened the store
 	owned bool
 	sf    *filter.ServerFilter
+	mut   *filter.Mutable   // always set: the registered (writable) API
+	log   *wal.Log          // nil when cfg.WALDir is empty
 	cache *filter.PolyCache // nil when drawing on the shared cache
 }
 
@@ -160,6 +183,27 @@ func New(cfg Config) *Runtime {
 	})
 	rmi.HandleFunc(rt.srv, methodTenants, func(struct{}) ([]string, error) {
 		return rt.Tenants(), nil
+	})
+	// The epoch gate brackets every read frame: it holds the tenant's
+	// read lock across the handler (mutations cannot interleave with a
+	// frame) and refuses frames pinned to an epoch the data has moved
+	// past. Write and runtime methods bypass it — they take their own
+	// locks or touch no tenant data.
+	rt.srv.SetGate(func(tenant, method string, epoch uint64) (func(), error) {
+		if filter.GateExempt(method) || strings.HasPrefix(method, "runtime.") {
+			return nil, nil
+		}
+		rt.mu.Lock()
+		name := tenant
+		if name == "" {
+			name = rt.dflt
+		}
+		ts := rt.tenants[name]
+		rt.mu.Unlock()
+		if ts == nil {
+			return nil, nil // unknown tenant: dispatch reports it
+		}
+		return ts.mut.ReadLock(epoch)
 	})
 	if cfg.Default != "" {
 		rt.setDefault(cfg.Default)
@@ -234,9 +278,12 @@ func (rt *Runtime) budgetLeft(skip string) int {
 	return left
 }
 
-// AttachFile opens and loads t.Path into a fresh store and attaches it
-// as tenant t. The runtime owns the store: Detach (and a failed attach)
-// closes it and drops its backing DSN.
+// AttachFile opens and loads tenant t into a fresh store and attaches
+// it. The base state comes from t.WALDir/base.snap when that snapshot
+// exists, t.Path otherwise; with a WALDir, the tail of wal.log is then
+// replayed on top, so a restarted server recovers exactly the batches
+// it acknowledged. The runtime owns the store: Detach (and a failed
+// attach) closes it and drops its backing DSN.
 func (rt *Runtime) AttachFile(t Tenant) error {
 	dsn := minisql.FreshDSN()
 	st, err := store.Open(dsn)
@@ -248,13 +295,29 @@ func (rt *Runtime) AttachFile(t Tenant) error {
 		minisql.Drop(dsn)
 		return err
 	}
-	f, err := os.Open(t.Path)
-	if err == nil {
-		err = st.Load(f)
-		f.Close()
+	var lastSeq uint64
+	fromSnap := false
+	if t.WALDir != "" {
+		seq, body, serr := wal.OpenSnapshot(filepath.Join(t.WALDir, walSnapName))
+		switch {
+		case serr == nil:
+			err = st.Load(body)
+			body.Close()
+			lastSeq, fromSnap = seq, true
+		case !errors.Is(serr, os.ErrNotExist):
+			err = serr
+		}
+	}
+	if err == nil && !fromSnap {
+		var f *os.File
+		f, err = os.Open(t.Path)
+		if err == nil {
+			err = st.Load(f)
+			f.Close()
+		}
 	}
 	if err == nil {
-		err = rt.attach(t, st, dsn, true)
+		err = rt.attach(t, st, dsn, true, lastSeq)
 	}
 	if err != nil {
 		st.Close()
@@ -266,12 +329,13 @@ func (rt *Runtime) AttachFile(t Tenant) error {
 
 // AttachStore attaches an already-open store as tenant t. The caller
 // keeps ownership: Detach unregisters the tenant but leaves the store
-// open.
+// open. With a WALDir, wal.log is replayed over the caller's store
+// (snapshots are not consulted — the caller supplies the base state).
 func (rt *Runtime) AttachStore(t Tenant, st *store.Store) error {
-	return rt.attach(t, st, "", false)
+	return rt.attach(t, st, "", false, 0)
 }
 
-func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool) error {
+func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, lastSeq uint64) error {
 	f, err := gf.New(normParams(t.P, t.E))
 	if err != nil {
 		return err
@@ -303,11 +367,55 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool) err
 		opts.Cache = ts.cache
 	}
 	ts.sf = filter.NewServerFilterWith(st, r, opts)
+	var (
+		recs    []wal.Record
+		journal func([]byte) error
+		compact func(uint64) error
+	)
+	if t.WALDir != "" {
+		lg, rs, lerr := wal.Open(filepath.Join(t.WALDir, walLogName))
+		if lerr != nil {
+			rt.mu.Unlock()
+			return lerr
+		}
+		ts.log = lg
+		recs = rs
+		journal = lg.Append
+		if t.CompactBytes > 0 {
+			// Runs under the Mutable's writer lock after each applied
+			// batch: no batch can interleave with the dump.
+			compact = func(seq uint64) error {
+				if lg.Size() < t.CompactBytes {
+					return nil
+				}
+				return compactTenant(t.WALDir, lg, st, seq)
+			}
+		}
+	}
+	ts.mut = filter.NewMutable(ts.sf, lastSeq, journal, compact)
 	rt.tenants[t.Name] = ts
 	needDefault := rt.dflt == "" && (rt.cfg.Default == "" || rt.cfg.Default == t.Name) && t.Name != ""
 	rt.mu.Unlock()
 
-	filter.RegisterServerAt(rt.srv, regKey(t.Name), ts.sf)
+	// Recover the log tail: replay every journaled batch past the base
+	// state's sequence. Apply errors are not fatal — a batch that failed
+	// deterministically when first accepted fails identically here, and
+	// the store lands in the same (prefix-applied) state it was in when
+	// the process died. A sequence gap is fatal: the log does not follow
+	// from the snapshot, so serving would diverge from the acked history.
+	for i, rec := range recs {
+		b, derr := filter.DecodeBatch(rec)
+		if derr != nil {
+			rt.dropFailed(t.Name, ts)
+			return fmt.Errorf("server: wal record %d: %w", i, derr)
+		}
+		if rerr := ts.mut.Replay(b); rerr != nil && filter.IsSeqGap(rerr) {
+			rt.dropFailed(t.Name, ts)
+			return fmt.Errorf("server: wal record %d (seq %d): %w", i, b.Seq, rerr)
+		}
+	}
+
+	filter.RegisterServerAt(rt.srv, regKey(t.Name), ts.mut)
 	switch {
 	case needDefault:
 		rt.setDefault(t.Name)
@@ -318,6 +426,45 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool) err
 		rt.setDefault("")
 	}
 	return nil
+}
+
+// dropFailed unwinds a half-attached tenant after a recovery failure
+// (inserted in the tenant map, never registered with the dispatcher).
+func (rt *Runtime) dropFailed(name string, ts *tenantState) {
+	rt.mu.Lock()
+	delete(rt.tenants, name)
+	rt.mu.Unlock()
+	if ts.log != nil {
+		ts.log.Close()
+	}
+}
+
+// compactTenant folds the tenant's current table into base.snap at
+// sequence lastSeq and truncates the log. Caller must hold the
+// tenant's writer lock (Mutable.Compact, or the compact hook).
+func compactTenant(dir string, lg *wal.Log, st *store.Store, lastSeq uint64) error {
+	if err := wal.WriteSnapshot(filepath.Join(dir, walSnapName), lastSeq, st.Dump); err != nil {
+		return err
+	}
+	return lg.Truncate()
+}
+
+// Compact folds the named tenant's log into its snapshot now,
+// excluding writers for the duration. Reads keep flowing — the table
+// is not mutating under the dump.
+func (rt *Runtime) Compact(name string) error {
+	rt.mu.Lock()
+	ts, ok := rt.tenants[name]
+	rt.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("server: tenant %q not attached", name)
+	}
+	if ts.log == nil {
+		return fmt.Errorf("server: tenant %q has no write-ahead log", name)
+	}
+	return ts.mut.Compact(func(lastSeq uint64) error {
+		return compactTenant(ts.cfg.WALDir, ts.log, ts.st, lastSeq)
+	})
 }
 
 // Detach unregisters the named tenant: subsequent frames naming it get
@@ -338,6 +485,9 @@ func (rt *Runtime) Detach(name string) error {
 	rt.srv.DropTenant(regKey(name))
 	if wasDefault {
 		rt.setDefault("")
+	}
+	if ts.log != nil {
+		ts.log.Close()
 	}
 	if ts.owned {
 		ts.st.Close()

@@ -69,6 +69,12 @@ type Store struct {
 	qBoundary     *minisql.Prepared
 	qRangeScan    *minisql.Prepared
 	qRangeMeta    *minisql.Prepared
+
+	// Mutation primitives (the WAL apply path). UPDATE is in-place in
+	// minisql — the physical row slot never moves — which is what keeps
+	// replicas that apply identical op sequences byte-identical on Dump.
+	qUpdate *minisql.Prepared
+	qDelete *minisql.Prepared
 }
 
 // Open connects to (creating if necessary) the minisql database named by
@@ -154,6 +160,8 @@ func (s *Store) prepare() error {
 		{&s.qBoundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
 		{&s.qRangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
 		{&s.qRangeMeta, "SELECT pre, post, parent FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+		{&s.qUpdate, "UPDATE nodes SET pre = ?, post = ?, parent = ?, poly = ? WHERE pre = ?"},
+		{&s.qDelete, "DELETE FROM nodes WHERE pre = ?"},
 	} {
 		if err := direct(p.dst, p.q); err != nil {
 			return err
@@ -189,6 +197,32 @@ func rowsFromValues(rows [][]minisql.Value, withPoly bool) ([]NodeRow, error) {
 func (s *Store) InsertNode(row NodeRow) error {
 	if _, err := s.insert.Exec(row.Pre, row.Post, row.Parent, row.Poly); err != nil {
 		return fmt.Errorf("store: insert pre=%d: %w", row.Pre, err)
+	}
+	return nil
+}
+
+// UpdateNode rewrites the row currently stored at oldPre to row —
+// numbering and share blob together, so one call renumbers a shifted
+// row or patches a rebuilt one. ErrNotFound when no row sits at oldPre.
+func (s *Store) UpdateNode(oldPre int64, row NodeRow) error {
+	n, err := s.qUpdate.Exec(row.Pre, row.Post, row.Parent, row.Poly, oldPre)
+	if err != nil {
+		return fmt.Errorf("store: update pre=%d: %w", oldPre, err)
+	}
+	if n == 0 {
+		return NotFoundError(oldPre)
+	}
+	return nil
+}
+
+// DeleteNode removes the row at pre. ErrNotFound when absent.
+func (s *Store) DeleteNode(pre int64) error {
+	n, err := s.qDelete.Exec(pre)
+	if err != nil {
+		return fmt.Errorf("store: delete pre=%d: %w", pre, err)
+	}
+	if n == 0 {
+		return NotFoundError(pre)
 	}
 	return nil
 }

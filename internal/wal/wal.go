@@ -1,0 +1,186 @@
+// Package wal implements the per-tenant write-ahead log behind writable
+// shares: every mutation batch is appended as one CRC-framed record and
+// fsynced before it is applied to the in-memory node table, so a crash
+// at any byte loses at most the batches that were never acknowledged.
+//
+// # Record format
+//
+// A log file is an 8-byte magic header followed by records:
+//
+//	[4B big-endian payload length][4B big-endian CRC-32 (IEEE) of payload][payload]
+//
+// The payload is opaque to this package (the filter layer stores an
+// encoded mutation batch). Length zero is valid (an empty payload).
+//
+// # Recovery invariant
+//
+// Open scans the file from the start and keeps exactly the longest
+// prefix of intact records: a record is intact when its full frame is
+// present, its length field is sane, and its CRC matches. The first
+// violation — a torn tail, a flipped bit, a truncated frame — ends the
+// scan, and Open truncates the file to the end of the last intact
+// record so subsequent appends extend a clean log. Scan is the pure
+// core of that walk, exported so the torn-write fuzz harness can
+// exercise it on arbitrary byte strings.
+//
+// Replicas that append the same batches in the same order produce
+// byte-identical log files — the property the cluster layer's replay
+// rule and the CI mutation-smoke byte-diff rely on.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// magic marks a wal file; a file shorter than the header or with a
+// different magic recovers as an empty log.
+var magic = []byte("ENCWAL01")
+
+// MaxRecord bounds one record's payload; a length field beyond it is
+// treated as corruption, ending recovery at the previous record.
+const MaxRecord = 64 << 20
+
+const headerLen = 8
+const frameLen = 8 // length + crc
+
+// Record is one recovered payload.
+type Record []byte
+
+// Scan walks data (the bytes of a log file after the magic header) and
+// returns the records of its longest valid prefix plus the byte length
+// of that prefix. It never fails: corruption just ends the prefix.
+func Scan(data []byte) (recs []Record, validLen int) {
+	off := 0
+	for {
+		if off+frameLen > len(data) {
+			return recs, off
+		}
+		n := int(binary.BigEndian.Uint32(data[off:]))
+		sum := binary.BigEndian.Uint32(data[off+4:])
+		if n > MaxRecord || off+frameLen+n > len(data) {
+			return recs, off
+		}
+		payload := data[off+frameLen : off+frameLen+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return recs, off
+		}
+		recs = append(recs, Record(append([]byte(nil), payload...)))
+		off += frameLen + n
+	}
+}
+
+// AppendRecord appends one framed record to buf and returns it — the
+// exact bytes Append writes, exposed for tests that build log images.
+func AppendRecord(buf, payload []byte) []byte {
+	var hdr [frameLen]byte
+	binary.BigEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	return append(append(buf, hdr[:]...), payload...)
+}
+
+// Log is an open write-ahead log file. Not safe for concurrent use; the
+// owner (one writer per tenant) serializes access.
+type Log struct {
+	f    *os.File
+	path string
+	size int64 // current file length, always at a record boundary
+	recs int   // records in the log (recovered + appended)
+}
+
+// Open opens (creating if necessary) the log at path, recovering to the
+// longest valid prefix of records. The recovered records are returned
+// so the owner can replay them; the file is truncated to the prefix and
+// positioned for appending.
+func Open(path string) (*Log, []Record, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	l := &Log{f: f, path: path}
+	if len(data) < headerLen || string(data[:headerLen]) != string(magic) {
+		// Fresh file, or a header torn by a crash during creation (no
+		// record can have been acknowledged yet): start clean.
+		if err := l.reset(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+	recs, valid := Scan(data[headerLen:])
+	l.size = int64(headerLen + valid)
+	l.recs = len(recs)
+	if err := f.Truncate(l.size); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: truncate %s: %w", path, err)
+	}
+	if _, err := f.Seek(l.size, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("wal: seek %s: %w", path, err)
+	}
+	return l, recs, nil
+}
+
+// reset truncates the log to an empty (header-only) file and syncs it.
+func (l *Log) reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate %s: %w", l.path, err)
+	}
+	if _, err := l.f.WriteAt(magic, 0); err != nil {
+		return fmt.Errorf("wal: write header %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	if _, err := l.f.Seek(headerLen, 0); err != nil {
+		return fmt.Errorf("wal: seek %s: %w", l.path, err)
+	}
+	l.size = headerLen
+	l.recs = 0
+	return nil
+}
+
+// Append frames payload, writes it, and fsyncs before returning: once
+// Append returns nil the record survives any crash.
+func (l *Log) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("wal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	frame := AppendRecord(make([]byte, 0, frameLen+len(payload)), payload)
+	if _, err := l.f.WriteAt(frame, l.size); err != nil {
+		return fmt.Errorf("wal: append %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync %s: %w", l.path, err)
+	}
+	l.size += int64(len(frame))
+	l.recs++
+	return nil
+}
+
+// Truncate discards every record (after a successful compaction folded
+// them into the base snapshot) and leaves an empty log.
+func (l *Log) Truncate() error { return l.reset() }
+
+// Size returns the current file length in bytes (header included).
+func (l *Log) Size() int64 { return l.size }
+
+// Records returns how many records the log currently holds.
+func (l *Log) Records() int { return l.recs }
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }

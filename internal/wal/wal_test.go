@@ -1,0 +1,175 @@
+package wal
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func logPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func TestAppendReopenReplay(t *testing.T) {
+	path := logPath(t)
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(recs))
+	}
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("gamma-gamma")}
+	for _, p := range payloads {
+		if err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Records() != len(payloads) {
+		t.Fatalf("Records() = %d, want %d", l.Records(), len(payloads))
+	}
+	l.Close()
+
+	l2, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(recs) != len(payloads) {
+		t.Fatalf("recovered %d records, want %d", len(recs), len(payloads))
+	}
+	for i, p := range payloads {
+		if !bytes.Equal(recs[i], p) {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], p)
+		}
+	}
+	// Appends after recovery extend the clean log.
+	if err := l2.Append([]byte("delta")); err != nil {
+		t.Fatal(err)
+	}
+	if l2.Records() != len(payloads)+1 {
+		t.Fatalf("Records() = %d after post-recovery append", l2.Records())
+	}
+}
+
+// TestTornTailRecovery crashes the log mid-record at every byte of the
+// final frame and checks recovery keeps exactly the intact prefix.
+func TestTornTailRecovery(t *testing.T) {
+	payloads := [][]byte{[]byte("one"), []byte("two-two"), []byte("three-three-three")}
+	image := append([]byte(nil), magic...)
+	var boundaries []int // record-boundary offsets, ascending
+	for _, p := range payloads {
+		image = AppendRecord(image, p)
+		boundaries = append(boundaries, len(image))
+	}
+	for cut := headerLen; cut <= len(image); cut++ {
+		path := logPath(t)
+		if err := os.WriteFile(path, image[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, recs, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		want := 0
+		for _, b := range boundaries {
+			if cut >= b {
+				want++
+			}
+		}
+		if len(recs) != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, len(recs), want)
+		}
+		// The file must have been truncated to the last intact boundary.
+		st, _ := os.Stat(path)
+		wantSize := int64(headerLen)
+		if want > 0 {
+			wantSize = int64(boundaries[want-1])
+		}
+		if st.Size() != wantSize {
+			t.Fatalf("cut %d: file %d bytes after recovery, want %d", cut, st.Size(), wantSize)
+		}
+		l.Close()
+	}
+}
+
+func TestBadHeaderRecoversEmpty(t *testing.T) {
+	path := logPath(t)
+	if err := os.WriteFile(path, []byte("GARBAGE!not-a-wal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 0 {
+		t.Fatalf("recovered %d records from garbage", len(recs))
+	}
+	if err := l.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "fresh" {
+		t.Fatalf("recovered %v after reset", recs)
+	}
+}
+
+func TestTruncateAfterCompaction(t *testing.T) {
+	path := logPath(t)
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 4; i++ {
+		if err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records() != 0 || l.Size() != headerLen {
+		t.Fatalf("after Truncate: %d records, %d bytes", l.Records(), l.Size())
+	}
+	if err := l.Append([]byte("post")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0]) != "post" {
+		t.Fatalf("recovered %v after truncate+append", recs)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.snap")
+	body := []byte("store-dump-bytes")
+	err := WriteSnapshot(path, 42, func(w io.Writer) error { _, e := w.Write(body); return e })
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, rc, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if seq != 42 {
+		t.Fatalf("snapshot lastSeq = %d, want 42", seq)
+	}
+	got := make([]byte, len(body))
+	if _, err := rc.Read(got); err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("snapshot body = %q (%v), want %q", got, err, body)
+	}
+}

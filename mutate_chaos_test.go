@@ -1,0 +1,262 @@
+package encshare
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"encshare/internal/cluster"
+	"encshare/internal/filter"
+	"encshare/internal/rmi"
+	"encshare/internal/store"
+	"encshare/internal/wal"
+)
+
+// killConn severs the client side of a replica connection after a fixed
+// number of request frames — the deterministic stand-in for a replica
+// process dying mid-mutation-batch (same device as the read-path chaos
+// tests in internal/cluster).
+type killConn struct {
+	net.Conn
+	mu     sync.Mutex
+	frames int
+}
+
+func (c *killConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	kill := c.frames == 0
+	if c.frames > 0 {
+		c.frames--
+	}
+	c.mu.Unlock()
+	if kill {
+		c.Conn.Close()
+		return 0, errors.New("chaos: replica killed")
+	}
+	return c.Conn.Write(b)
+}
+
+// serveMutableReplica serves st as a writable replica over an
+// in-process rmi pipe, journaling every applied batch to walPath.
+// Records already in the log are replayed into the store first (the
+// restart path). killAfter > 0 wraps the connection in a killConn.
+func serveMutableReplica(t *testing.T, keys *Keys, st *store.Store, walPath string, killAfter int) (*filter.Remote, *filter.Mutable) {
+	t.Helper()
+	lg, recs, err := wal.Open(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lg.Close() })
+	mut := filter.NewMutable(filter.NewServerFilter(st, keys.ring, 1024), 0, lg.Append, nil)
+	for _, rec := range recs {
+		b, err := filter.DecodeBatch(rec)
+		if err != nil {
+			t.Fatalf("decoding journaled batch: %v", err)
+		}
+		if err := mut.Replay(b); err != nil {
+			t.Fatalf("replaying batch %d: %v", b.Seq, err)
+		}
+	}
+	srv := rmi.NewServer()
+	filter.RegisterServer(srv, mut)
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	conn := net.Conn(cConn)
+	if killAfter > 0 {
+		conn = &killConn{Conn: cConn, frames: killAfter}
+	}
+	cli := rmi.NewClient(conn)
+	t.Cleanup(func() { cli.Close() })
+	return filter.NewRemote(cli), mut
+}
+
+// findLeafPre returns the first leaf at pre >= min in the database.
+func findLeafPre(t *testing.T, db *Database, min int64) int64 {
+	t.Helper()
+	n, err := db.NodeCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.st.Range(1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasChild := make(map[int64]bool)
+	for _, r := range rows {
+		hasChild[r.Parent] = true
+	}
+	for _, r := range rows {
+		if r.Pre >= min && !hasChild[r.Pre] {
+			return r.Pre
+		}
+	}
+	t.Fatalf("no leaf at pre >= %d", min)
+	return 0
+}
+
+// TestChaosReplicaKillMidMutation is the write-path chaos acceptance
+// test: on a 2-shard × 2-replica cluster where every replica journals
+// to its own WAL, one replica of EACH shard is killed partway through a
+// mutation sequence. The killed replicas are then "restarted" — rebuilt
+// from a fresh copy of their pre-mutation base store by replaying their
+// own logs — rejoined at their old addresses, and caught up from the
+// session's redelivery window. Afterwards each shard's replica stores
+// AND logs must be byte-identical, and every engine must agree with a
+// local session that applied the same edits.
+func TestChaosReplicaKillMidMutation(t *testing.T) {
+	xml := randomDocXML(rand.New(rand.NewSource(31)), 120)
+	names := strings.Fields("site regions europe item name people person city open_auction bidder date")
+	keys, err := GenerateKeys(Params{P: 83}, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, xml)       // pristine: shard source + restart bases
+	dbOracle := encodeFresh(t, keys, xml) // mutated in lockstep by a local session
+	total, err := db.NodeCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranges, err := cluster.PartitionEven(1, total, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := func() []*store.Store {
+		stores, cleanup, err := cluster.SplitStore(db.st, ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cleanup)
+		return stores
+	}
+	repA, repB := split(), split() // one store per replica
+
+	dir := t.TempDir()
+	walPath := func(si, ri int) string { return filepath.Join(dir, fmt.Sprintf("s%d-r%d.wal", si, ri)) }
+	// Replica 0 of each shard dies after a budget of request frames —
+	// different budgets, so the deaths land in different batches.
+	killAfter := map[int]int{0: 10, 1: 16}
+	specs := make([]cluster.Shard, len(ranges))
+	for si := range ranges {
+		specs[si].Range = ranges[si]
+		for ri, st := range []*store.Store{repA[si], repB[si]} {
+			rem, _ := serveMutableReplica(t, keys, st, walPath(si, ri), map[int]int{0: killAfter[si]}[ri])
+			specs[si].Replicas = append(specs[si].Replicas, cluster.Replica{
+				Addr: fmt.Sprintf("shard%d-r%d", si, ri), Conn: rem,
+			})
+		}
+		specs[si].Addr = specs[si].Replicas[0].Addr
+	}
+	cf, err := cluster.NewWith(specs, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(keys, cf, cf)
+	s.shardF = cf
+	defer s.Close()
+	local := OpenLocal(keys, dbOracle)
+	defer local.Close()
+
+	// The mutation script, applied in lockstep to the cluster and the
+	// local oracle. The kill budgets expire inside this sequence.
+	do := func(name string, f func(*Session) error) {
+		t.Helper()
+		if err := f(s); err != nil {
+			t.Fatalf("cluster %s: %v", name, err)
+		}
+		if err := f(local); err != nil {
+			t.Fatalf("local %s: %v", name, err)
+		}
+	}
+	do("append item", func(ss *Session) error { _, err := ss.Insert(1, "item"); return err })
+	do("insert name under 2", func(ss *Session) error { _, err := ss.Insert(2, "name"); return err })
+	leaf := findLeafPre(t, dbOracle, 10)
+	do("rename a leaf", func(ss *Session) error { return ss.Update(leaf, "city") })
+	leaf = findLeafPre(t, dbOracle, total/2)
+	do("delete a mid-document leaf", func(ss *Session) error { return ss.Delete(leaf) })
+	for i := 0; i < 4; i++ {
+		do("append bidder", func(ss *Session) error { _, err := ss.Insert(1, "bidder"); return err })
+	}
+
+	// Restart the killed replicas: fresh base copies of the
+	// pre-mutation shard slices, rebuilt purely by replaying their own
+	// logs, rejoined at their old addresses.
+	bases := split()
+	for si := range ranges {
+		rem, _ := serveMutableReplica(t, keys, bases[si], walPath(si, 0), 0)
+		if err := cf.AdoptReplica(si, fmt.Sprintf("shard%d-r%d", si, 0), rem); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pending, err := cf.SyncReplicas()
+		if pending == 0 {
+			if err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d replica(s) still out of sync: %v", pending, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Byte-identity: replaying the log over the base plus redelivery
+	// must land the restarted replica EXACTLY where its surviving
+	// sibling is — store dumps and journal files alike.
+	for si := range ranges {
+		var restarted, survivor bytes.Buffer
+		if err := bases[si].Dump(&restarted); err != nil {
+			t.Fatal(err)
+		}
+		if err := repB[si].Dump(&survivor); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(restarted.Bytes(), survivor.Bytes()) {
+			t.Errorf("shard %d: restarted replica's store differs from its sibling's", si)
+		}
+		lgR, err := os.ReadFile(walPath(si, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lgS, err := os.ReadFile(walPath(si, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(lgR, lgS) {
+			t.Errorf("shard %d: replica logs differ (%d vs %d bytes)", si, len(lgR), len(lgS))
+		}
+	}
+
+	// Engine parity: every engine × wire mode agrees with the local
+	// session that applied the same script.
+	for _, q := range []string{"//item", "//city", "//bidder", "//name", "/site/*"} {
+		for _, opt := range []QueryOptions{{}, {Engine: Simple}, {Batch: PerCall}, {Test: TestContainment}} {
+			want, err := local.QueryWith(q, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.QueryWith(q, opt)
+			if err != nil {
+				t.Fatalf("cluster %s %+v: %v", q, opt, err)
+			}
+			if len(got.Pres) != len(want.Pres) {
+				t.Fatalf("%s %+v: cluster %v, local %v", q, opt, got.Pres, want.Pres)
+			}
+			for i := range want.Pres {
+				if got.Pres[i] != want.Pres[i] {
+					t.Fatalf("%s %+v: cluster %v, local %v", q, opt, got.Pres, want.Pres)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+package encshare
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sort"
+	"strings"
+	"testing"
+
+	"encshare/internal/minisql"
+)
+
+// encodeFresh encodes xml into a fresh database with the given keys.
+// Shares are deterministic in (keys, pre), so two encodes of the same
+// document with the same keys are byte-identical — which makes a fresh
+// encode of the post-mutation document a gold oracle for the whole
+// share table, polynomials included.
+func encodeFresh(t *testing.T, keys *Keys, xml string) *Database {
+	t.Helper()
+	db, err := CreateDatabase(minisql.FreshDSN())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.EncodeXML(keys, strings.NewReader(xml)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// assertSameTable compares the two databases' full node tables row by
+// row: numbering, structure pointers, and share blobs byte for byte.
+func assertSameTable(t *testing.T, step string, got, want *Database) {
+	t.Helper()
+	ng, err := got.NodeCount()
+	if err != nil {
+		t.Fatalf("%s: %v", step, err)
+	}
+	nw, err := want.NodeCount()
+	if err != nil {
+		t.Fatalf("%s: %v", step, err)
+	}
+	if ng != nw {
+		t.Fatalf("%s: table holds %d nodes, oracle %d", step, ng, nw)
+	}
+	rg, err := got.st.Range(1, ng)
+	if err != nil {
+		t.Fatalf("%s: %v", step, err)
+	}
+	rw, err := want.st.Range(1, nw)
+	if err != nil {
+		t.Fatalf("%s: %v", step, err)
+	}
+	sort.Slice(rg, func(i, j int) bool { return rg[i].Pre < rg[j].Pre })
+	sort.Slice(rw, func(i, j int) bool { return rw[i].Pre < rw[j].Pre })
+	for i := range rw {
+		g, w := rg[i], rw[i]
+		if g.Pre != w.Pre || g.Post != w.Post || g.Parent != w.Parent {
+			t.Fatalf("%s: row %d is (pre %d, post %d, parent %d), oracle (%d, %d, %d)",
+				step, i, g.Pre, g.Post, g.Parent, w.Pre, w.Post, w.Parent)
+		}
+		if !bytes.Equal(g.Poly, w.Poly) {
+			t.Fatalf("%s: share blob of pre %d differs from the oracle encode", step, g.Pre)
+		}
+	}
+}
+
+// TestMutateGoldOracle drives every mutation kind through a local
+// session and, after each step, requires the mutated table to be
+// BYTE-IDENTICAL to a fresh encode of the equivalent XML document with
+// the same keys — numbering, parent pointers, and every share blob.
+func TestMutateGoldOracle(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	s := OpenLocal(keys, db)
+	defer s.Close()
+
+	// Base numbering: 1 site, 2 regions, 3 europe, 4 item, 5 name,
+	// 6 people, 7 person, 8 name, 9 address, 10 city.
+	steps := []struct {
+		name   string
+		mutate func() error
+		xml    string // expected document after this step
+	}{
+		{
+			// Mid-document insert: tail rows 6–10 shift up, ancestors
+			// europe/regions/site gain the (x − item) factor.
+			name: "insert item under europe",
+			mutate: func() error {
+				pre, err := s.Insert(3, "item")
+				if err == nil && pre != 6 {
+					t.Fatalf("Insert under europe landed at pre %d, want 6", pre)
+				}
+				return err
+			},
+			xml: `<site><regions><europe><item><name>lamp</name></item><item/></europe></regions><people><person><name>Joan Johnson</name><address><city>Enschede</city></address></person></people></site>`,
+		},
+		{
+			// Rename in place: no renumbering, ancestors rebuilt around
+			// the changed child with algebraically recovered tags.
+			name:   "rename the new item to city",
+			mutate: func() error { return s.Update(6, "city") },
+			xml:    `<site><regions><europe><item><name>lamp</name></item><city/></europe></regions><people><person><name>Joan Johnson</name><address><city>Enschede</city></address></person></people></site>`,
+		},
+		{
+			// Mid-document leaf delete: tail shifts down, the parent
+			// loses the child's factor.
+			name:   "delete person's name",
+			mutate: func() error { return s.Delete(9) },
+			xml:    `<site><regions><europe><item><name>lamp</name></item><city/></europe></regions><people><person><address><city>Enschede</city></address></person></people></site>`,
+		},
+		{
+			// Append at the document end: no tail to shift.
+			name: "append regions under the root",
+			mutate: func() error {
+				pre, err := s.Insert(1, "regions")
+				if err == nil && pre != 11 {
+					t.Fatalf("append landed at pre %d, want 11", pre)
+				}
+				return err
+			},
+			xml: `<site><regions><europe><item><name>lamp</name></item><city/></europe></regions><people><person><address><city>Enschede</city></address></person></people><regions/></site>`,
+		},
+		{
+			// Delete early in the document: the whole tail, the fresh
+			// append included, shifts down past it.
+			name:   "delete the lamp name",
+			mutate: func() error { return s.Delete(5) },
+			xml:    `<site><regions><europe><item/><city/></europe></regions><people><person><address><city>Enschede</city></address></person></people><regions/></site>`,
+		},
+	}
+	for _, step := range steps {
+		if err := step.mutate(); err != nil {
+			t.Fatalf("%s: %v", step.name, err)
+		}
+		oracle := encodeFresh(t, keys, step.xml)
+		assertSameTable(t, step.name, db, oracle)
+
+		// The engines must see the mutated document exactly as they
+		// would a fresh encode of it.
+		os := OpenLocal(keys, oracle)
+		for _, q := range []string{"//item", "//city", "//name", "//regions", "/site/regions/europe/*"} {
+			want, err := os.Query(q)
+			if err != nil {
+				t.Fatalf("%s: oracle %s: %v", step.name, q, err)
+			}
+			got, err := s.Query(q)
+			if err != nil {
+				t.Fatalf("%s: %s: %v", step.name, q, err)
+			}
+			if len(got.Pres) != len(want.Pres) {
+				t.Fatalf("%s: %s = %v, oracle %v", step.name, q, got.Pres, want.Pres)
+			}
+			for i := range want.Pres {
+				if got.Pres[i] != want.Pres[i] {
+					t.Fatalf("%s: %s = %v, oracle %v", step.name, q, got.Pres, want.Pres)
+				}
+			}
+		}
+		os.Close()
+	}
+}
+
+// TestMutateErrors pins the typed refusals — and that a refused
+// mutation leaves the table untouched.
+func TestMutateErrors(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	s := OpenLocal(keys, db)
+	defer s.Close()
+
+	if err := s.Delete(1); !errors.Is(err, ErrDeleteRoot) {
+		t.Errorf("Delete(root) = %v, want ErrDeleteRoot", err)
+	}
+	if err := s.Delete(2); !errors.Is(err, ErrHasChildren) {
+		t.Errorf("Delete(interior) = %v, want ErrHasChildren", err)
+	}
+	if _, err := s.Insert(1, "no-such-tag"); err == nil {
+		t.Error("Insert with an unmapped name succeeded")
+	}
+	if err := s.Update(4, "no-such-tag"); err == nil {
+		t.Error("Update with an unmapped name succeeded")
+	}
+	if _, err := s.Insert(99, "item"); err == nil {
+		t.Error("Insert under a missing node succeeded")
+	}
+	if err := s.Delete(99); err == nil {
+		t.Error("Delete of a missing node succeeded")
+	}
+	assertSameTable(t, "after refused mutations", db, encodeFresh(t, keys, testXML))
+}
+
+// TestMutateRemote covers the single-server write path over TCP: the
+// writer sees its own write, a session dialed afterwards sees it, a
+// second writer interleaves (each re-learning the sequence after the
+// other's write trips its gap check), and a session pinned to the
+// pre-mutation epoch gets fenced into a transparent re-pin — never a
+// stale answer.
+func TestMutateRemote(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go db.Serve(l, keys.Params())
+	defer l.Close()
+	addr := l.Addr().String()
+
+	a, err := Dial(keys, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// stale dials before any mutation: its epoch pin predates them all.
+	stale, err := Dial(keys, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+
+	if _, err := a.Insert(3, "item"); err != nil {
+		t.Fatalf("remote insert: %v", err)
+	}
+	res, err := a.Query("//item")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pres) != 2 {
+		t.Fatalf("writer sees //item = %v, want 2 nodes", res.Pres)
+	}
+
+	// A second writer session: its first mutation learns the sequence
+	// fresh; after A writes again, B's cached sequence gaps and the
+	// session re-learns transparently.
+	b, err := Dial(keys, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if err := b.Update(6, "city"); err != nil {
+		t.Fatalf("second writer: %v", err)
+	}
+	if _, err := a.Insert(1, "regions"); err != nil {
+		t.Fatalf("first writer after interleave (sequence re-learn): %v", err)
+	}
+	if err := b.Delete(9); err != nil {
+		t.Fatalf("second writer after interleave: %v", err)
+	}
+
+	// The stale session was pinned three epochs ago; the server must
+	// fence its reads and the session must re-pin and answer from the
+	// current state.
+	res, err = stale.Query("//city")
+	if err != nil {
+		t.Fatalf("stale-pinned session: %v", err)
+	}
+	if len(res.Pres) != 2 {
+		t.Fatalf("stale-pinned session sees //city = %v, want 2 nodes", res.Pres)
+	}
+
+	// End state matches the oracle encode of the equivalent document.
+	assertSameTable(t, "remote end state", db, encodeFresh(t, keys,
+		`<site><regions><europe><item><name>lamp</name></item><city/></europe></regions><people><person><address><city>Enschede</city></address></person></people><regions/></site>`))
+}
+
+// TestMutateCluster runs the write path against a live 2-shard TCP
+// cluster: ops are routed to the owning shard, renumbering re-tiles the
+// shard ranges, and both the writing session and a session dialed
+// afterwards agree with a local session that applied the same edits.
+func TestMutateCluster(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	plan, err := db.ShardPlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addrs []string
+	for _, r := range plan {
+		var dump bytes.Buffer
+		if err := db.DumpShard(&dump, r); err != nil {
+			t.Fatal(err)
+		}
+		shardDB, err := CreateDatabase(minisql.FreshDSN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer shardDB.Close()
+		if err := shardDB.LoadFrom(&dump); err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer l.Close()
+		go shardDB.Serve(l, keys.Params())
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	session, err := DialCluster(keys, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	// The same edits applied to the unsharded copy are the oracle.
+	local := OpenLocal(keys, db)
+	defer local.Close()
+	if _, err := session.Insert(3, "item"); err != nil {
+		t.Fatalf("cluster insert: %v", err)
+	}
+	if _, err := local.Insert(3, "item"); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Update(6, "city"); err != nil {
+		t.Fatalf("cluster update: %v", err)
+	}
+	if err := local.Update(6, "city"); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.Delete(9); err != nil {
+		t.Fatalf("cluster delete: %v", err)
+	}
+	if err := local.Delete(9); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := DialCluster(keys, addrs)
+	if err != nil {
+		t.Fatalf("re-dial after mutations (ranges must still tile): %v", err)
+	}
+	defer fresh.Close()
+	for _, q := range []string{"//item", "//city", "//name", "/site/regions/europe/*", "/site//person"} {
+		want, err := local.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for who, cs := range map[string]*Session{"writer": session, "fresh": fresh} {
+			got, err := cs.Query(q)
+			if err != nil {
+				t.Fatalf("%s session %s: %v", who, q, err)
+			}
+			if len(got.Pres) != len(want.Pres) {
+				t.Fatalf("%s session %s = %v, local %v", who, q, got.Pres, want.Pres)
+			}
+			for i := range want.Pres {
+				if got.Pres[i] != want.Pres[i] {
+					t.Fatalf("%s session %s = %v, local %v", who, q, got.Pres, want.Pres)
+				}
+			}
+		}
+	}
+}

@@ -179,7 +179,7 @@ func TestMetricsExposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer db.Close()
+	t.Cleanup(func() { db.Close() })
 	if _, err := db.EncodeXML(keys, strings.NewReader(xml)); err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestMetricsExposition(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		defer shardDB.Close()
+		t.Cleanup(func() { shardDB.Close() })
 		if err := shardDB.LoadFrom(bytes.NewReader(dump.Bytes())); err != nil {
 			t.Fatal(err)
 		}
@@ -207,7 +207,7 @@ func TestMetricsExposition(t *testing.T) {
 		if err := rt.AttachStore(server.Tenant{Name: "auction", P: 83, CacheEntries: 4096}, shardDB.st); err != nil {
 			t.Fatal(err)
 		}
-		defer rt.Shutdown()
+		t.Cleanup(rt.Shutdown)
 		if i == 0 {
 			firstReg = rt.Metrics()
 		}
@@ -215,6 +215,7 @@ func TestMetricsExposition(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { l.Close() })
 		go rt.Serve(l)
 		addrs = append(addrs, l.Addr().String())
 	}
@@ -223,12 +224,12 @@ func TestMetricsExposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer session.Close()
+	t.Cleanup(func() { session.Close() })
 	clientReg := obs.NewRegistry()
 	session.shardF.RegisterMetrics(clientReg)
 
 	web := httptest.NewServer(obs.NewMux(firstReg, clientReg))
-	defer web.Close()
+	t.Cleanup(web.Close)
 
 	scrapeCalls := func() int64 {
 		body := httpGet(t, web.URL+"/metrics")
