@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+
+	"encshare/internal/filter"
+)
+
+// TestShardAtLogPosDisambiguates pins the recovering-replica adoption
+// rule: a replica reports the range it holds AND the log position it
+// stopped at, and the write history (backlog pre-batch ranges) names
+// the one shard whose range at that position matches exactly. The
+// scenario is the one an overlap heuristic gets wrong: after enough
+// renumbering inserts, a stale replica's range overlaps its neighbor
+// shard more than its own group.
+func TestShardAtLogPosDisambiguates(t *testing.T) {
+	// Two shards after six renumbering inserts into shard A: A grew
+	// [1,26] → [1,32], B slid [27,30] → [33,36]. Each shard's backlog
+	// records the range it held before each batch.
+	a := &shardState{lastSeq: 6, seqOK: true}
+	a.setRange(Range{Lo: 1, Hi: 32})
+	b := &shardState{lastSeq: 6, seqOK: true}
+	b.setRange(Range{Lo: 33, Hi: 36})
+	for i := uint64(1); i <= 6; i++ {
+		a.backlog = append(a.backlog, backlogEntry{
+			b: filter.MutationBatch{Seq: i}, prev: Range{Lo: 1, Hi: int64(25 + i)}})
+		b.backlog = append(b.backlog, backlogEntry{
+			b: filter.MutationBatch{Seq: i}, prev: Range{Lo: int64(26 + i), Hi: int64(29 + i)}})
+	}
+	f := &Filter{shards: []*shardState{a, b}}
+
+	// A replica of shard B that stopped at log position 0 reports B's
+	// original range [27,30] — overlapping A's current range by four
+	// rows and B's by none, so overlap-based adoption would join it to
+	// A, where SyncReplicas would apply A's batches to B's rows. The
+	// history match resolves it to B.
+	if si, ok := f.shardAtLogPos(Range{Lo: 27, Hi: 30}, 0); !ok || si != 1 {
+		t.Fatalf("stale B replica adopted into shard %d (ok=%v), want shard 1", si, ok)
+	}
+	// Mid-window and current positions resolve for both shards.
+	if si, ok := f.shardAtLogPos(Range{Lo: 1, Hi: 29}, 3); !ok || si != 0 {
+		t.Fatalf("A@3 adopted into shard %d (ok=%v), want shard 0", si, ok)
+	}
+	if si, ok := f.shardAtLogPos(Range{Lo: 33, Hi: 36}, 6); !ok || si != 1 {
+		t.Fatalf("B@6 adopted into shard %d (ok=%v), want shard 1", si, ok)
+	}
+	// A position ahead of the log, or a range no shard held at the
+	// claimed position, refuses rather than guesses.
+	if si, ok := f.shardAtLogPos(Range{Lo: 27, Hi: 30}, 99); ok {
+		t.Fatalf("future log position adopted into shard %d", si)
+	}
+	if si, ok := f.shardAtLogPos(Range{Lo: 2, Hi: 30}, 3); ok {
+		t.Fatalf("unrecorded range adopted into shard %d", si)
+	}
+	// A position older than the retained window refuses: SyncReplicas
+	// could not catch that replica up either.
+	a2 := &shardState{lastSeq: 100, seqOK: true}
+	a2.setRange(Range{Lo: 1, Hi: 126})
+	a2.backlog = []backlogEntry{{b: filter.MutationBatch{Seq: 100}, prev: Range{Lo: 1, Hi: 125}}}
+	f2 := &Filter{shards: []*shardState{a2}}
+	if si, ok := f2.shardAtLogPos(Range{Lo: 1, Hi: 30}, 4); ok {
+		t.Fatalf("out-of-window position adopted into shard %d", si)
+	}
+}

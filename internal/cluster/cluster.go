@@ -167,11 +167,43 @@ type shardState struct {
 	lat   [opClasses]latWindow
 
 	// Writer-session mutation state, guarded by the Filter's mutMu: the
-	// shard's log position as this session knows it, and the bounded
-	// redelivery window SyncReplicas serves lagging replicas from.
+	// shard's log position as this session knows it, the bounded
+	// redelivery window SyncReplicas serves lagging replicas from, and
+	// at most one parked batch whose delivery is unknown (sent while
+	// every replica was unreachable; flushed by SyncReplicas).
 	lastSeq uint64
 	seqOK   bool
-	backlog []filter.MutationBatch
+	backlog []backlogEntry
+	pending *filter.MutationBatch
+}
+
+// backlogEntry is one committed batch in the redelivery window plus the
+// shard's pre range BEFORE it applied — the log-position evidence that
+// lets a recovering replica be adopted into the right shard (see
+// rangeAt / Filter.shardAtLogPos).
+type backlogEntry struct {
+	b    filter.MutationBatch
+	prev Range
+}
+
+// rangeAt returns the shard's pre range as of log position seq (the
+// range after batch seq applied; seq 0 = before any batch this session
+// recorded), reconstructed from the backlog's pre-batch ranges.
+// ok=false when seq falls outside the retained window or ahead of the
+// log. Caller holds the Filter's mutMu.
+func (sh *shardState) rangeAt(seq uint64) (Range, bool) {
+	if seq == sh.lastSeq {
+		return sh.rangeOf(), true
+	}
+	if seq > sh.lastSeq {
+		return Range{}, false
+	}
+	for i := len(sh.backlog) - 1; i >= 0; i-- {
+		if sh.backlog[i].b.Seq == seq+1 {
+			return sh.backlog[i].prev, true
+		}
+	}
+	return Range{}, false
 }
 
 // rangeOf snapshots the shard's current pre range.

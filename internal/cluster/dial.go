@@ -146,11 +146,21 @@ func (f *Filter) AddReplica(addr string) (int, error) {
 	}
 	// No exact match: a replica that missed renumbering batches reports
 	// a range lagging its group's by the missed shifts. If it speaks the
-	// mutation protocol it can be caught up (SyncReplicas), so adopt it
-	// into the group its range overlaps most — requiring a unique
-	// winner, because joining the wrong group would serve wrong rows.
-	if _, eerr := rem.Epoch(); eerr == nil {
-		if si, ok := f.bestOverlap(r); ok {
+	// mutation protocol it also reports WHERE its log stopped, and this
+	// session's redelivery backlog records what each shard's range was
+	// at every retained log position — so the replica is adopted into
+	// the one shard whose recorded range at that position equals its
+	// reported range exactly. Shard ranges are disjoint at every log
+	// position, so the match is unambiguous where an overlap heuristic
+	// is not: a replica that missed enough renumbering can overlap a
+	// neighbor shard more than its own group, and joining the wrong
+	// group would apply foreign batches to its store and serve wrong
+	// rows. A replica whose position fell out of the window is refused —
+	// SyncReplicas could not catch it up anyway; re-seed it from a
+	// sibling.
+	if info, eerr := rem.Epoch(); eerr == nil {
+		lagged := Range{Lo: info.Range.Lo, Hi: info.Range.Hi}
+		if si, ok := f.shardAtLogPos(lagged, info.LastSeq); ok {
 			if tr := f.tracer.Load(); tr != nil {
 				rem.SetTracer(tr, si, addr)
 			}
@@ -163,36 +173,20 @@ func (f *Filter) AddReplica(addr string) (int, error) {
 	return 0, fmt.Errorf("cluster: replica %s reports range [%d, %d], which matches no shard group", addr, r.Lo, r.Hi)
 }
 
-// bestOverlap returns the shard whose range overlaps r by strictly more
-// rows than any other (ok=false on a tie or no overlap).
-func (f *Filter) bestOverlap(r Range) (int, bool) {
-	best, bestLen, tie := -1, int64(0), false
+// shardAtLogPos returns the shard whose range at log position seq was
+// exactly r, consulting each shard's recorded write history (see
+// shardState.rangeAt). At most one shard can match — ranges tile the
+// pre axis disjointly at every position.
+func (f *Filter) shardAtLogPos(r Range, seq uint64) (int, bool) {
+	f.mutMu.mu.Lock()
+	defer f.mutMu.mu.Unlock()
 	for si, sh := range f.shards {
-		g := sh.rangeOf()
-		lo, hi := max64(g.Lo, r.Lo), min64(g.Hi, r.Hi)
-		if hi < lo {
+		if !sh.seqOK {
 			continue
 		}
-		switch n := hi - lo + 1; {
-		case n > bestLen:
-			best, bestLen, tie = si, n, false
-		case n == bestLen:
-			tie = true
+		if g, ok := sh.rangeAt(seq); ok && g == r {
+			return si, true
 		}
 	}
-	return best, best >= 0 && !tie
-}
-
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
+	return -1, false
 }

@@ -17,9 +17,20 @@
 // owner's Hi grows by one, every later shard's window slides by one).
 // The reply's range updates the router live.
 //
+// A multi-shard plan commits shard by shard with no cross-shard
+// atomicity: a failure partway leaves the global pre numbering torn
+// across shards. Mutate bounds and repairs the tear — every shard is
+// still attempted, a shard whose delivery is merely unknown parks its
+// batch, the mixed outcome surfaces as a PartialMutationError, further
+// writes are refused (ErrPendingMutation) until SyncReplicas flushes
+// the parked batches, and the flush is safe to repeat because servers
+// digest-verify redelivered sequences.
+//
 // One writer session per document is assumed — concurrent writer
 // sessions would interleave sequence numbers and fail each other's
-// gap checks (the second writer sees SeqGapError and must re-learn).
+// gap checks (SeqGapError, or BatchMismatchError when a batch collides
+// with a sequence the other writer already consumed; either way the
+// losing writer must re-learn and re-plan).
 package cluster
 
 import (
@@ -51,22 +62,53 @@ type mutState struct{ mu sync.Mutex }
 // acknowledged on at least one replica. Failed replicas are left to
 // SyncReplicas — their conns keep their place in the shard and their
 // missed batches sit in the redelivery window.
+//
+// A multi-shard plan has no cross-shard atomicity: each shard commits
+// its slice independently. Every affected shard is attempted even when
+// an earlier one fails — a shard whose delivery is merely unknown
+// parks its batch for SyncReplicas to flush, so finishing the others
+// means one successful sync restores a globally consistent tiling
+// instead of leaving several shards behind. A mixed outcome surfaces
+// as a PartialMutationError naming the committed and failed shards;
+// until the failed ones are repaired the global pre numbering is torn
+// across shards, so callers must not re-plan against it (the root
+// session surfaces the error instead of retrying). While any batch is
+// parked, further mutations are refused with ErrPendingMutation.
 func (f *Filter) Mutate(ops []filter.RowOp) error {
 	f.mutMu.mu.Lock()
 	defer f.mutMu.mu.Unlock()
+	for si, sh := range f.shards {
+		if sh.pending != nil {
+			return f.shardErr(si, fmt.Errorf("%w (batch %d)", ErrPendingMutation, sh.pending.Seq))
+		}
+	}
 	groups, err := f.groupOps(ops)
 	if err != nil {
 		return err
 	}
+	var applied, failed []int
+	var firstErr error
 	for si, sub := range groups {
 		if len(sub) == 0 {
 			continue
 		}
 		if err := f.mutateShard(si, sub); err != nil {
-			return err
+			failed = append(failed, si)
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			applied = append(applied, si)
 		}
 	}
-	return nil
+	switch {
+	case firstErr == nil:
+		return nil
+	case len(applied) == 0:
+		return firstErr
+	default:
+		return &PartialMutationError{Applied: applied, Failed: failed, Err: firstErr}
+	}
 }
 
 // groupOps splits ops by owning shard, preserving op order within each
@@ -107,6 +149,13 @@ func (f *Filter) putOwner(pre int64) int {
 }
 
 // mutateShard sequences and delivers one shard's slice of the plan.
+// Outcomes: at least one ack (or a definitive consume) commits the
+// sequence into the shard's bookkeeping; a purely-unknown delivery
+// (every answering replica failed at the transport) parks the batch
+// for SyncReplicas to flush — the digest-verified idempotent ack makes
+// redelivering it safe whether or not it actually landed; a definitive
+// rejection on every replica (gap, mismatch, unsupported) consumes
+// nothing and parks nothing.
 func (f *Filter) mutateShard(si int, ops []filter.RowOp) error {
 	sh := f.shards[si]
 	if !sh.seqOK {
@@ -118,8 +167,10 @@ func (f *Filter) mutateShard(si int, ops []filter.RowOp) error {
 		sh.seqOK = true
 	}
 	b := filter.MutationBatch{Ver: filter.MutationBatchVersion, Seq: sh.lastSeq + 1, Ops: ops}
+	prev := sh.rangeOf()
 	var (
 		acks     int
+		unknown  int // transport failures: delivery unknown
 		firstErr error
 		consumed bool // a replica definitively consumed the sequence
 		ack      filter.MutateReply
@@ -141,15 +192,18 @@ func (f *Filter) mutateShard(si int, ops []filter.RowOp) error {
 			if firstErr == nil {
 				firstErr = err
 			}
-		case filter.IsSeqGap(err):
-			// This replica's log is elsewhere (it lags, or another
-			// writer advanced it). Re-learn before the next attempt.
+		case filter.IsSeqGap(err) || filter.IsBatchMismatch(err):
+			// This replica's log is elsewhere (it lags, or another writer
+			// advanced it — a mismatch means the sequence this batch was
+			// planned for went to a different writer's batch). Re-learn
+			// before the next attempt.
 			sh.seqOK = false
 			if firstErr == nil {
 				firstErr = err
 			}
 		case filter.Retryable(err):
 			// Transport: delivery unknown. SyncReplicas resolves it.
+			unknown++
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -165,10 +219,18 @@ func (f *Filter) mutateShard(si int, ops []filter.RowOp) error {
 		}
 	}
 	if acks == 0 && !consumed {
+		if unknown > 0 && sh.seqOK {
+			// Delivery unknown on every answering replica: park the batch.
+			// SyncReplicas redelivers it — an exact redelivery is acked
+			// idempotently if it did land, applied normally if it did not.
+			// (Not parked when a replica definitively rejected the
+			// sequence: the batch is known-dead and must be re-planned.)
+			sh.pending = &b
+		}
 		return f.shardErr(si, fmt.Errorf("mutation batch %d: %w", b.Seq, firstErr))
 	}
 	sh.lastSeq = b.Seq
-	sh.backlog = append(sh.backlog, b)
+	sh.backlog = append(sh.backlog, backlogEntry{b: b, prev: prev})
 	if len(sh.backlog) > backlogMax {
 		sh.backlog = sh.backlog[len(sh.backlog)-backlogMax:]
 	}
@@ -247,19 +309,28 @@ func (f *Filter) RefreshEpochs() error {
 }
 
 // SyncReplicas redelivers missed batches from the session's redelivery
-// window to every replica that is behind, and reports how many
-// replicas remain out of sync (down, or lagging past the window).
-// Callers poll it after a replica restart until pending hits zero.
-// Replicas are accounted by ADDRESS: a restarted process leaves its
-// dead pre-restart connection behind (the reconnect seam keeps it in
-// the shard behind its breaker), and an address whose fresh connection
-// answers and is caught up is in sync regardless of dead siblings.
+// window to every replica that is behind, flushes any parked batch
+// whose delivery was unknown, and reports how many replicas remain out
+// of sync (down, or lagging past the window). Callers poll it after a
+// replica restart until pending hits zero. Replicas are accounted by
+// ADDRESS: a restarted process leaves its dead pre-restart connection
+// behind (the reconnect seam keeps it in the shard behind its
+// breaker), and an address whose fresh connection answers and is
+// caught up is in sync regardless of dead siblings.
+//
+// A parked batch is redelivered exactly as sent: if it landed before
+// the outage it is acked idempotently (the server digest-verifies the
+// bytes), if not it applies as the next sequence — either way one ack
+// commits it into the shard's bookkeeping and repairs the torn tiling
+// a PartialMutationError reported. A sequence-gap or batch-mismatch
+// rejection means another writer consumed its sequence: the batch is
+// dropped as definitively lost and the shard's sequence re-learned.
 func (f *Filter) SyncReplicas() (pending int, err error) {
 	f.mutMu.mu.Lock()
 	defer f.mutMu.mu.Unlock()
 	var firstErr error
 	for si, sh := range f.shards {
-		if !sh.seqOK {
+		if !sh.seqOK && sh.pending == nil {
 			continue // no writes through this session: nothing to redeliver
 		}
 		type endpoint struct {
@@ -293,10 +364,11 @@ func (f *Filter) SyncReplicas() (pending int, err error) {
 				pending++ // down: retry on the caller's next poll
 				continue
 			}
-			if ep.info.LastSeq >= sh.lastSeq {
+			if ep.info.LastSeq >= sh.lastSeq && sh.pending == nil {
 				continue
 			}
-			if len(sh.backlog) == 0 || sh.backlog[0].Seq > ep.info.LastSeq+1 {
+			if ep.info.LastSeq < sh.lastSeq &&
+				(len(sh.backlog) == 0 || sh.backlog[0].b.Seq > ep.info.LastSeq+1) {
 				pending++
 				if firstErr == nil {
 					firstErr = f.shardErr(si, fmt.Errorf(
@@ -306,17 +378,47 @@ func (f *Filter) SyncReplicas() (pending int, err error) {
 				continue
 			}
 			caught := true
-			for _, b := range sh.backlog {
-				if b.Seq <= ep.info.LastSeq {
+			for _, e := range sh.backlog {
+				if e.b.Seq <= ep.info.LastSeq {
 					continue
 				}
-				if _, merr := ep.ma.Mutate(b); merr != nil {
+				if _, merr := ep.ma.Mutate(e.b); merr != nil {
 					pending++
 					caught = false
 					if firstErr == nil && !filter.Retryable(merr) {
-						firstErr = f.shardErr(si, fmt.Errorf("redelivering batch %d to %s: %w", b.Seq, addr, merr))
+						firstErr = f.shardErr(si, fmt.Errorf("redelivering batch %d to %s: %w", e.b.Seq, addr, merr))
 					}
 					break
+				}
+			}
+			if caught && sh.pending != nil {
+				prev := sh.rangeOf()
+				reply, merr := ep.ma.Mutate(*sh.pending)
+				switch {
+				case merr == nil:
+					sh.lastSeq = sh.pending.Seq
+					sh.backlog = append(sh.backlog, backlogEntry{b: *sh.pending, prev: prev})
+					if len(sh.backlog) > backlogMax {
+						sh.backlog = sh.backlog[len(sh.backlog)-backlogMax:]
+					}
+					sh.pending = nil
+					sh.setRange(Range{Lo: reply.Range.Lo, Hi: reply.Range.Hi})
+				case filter.IsSeqGap(merr) || filter.IsBatchMismatch(merr):
+					// Another writer took the parked batch's sequence: the
+					// batch is lost for good, not pending. Drop it and
+					// re-learn before the next write.
+					sh.pending = nil
+					sh.seqOK = false
+					caught = false
+					if firstErr == nil {
+						firstErr = f.shardErr(si, fmt.Errorf("parked batch %d lost to a concurrent writer: %w", sh.lastSeq+1, merr))
+					}
+				default:
+					pending++
+					caught = false
+					if firstErr == nil && !filter.Retryable(merr) {
+						firstErr = f.shardErr(si, fmt.Errorf("flushing parked batch to %s: %w", addr, merr))
+					}
 				}
 			}
 			if caught {

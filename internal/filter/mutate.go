@@ -14,7 +14,12 @@
 //   - sequenced: batches carry a per-log sequence number, the server
 //     rejects gaps and acknowledges duplicates idempotently, which is
 //     what lets the cluster layer redeliver batches to a restarted
-//     replica without divergence.
+//     replica without divergence. An idempotent ack is digest-verified:
+//     the server keeps a checksum of the last digestWindow applied
+//     batches, and a redelivery whose bytes differ from what the
+//     sequence actually consumed is rejected with a BatchMismatchError
+//     instead of falsely acknowledged — a concurrent writer one
+//     sequence behind gets a typed error, not a silently lost update.
 //
 // Apply is deterministic: replicas that accept the same batch sequence
 // hold byte-identical node tables (minisql updates rows in place and
@@ -27,6 +32,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -149,6 +155,35 @@ func IsSeqGap(err error) bool {
 	}
 	var re *rmi.RemoteError
 	return errors.As(err, &re) && strings.Contains(re.Msg, seqGapPrefix)
+}
+
+// batchMismatchPrefix is the wire-stable start of a BatchMismatchError's
+// message.
+const batchMismatchPrefix = "filter: batch mismatch"
+
+// BatchMismatchError rejects a redelivered batch whose bytes differ
+// from the batch that actually consumed its sequence number — a
+// concurrent writer raced another writer's batch onto the same
+// sequence. The rejected batch was never applied; its sender must
+// re-plan against the current state, so the error is not Retryable
+// (resending the same bytes can never succeed).
+type BatchMismatchError struct {
+	Seq uint64
+}
+
+func (e *BatchMismatchError) Error() string {
+	return fmt.Sprintf("%s: sequence %d was consumed by a different batch", batchMismatchPrefix, e.Seq)
+}
+
+// IsBatchMismatch reports whether err is a batch-mismatch rejection,
+// locally typed or over the wire.
+func IsBatchMismatch(err error) bool {
+	var be *BatchMismatchError
+	if errors.As(err, &be) {
+		return true
+	}
+	var re *rmi.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, batchMismatchPrefix)
 }
 
 // ErrMutationUnsupported reports a server that predates the mutation
@@ -290,6 +325,27 @@ type Mutable struct {
 	// would re-lock); the server runtime uses it for size-triggered log
 	// folding. May be nil.
 	compact func(lastSeq uint64) error
+
+	// hist holds the digests of the last digestWindow consumed batches
+	// (mu-guarded, ascending seq): the evidence that lets the
+	// idempotent-ack path tell a true redelivery from a different batch
+	// colliding with a consumed sequence.
+	hist []batchDigest
+}
+
+// digestWindow bounds how many consumed batches keep a digest. It must
+// exceed the cluster layer's redelivery backlog (64 batches) so every
+// batch a coordinator can legally redeliver is still verifiable; a
+// batch older than the window (or applied before this process started)
+// is acknowledged unverified, as before.
+const digestWindow = 128
+
+// batchDigest is the checksum of one consumed batch's canonical
+// encoding — the same bytes journaled to the WAL, so replicas record
+// identical digests.
+type batchDigest struct {
+	seq uint64
+	sum uint32
 }
 
 var _ MutableAPI = (*Mutable)(nil)
@@ -337,11 +393,41 @@ func (m *Mutable) ReadLock(epoch uint64) (release func(), err error) {
 	return m.gate.RUnlock, nil
 }
 
+// recordDigest remembers the digest of the batch that consumed seq,
+// trimming the history to digestWindow. Caller holds m.mu.
+func (m *Mutable) recordDigest(seq uint64, sum uint32) {
+	m.hist = append(m.hist, batchDigest{seq: seq, sum: sum})
+	if n := len(m.hist) - digestWindow; n > 0 {
+		m.hist = append(m.hist[:0], m.hist[n:]...)
+	}
+}
+
+// digestAt returns the recorded digest for seq, if still in the
+// window. Caller holds m.mu.
+func (m *Mutable) digestAt(seq uint64) (uint32, bool) {
+	for i := len(m.hist) - 1; i >= 0; i-- {
+		switch {
+		case m.hist[i].seq == seq:
+			return m.hist[i].sum, true
+		case m.hist[i].seq < seq:
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
 // Mutate implements MutableAPI: sequence-check, journal, apply, bump.
 func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 	if b.Ver == 0 || b.Ver > MutationBatchVersion {
 		return MutateReply{}, fmt.Errorf("filter: mutation batch version %d unsupported", b.Ver)
 	}
+	// The canonical encoding feeds both the journal and the digest
+	// history; encoding before taking mu keeps the lock hold short.
+	payload, err := EncodeBatch(b)
+	if err != nil {
+		return MutateReply{}, err
+	}
+	sum := crc32.ChecksumIEEE(payload)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	last := m.lastSeq.Load()
@@ -354,18 +440,21 @@ func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 		return MutateReply{Epoch: epochOf(cur), LastSeq: cur, Range: rng}, nil
 	}
 	if b.Seq <= last {
-		// Redelivery of an applied batch (a replica catch-up overshooting,
-		// or a writer retry after a lost ack): acknowledge idempotently.
+		// Redelivery of a consumed sequence: acknowledge idempotently —
+		// but only if these are the bytes that consumed it (a replica
+		// catch-up overshooting, or a writer retry after a lost ack). A
+		// digest mismatch means a DIFFERENT batch took this sequence (a
+		// concurrent writer raced this one); acking it would report a
+		// never-applied batch as committed.
+		if want, ok := m.digestAt(b.Seq); ok && want != sum {
+			return MutateReply{}, &BatchMismatchError{Seq: b.Seq}
+		}
 		return ack()
 	}
 	if b.Seq != last+1 {
 		return MutateReply{}, &SeqGapError{Want: last + 1, Got: b.Seq}
 	}
 	if m.journal != nil {
-		payload, err := EncodeBatch(b)
-		if err != nil {
-			return MutateReply{}, err
-		}
 		if err := m.journal(payload); err != nil {
 			return MutateReply{}, fmt.Errorf("filter: journal batch %d: %w", b.Seq, err)
 		}
@@ -379,6 +468,7 @@ func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 	// new epoch with the new rows, never one without the other.
 	m.lastSeq.Store(b.Seq)
 	m.gate.Unlock()
+	m.recordDigest(b.Seq, sum)
 	if applyErr != nil {
 		return MutateReply{}, fmt.Errorf("filter: apply batch %d: %w", b.Seq, applyErr)
 	}
@@ -392,8 +482,15 @@ func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 
 // Replay applies a batch recovered from the log without re-journaling
 // it — the attach-time recovery path. Batches at or below lastSeq are
-// skipped (they are folded into the snapshot already).
+// skipped (they are folded into the snapshot already). Replayed batches
+// seed the digest history, so a restarted server verifies redeliveries
+// of pre-crash batches too (the codec is a canonical fixed point:
+// re-encoding a decoded batch reproduces the journaled bytes).
 func (m *Mutable) Replay(b MutationBatch) error {
+	payload, perr := EncodeBatch(b)
+	if perr != nil {
+		return perr
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	last := m.lastSeq.Load()
@@ -407,6 +504,7 @@ func (m *Mutable) Replay(b MutationBatch) error {
 	err := m.ServerFilter.ApplyOps(b.Ops)
 	m.lastSeq.Store(b.Seq)
 	m.gate.Unlock()
+	m.recordDigest(b.Seq, crc32.ChecksumIEEE(payload))
 	return err
 }
 

@@ -3,6 +3,8 @@ package filter
 import (
 	"bytes"
 	"testing"
+
+	"encshare/internal/rmi"
 )
 
 func testBatch() MutationBatch {
@@ -88,6 +90,82 @@ func TestDecodeBatchCorrupt(t *testing.T) {
 	huge := []byte{1, 1, 1, OpPut, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x7f}
 	if _, err := DecodeBatch(huge); err == nil {
 		t.Fatal("oversized blob length accepted")
+	}
+}
+
+// TestMutateDigestVerifiesRedelivery pins the idempotent-ack digest
+// check: redelivering the batch that consumed a sequence acks cleanly,
+// while a DIFFERENT batch colliding with a consumed sequence gets a
+// typed, non-retryable BatchMismatchError instead of a false ack.
+func TestMutateDigestVerifiesRedelivery(t *testing.T) {
+	fx := newFixture(t, testXML)
+	m := NewMutable(fx.server, 0, nil, nil)
+
+	// A no-op patch (empty blob, no renumbering) keeps the table
+	// untouched while still consuming sequences.
+	b1 := MutationBatch{Ver: MutationBatchVersion, Seq: 1, Ops: []RowOp{{Kind: OpPatch, Pre: 2}}}
+	if _, err := m.Mutate(b1); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := m.Mutate(b1)
+	if err != nil {
+		t.Fatalf("exact redelivery: %v", err)
+	}
+	if reply.LastSeq != 1 {
+		t.Fatalf("redelivery ack LastSeq = %d, want 1", reply.LastSeq)
+	}
+	collide := MutationBatch{Ver: MutationBatchVersion, Seq: 1, Ops: []RowOp{{Kind: OpPatch, Pre: 3}}}
+	if _, err := m.Mutate(collide); !IsBatchMismatch(err) {
+		t.Fatalf("colliding batch got %v, want BatchMismatchError", err)
+	} else if Retryable(err) {
+		t.Fatal("BatchMismatchError must not be retryable")
+	}
+
+	// The rejection must survive the RMI boundary as a matchable error.
+	srv := rmi.NewServer()
+	RegisterServer(srv, m)
+	cli := rmi.Pipe(srv)
+	defer cli.Close()
+	if _, err := NewRemote(cli).Mutate(collide); !IsBatchMismatch(err) {
+		t.Fatalf("over the wire: got %v, want batch mismatch", err)
+	}
+
+	// Replay seeds the history: a restarted server verifies pre-crash
+	// sequences too.
+	m2 := NewMutable(fx.server, 0, nil, nil)
+	if err := m2.Replay(b1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Mutate(collide); !IsBatchMismatch(err) {
+		t.Fatalf("after replay: got %v, want BatchMismatchError", err)
+	}
+	if _, err := m2.Mutate(b1); err != nil {
+		t.Fatalf("exact redelivery after replay: %v", err)
+	}
+}
+
+// TestMutateDigestWindow pins the window semantics: a sequence older
+// than digestWindow is acknowledged unverified (the digest is gone),
+// while anything inside the window is still checked.
+func TestMutateDigestWindow(t *testing.T) {
+	fx := newFixture(t, testXML)
+	m := NewMutable(fx.server, 0, nil, nil)
+	total := uint64(digestWindow + 2)
+	for seq := uint64(1); seq <= total; seq++ {
+		if _, err := m.Mutate(MutationBatch{Ver: MutationBatchVersion, Seq: seq}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seq 1 fell out of the window: a differing batch acks unverified.
+	old := MutationBatch{Ver: MutationBatchVersion, Seq: 1, Ops: []RowOp{{Kind: OpPatch, Pre: 2}}}
+	if _, err := m.Mutate(old); err != nil {
+		t.Fatalf("out-of-window redelivery: %v", err)
+	}
+	// The oldest retained sequence is still verified.
+	oldest := total - digestWindow + 1
+	inWindow := MutationBatch{Ver: MutationBatchVersion, Seq: oldest, Ops: []RowOp{{Kind: OpPatch, Pre: 2}}}
+	if _, err := m.Mutate(inWindow); !IsBatchMismatch(err) {
+		t.Fatalf("in-window collision got %v, want BatchMismatchError", err)
 	}
 }
 

@@ -367,20 +367,17 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 		opts.Cache = ts.cache
 	}
 	ts.sf = filter.NewServerFilterWith(st, r, opts)
+	// The journal and compact hooks close over lg, which is assigned
+	// only after wal.Open returns: recovery replays through the Mutable
+	// (below) but never journals or compacts, so the hooks fire only
+	// once the log handle exists.
 	var (
-		recs    []wal.Record
+		lg      *wal.Log
 		journal func([]byte) error
 		compact func(uint64) error
 	)
 	if t.WALDir != "" {
-		lg, rs, lerr := wal.Open(filepath.Join(t.WALDir, walLogName))
-		if lerr != nil {
-			rt.mu.Unlock()
-			return lerr
-		}
-		ts.log = lg
-		recs = rs
-		journal = lg.Append
+		journal = func(p []byte) error { return lg.Append(p) }
 		if t.CompactBytes > 0 {
 			// Runs under the Mutable's writer lock after each applied
 			// batch: no batch can interleave with the dump.
@@ -393,27 +390,37 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 		}
 	}
 	ts.mut = filter.NewMutable(ts.sf, lastSeq, journal, compact)
+	if t.WALDir != "" {
+		// Recover the log tail: replay every journaled batch past the
+		// base state's sequence, streamed one record at a time so a
+		// long-lived log never has to fit in memory. Apply errors are
+		// not fatal — a batch that failed deterministically when first
+		// accepted fails identically here, and the store lands in the
+		// same (prefix-applied) state it was in when the process died.
+		// A sequence gap is fatal: the log does not follow from the
+		// snapshot, so serving would diverge from the acked history.
+		rec := 0
+		l, lerr := wal.Open(filepath.Join(t.WALDir, walLogName), func(payload []byte) error {
+			b, derr := filter.DecodeBatch(payload)
+			if derr != nil {
+				return fmt.Errorf("server: wal record %d: %w", rec, derr)
+			}
+			if rerr := ts.mut.Replay(b); rerr != nil && filter.IsSeqGap(rerr) {
+				return fmt.Errorf("server: wal record %d (seq %d): %w", rec, b.Seq, rerr)
+			}
+			rec++
+			return nil
+		})
+		if lerr != nil {
+			rt.mu.Unlock()
+			return lerr
+		}
+		lg = l
+		ts.log = lg
+	}
 	rt.tenants[t.Name] = ts
 	needDefault := rt.dflt == "" && (rt.cfg.Default == "" || rt.cfg.Default == t.Name) && t.Name != ""
 	rt.mu.Unlock()
-
-	// Recover the log tail: replay every journaled batch past the base
-	// state's sequence. Apply errors are not fatal — a batch that failed
-	// deterministically when first accepted fails identically here, and
-	// the store lands in the same (prefix-applied) state it was in when
-	// the process died. A sequence gap is fatal: the log does not follow
-	// from the snapshot, so serving would diverge from the acked history.
-	for i, rec := range recs {
-		b, derr := filter.DecodeBatch(rec)
-		if derr != nil {
-			rt.dropFailed(t.Name, ts)
-			return fmt.Errorf("server: wal record %d: %w", i, derr)
-		}
-		if rerr := ts.mut.Replay(b); rerr != nil && filter.IsSeqGap(rerr) {
-			rt.dropFailed(t.Name, ts)
-			return fmt.Errorf("server: wal record %d (seq %d): %w", i, b.Seq, rerr)
-		}
-	}
 
 	filter.RegisterServerAt(rt.srv, regKey(t.Name), ts.mut)
 	switch {
@@ -426,17 +433,6 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 		rt.setDefault("")
 	}
 	return nil
-}
-
-// dropFailed unwinds a half-attached tenant after a recovery failure
-// (inserted in the tenant map, never registered with the dispatcher).
-func (rt *Runtime) dropFailed(name string, ts *tenantState) {
-	rt.mu.Lock()
-	delete(rt.tenants, name)
-	rt.mu.Unlock()
-	if ts.log != nil {
-		ts.log.Close()
-	}
 }
 
 // compactTenant folds the tenant's current table into base.snap at

@@ -83,7 +83,7 @@ func FuzzWALRecover(f *testing.F) {
 		if err := os.WriteFile(path, mutated, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		l, recs, err := Open(path)
+		l, recs, err := openCollect(path)
 		if err != nil {
 			t.Fatalf("Open on damaged log: %v", err)
 		}
@@ -114,7 +114,7 @@ func FuzzWALRecover(f *testing.F) {
 			t.Fatal(err)
 		}
 		l.Close()
-		_, recs2, err := Open(path)
+		_, recs2, err := openCollect(path)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,9 +19,12 @@
 // present, its length field is sane, and its CRC matches. The first
 // violation — a torn tail, a flipped bit, a truncated frame — ends the
 // scan, and Open truncates the file to the end of the last intact
-// record so subsequent appends extend a clean log. Scan is the pure
-// core of that walk, exported so the torn-write fuzz harness can
-// exercise it on arbitrary byte strings.
+// record so subsequent appends extend a clean log. The scan streams:
+// records are read frame by frame and handed to the caller's replay
+// callback one at a time, so recovering a long-lived log costs one
+// record of memory, not the whole write history. Scan implements the
+// same grammar over an in-memory byte string, exported so the
+// torn-write fuzz harness can exercise it on arbitrary inputs.
 //
 // Replicas that append the same batches in the same order produce
 // byte-identical log files — the property the cluster layer's replay
@@ -29,9 +32,12 @@
 package wal
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 )
@@ -92,44 +98,75 @@ type Log struct {
 }
 
 // Open opens (creating if necessary) the log at path, recovering to the
-// longest valid prefix of records. The recovered records are returned
-// so the owner can replay them; the file is truncated to the prefix and
-// positioned for appending.
-func Open(path string) (*Log, []Record, error) {
+// longest valid prefix of records. Recovery streams: each intact
+// record's payload is handed to replay in log order as it is validated,
+// then the file is truncated to the prefix and positioned for
+// appending. The payload slice is reused between calls — replay must
+// copy anything it keeps (decoding into an owned value counts). A nil
+// replay just validates and counts. A replay error aborts the open: the
+// owner's recovery failed, not the log's.
+func Open(path string, replay func(payload []byte) error) (*Log, error) {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, nil, fmt.Errorf("wal: mkdir: %w", err)
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
 	l := &Log{f: f, path: path}
-	if len(data) < headerLen || string(data[:headerLen]) != string(magic) {
+	br := bufio.NewReaderSize(f, 1<<16)
+	hdr := make([]byte, headerLen)
+	if _, herr := io.ReadFull(br, hdr); herr != nil || !bytes.Equal(hdr, magic) {
 		// Fresh file, or a header torn by a crash during creation (no
 		// record can have been acknowledged yet): start clean.
 		if err := l.reset(); err != nil {
 			f.Close()
-			return nil, nil, err
+			return nil, err
 		}
-		return l, nil, nil
+		return l, nil
 	}
-	recs, valid := Scan(data[headerLen:])
-	l.size = int64(headerLen + valid)
-	l.recs = len(recs)
+	l.size = headerLen
+	var (
+		frame   [frameLen]byte
+		payload []byte
+	)
+	for {
+		if _, err := io.ReadFull(br, frame[:]); err != nil {
+			break
+		}
+		n := int(binary.BigEndian.Uint32(frame[0:]))
+		sum := binary.BigEndian.Uint32(frame[4:])
+		if n > MaxRecord {
+			break
+		}
+		if cap(payload) < n {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(br, payload); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		if replay != nil {
+			if err := replay(payload); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		l.size += int64(frameLen + n)
+		l.recs++
+	}
 	if err := f.Truncate(l.size); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("wal: truncate %s: %w", path, err)
+		return nil, fmt.Errorf("wal: truncate %s: %w", path, err)
 	}
 	if _, err := f.Seek(l.size, 0); err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("wal: seek %s: %w", path, err)
+		return nil, fmt.Errorf("wal: seek %s: %w", path, err)
 	}
-	return l, recs, nil
+	return l, nil
 }
 
 // reset truncates the log to an empty (header-only) file and syncs it.

@@ -13,9 +13,21 @@ func logPath(t *testing.T) string {
 	return filepath.Join(t.TempDir(), "wal.log")
 }
 
+// openCollect opens the log collecting every replayed record — the
+// test-side stand-in for an owner's replay callback. Payloads are
+// copied, since Open reuses its buffer between calls.
+func openCollect(path string) (*Log, []Record, error) {
+	var recs []Record
+	l, err := Open(path, func(payload []byte) error {
+		recs = append(recs, Record(append([]byte(nil), payload...)))
+		return nil
+	})
+	return l, recs, err
+}
+
 func TestAppendReopenReplay(t *testing.T) {
 	path := logPath(t)
-	l, recs, err := Open(path)
+	l, recs, err := openCollect(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +45,7 @@ func TestAppendReopenReplay(t *testing.T) {
 	}
 	l.Close()
 
-	l2, recs, err := Open(path)
+	l2, recs, err := openCollect(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +82,7 @@ func TestTornTailRecovery(t *testing.T) {
 		if err := os.WriteFile(path, image[:cut], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		l, recs, err := Open(path)
+		l, recs, err := openCollect(path)
 		if err != nil {
 			t.Fatalf("cut %d: %v", cut, err)
 		}
@@ -101,7 +113,7 @@ func TestBadHeaderRecoversEmpty(t *testing.T) {
 	if err := os.WriteFile(path, []byte("GARBAGE!not-a-wal"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	l, recs, err := Open(path)
+	l, recs, err := openCollect(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +125,7 @@ func TestBadHeaderRecoversEmpty(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	_, recs, err = Open(path)
+	_, recs, err = openCollect(path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +136,7 @@ func TestBadHeaderRecoversEmpty(t *testing.T) {
 
 func TestTruncateAfterCompaction(t *testing.T) {
 	path := logPath(t)
-	l, _, err := Open(path)
+	l, err := Open(path, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +156,7 @@ func TestTruncateAfterCompaction(t *testing.T) {
 		t.Fatal(err)
 	}
 	l.Close()
-	_, recs, err := Open(path)
+	_, recs, err := openCollect(path)
 	if err != nil {
 		t.Fatal(err)
 	}

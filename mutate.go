@@ -30,7 +30,10 @@
 //
 // One writer session per document is assumed (see internal/cluster's
 // mutate.go); concurrent writers trip each other's sequence-gap checks
-// rather than corrupting anything. Local (in-process) sessions must
+// — or, when one lands exactly one sequence behind, the server's
+// batch-digest check (BatchMismatchError) — rather than corrupting
+// anything or falsely acknowledging an unapplied batch; either error
+// makes the losing writer re-plan. Local (in-process) sessions must
 // also not query concurrently with a mutation — there is no RMI frame
 // boundary to fence readers at; networked sessions are fenced by the
 // epoch gate server-side.
@@ -41,6 +44,7 @@ import (
 	"fmt"
 	"time"
 
+	"encshare/internal/cluster"
 	"encshare/internal/filter"
 	"encshare/internal/gf"
 	"encshare/internal/ring"
@@ -374,13 +378,26 @@ func (s *Session) mutateWithRetry(plan func() ([]filter.RowOp, error)) error {
 		switch {
 		case err == nil:
 			return nil
+		case cluster.IsPartialMutation(err) || errors.Is(err, cluster.ErrPendingMutation):
+			// The cluster committed this plan on some shards only (or
+			// refused because an earlier batch is still parked): the
+			// document is torn across shards, so plan reads — which span
+			// shards — would see an inconsistent document. Never re-plan
+			// here, even when the underlying per-shard failure is a
+			// sequence gap; surface the error and let the caller repair
+			// with Resync first. This case must precede the gap/mismatch
+			// replan below for exactly that reason.
+			return err
 		case filter.IsStaleEpoch(err):
 			if !s.refreshEpoch() {
 				return err
 			}
 			s.mutSeqOK = false // the pin moved, so the cached sequence did too
-		case filter.IsSeqGap(err):
-			// applyOps already invalidated the stale sequence; replan.
+		case filter.IsSeqGap(err) || filter.IsBatchMismatch(err):
+			// Another writer moved the state this plan was read from (a
+			// gap: the cached sequence fell behind; a mismatch: this batch
+			// collided with a sequence the other writer consumed). applyOps
+			// already invalidated the stale sequence; replan.
 		default:
 			return err
 		}
@@ -406,10 +423,16 @@ func (s *Session) applyOps(ops []filter.RowOp) error {
 
 // remoteMutate sequences and sends one batch to a single-server
 // session. The sequence is learned lazily from the server's epoch
-// info; a gap (another writer, or a server restart behind this
-// session's view) invalidates it and surfaces to mutateWithRetry,
-// which re-plans — the batch was planned against a state the server
-// no longer holds, so resending it would apply a stale plan.
+// info; ANY error invalidates it, forcing a fresh Epoch() fetch before
+// the next batch. The invalidation must not be narrowed to sequence
+// gaps: the server consumes a sequence even when applying its batch
+// fails (so replicas converge), and a transport error leaves delivery
+// unknown — in both cases the cached sequence may already be taken,
+// and reusing it would make the next batch's Seq collide with the
+// consumed one, turning it into a false idempotent ack (a silently
+// lost update). Surfaced errors reach mutateWithRetry, which re-plans
+// — the batch was planned against a state the server no longer holds,
+// so resending it would apply a stale plan.
 func (s *Session) remoteMutate(ops []filter.RowOp) error {
 	if !s.mutSeqOK {
 		info, err := s.remote.Epoch()
@@ -422,9 +445,7 @@ func (s *Session) remoteMutate(ops []filter.RowOp) error {
 	b := filter.MutationBatch{Ver: filter.MutationBatchVersion, Seq: s.mutSeq + 1, Ops: ops}
 	reply, err := s.remote.Mutate(b)
 	if err != nil {
-		if filter.IsSeqGap(err) {
-			s.mutSeqOK = false
-		}
+		s.mutSeqOK = false
 		return err
 	}
 	s.mutSeq = reply.LastSeq
@@ -454,7 +475,10 @@ func (s *Session) refreshEpoch() bool {
 // caught up (and re-pinned) or the timeout expires. addrs lists the
 // replica addresses to re-dial if their connections died — typically
 // the same flat list the session was dialed with. Cluster sessions
-// only.
+// only. Resync is also the repair path after a PartialMutationError or
+// ErrPendingMutation: the sync flushes any batch parked with unknown
+// delivery, restoring a consistent cross-shard tiling before the next
+// write.
 func (s *Session) Resync(addrs []string, timeout time.Duration) error {
 	if s.shardF == nil {
 		return errors.New("encshare: Resync requires a cluster session")

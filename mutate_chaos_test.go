@@ -50,21 +50,23 @@ func (c *killConn) Write(b []byte) (int, error) {
 // restart path). killAfter > 0 wraps the connection in a killConn.
 func serveMutableReplica(t *testing.T, keys *Keys, st *store.Store, walPath string, killAfter int) (*filter.Remote, *filter.Mutable) {
 	t.Helper()
-	lg, recs, err := wal.Open(walPath)
+	var lg *wal.Log
+	mut := filter.NewMutable(filter.NewServerFilter(st, keys.ring, 1024), 0,
+		func(p []byte) error { return lg.Append(p) }, nil)
+	lg, err := wal.Open(walPath, func(payload []byte) error {
+		b, err := filter.DecodeBatch(payload)
+		if err != nil {
+			return fmt.Errorf("decoding journaled batch: %w", err)
+		}
+		if err := mut.Replay(b); err != nil {
+			return fmt.Errorf("replaying batch %d: %w", b.Seq, err)
+		}
+		return nil
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { lg.Close() })
-	mut := filter.NewMutable(filter.NewServerFilter(st, keys.ring, 1024), 0, lg.Append, nil)
-	for _, rec := range recs {
-		b, err := filter.DecodeBatch(rec)
-		if err != nil {
-			t.Fatalf("decoding journaled batch: %v", err)
-		}
-		if err := mut.Replay(b); err != nil {
-			t.Fatalf("replaying batch %d: %v", b.Seq, err)
-		}
-	}
 	srv := rmi.NewServer()
 	filter.RegisterServer(srv, mut)
 	cConn, sConn := net.Pipe()

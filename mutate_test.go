@@ -3,12 +3,16 @@ package encshare
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"net"
 	"sort"
 	"strings"
 	"testing"
 
+	"encshare/internal/cluster"
+	"encshare/internal/filter"
 	"encshare/internal/minisql"
+	"encshare/internal/rmi"
 )
 
 // encodeFresh encodes xml into a fresh database with the given keys.
@@ -274,6 +278,77 @@ func TestMutateRemote(t *testing.T) {
 		`<site><regions><europe><item><name>lamp</name></item><city/></europe></regions><people><person><address><city>Enschede</city></address></person></people><regions/></site>`))
 }
 
+// consumeSeqMutable applies batches normally but fails the reply for
+// the first `failures` successful applies — modeling a server whose
+// apply or compact hook errors (or whose reply is lost) AFTER the
+// sequence is consumed.
+type consumeSeqMutable struct {
+	*filter.Mutable
+	failures int
+}
+
+func (m *consumeSeqMutable) Mutate(b filter.MutationBatch) (filter.MutateReply, error) {
+	reply, err := m.Mutable.Mutate(b)
+	if err == nil && m.failures > 0 {
+		m.failures--
+		return reply, errors.New("chaos: compact hook failed after apply")
+	}
+	return reply, err
+}
+
+// TestWriterRecoversAfterConsumedSeq pins the false-idempotent-ack fix:
+// when a batch's sequence is consumed server-side but the writer gets
+// an error back, the session must drop its cached sequence. Reusing it
+// would make the NEXT batch collide with the consumed sequence and be
+// acknowledged without being applied — a silently lost update.
+func TestWriterRecoversAfterConsumedSeq(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	mut := filter.NewMutable(filter.NewServerFilter(db.st, keys.ring, 1024), 0, nil, nil)
+	srv := rmi.NewServer()
+	filter.RegisterServer(srv, &consumeSeqMutable{Mutable: mut, failures: 1})
+	cConn, sConn := net.Pipe()
+	go srv.ServeConn(sConn)
+	cli := rmi.NewClient(cConn)
+	rem := filter.NewRemote(cli)
+	// An unpinned session (no dial-time epoch pin): it cannot rely on
+	// stale-epoch fencing to notice the server moved on without it.
+	s := newSession(keys, rem, cli)
+	s.rmiCli = cli
+	s.remote = rem
+	defer s.Close()
+
+	// First insert: the server applies it, consumes sequence 1, and
+	// fails the reply. The writer must surface the error.
+	if _, err := s.Insert(1, "regions"); err == nil {
+		t.Fatal("insert against the failing server reported success")
+	}
+	res, err := s.Query("//regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pres) != 2 {
+		t.Fatalf("//regions = %v after failed-reply insert, want 2 nodes (batch was applied)", res.Pres)
+	}
+
+	// Second insert: pre-fix the session reused cached sequence 0, sent
+	// Seq=1 again, and the server acked it idempotently without applying
+	// anything. It must instead re-learn the sequence and really apply.
+	if _, err := s.Insert(1, "regions"); err != nil {
+		t.Fatalf("insert after consumed sequence: %v", err)
+	}
+	res, err = s.Query("//regions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pres) != 3 {
+		t.Fatalf("//regions = %v after recovery insert, want 3 nodes", res.Pres)
+	}
+}
+
 // TestMutateCluster runs the write path against a live 2-shard TCP
 // cluster: ops are routed to the owning shard, renumbering re-tiles the
 // shard ranges, and both the writing session and a session dialed
@@ -361,6 +436,132 @@ func TestMutateCluster(t *testing.T) {
 				if got.Pres[i] != want.Pres[i] {
 					t.Fatalf("%s session %s = %v, local %v", who, q, got.Pres, want.Pres)
 				}
+			}
+		}
+	}
+}
+
+// failOnceConn drops the first `fails` mutation deliveries to an
+// in-process shard at the "transport": the coordinator gets a
+// TransportError and cannot know whether the batch landed. The batch
+// in fact never reached the server, which is the harder half of the
+// unknown-delivery outcome (redelivery must really apply, not just be
+// acked idempotently).
+type failOnceConn struct {
+	*filter.Mutable
+	fails int
+}
+
+func (c *failOnceConn) Mutate(b filter.MutationBatch) (filter.MutateReply, error) {
+	if c.fails > 0 {
+		c.fails--
+		return filter.MutateReply{}, &rmi.TransportError{Method: "Filter.Mutate", Err: errors.New("chaos: connection dropped mid-delivery")}
+	}
+	return c.Mutable.Mutate(b)
+}
+
+// TestPartialCommitParksAndRepairs pins the torn multi-shard commit
+// contract: when a cross-shard mutation commits on one shard and the
+// other shard's delivery is unknown, the session surfaces a
+// PartialMutationError, refuses further writes (ErrPendingMutation)
+// while the numbering is torn, and one SyncReplicas flushes the parked
+// batch — after which the document matches a local oracle that applied
+// the same edit once.
+func TestPartialCommitParksAndRepairs(t *testing.T) {
+	keys, err := GenerateKeys(Params{P: 83}, testNames(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := encodeFresh(t, keys, testXML)
+	plan, err := db.ShardPlan(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shards []cluster.Shard
+	for i, r := range plan {
+		var dump bytes.Buffer
+		if err := db.DumpShard(&dump, r); err != nil {
+			t.Fatal(err)
+		}
+		sdb, err := CreateDatabase(minisql.FreshDSN())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sdb.Close()
+		if err := sdb.LoadFrom(&dump); err != nil {
+			t.Fatal(err)
+		}
+		mut := filter.NewMutable(filter.NewServerFilter(sdb.st, keys.ring, 1024), 0, nil, nil)
+		var conn cluster.Conn = mut
+		if i == 1 {
+			conn = &failOnceConn{Mutable: mut, fails: 1}
+		}
+		shards = append(shards, cluster.Shard{
+			Addr:  fmt.Sprintf("shard%d", i),
+			Range: r,
+			Conn:  conn,
+		})
+	}
+	f, err := cluster.NewWith(shards, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSession(keys, f, f)
+	s.shardF = f
+	defer s.Close()
+
+	// Insert under pre 3: renumbering patches land on shard 0, the new
+	// row and the tail shifts on shard 1 — whose delivery fails. Shard 0
+	// commits its slice, so the outcome is a partial commit naming the
+	// torn shard.
+	_, err = s.Insert(3, "item")
+	var pe *cluster.PartialMutationError
+	if !errors.As(err, &pe) {
+		t.Fatalf("insert with one shard unreachable = %v, want PartialMutationError", err)
+	}
+	if len(pe.Applied) != 1 || pe.Applied[0] != 0 || len(pe.Failed) != 1 || pe.Failed[0] != 1 {
+		t.Fatalf("partial commit applied=%v failed=%v, want applied=[0] failed=[1]", pe.Applied, pe.Failed)
+	}
+
+	// The numbering is torn across shards; further writes must be
+	// refused until the parked batch is flushed.
+	if _, err := s.Insert(1, "regions"); !errors.Is(err, cluster.ErrPendingMutation) {
+		t.Fatalf("write against torn numbering = %v, want ErrPendingMutation", err)
+	}
+
+	// One sync flushes the parked batch (the transport healed: fails is
+	// spent) and re-tiles the ranges.
+	if pending, err := f.SyncReplicas(); err != nil || pending != 0 {
+		t.Fatalf("SyncReplicas after partial commit = (%d, %v), want (0, nil)", pending, err)
+	}
+
+	// The logical insert happened exactly once; subsequent writes work.
+	local := OpenLocal(keys, db)
+	defer local.Close()
+	if _, err := local.Insert(3, "item"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(1, "regions"); err != nil {
+		t.Fatalf("insert after repair: %v", err)
+	}
+	if _, err := local.Insert(1, "regions"); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"//item", "//regions", "//name", "/site/regions/europe/*"} {
+		want, err := local.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Query(q)
+		if err != nil {
+			t.Fatalf("query %s after repair: %v", q, err)
+		}
+		if len(got.Pres) != len(want.Pres) {
+			t.Fatalf("%s = %v after repair, local %v", q, got.Pres, want.Pres)
+		}
+		for i := range want.Pres {
+			if got.Pres[i] != want.Pres[i] {
+				t.Fatalf("%s = %v after repair, local %v", q, got.Pres, want.Pres)
 			}
 		}
 	}
