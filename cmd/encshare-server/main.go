@@ -40,8 +40,14 @@
 // recovers snapshot + log state in preference to the -db file. Each
 // tenant journals under its own subdirectory; each replica process
 // needs its own -wal dir. -compact-bytes folds the log into a snapshot
-// once it exceeds the given size (0, the default, never folds — replica
+// once it exceeds the given size, and -compact-idle folds it after a
+// quiet period with no writes (both default 0, never fold — replica
 // logs then stay byte-comparable).
+//
+// -fault-fsync-after N is a testing hook for disk-fault drills: it
+// routes WAL I/O through a fault-injection filesystem that fails the
+// n-th and every later fsync, so the affected tenants trip the sticky
+// failure rule and degrade to read-only. Never use it in production.
 //
 // -metrics starts an HTTP listener exposing the runtime's counters —
 // RMI frame/byte totals, per-method latency histograms, per-tenant
@@ -62,8 +68,10 @@ import (
 	"syscall"
 
 	"encshare/internal/cluster"
+	"encshare/internal/iofault"
 	"encshare/internal/obs"
 	"encshare/internal/server"
+	"encshare/internal/wal"
 )
 
 func main() {
@@ -80,8 +88,20 @@ func main() {
 		metrics  = flag.String("metrics", "", "serve Prometheus metrics, JSON metrics, and pprof on this HTTP address (e.g. :9090); empty disables")
 		walDir   = flag.String("wal", "", "journal mutations under this directory (one subdirectory per tenant); empty = writes die with the process")
 		compact  = flag.Int64("compact-bytes", 0, "with -wal: fold the log into a snapshot once it exceeds this many bytes (0 never folds)")
+		compIdle = flag.Duration("compact-idle", 0, "with -wal: fold the log into a snapshot after this long without a write (0, the default, never folds on idle)")
+		faultN   = flag.Int("fault-fsync-after", 0, "TESTING ONLY: fail the n-th and every later WAL fsync, degrading written tenants to read-only (0 disables); for disk-fault drills, never production")
 	)
 	flag.Parse()
+
+	// The drill filesystem is created once so its fsync counter spans the
+	// process lifetime (SIGHUP reloads keep counting, like a real disk).
+	var walFS wal.FS
+	if *faultN > 0 {
+		ffs := iofault.New()
+		ffs.FailSyncFrom(*faultN)
+		walFS = ffs
+		fmt.Fprintf(os.Stderr, "encshare-server: FAULT DRILL: WAL fsync %d and later will fail\n", *faultN)
+	}
 
 	if *manifest == "" {
 		if *shard >= 0 {
@@ -109,6 +129,7 @@ func main() {
 				Path: *dbPath, P: uint32(*p), E: uint32(*e),
 				Workers: *workers, CacheEntries: *cache,
 				WALDir: tenantWAL(""), CompactBytes: *compact,
+				CompactIdle: *compIdle, FS: walFS,
 			}}, "", "", 0, nil
 		}
 		m, err := cluster.LoadManifest(*manifest)
@@ -157,6 +178,7 @@ func main() {
 				Name: tn.Name, Path: path, P: tp, E: te,
 				Workers: tw, CacheEntries: tc,
 				WALDir: tenantWAL(tn.Name), CompactBytes: *compact,
+				CompactIdle: *compIdle, FS: walFS,
 			})
 			if addr == "" {
 				if addrs := info.ReplicaAddrs(); *replica < len(addrs) {

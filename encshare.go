@@ -36,6 +36,8 @@
 package encshare
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"net"
@@ -385,6 +387,15 @@ type Session struct {
 	mutSeq   uint64     // single-server write path: last acknowledged sequence
 	mutSeqOK bool
 
+	// Writer-lease state (multi-writer coordination; see mutateWithRetry).
+	// All guarded by mutMu.
+	writerID  string        // random owner ID presented with lease requests
+	noLease   bool          // servers predate the lease frames; stay optimistic
+	leaseTTL  time.Duration // 0 = filter.DefaultLeaseTTL
+	leaseWait time.Duration // longest wait on a held lease; 0 = 2×TTL
+
+	testHookAfterPlan func() // chaos tests: runs between plan and apply
+
 	tracer    *obs.Tracer
 	traceMu   sync.Mutex
 	lastTrace *Trace
@@ -515,10 +526,13 @@ func DialClusterWith(keys *Keys, addrs []string, opts ClusterOptions) (*Session,
 func newSession(keys *Keys, api filter.ServerAPI, closer io.Closer) *Session {
 	sch := keys.scheme()
 	cli := filter.NewClient(api, sch)
+	var wid [6]byte
+	_, _ = rand.Read(wid[:])
 	return &Session{
 		keys:        keys,
 		cli:         cli,
 		scheme:      sch,
+		writerID:    hex.EncodeToString(wid[:]),
 		simple:      engine.NewSimple(cli, keys.m),
 		advanced:    engine.NewAdvanced(cli, keys.m),
 		simpleSeq:   engine.NewSimpleSequential(cli, keys.m),

@@ -54,7 +54,85 @@ type epochSetter interface{ SetEpoch(epoch uint64) }
 // mutMu serializes this session's writers across all shards. It lives
 // on the Filter rather than per shard so a multi-shard batch commits
 // shard by shard without interleaving another local writer.
-type mutState struct{ mu sync.Mutex }
+type mutState struct {
+	mu sync.Mutex
+	// lastLeaseID is the writer-lease fencing ID from the last grant
+	// this session saw; a different ID on the next grant means another
+	// writer held the lease in between and advanced logs this session's
+	// cached sequences do not reflect.
+	lastLeaseID uint64
+}
+
+// AcquireWriterLease acquires the cluster-wide writer lease from the
+// designated sequencer — the lexically lowest address among shard 0's
+// replicas whose connection speaks the lease frames, so every session
+// elects the same endpoint without coordination. The lease does not
+// replace explicit per-shard sequencing (redelivery and digest checks
+// still guard correctness); it keeps concurrent writer sessions from
+// ever planning against the same state and burning retries.
+//
+// A grant whose lease ID differs from the last one this session saw
+// means the lease transferred through another writer meanwhile: every
+// shard's cached sequence is dropped and epochs re-learned before the
+// grant is returned.
+//
+// Returns filter.ErrLeaseUnsupported when no replica speaks the lease
+// frames — callers fall back to optimistic sequencing.
+func (f *Filter) AcquireWriterLease(owner string, ttlMillis int64) (filter.LeaseGrant, error) {
+	la := f.leaseEndpoint()
+	if la == nil {
+		return filter.LeaseGrant{}, filter.ErrLeaseUnsupported
+	}
+	grant, err := la.AcquireLease(filter.LeaseRequest{Owner: owner, TTLMillis: ttlMillis})
+	if err != nil {
+		return filter.LeaseGrant{}, err
+	}
+	f.mutMu.mu.Lock()
+	transferred := grant.ID != f.mutMu.lastLeaseID
+	f.mutMu.lastLeaseID = grant.ID
+	if transferred {
+		for _, sh := range f.shards {
+			sh.seqOK = false
+		}
+	}
+	f.mutMu.mu.Unlock()
+	if transferred {
+		if err := f.RefreshEpochs(); err != nil {
+			return grant, err
+		}
+	}
+	return grant, nil
+}
+
+// ReleaseWriterLease hands the cluster writer lease back early (it
+// would expire on its own). Best-effort: no endpoint, no error.
+func (f *Filter) ReleaseWriterLease(id uint64) error {
+	la := f.leaseEndpoint()
+	if la == nil {
+		return nil
+	}
+	return la.ReleaseLease(id)
+}
+
+// leaseEndpoint picks the designated sequencer: shard 0's lease-capable
+// replica at the lexically lowest address.
+func (f *Filter) leaseEndpoint() filter.LeaseAPI {
+	if len(f.shards) == 0 {
+		return nil
+	}
+	var best filter.LeaseAPI
+	var bestAddr string
+	for _, rep := range f.shards[0].replicaList() {
+		la, ok := rep.conn.(filter.LeaseAPI)
+		if !ok {
+			continue
+		}
+		if best == nil || rep.addr < bestAddr {
+			best, bestAddr = la, rep.addr
+		}
+	}
+	return best
+}
 
 // Mutate applies one logical mutation (the op list a Session planner
 // produced) across the cluster. Ops are split by shard, sequenced, and
@@ -198,6 +276,16 @@ func (f *Filter) mutateShard(si int, ops []filter.RowOp) error {
 			// planned for went to a different writer's batch). Re-learn
 			// before the next attempt.
 			sh.seqOK = false
+			if firstErr == nil {
+				firstErr = err
+			}
+		case filter.IsWALFailed(err):
+			// A definitive refusal, not an unknown delivery: the replica's
+			// disk is sick and it rejected the batch BEFORE journaling, so
+			// nothing may have landed there. Keep trying the siblings (the
+			// error is Retryable for exactly that reason) — one healthy
+			// ack commits the batch; the sick replica catches up through
+			// SyncReplicas after its operator restarts it.
 			if firstErr == nil {
 				firstErr = err
 			}

@@ -264,8 +264,10 @@ func TestMutateShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tb.Rows) != len(mutateClasses) {
-		t.Fatalf("rows = %d, want one per class (%d)", len(tb.Rows), len(mutateClasses))
+	// One row per operation class plus the two concurrent-session
+	// group-commit arms (coalescing on/off).
+	if len(tb.Rows) != len(mutateClasses)+2 {
+		t.Fatalf("rows = %d, want one per class (%d) + 2 group-commit arms", len(tb.Rows), len(mutateClasses))
 	}
 	for i, class := range mutateClasses {
 		if cell(t, tb, i, 0) != class {
@@ -279,6 +281,23 @@ func TestMutateShape(t *testing.T) {
 			if cellF(t, tb, i, col) < 0 {
 				t.Errorf("row %d col %d negative", i, col)
 			}
+		}
+	}
+	// The group-commit arms run only the tcp+wal deployment: 8 sessions
+	// × Ops appends each, placeholder cells for the other columns.
+	for off, label := range []string{"(group commit)", "(fsync per append)"} {
+		i := len(mutateClasses) + off
+		if !strings.Contains(cell(t, tb, i, 0), label) {
+			t.Errorf("row %d is %q, want %q arm", i, cell(t, tb, i, 0), label)
+		}
+		if cell(t, tb, i, 1) != "16" {
+			t.Errorf("row %d ops = %q, want 16 (8 sessions × 2)", i, cell(t, tb, i, 1))
+		}
+		if cell(t, tb, i, 2) != "-" || cell(t, tb, i, 3) != "-" {
+			t.Errorf("row %d local/tcp cells = %q/%q, want placeholders", i, cell(t, tb, i, 2), cell(t, tb, i, 3))
+		}
+		if cellF(t, tb, i, 4) < 0 {
+			t.Errorf("row %d tcp+wal negative", i)
 		}
 	}
 }

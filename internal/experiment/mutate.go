@@ -3,14 +3,50 @@ package experiment
 import (
 	"bytes"
 	"fmt"
+	"io/fs"
 	"net"
 	"os"
+	"sync"
 	"time"
 
 	"encshare"
 	"encshare/internal/minisql"
+	"encshare/internal/server"
+	"encshare/internal/store"
+	"encshare/internal/wal"
 	"encshare/internal/xmark"
 )
+
+// slowSyncDelay is the simulated fdatasync latency of the group-commit
+// arms. Benchmark temp directories often sit on tmpfs or fast NVMe
+// where fsync returns in microseconds — faster than a session can plan
+// its next batch, so commits never overlap and there is nothing to
+// coalesce. Ten milliseconds is a spinning disk's sync cost — the
+// regime group commit was invented for; both arms pay the same delay,
+// so the comparison isolates the batching.
+const slowSyncDelay = 10 * time.Millisecond
+
+// slowFS wraps the real filesystem, adding slowSyncDelay to every
+// file Sync.
+type slowFS struct{ inner wal.FS }
+
+func (s slowFS) OpenFile(name string, flag int, perm fs.FileMode) (wal.File, error) {
+	f, err := s.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return slowFile{f}, nil
+}
+func (s slowFS) MkdirAll(dir string, perm fs.FileMode) error { return s.inner.MkdirAll(dir, perm) }
+func (s slowFS) Rename(oldpath, newpath string) error        { return s.inner.Rename(oldpath, newpath) }
+func (s slowFS) Remove(name string) error                    { return s.inner.Remove(name) }
+
+type slowFile struct{ wal.File }
+
+func (f slowFile) Sync() error {
+	time.Sleep(slowSyncDelay)
+	return f.File.Sync()
+}
 
 // MutateConfig sizes the mutation benchmark. The zero value picks the
 // small CI-friendly configuration.
@@ -156,6 +192,89 @@ func mutateArmTCP(cfg MutateConfig, walDir string) (map[string][]time.Duration, 
 	return mutateScript(s, cfg.Ops)
 }
 
+// mutateConcurrentArm hammers one WAL-backed TCP server with `sessions`
+// concurrent writer sessions, each appending `ops` leaves under the
+// root, and returns the wall-clock of the whole hammer plus the
+// server's durability counters. perAppendSync false is the default
+// group-commit configuration (concurrent batches coalesce under one
+// commit leader into fewer fdatasyncs); true forces one fdatasync per
+// journaled batch — the baseline the coalescing is measured against.
+func mutateConcurrentArm(cfg MutateConfig, sessions int, perAppendSync bool) (time.Duration, server.TenantWAL, error) {
+	var tw server.TenantWAL
+	keys, db, err := newMutateDB(cfg)
+	if err != nil {
+		return 0, tw, err
+	}
+	defer db.Close()
+	walDir, err := os.MkdirTemp("", "encshare-mutate-gc")
+	if err != nil {
+		return 0, tw, err
+	}
+	defer os.RemoveAll(walDir)
+
+	// The runtime is driven directly (not through Database.Serve) so the
+	// arm can flip WALPerAppendSync and read the append/fsync counters.
+	dsn := minisql.FreshDSN()
+	st, err := store.Open(dsn)
+	if err != nil {
+		return 0, tw, err
+	}
+	defer func() { st.Close(); minisql.Drop(dsn) }()
+	if err := st.Init(); err != nil {
+		return 0, tw, err
+	}
+	var dump bytes.Buffer
+	if err := db.DumpTo(&dump); err != nil {
+		return 0, tw, err
+	}
+	if err := st.Load(&dump); err != nil {
+		return 0, tw, err
+	}
+	params := keys.Params()
+	rt := server.New(server.Config{})
+	if err := rt.AttachStore(server.Tenant{P: params.P, E: params.E, WALDir: walDir, FS: slowFS{wal.OS}, WALPerAppendSync: perAppendSync}, st); err != nil {
+		return 0, tw, err
+	}
+	defer rt.Shutdown()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, tw, err
+	}
+	defer l.Close()
+	go rt.Serve(l)
+
+	ss := make([]*encshare.Session, sessions)
+	for i := range ss {
+		if ss[i], err = encshare.Dial(keys, l.Addr().String()); err != nil {
+			return 0, tw, err
+		}
+		defer ss[i].Close()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	start := time.Now()
+	for i, s := range ss {
+		wg.Add(1)
+		go func(i int, s *encshare.Session) {
+			defer wg.Done()
+			for j := 0; j < cfg.Ops; j++ {
+				if _, err := s.Insert(1, "item"); err != nil {
+					errs[i] = fmt.Errorf("session %d append %d: %w", i, j, err)
+					return
+				}
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return 0, tw, err
+		}
+	}
+	return elapsed, rt.WALStats()[""], nil
+}
+
 func meanMS(ds []time.Duration) string {
 	if len(ds) == 0 {
 		return "-"
@@ -194,13 +313,28 @@ func Mutate(cfg MutateConfig) (*Table, error) {
 		return nil, fmt.Errorf("mutate (tcp+wal): %w", err)
 	}
 
+	// Group-commit arms: the same append hammer from 8 concurrent
+	// sessions, once with commit coalescing (the default) and once with
+	// one fdatasync forced per journaled batch.
+	const gcSessions = 8
+	gcTime, gcStats, err := mutateConcurrentArm(cfg, gcSessions, false)
+	if err != nil {
+		return nil, fmt.Errorf("mutate (group commit): %w", err)
+	}
+	paTime, paStats, err := mutateConcurrentArm(cfg, gcSessions, true)
+	if err != nil {
+		return nil, fmt.Errorf("mutate (per-append fsync): %w", err)
+	}
+
 	t := &Table{
 		Title:  "Mutation cost by operation class and deployment (mean ms/op)",
 		Header: []string{"operation", "ops", "local", "tcp", "tcp+wal"},
 		Notes: []string{
 			fmt.Sprintf("XMark scale %.2f, seed %d; identical edit sequence per arm", cfg.Scale, cfg.Seed),
 			"append rebuilds only the root factor; the mid-document pair renumbers every row past the insertion point",
-			"tcp+wal journals each batch to wal.log before applying (no fsync batching)",
+			"tcp+wal journals each batch to wal.log and fdatasyncs it before acking; concurrent batches coalesce under one commit leader (group commit)",
+			fmt.Sprintf("group-commit arms simulate a %v fdatasync (fast tmp filesystems hide the batching); %d sessions, group commit: %d appends over %d fdatasyncs (%.1f appends/sync); per-append baseline: %d appends over %d fdatasyncs",
+				slowSyncDelay, gcSessions, gcStats.Appends, gcStats.Syncs, ratio(gcStats.Appends, gcStats.Syncs), paStats.Appends, paStats.Syncs),
 		},
 	}
 	for _, class := range mutateClasses {
@@ -209,5 +343,19 @@ func Mutate(cfg MutateConfig) (*Table, error) {
 			meanMS(local[class]), meanMS(tcp[class]), meanMS(wal[class]),
 		})
 	}
+	gcOps := gcSessions * cfg.Ops
+	t.Rows = append(t.Rows,
+		[]string{fmt.Sprintf("append ×%d sessions (group commit)", gcSessions),
+			fmt.Sprintf("%d", gcOps), "-", "-", meanMS([]time.Duration{gcTime / time.Duration(gcOps)})},
+		[]string{fmt.Sprintf("append ×%d sessions (fsync per append)", gcSessions),
+			fmt.Sprintf("%d", gcOps), "-", "-", meanMS([]time.Duration{paTime / time.Duration(gcOps)})},
+	)
 	return t, nil
+}
+
+func ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
 }

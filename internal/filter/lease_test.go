@@ -1,0 +1,205 @@
+package filter
+
+import (
+	"testing"
+	"time"
+
+	"encshare/internal/rmi"
+)
+
+// leaseClock is a hand-cranked lease clock for deterministic expiry.
+type leaseClock struct{ now int64 }
+
+func (c *leaseClock) advance(d time.Duration) { c.now += int64(d) }
+
+func newLeasedMutable(t *testing.T) (*Mutable, *leaseClock) {
+	t.Helper()
+	fx := newFixture(t, testXML)
+	m := NewMutable(fx.server, 0, nil, nil)
+	clk := &leaseClock{}
+	m.SetLeaseClock(func() int64 { return clk.now })
+	return m, clk
+}
+
+// TestLeaseAcquireExtendTransfer pins the fencing-ID semantics: stable
+// across one owner's extensions and release/re-acquire cycles, bumped
+// on every true transfer (voluntary or by expiry takeover).
+func TestLeaseAcquireExtendTransfer(t *testing.T) {
+	m, clk := newLeasedMutable(t)
+
+	ga, err := m.AcquireLease(LeaseRequest{Owner: "a", TTLMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga.ID == 0 {
+		t.Fatal("grant without a fencing ID")
+	}
+
+	// Same owner re-acquires: TTL extends, ID stays.
+	clk.advance(500 * time.Millisecond)
+	ga2, err := m.AcquireLease(LeaseRequest{Owner: "a", TTLMillis: 1000})
+	if err != nil {
+		t.Fatalf("same-owner extension: %v", err)
+	}
+	if ga2.ID != ga.ID {
+		t.Fatalf("extension bumped the lease ID: %d -> %d", ga.ID, ga2.ID)
+	}
+
+	// Another owner against a live lease: typed refusal with the
+	// remaining TTL, matchable over the wire too.
+	_, err = m.AcquireLease(LeaseRequest{Owner: "b", TTLMillis: 1000})
+	if !IsLeaseHeld(err) {
+		t.Fatalf("held lease got %v, want LeaseHeldError", err)
+	}
+	srv := rmi.NewServer()
+	RegisterServer(srv, m)
+	cli := rmi.Pipe(srv)
+	defer cli.Close()
+	if _, err := NewRemote(cli).AcquireLease(LeaseRequest{Owner: "b", TTLMillis: 1000}); !IsLeaseHeld(err) {
+		t.Fatalf("over the wire: got %v, want lease held", err)
+	}
+
+	// Voluntary release + re-acquire by the SAME owner keeps the ID (an
+	// uninterrupted writer's cached state stays valid across batches).
+	if err := m.ReleaseLease(ga2.ID); err != nil {
+		t.Fatal(err)
+	}
+	ga3, err := m.AcquireLease(LeaseRequest{Owner: "a", TTLMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ga3.ID != ga.ID {
+		t.Fatalf("release/re-acquire by the holder bumped the ID: %d -> %d", ga.ID, ga3.ID)
+	}
+
+	// Transfer to another owner after release: ID bumps.
+	if err := m.ReleaseLease(ga3.ID); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := m.AcquireLease(LeaseRequest{Owner: "b", TTLMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.ID == ga.ID {
+		t.Fatal("owner transfer kept the fencing ID")
+	}
+
+	// Expiry takeover: the live holder's TTL lapses, a third owner takes
+	// the lease, ID bumps again, and the expiration counter ticks.
+	clk.advance(2 * time.Second)
+	gc, err := m.AcquireLease(LeaseRequest{Owner: "c", TTLMillis: 1000})
+	if err != nil {
+		t.Fatalf("takeover of an expired lease: %v", err)
+	}
+	if gc.ID == gb.ID {
+		t.Fatal("expiry takeover kept the fencing ID")
+	}
+	st := m.LeaseStatsNow()
+	if st.Expirations == 0 {
+		t.Fatal("expiry takeover did not tick the expiration counter")
+	}
+	if st.Holder != "c" || !st.Held {
+		t.Fatalf("stats holder = %+v, want held by c", st)
+	}
+
+	// Releasing a stale (already-transferred) ID is a harmless no-op.
+	if err := m.ReleaseLease(gb.ID); err != nil {
+		t.Fatal(err)
+	}
+	if st := m.LeaseStatsNow(); st.Holder != "c" {
+		t.Fatalf("stale release evicted the live holder: %+v", st)
+	}
+}
+
+// TestMutateLeasedAssignsSeq pins server-side sequencing: Seq 0 batches
+// get lastSeq+1 under the apply lock, stale lease IDs are fenced with a
+// typed error BEFORE anything applies, and Release:true frees the lease
+// at apply.
+func TestMutateLeasedAssignsSeq(t *testing.T) {
+	m, clk := newLeasedMutable(t)
+	g, err := m.AcquireLease(LeaseRequest{Owner: "a", TTLMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.LastSeq != 0 {
+		t.Fatalf("grant LastSeq = %d on a fresh table", g.LastSeq)
+	}
+
+	noop := func() LeasedBatch {
+		return LeasedBatch{LeaseID: g.ID, B: MutationBatch{
+			Ver: MutationBatchVersion, Ops: []RowOp{{Kind: OpPatch, Pre: 2}},
+		}}
+	}
+
+	// Two Seq-0 batches land as sequences 1 and 2.
+	r1, err := m.MutateLeased(noop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LastSeq != 1 {
+		t.Fatalf("first leased batch LastSeq = %d, want 1", r1.LastSeq)
+	}
+	r2, err := m.MutateLeased(noop())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.LastSeq != 2 {
+		t.Fatalf("second leased batch LastSeq = %d, want 2", r2.LastSeq)
+	}
+
+	// Zero, unknown, and expired lease IDs are all fenced, nothing
+	// applied (the sequence must not advance).
+	lb := noop()
+	lb.LeaseID = 0
+	if _, err := m.MutateLeased(lb); !IsLeaseExpired(err) {
+		t.Fatalf("leaseless batch got %v, want LeaseExpiredError", err)
+	}
+	lb = noop()
+	lb.LeaseID = g.ID + 99
+	if _, err := m.MutateLeased(lb); !IsLeaseExpired(err) {
+		t.Fatalf("unknown lease ID got %v, want LeaseExpiredError", err)
+	}
+	clk.advance(5 * time.Second)
+	if _, err := m.MutateLeased(noop()); !IsLeaseExpired(err) {
+		t.Fatalf("expired lease got %v, want LeaseExpiredError", err)
+	}
+	if got := m.LastSeq(); got != 2 {
+		t.Fatalf("fenced batches advanced the sequence to %d", got)
+	}
+
+	// The expiry fence must survive the RMI boundary as matchable.
+	srv := rmi.NewServer()
+	RegisterServer(srv, m)
+	cli := rmi.Pipe(srv)
+	defer cli.Close()
+	if _, err := NewRemote(cli).MutateLeased(noop()); !IsLeaseExpired(err) {
+		t.Fatalf("over the wire: got %v, want lease expired", err)
+	}
+
+	// Release-at-apply: a batch with Release set frees the lease the
+	// moment it applies, so another owner acquires with no takeover.
+	g, err = m.AcquireLease(LeaseRequest{Owner: "a", TTLMillis: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb = noop()
+	lb.LeaseID = g.ID
+	lb.Release = true
+	if _, err := m.MutateLeased(lb); err != nil {
+		t.Fatal(err)
+	}
+	expBefore := m.LeaseStatsNow().Expirations
+	gb, err := m.AcquireLease(LeaseRequest{Owner: "b", TTLMillis: 1000})
+	if err != nil {
+		t.Fatalf("acquire after release-at-apply: %v", err)
+	}
+	if gb.ID == g.ID {
+		t.Fatal("owner transfer kept the fencing ID")
+	}
+	if gb.LastSeq != 3 {
+		t.Fatalf("grant LastSeq = %d, want 3", gb.LastSeq)
+	}
+	if exp := m.LeaseStatsNow().Expirations; exp != expBefore {
+		t.Fatal("clean handover counted as an expiration")
+	}
+}

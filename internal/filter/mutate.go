@@ -157,6 +157,39 @@ func IsSeqGap(err error) bool {
 	return errors.As(err, &re) && strings.Contains(re.Msg, seqGapPrefix)
 }
 
+// walFailedPrefix is the wire-stable start of a WALFailedError's
+// message.
+const walFailedPrefix = "filter: wal failed"
+
+// WALFailedError refuses a mutation because the tenant's write-ahead
+// log is in the sticky failed state: an fsync (or write) error occurred
+// and durability can no longer be promised, so the tenant serves reads
+// but refuses writes until an operator restarts it (restart-and-replay
+// recovers the synced prefix). The error is Retryable and names the
+// tenant — a clustered client fails the batch over to a healthy replica
+// and the repair loop redelivers once the sick one is restarted.
+type WALFailedError struct {
+	Tenant string
+	Err    error
+}
+
+func (e *WALFailedError) Error() string {
+	return fmt.Sprintf("%s: tenant %q is read-only until restart: %v", walFailedPrefix, e.Tenant, e.Err)
+}
+
+func (e *WALFailedError) Unwrap() error { return e.Err }
+
+// IsWALFailed reports whether err is a WAL-failure refusal, locally
+// typed or over the wire.
+func IsWALFailed(err error) bool {
+	var we *WALFailedError
+	if errors.As(err, &we) {
+		return true
+	}
+	var re *rmi.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, walFailedPrefix)
+}
+
 // batchMismatchPrefix is the wire-stable start of a BatchMismatchError's
 // message.
 const batchMismatchPrefix = "filter: batch mismatch"
@@ -203,7 +236,12 @@ type MutableAPI interface {
 // lock would deadlock against its own apply), and Epoch must answer
 // even when the caller's pin is stale — it is how sessions re-pin.
 func GateExempt(method string) bool {
-	return method == methodMutate || method == methodEpoch
+	switch method {
+	case methodMutate, methodEpoch,
+		methodAcquireLease, methodReleaseLease, methodMutateLeased:
+		return true
+	}
+	return false
 }
 
 // EncodeBatch serializes a batch to the byte string journaled in the
@@ -317,21 +355,47 @@ type Mutable struct {
 	// rows.
 	lastSeq atomic.Uint64
 
-	// journal persists an encoded batch before apply; nil = ephemeral
-	// (mutations allowed, nothing survives a restart).
-	journal func(payload []byte) error
+	// journal stages an encoded batch before apply; nil = ephemeral
+	// (mutations allowed, nothing survives a restart). The returned
+	// commit makes the staged bytes durable (fsync) — it runs OUTSIDE mu
+	// so the next writer can stage while this fsync is in flight, which
+	// is what lets the WAL's commit leader coalesce concurrent batches
+	// into one fdatasync. The batch is acked only after commit returns
+	// nil.
+	journal JournalFunc
 	// compact runs after a successful apply, under mu (which is why it
 	// is handed lastSeq instead of reading it back through a method that
 	// would re-lock); the server runtime uses it for size-triggered log
 	// folding. May be nil.
 	compact func(lastSeq uint64) error
 
+	// dead, once set, is the sticky WAL failure: every mutation —
+	// including idempotent re-acks — is refused with it until the
+	// process restarts. First cause wins.
+	dead atomic.Pointer[WALFailedError]
+	// tenant names this Mutable in WALFailedError messages so a
+	// clustered client knows which replica to report sick.
+	tenant atomic.Pointer[string]
+	// trips counts sticky-failure transitions (0 or 1 per process life,
+	// but a counter reads naturally in metrics).
+	trips atomic.Uint64
+
 	// hist holds the digests of the last digestWindow consumed batches
 	// (mu-guarded, ascending seq): the evidence that lets the
 	// idempotent-ack path tell a true redelivery from a different batch
 	// colliding with a consumed sequence.
 	hist []batchDigest
+
+	// ls is the writer-lease state (see lease.go); mutations through
+	// MutateLeased are sequenced by the server under it.
+	ls leaseState
 }
+
+// JournalFunc stages one encoded batch for durability. The write must
+// be staged (ordered, framed) before returning; the returned commit
+// blocks until the bytes are covered by a successful fsync. Either
+// error moves the owning Mutable into the sticky read-only state.
+type JournalFunc func(payload []byte) (commit func() error, err error)
 
 // digestWindow bounds how many consumed batches keep a digest. It must
 // exceed the cluster layer's redelivery backlog (64 batches) so every
@@ -352,11 +416,41 @@ var _ MutableAPI = (*Mutable)(nil)
 
 // NewMutable makes sf writable. journal and compact may be nil; seed
 // lastSeq with the sequence number recovered from the snapshot + log.
-func NewMutable(sf *ServerFilter, lastSeq uint64, journal func(payload []byte) error, compact func(lastSeq uint64) error) *Mutable {
+func NewMutable(sf *ServerFilter, lastSeq uint64, journal JournalFunc, compact func(lastSeq uint64) error) *Mutable {
 	m := &Mutable{ServerFilter: sf, journal: journal, compact: compact}
 	m.lastSeq.Store(lastSeq)
 	return m
 }
+
+// SetTenant names this Mutable in WALFailedError messages. Call before
+// serving; safe concurrently regardless.
+func (m *Mutable) SetTenant(name string) { m.tenant.Store(&name) }
+
+// failWAL moves the Mutable into the sticky read-only state (first
+// cause wins) and returns the refusal to surface.
+func (m *Mutable) failWAL(seq uint64, cause error) error {
+	name := "default"
+	if p := m.tenant.Load(); p != nil {
+		name = *p
+	}
+	we := &WALFailedError{Tenant: name, Err: fmt.Errorf("batch %d: %w", seq, cause)}
+	if m.dead.CompareAndSwap(nil, we) {
+		m.trips.Add(1)
+	}
+	return m.dead.Load()
+}
+
+// WALFailed returns the sticky WAL failure, or nil while the write
+// path is healthy. Reads are unaffected either way.
+func (m *Mutable) WALFailed() error {
+	if we := m.dead.Load(); we != nil {
+		return we
+	}
+	return nil
+}
+
+// WALTrips returns how many times the sticky failure tripped (0 or 1).
+func (m *Mutable) WALTrips() uint64 { return m.trips.Load() }
 
 // epochOf maps a log position to the reader-visible epoch: a fresh
 // table is epoch 1, every applied batch bumps it by one. Epoch 0 on the
@@ -416,7 +510,14 @@ func (m *Mutable) digestAt(seq uint64) (uint32, bool) {
 	return 0, false
 }
 
-// Mutate implements MutableAPI: sequence-check, journal, apply, bump.
+// Mutate implements MutableAPI: sequence-check, journal, apply, bump,
+// then fsync before acking. The fsync (the journal's commit) runs after
+// mu is released so the next writer stages its batch concurrently and
+// the WAL's commit leader coalesces the fdatasyncs — group commit. The
+// reply reaches the caller only after the covering fsync returns nil; a
+// commit failure trips the sticky read-only state and the batch is NOT
+// acked (it is applied in memory, but this process refuses all further
+// writes and a restart recovers exactly the durable prefix).
 func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 	if b.Ver == 0 || b.Ver > MutationBatchVersion {
 		return MutateReply{}, fmt.Errorf("filter: mutation batch version %d unsupported", b.Ver)
@@ -427,9 +528,36 @@ func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 	if err != nil {
 		return MutateReply{}, err
 	}
-	sum := crc32.ChecksumIEEE(payload)
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	reply, commit, err := m.mutateLocked(b, payload)
+	m.mu.Unlock()
+	// Run the commit even when apply reported an error: the sequence
+	// advanced, so the journaled bytes must become durable (or trip the
+	// sticky failure) either way.
+	if commit != nil {
+		if cerr := commit(); cerr != nil {
+			werr := m.failWAL(b.Seq, cerr)
+			if err == nil {
+				err = werr
+			}
+		}
+	}
+	if err != nil {
+		return MutateReply{}, err
+	}
+	return reply, nil
+}
+
+// mutateLocked is the under-mu body of Mutate: sequence-check, journal
+// staging, apply, bump, reply assembly. It returns the commit (fsync)
+// closure for the caller to run after releasing mu. Caller holds m.mu.
+func (m *Mutable) mutateLocked(b MutationBatch, payload []byte) (MutateReply, func() error, error) {
+	// A sick WAL refuses everything, idempotent re-acks included: an
+	// applied-but-unsynced batch must never be confirmed.
+	if we := m.dead.Load(); we != nil {
+		return MutateReply{}, nil, we
+	}
+	sum := crc32.ChecksumIEEE(payload)
 	last := m.lastSeq.Load()
 	ack := func() (MutateReply, error) {
 		rng, err := m.PreRange()
@@ -447,17 +575,24 @@ func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 		// concurrent writer raced this one); acking it would report a
 		// never-applied batch as committed.
 		if want, ok := m.digestAt(b.Seq); ok && want != sum {
-			return MutateReply{}, &BatchMismatchError{Seq: b.Seq}
+			return MutateReply{}, nil, &BatchMismatchError{Seq: b.Seq}
 		}
-		return ack()
+		reply, err := ack()
+		return reply, nil, err
 	}
 	if b.Seq != last+1 {
-		return MutateReply{}, &SeqGapError{Want: last + 1, Got: b.Seq}
+		return MutateReply{}, nil, &SeqGapError{Want: last + 1, Got: b.Seq}
 	}
+	var commit func() error
 	if m.journal != nil {
-		if err := m.journal(payload); err != nil {
-			return MutateReply{}, fmt.Errorf("filter: journal batch %d: %w", b.Seq, err)
+		c, err := m.journal(payload)
+		if err != nil {
+			// A staging failure is sticky too: the WAL refuses further
+			// writes anyway (a hole below later records would let an
+			// acked record vanish at recovery).
+			return MutateReply{}, nil, m.failWAL(b.Seq, err)
 		}
+		commit = c
 	}
 	m.gate.Lock()
 	applyErr := m.ServerFilter.ApplyOps(b.Ops)
@@ -470,14 +605,19 @@ func (m *Mutable) Mutate(b MutationBatch) (MutateReply, error) {
 	m.gate.Unlock()
 	m.recordDigest(b.Seq, sum)
 	if applyErr != nil {
-		return MutateReply{}, fmt.Errorf("filter: apply batch %d: %w", b.Seq, applyErr)
+		return MutateReply{}, commit, fmt.Errorf("filter: apply batch %d: %w", b.Seq, applyErr)
 	}
 	if m.compact != nil {
+		// Compaction may fold this very batch into the base snapshot and
+		// truncate the log; the pending commit then observes the WAL's
+		// truncation generation moved and reports durable — sound,
+		// because the snapshot is fsynced before the truncate.
 		if err := m.compact(b.Seq); err != nil {
-			return MutateReply{}, fmt.Errorf("filter: compact after batch %d: %w", b.Seq, err)
+			return MutateReply{}, commit, fmt.Errorf("filter: compact after batch %d: %w", b.Seq, err)
 		}
 	}
-	return ack()
+	reply, err := ack()
+	return reply, commit, err
 }
 
 // Replay applies a batch recovered from the log without re-journaling
@@ -515,6 +655,12 @@ func (m *Mutable) Replay(b MutationBatch) error {
 func (m *Mutable) Compact(fn func(lastSeq uint64) error) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// A sick WAL must not be compacted: the snapshot would capture
+	// in-memory state that was applied but never made durable, silently
+	// promoting lost writes at the next restart.
+	if we := m.dead.Load(); we != nil {
+		return we
+	}
 	return fn(m.lastSeq.Load())
 }
 

@@ -53,6 +53,11 @@ const (
 	// feature detection; Epoch is the read side of the fence.
 	methodMutate = "filter.Mutate"
 	methodEpoch  = "filter.Epoch"
+
+	// v7 additions: server-sequenced writer leases (see lease.go).
+	methodAcquireLease = "filter.AcquireLease"
+	methodReleaseLease = "filter.ReleaseLease"
+	methodMutateLeased = "filter.MutateLeased"
 )
 
 type descArgs struct{ Pre, Post int64 }
@@ -150,6 +155,17 @@ func RegisterServerAt(srv *rmi.Server, tenant string, api ServerAPI) {
 			return ma.Epoch()
 		})
 	}
+	if la, ok := api.(LeaseAPI); ok {
+		rmi.HandleFuncAt(srv, tenant, methodAcquireLease, func(req LeaseRequest) (LeaseGrant, error) {
+			return la.AcquireLease(req)
+		})
+		rmi.HandleFuncAt(srv, tenant, methodReleaseLease, func(id uint64) (struct{}, error) {
+			return struct{}{}, la.ReleaseLease(id)
+		})
+		rmi.HandleFuncAt(srv, tenant, methodMutateLeased, func(lb LeasedBatch) (MutateReply, error) {
+			return la.MutateLeased(lb)
+		})
+	}
 }
 
 // Remote is a ServerAPI + BatchAPI proxy over an rmi client connection.
@@ -166,6 +182,7 @@ type Remote struct {
 	noBatch     bool            // server answered "unknown method" to a batch call
 	noStats     bool            // server predates the ServerStats method
 	noAggregate bool            // server predates the aggregate fold frames
+	noLease     bool            // server predates the writer-lease frames
 	noPaged     map[string]bool // paged methods the server rejected, individually
 
 	// trc is nil until SetTracer attaches one; untraced proxies pay one
@@ -528,6 +545,53 @@ func (r *Remote) Epoch() (EpochInfo, error) {
 	}
 	return out, err
 }
+
+// AcquireLease implements LeaseAPI over the wire. Against a server that
+// predates the lease frames it reports ErrLeaseUnsupported (remembered)
+// and the session falls back to optimistic client-side sequencing.
+func (r *Remote) AcquireLease(req LeaseRequest) (LeaseGrant, error) {
+	if r.flagged(&r.noLease) {
+		return LeaseGrant{}, ErrLeaseUnsupported
+	}
+	var out LeaseGrant
+	err := r.call(methodAcquireLease, req, &out)
+	if err != nil {
+		if r.noteUnknown(err, methodAcquireLease, &r.noLease) {
+			return LeaseGrant{}, ErrLeaseUnsupported
+		}
+		return LeaseGrant{}, err
+	}
+	return out, nil
+}
+
+// ReleaseLease implements LeaseAPI over the wire. Releasing against a
+// pre-lease server is a no-op: nothing was held.
+func (r *Remote) ReleaseLease(id uint64) error {
+	if r.flagged(&r.noLease) {
+		return nil
+	}
+	var out struct{}
+	err := r.call(methodReleaseLease, id, &out)
+	if err != nil && r.noteUnknown(err, methodReleaseLease, &r.noLease) {
+		return nil
+	}
+	return err
+}
+
+// MutateLeased implements LeaseAPI over the wire.
+func (r *Remote) MutateLeased(lb LeasedBatch) (MutateReply, error) {
+	if r.flagged(&r.noLease) {
+		return MutateReply{}, ErrLeaseUnsupported
+	}
+	var out MutateReply
+	err := r.call(methodMutateLeased, lb, &out)
+	if err != nil && r.noteUnknown(err, methodMutateLeased, &r.noLease) {
+		return MutateReply{}, ErrLeaseUnsupported
+	}
+	return out, err
+}
+
+var _ LeaseAPI = (*Remote)(nil)
 
 // SetEpoch pins (or with 0 unpins) the epoch stamped on every
 // subsequent frame of this proxy's connection.

@@ -51,5 +51,11 @@ func Retryable(err error) bool {
 	// broke. Sibling replicas of a current shard answer the same frame
 	// fine, and the session layer re-pins and reruns the query when the
 	// whole replica set is ahead of the pin.
-	return IsStaleEpoch(err)
+	if IsStaleEpoch(err) {
+		return true
+	}
+	// A WAL-failure refusal names a replica whose disk is sick, not bad
+	// data: the batch was refused before journaling, so a healthy
+	// sibling replica accepts the identical bytes — fail over to it.
+	return IsWALFailed(err)
 }

@@ -1,0 +1,368 @@
+// Package iofault is a fault-injection filesystem implementing wal.FS.
+// It models the property that makes fsync errors dangerous: written
+// data lives in volatile dirty pages until a successful Sync flushes
+// it. Writes buffer in memory; Sync flushes the buffer to the inner
+// filesystem and fsyncs it; a crash — or a failed sync — DROPS the
+// buffer, so data that was written but never covered by a successful
+// sync genuinely disappears at "restart" (reopening through the inner
+// filesystem). That is exactly the kernel behavior that makes
+// retrying a failed fsync unsound, and it lets tests prove the
+// no-ack-before-covering-fsync invariant instead of assuming it.
+//
+// Faults trigger on global 1-based operation counters (per-op kind,
+// shared across all files of the FS) so a test can deterministically
+// say "the 3rd fsync fails" or "crash during the 7th write". After a
+// crash every operation fails with ErrCrashed until the test opens a
+// fresh FS over the same inner filesystem — the moral equivalent of a
+// process restart after power loss.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+
+	"encshare/internal/wal"
+)
+
+// Injected fault errors. Tests match with errors.Is.
+var (
+	ErrSyncFailed = errors.New("iofault: injected fsync failure")
+	ErrCrashed    = errors.New("iofault: filesystem crashed")
+	ErrNoSpace    = errors.New("iofault: injected ENOSPC")
+	ErrVanished   = errors.New("iofault: injected read failure (directory vanished)")
+	ErrRename     = errors.New("iofault: injected rename failure")
+)
+
+// Counts reports how many operations of each kind the FS has seen —
+// useful to calibrate "crash at write K" drills (run once cleanly,
+// read Counts, then sweep K over the range).
+type Counts struct {
+	Writes  int
+	Syncs   int
+	Reads   int
+	Renames int
+}
+
+// FS wraps an inner wal.FS (default: the real filesystem) with
+// deterministic fault injection. Safe for concurrent use; one mutex
+// serializes everything so operation counters are deterministic under
+// a deterministic caller.
+type FS struct {
+	inner wal.FS
+
+	mu      sync.Mutex
+	counts  Counts
+	crashed bool
+
+	failSyncFrom int // every sync >= this fails (sticky disk sickness)
+	failRenameAt int
+	shortWriteAt int
+	noSpaceAt    int
+	crashAtWrite int
+	vanishAtRead int // this read and every later op fail
+	vanished     bool
+}
+
+// New returns an FS over the real filesystem.
+func New() *FS { return NewWith(wal.OS) }
+
+// NewWith returns an FS over inner. Reusing the same inner across a
+// Crash models restart: data never covered by a successful Sync is
+// gone.
+func NewWith(inner wal.FS) *FS { return &FS{inner: inner} }
+
+// FailSyncFrom makes the n-th (1-based) and every subsequent Sync fail
+// with ErrSyncFailed, dropping the failing file's unflushed writes —
+// the page-cache behavior that makes fsync retry unsound.
+func (f *FS) FailSyncFrom(n int) { f.mu.Lock(); f.failSyncFrom = n; f.mu.Unlock() }
+
+// FailRenameAt makes the n-th (1-based) Rename fail with ErrRename.
+func (f *FS) FailRenameAt(n int) { f.mu.Lock(); f.failRenameAt = n; f.mu.Unlock() }
+
+// ShortWriteAt makes the n-th (1-based) write a short write: only the
+// first half of the buffer is accepted, and io.ErrShortWrite returned.
+func (f *FS) ShortWriteAt(n int) { f.mu.Lock(); f.shortWriteAt = n; f.mu.Unlock() }
+
+// NoSpaceAt makes the n-th (1-based) write fail with ErrNoSpace,
+// accepting none of the buffer.
+func (f *FS) NoSpaceAt(n int) { f.mu.Lock(); f.noSpaceAt = n; f.mu.Unlock() }
+
+// CrashAtWrite crashes the filesystem during the n-th (1-based) write:
+// half of that write's bytes reach the inner file as a torn tail, all
+// dirty (unsynced) data is dropped, and every subsequent operation
+// fails with ErrCrashed.
+func (f *FS) CrashAtWrite(n int) { f.mu.Lock(); f.crashAtWrite = n; f.mu.Unlock() }
+
+// VanishAtRead makes the n-th (1-based) read — and every operation
+// after it — fail with ErrVanished, modeling the log's directory
+// disappearing mid-recovery.
+func (f *FS) VanishAtRead(n int) { f.mu.Lock(); f.vanishAtRead = n; f.mu.Unlock() }
+
+// Crash drops all unsynced data immediately and fails every subsequent
+// operation with ErrCrashed.
+func (f *FS) Crash() { f.mu.Lock(); f.crashed = true; f.mu.Unlock() }
+
+// Counts returns the operation counters so far.
+func (f *FS) Counts() Counts { f.mu.Lock(); defer f.mu.Unlock(); return f.counts }
+
+func (f *FS) gate() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	if f.vanished {
+		return ErrVanished
+	}
+	return nil
+}
+
+// OpenFile implements wal.FS.
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (wal.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	file := &faultFile{fs: f, inner: inner, name: name}
+	if flag&os.O_APPEND != 0 {
+		inner.Close()
+		return nil, fmt.Errorf("iofault: O_APPEND unsupported (write offsets would be ambiguous)")
+	}
+	return file, nil
+}
+
+// MkdirAll implements wal.FS.
+func (f *FS) MkdirAll(dir string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(dir, perm)
+}
+
+// Rename implements wal.FS. The snapshot path relies on rename for
+// atomic replacement, so it is a distinct injection point.
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return err
+	}
+	f.counts.Renames++
+	if f.failRenameAt != 0 && f.counts.Renames == f.failRenameAt {
+		return ErrRename
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements wal.FS.
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.gate(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+// writeOp is one buffered (dirty, unsynced) write.
+type writeOp struct {
+	off  int64
+	data []byte
+}
+
+// faultFile wraps an inner file with the dirty-page buffer. All methods
+// take the owning FS's mutex — counter determinism over concurrency.
+type faultFile struct {
+	fs     *FS
+	inner  wal.File
+	name   string
+	dirty  []writeOp
+	pos    int64 // sequential read/write position (Seek/Read/Write)
+	closed bool
+}
+
+// flushLocked writes the dirty buffer through to the inner file.
+func (ff *faultFile) flushLocked() error {
+	for _, op := range ff.dirty {
+		if _, err := ff.inner.WriteAt(op.data, op.off); err != nil {
+			return err
+		}
+	}
+	ff.dirty = nil
+	return nil
+}
+
+// writeAtLocked is the shared write path for WriteAt and Write.
+func (ff *faultFile) writeAtLocked(p []byte, off int64) (int, error) {
+	f := ff.fs
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	if ff.closed {
+		return 0, fs.ErrClosed
+	}
+	f.counts.Writes++
+	n := f.counts.Writes
+	if f.crashAtWrite != 0 && n == f.crashAtWrite {
+		// Torn tail: half this write persists, dirty data is lost.
+		torn := append([]byte(nil), p[:len(p)/2]...)
+		ff.inner.WriteAt(torn, off)
+		f.crashed = true
+		return 0, ErrCrashed
+	}
+	if f.noSpaceAt != 0 && n == f.noSpaceAt {
+		return 0, ErrNoSpace
+	}
+	if f.shortWriteAt != 0 && n == f.shortWriteAt {
+		half := len(p) / 2
+		ff.dirty = append(ff.dirty, writeOp{off, append([]byte(nil), p[:half]...)})
+		return half, io.ErrShortWrite
+	}
+	ff.dirty = append(ff.dirty, writeOp{off, append([]byte(nil), p...)})
+	return len(p), nil
+}
+
+func (ff *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	return ff.writeAtLocked(p, off)
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	n, err := ff.writeAtLocked(p, ff.pos)
+	ff.pos += int64(n)
+	return n, err
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	f := ff.fs
+	if err := f.gate(); err != nil {
+		return 0, err
+	}
+	if ff.closed {
+		return 0, fs.ErrClosed
+	}
+	f.counts.Reads++
+	if f.vanishAtRead != 0 && f.counts.Reads >= f.vanishAtRead {
+		f.vanished = true
+		return 0, ErrVanished
+	}
+	// Reads see the synced image plus the dirty buffer (the OS view of
+	// a file with dirty pages).
+	n, err := ff.readThrough(p, ff.pos)
+	ff.pos += int64(n)
+	return n, err
+}
+
+// readThrough reads from the inner file overlaid with dirty writes.
+func (ff *faultFile) readThrough(p []byte, off int64) (int, error) {
+	if _, err := ff.inner.Seek(off, io.SeekStart); err != nil {
+		return 0, err
+	}
+	n, err := ff.inner.Read(p)
+	// Overlay dirty ranges; extend n if a dirty write reaches past the
+	// inner file's current end.
+	for _, op := range ff.dirty {
+		start := op.off - off
+		for i, b := range op.data {
+			idx := start + int64(i)
+			if idx < 0 || idx >= int64(len(p)) {
+				continue
+			}
+			p[idx] = b
+			if int(idx)+1 > n {
+				n = int(idx) + 1
+			}
+		}
+	}
+	if n > 0 && errors.Is(err, io.EOF) {
+		err = nil
+	}
+	return n, err
+}
+
+func (ff *faultFile) Seek(offset int64, whence int) (int64, error) {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.gate(); err != nil {
+		return 0, err
+	}
+	if ff.closed {
+		return 0, fs.ErrClosed
+	}
+	if whence != io.SeekStart {
+		return 0, fmt.Errorf("iofault: only SeekStart supported")
+	}
+	ff.pos = offset
+	return offset, nil
+}
+
+func (ff *faultFile) Truncate(size int64) error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if err := ff.fs.gate(); err != nil {
+		return err
+	}
+	if ff.closed {
+		return fs.ErrClosed
+	}
+	// Truncation discards dirty writes (they would land past or get cut
+	// by the new length in ways the caller can't rely on anyway — the
+	// wal only truncates as part of reset, which rewrites the header).
+	ff.dirty = nil
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultFile) Sync() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	f := ff.fs
+	if err := f.gate(); err != nil {
+		return err
+	}
+	if ff.closed {
+		return fs.ErrClosed
+	}
+	f.counts.Syncs++
+	if f.failSyncFrom != 0 && f.counts.Syncs >= f.failSyncFrom {
+		// The kernel reports the error once and drops the dirty pages.
+		ff.dirty = nil
+		return ErrSyncFailed
+	}
+	if err := ff.flushLocked(); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultFile) Close() error {
+	ff.fs.mu.Lock()
+	defer ff.fs.mu.Unlock()
+	if ff.closed {
+		return nil
+	}
+	ff.closed = true
+	// Close flushes buffered writes to the inner file (like the OS page
+	// cache surviving a clean close) but does NOT sync — only a crash
+	// or failed sync loses them.
+	if !ff.fs.crashed {
+		if err := ff.flushLocked(); err != nil {
+			ff.inner.Close()
+			return err
+		}
+	}
+	return ff.inner.Close()
+}

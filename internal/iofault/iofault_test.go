@@ -1,0 +1,203 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"encshare/internal/wal"
+)
+
+func open(t *testing.T, f *FS, path string) wal.File {
+	t.Helper()
+	file, err := f.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return file
+}
+
+func readAll(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	return b
+}
+
+// Written-but-unsynced data must not reach the inner file; synced data
+// must.
+func TestDirtyBufferSemantics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := New()
+	f := open(t, fs, path)
+	if _, err := f.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if got := readAll(t, path); len(got) != 0 {
+		t.Fatalf("unsynced write reached disk: %q", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	if got := readAll(t, path); string(got) != "hello" {
+		t.Fatalf("after sync: %q", got)
+	}
+}
+
+// A failed sync drops the dirty buffer: the unsynced write is gone even
+// if a later sync succeeds — the exact page-cache trap sticky failure
+// guards against.
+func TestFailedSyncDropsDirty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := New()
+	fs.FailSyncFrom(1)
+	f := open(t, fs, path)
+	if _, err := f.WriteAt([]byte("doomed"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("Sync = %v, want ErrSyncFailed", err)
+	}
+	fs.FailSyncFrom(0) // disk "recovers"
+	if err := f.Sync(); err != nil {
+		t.Fatalf("second Sync: %v", err)
+	}
+	if got := readAll(t, path); len(got) != 0 {
+		t.Fatalf("dropped write resurfaced: %q", got)
+	}
+}
+
+// Crash freezes the FS and loses dirty data; half the crashing write
+// persists as a torn tail.
+func TestCrashAtWriteTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := New()
+	f := open(t, fs, path)
+	if _, err := f.WriteAt([]byte("base"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	fs.CrashAtWrite(3) // 1:base 2:dirty 3:crash
+	if _, err := f.WriteAt([]byte("dirty"), 4); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("CRASHME!"), 9); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crashing WriteAt = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash Sync = %v, want ErrCrashed", err)
+	}
+	got := readAll(t, path)
+	// "base" synced; "dirty" dropped; first half of "CRASHME!" torn in
+	// at offset 9.
+	want := append([]byte("base"), 0, 0, 0, 0, 0)
+	want = append(want, []byte("CRAS")...)
+	if string(got) != string(want) {
+		t.Fatalf("post-crash image = %q, want %q", got, want)
+	}
+}
+
+func TestShortWriteAndNoSpace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := New()
+	fs.ShortWriteAt(1)
+	fs.NoSpaceAt(2)
+	f := open(t, fs, path)
+	n, err := f.WriteAt([]byte("abcdef"), 0)
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write = (%d, %v), want (3, ErrShortWrite)", n, err)
+	}
+	n, err = f.WriteAt([]byte("xyz"), 10)
+	if n != 0 || !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("enospc write = (%d, %v), want (0, ErrNoSpace)", n, err)
+	}
+}
+
+// Reads overlay the dirty buffer on the synced image — the live process
+// sees its own unsynced writes, like the OS page cache.
+func TestReadSeesDirty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	fs := New()
+	f := open(t, fs, path)
+	if _, err := f.WriteAt([]byte("unsynced"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		t.Fatalf("Seek: %v", err)
+	}
+	buf := make([]byte, 8)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if string(buf) != "unsynced" {
+		t.Fatalf("read-through = %q", buf)
+	}
+}
+
+func TestVanishAtRead(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New()
+	fs.VanishAtRead(1)
+	f := open(t, fs, path)
+	if _, err := f.Read(make([]byte, 4)); !errors.Is(err, ErrVanished) {
+		t.Fatalf("Read = %v, want ErrVanished", err)
+	}
+	// Vanish is sticky across all ops.
+	if _, err := fs.OpenFile(path, os.O_RDONLY, 0); !errors.Is(err, ErrVanished) {
+		t.Fatalf("OpenFile after vanish = %v, want ErrVanished", err)
+	}
+}
+
+func TestRenameInjection(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a"), filepath.Join(dir, "b")
+	if err := os.WriteFile(a, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := New()
+	fs.FailRenameAt(1)
+	if err := fs.Rename(a, b); !errors.Is(err, ErrRename) {
+		t.Fatalf("Rename = %v, want ErrRename", err)
+	}
+	if err := fs.Rename(a, b); err != nil {
+		t.Fatalf("second Rename: %v", err)
+	}
+	if _, err := os.Stat(b); err != nil {
+		t.Fatalf("rename target: %v", err)
+	}
+}
+
+// Close flushes dirty data (clean shutdown) but Crash before Close
+// loses it (power loss).
+func TestCloseFlushesUnlessCrashed(t *testing.T) {
+	dir := t.TempDir()
+	clean, crashed := filepath.Join(dir, "clean"), filepath.Join(dir, "crashed")
+
+	fs := New()
+	f := open(t, fs, clean)
+	f.WriteAt([]byte("kept"), 0)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got := readAll(t, clean); string(got) != "kept" {
+		t.Fatalf("clean close lost data: %q", got)
+	}
+
+	fs2 := New()
+	f2 := open(t, fs2, crashed)
+	f2.WriteAt([]byte("lost"), 0)
+	fs2.Crash()
+	f2.Close()
+	if got := readAll(t, crashed); len(got) != 0 {
+		t.Fatalf("crashed close kept data: %q", got)
+	}
+}

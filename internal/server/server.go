@@ -27,6 +27,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"encshare/internal/filter"
 	"encshare/internal/gf"
@@ -111,6 +113,20 @@ type Tenant struct {
 	// Runtime.Compact — the default, so operators (and the CI
 	// byte-diff of replica logs) control when log bytes disappear.
 	CompactBytes int64
+	// CompactIdle, when positive, folds the log into a snapshot once the
+	// tenant has gone this long without an applied batch — compaction
+	// during the lull instead of mid-write-burst. Zero keeps the
+	// PR 8 semantics: never fold on a timer, so replica logs stay
+	// byte-comparable until an operator (or CompactBytes) folds them.
+	CompactIdle time.Duration
+	// FS is the filesystem the tenant's WAL and snapshots go through.
+	// Nil means the real filesystem (wal.OS); tests install
+	// internal/iofault to inject disk faults deterministically.
+	FS wal.FS
+	// WALPerAppendSync disables group-commit coalescing: every journaled
+	// batch pays its own fdatasync. The pre-group-commit baseline, kept
+	// for the mutation experiment's comparison arm.
+	WALPerAppendSync bool
 }
 
 func (t Tenant) quota() int {
@@ -151,6 +167,12 @@ type tenantState struct {
 	mut   *filter.Mutable   // always set: the registered (writable) API
 	log   *wal.Log          // nil when cfg.WALDir is empty
 	cache *filter.PolyCache // nil when drawing on the shared cache
+
+	// lastWrite is the UnixNano stamp of the last applied batch, read by
+	// the idle-compaction loop (0 = nothing written this process life).
+	lastWrite atomic.Int64
+	// stop ends the idle-compaction goroutine; nil when none runs.
+	stop chan struct{}
 }
 
 // Runtime hosts a set of tenants behind one rmi endpoint.
@@ -165,6 +187,11 @@ type Runtime struct {
 	dflt    string
 	l       net.Listener
 	reg     *obs.Registry // created lazily by Metrics
+
+	// fsyncH is the encshare_wal_fsync_seconds histogram once Metrics
+	// has run; tenant logs observe through it via an atomic load so the
+	// serving path never touches a registry before one exists.
+	fsyncH atomic.Pointer[obs.Histogram]
 }
 
 // New creates an empty runtime and registers the runtime-level RMI
@@ -298,7 +325,7 @@ func (rt *Runtime) AttachFile(t Tenant) error {
 	var lastSeq uint64
 	fromSnap := false
 	if t.WALDir != "" {
-		seq, body, serr := wal.OpenSnapshot(filepath.Join(t.WALDir, walSnapName))
+		seq, body, serr := wal.OpenSnapshotAt(tenantFS(t), filepath.Join(t.WALDir, walSnapName))
 		switch {
 		case serr == nil:
 			err = st.Load(body)
@@ -368,28 +395,45 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 	}
 	ts.sf = filter.NewServerFilterWith(st, r, opts)
 	// The journal and compact hooks close over lg, which is assigned
-	// only after wal.Open returns: recovery replays through the Mutable
-	// (below) but never journals or compacts, so the hooks fire only
-	// once the log handle exists.
+	// only after wal.OpenAt returns: recovery replays through the
+	// Mutable (below) but never journals or compacts, so the hooks fire
+	// only once the log handle exists.
+	fsys := tenantFS(t)
 	var (
 		lg      *wal.Log
-		journal func([]byte) error
+		journal filter.JournalFunc
 		compact func(uint64) error
 	)
 	if t.WALDir != "" {
-		journal = func(p []byte) error { return lg.Append(p) }
-		if t.CompactBytes > 0 {
-			// Runs under the Mutable's writer lock after each applied
-			// batch: no batch can interleave with the dump.
-			compact = func(seq uint64) error {
-				if lg.Size() < t.CompactBytes {
-					return nil
-				}
-				return compactTenant(t.WALDir, lg, st, seq)
+		// Two-phase journal: staging orders the record in the log under
+		// the Mutable's writer lock; the returned commit fsyncs OUTSIDE
+		// it, so concurrent sessions' commits coalesce under the WAL's
+		// commit leader (group commit).
+		journal = func(p []byte) (func() error, error) {
+			end, gen, err := lg.Write(p)
+			if err != nil {
+				return nil, err
 			}
+			return func() error { return lg.SyncTo(end, gen) }, nil
+		}
+		// Runs under the Mutable's writer lock after each applied batch:
+		// no batch can interleave with the dump. It always stamps the
+		// write clock for the idle-compaction loop; the size trigger
+		// stays opt-in.
+		compact = func(seq uint64) error {
+			ts.lastWrite.Store(time.Now().UnixNano())
+			if t.CompactBytes > 0 && lg.Size() >= t.CompactBytes {
+				return compactTenant(fsys, t.WALDir, lg, st, seq)
+			}
+			return nil
 		}
 	}
 	ts.mut = filter.NewMutable(ts.sf, lastSeq, journal, compact)
+	if name := t.Name; name != "" {
+		ts.mut.SetTenant(name)
+	} else {
+		ts.mut.SetTenant("default")
+	}
 	if t.WALDir != "" {
 		// Recover the log tail: replay every journaled batch past the
 		// base state's sequence, streamed one record at a time so a
@@ -400,7 +444,7 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 		// A sequence gap is fatal: the log does not follow from the
 		// snapshot, so serving would diverge from the acked history.
 		rec := 0
-		l, lerr := wal.Open(filepath.Join(t.WALDir, walLogName), func(payload []byte) error {
+		l, lerr := wal.OpenAt(fsys, filepath.Join(t.WALDir, walLogName), func(payload []byte) error {
 			b, derr := filter.DecodeBatch(payload)
 			if derr != nil {
 				return fmt.Errorf("server: wal record %d: %w", rec, derr)
@@ -417,6 +461,16 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 		}
 		lg = l
 		ts.log = lg
+		lg.SetCoalesce(!t.WALPerAppendSync)
+		lg.SetSyncObserver(func(d time.Duration) {
+			if h := rt.fsyncH.Load(); h != nil {
+				h.Observe(d)
+			}
+		})
+		if t.CompactIdle > 0 {
+			ts.stop = make(chan struct{})
+			go rt.idleCompactLoop(t.Name, ts, t.CompactIdle)
+		}
 	}
 	rt.tenants[t.Name] = ts
 	needDefault := rt.dflt == "" && (rt.cfg.Default == "" || rt.cfg.Default == t.Name) && t.Name != ""
@@ -435,14 +489,52 @@ func (rt *Runtime) attach(t Tenant, st *store.Store, dsn string, owned bool, las
 	return nil
 }
 
+// tenantFS resolves the filesystem the tenant's durability files go
+// through (nil = the real one).
+func tenantFS(t Tenant) wal.FS {
+	if t.FS != nil {
+		return t.FS
+	}
+	return wal.OS
+}
+
 // compactTenant folds the tenant's current table into base.snap at
 // sequence lastSeq and truncates the log. Caller must hold the
-// tenant's writer lock (Mutable.Compact, or the compact hook).
-func compactTenant(dir string, lg *wal.Log, st *store.Store, lastSeq uint64) error {
-	if err := wal.WriteSnapshot(filepath.Join(dir, walSnapName), lastSeq, st.Dump); err != nil {
+// tenant's writer lock (Mutable.Compact, or the compact hook). The
+// snapshot is fsynced before the truncate, which is what lets an
+// in-flight group commit for a folded record report success.
+func compactTenant(fsys wal.FS, dir string, lg *wal.Log, st *store.Store, lastSeq uint64) error {
+	if err := wal.WriteSnapshotAt(fsys, filepath.Join(dir, walSnapName), lastSeq, st.Dump); err != nil {
 		return err
 	}
 	return lg.Truncate()
+}
+
+// idleCompactLoop folds the tenant's log once writes have been idle for
+// the window. Best-effort: a compaction error (including a sick WAL's
+// refusal) leaves the log alone and the loop keeps watching.
+func (rt *Runtime) idleCompactLoop(name string, ts *tenantState, window time.Duration) {
+	every := window / 4
+	if every < 10*time.Millisecond {
+		every = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ts.stop:
+			return
+		case <-tick.C:
+		}
+		lw := ts.lastWrite.Load()
+		if lw == 0 || ts.log.Records() == 0 || ts.mut.WALFailed() != nil {
+			continue
+		}
+		if time.Since(time.Unix(0, lw)) < window {
+			continue
+		}
+		rt.Compact(name)
+	}
 }
 
 // Compact folds the named tenant's log into its snapshot now,
@@ -459,7 +551,7 @@ func (rt *Runtime) Compact(name string) error {
 		return fmt.Errorf("server: tenant %q has no write-ahead log", name)
 	}
 	return ts.mut.Compact(func(lastSeq uint64) error {
-		return compactTenant(ts.cfg.WALDir, ts.log, ts.st, lastSeq)
+		return compactTenant(tenantFS(ts.cfg), ts.cfg.WALDir, ts.log, ts.st, lastSeq)
 	})
 }
 
@@ -481,6 +573,9 @@ func (rt *Runtime) Detach(name string) error {
 	rt.srv.DropTenant(regKey(name))
 	if wasDefault {
 		rt.setDefault("")
+	}
+	if ts.stop != nil {
+		close(ts.stop)
 	}
 	if ts.log != nil {
 		ts.log.Close()
@@ -565,6 +660,9 @@ func (rt *Runtime) Metrics() *obs.Registry {
 	reg.GaugeFunc("encshare_tenants", "attached tenants", nil, func() int64 {
 		return int64(len(rt.Tenants()))
 	})
+	// The fsync histogram registers eagerly (an idle server still
+	// exposes the family) and tenant logs observe into it via rt.fsyncH.
+	rt.fsyncH.Store(reg.Histogram("encshare_wal_fsync_seconds", "WAL fdatasync latency", nil))
 	reg.Collect(func(emit func(obs.Sample)) {
 		for name, st := range rt.Stats() {
 			if name == "" {
@@ -577,8 +675,60 @@ func (rt *Runtime) Metrics() *obs.Registry {
 			emit(obs.Sample{Name: "encshare_tenant_decodes_total", Help: "share-blob decodes", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.Decodes)})
 			emit(obs.Sample{Name: "encshare_tenant_aggregates_total", Help: "aggregate fold frames served", Type: obs.TypeCounter, Labels: lbl, Value: float64(st.Aggregates)})
 		}
+		// Durability + lease families, emitted for every tenant (zeros
+		// for WAL-less tenants) so scrapes always see the full set.
+		// Appends/fsyncs is the group-commit batch-size ratio.
+		for name, dw := range rt.WALStats() {
+			if name == "" {
+				name = "default"
+			}
+			lbl := obs.Labels{"tenant": name}
+			failed := float64(0)
+			if dw.Failed {
+				failed = 1
+			}
+			emit(obs.Sample{Name: "encshare_wal_appends_total", Help: "mutation batches journaled", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.Appends)})
+			emit(obs.Sample{Name: "encshare_wal_fsyncs_total", Help: "WAL fdatasyncs issued (group commit coalesces several appends into one)", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.Syncs)})
+			emit(obs.Sample{Name: "encshare_wal_fsync_failures_total", Help: "WAL fdatasyncs that failed", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.SyncFailures)})
+			emit(obs.Sample{Name: "encshare_wal_sticky_trips_total", Help: "transitions into the sticky WAL-failed (read-only) state", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.StickyTrips)})
+			emit(obs.Sample{Name: "encshare_wal_failed", Help: "1 while the tenant is read-only with a failed WAL", Type: obs.TypeGauge, Labels: lbl, Value: failed})
+			emit(obs.Sample{Name: "encshare_lease_acquires_total", Help: "writer-lease grants (extensions included)", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.LeaseAcquires)})
+			emit(obs.Sample{Name: "encshare_lease_expirations_total", Help: "expired writer leases fenced or taken over", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.LeaseExpirations)})
+		}
 	})
 	return reg
+}
+
+// TenantWAL is one tenant's durability and lease counters.
+type TenantWAL struct {
+	Appends          uint64 // batches journaled
+	Syncs            uint64 // fdatasyncs issued (< Appends under group commit)
+	SyncFailures     uint64
+	Failed           bool // sticky WAL failure: tenant is read-only
+	StickyTrips      uint64
+	LeaseAcquires    uint64
+	LeaseExpirations uint64
+}
+
+// WALStats returns every tenant's durability counters (zeros for
+// tenants without a WAL), keyed by tenant name.
+func (rt *Runtime) WALStats() map[string]TenantWAL {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]TenantWAL, len(rt.tenants))
+	for name, ts := range rt.tenants {
+		var tw TenantWAL
+		if ts.log != nil {
+			st := ts.log.Stats()
+			tw.Appends, tw.Syncs, tw.SyncFailures = st.Appends, st.Syncs, st.SyncFailures
+		}
+		tw.Failed = ts.mut.WALFailed() != nil
+		tw.StickyTrips = ts.mut.WALTrips()
+		lst := ts.mut.LeaseStatsNow()
+		tw.LeaseAcquires, tw.LeaseExpirations = lst.Acquires, lst.Expirations
+		out[name] = tw
+	}
+	return out
 }
 
 // Stats returns every tenant's server-side work counters, keyed by

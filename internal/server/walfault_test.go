@@ -1,0 +1,191 @@
+package server_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"encshare/internal/filter"
+	"encshare/internal/iofault"
+	"encshare/internal/rmi"
+	"encshare/internal/server"
+	"encshare/internal/wal"
+)
+
+// noopBatch consumes a sequence and journals a record without touching
+// the table (empty blob, no renumbering) — the smallest durable write.
+func noopBatch(seq uint64) filter.MutationBatch {
+	return filter.MutationBatch{
+		Ver: filter.MutationBatchVersion, Seq: seq,
+		Ops: []filter.RowOp{{Kind: filter.OpPatch, Pre: 2}},
+	}
+}
+
+// TestStickyFsyncDegradesTenantReadOnly drives the whole degradation
+// path through the runtime: an fsync failure on the tenant's WAL trips
+// the sticky failure, every later mutation is refused with a typed,
+// retryable error naming the tenant, reads keep serving, the log never
+// sees another fsync attempt, and a restart over the same directory
+// recovers exactly the durable prefix and accepts writes again.
+func TestStickyFsyncDegradesTenantReadOnly(t *testing.T) {
+	fx := newTenantFixture(t, alphaXML, "seed-sticky")
+	ffs := iofault.New()
+	dir := t.TempDir()
+
+	rt := server.New(server.Config{Default: "alpha"})
+	if err := rt.AttachStore(server.Tenant{Name: "alpha", P: 83, WALDir: dir, FS: ffs}, fx.st); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	cli := rmi.Pipe(rt.RMI())
+	cli.SetTenant("alpha")
+	t.Cleanup(func() { cli.Close() })
+	rem := filter.NewRemote(cli)
+
+	// Healthy batch first: it must be durable across the failure.
+	if _, err := rem.Mutate(noopBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every fsync from here on fails. The next mutation's covering sync
+	// trips the sticky failure; the ack must NOT happen.
+	ffs.FailSyncFrom(ffs.Counts().Syncs + 1)
+	_, err := rem.Mutate(noopBatch(2))
+	if !filter.IsWALFailed(err) {
+		t.Fatalf("mutation over a failing disk got %v, want WALFailedError", err)
+	}
+	if !filter.Retryable(err) {
+		t.Fatal("WALFailedError must be retryable (fail over to a healthy sibling)")
+	}
+	if !strings.Contains(err.Error(), `tenant "alpha"`) {
+		t.Fatalf("error does not name the sick tenant: %v", err)
+	}
+
+	// Sticky: later mutations are refused BEFORE journaling, and the
+	// log never retries an fsync (a disk that "recovers" must not be
+	// trusted — the failed write's pages may be gone from cache).
+	syncsAtTrip := ffs.Counts().Syncs
+	if _, err := rem.Mutate(noopBatch(3)); !filter.IsWALFailed(err) {
+		t.Fatalf("mutation after trip got %v, want WALFailedError", err)
+	}
+	ffs.FailSyncFrom(0) // disk "recovers" — too late
+	if _, err := rem.Mutate(noopBatch(3)); !filter.IsWALFailed(err) {
+		t.Fatalf("mutation after disk recovery got %v, want WALFailedError", err)
+	}
+	if got := ffs.Counts().Syncs; got != syncsAtTrip {
+		t.Fatalf("fsync retried after the sticky trip: %d -> %d syncs", syncsAtTrip, got)
+	}
+
+	// Compaction must also refuse: a snapshot would promote state whose
+	// durability was never confirmed.
+	if err := rt.Compact("alpha"); err == nil {
+		t.Fatal("Compact succeeded on a failed WAL")
+	}
+
+	// Reads keep flowing on the degraded tenant.
+	c, _ := runtimeClient(t, rt, "alpha", fx)
+	mustContain(t, c, "item", fx.m, true)
+
+	// The counters tell the story for the operator.
+	dw := rt.WALStats()["alpha"]
+	if !dw.Failed || dw.StickyTrips == 0 || dw.SyncFailures == 0 {
+		t.Fatalf("WALStats after trip = %+v, want failed with trips and sync failures", dw)
+	}
+
+	// Restart-and-replay is the only cure: detach, reattach over the
+	// same directory on a healthy disk. Only the durable prefix (batch
+	// 1) survives; the tenant accepts writes again at sequence 2.
+	if err := rt.Detach("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.AttachStore(server.Tenant{Name: "alpha", P: 83, WALDir: dir}, fx.st); err != nil {
+		t.Fatalf("reattach after restart: %v", err)
+	}
+	info, err := rem.Epoch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.LastSeq != 1 {
+		t.Fatalf("recovered LastSeq = %d, want 1 (batch 2 was never durable)", info.LastSeq)
+	}
+	if _, err := rem.Mutate(noopBatch(2)); err != nil {
+		t.Fatalf("mutation after restart: %v", err)
+	}
+	if dw := rt.WALStats()["alpha"]; dw.Failed {
+		t.Fatal("tenant still marked failed after restart")
+	}
+}
+
+// TestIdleCompactionFoldsLog pins the idle trigger: a tenant with
+// CompactIdle folds its log into base.snap once writes go quiet, the
+// log truncates to its header, sequences keep counting across the fold,
+// and a tenant with CompactIdle zero never compacts on its own.
+func TestIdleCompactionFoldsLog(t *testing.T) {
+	fx := newTenantFixture(t, alphaXML, "seed-idle")
+	dir := t.TempDir()
+	rt := server.New(server.Config{Default: "alpha"})
+	if err := rt.AttachStore(server.Tenant{Name: "alpha", P: 83, WALDir: dir, CompactIdle: 50 * time.Millisecond}, fx.st); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	cli := rmi.Pipe(rt.RMI())
+	cli.SetTenant("alpha")
+	t.Cleanup(func() { cli.Close() })
+	rem := filter.NewRemote(cli)
+
+	for seq := uint64(1); seq <= 3; seq++ {
+		if _, err := rem.Mutate(noopBatch(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The loop should fold once the 50ms window passes with no writes.
+	snapPath := filepath.Join(dir, "base.snap")
+	logPath := filepath.Join(dir, "wal.log")
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err := os.Stat(logPath)
+		if err == nil && st.Size() == 8 { // bare magic: log truncated
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("log never compacted (size %v, err %v)", st, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	seq, body, err := wal.OpenSnapshot(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot after idle compaction: %v", err)
+	}
+	body.Close()
+	if seq != 3 {
+		t.Fatalf("snapshot sequence = %d, want 3", seq)
+	}
+
+	// Writes continue past the fold, sequence unbroken.
+	if _, err := rem.Mutate(noopBatch(4)); err != nil {
+		t.Fatalf("mutation after idle compaction: %v", err)
+	}
+
+	// CompactIdle zero means never: the log keeps its records.
+	fx2 := newTenantFixture(t, betaXML, "seed-noidle")
+	dir2 := t.TempDir()
+	if err := rt.AttachStore(server.Tenant{Name: "beta", P: 83, WALDir: dir2}, fx2.st); err != nil {
+		t.Fatal(err)
+	}
+	cli2 := rmi.Pipe(rt.RMI())
+	cli2.SetTenant("beta")
+	t.Cleanup(func() { cli2.Close() })
+	if _, err := filter.NewRemote(cli2).Mutate(noopBatch(1)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if _, err := os.Stat(filepath.Join(dir2, "base.snap")); err == nil {
+		t.Fatal("tenant without CompactIdle compacted on its own")
+	}
+	if st, err := os.Stat(filepath.Join(dir2, "wal.log")); err != nil || st.Size() <= 8 {
+		t.Fatalf("beta's log lost its records: %v, %v", st, err)
+	}
+}

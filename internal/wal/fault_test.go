@@ -1,0 +1,333 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"encshare/internal/iofault"
+	"encshare/internal/wal"
+)
+
+func collectAt(t *testing.T, fsys wal.FS, path string) ([]string, *wal.Log) {
+	t.Helper()
+	var got []string
+	l, err := wal.OpenAt(fsys, path, func(p []byte) error {
+		got = append(got, string(p))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("OpenAt: %v", err)
+	}
+	return got, l
+}
+
+// Concurrent Appends must coalesce: every append acked, fewer fdatasyncs
+// than appends, and all records durable on reopen.
+func TestGroupCommitCoalesces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := wal.Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := l.Append([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Errorf("Append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if st.Appends != writers*per {
+		t.Fatalf("appends = %d, want %d", st.Appends, writers*per)
+	}
+	// With 8 concurrent writers the commit leader must absorb at least
+	// some followers. Keep the bound loose (scheduling-dependent) but
+	// meaningful.
+	if st.Syncs >= st.Appends {
+		t.Fatalf("no coalescing: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+	t.Logf("group commit: %d appends amortized over %d fdatasyncs", st.Appends, st.Syncs)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n := 0
+	l2, err := wal.Open(path, func(p []byte) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	if n != writers*per {
+		t.Fatalf("recovered %d records, want %d", n, writers*per)
+	}
+}
+
+// With coalescing off (the benchmark baseline) every append pays its
+// own fdatasync.
+func TestPerAppendSyncBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := wal.Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	l.SetCoalesce(false)
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte("r")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if st := l.Stats(); st.Syncs < 10 {
+		t.Fatalf("baseline coalesced: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+}
+
+// After a sync error the log is permanently failed: the append that hit
+// it is not acked, later appends refuse with ErrFailed, and no fsync is
+// ever retried. Restart-and-replay recovers the synced prefix.
+func TestStickySyncFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	fsys := iofault.New()
+	_, l := collectAt(t, fsys, path)
+	if err := l.Append([]byte("durable")); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	syncsBefore := l.Stats().Syncs
+	fsys.FailSyncFrom(int(fsys.Counts().Syncs) + 1)
+	if err := l.Append([]byte("lost")); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Append during sick disk = %v, want ErrFailed", err)
+	}
+	// Disk "recovers" — the log must NOT retry fsync or accept writes.
+	fsys.FailSyncFrom(0)
+	if err := l.Append([]byte("refused")); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Append after failure = %v, want ErrFailed", err)
+	}
+	if err := l.Failed(); !errors.Is(err, wal.ErrFailed) {
+		t.Fatalf("Failed() = %v", err)
+	}
+	st := l.Stats()
+	if st.Syncs != syncsBefore+1 {
+		t.Fatalf("fsync retried after failure: %d syncs, want %d", st.Syncs, syncsBefore+1)
+	}
+	if st.SyncFailures != 1 || !st.Failed {
+		t.Fatalf("stats = %+v", st)
+	}
+	l.Close()
+
+	// Restart: only the record covered by a successful sync survives.
+	got, l2 := collectAt(t, wal.OS, path)
+	defer l2.Close()
+	if len(got) != 1 || got[0] != "durable" {
+		t.Fatalf("recovered %q, want [durable]", got)
+	}
+}
+
+// Append after Close returns the typed ErrClosed, not a panic.
+func TestAppendAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := wal.Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("Append after close = %v, want ErrClosed", err)
+	}
+	if err := l.Truncate(); !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("Truncate after close = %v, want ErrClosed", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double Close: %v", err)
+	}
+}
+
+// A directory that disappears mid-recovery surfaces an error from Open
+// instead of silently recovering an empty log.
+func TestOpenVanishMidRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, err := wal.Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	l.Close()
+
+	fsys := iofault.New()
+	fsys.VanishAtRead(2)
+	if _, err := wal.OpenAt(fsys, path, nil); !errors.Is(err, iofault.ErrVanished) {
+		t.Fatalf("OpenAt = %v, want ErrVanished", err)
+	}
+}
+
+// Snapshot Sync or Rename failures must leave the previous snapshot
+// intact and readable.
+func TestSnapshotFaultLeavesOldIntact(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		inject func(f *iofault.FS)
+	}{
+		{"sync", func(f *iofault.FS) { f.FailSyncFrom(1) }},
+		{"rename", func(f *iofault.FS) { f.FailRenameAt(1) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "base.snap")
+			dump := func(body string) func(w io.Writer) error {
+				return func(w io.Writer) error { _, err := io.WriteString(w, body); return err }
+			}
+			if err := wal.WriteSnapshot(path, 7, dump("old-state")); err != nil {
+				t.Fatalf("seed snapshot: %v", err)
+			}
+			fsys := iofault.New()
+			tc.inject(fsys)
+			if err := wal.WriteSnapshotAt(fsys, path, 8, dump("new-state")); err == nil {
+				t.Fatalf("WriteSnapshotAt succeeded despite %s fault", tc.name)
+			}
+			seq, body, err := wal.OpenSnapshot(path)
+			if err != nil {
+				t.Fatalf("old snapshot unreadable: %v", err)
+			}
+			defer body.Close()
+			b, _ := io.ReadAll(body)
+			if seq != 7 || string(b) != "old-state" {
+				t.Fatalf("old snapshot corrupted: seq=%d body=%q", seq, b)
+			}
+			if _, err := os.Stat(path + ".tmp"); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("tmp file left behind: %v", err)
+			}
+		})
+	}
+}
+
+// Crash-loop drill at the wal level: crash at every write index a run
+// of appends produces, reopen, and require the recovered log to be a
+// clean prefix of the appended records — with everything acked before
+// the crash present. Reopened logs keep appending the missing suffix so
+// every iteration also proves the post-recovery log is writable.
+func TestCrashLoopRecoversPrefix(t *testing.T) {
+	const total = 12
+	rng := rand.New(rand.NewSource(9))
+	payload := func(i int) []byte {
+		b := make([]byte, 20+rng.Intn(50))
+		for j := range b {
+			b[j] = byte(i)
+		}
+		return b
+	}
+	// Pre-generate deterministic payloads shared by all crash points.
+	var payloads [][]byte
+	for i := 0; i < total; i++ {
+		payloads = append(payloads, payload(i))
+	}
+
+	for crashAt := 1; crashAt <= total+2; crashAt++ {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "wal.log")
+		fsys := iofault.New()
+		fsys.CrashAtWrite(crashAt)
+		acked := 0
+		l, err := wal.OpenAt(fsys, path, nil)
+		if err != nil {
+			// The crash landed on the header write during open — no
+			// record was ever acked, recovery from the empty/torn file
+			// must still work.
+			if !errors.Is(err, iofault.ErrCrashed) && !errors.Is(err, wal.ErrFailed) {
+				t.Fatalf("crashAt=%d: open: %v", crashAt, err)
+			}
+		} else {
+			for i := 0; i < total; i++ {
+				if err := l.Append(payloads[i]); err != nil {
+					break
+				}
+				acked++
+			}
+			l.Close()
+		}
+
+		// "Restart": reopen through the real filesystem.
+		var got [][]byte
+		l2, err := wal.Open(path, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("crashAt=%d: reopen: %v", crashAt, err)
+		}
+		if len(got) < acked {
+			t.Fatalf("crashAt=%d: acked %d but recovered %d — ack before covering fsync", crashAt, acked, len(got))
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, payloads[i]) {
+				t.Fatalf("crashAt=%d: record %d corrupted", crashAt, i)
+			}
+		}
+		// Recovered log is live: append the missing suffix and confirm.
+		for i := len(got); i < total; i++ {
+			if err := l2.Append(payloads[i]); err != nil {
+				t.Fatalf("crashAt=%d: post-recovery append: %v", crashAt, err)
+			}
+		}
+		l2.Close()
+		n := 0
+		l3, err := wal.Open(path, func(p []byte) error {
+			if !bytes.Equal(p, payloads[n]) {
+				t.Fatalf("crashAt=%d: final record %d corrupted", crashAt, n)
+			}
+			n++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("crashAt=%d: final reopen: %v", crashAt, err)
+		}
+		l3.Close()
+		if n != total {
+			t.Fatalf("crashAt=%d: final log has %d records, want %d", crashAt, n, total)
+		}
+	}
+}
+
+// Compaction racing an in-flight group commit: a SyncTo whose records
+// were folded into the snapshot (generation moved) must report success,
+// because the snapshot fsync covers them.
+func TestSyncToAcrossTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := wal.Open(path, nil)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer l.Close()
+	end, gen, err := l.Write([]byte("folded"))
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	if err := l.SyncTo(end, gen); err != nil {
+		t.Fatalf("SyncTo after truncate = %v, want nil (snapshot covers it)", err)
+	}
+	if l.Records() != 0 {
+		t.Fatalf("records = %d after truncate", l.Records())
+	}
+}

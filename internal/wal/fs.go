@@ -1,0 +1,41 @@
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam the log and snapshot code write through.
+// The default (OS) is a thin passthrough to the os package; tests swap
+// in internal/iofault's implementation to inject fsync errors, torn
+// writes, ENOSPC, and crash points deterministically.
+type FS interface {
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	MkdirAll(dir string, perm fs.FileMode) error
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// File is the subset of *os.File the log and snapshot code use.
+type File interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	Seek(offset int64, whence int) (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// OS is the real filesystem — the FS every production path uses.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+func (osFS) Rename(oldpath, newpath string) error        { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                    { return os.Remove(name) }

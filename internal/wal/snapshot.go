@@ -11,14 +11,21 @@ import (
 // records have been folded into.
 var snapMagic = []byte("ENCSNAP1")
 
-// WriteSnapshot atomically writes a base snapshot at path: the magic,
+// WriteSnapshot atomically writes a base snapshot at path on the real
+// filesystem. See WriteSnapshotAt.
+func WriteSnapshot(path string, lastSeq uint64, dump func(w io.Writer) error) error {
+	return WriteSnapshotAt(OS, path, lastSeq, dump)
+}
+
+// WriteSnapshotAt atomically writes a base snapshot at path: the magic,
 // the sequence number of the last batch folded in, then the body
 // produced by dump (a store dump). The write goes to path+".tmp",
-// fsyncs, and renames over path, so a crash at any point leaves either
-// the old snapshot or the new one — never a torn file.
-func WriteSnapshot(path string, lastSeq uint64, dump func(w io.Writer) error) error {
+// fsyncs, and renames over path, so a crash — or an injected fault — at
+// any point leaves either the old snapshot or the new one, never a torn
+// file.
+func WriteSnapshotAt(fsys FS, path string, lastSeq uint64, dump func(w io.Writer) error) error {
 	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := fsys.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("wal: snapshot: %w", err)
 	}
@@ -37,21 +44,28 @@ func WriteSnapshot(path string, lastSeq uint64, dump func(w io.Writer) error) er
 		err = cerr
 	}
 	if err != nil {
-		os.Remove(tmp)
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot %s: %w", path, err)
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return fmt.Errorf("wal: snapshot rename: %w", err)
 	}
 	return nil
 }
 
-// OpenSnapshot opens the snapshot at path and returns the folded
-// sequence number plus a reader over the store dump body. A missing
-// file returns os.ErrNotExist (attach falls back to the seed file).
+// OpenSnapshot opens the snapshot at path on the real filesystem. See
+// OpenSnapshotAt.
 func OpenSnapshot(path string) (lastSeq uint64, body io.ReadCloser, err error) {
-	f, err := os.Open(path)
+	return OpenSnapshotAt(OS, path)
+}
+
+// OpenSnapshotAt opens the snapshot at path and returns the folded
+// sequence number plus a reader over the store dump body. A missing
+// file returns an error satisfying errors.Is(err, os.ErrNotExist)
+// (attach falls back to the seed file).
+func OpenSnapshotAt(fsys FS, path string) (lastSeq uint64, body io.ReadCloser, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -367,14 +367,28 @@ func recoverTag(r *ring.Ring, f, c ring.Poly) (gf.Elem, error) {
 // A stale plan is never resent — its reads predate the state it would
 // apply to — so both failure modes re-run plan() against the current
 // state. Caller holds s.mutMu.
+//
+// Networked sessions first try to take the server's writer lease for
+// the attempt (acquired BEFORE planning, so the plan's reads are
+// fenced): under a lease the server assigns the batch sequence, so two
+// concurrent writer sessions interleave without burning retries on
+// sequence-gap collisions. Everything degrades — a server without the
+// lease frames, or a lease held past the wait deadline, falls back to
+// the optimistic path, whose gap/digest checks remain the correctness
+// backstop either way.
 func (s *Session) mutateWithRetry(plan func() ([]filter.RowOp, error)) error {
 	const attempts = 3
 	var err error
 	for i := 0; i < attempts; i++ {
+		lease, release := s.acquireWriteLease()
 		var ops []filter.RowOp
 		if ops, err = plan(); err == nil {
-			err = s.applyOps(ops)
+			if s.testHookAfterPlan != nil {
+				s.testHookAfterPlan()
+			}
+			err = s.applyOps(ops, lease)
 		}
+		release()
 		switch {
 		case err == nil:
 			return nil
@@ -398,6 +412,12 @@ func (s *Session) mutateWithRetry(plan func() ([]filter.RowOp, error)) error {
 			// gap: the cached sequence fell behind; a mismatch: this batch
 			// collided with a sequence the other writer consumed). applyOps
 			// already invalidated the stale sequence; replan.
+		case filter.IsLeaseExpired(err):
+			// The lease lapsed (or transferred) between planning and
+			// apply: another writer may have rewritten the table this plan
+			// was read from. The batch was fenced before applying; drop
+			// the cached sequence and replan under a fresh grant.
+			s.mutSeqOK = false
 		default:
 			return err
 		}
@@ -405,13 +425,100 @@ func (s *Session) mutateWithRetry(plan func() ([]filter.RowOp, error)) error {
 	return err
 }
 
+// acquireWriteLease tries to take the server's writer lease for one
+// mutation attempt. It returns the grant (nil when running optimistic)
+// and a release func the attempt calls when done — releasing after the
+// apply is a no-op for leased single-server batches (they release
+// server-side at apply, overlapping the next writer with this batch's
+// fsync) but hands the cluster lease back promptly. Degrades to
+// (nil, no-op) — never an error — when the servers predate the lease
+// frames, the lease stays held past the wait deadline, or the session
+// is local. Caller holds s.mutMu.
+func (s *Session) acquireWriteLease() (*filter.LeaseGrant, func()) {
+	noop := func() {}
+	if s.noLease || (s.remote == nil && s.shardF == nil) {
+		return nil, noop
+	}
+	ttl := s.leaseTTL
+	if ttl <= 0 {
+		ttl = filter.DefaultLeaseTTL
+	}
+	wait := s.leaseWait
+	if wait <= 0 {
+		wait = 2 * ttl
+	}
+	// Held-lease polls are cheap — the server answers from a small
+	// mutex-guarded struct without touching the apply lock — so poll
+	// fast: a writer parked in a long backoff is a writer NOT staging
+	// its batch into the group commit currently in flight.
+	backoff := 2 * time.Millisecond
+	if q := ttl / 4; q < backoff {
+		backoff = q
+	}
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		var grant filter.LeaseGrant
+		var err error
+		if s.shardF != nil {
+			grant, err = s.shardF.AcquireWriterLease(s.writerID, int64(ttl/time.Millisecond))
+		} else {
+			grant, err = s.remote.AcquireLease(filter.LeaseRequest{Owner: s.writerID, TTLMillis: int64(ttl / time.Millisecond)})
+		}
+		switch {
+		case err == nil:
+			if s.remote != nil {
+				// The grant carries the server's write position: re-pin
+				// without an extra Epoch round-trip.
+				s.mutSeq = grant.LastSeq
+				s.mutSeqOK = true
+				s.rmiCli.SetEpoch(grant.Epoch)
+			}
+			g := grant
+			return &g, func() {
+				if s.shardF != nil {
+					_ = s.shardF.ReleaseWriterLease(g.ID)
+				} else {
+					_ = s.remote.ReleaseLease(g.ID)
+				}
+			}
+		case errors.Is(err, filter.ErrLeaseUnsupported):
+			s.noLease = true
+			return nil, noop
+		case filter.IsLeaseHeld(err):
+			if time.Now().After(deadline) {
+				// Another writer is hogging the lease; proceed optimistic
+				// — the sequence/digest checks still protect the batch.
+				return nil, noop
+			}
+			time.Sleep(backoff)
+		default:
+			// Transport or server trouble; the optimistic path surfaces
+			// it with better context.
+			return nil, noop
+		}
+	}
+}
+
 // applyOps commits one planned mutation through whichever write path
 // the session has. Caller holds s.mutMu.
-func (s *Session) applyOps(ops []filter.RowOp) error {
+//
+// Cluster batches always carry explicit client-assigned sequences even
+// under a lease — the redelivery/backlog machinery needs a sequence
+// known before delivery is attempted, and a server-assigned one is only
+// safe when there is exactly one authoritative server. The cluster
+// lease is contention avoidance (writers take turns planning); the
+// per-shard sequence and digest checks stay the backstop.
+func (s *Session) applyOps(ops []filter.RowOp, lease *filter.LeaseGrant) error {
 	switch {
 	case s.shardF != nil:
 		return s.shardF.Mutate(ops)
 	case s.remote != nil:
+		if lease != nil {
+			return s.remoteMutateLeased(ops, lease)
+		}
 		return s.remoteMutate(ops)
 	case s.mut != nil:
 		b := filter.MutationBatch{Ver: filter.MutationBatchVersion, Seq: s.mut.LastSeq() + 1, Ops: ops}
@@ -419,6 +526,36 @@ func (s *Session) applyOps(ops []filter.RowOp) error {
 		return err
 	}
 	return ErrReadOnly
+}
+
+// remoteMutateLeased sends one batch under the writer lease with Seq 0:
+// the server assigns lastSeq+1 under the same lock that fences the
+// lease, so concurrent leased writers can never collide on a sequence.
+// Release is set — the server hands the lease back the moment the batch
+// is applied (before its fsync completes), so the next writer plans and
+// stages while this batch's fdatasync is in flight and group commit
+// coalesces both.
+func (s *Session) remoteMutateLeased(ops []filter.RowOp, lease *filter.LeaseGrant) error {
+	lb := filter.LeasedBatch{
+		LeaseID: lease.ID,
+		Release: true,
+		B:       filter.MutationBatch{Ver: filter.MutationBatchVersion, Ops: ops},
+	}
+	reply, err := s.remote.MutateLeased(lb)
+	if err != nil {
+		s.mutSeqOK = false // same delivery-unknown reasoning as remoteMutate
+		if errors.Is(err, filter.ErrLeaseUnsupported) {
+			// Raced a server downgrade; the plan is still fresh — send it
+			// through the optimistic path instead of wasting the attempt.
+			s.noLease = true
+			return s.remoteMutate(ops)
+		}
+		return err
+	}
+	s.mutSeq = reply.LastSeq
+	s.mutSeqOK = true
+	s.rmiCli.SetEpoch(reply.Epoch)
+	return nil
 }
 
 // remoteMutate sequences and sends one batch to a single-server

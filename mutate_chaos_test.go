@@ -52,7 +52,13 @@ func serveMutableReplica(t *testing.T, keys *Keys, st *store.Store, walPath stri
 	t.Helper()
 	var lg *wal.Log
 	mut := filter.NewMutable(filter.NewServerFilter(st, keys.ring, 1024), 0,
-		func(p []byte) error { return lg.Append(p) }, nil)
+		func(p []byte) (func() error, error) {
+			end, gen, err := lg.Write(p)
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return lg.SyncTo(end, gen) }, nil
+		}, nil)
 	lg, err := wal.Open(walPath, func(payload []byte) error {
 		b, err := filter.DecodeBatch(payload)
 		if err != nil {

@@ -316,9 +316,14 @@ func TestWriterRecoversAfterConsumedSeq(t *testing.T) {
 	rem := filter.NewRemote(cli)
 	// An unpinned session (no dial-time epoch pin): it cannot rely on
 	// stale-epoch fencing to notice the server moved on without it.
+	// Lease off: this test pins the optimistic client-sequenced path —
+	// the fallback every session keeps — where a cached sequence CAN go
+	// stale. (Leased batches carry Seq 0 and are sequenced server-side,
+	// so a consumed sequence cannot be reused there by construction.)
 	s := newSession(keys, rem, cli)
 	s.rmiCli = cli
 	s.remote = rem
+	s.noLease = true
 	defer s.Close()
 
 	// First insert: the server applies it, consumes sequence 1, and

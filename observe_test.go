@@ -204,7 +204,13 @@ func TestMetricsExposition(t *testing.T) {
 			t.Fatal(err)
 		}
 		rt := server.New(server.Config{Default: "auction"})
-		if err := rt.AttachStore(server.Tenant{Name: "auction", P: 83, CacheEntries: 4096}, shardDB.st); err != nil {
+		// The first shard journals to a WAL so the scrape exercises the
+		// durability and lease families with real (moving) values.
+		tn := server.Tenant{Name: "auction", P: 83, CacheEntries: 4096}
+		if i == 0 {
+			tn.WALDir = t.TempDir()
+		}
+		if err := rt.AttachStore(tn, shardDB.st); err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(rt.Shutdown)
@@ -249,6 +255,12 @@ func TestMetricsExposition(t *testing.T) {
 	if _, err := session.Query("//item"); err != nil {
 		t.Fatal(err)
 	}
+	// One mutation: journals a batch on shard 0 (appends, an fsync, the
+	// latency histogram) and takes the writer lease (acquire counters).
+	doc2, _ := xmldoc.ParseString(xml)
+	if _, err := session.Insert(1, doc2.Names()[0]); err != nil {
+		t.Fatalf("insert for durability metrics: %v", err)
+	}
 	before := scrapeCalls()
 	if before == 0 {
 		t.Fatal("rmi_server_calls_total still 0 after a query")
@@ -277,10 +289,30 @@ func TestMetricsExposition(t *testing.T) {
 		"cluster_failovers_total 0",
 		"cluster_hedges_total 0",
 		`cluster_replicas{shard="0"} 1`,
+		"# TYPE encshare_wal_fsync_seconds histogram",
+		`encshare_wal_fsync_seconds_bucket{le="+Inf"}`,
+		"encshare_wal_fsync_seconds_count",
+		`encshare_wal_appends_total{tenant="auction"}`,
+		`encshare_wal_fsyncs_total{tenant="auction"}`,
+		`encshare_wal_fsync_failures_total{tenant="auction"} 0`,
+		`encshare_wal_sticky_trips_total{tenant="auction"} 0`,
+		`encshare_wal_failed{tenant="auction"} 0`,
+		`encshare_lease_acquires_total{tenant="auction"}`,
+		`encshare_lease_expirations_total{tenant="auction"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
 		}
+	}
+
+	// The insert really moved the durability counters on shard 0.
+	walLine := regexp.MustCompile(`encshare_wal_appends_total\{tenant="auction"\} ([0-9]+)`).FindStringSubmatch(body)
+	if walLine == nil || walLine[1] == "0" {
+		t.Errorf("encshare_wal_appends_total did not move after the insert (%v)", walLine)
+	}
+	leaseLine := regexp.MustCompile(`encshare_lease_acquires_total\{tenant="auction"\} ([0-9]+)`).FindStringSubmatch(body)
+	if leaseLine == nil || leaseLine[1] == "0" {
+		t.Errorf("encshare_lease_acquires_total did not move after the insert (%v)", leaseLine)
 	}
 	for _, line := range strings.Split(body, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
