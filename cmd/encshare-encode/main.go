@@ -60,6 +60,7 @@ func main() {
 		shards   = flag.Int("shards", 1, "split the table into N pre-range shard files plus a manifest")
 		replicas = flag.Int("replicas", 1, "with -shards: emit M byte-identical copies of every shard file")
 		tenant   = flag.String("tenant", "", "write the manifest in the v2 multi-tenant format under this tenant name")
+		engine   = flag.String("engine", "", "storage engine and dump format to emit: v2 (paged, default) or v1 (minisql gob)")
 	)
 	flag.Parse()
 	if *xmlPath == "" {
@@ -97,7 +98,7 @@ func main() {
 		fatal(err)
 	}
 
-	db, err := encshare.CreateDatabase(minisql.FreshDSN())
+	db, err := encshare.CreateDatabaseWith(minisql.FreshDSN(), *engine)
 	if err != nil {
 		fatal(err)
 	}

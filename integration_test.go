@@ -129,10 +129,21 @@ func TestIntegrationCorruptedShare(t *testing.T) {
 	}
 
 	// Corrupt the root's share to an out-of-range value (all 0xFF exceeds
-	// q^n - 1 for F_83).
-	raw := minisql.Get(dsn)
-	bad := bytes.Repeat([]byte{0xFF}, keys.PolyBytes())
-	if _, err := raw.Exec("UPDATE nodes SET poly = ? WHERE pre = 1", bad); err != nil {
+	// q^n - 1 for F_83), going through the store API so the test covers
+	// whichever engine backs the table.
+	st, err := store.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Attach(); err != nil {
+		t.Fatal(err)
+	}
+	root, err := st.Node(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.Poly = bytes.Repeat([]byte{0xFF}, keys.PolyBytes())
+	if err := st.UpdateNode(1, root); err != nil {
 		t.Fatal(err)
 	}
 	session := OpenLocal(keys, db)

@@ -387,12 +387,12 @@ func (s *ServerFilter) DescendantsBatch(spans []Span) ([][]NodeMeta, error) {
 	out := make([][]NodeMeta, len(spans))
 	errs := make([]error, len(spans))
 	parallelFor(len(spans), s.poolSize(), func(i int) {
-		rows, err := s.st.DescendantsMeta(spans[i].Pre, spans[i].Post)
+		metas, err := descendantsMeta(s.st, spans[i].Pre, spans[i].Post)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		out[i] = toMeta(rows)
+		out[i] = metas
 	})
 	for _, err := range errs {
 		if err != nil {

@@ -204,6 +204,21 @@ func toMeta(rows []store.NodeRow) []NodeMeta {
 	return out
 }
 
+// descendantsMeta builds the reply frame for a subtree expansion through
+// the store's streaming visitor: the numbering is appended straight into
+// the []NodeMeta, skipping the intermediate []NodeRow the materializing
+// path allocates per row.
+func descendantsMeta(st *store.Store, pre, post int64) ([]NodeMeta, error) {
+	var out []NodeMeta
+	err := st.VisitDescendantsMeta(pre, post, func(pre, post, parent int64) {
+		out = append(out, NodeMeta{Pre: pre, Post: post, Parent: parent})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // Root implements ServerAPI.
 func (s *ServerFilter) Root() (NodeMeta, error) {
 	row, err := s.st.Root()
@@ -233,11 +248,7 @@ func (s *ServerFilter) Children(pre int64) ([]NodeMeta, error) {
 
 // Descendants implements ServerAPI.
 func (s *ServerFilter) Descendants(pre, post int64) ([]NodeMeta, error) {
-	rows, err := s.st.DescendantsMeta(pre, post)
-	if err != nil {
-		return nil, err
-	}
-	return toMeta(rows), nil
+	return descendantsMeta(s.st, pre, post)
 }
 
 func (s *ServerFilter) serverPoly(pre int64) (ring.Poly, error) {

@@ -121,12 +121,35 @@ func Get(name string) *DB {
 	return db
 }
 
+// dropHooks run on every Drop, after the registry entry is removed.
+// Packages that register other per-DSN state under the same names (the
+// store's v2 page engine) hook in here so one Drop call releases a DSN's
+// memory no matter which engine backs it.
+var (
+	dropHooksMu sync.Mutex
+	dropHooks   []func(name string)
+)
+
+// OnDrop registers a hook invoked by every Drop with the dropped name.
+// Hooks must not call back into the registry.
+func OnDrop(fn func(name string)) {
+	dropHooksMu.Lock()
+	defer dropHooksMu.Unlock()
+	dropHooks = append(dropHooks, fn)
+}
+
 // Drop removes a database from the registry, releasing its memory once
 // all handles are gone.
 func Drop(name string) {
 	registryMu.Lock()
-	defer registryMu.Unlock()
 	delete(registry, name)
+	registryMu.Unlock()
+	dropHooksMu.Lock()
+	hooks := dropHooks
+	dropHooksMu.Unlock()
+	for _, fn := range hooks {
+		fn(name)
+	}
 }
 
 // FreshDSN returns a unique DSN for a private in-memory database, handy

@@ -90,6 +90,41 @@ func TestEvalBatchEvalMany(t *testing.T) {
 	}
 }
 
+// TestEvalBatchLockstepIdentity pins the four-wide lockstep batch path
+// to the sequential one: for every batch size around the chunk width
+// (covering empty, partial-tail, and multi-chunk batches) and every
+// point of the field, EvalBatchInto must produce exactly the values a
+// plain per-polynomial loop produces — including on all-zero and sparse
+// polynomials, whose skipped coefficients are where a lockstep rewrite
+// would drift first.
+func TestEvalBatchLockstepIdentity(t *testing.T) {
+	gen := prg.New([]byte("eval-lockstep"))
+	for _, r := range testRings(t) {
+		polys := make([]Poly, 11)
+		for i := range polys {
+			polys[i] = r.Rand(gen.Stream(r.Field().String(), uint64(i)))
+		}
+		polys[2] = r.NewPoly() // all zero
+		polys[5] = r.One()
+		sparse := r.NewPoly() // lone high-degree term
+		sparse[r.N()-1] = 1
+		polys[7] = sparse
+		for size := 0; size <= len(polys); size++ {
+			batch := polys[:size]
+			for _, v := range allPoints(r) {
+				got := make([]gf.Elem, size)
+				r.EvalBatchInto(got, batch, v)
+				for i, p := range batch {
+					if want := r.Eval(p, v); got[i] != want {
+						t.Fatalf("%v: lockstep batch size %d, poly %d, point %d: got %d, sequential %d",
+							r.Field(), size, i, v, got[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestEvalStreamMatchesRand proves the streaming evaluation equals
 // materializing the polynomial with Rand from the same stream and
 // evaluating it — the client-share equivalence the filter relies on.

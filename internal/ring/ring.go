@@ -505,10 +505,63 @@ func (r *Ring) EvalBatch(polys []Poly, v gf.Elem) []gf.Elem {
 
 // EvalBatchInto is EvalBatch into a caller-supplied result slice
 // (len(out) ≥ len(polys)), performing no allocation.
+//
+// Batches of prime-field polynomials run four at a time in lockstep:
+// all members share the point v, so the log-domain power counter — the
+// only loop-carried state of the power-form evaluation — is computed
+// once per coefficient index and feeds four independent accumulators.
+// Per-element arithmetic is identical to evalTab's, so the results are
+// the ones sequential evaluation produces (a test pins this).
 func (r *Ring) EvalBatchInto(out []gf.Elem, polys []Poly, v gf.Elem) {
 	t := r.f.Tables()
-	for i, p := range polys {
-		out[i] = r.evalTab(t, p, v)
+	i := 0
+	if r.prime && v != 0 {
+		lg, ex := t.Log, t.Exp
+		logv := lg[v]
+		q := r.q32
+		n := r.n
+		for ; i+4 <= len(polys); i += 4 {
+			p0, p1, p2, p3 := polys[i], polys[i+1], polys[i+2], polys[i+3]
+			if len(p0) != n || len(p1) != n || len(p2) != n || len(p3) != n {
+				break // ragged batch: finish on the sequential path
+			}
+			var a0, a1, a2, a3 uint32
+			var pw uint32
+			for k := 0; k < n; k++ {
+				if c := p0[k]; c != 0 {
+					a0 += ex[lg[c]+pw]
+					if a0 >= q {
+						a0 -= q
+					}
+				}
+				if c := p1[k]; c != 0 {
+					a1 += ex[lg[c]+pw]
+					if a1 >= q {
+						a1 -= q
+					}
+				}
+				if c := p2[k]; c != 0 {
+					a2 += ex[lg[c]+pw]
+					if a2 >= q {
+						a2 -= q
+					}
+				}
+				if c := p3[k]; c != 0 {
+					a3 += ex[lg[c]+pw]
+					if a3 >= q {
+						a3 -= q
+					}
+				}
+				pw += logv
+				if pw >= t.N {
+					pw -= t.N
+				}
+			}
+			out[i], out[i+1], out[i+2], out[i+3] = a0, a1, a2, a3
+		}
+	}
+	for ; i < len(polys); i++ {
+		out[i] = r.evalTab(t, polys[i], v)
 	}
 }
 

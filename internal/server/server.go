@@ -127,6 +127,13 @@ type Tenant struct {
 	// batch pays its own fdatasync. The pre-group-commit baseline, kept
 	// for the mutation experiment's comparison arm.
 	WALPerAppendSync bool
+	// Engine selects the storage engine AttachFile builds the tenant's
+	// table on ("" or "v2" = paged engine, "v1" = minisql oracle).
+	// Ignored by AttachStore, where the caller already opened the store.
+	Engine string
+	// PoolPages bounds the tenant's v2 buffer pool. Zero derives a quota
+	// from CacheEntries (see poolPages); ignored by the v1 engine.
+	PoolPages int
 }
 
 func (t Tenant) quota() int {
@@ -138,6 +145,25 @@ func (t Tenant) quota() int {
 	default:
 		return t.CacheEntries
 	}
+}
+
+// poolPages is the tenant's buffer-pool quota in pages. Explicit
+// PoolPages wins; otherwise it scales with the tenant's cache quota —
+// the one budget knob operators already size per tenant — at one page
+// per four cache entries, floored so small tenants still cover their
+// tree depth and capped at the engine default.
+func (t Tenant) poolPages() int {
+	if t.PoolPages > 0 {
+		return t.PoolPages
+	}
+	pages := t.quota() / 4
+	if pages < 128 {
+		pages = 128
+	}
+	if pages > store.DefaultPoolPages {
+		pages = store.DefaultPoolPages
+	}
+	return pages
 }
 
 // Config tunes the runtime.
@@ -312,8 +338,12 @@ func (rt *Runtime) budgetLeft(skip string) int {
 // it acknowledged. The runtime owns the store: Detach (and a failed
 // attach) closes it and drops its backing DSN.
 func (rt *Runtime) AttachFile(t Tenant) error {
+	eng, err := store.ParseEngine(t.Engine)
+	if err != nil {
+		return err
+	}
 	dsn := minisql.FreshDSN()
-	st, err := store.Open(dsn)
+	st, err := store.OpenWith(dsn, store.Options{Engine: eng, PoolPages: t.poolPages()})
 	if err != nil {
 		return err
 	}
@@ -695,6 +725,20 @@ func (rt *Runtime) Metrics() *obs.Registry {
 			emit(obs.Sample{Name: "encshare_lease_acquires_total", Help: "writer-lease grants (extensions included)", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.LeaseAcquires)})
 			emit(obs.Sample{Name: "encshare_lease_expirations_total", Help: "expired writer leases fenced or taken over", Type: obs.TypeCounter, Labels: lbl, Value: float64(dw.LeaseExpirations)})
 		}
+		// Buffer-pool families of the v2 storage engine, emitted for
+		// every tenant (zeros on v1, which has no pool) so scrapes see a
+		// stable set. Hits/(hits+misses) is the page hit rate.
+		for name, ps := range rt.PoolStats() {
+			if name == "" {
+				name = "default"
+			}
+			lbl := obs.Labels{"tenant": name}
+			emit(obs.Sample{Name: "encshare_pool_pages", Help: "buffer-pool frame capacity", Type: obs.TypeGauge, Labels: lbl, Value: float64(ps.Pages)})
+			emit(obs.Sample{Name: "encshare_pool_resident", Help: "buffer-pool frames holding a page", Type: obs.TypeGauge, Labels: lbl, Value: float64(ps.Resident)})
+			emit(obs.Sample{Name: "encshare_pool_hits_total", Help: "page fetches served from the pool", Type: obs.TypeCounter, Labels: lbl, Value: float64(ps.Hits)})
+			emit(obs.Sample{Name: "encshare_pool_misses_total", Help: "page fetches that read the pager", Type: obs.TypeCounter, Labels: lbl, Value: float64(ps.Misses)})
+			emit(obs.Sample{Name: "encshare_pool_evictions_total", Help: "pool frames recycled by the clock", Type: obs.TypeCounter, Labels: lbl, Value: float64(ps.Evictions)})
+		}
 	})
 	return reg
 }
@@ -727,6 +771,20 @@ func (rt *Runtime) WALStats() map[string]TenantWAL {
 		lst := ts.mut.LeaseStatsNow()
 		tw.LeaseAcquires, tw.LeaseExpirations = lst.Acquires, lst.Expirations
 		out[name] = tw
+	}
+	return out
+}
+
+// PoolStats returns every tenant's buffer-pool counters, keyed by
+// tenant name. Tenants on the v1 engine (no pool) report zeros, so the
+// metric families stay present across the fleet.
+func (rt *Runtime) PoolStats() map[string]store.PoolStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make(map[string]store.PoolStats, len(rt.tenants))
+	for name, ts := range rt.tenants {
+		ps, _ := ts.st.PoolStats()
+		out[name] = ps
 	}
 	return out
 }

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRowCodec pins the row codec: encode→decode is the identity, and
+// decoding arbitrary bytes never panics — it either errors or returns a
+// row whose poly stays inside the input slice.
+func FuzzRowCodec(f *testing.F) {
+	f.Add(int64(1), int64(1), int64(0), []byte{}, uint16(0))
+	f.Add(int64(42), int64(99), int64(7), []byte("poly bytes here"), uint16(3))
+	f.Add(int64(-1), int64(1)<<40, int64(-9), bytes.Repeat([]byte{0xAB}, 300), uint16(29))
+	f.Fuzz(func(t *testing.T, pre, post, parent int64, poly []byte, cut uint16) {
+		row := NodeRow{Pre: pre, Post: post, Parent: parent, Poly: poly}
+		enc := encodeRow(nil, row)
+		if len(enc) != rowSize(row) {
+			t.Fatalf("encoded %d bytes, rowSize says %d", len(enc), rowSize(row))
+		}
+		got, err := decodeRow(enc)
+		if err != nil {
+			t.Fatalf("decode of fresh encoding: %v", err)
+		}
+		if got.Pre != pre || got.Post != post || got.Parent != parent || !bytes.Equal(got.Poly, poly) {
+			t.Fatalf("round trip %+v != %+v", got, row)
+		}
+		p2, q2, r2 := decodeRowMeta(enc)
+		if p2 != pre || q2 != post || r2 != parent {
+			t.Fatalf("meta decode (%d,%d,%d)", p2, q2, r2)
+		}
+
+		// Truncation must never read past the slice or panic.
+		trunc := enc[:int(cut)%(len(enc)+1)]
+		if row, err := decodeRow(trunc); err == nil {
+			if len(row.Poly) > len(trunc) {
+				t.Fatalf("decoded poly of %d bytes from %d-byte slice", len(row.Poly), len(trunc))
+			}
+		}
+	})
+}
+
+// FuzzSlottedPage drives a page with an arbitrary op script (insert,
+// update, delete) against a shadow model and asserts the page never
+// corrupts a surviving row, never resurrects a dead slot, and keeps its
+// live/free accounting consistent.
+func FuzzSlottedPage(f *testing.F) {
+	f.Add([]byte{0x00, 0x05, 0x40, 0x06, 0x80, 0x00, 0x00, 0x07})
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x40, 0x00, 0x80, 0x01})
+	f.Add(bytes.Repeat([]byte{0x00, 0xFF}, 40))
+	f.Fuzz(func(t *testing.T, script []byte) {
+		p := make([]byte, pageSize)
+		pageInit(p)
+		model := map[int][]byte{} // slot → expected row bytes
+		seq := int64(0)
+		mkRow := func(sz int) []byte {
+			seq++
+			poly := make([]byte, sz)
+			for i := range poly {
+				poly[i] = byte(seq + int64(i))
+			}
+			return encodeRow(nil, NodeRow{Pre: seq, Post: seq * 2, Parent: seq / 2, Poly: poly})
+		}
+		for i := 0; i+1 < len(script); i += 2 {
+			op, arg := script[i]>>6, int(script[i]&0x3F)<<8|int(script[i+1])
+			switch op {
+			case 0, 3: // insert, arg = poly size
+				row := mkRow(arg % 1000)
+				slot, ok := pageInsert(p, row)
+				if ok {
+					if _, exists := model[slot]; exists {
+						t.Fatalf("insert reused live slot %d", slot)
+					}
+					model[slot] = row
+				} else if pageFree(p) >= len(row)+slotLen {
+					t.Fatalf("insert of %d bytes refused with %d free", len(row), pageFree(p))
+				}
+			case 1: // update slot arg
+				slot := 0
+				if n := pageNSlots(p); n > 0 {
+					slot = arg % n
+				}
+				row := mkRow(arg % 500)
+				ok := pageUpdate(p, slot, row)
+				_, live := model[slot]
+				if ok && !live {
+					t.Fatalf("update resurrected dead slot %d", slot)
+				}
+				if ok {
+					model[slot] = row
+				}
+			case 2: // delete slot arg
+				slot := 0
+				if n := pageNSlots(p); n > 0 {
+					slot = arg % n
+				}
+				ok := pageDelete(p, slot)
+				if _, live := model[slot]; live != ok {
+					t.Fatalf("delete(%d) = %v, model live = %v", slot, ok, live)
+				}
+				delete(model, slot)
+			}
+		}
+		if pageLive(p) != len(model) {
+			t.Fatalf("live = %d, model has %d", pageLive(p), len(model))
+		}
+		for slot, want := range model {
+			got := pageSlot(p, slot)
+			if got == nil {
+				t.Fatalf("live slot %d reads dead", slot)
+			}
+			if !bytes.Equal(got[:len(want)], want) {
+				t.Fatalf("slot %d corrupted", slot)
+			}
+		}
+		for i := 0; i < pageNSlots(p); i++ {
+			if _, live := model[i]; !live && pageSlot(p, i) != nil {
+				t.Fatalf("dead slot %d reads live", i)
+			}
+		}
+	})
+}

@@ -1,23 +1,31 @@
 // Package store implements the server-side node table of the scheme: one
 // row (pre, post, parent, poly) per XML node, where poly is the server's
-// share of the node polynomial (paper §5.1). It talks to the embedded SQL
-// engine through database/sql exactly as the paper's prototype talks to
-// MySQL, with B-tree indexes on pre (primary key), post and parent.
+// share of the node polynomial (paper §5.1).
+//
+// Two engines sit behind the Store handle. The default, v2, is a
+// purpose-built storage engine: a fixed-width binary row codec, slotted
+// 8 KiB heap pages holding rows clustered in pre order, a B⁺-tree keyed
+// on pre (plus a composite (parent, pre) tree for child navigation) and
+// a CLOCK-evicting buffer pool. The v1 engine is the original
+// minisql-backed implementation, kept as a correctness oracle — it talks
+// to the embedded SQL engine through database/sql exactly as the paper's
+// prototype talks to MySQL.
 //
 // The descendant query exploits the contiguity of descendants in pre
-// order: it first locates the subtree boundary — the smallest pre greater
-// than pre(n) whose post exceeds post(n), i.e. the first non-descendant —
-// with a loose index scan, then range-scans (pre(n), boundary). Cost is
-// O(log N + |subtree|) instead of the naive O(N) post-filter (kept as
-// DescendantsNaive for the ablation benchmark).
+// order: the subtree boundary — the smallest pre greater than pre(n)
+// whose post exceeds post(n), i.e. the first non-descendant — bounds a
+// range scan of (pre(n), boundary). v1 locates it with a loose index
+// scan; v2 folds it into the scan itself as a stop condition (the first
+// row met with post > post(n) IS the boundary). Cost is
+// O(log N + |subtree|) either way, instead of the naive O(N) post-filter
+// (kept as DescendantsNaive for the ablation benchmark).
 package store
 
 import (
-	"database/sql"
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"encshare/internal/minisql"
 )
@@ -41,323 +49,176 @@ func NotFoundError(pre int64) error {
 	return fmt.Errorf("store: node %d: %w", pre, ErrNotFound)
 }
 
-// Store is a handle on one node table.
-type Store struct {
-	db  *sql.DB
-	dsn string
+// Engine selects the storage engine behind a Store.
+type Engine string
 
-	insert      *sql.Stmt
-	rangeIncl   *sql.Stmt
-	rootQuery   *sql.Stmt
-	countQuery  *sql.Stmt
-	minMaxQuery *sql.Stmt
-	naiveDesc   *sql.Stmt
-	childrenCnt *sql.Stmt
+const (
+	// EngineV2 is the paged engine (slotted heap pages + B⁺-trees +
+	// buffer pool) — the default.
+	EngineV2 Engine = "v2"
+	// EngineV1 is the original minisql-backed engine, kept as the
+	// correctness oracle and ablation baseline.
+	EngineV1 Engine = "v1"
+)
 
-	// Hot read path: the navigation and share-fetch queries the filter
-	// issues per engine step run directly against the embedded minisql
-	// engine through pre-parsed statements — same engine and locking as
-	// the database/sql path, minus the driver boxing per cell. The
-	// metadata twins additionally skip the poly column, so a structural
-	// fetch does not drag every row's share blob through the scan just
-	// to discard it.
-	mdb           *minisql.DB
-	qByPre        *minisql.Prepared
-	qByPreMeta    *minisql.Prepared
-	qChildren     *minisql.Prepared
-	qChildrenMeta *minisql.Prepared
-	qBoundary     *minisql.Prepared
-	qRangeScan    *minisql.Prepared
-	qRangeMeta    *minisql.Prepared
-
-	// Mutation primitives (the WAL apply path). UPDATE is in-place in
-	// minisql — the physical row slot never moves — which is what keeps
-	// replicas that apply identical op sequences byte-identical on Dump.
-	qUpdate *minisql.Prepared
-	qDelete *minisql.Prepared
+// ParseEngine maps a CLI/config string ("", "v1", "v2") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case "", EngineV2:
+		return EngineV2, nil
+	case EngineV1:
+		return EngineV1, nil
+	}
+	return "", fmt.Errorf("store: unknown engine %q (want v1 or v2)", s)
 }
 
-// Open connects to (creating if necessary) the minisql database named by
-// dsn. Call Init before first use of a fresh database.
+// Options configures OpenWith.
+type Options struct {
+	// Engine selects the storage engine; empty means EngineV2.
+	Engine Engine
+	// PoolPages bounds the v2 buffer pool (0 = DefaultPoolPages).
+	// Ignored by v1.
+	PoolPages int
+}
+
+// tableEngine is what each storage engine implements. Methods mirror the
+// Store API one-for-one; Load is handled in the façade because it must
+// sniff the stream format before dispatching.
+type tableEngine interface {
+	Init() error
+	Attach() error
+	InsertNode(row NodeRow) error
+	UpdateNode(oldPre int64, row NodeRow) error
+	DeleteNode(pre int64) error
+	Root() (NodeRow, error)
+	Node(pre int64) (NodeRow, error)
+	NodeMeta(pre int64) (NodeRow, error)
+	Children(pre int64) ([]NodeRow, error)
+	ChildrenMeta(pre int64) ([]NodeRow, error)
+	Descendants(pre, post int64) ([]NodeRow, error)
+	DescendantsMeta(pre, post int64) ([]NodeRow, error)
+	VisitDescendantsMeta(pre, post int64, fn func(pre, post, parent int64)) error
+	DescendantsNaive(pre, post int64) ([]NodeRow, error)
+	Range(lo, hi int64) ([]NodeRow, error)
+	MinMaxPre() (lo, hi int64, err error)
+	Count() (int64, error)
+	ChildCount(pre int64) (int64, error)
+	Dump(w io.Writer) error
+	loadNative(r io.Reader) error
+	loadRows(rows []NodeRow) error
+	Close() error
+	PoolStats() (PoolStats, bool)
+}
+
+// Store is a handle on one node table.
+type Store struct {
+	dsn  string
+	opts Options
+	eng  tableEngine
+}
+
+// Open connects to (creating if necessary) the database named by dsn
+// using the default engine. Call Init before first use of a fresh
+// database.
 func Open(dsn string) (*Store, error) {
-	db, err := sql.Open(minisql.DriverName, dsn)
-	if err != nil {
-		return nil, fmt.Errorf("store: open: %w", err)
+	return OpenWith(dsn, Options{})
+}
+
+// OpenWith is Open with an explicit engine selection.
+func OpenWith(dsn string, opts Options) (*Store, error) {
+	var err error
+	if opts.Engine, err = ParseEngine(string(opts.Engine)); err != nil {
+		return nil, err
 	}
-	return &Store{db: db, dsn: dsn}, nil
+	s := &Store{dsn: dsn, opts: opts}
+	switch opts.Engine {
+	case EngineV1:
+		if s.eng, err = openV1(dsn); err != nil {
+			return nil, err
+		}
+	default:
+		s.eng = &v2store{dsn: dsn, tbl: v2get(dsn, opts.PoolPages)}
+	}
+	return s, nil
 }
 
 // DSN returns the database name this store is attached to.
 func (s *Store) DSN() string { return s.dsn }
 
-// Init creates the nodes table and its indexes (the schema of §5.1),
-// failing if it already exists.
-func (s *Store) Init() error {
-	stmts := []string{
-		`CREATE TABLE nodes (
-			pre BIGINT PRIMARY KEY,
-			post BIGINT NOT NULL,
-			parent BIGINT NOT NULL,
-			poly BLOB NOT NULL
-		)`,
-		"CREATE INDEX idx_nodes_post ON nodes (post) USING BTREE",
-		"CREATE INDEX idx_nodes_parent ON nodes (parent) USING BTREE",
-	}
-	for _, q := range stmts {
-		if _, err := s.db.Exec(q); err != nil {
-			return fmt.Errorf("store: init: %w", err)
-		}
-	}
-	return s.prepare()
-}
+// Engine reports which storage engine backs this store.
+func (s *Store) Engine() Engine { return s.opts.Engine }
 
-// Attach prepares statements against an existing nodes table (e.g. after
-// minisql.Load restored a dump).
-func (s *Store) Attach() error { return s.prepare() }
+// PoolStats returns the buffer-pool counters of a v2 store; ok is false
+// for v1 (which has no pool).
+func (s *Store) PoolStats() (stats PoolStats, ok bool) { return s.eng.PoolStats() }
 
-func (s *Store) prepare() error {
-	prep := func(dst **sql.Stmt, q string) error {
-		st, err := s.db.Prepare(q)
-		if err != nil {
-			return fmt.Errorf("store: prepare %q: %w", q, err)
-		}
-		*dst = st
-		return nil
-	}
-	for _, p := range []struct {
-		dst **sql.Stmt
-		q   string
-	}{
-		{&s.insert, "INSERT INTO nodes (pre, post, parent, poly) VALUES (?, ?, ?, ?)"},
-		{&s.rangeIncl, "SELECT pre, post, parent, poly FROM nodes WHERE pre >= ? AND pre <= ? ORDER BY pre"},
-		{&s.rootQuery, "SELECT pre, post, parent, poly FROM nodes WHERE parent = 0"},
-		{&s.countQuery, "SELECT COUNT(*) FROM nodes"},
-		{&s.minMaxQuery, "SELECT MIN(pre), MAX(pre) FROM nodes"},
-		{&s.naiveDesc, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND post < ? ORDER BY pre"},
-		{&s.childrenCnt, "SELECT COUNT(*) FROM nodes WHERE parent = ?"},
-	} {
-		if err := prep(p.dst, p.q); err != nil {
-			return err
-		}
-	}
-	s.mdb = minisql.Get(s.dsn)
-	direct := func(dst **minisql.Prepared, q string) error {
-		st, err := s.mdb.Prepare(q)
-		if err != nil {
-			return fmt.Errorf("store: prepare %q: %w", q, err)
-		}
-		*dst = st
-		return nil
-	}
-	for _, p := range []struct {
-		dst **minisql.Prepared
-		q   string
-	}{
-		{&s.qByPre, "SELECT pre, post, parent, poly FROM nodes WHERE pre = ?"},
-		{&s.qByPreMeta, "SELECT pre, post, parent FROM nodes WHERE pre = ?"},
-		{&s.qChildren, "SELECT pre, post, parent, poly FROM nodes WHERE parent = ? ORDER BY pre"},
-		{&s.qChildrenMeta, "SELECT pre, post, parent FROM nodes WHERE parent = ? ORDER BY pre"},
-		{&s.qBoundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
-		{&s.qRangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
-		{&s.qRangeMeta, "SELECT pre, post, parent FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
-		{&s.qUpdate, "UPDATE nodes SET pre = ?, post = ?, parent = ?, poly = ? WHERE pre = ?"},
-		{&s.qDelete, "DELETE FROM nodes WHERE pre = ?"},
-	} {
-		if err := direct(p.dst, p.q); err != nil {
-			return err
-		}
-	}
-	return nil
-}
+// Init creates the nodes table (the schema of §5.1), failing if it
+// already exists.
+func (s *Store) Init() error { return s.eng.Init() }
 
-// rowsFromValues converts direct-engine result rows (pre, post, parent
-// [, poly]) into NodeRows. Blob cells alias the stored row — NodeRow
-// consumers treat share blobs as read-only, which every caller in this
-// repo does (shares are immutable once encoded).
-func rowsFromValues(rows [][]minisql.Value, withPoly bool) ([]NodeRow, error) {
-	if len(rows) == 0 {
-		return nil, nil
-	}
-	out := make([]NodeRow, len(rows))
-	for i, row := range rows {
-		r := NodeRow{Pre: row[0].(int64), Post: row[1].(int64), Parent: row[2].(int64)}
-		if withPoly {
-			b, ok := row[3].([]byte)
-			if !ok {
-				return nil, fmt.Errorf("store: poly column holds %T", row[3])
-			}
-			r.Poly = b
-		}
-		out[i] = r
-	}
-	return out, nil
-}
+// Attach binds to an existing nodes table (e.g. after Load restored a
+// dump).
+func (s *Store) Attach() error { return s.eng.Attach() }
 
 // InsertNode stores one row. It satisfies the encoder's RowSink.
-func (s *Store) InsertNode(row NodeRow) error {
-	if _, err := s.insert.Exec(row.Pre, row.Post, row.Parent, row.Poly); err != nil {
-		return fmt.Errorf("store: insert pre=%d: %w", row.Pre, err)
-	}
-	return nil
-}
+func (s *Store) InsertNode(row NodeRow) error { return s.eng.InsertNode(row) }
 
 // UpdateNode rewrites the row currently stored at oldPre to row —
 // numbering and share blob together, so one call renumbers a shifted
 // row or patches a rebuilt one. ErrNotFound when no row sits at oldPre.
-func (s *Store) UpdateNode(oldPre int64, row NodeRow) error {
-	n, err := s.qUpdate.Exec(row.Pre, row.Post, row.Parent, row.Poly, oldPre)
-	if err != nil {
-		return fmt.Errorf("store: update pre=%d: %w", oldPre, err)
-	}
-	if n == 0 {
-		return NotFoundError(oldPre)
-	}
-	return nil
-}
+func (s *Store) UpdateNode(oldPre int64, row NodeRow) error { return s.eng.UpdateNode(oldPre, row) }
 
 // DeleteNode removes the row at pre. ErrNotFound when absent.
-func (s *Store) DeleteNode(pre int64) error {
-	n, err := s.qDelete.Exec(pre)
-	if err != nil {
-		return fmt.Errorf("store: delete pre=%d: %w", pre, err)
-	}
-	if n == 0 {
-		return NotFoundError(pre)
-	}
-	return nil
-}
-
-func scanRows(rows *sql.Rows) ([]NodeRow, error) {
-	defer rows.Close()
-	var out []NodeRow
-	for rows.Next() {
-		var r NodeRow
-		if err := rows.Scan(&r.Pre, &r.Post, &r.Parent, &r.Poly); err != nil {
-			return nil, fmt.Errorf("store: scan: %w", err)
-		}
-		out = append(out, r)
-	}
-	if err := rows.Err(); err != nil {
-		return nil, fmt.Errorf("store: rows: %w", err)
-	}
-	return out, nil
-}
+func (s *Store) DeleteNode(pre int64) error { return s.eng.DeleteNode(pre) }
 
 // Root returns the unique node with parent = 0.
-func (s *Store) Root() (NodeRow, error) {
-	rows, err := s.rootQuery.Query()
-	if err != nil {
-		return NodeRow{}, fmt.Errorf("store: root: %w", err)
-	}
-	all, err := scanRows(rows)
-	if err != nil {
-		return NodeRow{}, err
-	}
-	switch len(all) {
-	case 0:
-		return NodeRow{}, fmt.Errorf("store: root: %w", ErrNotFound)
-	case 1:
-		return all[0], nil
-	}
-	return NodeRow{}, fmt.Errorf("store: %d root nodes", len(all))
-}
+func (s *Store) Root() (NodeRow, error) { return s.eng.Root() }
 
 // Node returns the node at pre.
-func (s *Store) Node(pre int64) (NodeRow, error) {
-	return s.nodeWith(s.qByPre, pre, true)
-}
+func (s *Store) Node(pre int64) (NodeRow, error) { return s.eng.Node(pre) }
 
 // NodeMeta returns the node at pre without its share blob (Poly nil) —
 // the cheap fetch for structural navigation.
-func (s *Store) NodeMeta(pre int64) (NodeRow, error) {
-	return s.nodeWith(s.qByPreMeta, pre, false)
-}
-
-func (s *Store) nodeWith(q *minisql.Prepared, pre int64, withPoly bool) (NodeRow, error) {
-	_, rows, err := q.Query(pre)
-	if err != nil {
-		return NodeRow{}, fmt.Errorf("store: node %d: %w", pre, err)
-	}
-	all, err := rowsFromValues(rows, withPoly)
-	if err != nil {
-		return NodeRow{}, err
-	}
-	if len(all) == 0 {
-		return NodeRow{}, NotFoundError(pre)
-	}
-	return all[0], nil
-}
+func (s *Store) NodeMeta(pre int64) (NodeRow, error) { return s.eng.NodeMeta(pre) }
 
 // Children returns the child rows of the node at pre, in document order.
-func (s *Store) Children(pre int64) ([]NodeRow, error) {
-	_, rows, err := s.qChildren.Query(pre)
-	if err != nil {
-		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
-	}
-	return rowsFromValues(rows, true)
-}
+func (s *Store) Children(pre int64) ([]NodeRow, error) { return s.eng.Children(pre) }
 
 // ChildrenMeta is Children without the share blobs.
-func (s *Store) ChildrenMeta(pre int64) ([]NodeRow, error) {
-	_, rows, err := s.qChildrenMeta.Query(pre)
-	if err != nil {
-		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
-	}
-	return rowsFromValues(rows, false)
-}
+func (s *Store) ChildrenMeta(pre int64) ([]NodeRow, error) { return s.eng.ChildrenMeta(pre) }
 
 // Descendants returns all proper descendants of the node (pre, post), in
 // document order, using the boundary optimization.
-func (s *Store) Descendants(pre, post int64) ([]NodeRow, error) {
-	return s.descendantsWith(s.qRangeScan, pre, post, true)
-}
+func (s *Store) Descendants(pre, post int64) ([]NodeRow, error) { return s.eng.Descendants(pre, post) }
 
 // DescendantsMeta is Descendants without the share blobs — what the
 // engines' frontier expansion consumes.
 func (s *Store) DescendantsMeta(pre, post int64) ([]NodeRow, error) {
-	return s.descendantsWith(s.qRangeMeta, pre, post, false)
+	return s.eng.DescendantsMeta(pre, post)
 }
 
-func (s *Store) descendantsWith(q *minisql.Prepared, pre, post int64, withPoly bool) ([]NodeRow, error) {
-	_, brows, err := s.qBoundary.Query(pre, post)
-	if err != nil {
-		return nil, fmt.Errorf("store: boundary of %d: %w", pre, err)
-	}
-	hi := int64(math.MaxInt64)
-	if len(brows) == 1 && len(brows[0]) == 1 && brows[0][0] != nil {
-		hi = brows[0][0].(int64)
-	}
-	_, rows, err := q.Query(pre, hi)
-	if err != nil {
-		return nil, fmt.Errorf("store: descendants of %d: %w", pre, err)
-	}
-	return rowsFromValues(rows, withPoly)
+// VisitDescendantsMeta streams the numbering of every proper descendant
+// of (pre, post) in document order without materializing rows — the
+// zero-allocation path behind the filter's subtree expansion.
+func (s *Store) VisitDescendantsMeta(pre, post int64, fn func(pre, post, parent int64)) error {
+	return s.eng.VisitDescendantsMeta(pre, post, fn)
 }
 
 // DescendantsNaive is the unoptimized variant (full pre-range scan with a
 // post filter); kept for the ablation benchmark.
 func (s *Store) DescendantsNaive(pre, post int64) ([]NodeRow, error) {
-	rows, err := s.naiveDesc.Query(pre, post)
-	if err != nil {
-		return nil, fmt.Errorf("store: naive descendants of %d: %w", pre, err)
-	}
-	return scanRows(rows)
+	return s.eng.DescendantsNaive(pre, post)
 }
 
 // Range returns the rows with pre in [lo, hi], in document order — the
 // slice of the node table one cluster shard holds.
-func (s *Store) Range(lo, hi int64) ([]NodeRow, error) {
-	rows, err := s.rangeIncl.Query(lo, hi)
-	if err != nil {
-		return nil, fmt.Errorf("store: range [%d, %d]: %w", lo, hi, err)
-	}
-	return scanRows(rows)
-}
+func (s *Store) Range(lo, hi int64) ([]NodeRow, error) { return s.eng.Range(lo, hi) }
 
 // CopyRange copies the rows with pre in [lo, hi] into a fresh store
 // under a new DSN — the shared shard builder behind Database.DumpShard
-// (shard files) and cluster.SplitStore (in-process shards). The caller
-// owns the result: Close it and minisql.Drop the DSN when done.
+// (shard files) and cluster.SplitStore (in-process shards). The result
+// uses the same engine as the source. The caller owns it: Close it and
+// minisql.Drop the DSN when done.
 func (s *Store) CopyRange(lo, hi int64) (*Store, string, error) {
 	rows, err := s.Range(lo, hi)
 	if err != nil {
@@ -367,7 +228,7 @@ func (s *Store) CopyRange(lo, hi int64) (*Store, string, error) {
 		return nil, "", fmt.Errorf("store: range [%d, %d] holds no rows", lo, hi)
 	}
 	dsn := minisql.FreshDSN()
-	dst, err := Open(dsn)
+	dst, err := OpenWith(dsn, s.opts)
 	if err != nil {
 		return nil, "", err
 	}
@@ -390,52 +251,44 @@ func (s *Store) CopyRange(lo, hi int64) (*Store, string, error) {
 // MinMaxPre returns the smallest and largest stored pre — the contiguous
 // interval this table covers (shards report it to cluster clients at
 // dial time). An empty table is ErrNotFound.
-func (s *Store) MinMaxPre() (lo, hi int64, err error) {
-	var nlo, nhi sql.NullInt64
-	if err := s.minMaxQuery.QueryRow().Scan(&nlo, &nhi); err != nil {
-		return 0, 0, fmt.Errorf("store: min/max pre: %w", err)
-	}
-	if !nlo.Valid || !nhi.Valid {
-		return 0, 0, fmt.Errorf("store: min/max pre of empty table: %w", ErrNotFound)
-	}
-	return nlo.Int64, nhi.Int64, nil
-}
+func (s *Store) MinMaxPre() (lo, hi int64, err error) { return s.eng.MinMaxPre() }
 
 // Count returns the number of stored nodes.
-func (s *Store) Count() (int64, error) {
-	var n int64
-	if err := s.countQuery.QueryRow().Scan(&n); err != nil {
-		return 0, fmt.Errorf("store: count: %w", err)
-	}
-	return n, nil
-}
+func (s *Store) Count() (int64, error) { return s.eng.Count() }
 
 // ChildCount returns the number of children of the node at pre without
 // fetching the rows (used by the equality-test cost accounting).
-func (s *Store) ChildCount(pre int64) (int64, error) {
-	var n int64
-	if err := s.childrenCnt.QueryRow(pre).Scan(&n); err != nil {
-		return 0, fmt.Errorf("store: child count of %d: %w", pre, err)
-	}
-	return n, nil
-}
+func (s *Store) ChildCount(pre int64) (int64, error) { return s.eng.ChildCount(pre) }
 
-// Dump serializes the underlying database (see minisql.Dump).
-func (s *Store) Dump(w io.Writer) error {
-	return minisql.Get(s.dsn).Dump(w)
-}
+// Dump serializes the table in the engine's native format: raw heap page
+// images for v2 (byte-deterministic across replicas applying the same op
+// sequence), the minisql gob for v1.
+func (s *Store) Dump(w io.Writer) error { return s.eng.Dump(w) }
 
-// Load restores the underlying database from a dump and re-prepares
-// statements.
+// Load restores the table from a dump in either format — the first 16
+// bytes distinguish a v2 page file from a minisql gob — and leaves the
+// store attached. A native-format dump loads verbatim (for v2,
+// dump→load→dump is the byte identity); a foreign-format dump is
+// converted row-by-row in pre order.
 func (s *Store) Load(r io.Reader) error {
-	if err := minisql.Get(s.dsn).Load(r); err != nil {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(v2Magic))
+	isV2File := err == nil && string(head) == v2Magic
+	if isV2File == (s.opts.Engine == EngineV2) {
+		return s.eng.loadNative(br)
+	}
+	var rows []NodeRow
+	if isV2File {
+		rows, err = readV2Rows(br)
+	} else {
+		rows, err = readV1Rows(br)
+	}
+	if err != nil {
 		return err
 	}
-	return s.prepare()
+	return s.eng.loadRows(rows)
 }
 
-// Close releases the database handle (the data stays registered under the
+// Close releases the engine handle (the data stays registered under the
 // DSN until minisql.Drop).
-func (s *Store) Close() error {
-	return s.db.Close()
-}
+func (s *Store) Close() error { return s.eng.Close() }

@@ -8,6 +8,17 @@ import (
 	"encshare/internal/xmldoc"
 )
 
+// engines lists the storage engines every API test runs against: v2 (the
+// paged default) and v1 (the minisql oracle).
+var engines = []Engine{EngineV2, EngineV1}
+
+// forEachEngine runs fn as a subtest per storage engine.
+func forEachEngine(t *testing.T, fn func(t *testing.T, eng Engine)) {
+	for _, eng := range engines {
+		t.Run(string(eng), func(t *testing.T) { fn(t, eng) })
+	}
+}
+
 // fill inserts rows matching a parsed document with dummy polynomials.
 func fill(t testing.TB, s *Store, d *xmldoc.Doc) {
 	t.Helper()
@@ -24,10 +35,10 @@ func fill(t testing.TB, s *Store, d *xmldoc.Doc) {
 	})
 }
 
-func newStore(t testing.TB) *Store {
+func newStoreEngine(t testing.TB, eng Engine) *Store {
 	t.Helper()
 	dsn := minisql.FreshDSN()
-	s, err := Open(dsn)
+	s, err := OpenWith(dsn, Options{Engine: eng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,180 +52,234 @@ func newStore(t testing.TB) *Store {
 	return s
 }
 
+func newStore(t testing.TB) *Store { return newStoreEngine(t, EngineV2) }
+
 const testDoc = `<site><regions><europe><item><name/></item><item/></europe><asia/></regions><people><person><name/></person></people></site>`
 
 func TestRootAndNode(t *testing.T) {
-	s := newStore(t)
-	d, err := xmldoc.ParseString(testDoc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	fill(t, s, d)
-
-	root, err := s.Root()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if root.Pre != 1 || root.Parent != 0 {
-		t.Fatalf("root = %+v", root)
-	}
-	n, err := s.Node(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n.Pre != 3 || !bytes.Equal(n.Poly, []byte{3}) {
-		t.Fatalf("node 3 = %+v", n)
-	}
-	if _, err := s.Node(999); err == nil {
-		t.Fatal("missing node found")
-	}
-}
-
-func TestRootMissing(t *testing.T) {
-	s := newStore(t)
-	if _, err := s.Root(); err == nil {
-		t.Fatal("root on empty store succeeded")
-	}
-}
-
-func TestChildrenMatchTree(t *testing.T) {
-	s := newStore(t)
-	d, _ := xmldoc.ParseString(testDoc)
-	fill(t, s, d)
-	d.Walk(func(n *xmldoc.Node) bool {
-		rows, err := s.Children(n.Pre)
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		d, err := xmldoc.ParseString(testDoc)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(rows) != len(n.Children) {
-			t.Fatalf("children(%s) = %d rows, want %d", n.Path(), len(rows), len(n.Children))
+		fill(t, s, d)
+
+		root, err := s.Root()
+		if err != nil {
+			t.Fatal(err)
 		}
-		for i, c := range n.Children {
-			if rows[i].Pre != c.Pre {
-				t.Fatalf("children(%s)[%d].Pre = %d, want %d (document order)",
-					n.Path(), i, rows[i].Pre, c.Pre)
-			}
+		if root.Pre != 1 || root.Parent != 0 {
+			t.Fatalf("root = %+v", root)
 		}
-		return true
+		n, err := s.Node(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Pre != 3 || !bytes.Equal(n.Poly, []byte{3}) {
+			t.Fatalf("node 3 = %+v", n)
+		}
+		if _, err := s.Node(999); err == nil {
+			t.Fatal("missing node found")
+		}
 	})
-	// ChildCount agrees.
-	cnt, err := s.ChildCount(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cnt != int64(len(d.Root.Children)) {
-		t.Fatalf("ChildCount(root) = %d", cnt)
-	}
 }
 
-func TestDescendantsMatchTree(t *testing.T) {
-	s := newStore(t)
-	d, _ := xmldoc.ParseString(testDoc)
-	fill(t, s, d)
-	d.Walk(func(n *xmldoc.Node) bool {
-		want := map[int64]bool{}
-		var collect func(*xmldoc.Node)
-		collect = func(m *xmldoc.Node) {
-			for _, c := range m.Children {
-				want[c.Pre] = true
-				collect(c)
-			}
+func TestRootMissing(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		if _, err := s.Root(); err == nil {
+			t.Fatal("root on empty store succeeded")
 		}
-		collect(n)
+	})
+}
 
-		for _, variant := range []struct {
-			name string
-			fn   func(pre, post int64) ([]NodeRow, error)
-		}{
-			{"optimized", s.Descendants},
-			{"naive", s.DescendantsNaive},
-		} {
-			rows, err := variant.fn(n.Pre, n.Post)
+func TestChildrenMatchTree(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		d, _ := xmldoc.ParseString(testDoc)
+		fill(t, s, d)
+		d.Walk(func(n *xmldoc.Node) bool {
+			rows, err := s.Children(n.Pre)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(rows) != len(want) {
-				t.Fatalf("%s descendants(%s) = %d rows, want %d",
-					variant.name, n.Path(), len(rows), len(want))
+			if len(rows) != len(n.Children) {
+				t.Fatalf("children(%s) = %d rows, want %d", n.Path(), len(rows), len(n.Children))
 			}
-			prev := int64(-1)
-			for _, r := range rows {
-				if !want[r.Pre] {
-					t.Fatalf("%s descendants(%s) includes pre %d", variant.name, n.Path(), r.Pre)
+			for i, c := range n.Children {
+				if rows[i].Pre != c.Pre {
+					t.Fatalf("children(%s)[%d].Pre = %d, want %d (document order)",
+						n.Path(), i, rows[i].Pre, c.Pre)
 				}
-				if r.Pre <= prev {
-					t.Fatalf("%s descendants not in document order", variant.name)
-				}
-				prev = r.Pre
 			}
+			return true
+		})
+		// ChildCount agrees.
+		cnt, err := s.ChildCount(1)
+		if err != nil {
+			t.Fatal(err)
 		}
-		return true
+		if cnt != int64(len(d.Root.Children)) {
+			t.Fatalf("ChildCount(root) = %d", cnt)
+		}
+	})
+}
+
+func TestDescendantsMatchTree(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		d, _ := xmldoc.ParseString(testDoc)
+		fill(t, s, d)
+		d.Walk(func(n *xmldoc.Node) bool {
+			want := map[int64]bool{}
+			var collect func(*xmldoc.Node)
+			collect = func(m *xmldoc.Node) {
+				for _, c := range m.Children {
+					want[c.Pre] = true
+					collect(c)
+				}
+			}
+			collect(n)
+
+			for _, variant := range []struct {
+				name string
+				fn   func(pre, post int64) ([]NodeRow, error)
+			}{
+				{"optimized", s.Descendants},
+				{"naive", s.DescendantsNaive},
+			} {
+				rows, err := variant.fn(n.Pre, n.Post)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(rows) != len(want) {
+					t.Fatalf("%s descendants(%s) = %d rows, want %d",
+						variant.name, n.Path(), len(rows), len(want))
+				}
+				prev := int64(-1)
+				for _, r := range rows {
+					if !want[r.Pre] {
+						t.Fatalf("%s descendants(%s) includes pre %d", variant.name, n.Path(), r.Pre)
+					}
+					if r.Pre <= prev {
+						t.Fatalf("%s descendants not in document order", variant.name)
+					}
+					prev = r.Pre
+				}
+			}
+
+			// The streaming visitor agrees with the materialized scan.
+			var visited []int64
+			if err := s.VisitDescendantsMeta(n.Pre, n.Post, func(pre, _, _ int64) {
+				visited = append(visited, pre)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(visited) != len(want) {
+				t.Fatalf("visit descendants(%s) = %d rows, want %d", n.Path(), len(visited), len(want))
+			}
+			for _, pre := range visited {
+				if !want[pre] {
+					t.Fatalf("visit descendants(%s) includes pre %d", n.Path(), pre)
+				}
+			}
+			return true
+		})
 	})
 }
 
 func TestCount(t *testing.T) {
-	s := newStore(t)
-	d, _ := xmldoc.ParseString(testDoc)
-	fill(t, s, d)
-	n, err := s.Count()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != d.Count {
-		t.Fatalf("Count = %d, want %d", n, d.Count)
-	}
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		d, _ := xmldoc.ParseString(testDoc)
+		fill(t, s, d)
+		n, err := s.Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != d.Count {
+			t.Fatalf("Count = %d, want %d", n, d.Count)
+		}
+	})
 }
 
 func TestDuplicatePreRejected(t *testing.T) {
-	s := newStore(t)
-	if err := s.InsertNode(NodeRow{Pre: 1, Post: 1, Parent: 0, Poly: []byte{1}}); err != nil {
-		t.Fatal(err)
-	}
-	if err := s.InsertNode(NodeRow{Pre: 1, Post: 2, Parent: 0, Poly: []byte{2}}); err == nil {
-		t.Fatal("duplicate pre accepted")
-	}
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		if err := s.InsertNode(NodeRow{Pre: 1, Post: 1, Parent: 0, Poly: []byte{1}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.InsertNode(NodeRow{Pre: 1, Post: 2, Parent: 0, Poly: []byte{2}}); err == nil {
+			t.Fatal("duplicate pre accepted")
+		}
+	})
 }
 
 func TestDumpLoadRoundTrip(t *testing.T) {
-	s := newStore(t)
-	d, _ := xmldoc.ParseString(testDoc)
-	fill(t, s, d)
-	var buf bytes.Buffer
-	if err := s.Dump(&buf); err != nil {
-		t.Fatal(err)
-	}
+	// Every (dump engine, load engine) pair must round-trip: native loads
+	// adopt the dump verbatim, cross-format loads convert row-by-row.
+	for _, from := range engines {
+		for _, to := range engines {
+			t.Run(string(from)+"_to_"+string(to), func(t *testing.T) {
+				s := newStoreEngine(t, from)
+				d, _ := xmldoc.ParseString(testDoc)
+				fill(t, s, d)
+				var buf bytes.Buffer
+				if err := s.Dump(&buf); err != nil {
+					t.Fatal(err)
+				}
 
-	dsn2 := minisql.FreshDSN()
-	s2, err := Open(dsn2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() {
-		s2.Close()
-		minisql.Drop(dsn2)
-	}()
-	if err := s2.Load(&buf); err != nil {
-		t.Fatal(err)
-	}
-	n, err := s2.Count()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if n != d.Count {
-		t.Fatalf("Count after load = %d, want %d", n, d.Count)
-	}
-	kids, err := s2.Children(1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(kids) != len(d.Root.Children) {
-		t.Fatalf("children after load = %d", len(kids))
+				dsn2 := minisql.FreshDSN()
+				s2, err := OpenWith(dsn2, Options{Engine: to})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() {
+					s2.Close()
+					minisql.Drop(dsn2)
+				})
+				if err := s2.Load(&buf); err != nil {
+					t.Fatal(err)
+				}
+				n, err := s2.Count()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if n != d.Count {
+					t.Fatalf("Count after load = %d, want %d", n, d.Count)
+				}
+				kids, err := s2.Children(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(kids) != len(d.Root.Children) {
+					t.Fatalf("children after load = %d", len(kids))
+				}
+				// Row-level identity with the source.
+				for pre := int64(1); pre <= d.Count; pre++ {
+					a, err := s.Node(pre)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b, err := s2.Node(pre)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if a.Pre != b.Pre || a.Post != b.Post || a.Parent != b.Parent || !bytes.Equal(a.Poly, b.Poly) {
+						t.Fatalf("node %d: %+v != %+v", pre, a, b)
+					}
+				}
+			})
+		}
 	}
 }
 
 func TestInitTwiceFails(t *testing.T) {
-	s := newStore(t)
-	if err := s.Init(); err == nil {
-		t.Fatal("double Init succeeded")
-	}
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		s := newStoreEngine(t, eng)
+		if err := s.Init(); err == nil {
+			t.Fatal("double Init succeeded")
+		}
+	})
 }

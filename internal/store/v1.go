@@ -1,0 +1,393 @@
+package store
+
+import (
+	"database/sql"
+	"fmt"
+	"io"
+	"math"
+
+	"encshare/internal/minisql"
+)
+
+// v1store is the original minisql-backed engine, kept as the build-time
+// oracle (`-engine v1`) for parity tests and the ablation benchmark. It
+// talks to the embedded SQL engine through database/sql exactly as the
+// paper's prototype talks to MySQL, with B-tree indexes on pre (primary
+// key), post and parent, plus pre-parsed direct statements on the hot
+// read path.
+type v1store struct {
+	db  *sql.DB
+	dsn string
+
+	insert      *sql.Stmt
+	rangeIncl   *sql.Stmt
+	rootQuery   *sql.Stmt
+	countQuery  *sql.Stmt
+	minMaxQuery *sql.Stmt
+	naiveDesc   *sql.Stmt
+	childrenCnt *sql.Stmt
+
+	// Hot read path: the navigation and share-fetch queries the filter
+	// issues per engine step run directly against the embedded minisql
+	// engine through pre-parsed statements — same engine and locking as
+	// the database/sql path, minus the driver boxing per cell. The
+	// metadata twins additionally skip the poly column, so a structural
+	// fetch does not drag every row's share blob through the scan just
+	// to discard it.
+	mdb           *minisql.DB
+	qByPre        *minisql.Prepared
+	qByPreMeta    *minisql.Prepared
+	qChildren     *minisql.Prepared
+	qChildrenMeta *minisql.Prepared
+	qBoundary     *minisql.Prepared
+	qRangeScan    *minisql.Prepared
+	qRangeMeta    *minisql.Prepared
+
+	// Mutation primitives (the WAL apply path). UPDATE is in-place in
+	// minisql — the physical row slot never moves — which is what keeps
+	// replicas that apply identical op sequences byte-identical on Dump.
+	qUpdate *minisql.Prepared
+	qDelete *minisql.Prepared
+}
+
+func openV1(dsn string) (*v1store, error) {
+	db, err := sql.Open(minisql.DriverName, dsn)
+	if err != nil {
+		return nil, fmt.Errorf("store: open: %w", err)
+	}
+	return &v1store{db: db, dsn: dsn}, nil
+}
+
+// v1Schema is the nodes schema of §5.1, shared by Init and the
+// cross-format load path.
+var v1Schema = []string{
+	`CREATE TABLE nodes (
+		pre BIGINT PRIMARY KEY,
+		post BIGINT NOT NULL,
+		parent BIGINT NOT NULL,
+		poly BLOB NOT NULL
+	)`,
+	"CREATE INDEX idx_nodes_post ON nodes (post) USING BTREE",
+	"CREATE INDEX idx_nodes_parent ON nodes (parent) USING BTREE",
+}
+
+func (s *v1store) Init() error {
+	for _, q := range v1Schema {
+		if _, err := s.db.Exec(q); err != nil {
+			return fmt.Errorf("store: init: %w", err)
+		}
+	}
+	return s.prepare()
+}
+
+func (s *v1store) Attach() error { return s.prepare() }
+
+func (s *v1store) prepare() error {
+	prep := func(dst **sql.Stmt, q string) error {
+		st, err := s.db.Prepare(q)
+		if err != nil {
+			return fmt.Errorf("store: prepare %q: %w", q, err)
+		}
+		*dst = st
+		return nil
+	}
+	for _, p := range []struct {
+		dst **sql.Stmt
+		q   string
+	}{
+		{&s.insert, "INSERT INTO nodes (pre, post, parent, poly) VALUES (?, ?, ?, ?)"},
+		{&s.rangeIncl, "SELECT pre, post, parent, poly FROM nodes WHERE pre >= ? AND pre <= ? ORDER BY pre"},
+		{&s.rootQuery, "SELECT pre, post, parent, poly FROM nodes WHERE parent = 0"},
+		{&s.countQuery, "SELECT COUNT(*) FROM nodes"},
+		{&s.minMaxQuery, "SELECT MIN(pre), MAX(pre) FROM nodes"},
+		{&s.naiveDesc, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND post < ? ORDER BY pre"},
+		{&s.childrenCnt, "SELECT COUNT(*) FROM nodes WHERE parent = ?"},
+	} {
+		if err := prep(p.dst, p.q); err != nil {
+			return err
+		}
+	}
+	s.mdb = minisql.Get(s.dsn)
+	direct := func(dst **minisql.Prepared, q string) error {
+		st, err := s.mdb.Prepare(q)
+		if err != nil {
+			return fmt.Errorf("store: prepare %q: %w", q, err)
+		}
+		*dst = st
+		return nil
+	}
+	for _, p := range []struct {
+		dst **minisql.Prepared
+		q   string
+	}{
+		{&s.qByPre, "SELECT pre, post, parent, poly FROM nodes WHERE pre = ?"},
+		{&s.qByPreMeta, "SELECT pre, post, parent FROM nodes WHERE pre = ?"},
+		{&s.qChildren, "SELECT pre, post, parent, poly FROM nodes WHERE parent = ? ORDER BY pre"},
+		{&s.qChildrenMeta, "SELECT pre, post, parent FROM nodes WHERE parent = ? ORDER BY pre"},
+		{&s.qBoundary, "SELECT MIN(pre) FROM nodes WHERE pre > ? AND post > ?"},
+		{&s.qRangeScan, "SELECT pre, post, parent, poly FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+		{&s.qRangeMeta, "SELECT pre, post, parent FROM nodes WHERE pre > ? AND pre < ? ORDER BY pre"},
+		{&s.qUpdate, "UPDATE nodes SET pre = ?, post = ?, parent = ?, poly = ? WHERE pre = ?"},
+		{&s.qDelete, "DELETE FROM nodes WHERE pre = ?"},
+	} {
+		if err := direct(p.dst, p.q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rowsFromValues converts direct-engine result rows (pre, post, parent
+// [, poly]) into NodeRows. Blob cells alias the stored row — NodeRow
+// consumers treat share blobs as read-only, which every caller in this
+// repo does (shares are immutable once encoded).
+func rowsFromValues(rows [][]minisql.Value, withPoly bool) ([]NodeRow, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	out := make([]NodeRow, len(rows))
+	for i, row := range rows {
+		r := NodeRow{Pre: row[0].(int64), Post: row[1].(int64), Parent: row[2].(int64)}
+		if withPoly {
+			b, ok := row[3].([]byte)
+			if !ok {
+				return nil, fmt.Errorf("store: poly column holds %T", row[3])
+			}
+			r.Poly = b
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func (s *v1store) InsertNode(row NodeRow) error {
+	if _, err := s.insert.Exec(row.Pre, row.Post, row.Parent, row.Poly); err != nil {
+		return fmt.Errorf("store: insert pre=%d: %w", row.Pre, err)
+	}
+	return nil
+}
+
+func (s *v1store) UpdateNode(oldPre int64, row NodeRow) error {
+	n, err := s.qUpdate.Exec(row.Pre, row.Post, row.Parent, row.Poly, oldPre)
+	if err != nil {
+		return fmt.Errorf("store: update pre=%d: %w", oldPre, err)
+	}
+	if n == 0 {
+		return NotFoundError(oldPre)
+	}
+	return nil
+}
+
+func (s *v1store) DeleteNode(pre int64) error {
+	n, err := s.qDelete.Exec(pre)
+	if err != nil {
+		return fmt.Errorf("store: delete pre=%d: %w", pre, err)
+	}
+	if n == 0 {
+		return NotFoundError(pre)
+	}
+	return nil
+}
+
+func scanRows(rows *sql.Rows) ([]NodeRow, error) {
+	defer rows.Close()
+	var out []NodeRow
+	for rows.Next() {
+		var r NodeRow
+		if err := rows.Scan(&r.Pre, &r.Post, &r.Parent, &r.Poly); err != nil {
+			return nil, fmt.Errorf("store: scan: %w", err)
+		}
+		out = append(out, r)
+	}
+	if err := rows.Err(); err != nil {
+		return nil, fmt.Errorf("store: rows: %w", err)
+	}
+	return out, nil
+}
+
+func (s *v1store) Root() (NodeRow, error) {
+	rows, err := s.rootQuery.Query()
+	if err != nil {
+		return NodeRow{}, fmt.Errorf("store: root: %w", err)
+	}
+	all, err := scanRows(rows)
+	if err != nil {
+		return NodeRow{}, err
+	}
+	switch len(all) {
+	case 0:
+		return NodeRow{}, fmt.Errorf("store: root: %w", ErrNotFound)
+	case 1:
+		return all[0], nil
+	}
+	return NodeRow{}, fmt.Errorf("store: %d root nodes", len(all))
+}
+
+func (s *v1store) Node(pre int64) (NodeRow, error) {
+	return s.nodeWith(s.qByPre, pre, true)
+}
+
+func (s *v1store) NodeMeta(pre int64) (NodeRow, error) {
+	return s.nodeWith(s.qByPreMeta, pre, false)
+}
+
+func (s *v1store) nodeWith(q *minisql.Prepared, pre int64, withPoly bool) (NodeRow, error) {
+	_, rows, err := q.Query(pre)
+	if err != nil {
+		return NodeRow{}, fmt.Errorf("store: node %d: %w", pre, err)
+	}
+	all, err := rowsFromValues(rows, withPoly)
+	if err != nil {
+		return NodeRow{}, err
+	}
+	if len(all) == 0 {
+		return NodeRow{}, NotFoundError(pre)
+	}
+	return all[0], nil
+}
+
+func (s *v1store) Children(pre int64) ([]NodeRow, error) {
+	_, rows, err := s.qChildren.Query(pre)
+	if err != nil {
+		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
+	}
+	return rowsFromValues(rows, true)
+}
+
+func (s *v1store) ChildrenMeta(pre int64) ([]NodeRow, error) {
+	_, rows, err := s.qChildrenMeta.Query(pre)
+	if err != nil {
+		return nil, fmt.Errorf("store: children of %d: %w", pre, err)
+	}
+	return rowsFromValues(rows, false)
+}
+
+func (s *v1store) Descendants(pre, post int64) ([]NodeRow, error) {
+	return s.descendantsWith(s.qRangeScan, pre, post, true)
+}
+
+func (s *v1store) DescendantsMeta(pre, post int64) ([]NodeRow, error) {
+	return s.descendantsWith(s.qRangeMeta, pre, post, false)
+}
+
+// boundary locates the subtree boundary — the smallest pre greater than
+// pre whose post exceeds post, i.e. the first non-descendant — with a
+// loose index scan.
+func (s *v1store) boundary(pre, post int64) (int64, error) {
+	_, brows, err := s.qBoundary.Query(pre, post)
+	if err != nil {
+		return 0, fmt.Errorf("store: boundary of %d: %w", pre, err)
+	}
+	hi := int64(math.MaxInt64)
+	if len(brows) == 1 && len(brows[0]) == 1 && brows[0][0] != nil {
+		hi = brows[0][0].(int64)
+	}
+	return hi, nil
+}
+
+func (s *v1store) descendantsWith(q *minisql.Prepared, pre, post int64, withPoly bool) ([]NodeRow, error) {
+	hi, err := s.boundary(pre, post)
+	if err != nil {
+		return nil, err
+	}
+	_, rows, err := q.Query(pre, hi)
+	if err != nil {
+		return nil, fmt.Errorf("store: descendants of %d: %w", pre, err)
+	}
+	return rowsFromValues(rows, withPoly)
+}
+
+func (s *v1store) VisitDescendantsMeta(pre, post int64, fn func(pre, post, parent int64)) error {
+	hi, err := s.boundary(pre, post)
+	if err != nil {
+		return err
+	}
+	_, rows, err := s.qRangeMeta.Query(pre, hi)
+	if err != nil {
+		return fmt.Errorf("store: descendants of %d: %w", pre, err)
+	}
+	for _, row := range rows {
+		fn(row[0].(int64), row[1].(int64), row[2].(int64))
+	}
+	return nil
+}
+
+func (s *v1store) DescendantsNaive(pre, post int64) ([]NodeRow, error) {
+	rows, err := s.naiveDesc.Query(pre, post)
+	if err != nil {
+		return nil, fmt.Errorf("store: naive descendants of %d: %w", pre, err)
+	}
+	return scanRows(rows)
+}
+
+func (s *v1store) Range(lo, hi int64) ([]NodeRow, error) {
+	rows, err := s.rangeIncl.Query(lo, hi)
+	if err != nil {
+		return nil, fmt.Errorf("store: range [%d, %d]: %w", lo, hi, err)
+	}
+	return scanRows(rows)
+}
+
+func (s *v1store) MinMaxPre() (lo, hi int64, err error) {
+	var nlo, nhi sql.NullInt64
+	if err := s.minMaxQuery.QueryRow().Scan(&nlo, &nhi); err != nil {
+		return 0, 0, fmt.Errorf("store: min/max pre: %w", err)
+	}
+	if !nlo.Valid || !nhi.Valid {
+		return 0, 0, fmt.Errorf("store: min/max pre of empty table: %w", ErrNotFound)
+	}
+	return nlo.Int64, nhi.Int64, nil
+}
+
+func (s *v1store) Count() (int64, error) {
+	var n int64
+	if err := s.countQuery.QueryRow().Scan(&n); err != nil {
+		return 0, fmt.Errorf("store: count: %w", err)
+	}
+	return n, nil
+}
+
+func (s *v1store) ChildCount(pre int64) (int64, error) {
+	var n int64
+	if err := s.childrenCnt.QueryRow(pre).Scan(&n); err != nil {
+		return 0, fmt.Errorf("store: child count of %d: %w", pre, err)
+	}
+	return n, nil
+}
+
+func (s *v1store) Dump(w io.Writer) error {
+	return minisql.Get(s.dsn).Dump(w)
+}
+
+// loadNative restores a minisql gob dump and re-prepares statements.
+func (s *v1store) loadNative(r io.Reader) error {
+	if err := minisql.Get(s.dsn).Load(r); err != nil {
+		return err
+	}
+	return s.prepare()
+}
+
+// loadRows replaces the table with rows (sorted by pre) — the path a v1
+// oracle takes when attaching a v2-format file. The deterministic
+// insert order keeps replica dumps byte-identical.
+func (s *v1store) loadRows(rows []NodeRow) error {
+	s.db.Exec("DROP TABLE nodes") // ignore "no such table"
+	for _, q := range v1Schema {
+		if _, err := s.db.Exec(q); err != nil {
+			return fmt.Errorf("store: load: %w", err)
+		}
+	}
+	if err := s.prepare(); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := s.InsertNode(row); err != nil {
+			return fmt.Errorf("store: load: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s *v1store) Close() error { return s.db.Close() }
+
+func (s *v1store) PoolStats() (PoolStats, bool) { return PoolStats{}, false }

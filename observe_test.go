@@ -299,6 +299,11 @@ func TestMetricsExposition(t *testing.T) {
 		`encshare_wal_failed{tenant="auction"} 0`,
 		`encshare_lease_acquires_total{tenant="auction"}`,
 		`encshare_lease_expirations_total{tenant="auction"}`,
+		`encshare_pool_pages{tenant="auction"}`,
+		`encshare_pool_resident{tenant="auction"}`,
+		`encshare_pool_hits_total{tenant="auction"}`,
+		`encshare_pool_misses_total{tenant="auction"}`,
+		`encshare_pool_evictions_total{tenant="auction"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
@@ -313,6 +318,13 @@ func TestMetricsExposition(t *testing.T) {
 	leaseLine := regexp.MustCompile(`encshare_lease_acquires_total\{tenant="auction"\} ([0-9]+)`).FindStringSubmatch(body)
 	if leaseLine == nil || leaseLine[1] == "0" {
 		t.Errorf("encshare_lease_acquires_total did not move after the insert (%v)", leaseLine)
+	}
+	// The queries read heap pages through the v2 buffer pool: the hit
+	// counter must have moved, and with the table far smaller than the
+	// pool nothing should have been evicted.
+	poolHits := regexp.MustCompile(`encshare_pool_hits_total\{tenant="auction"\} ([0-9]+)`).FindStringSubmatch(body)
+	if poolHits == nil || poolHits[1] == "0" {
+		t.Errorf("encshare_pool_hits_total did not move after queries (%v)", poolHits)
 	}
 	for _, line := range strings.Split(body, "\n") {
 		if line == "" || strings.HasPrefix(line, "#") {
